@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: the lambda cut threshold.
+ *
+ * ReBudget cuts players whose lambda_i falls below a fraction of the
+ * market maximum; the paper fixes this at 0.5 because Theorem 1's PoA
+ * guarantee starts decaying linearly below MUR = 0.5.  This ablation
+ * sweeps the threshold to show 0.5 is a sweet spot: lower thresholds
+ * cut too few players (efficiency is left on the table), higher
+ * thresholds cut well-budgeted players too (fairness cost with little
+ * efficiency gain).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/util/stats.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    const uint32_t cores = 16;
+    const auto catalog = workloads::classifyCatalog();
+    const auto bundles =
+        workloads::generateAllBundles(catalog, cores, 8, 13);
+    const core::MaxEfficiencyAllocator max_eff;
+
+    util::printBanner(std::cout,
+                      "Ablation: ReBudget lambda cut threshold "
+                      "(48 bundles, 16 cores, step 40)");
+    util::TablePrinter t({"threshold", "mean_eff_vs_opt", "mean_EF",
+                          "mean_MUR", "mean_budget_rounds"});
+    for (double thr : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+        core::ReBudgetConfig cfg;
+        cfg.step0 = 40.0;
+        cfg.lambdaCutThreshold = thr;
+        const core::ReBudgetAllocator rb(cfg);
+        util::SummaryStats eff, ef, mur, rounds;
+        for (const auto &bundle : bundles) {
+            bench::BundleProblem bp =
+                bench::makeBundleProblem(bundle.appNames);
+            const double opt =
+                bench::score(max_eff, bp.problem).efficiency;
+            const auto s = bench::score(rb, bp.problem);
+            eff.add(s.efficiency / opt);
+            ef.add(s.envyFreeness);
+            mur.add(s.mur);
+            rounds.add(s.budgetRounds);
+        }
+        t.addRow({util::formatDouble(thr, 2),
+                  util::formatDouble(eff.mean(), 3),
+                  util::formatDouble(ef.mean(), 3),
+                  util::formatDouble(mur.mean(), 3),
+                  util::formatDouble(rounds.mean(), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nThe paper's 0.5 threshold tracks Theorem 1: below "
+                 "MUR = 0.5 the PoA bound\ndecays linearly, so players "
+                 "below half the max lambda are the ones whose\n"
+                 "budget is provably better spent elsewhere.\n";
+    return 0;
+}

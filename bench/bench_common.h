@@ -1,0 +1,96 @@
+#ifndef REBUDGET_BENCH_BENCH_COMMON_H_
+#define REBUDGET_BENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared plumbing for the evaluation harness: turn a workload bundle
+ * into an allocation problem with catalog utility models, and evaluate
+ * mechanisms on it.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/core/allocator.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/workloads/bundles.h"
+
+namespace rebudget::bench {
+
+/** An allocation problem plus the utility models backing it. */
+struct BundleProblem
+{
+    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+    core::AllocationProblem problem;
+};
+
+/**
+ * Build the phase-1 (analytic) allocation problem for a bundle: catalog
+ * profiles -> convexified utility models, market capacities = machine
+ * resources minus per-core minimums.
+ *
+ * @param app_names            one catalog app per core
+ * @param regions_per_core     cache regions per core (paper: 4)
+ * @param watts_per_core       chip TDP per core (paper: 10 W)
+ * @param convexify            apply Talus convexification
+ */
+inline BundleProblem
+makeBundleProblem(const std::vector<std::string> &app_names,
+                  double regions_per_core = 4.0,
+                  double watts_per_core = 10.0, bool convexify = true)
+{
+    static const power::PowerModel power;
+    BundleProblem bp;
+    app::UtilityGridOptions options;
+    options.convexify = convexify;
+    double min_watts = 0.0;
+    for (const auto &nm : app_names) {
+        bp.models.push_back(std::make_unique<app::AppUtilityModel>(
+            app::findCatalogProfile(nm), power, options));
+        min_watts += bp.models.back()->minWatts();
+        bp.problem.models.push_back(bp.models.back().get());
+    }
+    const double n = static_cast<double>(app_names.size());
+    bp.problem.capacities = {n * regions_per_core - n * 1.0,
+                             n * watts_per_core - min_watts};
+    return bp;
+}
+
+/** Efficiency and fairness of one mechanism on one problem. */
+struct MechanismScore
+{
+    std::string mechanism;
+    double efficiency = 0.0;
+    double envyFreeness = 0.0;
+    double mur = 0.0;
+    double mbr = 1.0;
+    int marketIterations = 0;
+    int budgetRounds = 0;
+};
+
+/** Run one mechanism and collect its scores. */
+inline MechanismScore
+score(const core::Allocator &mechanism,
+      const core::AllocationProblem &problem)
+{
+    const core::AllocationOutcome out = mechanism.allocate(problem);
+    MechanismScore s;
+    s.mechanism = out.mechanism;
+    s.efficiency = market::efficiency(problem.models, out.alloc);
+    s.envyFreeness = market::envyFreeness(problem.models, out.alloc);
+    if (!out.lambdas.empty())
+        s.mur = market::marketUtilityRange(out.lambdas);
+    if (!out.budgets.empty())
+        s.mbr = market::marketBudgetRange(out.budgets);
+    s.marketIterations = out.marketIterations;
+    s.budgetRounds = out.budgetRounds;
+    return s;
+}
+
+} // namespace rebudget::bench
+
+#endif // REBUDGET_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension: context-switch adaptation (Section 4.3).
+ *
+ * The paper triggers budget re-assignment every 1 ms to absorb OS
+ * context switches.  Here an 8-core machine runs a mixed bundle; at
+ * epoch 10 the OS swaps the streaming app on core 7 for a second copy
+ * of mcf (cache-hungry), and at epoch 18 swaps it back.  The bench
+ * prints core 7's installed cache target and utility per epoch under
+ * ReBudget-40: the market discovers the incoming app's demand from the
+ * monitors within an epoch or two and re-routes capacity, then returns
+ * it after the reverse switch.
+ */
+
+#include <iostream>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/sim/epoch_sim.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    sim::EpochSimConfig cfg = sim::EpochSimConfig::forCores(8);
+    cfg.epochs = 24;
+    cfg.warmupEpochs = 2;
+    cfg.cmp.accessesPerEpochPerCore = 8000;
+    cfg.contextSwitches.push_back(
+        sim::ContextSwitch{12, 7,
+                           app::findCatalogProfile("mcf").params});
+    cfg.contextSwitches.push_back(
+        sim::ContextSwitch{20, 7,
+                           app::findCatalogProfile("milc").params});
+
+    std::vector<app::AppParams> apps;
+    for (const char *nm : {"vpr", "swim", "apsi", "hmmer", "sixtrack",
+                           "gap", "libquantum", "milc"}) {
+        apps.push_back(app::findCatalogProfile(nm).params);
+    }
+
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    sim::EpochSimulator simulator(cfg, apps, rb40);
+    const sim::SimResult r = simulator.run();
+
+    util::printBanner(std::cout,
+                      "Extension: context switches on core 7 "
+                      "(milc -> mcf at epoch 10, back at 18)");
+    util::TablePrinter t({"epoch", "core7_cache_target",
+                          "core7_utility", "machine_efficiency"});
+    for (size_t e = 0; e < r.epochs.size(); ++e) {
+        std::string marker = std::to_string(e);
+        if (e == 10)
+            marker += " <- switch in mcf";
+        if (e == 18)
+            marker += " <- switch back";
+        t.addRow({marker,
+                  util::formatDouble(r.epochs[e].cacheTargets[7], 2),
+                  util::formatDouble(r.epochs[e].utilities[7], 3),
+                  util::formatDouble(r.epochs[e].efficiency, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\nThe incoming mcf's working set is discovered by the "
+                 "UMON monitors after a\nfew epochs (its pointer chase "
+                 "must complete whole laps before the shadow\ntags "
+                 "observe reuse), the market re-prices cache, and after "
+                 "the reverse\nswitch the cache returns to the other "
+                 "players within one epoch.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Extension: the EP (elasticities-proportional / REF) mechanism the
+ * paper discusses in Section 1.
+ *
+ * EP is Pareto-efficient and envy-free *when utilities are truly
+ * Cobb-Douglas*.  This bench measures (a) how badly real cache/power
+ * utilities fit Cobb-Douglas (per-class R^2 of the log-log regression),
+ * and (b) EP's efficiency and fairness against the market mechanisms on
+ * a bundle subset -- quantifying the paper's claim that EP "can in fact
+ * perform worse than expected when such curve-fitting is not well
+ * suited to the applications".
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/ep_allocator.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/util/stats.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    // (a) Cobb-Douglas fit quality per catalog application.
+    util::printBanner(std::cout,
+                      "Extension: Cobb-Douglas fit quality (R^2) per "
+                      "application class");
+    {
+        util::TablePrinter t({"app", "class", "elasticity_cache",
+                              "elasticity_power", "R2"});
+        const std::vector<double> caps = {15.0, 14.0};
+        for (const auto &profile : app::catalogProfiles()) {
+            static const power::PowerModel power;
+            const app::AppUtilityModel model(profile, power);
+            const auto fit = core::fitCobbDouglas(model, caps);
+            t.addRow({profile.params.name,
+                      std::string(1, app::appClassCode(
+                                         profile.params.designClass)),
+                      util::formatDouble(fit.elasticities[0], 3),
+                      util::formatDouble(fit.elasticities[1], 3),
+                      util::formatDouble(fit.r2, 3)});
+        }
+        t.print(std::cout);
+    }
+
+    // (b) EP vs market mechanisms on a bundle subset.
+    const uint32_t cores = 16;
+    const auto catalog = workloads::classifyCatalog();
+    const auto bundles =
+        workloads::generateAllBundles(catalog, cores, 8, 21);
+
+    const core::EpAllocator ep;
+    const core::EqualBudgetAllocator equal_budget;
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    const core::MaxEfficiencyAllocator max_eff;
+
+    util::SummaryStats ep_eff, eq_eff, rb_eff, ep_ef, eq_ef, rb_ef;
+    for (const auto &bundle : bundles) {
+        bench::BundleProblem bp =
+            bench::makeBundleProblem(bundle.appNames);
+        const double opt = bench::score(max_eff, bp.problem).efficiency;
+        const auto s_ep = bench::score(ep, bp.problem);
+        const auto s_eq = bench::score(equal_budget, bp.problem);
+        const auto s_rb = bench::score(rb40, bp.problem);
+        ep_eff.add(s_ep.efficiency / opt);
+        eq_eff.add(s_eq.efficiency / opt);
+        rb_eff.add(s_rb.efficiency / opt);
+        ep_ef.add(s_ep.envyFreeness);
+        eq_ef.add(s_eq.envyFreeness);
+        rb_ef.add(s_rb.envyFreeness);
+    }
+
+    util::printBanner(std::cout,
+                      "Extension: EP vs market mechanisms "
+                      "(48 bundles, 16 cores)");
+    util::TablePrinter t({"mechanism", "mean_eff_vs_opt", "worst_eff",
+                          "mean_EF", "worst_EF"});
+    t.addRow({"EP", util::formatDouble(ep_eff.mean(), 3),
+              util::formatDouble(ep_eff.min(), 3),
+              util::formatDouble(ep_ef.mean(), 3),
+              util::formatDouble(ep_ef.min(), 3)});
+    t.addRow({"EqualBudget", util::formatDouble(eq_eff.mean(), 3),
+              util::formatDouble(eq_eff.min(), 3),
+              util::formatDouble(eq_ef.mean(), 3),
+              util::formatDouble(eq_ef.min(), 3)});
+    t.addRow({"ReBudget-40", util::formatDouble(rb_eff.mean(), 3),
+              util::formatDouble(rb_eff.min(), 3),
+              util::formatDouble(rb_ef.mean(), 3),
+              util::formatDouble(rb_ef.min(), 3)});
+    t.print(std::cout);
+    std::cout << "\nEP's envy-freeness guarantee assumes exact "
+                 "Cobb-Douglas utilities; with the\nmeasured fits "
+                 "above it holds only approximately, and its "
+                 "efficiency trails\nthe market (Section 1's "
+                 "discussion of REF).\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extension: phase-change adaptation (Section 4.3).
+ *
+ * The paper triggers budget re-assignment every 1 ms precisely to track
+ * application phase changes and context switches.  Here one core of an
+ * 8-core machine runs an application that alternates between a
+ * cache-hungry phase (1 MB Zipf working set) and a streaming phase
+ * (16 MB sweep, cache-useless) every ~4 epochs, while the other cores
+ * run static applications.  The bench prints the phased core's cache
+ * target and the whole machine's efficiency per epoch under ReBudget-40
+ * and under static EqualShare: the market visibly reclaims the cache
+ * during streaming phases and returns it for hungry phases.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/sim/epoch_sim.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+namespace {
+
+sim::EpochSimConfig
+machine()
+{
+    sim::EpochSimConfig cfg = sim::EpochSimConfig::forCores(8);
+    cfg.epochs = 24;
+    cfg.warmupEpochs = 2;
+    cfg.cmp.accessesPerEpochPerCore = 8000;
+    return cfg;
+}
+
+std::vector<app::AppParams>
+bundle()
+{
+    std::vector<app::AppParams> apps;
+    // Core 0: phased app -- alternates 1 MB Zipf <-> 16 MB stream every
+    // 4 epochs' worth of references.
+    app::AppParams phased;
+    phased.name = "phased";
+    phased.pattern = app::MemPattern::Zipf;
+    phased.workingSetBytes = 1024 * 1024;
+    phased.zipfAlpha = 0.9;
+    phased.memPerInstr = 0.12;
+    phased.computeCpi = 0.5;
+    phased.activity = 0.6;
+    phased.phaseAccesses = 4 * 8000;
+    phased.phasePattern = app::MemPattern::Stream;
+    phased.phaseFootprintBytes = 16ull * 1024 * 1024;
+    apps.push_back(phased);
+    // Static companions: a mix that keeps both resources contended.
+    for (const char *nm : {"vpr", "swim", "apsi", "hmmer", "sixtrack",
+                           "milc", "gap"}) {
+        apps.push_back(app::findCatalogProfile(nm).params);
+    }
+    return apps;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    sim::EpochSimulator rb_sim(machine(), bundle(), rb40);
+    const sim::SimResult rb = rb_sim.run();
+
+    const core::EqualShareAllocator share;
+    sim::EpochSimulator share_sim(machine(), bundle(), share);
+    const sim::SimResult st = share_sim.run();
+
+    util::printBanner(std::cout,
+                      "Extension: phase adaptation -- phased core's "
+                      "cache target per epoch");
+    util::TablePrinter t({"epoch", "phased_core_cache(RB-40)",
+                          "phased_core_util(RB-40)",
+                          "machine_eff(RB-40)",
+                          "machine_eff(EqualShare)"});
+    for (size_t e = 0; e < rb.epochs.size(); ++e) {
+        t.addRow({std::to_string(e),
+                  util::formatDouble(rb.epochs[e].cacheTargets[0], 2),
+                  util::formatDouble(rb.epochs[e].utilities[0], 3),
+                  util::formatDouble(rb.epochs[e].efficiency, 3),
+                  util::formatDouble(st.epochs[e].efficiency, 3)});
+    }
+    t.print(std::cout);
+
+    // Quantify the tracking: spread between the phased core's largest
+    // and smallest installed cache targets.
+    double lo = 1e9;
+    double hi = 0.0;
+    for (const auto &rec : rb.epochs) {
+        lo = std::min(lo, rec.cacheTargets[0]);
+        hi = std::max(hi, rec.cacheTargets[0]);
+    }
+    std::cout << "\nPhased core cache target range under ReBudget-40: "
+              << util::formatDouble(lo, 2) << " .. "
+              << util::formatDouble(hi, 2)
+              << " regions\n(static EqualShare pins it at 4.00).  The "
+                 "1 ms epoch lets the market reclaim\ncache during "
+                 "streaming phases and return it when the working set "
+                 "is back.\n";
+    return 0;
+}

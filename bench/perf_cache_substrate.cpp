@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Microbenchmark: cache substrate throughput.
+ *
+ * Simulation cost is dominated by L2 accesses and UMON observations;
+ * this benchmark quantifies both, plus the futility-controller update.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rebudget/cache/futility_controller.h"
+#include "rebudget/cache/set_assoc_cache.h"
+#include "rebudget/cache/umon.h"
+#include "rebudget/util/rng.h"
+
+using namespace rebudget;
+
+namespace {
+
+void
+BM_L2Access(benchmark::State &state)
+{
+    const auto assoc = static_cast<uint32_t>(state.range(0));
+    cache::SetAssocCache l2(
+        cache::CacheConfig{4 * 1024 * 1024, assoc, 64}, 8);
+    util::Rng rng(1);
+    // Pre-generate addresses so the RNG is out of the measured loop.
+    std::vector<uint64_t> addrs(1 << 16);
+    for (auto &a : addrs)
+        a = rng.uniformInt(uint64_t{1 << 20}) * 64;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            l2.access(i % 8, addrs[i % addrs.size()], false));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_UMonObserve(benchmark::State &state)
+{
+    cache::UMonitor umon;
+    util::Rng rng(2);
+    std::vector<uint64_t> addrs(1 << 16);
+    for (auto &a : addrs)
+        a = rng.uniformInt(uint64_t{1 << 15}) * 64;
+    size_t i = 0;
+    for (auto _ : state) {
+        umon.observe(addrs[i % addrs.size()]);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_FutilityControllerUpdate(benchmark::State &state)
+{
+    cache::SetAssocCache l2(
+        cache::CacheConfig{4 * 1024 * 1024, 16, 64},
+        static_cast<uint32_t>(state.range(0)));
+    cache::FutilityController ctl(l2);
+    for (auto _ : state)
+        ctl.update();
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_L2Access)->Arg(16)->Arg(32);
+BENCHMARK(BM_UMonObserve);
+BENCHMARK(BM_FutilityControllerUpdate)->Arg(16)->Arg(128);

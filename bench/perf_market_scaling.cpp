@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Microbenchmark: allocation-mechanism runtime vs. machine size.
+ *
+ * The paper's scalability argument (Section 1) is that the market is
+ * largely distributed: each bidding-pricing round is O(N) player-local
+ * optimizations, and rounds stay flat with N.  This benchmark measures
+ * wall time per allocation for EqualBudget and ReBudget-40 from 8 to
+ * 256 players, and for the centralized MaxEfficiency oracle (which
+ * scales much worse and is infeasible at runtime).
+ */
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/utility_model.h"
+#include "rebudget/util/rng.h"
+
+using namespace rebudget;
+
+namespace {
+
+struct Problem
+{
+    std::vector<std::unique_ptr<market::PowerLawUtility>> models;
+    core::AllocationProblem problem;
+};
+
+Problem
+makeProblem(size_t players, uint64_t seed)
+{
+    util::Rng rng(seed);
+    Problem p;
+    p.problem.capacities = {players * 3.0, players * 9.0};
+    for (size_t i = 0; i < players; ++i) {
+        p.models.push_back(std::make_unique<market::PowerLawUtility>(
+            std::vector<double>{rng.uniform(0.1, 1.0),
+                                rng.uniform(0.1, 1.0)},
+            std::vector<double>{rng.uniform(0.2, 1.0),
+                                rng.uniform(0.2, 1.0)},
+            p.problem.capacities));
+        p.problem.models.push_back(p.models.back().get());
+    }
+    return p;
+}
+
+void
+BM_EqualBudget(benchmark::State &state)
+{
+    const Problem p = makeProblem(state.range(0), 42);
+    const core::EqualBudgetAllocator alloc;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(alloc.allocate(p.problem));
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_ReBudget40(benchmark::State &state)
+{
+    const Problem p = makeProblem(state.range(0), 42);
+    const auto alloc = core::ReBudgetAllocator::withStep(40);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(alloc.allocate(p.problem));
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_MaxEfficiencyOracle(benchmark::State &state)
+{
+    const Problem p = makeProblem(state.range(0), 42);
+    const core::MaxEfficiencyAllocator alloc;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(alloc.allocate(p.problem));
+    state.SetComplexityN(state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_EqualBudget)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+BENCHMARK(BM_ReBudget40)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+BENCHMARK(BM_MaxEfficiencyOracle)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Section 6.4: convergence behavior.
+ *
+ * For every bundle in the 240-bundle suite, counts the bidding-pricing
+ * iterations per equilibrium solve and the ReBudget outer rounds.
+ * Paper claims: EqualBudget and Balanced converge within 3 iterations
+ * for 95% of bundles; ReBudget needs a few more (it re-converges after
+ * each budget cut); a 30-iteration fail-safe bounds the worst case.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/util/stats.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    const uint32_t cores = 64;
+    const auto catalog = workloads::classifyCatalog();
+    const auto bundles =
+        workloads::generateAllBundles(catalog, cores, 40, 2016);
+
+    const core::EqualBudgetAllocator equal_budget;
+    const core::BalancedBudgetAllocator balanced;
+    const auto rb20 = core::ReBudgetAllocator::withStep(20);
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    struct Mech
+    {
+        const core::Allocator *alloc;
+        std::vector<double> per_solve_iters; // iterations per solve
+        std::vector<double> total_iters;     // total per allocation
+        std::vector<double> rounds;
+    };
+    std::vector<Mech> mechs = {{&equal_budget, {}, {}, {}},
+                               {&balanced, {}, {}, {}},
+                               {&rb20, {}, {}, {}},
+                               {&rb40, {}, {}, {}}};
+
+    for (const auto &bundle : bundles) {
+        bench::BundleProblem bp =
+            bench::makeBundleProblem(bundle.appNames);
+        for (auto &m : mechs) {
+            const auto out = m.alloc->allocate(bp.problem);
+            const int solves = std::max(1, out.budgetRounds);
+            m.per_solve_iters.push_back(
+                static_cast<double>(out.marketIterations) / solves);
+            m.total_iters.push_back(out.marketIterations);
+            m.rounds.push_back(out.budgetRounds);
+        }
+    }
+
+    util::printBanner(std::cout,
+                      "Section 6.4: equilibrium convergence over 240 "
+                      "bundles (64 cores)");
+    util::TablePrinter t({"mechanism", "median_iters/solve",
+                          "p95_iters/solve", "max_iters/solve",
+                          "frac_solves<=3", "median_total_iters",
+                          "median_budget_rounds"});
+    for (auto &m : mechs) {
+        t.addRow({m.alloc->name(),
+                  util::formatDouble(util::quantile(m.per_solve_iters,
+                                                    0.5), 2),
+                  util::formatDouble(util::quantile(m.per_solve_iters,
+                                                    0.95), 2),
+                  util::formatDouble(
+                      *std::max_element(m.per_solve_iters.begin(),
+                                        m.per_solve_iters.end()), 2),
+                  util::formatDouble(
+                      1.0 - util::fractionAtLeast(m.per_solve_iters,
+                                                  3.0 + 1e-9), 3),
+                  util::formatDouble(util::quantile(m.total_iters, 0.5),
+                                     1),
+                  util::formatDouble(util::quantile(m.rounds, 0.5), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper: EqualBudget/Balanced converge within 3 "
+                 "iterations for 95% of bundles;\nReBudget spends a few "
+                 "more because it re-converges after each cut; the\n"
+                 "fail-safe terminates any solve at 30 iterations.\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bring your own trace: profile a recorded memory trace and let it
+ * compete in the market against catalog applications.
+ *
+ * Real deployments would record the trace with Pin/DynamoRIO or a full
+ * simulator; to stay self-contained this example first *writes* a small
+ * trace file (a loop nest touching a 512 kB array with a strided inner
+ * loop), then loads it back through trace::loadTraceFile, profiles it
+ * with app::profileStream, and allocates resources among the traced app
+ * and three catalog tenants.
+ *
+ * Run: ./build/examples/custom_trace
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/profiler.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/trace/replay.h"
+
+using namespace rebudget;
+
+namespace {
+
+// Record the memory behavior of a toy blocked loop nest: repeated
+// passes over a 512 kB array, reading two streams and writing one.
+std::vector<trace::Access>
+recordLoopNest()
+{
+    std::vector<trace::Access> out;
+    const uint64_t array = 512 * 1024;
+    for (int pass = 0; pass < 6; ++pass) {
+        for (uint64_t i = 0; i < array; i += 64) {
+            out.push_back({0x10000000 + i, false});          // load a[i]
+            out.push_back({0x20000000 + (i * 3) % array,     // load b[3i]
+                           false});
+            out.push_back({0x30000000 + i, true});           // store c[i]
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. "Record" and persist the trace (stand-in for a Pin tool).
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "loopnest.trace")
+            .string();
+    saveTraceFile(path, recordLoopNest());
+    std::printf("wrote %s\n", path.c_str());
+
+    // 2. Load it back and profile it like any application.  The traced
+    //    program executes ~3 memory references per 10 instructions.
+    const auto accesses = trace::loadTraceFile(path);
+    trace::ReplayGen replay(accesses);
+    const app::AppProfile traced = app::profileStream(
+        replay, "loopnest", /*mem_per_instr=*/0.3, /*compute_cpi=*/0.5,
+        /*activity=*/0.8);
+    std::printf("profiled '%s': %zu recorded accesses, %.3f L2 "
+                "accesses/instr,\nfootprint %.0f kB (distinct lines)\n",
+                traced.params.name.c_str(), replay.length(),
+                traced.l2AccessesPerInstr,
+                static_cast<double>(replay.footprintBytes()) / 1024.0);
+
+    // 3. Put it on a 4-core machine against catalog tenants.
+    const power::PowerModel power;
+    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+    core::AllocationProblem problem;
+    double min_watts = 0.0;
+    models.push_back(
+        std::make_unique<app::AppUtilityModel>(traced, power));
+    for (const char *nm : {"mcf", "hmmer", "milc"}) {
+        models.push_back(std::make_unique<app::AppUtilityModel>(
+            app::findCatalogProfile(nm), power));
+    }
+    for (const auto &m : models) {
+        min_watts += m->minWatts();
+        problem.models.push_back(m.get());
+    }
+    problem.capacities = {4 * 4.0 - 4.0, 4 * 10.0 - min_watts};
+
+    const auto out =
+        core::ReBudgetAllocator::withStep(40).allocate(problem);
+    const auto utils =
+        market::perPlayerUtilities(problem.models, out.alloc);
+    std::printf("\n%-10s %-8s %-8s %-8s\n", "app", "cache", "watts",
+                "utility");
+    const char *names[] = {"loopnest", "mcf", "hmmer", "milc"};
+    for (size_t i = 0; i < 4; ++i) {
+        std::printf("%-10s %-8.2f %-8.2f %-8.3f\n", names[i],
+                    1.0 + out.alloc[i][0],
+                    models[i]->minWatts() + out.alloc[i][1], utils[i]);
+    }
+    std::printf("\nefficiency %.3f, envy-freeness %.3f\n",
+                market::efficiency(problem.models, out.alloc),
+                market::envyFreeness(problem.models, out.alloc));
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The efficiency-vs-fairness knob on a real workload bundle.
+ *
+ * Builds the paper's 8-core BBPC study bundle (Section 6.1.1: apsi x2,
+ * swim x2, mcf x2, hmmer, sixtrack) from the SPEC-like catalog with full
+ * cache/power utility models, then sweeps ReBudget's step from gentle to
+ * aggressive and prints the resulting efficiency/envy-freeness frontier
+ * together with the MUR/MBR theory bounds.
+ *
+ * Run: ./build/examples/efficiency_fairness_knob
+ */
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    const power::PowerModel power;
+    const std::vector<std::string> names = {"apsi", "apsi", "swim",
+                                            "swim", "mcf",  "mcf",
+                                            "hmmer", "sixtrack"};
+    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+    core::AllocationProblem problem;
+    double min_watts = 0.0;
+    for (const auto &nm : names) {
+        models.push_back(std::make_unique<app::AppUtilityModel>(
+            app::findCatalogProfile(nm), power));
+        min_watts += models.back()->minWatts();
+        problem.models.push_back(models.back().get());
+    }
+    // 8-core machine: 32 cache regions (8 free) and 80 W (minimums
+    // reserved).
+    problem.capacities = {32.0 - 8.0, 80.0 - min_watts};
+
+    const double opt = market::efficiency(
+        problem.models,
+        core::MaxEfficiencyAllocator().allocate(problem).alloc);
+
+    util::TablePrinter table({"mechanism", "efficiency", "vs-optimal",
+                              "envy-freeness", "MUR", "MBR",
+                              "EF-bound(Thm2)"});
+    auto row = [&](const core::Allocator &mechanism) {
+        const auto out = mechanism.allocate(problem);
+        const double eff =
+            market::efficiency(problem.models, out.alloc);
+        const double ef =
+            market::envyFreeness(problem.models, out.alloc);
+        const bool market_based = !out.budgets.empty();
+        const double mur =
+            market_based ? market::marketUtilityRange(out.lambdas) : 0.0;
+        const double mbr =
+            market_based ? market::marketBudgetRange(out.budgets) : 1.0;
+        table.addRow({out.mechanism, util::formatDouble(eff, 3),
+                      util::formatDouble(eff / opt, 3),
+                      util::formatDouble(ef, 3),
+                      market_based ? util::formatDouble(mur, 2) : "-",
+                      market_based ? util::formatDouble(mbr, 2) : "-",
+                      market_based
+                          ? util::formatDouble(
+                                market::envyFreenessLowerBound(mbr), 2)
+                          : "-"});
+    };
+
+    row(core::EqualShareAllocator());
+    row(core::EqualBudgetAllocator());
+    row(core::BalancedBudgetAllocator());
+    for (double step : {5.0, 10.0, 20.0, 30.0, 40.0, 45.0})
+        row(core::ReBudgetAllocator::withStep(step));
+    row(core::MaxEfficiencyAllocator());
+
+    std::cout << "Efficiency/fairness frontier on the BBPC bundle "
+                 "(8 cores)\n\n";
+    table.print(std::cout);
+    std::cout << "\nLarger ReBudget steps push efficiency toward the "
+                 "MaxEfficiency oracle\nwhile envy-freeness degrades -- "
+                 "but never below the Theorem 2 bound.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Administrator workflow: maximize throughput under a fairness SLA.
+ *
+ * A datacenter operator colocates tenants on a CMP and promises each a
+ * worst-case fairness level ("no tenant envies another's resources by
+ * more than X").  Section 4.2's ByFairnessTarget mode inverts Theorem 2
+ * to a budget floor (MBR) and lets ReBudget maximize efficiency subject
+ * to the guarantee.  This example sweeps SLA levels on a 16-core mix
+ * and verifies the guarantee is honored while efficiency rises as the
+ * SLA loosens.
+ *
+ * Run: ./build/examples/fairness_sla
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/util/table.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    const power::PowerModel power;
+    // 16 tenants: 4 of each class.
+    const std::vector<std::string> names = {
+        "mcf",  "vpr",      "twolf", "art",     // cache-hungry
+        "apsi", "swim",     "gcc",   "bzip2",   // both
+        "hmmer", "sixtrack", "namd",  "povray", // frequency-bound
+        "milc", "lbm",      "gap",   "applu"};  // background/streaming
+    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+    core::AllocationProblem problem;
+    double min_watts = 0.0;
+    for (const auto &nm : names) {
+        models.push_back(std::make_unique<app::AppUtilityModel>(
+            app::findCatalogProfile(nm), power));
+        min_watts += models.back()->minWatts();
+        problem.models.push_back(models.back().get());
+    }
+    problem.capacities = {16.0 * 4.0 - 16.0, 160.0 - min_watts};
+
+    const double opt = market::efficiency(
+        problem.models,
+        core::MaxEfficiencyAllocator().allocate(problem).alloc);
+
+    util::TablePrinter table({"SLA (min EF)", "MBR floor", "efficiency",
+                              "vs-optimal", "measured EF",
+                              "SLA honored"});
+    for (double sla : {0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}) {
+        const auto mechanism =
+            core::ReBudgetAllocator::withFairnessTarget(sla);
+        const auto out = mechanism.allocate(problem);
+        const double eff =
+            market::efficiency(problem.models, out.alloc);
+        const double ef =
+            market::envyFreeness(problem.models, out.alloc);
+        table.addRow(
+            {util::formatDouble(sla, 2),
+             util::formatDouble(mechanism.budgetFloorFraction(), 3),
+             util::formatDouble(eff, 3), util::formatDouble(eff / opt, 3),
+             util::formatDouble(ef, 3), ef >= sla - 1e-9 ? "yes" : "NO"});
+    }
+
+    std::cout << "ReBudget under a fairness SLA (16 tenants, 64 cache "
+                 "regions, 160 W)\n\n";
+    table.print(std::cout);
+    std::cout << "\nLoosening the SLA frees ReBudget to reassign budget "
+                 "more aggressively;\nefficiency approaches the oracle "
+                 "while every SLA row stays honored.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: allocate two resources among four players with the
+ * market, then let ReBudget trade fairness for efficiency.
+ *
+ * This example uses simple closed-form utilities (PowerLawUtility) so it
+ * runs instantly; see online_simulation.cpp for the full
+ * hardware-in-the-loop pipeline with real cache/power models.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/metrics.h"
+
+using namespace rebudget;
+
+int
+main()
+{
+    // Four players over two resources (say, cache regions and watts).
+    // Player utilities are concave; weights express how much each player
+    // cares about each resource, exponents how quickly it saturates.
+    const std::vector<double> capacities = {24.0, 60.0};
+    std::vector<std::unique_ptr<market::PowerLawUtility>> models;
+    auto add_player = [&](double cache_w, double power_w, double e) {
+        models.push_back(std::make_unique<market::PowerLawUtility>(
+            std::vector<double>{cache_w, power_w},
+            std::vector<double>{e, e}, capacities));
+    };
+    add_player(0.9, 0.1, 0.95); // cache-hungry, hard to satiate
+    add_player(0.1, 0.9, 0.95); // power-hungry, hard to satiate
+    add_player(0.5, 0.5, 0.10); // satiates quickly: over-budgeted
+    add_player(0.5, 0.5, 0.10);
+
+    core::AllocationProblem problem;
+    for (const auto &m : models)
+        problem.models.push_back(m.get());
+    problem.capacities = capacities;
+
+    auto report = [&](const core::Allocator &mechanism) {
+        const core::AllocationOutcome out = mechanism.allocate(problem);
+        const double eff =
+            market::efficiency(problem.models, out.alloc);
+        const double ef =
+            market::envyFreeness(problem.models, out.alloc);
+        std::printf("%-14s efficiency=%.3f envy-freeness=%.3f",
+                    out.mechanism.c_str(), eff, ef);
+        if (!out.lambdas.empty()) {
+            const double mur =
+                market::marketUtilityRange(out.lambdas);
+            std::printf(" MUR=%.2f (PoA bound %.2f)", mur,
+                        market::poaLowerBound(mur));
+        }
+        if (!out.budgets.empty()) {
+            const double mbr =
+                market::marketBudgetRange(out.budgets);
+            std::printf(" MBR=%.2f (EF bound %.2f)", mbr,
+                        market::envyFreenessLowerBound(mbr));
+        }
+        std::printf("\n");
+    };
+
+    std::printf("== ReBudget quickstart: 4 players, 2 resources ==\n\n");
+    report(core::EqualShareAllocator());
+    report(core::EqualBudgetAllocator());
+    report(core::ReBudgetAllocator::withStep(20));
+    report(core::ReBudgetAllocator::withStep(40));
+    report(core::MaxEfficiencyAllocator());
+
+    std::printf("\nReBudget's step is the efficiency-vs-fairness knob:\n"
+                "larger steps cut over-budgeted players harder, raising\n"
+                "efficiency toward MaxEfficiency while Theorem 2 bounds\n"
+                "the worst-case envy-freeness via MBR.\n");
+    return 0;
+}

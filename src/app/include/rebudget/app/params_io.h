@@ -1,0 +1,45 @@
+#ifndef REBUDGET_APP_PARAMS_IO_H_
+#define REBUDGET_APP_PARAMS_IO_H_
+
+/**
+ * @file
+ * Textual application definitions.
+ *
+ * Users can describe their own applications in a small INI-style file
+ * and run them through the whole pipeline (profiling, markets,
+ * simulation) without recompiling:
+ *
+ * @code
+ * [myapp]
+ * pattern = zipf              # uniform | zipf | chase | stream
+ * working_set_kb = 1024
+ * zipf_alpha = 0.9
+ * mem_per_instr = 0.12
+ * cold_stream_fraction = 0.15
+ * compute_cpi = 0.5
+ * activity = 0.6
+ * write_fraction = 0.2
+ * phase_accesses = 0          # optional coarse phases
+ * @endcode
+ *
+ * Lines starting with '#' or ';' are comments; unknown keys are fatal
+ * (typos should not silently produce a default app).
+ */
+
+#include <string>
+#include <vector>
+
+#include "rebudget/app/app_params.h"
+
+namespace rebudget::app {
+
+/** Parse application definitions from a file. */
+std::vector<AppParams> loadAppParamsFile(const std::string &path);
+
+/** Parse application definitions from an in-memory string (testing). */
+std::vector<AppParams> parseAppParams(const std::string &text,
+                                      const std::string &origin = "<mem>");
+
+} // namespace rebudget::app
+
+#endif // REBUDGET_APP_PARAMS_IO_H_

@@ -1,0 +1,68 @@
+#ifndef REBUDGET_APP_PERF_MODEL_H_
+#define REBUDGET_APP_PERF_MODEL_H_
+
+/**
+ * @file
+ * Critical-path core timing model (compute phase / memory phase).
+ *
+ * Following the paper's monitoring approach (Section 4.1.1, after
+ * Miftakhutdinov et al.), execution time decomposes into a compute phase
+ * whose length scales inversely with core frequency (pipeline work plus
+ * on-chip cache hits) and a memory phase pinned to DRAM latency,
+ * insensitive to frequency:
+ *
+ *   T(c, f) = (I*cpi + A_l2*l2HitCycles) / f  +  misses(c) * t_mem
+ *
+ * where I is the instruction count, A_l2 the L2 accesses (post-L1),
+ * misses(c) the L2 misses at cache allocation c, and t_mem the DRAM
+ * round trip.  Performance is instructions per second; utility
+ * normalizes it to the run-alone configuration.
+ */
+
+#include <cstdint>
+
+namespace rebudget::app {
+
+/** Timing constants of the analytic core model. */
+struct TimingParams
+{
+    /** Cycles per instruction excluding L2-level stalls. */
+    double computeCpi = 0.5;
+    /** L2 hit latency in core cycles (scales with frequency). */
+    double l2HitCycles = 12.0;
+    /** Effective DRAM round trip in nanoseconds (frequency-invariant). */
+    double memLatencyNs = 70.0;
+};
+
+/** Work counts of one measurement interval. */
+struct WorkCounts
+{
+    /** Instructions executed. */
+    double instructions = 0.0;
+    /** L2 accesses (post-L1 misses). */
+    double l2Accesses = 0.0;
+    /** L2 misses (DRAM round trips). */
+    double l2Misses = 0.0;
+};
+
+/**
+ * @return execution time in seconds for the given work at frequency f.
+ *
+ * @param work    interval work counts
+ * @param f_ghz   core frequency in GHz (> 0)
+ * @param timing  model constants
+ */
+double execTimeSeconds(const WorkCounts &work, double f_ghz,
+                       const TimingParams &timing);
+
+/** @return performance in instructions per second. */
+double instructionsPerSecond(const WorkCounts &work, double f_ghz,
+                             const TimingParams &timing);
+
+/** @return IPC with respect to the core's own clock. */
+double ipc(const WorkCounts &work, double f_ghz,
+           const TimingParams &timing);
+
+} // namespace rebudget::app
+
+#endif // REBUDGET_APP_PERF_MODEL_H_

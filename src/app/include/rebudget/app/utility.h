@@ -1,0 +1,129 @@
+#ifndef REBUDGET_APP_UTILITY_H_
+#define REBUDGET_APP_UTILITY_H_
+
+/**
+ * @file
+ * Application utility over (cache, power) allocations.
+ *
+ * Utility is performance normalized to the run-alone configuration
+ * (Section 4.1.1): U(c, P) = Perf(c, f(P)) / Perf(16 regions, f_max),
+ * hence in [0, 1].  Performance is instructions per second, i.e. IPC
+ * measured against a fixed reference clock, which is what makes Equation
+ * 5 weighted speedup.
+ *
+ * The model samples the paper's 90-point grid ({1..6, 8, 10, 12, 16}
+ * regions x {0.8, 1.2, ..., 4.0} GHz), optionally convexifies the
+ * sampled surface per axis (Talus for cache, concave DVFS power for
+ * frequency), and interpolates bilinearly.  The market trades *extra*
+ * resources above the guaranteed minimum (1 region, min-frequency
+ * power), so the model's allocation inputs are extras; the minimum is
+ * baked in.
+ */
+
+#include <vector>
+
+#include "rebudget/app/profiler.h"
+#include "rebudget/market/utility_model.h"
+#include "rebudget/power/power_model.h"
+
+namespace rebudget::app {
+
+/** Grid and convexification options for utility construction. */
+struct UtilityGridOptions
+{
+    /** Cache sample points in total regions (paper Section 6). */
+    std::vector<double> cacheRegions = {1, 2, 3, 4, 5, 6, 8, 10, 12, 16};
+    /** Frequency sample points in GHz (paper Section 6). */
+    std::vector<double> freqsGhz = {0.8, 1.2, 1.6, 2.0, 2.4,
+                                    2.8, 3.2, 3.6, 4.0};
+    /**
+     * Convexify: use the Talus hull of the miss curve and take the
+     * per-axis concave majorant of the sampled utility surface.  When
+     * false, the raw sampled surface is used (original-XChange ablation).
+     */
+    bool convexify = true;
+    /** Guaranteed free cache per core, in regions. */
+    double minRegions = 1.0;
+};
+
+/**
+ * Concave, continuous, non-decreasing utility of one application over
+ * two market resources: extra cache regions and extra watts.
+ */
+class AppUtilityModel : public market::UtilityModel
+{
+  public:
+    /** Resource indices within allocation vectors. */
+    static constexpr size_t kCache = 0;
+    static constexpr size_t kPower = 1;
+
+    /**
+     * @param profile  the application's measured profile
+     * @param power    the power model (frequency <-> watts mapping)
+     * @param options  grid and convexification options
+     */
+    AppUtilityModel(const AppProfile &profile,
+                    const power::PowerModel &power,
+                    const UtilityGridOptions &options = {});
+
+    size_t numResources() const override { return 2; }
+
+    /** Utility at (extra cache regions, extra watts). */
+    double utility(std::span<const double> alloc) const override;
+
+    /** Analytic per-axis slope of the bilinear interpolant. */
+    double marginal(size_t resource,
+                    std::span<const double> alloc) const override;
+
+    std::string name() const override { return name_; }
+
+    /** Utility at *total* (regions, watts), bypassing the minimums. */
+    double utilityTotal(double regions, double watts) const;
+
+    /** @return guaranteed free cache in regions. */
+    double minRegions() const { return minRegions_; }
+
+    /** @return guaranteed free power in watts (min-frequency power). */
+    double minWatts() const { return minWatts_; }
+
+    /** @return largest useful total cache in regions. */
+    double maxRegions() const { return cacheKnots_.back(); }
+
+    /** @return power at which the core reaches max frequency (watts). */
+    double maxWatts() const { return powerKnots_.back(); }
+
+    /** @return the app's activity factor (needed to map watts->freq). */
+    double activity() const { return activity_; }
+
+    /** @return sampled utility value at grid cell (ci, pi) (testing). */
+    double gridValue(size_t ci, size_t pi) const;
+
+    /** @return cache grid knots (total regions). */
+    const std::vector<double> &cacheKnots() const { return cacheKnots_; }
+
+    /** @return power grid knots (total watts). */
+    const std::vector<double> &powerKnots() const { return powerKnots_; }
+
+  private:
+    double interpolate(double regions, double watts) const;
+
+    std::string name_;
+    double activity_ = 1.0;
+    double minRegions_ = 1.0;
+    double minWatts_ = 0.0;
+    std::vector<double> cacheKnots_; // total regions, increasing
+    std::vector<double> powerKnots_; // total watts, increasing
+    // grid_[ci * powerKnots_.size() + pi]
+    std::vector<double> grid_;
+};
+
+/**
+ * Per-axis concave majorant of sampled values: evaluates the upper
+ * concave hull of (xs, ys) back at each xs.  Exposed for tests.
+ */
+std::vector<double> concavifySamples(const std::vector<double> &xs,
+                                     const std::vector<double> &ys);
+
+} // namespace rebudget::app
+
+#endif // REBUDGET_APP_UTILITY_H_

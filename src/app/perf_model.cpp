@@ -1,0 +1,34 @@
+#include "rebudget/app/perf_model.h"
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::app {
+
+double
+execTimeSeconds(const WorkCounts &work, double f_ghz,
+                const TimingParams &timing)
+{
+    if (f_ghz <= 0.0)
+        util::fatal("frequency must be positive (got %f GHz)", f_ghz);
+    const double compute_cycles = work.instructions * timing.computeCpi +
+                                  work.l2Accesses * timing.l2HitCycles;
+    const double compute_seconds = compute_cycles / (f_ghz * 1e9);
+    const double memory_seconds = work.l2Misses * timing.memLatencyNs * 1e-9;
+    return compute_seconds + memory_seconds;
+}
+
+double
+instructionsPerSecond(const WorkCounts &work, double f_ghz,
+                      const TimingParams &timing)
+{
+    const double t = execTimeSeconds(work, f_ghz, timing);
+    return t > 0.0 ? work.instructions / t : 0.0;
+}
+
+double
+ipc(const WorkCounts &work, double f_ghz, const TimingParams &timing)
+{
+    return instructionsPerSecond(work, f_ghz, timing) / (f_ghz * 1e9);
+}
+
+} // namespace rebudget::app

@@ -1,0 +1,110 @@
+#include "rebudget/app/profiler.h"
+
+#include <algorithm>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::app {
+
+WorkCounts
+AppProfile::workAt(double regions, bool use_hull) const
+{
+    WorkCounts work;
+    work.instructions = 1.0;
+    work.l2Accesses = l2AccessesPerInstr;
+    const double misses_abs = use_hull ? l2Curve.missesAtHull(regions)
+                                       : l2Curve.missesAtRaw(regions);
+    const double misses_per_instr =
+        instructions > 0.0 ? misses_abs / instructions : 0.0;
+    // The miss curve is UMON-sampled; clamp against the measured access
+    // count so sampling noise cannot produce misses > accesses.
+    work.l2Misses = std::clamp(misses_per_instr, 0.0, work.l2Accesses);
+    return work;
+}
+
+double
+AppProfile::perfAt(double regions, double f_ghz, bool use_hull) const
+{
+    return instructionsPerSecond(workAt(regions, use_hull), f_ghz, timing);
+}
+
+double
+AppProfile::perfAlone(double f_max_ghz, bool use_hull) const
+{
+    return perfAt(static_cast<double>(l2Curve.maxRegions()), f_max_ghz,
+                  use_hull);
+}
+
+namespace {
+
+// Shared measurement loop: replay a stream through an L1 into a UMON
+// and fill in the curve and memory-intensity fields of a profile whose
+// params are already set.
+void
+measureStream(trace::AddressGenerator &gen, const ProfilerConfig &config,
+              AppProfile &profile)
+{
+    cache::SetAssocCache l1(config.l1, /*partitions=*/1);
+    cache::UMonitor umon(config.umon);
+
+    // Warm up the L1 and shadow tags so the measured window reflects
+    // steady state.
+    for (uint64_t i = 0; i < config.warmupAccesses; ++i) {
+        const trace::Access a = gen.next();
+        const cache::AccessResult r = l1.access(0, a.addr, a.write);
+        if (!r.hit)
+            umon.observe(a.addr);
+    }
+    l1.resetStats();
+    umon.resetHistogram();
+
+    uint64_t l2_accesses = 0;
+    for (uint64_t i = 0; i < config.measureAccesses; ++i) {
+        const trace::Access a = gen.next();
+        const cache::AccessResult r = l1.access(0, a.addr, a.write);
+        if (!r.hit) {
+            ++l2_accesses;
+            umon.observe(a.addr);
+        }
+    }
+
+    if (profile.params.memPerInstr <= 0.0)
+        util::fatal("app '%s' has non-positive memPerInstr",
+                    profile.params.name.c_str());
+    profile.instructions = static_cast<double>(config.measureAccesses) /
+                           profile.params.memPerInstr;
+    profile.l2AccessesPerInstr =
+        static_cast<double>(l2_accesses) / profile.instructions;
+    profile.l2Curve = umon.missCurve();
+}
+
+} // namespace
+
+AppProfile
+profileApp(const AppParams &params, const ProfilerConfig &config,
+           uint64_t seed)
+{
+    AppProfile profile;
+    profile.params = params;
+    profile.timing.computeCpi = params.computeCpi;
+    auto gen = params.makeGenerator(/*base_addr=*/0, seed);
+    measureStream(*gen, config, profile);
+    return profile;
+}
+
+AppProfile
+profileStream(trace::AddressGenerator &gen, const std::string &name,
+              double mem_per_instr, double compute_cpi, double activity,
+              const ProfilerConfig &config)
+{
+    AppProfile profile;
+    profile.params.name = name;
+    profile.params.memPerInstr = mem_per_instr;
+    profile.params.computeCpi = compute_cpi;
+    profile.params.activity = activity;
+    profile.timing.computeCpi = compute_cpi;
+    measureStream(gen, config, profile);
+    return profile;
+}
+
+} // namespace rebudget::app

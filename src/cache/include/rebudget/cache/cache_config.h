@@ -1,0 +1,39 @@
+#ifndef REBUDGET_CACHE_CACHE_CONFIG_H_
+#define REBUDGET_CACHE_CACHE_CONFIG_H_
+
+/**
+ * @file
+ * Geometry configuration for set-associative caches.
+ */
+
+#include <cstdint>
+
+namespace rebudget::cache {
+
+/** Geometry of a set-associative cache. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    uint64_t sizeBytes = 4 * 1024 * 1024;
+    /** Ways per set. */
+    uint32_t assoc = 16;
+    /** Line size in bytes (power of two). */
+    uint32_t lineBytes = 64;
+
+    /** @return number of sets implied by the geometry. */
+    uint64_t
+    sets() const
+    {
+        return sizeBytes / (static_cast<uint64_t>(assoc) * lineBytes);
+    }
+
+    /** @return total number of lines. */
+    uint64_t lines() const { return sizeBytes / lineBytes; }
+
+    /** Validate the geometry; calls util::fatal() on bad parameters. */
+    void validate() const;
+};
+
+} // namespace rebudget::cache
+
+#endif // REBUDGET_CACHE_CACHE_CONFIG_H_

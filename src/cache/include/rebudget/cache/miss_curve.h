@@ -1,0 +1,74 @@
+#ifndef REBUDGET_CACHE_MISS_CURVE_H_
+#define REBUDGET_CACHE_MISS_CURVE_H_
+
+/**
+ * @file
+ * Miss curves: misses as a function of allocated cache capacity.
+ *
+ * Capacity is expressed in "cache regions" (128 kB in the paper's setup).
+ * A miss curve in general is neither convex nor continuous; Talus
+ * operates on the curve's *lower convex hull*, whose vertices are the
+ * points of interest (PoIs).  Any capacity between two PoIs is realized
+ * by Talus shadow partitioning and achieves the linear interpolation of
+ * the PoI miss counts (see talus.h).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "rebudget/util/piecewise.h"
+
+namespace rebudget::cache {
+
+/** Misses vs. integer region allocation, with convex-hull utilities. */
+class MissCurve
+{
+  public:
+    MissCurve() = default;
+
+    /**
+     * @param misses  misses at region counts 0, 1, ..., N (index equals
+     *                regions; misses[0] is the compulsory+full miss count
+     *                with no cache).  Must be non-empty.
+     */
+    explicit MissCurve(std::vector<double> misses);
+
+    /** @return the largest region count in the curve. */
+    size_t maxRegions() const { return misses_.size() - 1; }
+
+    /** @return raw misses at an integer region allocation. */
+    double missesAt(size_t regions) const;
+
+    /** @return raw misses, linearly interpolated between integer points. */
+    double missesAtRaw(double regions) const;
+
+    /**
+     * @return region counts of the lower-convex-hull vertices (Talus
+     * points of interest), in increasing order; always includes 0 and
+     * maxRegions().
+     */
+    const std::vector<size_t> &pointsOfInterest() const { return pois_; }
+
+    /**
+     * @return misses at a (possibly fractional) region allocation when
+     * the allocation is realized via Talus shadow partitioning: the
+     * linear interpolation between the bracketing PoIs.  This is convex
+     * and non-increasing in the allocation.
+     */
+    double missesAtHull(double regions) const;
+
+    /** @return the hull as a piecewise-linear curve over regions. */
+    const util::PiecewiseLinear &hull() const { return hull_; }
+
+    /** @return true if the curve has data. */
+    bool valid() const { return !misses_.empty(); }
+
+  private:
+    std::vector<double> misses_;
+    std::vector<size_t> pois_;
+    util::PiecewiseLinear hull_;
+};
+
+} // namespace rebudget::cache
+
+#endif // REBUDGET_CACHE_MISS_CURVE_H_

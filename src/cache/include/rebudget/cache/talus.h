@@ -1,0 +1,66 @@
+#ifndef REBUDGET_CACHE_TALUS_H_
+#define REBUDGET_CACHE_TALUS_H_
+
+/**
+ * @file
+ * Talus cache convexification [Beckmann & Sanchez, HPCA'15].
+ *
+ * Given an application's miss curve, Talus guarantees that any target
+ * capacity t achieves the miss count of the curve's lower convex hull at
+ * t.  It does so by splitting the application's partition into two
+ * "shadow" partitions sized rho*s1 and (1-rho)*s2, where s1 <= t <= s2
+ * are the bracketing hull vertices (points of interest) and
+ * rho = (s2 - t)/(s2 - s1); a fraction rho of the access stream (chosen
+ * by a stable hash of the line address) is routed to the first shadow
+ * partition.  Each shadow partition then behaves like a proportionally
+ * scaled-down cache of size s1 (resp.\ s2) observing the full stream, so
+ * total misses interpolate linearly between m(s1) and m(s2).
+ *
+ * This is what makes cache capacity a *concave, continuous* resource for
+ * the market (paper Section 4.1.1).
+ */
+
+#include <cstdint>
+
+#include "rebudget/cache/miss_curve.h"
+
+namespace rebudget::cache {
+
+/** Shadow-partition configuration for one target capacity. */
+struct TalusSplit
+{
+    /** Shadow partition A size in regions (rho * s1). */
+    double sizeARegions = 0.0;
+    /** Shadow partition B size in regions ((1-rho) * s2). */
+    double sizeBRegions = 0.0;
+    /** Fraction of the access stream routed to shadow partition A. */
+    double fracA = 0.0;
+    /** Bracketing points of interest (regions). */
+    double poiLow = 0.0;
+    double poiHigh = 0.0;
+    /** Expected misses at the target (hull interpolation). */
+    double expectedMisses = 0.0;
+};
+
+/**
+ * Compute the Talus shadow-partition split realizing a target capacity.
+ *
+ * @param curve          the application's miss curve
+ * @param target_regions desired capacity in (possibly fractional) regions;
+ *                       clamped to [0, curve.maxRegions()]
+ * @return the shadow partition sizes and stream split
+ */
+TalusSplit computeTalusSplit(const MissCurve &curve, double target_regions);
+
+/**
+ * Stable stream-splitting predicate: route the line containing addr to
+ * shadow partition A with probability fracA, deterministically per line.
+ *
+ * @param line_addr  line-granular address (byte address / line size)
+ * @param frac_a     stream fraction for shadow partition A
+ */
+bool talusRouteToA(uint64_t line_addr, double frac_a);
+
+} // namespace rebudget::cache
+
+#endif // REBUDGET_CACHE_TALUS_H_

@@ -1,0 +1,58 @@
+#include "rebudget/cache/miss_curve.h"
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::cache {
+
+MissCurve::MissCurve(std::vector<double> misses) : misses_(std::move(misses))
+{
+    if (misses_.empty())
+        util::fatal("MissCurve requires at least one point");
+    // The lower convex hull of (regions, misses) equals the upper concave
+    // hull of (regions, -misses).
+    std::vector<double> xs(misses_.size());
+    std::vector<double> neg(misses_.size());
+    for (size_t i = 0; i < misses_.size(); ++i) {
+        xs[i] = static_cast<double>(i);
+        neg[i] = -misses_[i];
+    }
+    pois_ = util::upperConcaveHullIndices(xs, neg);
+    std::vector<util::Knot> knots;
+    knots.reserve(pois_.size());
+    for (size_t idx : pois_)
+        knots.push_back(
+            util::Knot{static_cast<double>(idx), misses_[idx]});
+    hull_ = util::PiecewiseLinear(std::move(knots));
+}
+
+double
+MissCurve::missesAt(size_t regions) const
+{
+    REBUDGET_ASSERT(valid(), "missesAt on empty curve");
+    if (regions >= misses_.size())
+        regions = misses_.size() - 1;
+    return misses_[regions];
+}
+
+double
+MissCurve::missesAtRaw(double regions) const
+{
+    REBUDGET_ASSERT(valid(), "missesAtRaw on empty curve");
+    if (regions <= 0.0)
+        return misses_.front();
+    const double max_r = static_cast<double>(misses_.size() - 1);
+    if (regions >= max_r)
+        return misses_.back();
+    const size_t lo = static_cast<size_t>(regions);
+    const double frac = regions - static_cast<double>(lo);
+    return misses_[lo] * (1.0 - frac) + misses_[lo + 1] * frac;
+}
+
+double
+MissCurve::missesAtHull(double regions) const
+{
+    REBUDGET_ASSERT(valid(), "missesAtHull on empty curve");
+    return hull_.eval(regions);
+}
+
+} // namespace rebudget::cache

@@ -1,0 +1,74 @@
+#include "rebudget/cache/talus.h"
+
+#include <algorithm>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::cache {
+
+TalusSplit
+computeTalusSplit(const MissCurve &curve, double target_regions)
+{
+    REBUDGET_ASSERT(curve.valid(), "Talus split on empty curve");
+    const auto &pois = curve.pointsOfInterest();
+    const double max_r = static_cast<double>(curve.maxRegions());
+    const double t = std::clamp(target_regions, 0.0, max_r);
+
+    TalusSplit split;
+    split.expectedMisses = curve.missesAtHull(t);
+
+    // Find bracketing PoIs s1 <= t <= s2.
+    size_t hi_idx = 0;
+    while (hi_idx < pois.size() &&
+           static_cast<double>(pois[hi_idx]) < t)
+        ++hi_idx;
+    if (hi_idx == 0) {
+        // t at or below the first PoI (which is always 0).
+        split.poiLow = split.poiHigh = static_cast<double>(pois[0]);
+        split.sizeARegions = 0.0;
+        split.sizeBRegions = t;
+        split.fracA = 0.0;
+        return split;
+    }
+    if (hi_idx >= pois.size()) {
+        // t beyond the last PoI: single partition of the full size.
+        split.poiLow = split.poiHigh = static_cast<double>(pois.back());
+        split.sizeARegions = 0.0;
+        split.sizeBRegions = t;
+        split.fracA = 0.0;
+        return split;
+    }
+    const double s2 = static_cast<double>(pois[hi_idx]);
+    const double s1 = static_cast<double>(pois[hi_idx - 1]);
+    split.poiLow = s1;
+    split.poiHigh = s2;
+    if (t >= s2) { // exactly at a PoI
+        split.sizeARegions = 0.0;
+        split.sizeBRegions = s2;
+        split.fracA = 0.0;
+        return split;
+    }
+    const double rho = (s2 - t) / (s2 - s1);
+    split.fracA = rho;
+    split.sizeARegions = rho * s1;
+    split.sizeBRegions = (1.0 - rho) * s2;
+    return split;
+}
+
+bool
+talusRouteToA(uint64_t line_addr, double frac_a)
+{
+    if (frac_a <= 0.0)
+        return false;
+    if (frac_a >= 1.0)
+        return true;
+    // splitmix64 finalizer as a stable hash of the line address.
+    uint64_t z = line_addr + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return u < frac_a;
+}
+
+} // namespace rebudget::cache

@@ -1,0 +1,110 @@
+#include "rebudget/cache/umon.h"
+
+#include <algorithm>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::cache {
+
+UMonitor::UMonitor(const UMonConfig &config) : config_(config)
+{
+    if (config_.maxRegions == 0)
+        util::fatal("UMonitor requires maxRegions > 0");
+    if (config_.lineBytes == 0 ||
+        (config_.lineBytes & (config_.lineBytes - 1)) != 0)
+        util::fatal("UMonitor line size must be a power of two");
+    if (config_.regionBytes % config_.lineBytes != 0)
+        util::fatal("UMonitor region size must be a line multiple");
+    if (config_.samplingRatio == 0)
+        util::fatal("UMonitor sampling ratio must be positive");
+    // A full shadow cache of maxRegions capacity and maxRegions ways has
+    // one set per line of a region.
+    shadowSets_ = config_.regionBytes / config_.lineBytes;
+    sampledSets_ = (shadowSets_ + config_.samplingRatio - 1) /
+                   config_.samplingRatio;
+    stacks_.assign(sampledSets_, {});
+    hits_.assign(config_.maxRegions, 0);
+}
+
+void
+UMonitor::observe(uint64_t addr)
+{
+    const uint64_t line = addr / config_.lineBytes;
+    const uint64_t set = line % shadowSets_;
+    if (set % config_.samplingRatio != 0)
+        return; // not a sampled set
+    const uint64_t sampled_idx = set / config_.samplingRatio;
+    const uint64_t tag = line / shadowSets_;
+    auto &stack = stacks_[sampled_idx];
+    const auto it = std::find(stack.begin(), stack.end(), tag);
+    if (it != stack.end()) {
+        const auto d = static_cast<uint32_t>(it - stack.begin());
+        ++hits_[d];
+        stack.erase(it);
+        stack.insert(stack.begin(), tag);
+    } else {
+        ++missesBeyond_;
+        stack.insert(stack.begin(), tag);
+        if (stack.size() > config_.maxRegions)
+            stack.pop_back();
+    }
+}
+
+MissCurve
+UMonitor::missCurve() const
+{
+    uint64_t total = missesBeyond_;
+    for (uint64_t h : hits_)
+        total += h;
+    const double scale = static_cast<double>(config_.samplingRatio);
+    std::vector<double> misses(config_.maxRegions + 1);
+    uint64_t hits_below = 0;
+    misses[0] = static_cast<double>(total) * scale;
+    for (uint32_t r = 1; r <= config_.maxRegions; ++r) {
+        hits_below += hits_[r - 1];
+        misses[r] = static_cast<double>(total - hits_below) * scale;
+    }
+    return MissCurve(std::move(misses));
+}
+
+double
+UMonitor::totalAccessesScaled() const
+{
+    uint64_t total = missesBeyond_;
+    for (uint64_t h : hits_)
+        total += h;
+    return static_cast<double>(total) *
+           static_cast<double>(config_.samplingRatio);
+}
+
+uint64_t
+UMonitor::hitsAtDistance(uint32_t d) const
+{
+    REBUDGET_ASSERT(d < config_.maxRegions, "stack distance out of range");
+    return hits_[d];
+}
+
+void
+UMonitor::reset()
+{
+    for (auto &s : stacks_)
+        s.clear();
+    resetHistogram();
+}
+
+void
+UMonitor::resetHistogram()
+{
+    std::fill(hits_.begin(), hits_.end(), 0);
+    missesBeyond_ = 0;
+}
+
+uint64_t
+UMonitor::storageOverheadBytes() const
+{
+    // Each shadow entry stores a partial tag (~4 bytes is representative
+    // of the paper's 3.6 kB/core figure at ratio 32).
+    return sampledSets_ * config_.maxRegions * 4;
+}
+
+} // namespace rebudget::cache

@@ -1,0 +1,28 @@
+#include "rebudget/core/allocator.h"
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+
+void
+validateProblem(const AllocationProblem &problem)
+{
+    if (problem.models.empty())
+        util::fatal("allocation problem has no players");
+    if (problem.capacities.empty())
+        util::fatal("allocation problem has no resources");
+    for (const auto *m : problem.models) {
+        if (m == nullptr)
+            util::fatal("allocation problem has a null utility model");
+        if (m->numResources() != problem.capacities.size()) {
+            util::fatal("utility arity %zu != resource count %zu",
+                        m->numResources(), problem.capacities.size());
+        }
+    }
+    for (double c : problem.capacities) {
+        if (c <= 0.0)
+            util::fatal("capacities must be positive");
+    }
+}
+
+} // namespace rebudget::core

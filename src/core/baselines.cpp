@@ -1,0 +1,96 @@
+#include "rebudget/core/baselines.h"
+
+#include <algorithm>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+
+AllocationOutcome
+EqualShareAllocator::allocate(const AllocationProblem &problem) const
+{
+    validateProblem(problem);
+    const size_t n = problem.models.size();
+    const size_t m = problem.capacities.size();
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    outcome.alloc.assign(n, std::vector<double>(m, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j)
+            outcome.alloc[i][j] =
+                problem.capacities[j] / static_cast<double>(n);
+    }
+    return outcome;
+}
+
+EqualBudgetAllocator::EqualBudgetAllocator(double initial_budget)
+    : initialBudget_(initial_budget)
+{
+    if (initial_budget <= 0.0)
+        util::fatal("initial budget must be positive");
+}
+
+AllocationOutcome
+EqualBudgetAllocator::allocate(const AllocationProblem &problem) const
+{
+    validateProblem(problem);
+    market::ProportionalMarket mkt(problem.models, problem.capacities,
+                                   problem.marketConfig);
+    const std::vector<double> budgets(problem.models.size(),
+                                      initialBudget_);
+    market::EquilibriumResult eq = mkt.findEquilibrium(budgets);
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    outcome.alloc = std::move(eq.alloc);
+    outcome.budgets = budgets;
+    outcome.lambdas = std::move(eq.lambdas);
+    outcome.marketIterations = eq.iterations;
+    outcome.converged = eq.converged;
+    return outcome;
+}
+
+BalancedBudgetAllocator::BalancedBudgetAllocator(double mean_budget)
+    : meanBudget_(mean_budget)
+{
+    if (mean_budget <= 0.0)
+        util::fatal("mean budget must be positive");
+}
+
+AllocationOutcome
+BalancedBudgetAllocator::allocate(const AllocationProblem &problem) const
+{
+    validateProblem(problem);
+    const size_t n = problem.models.size();
+    const size_t m = problem.capacities.size();
+    // Budget_i proportional to (U_max - U_min) / U_max: the utility at
+    // the largest possible allocation (all market capacity) vs. the
+    // guaranteed minimum (zero market allocation).
+    const std::vector<double> none(m, 0.0);
+    std::vector<double> budgets(n, 0.0);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double u_min = problem.models[i]->utility(none);
+        const double u_max = problem.models[i]->utility(problem.capacities);
+        const double potential =
+            u_max > 0.0 ? (u_max - u_min) / u_max : 0.0;
+        budgets[i] = std::max(potential, 1e-3); // keep players in market
+        sum += budgets[i];
+    }
+    const double scale = meanBudget_ * static_cast<double>(n) / sum;
+    for (auto &b : budgets)
+        b *= scale;
+
+    market::ProportionalMarket mkt(problem.models, problem.capacities,
+                                   problem.marketConfig);
+    market::EquilibriumResult eq = mkt.findEquilibrium(budgets);
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    outcome.alloc = std::move(eq.alloc);
+    outcome.budgets = std::move(budgets);
+    outcome.lambdas = std::move(eq.lambdas);
+    outcome.marketIterations = eq.iterations;
+    outcome.converged = eq.converged;
+    return outcome;
+}
+
+} // namespace rebudget::core

@@ -1,0 +1,194 @@
+#include "rebudget/core/ep_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+
+namespace {
+
+// Solve the linear system A x = b by Gaussian elimination with partial
+// pivoting; A is n x n row-major.  Returns false if singular.
+bool
+solveLinear(std::vector<double> a, std::vector<double> b,
+            std::vector<double> &x)
+{
+    const size_t n = b.size();
+    for (size_t col = 0; col < n; ++col) {
+        // Pivot.
+        size_t pivot = col;
+        for (size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row * n + col]) >
+                std::abs(a[pivot * n + col]))
+                pivot = row;
+        }
+        if (std::abs(a[pivot * n + col]) < 1e-12)
+            return false;
+        if (pivot != col) {
+            for (size_t k = 0; k < n; ++k)
+                std::swap(a[col * n + k], a[pivot * n + k]);
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (size_t row = col + 1; row < n; ++row) {
+            const double f = a[row * n + col] / a[col * n + col];
+            for (size_t k = col; k < n; ++k)
+                a[row * n + k] -= f * a[col * n + k];
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    x.assign(n, 0.0);
+    for (size_t row = n; row-- > 0;) {
+        double acc = b[row];
+        for (size_t k = row + 1; k < n; ++k)
+            acc -= a[row * n + k] * x[k];
+        x[row] = acc / a[row * n + row];
+    }
+    return true;
+}
+
+} // namespace
+
+CobbDouglasFit
+fitCobbDouglas(const market::UtilityModel &model,
+               const std::vector<double> &capacities, int grid_points)
+{
+    const size_t m = model.numResources();
+    if (capacities.size() != m)
+        util::fatal("fitCobbDouglas: capacity arity mismatch");
+    if (grid_points < 3)
+        util::fatal("fitCobbDouglas needs at least 3 grid points");
+
+    // Geometric per-axis grid from 5% to 100% of capacity.
+    std::vector<std::vector<double>> axis(m);
+    for (size_t j = 0; j < m; ++j) {
+        const double lo = 0.05 * capacities[j];
+        const double hi = capacities[j];
+        const double ratio =
+            std::pow(hi / lo, 1.0 / (grid_points - 1));
+        double v = lo;
+        for (int k = 0; k < grid_points; ++k) {
+            axis[j].push_back(v);
+            v *= ratio;
+        }
+    }
+
+    // Enumerate the full grid and collect log-space samples:
+    // log U = b0 + sum_j a_j log r_j.
+    const size_t vars = m + 1; // intercept + elasticities
+    std::vector<double> ata(vars * vars, 0.0);
+    std::vector<double> atb(vars, 0.0);
+    std::vector<double> logu_all;
+    std::vector<std::vector<double>> rows;
+    std::vector<size_t> idx(m, 0);
+    const size_t total = static_cast<size_t>(
+        std::pow(static_cast<double>(grid_points),
+                 static_cast<double>(m)));
+    std::vector<double> alloc(m);
+    for (size_t cell = 0; cell < total; ++cell) {
+        size_t rem = cell;
+        for (size_t j = 0; j < m; ++j) {
+            idx[j] = rem % grid_points;
+            rem /= grid_points;
+        }
+        for (size_t j = 0; j < m; ++j)
+            alloc[j] = axis[j][idx[j]];
+        const double u = model.utility(alloc);
+        if (u <= 1e-9)
+            continue; // log undefined; Cobb-Douglas cannot be zero
+        std::vector<double> row(vars);
+        row[0] = 1.0;
+        for (size_t j = 0; j < m; ++j)
+            row[j + 1] = std::log(alloc[j]);
+        const double y = std::log(u);
+        for (size_t r = 0; r < vars; ++r) {
+            for (size_t c = 0; c < vars; ++c)
+                ata[r * vars + c] += row[r] * row[c];
+            atb[r] += row[r] * y;
+        }
+        rows.push_back(std::move(row));
+        logu_all.push_back(y);
+    }
+
+    CobbDouglasFit fit;
+    fit.elasticities.assign(m, 1.0 / static_cast<double>(m));
+    if (rows.size() < vars)
+        return fit; // degenerate utility: fall back to uniform
+
+    std::vector<double> coeff;
+    if (!solveLinear(ata, atb, coeff))
+        return fit;
+
+    // R^2 in log space.
+    double mean_y = 0.0;
+    for (double y : logu_all)
+        mean_y += y;
+    mean_y /= static_cast<double>(logu_all.size());
+    double ss_tot = 0.0;
+    double ss_res = 0.0;
+    for (size_t s = 0; s < rows.size(); ++s) {
+        double pred = 0.0;
+        for (size_t v = 0; v < vars; ++v)
+            pred += coeff[v] * rows[s][v];
+        ss_res += (logu_all[s] - pred) * (logu_all[s] - pred);
+        ss_tot += (logu_all[s] - mean_y) * (logu_all[s] - mean_y);
+    }
+    fit.r2 = ss_tot > 0.0 ? std::max(0.0, 1.0 - ss_res / ss_tot) : 1.0;
+
+    // Elasticities: clamp to >= 0 and normalize to sum 1 (REF's
+    // convention; constant returns to scale).
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+        fit.elasticities[j] = std::max(0.0, coeff[j + 1]);
+        sum += fit.elasticities[j];
+    }
+    if (sum <= 0.0) {
+        fit.elasticities.assign(m, 1.0 / static_cast<double>(m));
+    } else {
+        for (auto &a : fit.elasticities)
+            a /= sum;
+    }
+    return fit;
+}
+
+EpAllocator::EpAllocator(int grid_points) : gridPoints_(grid_points)
+{
+    if (grid_points < 3)
+        util::fatal("EpAllocator needs at least 3 grid points");
+}
+
+AllocationOutcome
+EpAllocator::allocate(const AllocationProblem &problem) const
+{
+    validateProblem(problem);
+    const size_t n = problem.models.size();
+    const size_t m = problem.capacities.size();
+
+    std::vector<CobbDouglasFit> fits;
+    fits.reserve(n);
+    for (const auto *model : problem.models)
+        fits.push_back(
+            fitCobbDouglas(*model, problem.capacities, gridPoints_));
+
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    outcome.alloc.assign(n, std::vector<double>(m, 0.0));
+    for (size_t j = 0; j < m; ++j) {
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            total += fits[i].elasticities[j];
+        for (size_t i = 0; i < n; ++i) {
+            const double share =
+                total > 0.0 ? fits[i].elasticities[j] / total
+                            : 1.0 / static_cast<double>(n);
+            outcome.alloc[i][j] = problem.capacities[j] * share;
+        }
+    }
+    return outcome;
+}
+
+} // namespace rebudget::core

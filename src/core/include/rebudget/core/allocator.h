@@ -1,0 +1,72 @@
+#ifndef REBUDGET_CORE_ALLOCATOR_H_
+#define REBUDGET_CORE_ALLOCATOR_H_
+
+/**
+ * @file
+ * Common interface for multicore resource-allocation mechanisms.
+ *
+ * An allocation problem consists of one utility model per player and the
+ * market capacities (resources *beyond* the guaranteed per-core
+ * minimums; see app::AppUtilityModel).  Mechanisms return the allocation
+ * plus, for market-based mechanisms, the final budgets, lambdas and
+ * convergence accounting used by the evaluation (Sections 6.1-6.4).
+ */
+
+#include <string>
+#include <vector>
+
+#include "rebudget/market/market.h"
+#include "rebudget/market/utility_model.h"
+
+namespace rebudget::core {
+
+/** Inputs of one allocation decision. */
+struct AllocationProblem
+{
+    /** One utility model per player (non-owning). */
+    std::vector<const market::UtilityModel *> models;
+    /** Market capacities per resource. */
+    std::vector<double> capacities;
+    /** Market engine tuning (used by market-based mechanisms). */
+    market::MarketConfig marketConfig;
+};
+
+/** Outputs of one allocation decision. */
+struct AllocationOutcome
+{
+    /** Mechanism that produced the outcome. */
+    std::string mechanism;
+    /** Allocation [player][resource]. */
+    std::vector<std::vector<double>> alloc;
+    /** Final budgets per player (market mechanisms only). */
+    std::vector<double> budgets;
+    /** Final lambda_i per player (market mechanisms only). */
+    std::vector<double> lambdas;
+    /** Total bidding-pricing rounds across all equilibrium solves. */
+    int marketIterations = 0;
+    /** ReBudget outer budget-reassignment rounds. */
+    int budgetRounds = 0;
+    /** False if any equilibrium solve hit the fail-safe. */
+    bool converged = true;
+};
+
+/** Abstract allocation mechanism. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /** @return the mechanism's display name. */
+    virtual std::string name() const = 0;
+
+    /** Solve one allocation problem. */
+    virtual AllocationOutcome allocate(
+        const AllocationProblem &problem) const = 0;
+};
+
+/** Validate problem arity; calls util::fatal() on inconsistency. */
+void validateProblem(const AllocationProblem &problem);
+
+} // namespace rebudget::core
+
+#endif // REBUDGET_CORE_ALLOCATOR_H_

@@ -1,0 +1,60 @@
+#ifndef REBUDGET_CORE_BASELINES_H_
+#define REBUDGET_CORE_BASELINES_H_
+
+/**
+ * @file
+ * Baseline allocation mechanisms evaluated by the paper (Section 6):
+ *
+ * - EqualShare: resources partitioned equally among cores (no market).
+ * - EqualBudget: XChange market with the same budget for every player.
+ * - Balanced: XChange's wealth-redistribution heuristic -- each player's
+ *   budget is proportional to the utility difference between its maximum
+ *   and minimum possible allocations, normalized to the former.
+ */
+
+#include "rebudget/core/allocator.h"
+
+namespace rebudget::core {
+
+/** Equal static partitioning of every resource. */
+class EqualShareAllocator : public Allocator
+{
+  public:
+    std::string name() const override { return "EqualShare"; }
+    AllocationOutcome allocate(
+        const AllocationProblem &problem) const override;
+};
+
+/** Market equilibrium with equal budgets (XChange EqualBudget). */
+class EqualBudgetAllocator : public Allocator
+{
+  public:
+    /** @param initial_budget  budget given to every player. */
+    explicit EqualBudgetAllocator(double initial_budget = 100.0);
+
+    std::string name() const override { return "EqualBudget"; }
+    AllocationOutcome allocate(
+        const AllocationProblem &problem) const override;
+
+  private:
+    double initialBudget_;
+};
+
+/** Market equilibrium with XChange's Balanced budget heuristic. */
+class BalancedBudgetAllocator : public Allocator
+{
+  public:
+    /** @param mean_budget  budgets are scaled to this mean. */
+    explicit BalancedBudgetAllocator(double mean_budget = 100.0);
+
+    std::string name() const override { return "Balanced"; }
+    AllocationOutcome allocate(
+        const AllocationProblem &problem) const override;
+
+  private:
+    double meanBudget_;
+};
+
+} // namespace rebudget::core
+
+#endif // REBUDGET_CORE_BASELINES_H_

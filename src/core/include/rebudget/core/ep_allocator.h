@@ -1,0 +1,64 @@
+#ifndef REBUDGET_CORE_EP_ALLOCATOR_H_
+#define REBUDGET_CORE_EP_ALLOCATOR_H_
+
+/**
+ * @file
+ * Elasticities-Proportional (EP) allocation [Zahedi & Lee, ASPLOS'14].
+ *
+ * The REF mechanism the paper discusses in Section 1: each player's
+ * utility is curve-fitted to a Cobb-Douglas function
+ *   u_i(r) = prod_j r_ij^{a_ij}   with  sum_j a_ij = 1,
+ * whose exponents ("elasticities") measure how strongly the player's
+ * performance responds to each resource.  Resources are then divided
+ * proportionally to elasticities: player i receives
+ *   r_ij = C_j * a_ij / sum_k a_kj.
+ * Under exact Cobb-Douglas utilities this is Pareto-efficient and
+ * envy-free; the paper's criticism (which this implementation lets you
+ * measure, see bench/ext_ep_comparison) is that real cache/power
+ * utilities -- with plateaus, cliffs and satiation -- fit Cobb-Douglas
+ * poorly, and EP's guarantees silently degrade.
+ */
+
+#include "rebudget/core/allocator.h"
+
+namespace rebudget::core {
+
+/** Cobb-Douglas fit of one player's utility surface. */
+struct CobbDouglasFit
+{
+    /** Normalized elasticities per resource (non-negative, sum to 1). */
+    std::vector<double> elasticities;
+    /** R^2 of the log-log regression (1 = exact Cobb-Douglas). */
+    double r2 = 0.0;
+};
+
+/**
+ * Fit Cobb-Douglas elasticities to a utility model by least squares in
+ * log space over a geometric grid of allocations.
+ *
+ * @param model        the utility to fit
+ * @param capacities   per-resource upper bounds of the sample grid
+ * @param grid_points  samples per axis (>= 3)
+ */
+CobbDouglasFit fitCobbDouglas(const market::UtilityModel &model,
+                              const std::vector<double> &capacities,
+                              int grid_points = 8);
+
+/** The REF elasticities-proportional mechanism. */
+class EpAllocator : public Allocator
+{
+  public:
+    /** @param grid_points  samples per axis for the curve fit. */
+    explicit EpAllocator(int grid_points = 8);
+
+    std::string name() const override { return "EP"; }
+    AllocationOutcome allocate(
+        const AllocationProblem &problem) const override;
+
+  private:
+    int gridPoints_;
+};
+
+} // namespace rebudget::core
+
+#endif // REBUDGET_CORE_EP_ALLOCATOR_H_

@@ -1,0 +1,68 @@
+#ifndef REBUDGET_CORE_GROUPS_H_
+#define REBUDGET_CORE_GROUPS_H_
+
+/**
+ * @file
+ * Application-granularity allocation problems.
+ *
+ * Wraps a per-core allocation problem into one with one player per
+ * thread group (see market::SharedGroupUtility), and expands a group
+ * allocation back to per-core allocations (even split among members).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rebudget/core/allocator.h"
+#include "rebudget/market/group_utility.h"
+
+namespace rebudget::core {
+
+/** A thread group: the cores one multithreaded application occupies. */
+struct ThreadGroup
+{
+    /** Application/tenant name. */
+    std::string name;
+    /** Member core indices into the per-core problem. */
+    std::vector<uint32_t> cores;
+};
+
+/** A grouped view over a per-core allocation problem. */
+struct GroupedProblem
+{
+    /** One player per group (owned group utilities). */
+    std::vector<std::unique_ptr<market::SharedGroupUtility>> models;
+    /** The grouped allocation problem (one entry per group). */
+    AllocationProblem problem;
+    /** The groups, in player order. */
+    std::vector<ThreadGroup> groups;
+
+    /**
+     * Expand a per-group allocation to the per-core allocation: each
+     * member core receives an even share of its group's bundle.
+     *
+     * @param group_alloc  allocation per group ([group][resource])
+     * @param total_cores  size of the per-core problem
+     */
+    std::vector<std::vector<double>> expand(
+        const std::vector<std::vector<double>> &group_alloc,
+        size_t total_cores) const;
+};
+
+/**
+ * Build a grouped problem from a per-core problem.
+ *
+ * Every core must belong to exactly one group, and all members of a
+ * group are assumed to run the same application (the group utility is
+ * derived from the first member's model).
+ *
+ * @param per_core  the original problem (one model per core)
+ * @param groups    a partition of the cores
+ */
+GroupedProblem makeGroupedProblem(const AllocationProblem &per_core,
+                                  std::vector<ThreadGroup> groups);
+
+} // namespace rebudget::core
+
+#endif // REBUDGET_CORE_GROUPS_H_

@@ -1,0 +1,43 @@
+#ifndef REBUDGET_CORE_MAX_EFFICIENCY_H_
+#define REBUDGET_CORE_MAX_EFFICIENCY_H_
+
+/**
+ * @file
+ * MaxEfficiency oracle: the (infeasible-at-runtime) allocation that
+ * maximizes system efficiency, obtained by very fine-grained hill
+ * climbing on the true utilities (paper Section 6).  Because the
+ * utilities are concave per resource, a greedy marginal-utility fill
+ * followed by exchange refinement converges to the optimum up to the
+ * quantum granularity.
+ */
+
+#include "rebudget/core/allocator.h"
+
+namespace rebudget::core {
+
+/** Tuning for the oracle's hill climbing. */
+struct MaxEfficiencyConfig
+{
+    /** Allocation quantum as a fraction of each capacity. */
+    double quantumFraction = 1.0 / 512.0;
+    /** Maximum exchange-refinement sweeps after the greedy fill. */
+    int refinePasses = 64;
+};
+
+/** Efficiency-maximizing oracle allocator. */
+class MaxEfficiencyAllocator : public Allocator
+{
+  public:
+    explicit MaxEfficiencyAllocator(const MaxEfficiencyConfig &config = {});
+
+    std::string name() const override { return "MaxEfficiency"; }
+    AllocationOutcome allocate(
+        const AllocationProblem &problem) const override;
+
+  private:
+    MaxEfficiencyConfig config_;
+};
+
+} // namespace rebudget::core
+
+#endif // REBUDGET_CORE_MAX_EFFICIENCY_H_

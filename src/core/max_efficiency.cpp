@@ -1,0 +1,100 @@
+#include "rebudget/core/max_efficiency.h"
+
+#include <algorithm>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+
+MaxEfficiencyAllocator::MaxEfficiencyAllocator(
+    const MaxEfficiencyConfig &config)
+    : config_(config)
+{
+    if (config_.quantumFraction <= 0.0 || config_.quantumFraction > 1.0)
+        util::fatal("quantumFraction must be in (0, 1]");
+}
+
+AllocationOutcome
+MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
+{
+    validateProblem(problem);
+    const size_t n = problem.models.size();
+    const size_t m = problem.capacities.size();
+
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    outcome.alloc.assign(n, std::vector<double>(m, 0.0));
+    auto &alloc = outcome.alloc;
+
+    std::vector<double> quantum(m);
+    std::vector<double> remaining = problem.capacities;
+    for (size_t j = 0; j < m; ++j)
+        quantum[j] = problem.capacities[j] * config_.quantumFraction;
+
+    auto best_marginal_player = [&](size_t j) {
+        size_t best = 0;
+        double best_m = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double mg = problem.models[i]->marginal(j, alloc[i]);
+            if (mg > best_m) {
+                best_m = mg;
+                best = i;
+            }
+        }
+        return best;
+    };
+
+    // Greedy fill: hand out quanta of each resource, interleaved, to the
+    // player with the largest marginal utility at its current bundle.
+    bool any = true;
+    while (any) {
+        any = false;
+        for (size_t j = 0; j < m; ++j) {
+            if (remaining[j] <= 1e-12 * problem.capacities[j])
+                continue;
+            const double q = std::min(quantum[j], remaining[j]);
+            const size_t i = best_marginal_player(j);
+            alloc[i][j] += q;
+            remaining[j] -= q;
+            any = true;
+        }
+    }
+
+    // Exchange refinement: try moving one quantum between every ordered
+    // player pair; accept any exchange that improves total utility.
+    // Marginals are only local slopes, so the acceptance test evaluates
+    // the actual utilities across the whole quantum.  When no pair
+    // exchange improves, the allocation is optimal up to the quantum
+    // granularity (utilities are concave per resource).
+    for (int pass = 0; pass < config_.refinePasses; ++pass) {
+        bool improved = false;
+        for (size_t j = 0; j < m; ++j) {
+            const double q = quantum[j];
+            for (size_t donor = 0; donor < n; ++donor) {
+                for (size_t rcpt = 0; rcpt < n; ++rcpt) {
+                    if (rcpt == donor || alloc[donor][j] < q)
+                        continue;
+                    const double before =
+                        problem.models[donor]->utility(alloc[donor]) +
+                        problem.models[rcpt]->utility(alloc[rcpt]);
+                    alloc[donor][j] -= q;
+                    alloc[rcpt][j] += q;
+                    const double after =
+                        problem.models[donor]->utility(alloc[donor]) +
+                        problem.models[rcpt]->utility(alloc[rcpt]);
+                    if (after > before + 1e-12) {
+                        improved = true;
+                    } else {
+                        alloc[donor][j] += q; // revert
+                        alloc[rcpt][j] -= q;
+                    }
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return outcome;
+}
+
+} // namespace rebudget::core

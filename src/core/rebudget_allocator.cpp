@@ -1,0 +1,142 @@
+#include "rebudget/core/rebudget_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+
+ReBudgetAllocator::ReBudgetAllocator(const ReBudgetConfig &config)
+    : config_(config)
+{
+    if (config_.initialBudget <= 0.0)
+        util::fatal("ReBudget initial budget must be positive");
+    if (config_.lambdaCutThreshold <= 0.0 ||
+        config_.lambdaCutThreshold >= 1.0)
+        util::fatal("lambdaCutThreshold must be in (0, 1)");
+    if (config_.maxRounds <= 0)
+        util::fatal("maxRounds must be positive");
+    if (config_.efTarget >= 0.0) {
+        // ByFairnessTarget: derive the MBR floor from Theorem 2 and the
+        // initial step from Section 4.2 step (1).
+        floorFraction_ =
+            market::mbrForEnvyFreenessTarget(config_.efTarget);
+        step0_ = (1.0 - floorFraction_) * config_.initialBudget / 2.0;
+    } else {
+        if (config_.step0 <= 0.0 ||
+            config_.step0 >= config_.initialBudget / 2.0) {
+            util::fatal("ReBudget step0 must be in (0, B/2) = (0, %f)",
+                        config_.initialBudget / 2.0);
+        }
+        if (config_.mbrFloor < 0.0 || config_.mbrFloor > 1.0)
+            util::fatal("mbrFloor must be in [0, 1]");
+        step0_ = config_.step0;
+        floorFraction_ = config_.mbrFloor;
+    }
+}
+
+ReBudgetAllocator
+ReBudgetAllocator::withStep(double step0, double initial_budget)
+{
+    ReBudgetConfig cfg;
+    cfg.initialBudget = initial_budget;
+    cfg.step0 = step0;
+    return ReBudgetAllocator(cfg);
+}
+
+ReBudgetAllocator
+ReBudgetAllocator::withFairnessTarget(double ef_target,
+                                      double initial_budget)
+{
+    ReBudgetConfig cfg;
+    cfg.initialBudget = initial_budget;
+    cfg.efTarget = ef_target;
+    return ReBudgetAllocator(cfg);
+}
+
+std::string
+ReBudgetAllocator::name() const
+{
+    std::ostringstream ss;
+    if (config_.efTarget >= 0.0)
+        ss << "ReBudget-EF" << config_.efTarget;
+    else
+        ss << "ReBudget-" << std::llround(step0_);
+    return ss.str();
+}
+
+double
+ReBudgetAllocator::worstCaseMbr() const
+{
+    // A player cut in every round loses at most step0 * (1 + 1/2 + 1/4 +
+    // ...) < 2 * step0 before the 1% stopping rule, and never drops below
+    // the explicit floor.
+    double cuts = 0.0;
+    double step = step0_;
+    const double min_step =
+        config_.minStepFraction * config_.initialBudget;
+    for (int r = 0; r < config_.maxRounds && step >= min_step; ++r) {
+        cuts += step;
+        step *= 0.5;
+    }
+    const double min_budget = std::max(config_.initialBudget - cuts,
+                                       floorFraction_ *
+                                           config_.initialBudget);
+    return min_budget / config_.initialBudget;
+}
+
+AllocationOutcome
+ReBudgetAllocator::allocate(const AllocationProblem &problem) const
+{
+    validateProblem(problem);
+    const size_t n = problem.models.size();
+    market::ProportionalMarket mkt(problem.models, problem.capacities,
+                                   problem.marketConfig);
+
+    const double floor = floorFraction_ * config_.initialBudget;
+    std::vector<double> budgets(n, config_.initialBudget);
+    double step = step0_;
+    const double min_step =
+        config_.minStepFraction * config_.initialBudget;
+
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    market::EquilibriumResult eq;
+    for (int round = 0; round < config_.maxRounds; ++round) {
+        eq = mkt.findEquilibrium(budgets);
+        outcome.marketIterations += eq.iterations;
+        outcome.converged = outcome.converged && eq.converged;
+        ++outcome.budgetRounds;
+        if (step < min_step)
+            break; // step exhausted: this equilibrium is final
+        // Cut over-budgeted players: lambda below the threshold fraction
+        // of the market maximum.
+        const double max_lambda =
+            *std::max_element(eq.lambdas.begin(), eq.lambdas.end());
+        bool any_cut = false;
+        for (size_t i = 0; i < n; ++i) {
+            if (eq.lambdas[i] <
+                config_.lambdaCutThreshold * max_lambda) {
+                const double cut_to =
+                    std::max(budgets[i] - step, floor);
+                if (cut_to < budgets[i] - 1e-12) {
+                    budgets[i] = cut_to;
+                    any_cut = true;
+                }
+            }
+        }
+        if (!any_cut)
+            break; // stable: this equilibrium is final
+        step *= 0.5;
+    }
+
+    outcome.alloc = std::move(eq.alloc);
+    outcome.budgets = std::move(budgets);
+    outcome.lambdas = std::move(eq.lambdas);
+    return outcome;
+}
+
+} // namespace rebudget::core

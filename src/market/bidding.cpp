@@ -1,0 +1,127 @@
+#include "rebudget/market/bidding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::market {
+
+namespace {
+
+// Tiny competing-bid floor: avoids an infinite marginal when a resource
+// currently has no bids at all (the first epsilon of money would buy the
+// whole capacity).
+constexpr double kMinCompetingBid = 1e-9;
+
+std::vector<double>
+predictAll(const std::vector<double> &bids, const std::vector<double> &others,
+           const std::vector<double> &capacities)
+{
+    std::vector<double> alloc(bids.size());
+    for (size_t j = 0; j < bids.size(); ++j)
+        alloc[j] = predictedAllocation(bids[j], others[j], capacities[j]);
+    return alloc;
+}
+
+} // namespace
+
+double
+predictedAllocation(double bid, double others_bids, double capacity)
+{
+    if (bid <= 0.0)
+        return 0.0;
+    if (others_bids <= 0.0)
+        return capacity;
+    return bid / (bid + others_bids) * capacity;
+}
+
+double
+bidMarginal(const UtilityModel &model, size_t resource,
+            const std::vector<double> &bids,
+            const std::vector<double> &others,
+            const std::vector<double> &capacities)
+{
+    REBUDGET_ASSERT(resource < bids.size(), "resource out of range");
+    const std::vector<double> alloc = predictAll(bids, others, capacities);
+    const double du_dr = model.marginal(resource, alloc);
+    const double y = std::max(others[resource], kMinCompetingBid);
+    const double b = std::max(bids[resource], 0.0);
+    const double denom = (b + y) * (b + y);
+    const double dr_db = capacities[resource] * y / denom;
+    return du_dr * dr_db;
+}
+
+BidResult
+optimizeBids(const UtilityModel &model, double budget,
+             const std::vector<double> &others,
+             const std::vector<double> &capacities,
+             const BidOptimizerConfig &config)
+{
+    const size_t m = model.numResources();
+    if (others.size() != m || capacities.size() != m)
+        util::fatal("optimizeBids: arity mismatch");
+    if (budget < 0.0)
+        util::fatal("optimizeBids: negative budget");
+
+    BidResult result;
+    result.bids.assign(m, budget / static_cast<double>(m));
+    result.lambdas.assign(m, 0.0);
+
+    auto compute_lambdas = [&]() {
+        for (size_t j = 0; j < m; ++j) {
+            result.lambdas[j] =
+                bidMarginal(model, j, result.bids, others, capacities);
+        }
+    };
+
+    if (budget <= 0.0 || m == 1) {
+        compute_lambdas();
+        result.lambda =
+            *std::max_element(result.lambdas.begin(), result.lambdas.end());
+        return result;
+    }
+
+    // Shift amount S starts at half of the (equal) per-resource bid and
+    // halves every step (paper Section 4.1.2).
+    double shift = budget / static_cast<double>(m) / 2.0;
+    const double min_shift = config.minShiftFraction * budget;
+
+    for (int step = 0; step < config.maxSteps; ++step) {
+        compute_lambdas();
+        // Highest-lambda resource receives money; lowest-lambda resource
+        // with a non-zero bid provides it.
+        size_t jmax = 0;
+        for (size_t j = 1; j < m; ++j) {
+            if (result.lambdas[j] > result.lambdas[jmax])
+                jmax = j;
+        }
+        size_t jmin = m;
+        for (size_t j = 0; j < m; ++j) {
+            if (result.bids[j] > 0.0 &&
+                (jmin == m || result.lambdas[j] < result.lambdas[jmin])) {
+                jmin = j;
+            }
+        }
+        if (jmin == m || jmin == jmax)
+            break;
+        const double lmax = result.lambdas[jmax];
+        const double lmin = result.lambdas[jmin];
+        if (lmax <= 0.0 || (lmax - lmin) <= config.lambdaTol * lmax)
+            break; // condition (a): lambdas agree within tolerance
+        const double amount = std::min(shift, result.bids[jmin]);
+        result.bids[jmin] -= amount;
+        result.bids[jmax] += amount;
+        ++result.steps;
+        shift *= 0.5;
+        if (shift < min_shift)
+            break; // condition (b): shift below 1% of budget
+    }
+
+    compute_lambdas();
+    result.lambda =
+        *std::max_element(result.lambdas.begin(), result.lambdas.end());
+    return result;
+}
+
+} // namespace rebudget::market

@@ -1,0 +1,50 @@
+#include "rebudget/market/group_utility.h"
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::market {
+
+SharedGroupUtility::SharedGroupUtility(const UtilityModel &member,
+                                       size_t threads)
+    : member_(member), threads_(threads)
+{
+    if (threads == 0)
+        util::fatal("SharedGroupUtility requires at least one thread");
+}
+
+size_t
+SharedGroupUtility::numResources() const
+{
+    return member_.numResources();
+}
+
+std::vector<double>
+SharedGroupUtility::split(std::span<const double> alloc) const
+{
+    std::vector<double> share(alloc.begin(), alloc.end());
+    for (auto &s : share)
+        s /= static_cast<double>(threads_);
+    return share;
+}
+
+double
+SharedGroupUtility::utility(std::span<const double> alloc) const
+{
+    return member_.utility(split(alloc));
+}
+
+double
+SharedGroupUtility::marginal(size_t resource,
+                             std::span<const double> alloc) const
+{
+    return member_.marginal(resource, split(alloc)) /
+           static_cast<double>(threads_);
+}
+
+std::string
+SharedGroupUtility::name() const
+{
+    return member_.name() + "x" + std::to_string(threads_);
+}
+
+} // namespace rebudget::market

@@ -1,0 +1,80 @@
+#ifndef REBUDGET_MARKET_BIDDING_H_
+#define REBUDGET_MARKET_BIDDING_H_
+
+/**
+ * @file
+ * Player-local bid optimization (paper Section 4.1.2).
+ *
+ * Given the other players' bids y_j on each resource, a player predicts
+ * the allocation it would receive for candidate bids b_j via the
+ * proportional rule r_j = b_j / (b_j + y_j) * C_j (Equation 2) and hill
+ * climbs toward the bids that maximize its utility: starting from an
+ * equal split with shift amount S = bid/2, it repeatedly moves S units of
+ * budget from the resource with the lowest marginal-utility-per-dollar
+ * (lambda_j) to the one with the highest, halving S each step, until all
+ * lambdas agree within 5% or S drops below 1% of the budget.
+ */
+
+#include <vector>
+
+#include "rebudget/market/utility_model.h"
+
+namespace rebudget::market {
+
+/** Tuning knobs for the bid hill climber (paper defaults). */
+struct BidOptimizerConfig
+{
+    /** Relative lambda agreement threshold for termination. */
+    double lambdaTol = 0.05;
+    /** Terminate when the shift drops below this fraction of budget. */
+    double minShiftFraction = 0.01;
+    /** Hard safety cap on hill-climbing steps. */
+    int maxSteps = 64;
+};
+
+/** Result of one player bid optimization. */
+struct BidResult
+{
+    /** Optimized bids, one per resource; sums to the budget. */
+    std::vector<double> bids;
+    /** Marginal utility of money per resource at the final bids. */
+    std::vector<double> lambdas;
+    /** The player's lambda_i: max over per-resource lambdas. */
+    double lambda = 0.0;
+    /** Hill-climbing steps taken. */
+    int steps = 0;
+};
+
+/**
+ * Predict the allocation for a bid against fixed competing bids
+ * (Equation 2): r = b / (b + y) * C, with the conventions r = C when the
+ * player is the sole bidder (y = 0, b > 0) and r = 0 when b = 0.
+ */
+double predictedAllocation(double bid, double others_bids, double capacity);
+
+/**
+ * @return lambda_j = dU/db_j at the given bids via the chain rule
+ * dU/dr_j * dr_j/db_j with dr_j/db_j = C_j * y_j / (b_j + y_j)^2.
+ */
+double bidMarginal(const UtilityModel &model, size_t resource,
+                   const std::vector<double> &bids,
+                   const std::vector<double> &others,
+                   const std::vector<double> &capacities);
+
+/**
+ * Optimize a player's bids for a fixed view of the competition.
+ *
+ * @param model       the player's utility
+ * @param budget      the player's budget B_i (>= 0)
+ * @param others      y_j: summed competing bids per resource
+ * @param capacities  C_j per resource
+ * @param config      hill-climber tuning
+ */
+BidResult optimizeBids(const UtilityModel &model, double budget,
+                       const std::vector<double> &others,
+                       const std::vector<double> &capacities,
+                       const BidOptimizerConfig &config = {});
+
+} // namespace rebudget::market
+
+#endif // REBUDGET_MARKET_BIDDING_H_

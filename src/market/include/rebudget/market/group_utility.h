@@ -1,0 +1,64 @@
+#ifndef REBUDGET_MARKET_GROUP_UTILITY_H_
+#define REBUDGET_MARKET_GROUP_UTILITY_H_
+
+/**
+ * @file
+ * Thread-group (application-granularity) utility.
+ *
+ * The paper's Section 5 discusses two granularities for multithreaded
+ * workloads: per-thread players, or one player per application whose
+ * threads share the purchased resources.  SharedGroupUtility implements
+ * the latter: a group of k identical threads appears in the market as
+ * one player; a group allocation a is divided evenly among the threads
+ * (each runs with a/k), and the group's utility is the per-thread
+ * utility at that share -- the application's normalized speedup, since
+ * data-parallel threads progress together.
+ *
+ * The practical consequence (bench/ext_thread_groups): at thread
+ * granularity an application multiplies its market power by spawning
+ * threads (k budgets); at application granularity every application has
+ * one budget regardless of thread count, which is the fair multi-tenant
+ * semantics.
+ */
+
+#include "rebudget/market/utility_model.h"
+
+namespace rebudget::market {
+
+/** One market player standing for k identical threads. */
+class SharedGroupUtility : public UtilityModel
+{
+  public:
+    /**
+     * @param member   per-thread utility (non-owning; must outlive this)
+     * @param threads  group size k (>= 1)
+     */
+    SharedGroupUtility(const UtilityModel &member, size_t threads);
+
+    size_t numResources() const override;
+
+    /** Group utility: per-thread utility at the even split alloc/k. */
+    double utility(std::span<const double> alloc) const override;
+
+    /** Chain rule: (1/k) * member marginal at the split. */
+    double marginal(size_t resource,
+                    std::span<const double> alloc) const override;
+
+    std::string name() const override;
+
+    /** @return the group size k. */
+    size_t threads() const { return threads_; }
+
+    /** @return the member (per-thread) utility. */
+    const UtilityModel &member() const { return member_; }
+
+  private:
+    std::vector<double> split(std::span<const double> alloc) const;
+
+    const UtilityModel &member_;
+    size_t threads_;
+};
+
+} // namespace rebudget::market
+
+#endif // REBUDGET_MARKET_GROUP_UTILITY_H_

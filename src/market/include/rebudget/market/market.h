@@ -1,0 +1,131 @@
+#ifndef REBUDGET_MARKET_MARKET_H_
+#define REBUDGET_MARKET_MARKET_H_
+
+/**
+ * @file
+ * Proportional-share market and equilibrium finding (paper Section 2).
+ *
+ * The market collects bids b_ij from all players, prices each resource
+ * p_j = sum_i b_ij / C_j (Equation 1) and allocates proportionally:
+ * r_ij = b_ij / p_j.  Equilibrium is found with the iterative
+ * bidding-pricing procedure of Section 2.1: broadcast prices, let each
+ * player re-optimize its bids (see bidding.h), repeat until prices
+ * fluctuate by less than 1%, with a 30-iteration fail-safe (Section 6.4).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "rebudget/market/bidding.h"
+#include "rebudget/market/utility_model.h"
+
+namespace rebudget::market {
+
+/** Market tuning (paper defaults). */
+struct MarketConfig
+{
+    /** Relative price-fluctuation threshold for convergence. */
+    double priceTol = 0.01;
+    /** Fail-safe iteration cap (paper Section 6.4 uses 30). */
+    int maxIterations = 30;
+    /** Player bid-optimizer tuning. */
+    BidOptimizerConfig bid;
+};
+
+/** Outcome of an equilibrium computation. */
+struct EquilibriumResult
+{
+    /** Final bids, [player][resource]. */
+    std::vector<std::vector<double>> bids;
+    /** Final allocation, [player][resource]; columns sum to capacity. */
+    std::vector<std::vector<double>> alloc;
+    /** Final prices per resource. */
+    std::vector<double> prices;
+    /** Final lambda_i (marginal utility of money) per player. */
+    std::vector<double> lambdas;
+    /** Budgets the equilibrium was computed with. */
+    std::vector<double> budgets;
+    /** Bidding-pricing rounds executed. */
+    int iterations = 0;
+    /** False if the 30-iteration fail-safe triggered. */
+    bool converged = false;
+    /**
+     * Price snapshot after every bidding-pricing round (size equals
+     * iterations; the last entry equals prices).  Used by the
+     * convergence analysis and for plotting price trajectories.
+     */
+    std::vector<std::vector<double>> priceHistory;
+};
+
+/** Proportional-share market over a fixed set of players and resources. */
+class ProportionalMarket
+{
+  public:
+    /**
+     * @param models      one utility model per player (non-owning; must
+     *                    outlive the market); all must have the same
+     *                    number of resources
+     * @param capacities  C_j per resource (> 0)
+     * @param config      market tuning
+     */
+    ProportionalMarket(std::vector<const UtilityModel *> models,
+                       std::vector<double> capacities,
+                       const MarketConfig &config = {});
+
+    /**
+     * Run the iterative bidding-pricing procedure to (approximate)
+     * equilibrium under the given budgets.
+     *
+     * @param budgets  B_i per player (>= 0)
+     */
+    EquilibriumResult findEquilibrium(
+        const std::vector<double> &budgets) const;
+
+    /** @return the number of players N. */
+    size_t numPlayers() const { return models_.size(); }
+
+    /** @return the number of resources M. */
+    size_t numResources() const { return capacities_.size(); }
+
+    /** @return resource capacities. */
+    const std::vector<double> &capacities() const { return capacities_; }
+
+    /** @return the players' utility models. */
+    const std::vector<const UtilityModel *> &models() const
+    {
+        return models_;
+    }
+
+    /** @return the market tuning. */
+    const MarketConfig &config() const { return config_; }
+
+  private:
+    std::vector<const UtilityModel *> models_;
+    std::vector<double> capacities_;
+    MarketConfig config_;
+};
+
+/**
+ * @return prices p_j = sum_i b_ij / C_j for a bid matrix (Equation 1).
+ */
+std::vector<double> computePrices(
+    const std::vector<std::vector<double>> &bids,
+    const std::vector<double> &capacities);
+
+/**
+ * @return the proportional allocation r_ij = b_ij / p_j; resources with
+ * zero price (no bids) are left unallocated.
+ */
+std::vector<std::vector<double>> proportionalAllocation(
+    const std::vector<std::vector<double>> &bids,
+    const std::vector<double> &capacities);
+
+/**
+ * @return true if every resource has at least two players with positive
+ * bids (Zhang's strong competitiveness condition, Lemma 1).
+ */
+bool stronglyCompetitive(const std::vector<std::vector<double>> &bids);
+
+} // namespace rebudget::market
+
+#endif // REBUDGET_MARKET_MARKET_H_

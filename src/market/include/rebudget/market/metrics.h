@@ -1,0 +1,74 @@
+#ifndef REBUDGET_MARKET_METRICS_H_
+#define REBUDGET_MARKET_METRICS_H_
+
+/**
+ * @file
+ * Efficiency and fairness metrics and the paper's theoretical bounds.
+ *
+ * - Efficiency (Definition 1): sum of player utilities; in the CMP
+ *   instantiation this is weighted speedup (Equation 5).
+ * - Envy-freeness (Definition 3): min_i U_i(r_i) / max_j U_i(r_j).
+ * - Market Utility Range, MUR (Definition 5): min_i lambda_i /
+ *   max_i lambda_i.
+ * - Market Budget Range, MBR (Definition 6): min_i B_i / max_i B_i.
+ * - Theorem 1: PoA >= 1 - 1/(4 MUR) when MUR >= 1/2, else PoA >= MUR.
+ * - Theorem 2: equilibrium is (2 sqrt(1 + MBR) - 2)-approximate
+ *   envy-free.
+ */
+
+#include <vector>
+
+#include "rebudget/market/utility_model.h"
+
+namespace rebudget::market {
+
+/** @return per-player utilities at the given allocation. */
+std::vector<double> perPlayerUtilities(
+    const std::vector<const UtilityModel *> &models,
+    const std::vector<std::vector<double>> &alloc);
+
+/** @return efficiency = sum of utilities (Definition 1 / Equation 5). */
+double efficiency(const std::vector<const UtilityModel *> &models,
+                  const std::vector<std::vector<double>> &alloc);
+
+/**
+ * @return envy-freeness of an allocation (Definition 3): for each player
+ * i compute U_i(r_i) / max_j U_i(r_j) (the max includes j = i, so each
+ * term is <= 1) and return the minimum over players.  Players whose
+ * utility is zero everywhere contribute 1 (nothing to envy).
+ */
+double envyFreeness(const std::vector<const UtilityModel *> &models,
+                    const std::vector<std::vector<double>> &alloc);
+
+/**
+ * @return MUR = min_i lambda_i / max_i lambda_i (Definition 5); 1 when
+ * all lambdas are zero (fully satiated market).
+ */
+double marketUtilityRange(const std::vector<double> &lambdas);
+
+/** @return MBR = min_i B_i / max_i B_i (Definition 6). */
+double marketBudgetRange(const std::vector<double> &budgets);
+
+/**
+ * @return the Theorem 1 Price-of-Anarchy lower bound at the given MUR:
+ * 1 - 1/(4 MUR) for MUR >= 1/2, MUR otherwise.
+ */
+double poaLowerBound(double mur);
+
+/**
+ * @return the Theorem 2 envy-freeness lower bound at the given MBR:
+ * 2 sqrt(1 + MBR) - 2.
+ */
+double envyFreenessLowerBound(double mbr);
+
+/**
+ * @return the smallest MBR whose Theorem 2 bound meets an envy-freeness
+ * target c (inverse of envyFreenessLowerBound): ((c + 2)/2)^2 - 1,
+ * clamped into [0, 1].  Used by administrators to translate a fairness
+ * requirement into a budget floor (Section 4.2).
+ */
+double mbrForEnvyFreenessTarget(double target_ef);
+
+} // namespace rebudget::market
+
+#endif // REBUDGET_MARKET_METRICS_H_

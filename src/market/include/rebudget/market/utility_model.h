@@ -1,0 +1,89 @@
+#ifndef REBUDGET_MARKET_UTILITY_MODEL_H_
+#define REBUDGET_MARKET_UTILITY_MODEL_H_
+
+/**
+ * @file
+ * Player utility interface (paper Section 2).
+ *
+ * A utility model maps an allocation vector r = (r_1, ..., r_M) over the
+ * market's M resources to a scalar utility.  The theory requires
+ * utilities to be concave, non-decreasing, and continuous; in the CMP
+ * instantiation utilities are IPC normalized to the run-alone IPC
+ * (Section 4.1.1), hence in [0, 1], and cache utilities are convexified
+ * via Talus to meet the concavity requirement.
+ */
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rebudget::market {
+
+/** Abstract concave utility over an M-resource allocation. */
+class UtilityModel
+{
+  public:
+    virtual ~UtilityModel() = default;
+
+    /** @return the number of resources M this utility is defined over. */
+    virtual size_t numResources() const = 0;
+
+    /**
+     * @return utility at the given allocation (one entry per resource,
+     * in resource units).
+     */
+    virtual double utility(std::span<const double> alloc) const = 0;
+
+    /**
+     * @return the marginal utility dU/dr_j at the given allocation
+     * (right-hand derivative).  The default implementation uses a
+     * forward finite difference; concrete models may override with an
+     * analytic slope.
+     *
+     * @param resource  index j of the resource
+     * @param alloc     allocation at which to evaluate
+     */
+    virtual double marginal(size_t resource,
+                            std::span<const double> alloc) const;
+
+    /** @return a human-readable name for diagnostics. */
+    virtual std::string name() const { return "utility"; }
+
+  protected:
+    /** Step used by the finite-difference default marginal. */
+    static constexpr double kFiniteDiffStep = 1e-4;
+};
+
+/**
+ * Simple concrete model for tests and examples: a weighted sum of
+ * per-resource concave power curves,
+ *   U(r) = sum_j w_j * (r_j / c_j)^e_j  with 0 < e_j <= 1,
+ * normalized so that U(c) = 1 at full capacity c.
+ */
+class PowerLawUtility : public UtilityModel
+{
+  public:
+    /**
+     * @param weights    per-resource weights (sum normalized internally)
+     * @param exponents  per-resource exponents in (0, 1]
+     * @param capacities per-resource normalization constants (> 0)
+     */
+    PowerLawUtility(std::vector<double> weights,
+                    std::vector<double> exponents,
+                    std::vector<double> capacities);
+
+    size_t numResources() const override { return weights_.size(); }
+    double utility(std::span<const double> alloc) const override;
+    double marginal(size_t resource,
+                    std::span<const double> alloc) const override;
+    std::string name() const override { return "power-law"; }
+
+  private:
+    std::vector<double> weights_;
+    std::vector<double> exponents_;
+    std::vector<double> capacities_;
+};
+
+} // namespace rebudget::market
+
+#endif // REBUDGET_MARKET_UTILITY_MODEL_H_

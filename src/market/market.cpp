@@ -1,0 +1,166 @@
+#include "rebudget/market/market.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::market {
+
+ProportionalMarket::ProportionalMarket(
+    std::vector<const UtilityModel *> models, std::vector<double> capacities,
+    const MarketConfig &config)
+    : models_(std::move(models)), capacities_(std::move(capacities)),
+      config_(config)
+{
+    if (models_.empty())
+        util::fatal("market requires at least one player");
+    if (capacities_.empty())
+        util::fatal("market requires at least one resource");
+    for (const auto *m : models_) {
+        if (m == nullptr)
+            util::fatal("market has a null utility model");
+        if (m->numResources() != capacities_.size()) {
+            util::fatal("utility model arity %zu != resource count %zu",
+                        m->numResources(), capacities_.size());
+        }
+    }
+    for (double c : capacities_) {
+        if (c <= 0.0)
+            util::fatal("resource capacities must be positive");
+    }
+    if (config_.maxIterations <= 0)
+        util::fatal("market maxIterations must be positive");
+}
+
+EquilibriumResult
+ProportionalMarket::findEquilibrium(const std::vector<double> &budgets) const
+{
+    const size_t n = models_.size();
+    const size_t m = capacities_.size();
+    if (budgets.size() != n)
+        util::fatal("expected %zu budgets, got %zu", n, budgets.size());
+    for (double b : budgets) {
+        if (b < 0.0)
+            util::fatal("budgets must be non-negative");
+    }
+
+    EquilibriumResult result;
+    result.budgets = budgets;
+    result.lambdas.assign(n, 0.0);
+    // Initial bids: every player splits its budget equally (step 1 of the
+    // bidding strategy).
+    result.bids.assign(n, std::vector<double>(m, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j)
+            result.bids[i][j] = budgets[i] / static_cast<double>(m);
+    }
+
+    std::vector<double> col_sums(m, 0.0);
+    for (size_t j = 0; j < m; ++j) {
+        for (size_t i = 0; i < n; ++i)
+            col_sums[j] += result.bids[i][j];
+    }
+    std::vector<double> prices = computePrices(result.bids, capacities_);
+
+    std::vector<double> others(m);
+    for (int iter = 0; iter < config_.maxIterations; ++iter) {
+        ++result.iterations;
+        // Each player re-optimizes against the latest bids (players see
+        // prices, from which they infer y_ij = p_j*C_j - b_ij; updating
+        // column sums in place is equivalent and matches the distributed
+        // semantics).
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < m; ++j)
+                others[j] = std::max(0.0, col_sums[j] - result.bids[i][j]);
+            BidResult br = optimizeBids(*models_[i], budgets[i], others,
+                                        capacities_, config_.bid);
+            for (size_t j = 0; j < m; ++j) {
+                col_sums[j] += br.bids[j] - result.bids[i][j];
+                result.bids[i][j] = br.bids[j];
+            }
+            result.lambdas[i] = br.lambda;
+        }
+        const std::vector<double> new_prices =
+            computePrices(result.bids, capacities_);
+        result.priceHistory.push_back(new_prices);
+        bool stable = true;
+        for (size_t j = 0; j < m; ++j) {
+            const double old_p = prices[j];
+            const double new_p = new_prices[j];
+            const double denom = std::max(old_p, 1e-12);
+            if (std::abs(new_p - old_p) / denom > config_.priceTol) {
+                stable = false;
+                break;
+            }
+        }
+        prices = new_prices;
+        if (stable) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.prices = prices;
+    result.alloc = proportionalAllocation(result.bids, capacities_);
+    if (!result.converged) {
+        util::warn("market fail-safe: no equilibrium within %d iterations",
+                   config_.maxIterations);
+    }
+    return result;
+}
+
+std::vector<double>
+computePrices(const std::vector<std::vector<double>> &bids,
+              const std::vector<double> &capacities)
+{
+    if (bids.empty())
+        util::fatal("computePrices: no players");
+    const size_t m = capacities.size();
+    std::vector<double> prices(m, 0.0);
+    for (const auto &row : bids) {
+        if (row.size() != m)
+            util::fatal("computePrices: bid arity mismatch");
+        for (size_t j = 0; j < m; ++j)
+            prices[j] += row[j];
+    }
+    for (size_t j = 0; j < m; ++j)
+        prices[j] /= capacities[j];
+    return prices;
+}
+
+std::vector<std::vector<double>>
+proportionalAllocation(const std::vector<std::vector<double>> &bids,
+                       const std::vector<double> &capacities)
+{
+    const std::vector<double> prices = computePrices(bids, capacities);
+    std::vector<std::vector<double>> alloc(
+        bids.size(), std::vector<double>(capacities.size(), 0.0));
+    for (size_t i = 0; i < bids.size(); ++i) {
+        for (size_t j = 0; j < capacities.size(); ++j) {
+            if (prices[j] > 0.0)
+                alloc[i][j] = bids[i][j] / prices[j];
+        }
+    }
+    return alloc;
+}
+
+bool
+stronglyCompetitive(const std::vector<std::vector<double>> &bids)
+{
+    if (bids.empty())
+        return false;
+    const size_t m = bids.front().size();
+    for (size_t j = 0; j < m; ++j) {
+        int bidders = 0;
+        for (const auto &row : bids) {
+            if (row[j] > 0.0)
+                ++bidders;
+        }
+        if (bidders < 2)
+            return false;
+    }
+    return true;
+}
+
+} // namespace rebudget::market

@@ -1,0 +1,111 @@
+#include "rebudget/market/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::market {
+
+std::vector<double>
+perPlayerUtilities(const std::vector<const UtilityModel *> &models,
+                   const std::vector<std::vector<double>> &alloc)
+{
+    if (models.size() != alloc.size())
+        util::fatal("perPlayerUtilities: players/allocations mismatch");
+    std::vector<double> utils(models.size());
+    for (size_t i = 0; i < models.size(); ++i)
+        utils[i] = models[i]->utility(alloc[i]);
+    return utils;
+}
+
+double
+efficiency(const std::vector<const UtilityModel *> &models,
+           const std::vector<std::vector<double>> &alloc)
+{
+    double sum = 0.0;
+    for (double u : perPlayerUtilities(models, alloc))
+        sum += u;
+    return sum;
+}
+
+double
+envyFreeness(const std::vector<const UtilityModel *> &models,
+             const std::vector<std::vector<double>> &alloc)
+{
+    if (models.size() != alloc.size())
+        util::fatal("envyFreeness: players/allocations mismatch");
+    double ef = 1.0;
+    for (size_t i = 0; i < models.size(); ++i) {
+        const double own = models[i]->utility(alloc[i]);
+        double best_other = own;
+        for (size_t j = 0; j < alloc.size(); ++j) {
+            if (j == i)
+                continue;
+            best_other = std::max(best_other,
+                                  models[i]->utility(alloc[j]));
+        }
+        if (best_other <= 0.0)
+            continue; // utility zero everywhere: nothing to envy
+        ef = std::min(ef, own / best_other);
+    }
+    return ef;
+}
+
+double
+marketUtilityRange(const std::vector<double> &lambdas)
+{
+    if (lambdas.empty())
+        util::fatal("marketUtilityRange of empty lambda set");
+    const auto [mn, mx] =
+        std::minmax_element(lambdas.begin(), lambdas.end());
+    if (*mn < 0.0)
+        util::fatal("negative lambda %f", *mn);
+    if (*mx <= 0.0)
+        return 1.0; // fully satiated market: no reassignment potential
+    return *mn / *mx;
+}
+
+double
+marketBudgetRange(const std::vector<double> &budgets)
+{
+    if (budgets.empty())
+        util::fatal("marketBudgetRange of empty budget set");
+    const auto [mn, mx] =
+        std::minmax_element(budgets.begin(), budgets.end());
+    if (*mn < 0.0)
+        util::fatal("negative budget %f", *mn);
+    if (*mx <= 0.0)
+        return 1.0;
+    return *mn / *mx;
+}
+
+double
+poaLowerBound(double mur)
+{
+    if (mur < 0.0 || mur > 1.0)
+        util::fatal("MUR must be in [0,1], got %f", mur);
+    if (mur >= 0.5)
+        return 1.0 - 1.0 / (4.0 * mur);
+    return mur;
+}
+
+double
+envyFreenessLowerBound(double mbr)
+{
+    if (mbr < 0.0 || mbr > 1.0)
+        util::fatal("MBR must be in [0,1], got %f", mbr);
+    return 2.0 * std::sqrt(1.0 + mbr) - 2.0;
+}
+
+double
+mbrForEnvyFreenessTarget(double target_ef)
+{
+    if (target_ef < 0.0)
+        return 0.0;
+    const double half = (target_ef + 2.0) / 2.0;
+    const double mbr = half * half - 1.0;
+    return std::clamp(mbr, 0.0, 1.0);
+}
+
+} // namespace rebudget::market

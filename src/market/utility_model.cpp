@@ -1,0 +1,70 @@
+#include "rebudget/market/utility_model.h"
+
+#include <cmath>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::market {
+
+double
+UtilityModel::marginal(size_t resource, std::span<const double> alloc) const
+{
+    REBUDGET_ASSERT(resource < numResources(), "resource out of range");
+    std::vector<double> bumped(alloc.begin(), alloc.end());
+    bumped[resource] += kFiniteDiffStep;
+    return (utility(bumped) - utility(alloc)) / kFiniteDiffStep;
+}
+
+PowerLawUtility::PowerLawUtility(std::vector<double> weights,
+                                 std::vector<double> exponents,
+                                 std::vector<double> capacities)
+    : weights_(std::move(weights)), exponents_(std::move(exponents)),
+      capacities_(std::move(capacities))
+{
+    if (weights_.empty() || weights_.size() != exponents_.size() ||
+        weights_.size() != capacities_.size()) {
+        util::fatal("PowerLawUtility: mismatched parameter vectors");
+    }
+    double wsum = 0.0;
+    for (size_t j = 0; j < weights_.size(); ++j) {
+        if (weights_[j] < 0.0)
+            util::fatal("PowerLawUtility weights must be non-negative");
+        if (exponents_[j] <= 0.0 || exponents_[j] > 1.0)
+            util::fatal("PowerLawUtility exponents must be in (0, 1]");
+        if (capacities_[j] <= 0.0)
+            util::fatal("PowerLawUtility capacities must be positive");
+        wsum += weights_[j];
+    }
+    if (wsum <= 0.0)
+        util::fatal("PowerLawUtility requires a positive weight sum");
+    for (auto &w : weights_)
+        w /= wsum;
+}
+
+double
+PowerLawUtility::utility(std::span<const double> alloc) const
+{
+    REBUDGET_ASSERT(alloc.size() == weights_.size(),
+                    "allocation arity mismatch");
+    double u = 0.0;
+    for (size_t j = 0; j < weights_.size(); ++j) {
+        const double x = std::max(0.0, alloc[j]) / capacities_[j];
+        u += weights_[j] * std::pow(x, exponents_[j]);
+    }
+    return u;
+}
+
+double
+PowerLawUtility::marginal(size_t resource,
+                          std::span<const double> alloc) const
+{
+    REBUDGET_ASSERT(resource < weights_.size(), "resource out of range");
+    REBUDGET_ASSERT(alloc.size() == weights_.size(),
+                    "allocation arity mismatch");
+    const double c = capacities_[resource];
+    const double e = exponents_[resource];
+    const double x = std::max(1e-12, alloc[resource] / c);
+    return weights_[resource] * e * std::pow(x, e - 1.0) / c;
+}
+
+} // namespace rebudget::market

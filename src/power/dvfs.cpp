@@ -1,0 +1,39 @@
+#include "rebudget/power/dvfs.h"
+
+#include <algorithm>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::power {
+
+void
+DvfsConfig::validate() const
+{
+    if (!(fMinGhz > 0.0) || !(fMaxGhz > fMinGhz))
+        util::fatal("invalid DVFS frequency range [%f, %f]", fMinGhz,
+                    fMaxGhz);
+    if (!(vMin > 0.0) || !(vMax >= vMin))
+        util::fatal("invalid DVFS voltage range [%f, %f]", vMin, vMax);
+}
+
+DvfsModel::DvfsModel(const DvfsConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+double
+DvfsModel::voltage(double f_ghz) const
+{
+    const double f = clampFrequency(f_ghz);
+    const double t =
+        (f - config_.fMinGhz) / (config_.fMaxGhz - config_.fMinGhz);
+    return config_.vMin + t * (config_.vMax - config_.vMin);
+}
+
+double
+DvfsModel::clampFrequency(double f_ghz) const
+{
+    return std::clamp(f_ghz, config_.fMinGhz, config_.fMaxGhz);
+}
+
+} // namespace rebudget::power

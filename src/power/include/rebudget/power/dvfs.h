@@ -1,0 +1,50 @@
+#ifndef REBUDGET_POWER_DVFS_H_
+#define REBUDGET_POWER_DVFS_H_
+
+/**
+ * @file
+ * Per-core dynamic voltage/frequency scaling model.
+ *
+ * Frequency ranges over [0.8, 4.0] GHz and voltage over [0.8, 1.2] V
+ * (Table 1 of the paper), with voltage a linear function of frequency.
+ * Frequency is treated as continuous; RAPL-style power capping (see
+ * rapl.h) quantizes the *power* knob at 0.125 W, fine-grained enough that
+ * the market treats power as a continuous resource.
+ */
+
+namespace rebudget::power {
+
+/** DVFS range parameters. */
+struct DvfsConfig
+{
+    double fMinGhz = 0.8;
+    double fMaxGhz = 4.0;
+    double vMin = 0.8;
+    double vMax = 1.2;
+
+    /** Validate ranges; calls util::fatal() on bad parameters. */
+    void validate() const;
+};
+
+/** Continuous frequency/voltage mapping within a DVFS range. */
+class DvfsModel
+{
+  public:
+    explicit DvfsModel(const DvfsConfig &config = {});
+
+    /** @return supply voltage at frequency f (clamped to the range). */
+    double voltage(double f_ghz) const;
+
+    /** @return frequency clamped into [fMin, fMax]. */
+    double clampFrequency(double f_ghz) const;
+
+    /** @return the configured range. */
+    const DvfsConfig &config() const { return config_; }
+
+  private:
+    DvfsConfig config_;
+};
+
+} // namespace rebudget::power
+
+#endif // REBUDGET_POWER_DVFS_H_

@@ -1,0 +1,106 @@
+#ifndef REBUDGET_POWER_POWER_MODEL_H_
+#define REBUDGET_POWER_POWER_MODEL_H_
+
+/**
+ * @file
+ * Analytic per-core power model (Wattch/HotSpot substitute).
+ *
+ * Dynamic power follows the classic alpha*C*V^2*f law with a per-app
+ * activity factor; static (leakage) power depends exponentially on
+ * temperature [Chaparro et al.] with a lumped thermal resistance mapping
+ * core power to steady-state temperature, solved by fixed point.  The
+ * constants are calibrated so that a fully active core at 4.0 GHz / 1.2 V
+ * consumes ~10 W (the paper's per-core TDP) and a core at 800 MHz
+ * consumes ~1 W.
+ *
+ * The model is strictly increasing in frequency, so power-to-frequency
+ * inversion (the operation the market needs: "what frequency does this
+ * power budget buy?") is well-defined and computed by bisection.
+ */
+
+#include "rebudget/power/dvfs.h"
+
+namespace rebudget::power {
+
+/** Constants of the analytic power/thermal model. */
+struct PowerModelConfig
+{
+    DvfsConfig dvfs;
+    /**
+     * Effective switching capacitance coefficient (W / (V^2 * GHz)).
+     * Calibrated so a fully active core at 4.0 GHz / 1.2 V draws ~20 W
+     * (incl. leakage): well above the paper's 10 W/core TDP, so the
+     * chip power budget is a binding constraint the market must
+     * arbitrate.
+     */
+    double dynCoeff = 3.0;
+    /** Leakage at reference temperature (W). */
+    double leakRef = 0.5;
+    /** Leakage temperature exponent (1/degC). */
+    double leakTempCoeff = 0.04;
+    /** Reference temperature for leakRef (degC). */
+    double tempRef = 45.0;
+    /** Ambient temperature (degC). */
+    double tempAmbient = 45.0;
+    /** Lumped thermal resistance core power -> temperature (degC/W). */
+    double thermalRes = 2.0;
+
+    /** Validate constants; calls util::fatal() on bad values. */
+    void validate() const;
+};
+
+/** Per-core power model with thermal-dependent leakage. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerModelConfig &config = {});
+
+    /**
+     * @return dynamic power (W) at frequency f with the given activity
+     * factor in (0, 1].
+     */
+    double dynamicPower(double f_ghz, double activity) const;
+
+    /**
+     * @return total steady-state core power (W), including leakage at
+     * the thermal fixed point, at frequency f and activity.
+     */
+    double corePower(double f_ghz, double activity) const;
+
+    /**
+     * @return steady-state core temperature (degC) when consuming the
+     * given total power.
+     */
+    double temperature(double total_power) const;
+
+    /**
+     * Invert the power model: the largest frequency whose steady-state
+     * core power does not exceed the budget.
+     *
+     * @param watts    per-core power budget
+     * @param activity the app's activity factor
+     * @return frequency in GHz, clamped into the DVFS range (fMin if the
+     *         budget is below even the minimum-frequency power)
+     */
+    double freqForPower(double watts, double activity) const;
+
+    /** @return corePower at the minimum frequency. */
+    double minCorePower(double activity) const;
+
+    /** @return corePower at the maximum frequency. */
+    double maxCorePower(double activity) const;
+
+    /** @return the DVFS sub-model. */
+    const DvfsModel &dvfs() const { return dvfs_; }
+
+    /** @return the model constants. */
+    const PowerModelConfig &config() const { return config_; }
+
+  private:
+    PowerModelConfig config_;
+    DvfsModel dvfs_;
+};
+
+} // namespace rebudget::power
+
+#endif // REBUDGET_POWER_POWER_MODEL_H_

@@ -1,0 +1,69 @@
+#ifndef REBUDGET_POWER_RAPL_H_
+#define REBUDGET_POWER_RAPL_H_
+
+/**
+ * @file
+ * RAPL-style chip power budgeting (Intel Running Average Power Limit).
+ *
+ * The chip has a total power budget (10 W per core in the paper's
+ * evaluation).  Per-core power caps are set at a 0.125 W granularity;
+ * a core's DVFS controller then runs at the highest frequency whose
+ * steady-state power fits under the cap (PowerModel::freqForPower).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "rebudget/power/power_model.h"
+
+namespace rebudget::power {
+
+/** Chip-level power budget with quantized per-core caps. */
+class RaplBudget
+{
+  public:
+    /**
+     * @param chip_budget_watts  total chip power budget (> 0)
+     * @param cores              number of cores (> 0)
+     * @param quantum_watts      cap granularity (default 0.125 W)
+     */
+    RaplBudget(double chip_budget_watts, uint32_t cores,
+               double quantum_watts = 0.125);
+
+    /** @return the total chip budget in watts. */
+    double chipBudget() const { return chipBudget_; }
+
+    /** @return the cap quantum in watts. */
+    double quantum() const { return quantum_; }
+
+    /**
+     * Install per-core caps (quantized down to the quantum).  The sum of
+     * the quantized caps must not exceed the chip budget.
+     *
+     * @param caps_watts  one cap per core
+     */
+    void setCaps(const std::vector<double> &caps_watts);
+
+    /** @return the quantized cap of a core in watts. */
+    double cap(uint32_t core) const;
+
+    /** @return quantize a wattage down to the cap granularity. */
+    double quantize(double watts) const;
+
+    /**
+     * @return frequencies realizing the current caps for the given
+     * per-core activity factors, via the supplied power model.
+     */
+    std::vector<double> frequencies(const PowerModel &model,
+                                    const std::vector<double> &activity)
+        const;
+
+  private:
+    double chipBudget_;
+    double quantum_;
+    std::vector<double> caps_;
+};
+
+} // namespace rebudget::power
+
+#endif // REBUDGET_POWER_RAPL_H_

@@ -1,0 +1,110 @@
+#include "rebudget/power/power_model.h"
+
+#include <cmath>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::power {
+
+void
+PowerModelConfig::validate() const
+{
+    dvfs.validate();
+    if (dynCoeff <= 0.0)
+        util::fatal("dynCoeff must be positive");
+    if (leakRef < 0.0)
+        util::fatal("leakRef must be non-negative");
+    if (leakTempCoeff < 0.0)
+        util::fatal("leakTempCoeff must be non-negative");
+    if (thermalRes < 0.0)
+        util::fatal("thermalRes must be non-negative");
+    // The leakage fixed point must be a contraction:
+    // d(leak)/dP = leakRef * k * Rth * exp(...) must stay < 1 over the
+    // operating range; we check at a generous 25 W upper bound.
+    const double worst =
+        leakRef * leakTempCoeff * thermalRes *
+        std::exp(leakTempCoeff * (tempAmbient + thermalRes * 25.0 - tempRef));
+    if (worst >= 1.0) {
+        util::fatal("thermal runaway: leakage feedback gain %f >= 1; "
+                    "reduce leakTempCoeff or thermalRes",
+                    worst);
+    }
+}
+
+PowerModel::PowerModel(const PowerModelConfig &config)
+    : config_(config), dvfs_(config.dvfs)
+{
+    config_.validate();
+}
+
+double
+PowerModel::dynamicPower(double f_ghz, double activity) const
+{
+    if (activity <= 0.0 || activity > 1.0)
+        util::fatal("activity factor must be in (0, 1], got %f", activity);
+    const double f = dvfs_.clampFrequency(f_ghz);
+    const double v = dvfs_.voltage(f);
+    return config_.dynCoeff * activity * v * v * f;
+}
+
+double
+PowerModel::corePower(double f_ghz, double activity) const
+{
+    const double pdyn = dynamicPower(f_ghz, activity);
+    // Fixed point: P = pdyn + leak(T(P)).
+    double p = pdyn + config_.leakRef;
+    for (int i = 0; i < 50; ++i) {
+        const double t = temperature(p);
+        const double leak =
+            config_.leakRef *
+            std::exp(config_.leakTempCoeff * (t - config_.tempRef));
+        const double p_next = pdyn + leak;
+        if (std::abs(p_next - p) < 1e-9) {
+            p = p_next;
+            break;
+        }
+        p = p_next;
+    }
+    return p;
+}
+
+double
+PowerModel::temperature(double total_power) const
+{
+    return config_.tempAmbient + config_.thermalRes * total_power;
+}
+
+double
+PowerModel::freqForPower(double watts, double activity) const
+{
+    const double f_min = config_.dvfs.fMinGhz;
+    const double f_max = config_.dvfs.fMaxGhz;
+    if (watts >= corePower(f_max, activity))
+        return f_max;
+    if (watts <= corePower(f_min, activity))
+        return f_min;
+    double lo = f_min;
+    double hi = f_max;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (corePower(mid, activity) <= watts)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+double
+PowerModel::minCorePower(double activity) const
+{
+    return corePower(config_.dvfs.fMinGhz, activity);
+}
+
+double
+PowerModel::maxCorePower(double activity) const
+{
+    return corePower(config_.dvfs.fMaxGhz, activity);
+}
+
+} // namespace rebudget::power

@@ -1,0 +1,72 @@
+#include "rebudget/power/rapl.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::power {
+
+RaplBudget::RaplBudget(double chip_budget_watts, uint32_t cores,
+                       double quantum_watts)
+    : chipBudget_(chip_budget_watts), quantum_(quantum_watts),
+      caps_(cores, 0.0)
+{
+    if (chip_budget_watts <= 0.0)
+        util::fatal("chip power budget must be positive");
+    if (cores == 0)
+        util::fatal("RaplBudget requires at least one core");
+    if (quantum_watts <= 0.0)
+        util::fatal("power cap quantum must be positive");
+}
+
+void
+RaplBudget::setCaps(const std::vector<double> &caps_watts)
+{
+    if (caps_watts.size() != caps_.size()) {
+        util::fatal("expected %zu per-core caps, got %zu", caps_.size(),
+                    caps_watts.size());
+    }
+    std::vector<double> quantized(caps_watts.size());
+    double total = 0.0;
+    for (size_t i = 0; i < caps_watts.size(); ++i) {
+        if (caps_watts[i] < 0.0)
+            util::fatal("negative power cap for core %zu", i);
+        quantized[i] = quantize(caps_watts[i]);
+        total += quantized[i];
+    }
+    if (total > chipBudget_ + 1e-9) {
+        util::fatal("per-core caps total %f W exceed chip budget %f W",
+                    total, chipBudget_);
+    }
+    caps_ = std::move(quantized);
+}
+
+double
+RaplBudget::cap(uint32_t core) const
+{
+    REBUDGET_ASSERT(core < caps_.size(), "core out of range");
+    return caps_[core];
+}
+
+double
+RaplBudget::quantize(double watts) const
+{
+    return std::floor(watts / quantum_) * quantum_;
+}
+
+std::vector<double>
+RaplBudget::frequencies(const PowerModel &model,
+                        const std::vector<double> &activity) const
+{
+    if (activity.size() != caps_.size()) {
+        util::fatal("expected %zu activity factors, got %zu", caps_.size(),
+                    activity.size());
+    }
+    std::vector<double> freqs(caps_.size());
+    for (size_t i = 0; i < caps_.size(); ++i)
+        freqs[i] = model.freqForPower(caps_[i], activity[i]);
+    return freqs;
+}
+
+} // namespace rebudget::power

@@ -1,0 +1,57 @@
+#include "rebudget/sim/cmp_config.h"
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::sim {
+
+double
+CmpConfig::chipBudgetWatts() const
+{
+    return powerPerCoreWatts * cores;
+}
+
+cache::CacheConfig
+CmpConfig::l2Config() const
+{
+    return cache::CacheConfig{l2BytesPerCore * cores, l2Assoc, lineBytes};
+}
+
+uint32_t
+CmpConfig::totalRegions() const
+{
+    return static_cast<uint32_t>(l2BytesPerCore * cores / regionBytes);
+}
+
+uint64_t
+CmpConfig::linesPerRegion() const
+{
+    return regionBytes / lineBytes;
+}
+
+void
+CmpConfig::validate() const
+{
+    if (cores == 0)
+        util::fatal("CMP requires at least one core");
+    l2Config().validate();
+    l1.validate();
+    power.validate();
+    if (regionBytes == 0 || l2BytesPerCore % regionBytes != 0)
+        util::fatal("per-core L2 must be a whole number of regions");
+    if (epochSeconds <= 0.0)
+        util::fatal("epoch length must be positive");
+    if (accessesPerEpochPerCore == 0)
+        util::fatal("per-epoch access sample must be positive");
+}
+
+CmpConfig
+CmpConfig::forCores(uint32_t n)
+{
+    CmpConfig cfg;
+    cfg.cores = n;
+    cfg.l2Assoc = n <= 8 ? 16 : 32;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace rebudget::sim

@@ -1,0 +1,247 @@
+#include "rebudget/sim/epoch_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "rebudget/app/utility.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/power/rapl.h"
+#include "rebudget/sim/shared_l2.h"
+#include "rebudget/sim/sim_core.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::sim {
+
+EpochSimConfig
+EpochSimConfig::forCores(uint32_t cores)
+{
+    EpochSimConfig cfg;
+    cfg.cmp = CmpConfig::forCores(cores);
+    cfg.memory = MemoryConfig::forCores(cores);
+    return cfg;
+}
+
+EpochSimulator::EpochSimulator(EpochSimConfig config,
+                               std::vector<app::AppParams> apps,
+                               const core::Allocator &allocator)
+    : config_(std::move(config)), apps_(std::move(apps)),
+      allocator_(allocator)
+{
+    config_.cmp.validate();
+    if (apps_.size() != config_.cmp.cores) {
+        util::fatal("expected %u applications, got %zu", config_.cmp.cores,
+                    apps_.size());
+    }
+}
+
+SimResult
+EpochSimulator::run()
+{
+    const uint32_t n = config_.cmp.cores;
+    const power::PowerModel power_model(config_.cmp.power);
+    SharedL2 l2(config_.cmp);
+    MemoryModel memory(config_.memory);
+
+    std::vector<std::unique_ptr<SimCore>> cores;
+    std::vector<double> activities(n);
+    cores.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        cores.push_back(std::make_unique<SimCore>(
+            i, apps_[i], config_.cmp, config_.seed + i * 977));
+        activities[i] = apps_[i].activity;
+    }
+
+    SimResult result;
+    result.mechanism = allocator_.name();
+    // Solo (run-alone) calibration, cached by app so context switches to
+    // an already-known app are free.
+    std::map<std::string, double> solo_cache;
+    auto solo_for = [&](const app::AppParams &params) {
+        const auto it = solo_cache.find(params.name);
+        if (it != solo_cache.end())
+            return it->second;
+        const double ips =
+            soloPerformances(config_, {params}).front();
+        solo_cache.emplace(params.name, ips);
+        return ips;
+    };
+    std::vector<double> solo(n);
+    for (uint32_t i = 0; i < n; ++i)
+        solo[i] = solo_for(apps_[i]);
+    result.soloIps = solo;
+
+    // Initial operating point: equal power shares.
+    power::RaplBudget rapl(config_.cmp.chipBudgetWatts(), n);
+    {
+        std::vector<double> caps(n, config_.cmp.chipBudgetWatts() / n);
+        rapl.setCaps(caps);
+    }
+    std::vector<double> freqs = rapl.frequencies(power_model, activities);
+    double mem_lat_ns = memory.effectiveLatencyNs(0.0);
+
+    // Market capacities: everything beyond the guaranteed minimums.
+    const app::UtilityGridOptions grid_options = [&] {
+        app::UtilityGridOptions o;
+        o.convexify = config_.convexify;
+        return o;
+    }();
+    std::vector<double> min_watts(n);
+    double power_capacity = 0.0;
+    auto recompute_capacity = [&]() {
+        double min_watts_sum = 0.0;
+        for (uint32_t i = 0; i < n; ++i) {
+            min_watts[i] = power_model.minCorePower(activities[i]);
+            min_watts_sum += min_watts[i];
+        }
+        power_capacity = config_.cmp.chipBudgetWatts() - min_watts_sum;
+    };
+    recompute_capacity();
+    const double cache_capacity =
+        static_cast<double>(config_.cmp.totalRegions()) -
+        static_cast<double>(n) * grid_options.minRegions;
+    if (cache_capacity <= 0.0 || power_capacity <= 0.0)
+        util::fatal("no market capacity beyond the guaranteed minimums");
+
+    const uint32_t total_epochs = config_.warmupEpochs + config_.epochs;
+    std::vector<app::AppProfile> profiles(n);
+    std::vector<std::unique_ptr<app::AppUtilityModel>> models(n);
+    core::AllocationOutcome outcome;
+    for (uint32_t epoch = 0; epoch < total_epochs; ++epoch) {
+        // (0) OS context switches: the incoming app gets a fresh core
+        // state (cold L1, cold monitors) and a new solo baseline.
+        bool switched = false;
+        for (const ContextSwitch &cs : config_.contextSwitches) {
+            if (cs.epoch != epoch)
+                continue;
+            if (cs.core >= n)
+                util::fatal("context switch on core %u of %u", cs.core,
+                            n);
+            apps_[cs.core] = cs.newApp;
+            cores[cs.core] = std::make_unique<SimCore>(
+                cs.core, cs.newApp, config_.cmp,
+                config_.seed + cs.core * 977 + epoch * 131);
+            activities[cs.core] = cs.newApp.activity;
+            solo[cs.core] = solo_for(cs.newApp);
+            switched = true;
+        }
+        if (switched) {
+            recompute_capacity();
+            if (power_capacity <= 0.0)
+                util::fatal("context switch exhausted power headroom");
+        }
+        // (1) Execute the sampled windows.
+        EpochRecord record;
+        record.ips.resize(n);
+        record.utilities.resize(n);
+        record.freqsGhz = freqs;
+        record.cacheTargets.resize(n);
+        record.memLatencyNs = mem_lat_ns;
+        double bandwidth_demand = 0.0;
+        for (uint32_t i = 0; i < n; ++i) {
+            const CoreEpochStats stats = cores[i]->runEpoch(
+                freqs[i], l2, mem_lat_ns,
+                config_.cmp.accessesPerEpochPerCore);
+            record.ips[i] = stats.ips;
+            record.utilities[i] =
+                solo[i] > 0.0 ? std::min(1.0, stats.ips / solo[i])
+                              : 0.0;
+            record.efficiency += record.utilities[i];
+            record.cacheTargets[i] = l2.targetRegions(i);
+            if (stats.seconds > 0.0)
+                bandwidth_demand += stats.memBytes / stats.seconds;
+        }
+        mem_lat_ns = memory.effectiveLatencyNs(bandwidth_demand);
+
+        // (2) Rebuild online utility models from the monitors.
+        std::vector<const market::UtilityModel *> model_ptrs(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            profiles[i] = cores[i]->onlineProfile();
+            models[i] = std::make_unique<app::AppUtilityModel>(
+                profiles[i], power_model, grid_options);
+            model_ptrs[i] = models[i].get();
+            cores[i]->resetEpochMonitors();
+        }
+
+        // (3) Allocate.
+        core::AllocationProblem problem;
+        problem.models = model_ptrs;
+        problem.capacities = {cache_capacity, power_capacity};
+        outcome = allocator_.allocate(problem);
+        record.marketIterations = outcome.marketIterations;
+        record.budgetRounds = outcome.budgetRounds;
+
+        // (4) Install cache targets and power caps for the next epoch.
+        std::vector<double> caps(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            const double regions =
+                grid_options.minRegions +
+                outcome.alloc[i][app::AppUtilityModel::kCache];
+            l2.setTargetRegions(i, regions, profiles[i].l2Curve);
+            caps[i] = min_watts[i] +
+                      outcome.alloc[i][app::AppUtilityModel::kPower];
+        }
+        l2.updateController();
+        rapl.setCaps(caps);
+        freqs = rapl.frequencies(power_model, activities);
+
+        if (epoch >= config_.warmupEpochs)
+            result.epochs.push_back(std::move(record));
+    }
+
+    // Aggregates.
+    result.meanUtilities.assign(n, 0.0);
+    for (const auto &rec : result.epochs) {
+        result.meanEfficiency += rec.efficiency;
+        for (uint32_t i = 0; i < n; ++i)
+            result.meanUtilities[i] += rec.utilities[i];
+    }
+    if (!result.epochs.empty()) {
+        result.meanEfficiency /= static_cast<double>(result.epochs.size());
+        for (auto &u : result.meanUtilities)
+            u /= static_cast<double>(result.epochs.size());
+    }
+    // Fairness: model-based envy-freeness of the final allocation.
+    {
+        std::vector<const market::UtilityModel *> model_ptrs(n);
+        for (uint32_t i = 0; i < n; ++i)
+            model_ptrs[i] = models[i].get();
+        result.envyFreeness =
+            market::envyFreeness(model_ptrs, outcome.alloc);
+    }
+    return result;
+}
+
+std::vector<double>
+EpochSimulator::soloPerformances(const EpochSimConfig &config,
+                                 const std::vector<app::AppParams> &apps)
+{
+    // Solo machine: one core owning the full monitored cache (16 regions)
+    // at maximum frequency; chip power is no constraint for one core.
+    CmpConfig solo = config.cmp;
+    solo.cores = 1;
+    solo.l2BytesPerCore = static_cast<uint64_t>(config.cmp.umon.maxRegions) *
+                          config.cmp.regionBytes;
+    solo.l2Assoc = 16;
+    solo.validate();
+
+    std::vector<double> out;
+    out.reserve(apps.size());
+    const double f_max = config.cmp.power.dvfs.fMaxGhz;
+    const MemoryModel memory(config.memory);
+    const double lat = memory.effectiveLatencyNs(0.0);
+    for (size_t a = 0; a < apps.size(); ++a) {
+        SharedL2 l2(solo);
+        SimCore core(0, apps[a], solo, config.seed + a * 977);
+        // Warm, then measure.
+        core.runEpoch(f_max, l2, lat, solo.accessesPerEpochPerCore * 2);
+        core.resetEpochMonitors();
+        const CoreEpochStats stats = core.runEpoch(
+            f_max, l2, lat, solo.accessesPerEpochPerCore * 2);
+        out.push_back(stats.ips);
+    }
+    return out;
+}
+
+} // namespace rebudget::sim

@@ -1,0 +1,71 @@
+#ifndef REBUDGET_SIM_CMP_CONFIG_H_
+#define REBUDGET_SIM_CMP_CONFIG_H_
+
+/**
+ * @file
+ * Chip-multiprocessor configuration (paper Table 1).
+ *
+ * The paper evaluates 8- and 64-core machines with 512 kB of shared L2
+ * and 10 W of power budget per core, 128 kB cache regions, per-core DVFS
+ * between 0.8 and 4.0 GHz, and 1 ms allocation epochs.
+ */
+
+#include <cstdint>
+
+#include "rebudget/app/perf_model.h"
+#include "rebudget/cache/cache_config.h"
+#include "rebudget/cache/umon.h"
+#include "rebudget/power/power_model.h"
+
+namespace rebudget::sim {
+
+/** Table 1 machine description. */
+struct CmpConfig
+{
+    /** Number of cores (8 or 64 in the paper). */
+    uint32_t cores = 64;
+    /** Chip power budget per core in watts. */
+    double powerPerCoreWatts = 10.0;
+    /** Shared L2 capacity per core in bytes. */
+    uint64_t l2BytesPerCore = 512 * 1024;
+    /** Shared L2 associativity (16 at 8 cores, 32 at 64 cores). */
+    uint32_t l2Assoc = 32;
+    /** Cache line size in bytes. */
+    uint32_t lineBytes = 64;
+    /** Cache region (allocation granule) in bytes. */
+    uint64_t regionBytes = 128 * 1024;
+    /** Private L1D geometry. */
+    cache::CacheConfig l1{32 * 1024, 4, 64};
+    /** Utility monitor parameters. */
+    cache::UMonConfig umon;
+    /** Power/thermal model constants. */
+    power::PowerModelConfig power;
+    /** Core timing constants (per-app CPI is taken from the app). */
+    app::TimingParams timing;
+    /** Allocation epoch length in seconds. */
+    double epochSeconds = 1e-3;
+    /** Memory references simulated per core per epoch (sampling). */
+    uint64_t accessesPerEpochPerCore = 10000;
+
+    /** @return total chip power budget in watts. */
+    double chipBudgetWatts() const;
+
+    /** @return shared L2 geometry. */
+    cache::CacheConfig l2Config() const;
+
+    /** @return total cache regions in the shared L2. */
+    uint32_t totalRegions() const;
+
+    /** @return cache lines per region. */
+    uint64_t linesPerRegion() const;
+
+    /** Validate the configuration; calls util::fatal() on errors. */
+    void validate() const;
+
+    /** @return the paper's configuration for a core count (8 or 64). */
+    static CmpConfig forCores(uint32_t cores);
+};
+
+} // namespace rebudget::sim
+
+#endif // REBUDGET_SIM_CMP_CONFIG_H_

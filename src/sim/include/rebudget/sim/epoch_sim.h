@@ -1,0 +1,147 @@
+#ifndef REBUDGET_SIM_EPOCH_SIM_H_
+#define REBUDGET_SIM_EPOCH_SIM_H_
+
+/**
+ * @file
+ * Execution-driven epoch simulation (the paper's phase-2 methodology,
+ * Section 6.3).
+ *
+ * Every 1 ms epoch the simulator: (1) runs each core's sampled reference
+ * window through the real cache hierarchy at the core's current DVFS
+ * frequency; (2) rebuilds each application's utility model from the
+ * online monitors (UMON miss curve + measured memory intensity + power
+ * model) -- no oracle profiles; (3) invokes the configured allocation
+ * mechanism; and (4) installs the resulting cache targets (via Talus +
+ * Futility Scaling) and RAPL power caps for the next epoch.
+ *
+ * Reported utilities normalize achieved performance by the application's
+ * measured run-alone performance (solo calibration runs), making
+ * efficiency weighted speedup (Equation 5).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rebudget/app/app_params.h"
+#include "rebudget/core/allocator.h"
+#include "rebudget/sim/cmp_config.h"
+#include "rebudget/sim/memory_model.h"
+
+namespace rebudget::sim {
+
+/**
+ * A context switch: at the start of the given absolute epoch (warmup
+ * epochs count), the OS schedules a different application onto a core.
+ * The incoming app starts with cold private caches and monitors, which
+ * is exactly the perturbation the 1 ms reallocation epoch is meant to
+ * absorb (Section 4.3).
+ */
+struct ContextSwitch
+{
+    /** Absolute epoch at whose start the switch happens. */
+    uint32_t epoch = 0;
+    /** Core being rescheduled. */
+    uint32_t core = 0;
+    /** Application switched in. */
+    app::AppParams newApp;
+};
+
+/** Simulation run parameters. */
+struct EpochSimConfig
+{
+    /** Machine description. */
+    CmpConfig cmp;
+    /** Memory system description. */
+    MemoryConfig memory;
+    /** Measured epochs (after warmup). */
+    uint32_t epochs = 20;
+    /** Warmup epochs (caches fill, market settles). */
+    uint32_t warmupEpochs = 5;
+    /** Base seed for reference streams. */
+    uint64_t seed = 42;
+    /** Convexify online utility models (Talus; on in the paper). */
+    bool convexify = true;
+    /** OS context switches to apply during the run. */
+    std::vector<ContextSwitch> contextSwitches;
+
+    /** @return the paper's configuration for a core count. */
+    static EpochSimConfig forCores(uint32_t cores);
+};
+
+/** One measured epoch of the whole machine. */
+struct EpochRecord
+{
+    /** Achieved performance per core (instructions/second). */
+    std::vector<double> ips;
+    /** Utility per core: ips / solo ips, clamped to [0, 1]. */
+    std::vector<double> utilities;
+    /** Weighted speedup (sum of utilities). */
+    double efficiency = 0.0;
+    /** Installed frequency per core (GHz). */
+    std::vector<double> freqsGhz;
+    /** Installed cache target per core (regions). */
+    std::vector<double> cacheTargets;
+    /** Bidding-pricing rounds the allocator used this epoch. */
+    int marketIterations = 0;
+    /** ReBudget outer rounds this epoch. */
+    int budgetRounds = 0;
+    /** Effective DRAM latency this epoch (ns). */
+    double memLatencyNs = 0.0;
+};
+
+/** Aggregate result of one simulation. */
+struct SimResult
+{
+    /** Mechanism simulated. */
+    std::string mechanism;
+    /** Per-epoch records (post-warmup only). */
+    std::vector<EpochRecord> epochs;
+    /** Mean weighted speedup over measured epochs. */
+    double meanEfficiency = 0.0;
+    /** Model-based envy-freeness at the final epoch. */
+    double envyFreeness = 0.0;
+    /** Mean utility per core over measured epochs. */
+    std::vector<double> meanUtilities;
+    /** Solo (run-alone) performance per core used for normalization. */
+    std::vector<double> soloIps;
+};
+
+/** Execution-driven CMP simulator with in-the-loop allocation. */
+class EpochSimulator
+{
+  public:
+    /**
+     * @param config     run parameters
+     * @param apps       one application per core
+     * @param allocator  the allocation mechanism (non-owning; must
+     *                   outlive the simulator)
+     */
+    EpochSimulator(EpochSimConfig config, std::vector<app::AppParams> apps,
+                   const core::Allocator &allocator);
+
+    /**
+     * Run the simulation.  Context switches update the simulator's app
+     * list as they execute, so a second run() continues from the
+     * post-switch application mix; construct a fresh simulator for
+     * independent repetitions.
+     */
+    SimResult run();
+
+    /**
+     * Measure run-alone performance of each application: a solo machine
+     * with the full monitored cache and maximum frequency.
+     */
+    static std::vector<double> soloPerformances(
+        const EpochSimConfig &config,
+        const std::vector<app::AppParams> &apps);
+
+  private:
+    EpochSimConfig config_;
+    std::vector<app::AppParams> apps_;
+    const core::Allocator &allocator_;
+};
+
+} // namespace rebudget::sim
+
+#endif // REBUDGET_SIM_EPOCH_SIM_H_

@@ -1,0 +1,58 @@
+#ifndef REBUDGET_SIM_MEMORY_MODEL_H_
+#define REBUDGET_SIM_MEMORY_MODEL_H_
+
+/**
+ * @file
+ * Main-memory latency/bandwidth model (DDR3-1600 substitute).
+ *
+ * Off-chip latency is a fixed DRAM round trip plus a queuing component
+ * that grows with channel utilization (an M/D/1-style term, capped).
+ * Table 1 provisions 2 channels at 8 cores and 16 at 64 cores of
+ * DDR3-1600 (12.8 GB/s per channel).
+ */
+
+#include <cstdint>
+
+namespace rebudget::sim {
+
+/** Memory system parameters. */
+struct MemoryConfig
+{
+    /** Uncontended DRAM round trip in nanoseconds. */
+    double baseLatencyNs = 70.0;
+    /** Number of memory channels. */
+    uint32_t channels = 16;
+    /** Peak bandwidth per channel in GB/s (DDR3-1600). */
+    double channelBandwidthGBs = 12.8;
+    /** Utilization where the queuing term saturates. */
+    double maxUtilization = 0.95;
+
+    /** @return peak aggregate bandwidth in bytes per second. */
+    double peakBytesPerSecond() const;
+
+    /** @return the paper's channel provisioning for a core count. */
+    static MemoryConfig forCores(uint32_t cores);
+};
+
+/** Latency model with utilization-dependent queuing. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(const MemoryConfig &config = {});
+
+    /**
+     * @return the effective DRAM latency in nanoseconds at the given
+     * aggregate demand (bytes per second); monotone non-decreasing.
+     */
+    double effectiveLatencyNs(double demand_bytes_per_second) const;
+
+    /** @return the configuration. */
+    const MemoryConfig &config() const { return config_; }
+
+  private:
+    MemoryConfig config_;
+};
+
+} // namespace rebudget::sim
+
+#endif // REBUDGET_SIM_MEMORY_MODEL_H_

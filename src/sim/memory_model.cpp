@@ -1,0 +1,44 @@
+#include "rebudget/sim/memory_model.h"
+
+#include <algorithm>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::sim {
+
+double
+MemoryConfig::peakBytesPerSecond() const
+{
+    return static_cast<double>(channels) * channelBandwidthGBs * 1e9;
+}
+
+MemoryConfig
+MemoryConfig::forCores(uint32_t cores)
+{
+    MemoryConfig cfg;
+    cfg.channels = cores <= 8 ? 2 : 16;
+    return cfg;
+}
+
+MemoryModel::MemoryModel(const MemoryConfig &config) : config_(config)
+{
+    if (config_.baseLatencyNs <= 0.0)
+        util::fatal("memory base latency must be positive");
+    if (config_.channels == 0)
+        util::fatal("memory model requires at least one channel");
+    if (config_.maxUtilization <= 0.0 || config_.maxUtilization >= 1.0)
+        util::fatal("maxUtilization must be in (0, 1)");
+}
+
+double
+MemoryModel::effectiveLatencyNs(double demand_bytes_per_second) const
+{
+    const double rho = std::clamp(
+        demand_bytes_per_second / config_.peakBytesPerSecond(), 0.0,
+        config_.maxUtilization);
+    // M/D/1 queuing delay: W = rho / (2 (1 - rho)) service times.
+    const double queuing = rho / (2.0 * (1.0 - rho));
+    return config_.baseLatencyNs * (1.0 + queuing);
+}
+
+} // namespace rebudget::sim

@@ -1,0 +1,58 @@
+#ifndef REBUDGET_TRACE_GENERATOR_H_
+#define REBUDGET_TRACE_GENERATOR_H_
+
+/**
+ * @file
+ * Synthetic memory reference stream interface.
+ *
+ * The reproduction cannot run the paper's SPEC CPU2000/2006 SimPoints, so
+ * each catalog application is backed by a parametric address-stream
+ * generator whose locality profile (working-set size, reuse skew, spatial
+ * pattern) is chosen to reproduce the cache behavior class the paper
+ * relies on (cache cliffs for mcf-like apps, smooth concave curves for
+ * vpr-like apps, streaming for cache-insensitive apps).  The streams feed
+ * the real cache substrate (src/cache), so miss curves and monitor error
+ * are measured, not assumed.
+ */
+
+#include <cstdint>
+#include <memory>
+
+namespace rebudget::trace {
+
+/** One memory reference. */
+struct Access
+{
+    /** Byte address. */
+    uint64_t addr = 0;
+    /** True for stores. */
+    bool write = false;
+};
+
+/**
+ * Abstract deterministic address-stream generator.
+ *
+ * Generators own their random state; two generators constructed with the
+ * same parameters and seed produce identical streams.
+ */
+class AddressGenerator
+{
+  public:
+    virtual ~AddressGenerator() = default;
+
+    /** @return the next memory reference in the stream. */
+    virtual Access next() = 0;
+
+    /**
+     * @return the nominal working-set footprint of the stream in bytes
+     * (the amount of cache beyond which few additional hits occur).
+     */
+    virtual uint64_t footprintBytes() const = 0;
+
+    /** @return an independent deep copy with identical future behavior. */
+    virtual std::unique_ptr<AddressGenerator> clone() const = 0;
+};
+
+} // namespace rebudget::trace
+
+#endif // REBUDGET_TRACE_GENERATOR_H_

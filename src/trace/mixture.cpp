@@ -1,0 +1,110 @@
+#include "rebudget/trace/mixture.h"
+
+#include <algorithm>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::trace {
+
+MixtureGen::MixtureGen(std::vector<Component> components, uint64_t seed)
+    : components_(std::move(components)), rng_(seed)
+{
+    if (components_.empty())
+        util::fatal("MixtureGen requires at least one component");
+    double sum = 0.0;
+    for (const auto &c : components_) {
+        if (!c.gen)
+            util::fatal("MixtureGen component has a null generator");
+        if (c.weight <= 0.0)
+            util::fatal("MixtureGen weights must be positive");
+        sum += c.weight;
+    }
+    cdf_.reserve(components_.size());
+    double acc = 0.0;
+    for (const auto &c : components_) {
+        acc += c.weight / sum;
+        cdf_.push_back(acc);
+    }
+    cdf_.back() = 1.0;
+}
+
+MixtureGen::MixtureGen(const MixtureGen &other)
+    : cdf_(other.cdf_), rng_(other.rng_)
+{
+    components_.reserve(other.components_.size());
+    for (const auto &c : other.components_)
+        components_.push_back(Component{c.gen->clone(), c.weight});
+}
+
+Access
+MixtureGen::next()
+{
+    const double u = rng_.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const size_t idx = static_cast<size_t>(it - cdf_.begin());
+    return components_[idx].gen->next();
+}
+
+uint64_t
+MixtureGen::footprintBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &c : components_)
+        total += c.gen->footprintBytes();
+    return total;
+}
+
+std::unique_ptr<AddressGenerator>
+MixtureGen::clone() const
+{
+    return std::make_unique<MixtureGen>(*this);
+}
+
+PhasedGen::PhasedGen(std::vector<Phase> phases) : phases_(std::move(phases))
+{
+    if (phases_.empty())
+        util::fatal("PhasedGen requires at least one phase");
+    for (const auto &p : phases_) {
+        if (!p.gen)
+            util::fatal("PhasedGen phase has a null generator");
+        if (p.length == 0)
+            util::fatal("PhasedGen phase lengths must be positive");
+    }
+    remaining_ = phases_[0].length;
+}
+
+PhasedGen::PhasedGen(const PhasedGen &other)
+    : current_(other.current_), remaining_(other.remaining_)
+{
+    phases_.reserve(other.phases_.size());
+    for (const auto &p : other.phases_)
+        phases_.push_back(Phase{p.gen->clone(), p.length});
+}
+
+Access
+PhasedGen::next()
+{
+    if (remaining_ == 0) {
+        current_ = (current_ + 1) % phases_.size();
+        remaining_ = phases_[current_].length;
+    }
+    --remaining_;
+    return phases_[current_].gen->next();
+}
+
+uint64_t
+PhasedGen::footprintBytes() const
+{
+    uint64_t max_fp = 0;
+    for (const auto &p : phases_)
+        max_fp = std::max(max_fp, p.gen->footprintBytes());
+    return max_fp;
+}
+
+std::unique_ptr<AddressGenerator>
+PhasedGen::clone() const
+{
+    return std::make_unique<PhasedGen>(*this);
+}
+
+} // namespace rebudget::trace

@@ -1,0 +1,45 @@
+#include "rebudget/trace/pointer_chase.h"
+
+#include <numeric>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::trace {
+
+PointerChaseGen::PointerChaseGen(uint64_t base_addr, uint64_t working_set,
+                                 uint64_t line_bytes, uint64_t seed)
+    : baseAddr_(base_addr), workingSet_(working_set), lineBytes_(line_bytes)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        util::fatal("line_bytes must be a power of two");
+    const uint64_t lines = working_set / line_bytes;
+    if (lines == 0)
+        util::fatal("working set smaller than one line");
+    // Build a random Hamiltonian cycle: shuffle the visit order, then link
+    // each line to its successor.
+    std::vector<uint32_t> order(lines);
+    std::iota(order.begin(), order.end(), 0);
+    util::Rng rng(seed);
+    rng.shuffle(order);
+    nextLine_.resize(lines);
+    for (uint64_t i = 0; i < lines; ++i)
+        nextLine_[order[i]] = order[(i + 1) % lines];
+    current_ = order[0];
+}
+
+Access
+PointerChaseGen::next()
+{
+    const Access a{baseAddr_ + static_cast<uint64_t>(current_) * lineBytes_,
+                   false};
+    current_ = nextLine_[current_];
+    return a;
+}
+
+std::unique_ptr<AddressGenerator>
+PointerChaseGen::clone() const
+{
+    return std::make_unique<PointerChaseGen>(*this);
+}
+
+} // namespace rebudget::trace

@@ -1,0 +1,44 @@
+#include "rebudget/trace/stride.h"
+
+#include <cmath>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::trace {
+
+StrideGen::StrideGen(uint64_t base_addr, uint64_t footprint,
+                     uint64_t stride_bytes, double write_fraction)
+    : baseAddr_(base_addr), footprint_(footprint), stride_(stride_bytes)
+{
+    if (footprint == 0)
+        util::fatal("StrideGen requires a non-zero footprint");
+    if (stride_bytes == 0)
+        util::fatal("StrideGen requires a non-zero stride");
+    if (write_fraction < 0.0 || write_fraction > 1.0)
+        util::fatal("write_fraction must be in [0,1]");
+    writePeriod_ = write_fraction > 0.0
+                       ? static_cast<uint64_t>(std::llround(1.0 /
+                                                            write_fraction))
+                       : 0;
+}
+
+Access
+StrideGen::next()
+{
+    Access a;
+    a.addr = baseAddr_ + offset_;
+    a.write = writePeriod_ != 0 && (count_ % writePeriod_) == 0 && count_ > 0;
+    offset_ += stride_;
+    if (offset_ >= footprint_)
+        offset_ = 0;
+    ++count_;
+    return a;
+}
+
+std::unique_ptr<AddressGenerator>
+StrideGen::clone() const
+{
+    return std::make_unique<StrideGen>(*this);
+}
+
+} // namespace rebudget::trace

@@ -1,0 +1,38 @@
+#include "rebudget/trace/uniform.h"
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::trace {
+
+UniformWorkingSetGen::UniformWorkingSetGen(uint64_t base_addr,
+                                           uint64_t working_set,
+                                           uint64_t line_bytes,
+                                           double write_fraction,
+                                           uint64_t seed)
+    : baseAddr_(base_addr), workingSet_(working_set), lineBytes_(line_bytes),
+      lines_(working_set / line_bytes), writeFraction_(write_fraction),
+      rng_(seed)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        util::fatal("line_bytes must be a power of two");
+    if (lines_ == 0)
+        util::fatal("working set smaller than one line");
+    if (write_fraction < 0.0 || write_fraction > 1.0)
+        util::fatal("write_fraction must be in [0,1]");
+}
+
+Access
+UniformWorkingSetGen::next()
+{
+    const uint64_t line = rng_.uniformInt(lines_);
+    return Access{baseAddr_ + line * lineBytes_,
+                  rng_.bernoulli(writeFraction_)};
+}
+
+std::unique_ptr<AddressGenerator>
+UniformWorkingSetGen::clone() const
+{
+    return std::make_unique<UniformWorkingSetGen>(*this);
+}
+
+} // namespace rebudget::trace

@@ -1,0 +1,47 @@
+#include "rebudget/trace/zipf.h"
+
+#include <numeric>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::trace {
+
+ZipfWorkingSetGen::ZipfWorkingSetGen(uint64_t base_addr,
+                                     uint64_t working_set,
+                                     uint64_t line_bytes, double alpha,
+                                     double write_fraction, uint64_t seed)
+    : baseAddr_(base_addr), workingSet_(working_set), lineBytes_(line_bytes),
+      writeFraction_(write_fraction),
+      sampler_(working_set / line_bytes, alpha), rng_(seed)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        util::fatal("line_bytes must be a power of two");
+    const uint64_t lines = working_set / line_bytes;
+    if (lines == 0)
+        util::fatal("working set smaller than one line");
+    if (write_fraction < 0.0 || write_fraction > 1.0)
+        util::fatal("write_fraction must be in [0,1]");
+    // Scatter ranks across the footprint so that hot lines spread evenly
+    // over cache sets rather than clustering at low set indices.
+    rankToLine_.resize(lines);
+    std::iota(rankToLine_.begin(), rankToLine_.end(), 0);
+    util::Rng perm_rng(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+    perm_rng.shuffle(rankToLine_);
+}
+
+Access
+ZipfWorkingSetGen::next()
+{
+    const size_t rank = sampler_.sample(rng_);
+    const uint64_t line = rankToLine_[rank];
+    return Access{baseAddr_ + line * lineBytes_,
+                  rng_.bernoulli(writeFraction_)};
+}
+
+std::unique_ptr<AddressGenerator>
+ZipfWorkingSetGen::clone() const
+{
+    return std::make_unique<ZipfWorkingSetGen>(*this);
+}
+
+} // namespace rebudget::trace

@@ -1,0 +1,78 @@
+#ifndef REBUDGET_UTIL_LOGGING_H_
+#define REBUDGET_UTIL_LOGGING_H_
+
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * - inform(): normal operating messages, no connotation of a problem.
+ * - warn():   something may not behave as well as it should.
+ * - fatal():  the run cannot continue due to a user error (bad config,
+ *             invalid arguments); throws FatalError so tests can observe it.
+ * - panic():  an internal invariant was violated (a library bug); aborts.
+ */
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace rebudget::util {
+
+/** Exception thrown by fatal() for user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Verbosity levels for console logging. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global log verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** @return the current global log verbosity. */
+LogLevel logLevel();
+
+/** printf-style informative message (shown at Info verbosity and above). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style debug message (shown at Debug verbosity). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style warning (shown at Warn verbosity and above). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error.
+ *
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a violated internal invariant and abort the process.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+std::string vformat(const char *fmt, std::va_list args);
+} // namespace detail
+
+} // namespace rebudget::util
+
+/**
+ * Always-on assertion for internal invariants; calls panic() on failure.
+ * Unlike assert(), not compiled out in release builds.
+ */
+#define REBUDGET_ASSERT(cond, msg)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rebudget::util::panic("assertion failed: %s (%s:%d): %s",    \
+                                    #cond, __FILE__, __LINE__, msg);        \
+        }                                                                   \
+    } while (false)
+
+#endif // REBUDGET_UTIL_LOGGING_H_

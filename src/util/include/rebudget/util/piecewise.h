@@ -1,0 +1,107 @@
+#ifndef REBUDGET_UTIL_PIECEWISE_H_
+#define REBUDGET_UTIL_PIECEWISE_H_
+
+/**
+ * @file
+ * Piecewise-linear curves and concave-majorant (convex hull) machinery.
+ *
+ * Utility-vs-resource relationships throughout the library (miss curves,
+ * IPC-vs-frequency, utility-vs-cache) are represented as piecewise-linear
+ * curves over sampled points.  Talus-style convexification corresponds to
+ * taking the *upper concave hull* of the sampled (x, y) points; the hull
+ * vertices are the "points of interest" (PoIs) of Talus [Beckmann &
+ * Sanchez, HPCA'15].
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace rebudget::util {
+
+/** One sampled (x, y) knot of a piecewise-linear curve. */
+struct Knot
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/**
+ * Immutable piecewise-linear curve over strictly increasing x knots.
+ *
+ * Evaluation outside the knot range clamps to the end values (flat
+ * extension), matching the semantics of "no benefit beyond the largest
+ * profiled allocation" used by the paper (Section 6, footnote 3).
+ */
+class PiecewiseLinear
+{
+  public:
+    PiecewiseLinear() = default;
+
+    /**
+     * @param knots  at least one knot; x values strictly increasing.
+     */
+    explicit PiecewiseLinear(std::vector<Knot> knots);
+
+    /** Convenience constructor from parallel x / y vectors. */
+    PiecewiseLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+    /** @return interpolated value at x (clamped outside the range). */
+    double eval(double x) const;
+
+    /**
+     * @return right-hand slope at x: the slope of the segment containing
+     * x (or 0 beyond the last knot).  This is the marginal value used by
+     * bidding: dU/dx when increasing the allocation.
+     */
+    double slopeRight(double x) const;
+
+    /** @return left-hand slope at x (or 0 before the first knot). */
+    double slopeLeft(double x) const;
+
+    /** @return the knots of this curve. */
+    const std::vector<Knot> &knots() const { return knots_; }
+
+    /** @return smallest knot x. */
+    double minX() const;
+
+    /** @return largest knot x. */
+    double maxX() const;
+
+    /** @return true if curve never decreases (up to tol). */
+    bool isNonDecreasing(double tol = 1e-9) const;
+
+    /** @return true if curve is concave, i.e.\ slopes never increase. */
+    bool isConcave(double tol = 1e-9) const;
+
+    /**
+     * @return the upper concave hull of this curve's knots, as a new
+     * curve whose knots are the hull vertices (PoIs).
+     */
+    PiecewiseLinear concaveMajorant() const;
+
+    /**
+     * @return a copy with y values replaced by their running maximum,
+     * making the curve non-decreasing.
+     */
+    PiecewiseLinear monotoneNonDecreasing() const;
+
+    /** @return true if the curve has at least one knot. */
+    bool valid() const { return !knots_.empty(); }
+
+  private:
+    std::vector<Knot> knots_;
+};
+
+/**
+ * Indices of the vertices of the upper concave hull of (xs[i], ys[i]).
+ *
+ * The x values must be strictly increasing.  The first and last points
+ * are always on the hull.  These are the Talus points of interest.
+ */
+std::vector<size_t> upperConcaveHullIndices(const std::vector<double> &xs,
+                                            const std::vector<double> &ys);
+
+} // namespace rebudget::util
+
+#endif // REBUDGET_UTIL_PIECEWISE_H_

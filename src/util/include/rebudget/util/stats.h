@@ -1,0 +1,124 @@
+#ifndef REBUDGET_UTIL_STATS_H_
+#define REBUDGET_UTIL_STATS_H_
+
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness: streaming
+ * summary accumulators, quantiles, and fixed-bin histograms.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rebudget::util {
+
+/** Streaming min/max/mean/variance accumulator (Welford's algorithm). */
+class SummaryStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const SummaryStats &other);
+
+    /** @return number of observations. */
+    size_t count() const { return n_; }
+
+    /** @return smallest observation (0 if empty). */
+    double min() const;
+
+    /** @return largest observation (0 if empty). */
+    double max() const;
+
+    /** @return arithmetic mean (0 if empty). */
+    double mean() const;
+
+    /** @return population variance (0 if fewer than 2 observations). */
+    double variance() const;
+
+    /** @return population standard deviation. */
+    double stddev() const;
+
+    /** @return sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * @return the q-quantile (0 <= q <= 1) of the data using linear
+ * interpolation between order statistics.  The input is copied and
+ * sorted; use sortedQuantile for repeated queries.
+ */
+double quantile(std::vector<double> data, double q);
+
+/** @return the q-quantile of already-sorted data. */
+double sortedQuantile(const std::vector<double> &sorted, double q);
+
+/** @return fraction of entries satisfying x >= threshold. */
+double fractionAtLeast(const std::vector<double> &data, double threshold);
+
+/** A two-sided confidence interval for a sample mean. */
+struct ConfidenceInterval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    double mean = 0.0;
+};
+
+/**
+ * Bootstrap confidence interval for the mean (percentile method).
+ *
+ * @param data        non-empty sample
+ * @param confidence  e.g.\ 0.95
+ * @param resamples   bootstrap iterations (>= 100)
+ * @param seed        RNG seed (determinism)
+ */
+ConfidenceInterval bootstrapMeanCI(const std::vector<double> &data,
+                                   double confidence = 0.95,
+                                   size_t resamples = 2000,
+                                   uint64_t seed = 1);
+
+/** Fixed-width histogram over [lo, hi) with saturating edge bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    lower edge of the first bin
+     * @param hi    upper edge of the last bin (must be > lo)
+     * @param bins  number of bins (> 0)
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one observation (clamped into the edge bins). */
+    void add(double x);
+
+    /** @return count in bin b. */
+    uint64_t binCount(size_t b) const;
+
+    /** @return the number of bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** @return the midpoint value of bin b. */
+    double binCenter(size_t b) const;
+
+    /** @return total observations. */
+    uint64_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace rebudget::util
+
+#endif // REBUDGET_UTIL_STATS_H_

@@ -1,0 +1,30 @@
+#ifndef REBUDGET_UTIL_UNITS_H_
+#define REBUDGET_UTIL_UNITS_H_
+
+/**
+ * @file
+ * Unit constants shared across the library.
+ */
+
+#include <cstdint>
+
+namespace rebudget::util {
+
+/** Bytes in one kibibyte. */
+inline constexpr uint64_t kKiB = 1024;
+
+/** Bytes in one mebibyte. */
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+
+/** Seconds in one millisecond. */
+inline constexpr double kMilli = 1e-3;
+
+/** Seconds in one nanosecond. */
+inline constexpr double kNano = 1e-9;
+
+/** Hertz in one gigahertz. */
+inline constexpr double kGiga = 1e9;
+
+} // namespace rebudget::util
+
+#endif // REBUDGET_UTIL_UNITS_H_

@@ -1,0 +1,188 @@
+#include "rebudget/util/piecewise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::util {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Knot> knots)
+    : knots_(std::move(knots))
+{
+    if (knots_.empty())
+        fatal("PiecewiseLinear requires at least one knot");
+    for (size_t i = 1; i < knots_.size(); ++i) {
+        if (!(knots_[i].x > knots_[i - 1].x)) {
+            fatal("PiecewiseLinear knots must be strictly increasing in x "
+                  "(knot %zu: %f after %f)",
+                  i, knots_[i].x, knots_[i - 1].x);
+        }
+    }
+}
+
+PiecewiseLinear::PiecewiseLinear(const std::vector<double> &xs,
+                                 const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        fatal("PiecewiseLinear: xs and ys must have the same length");
+    std::vector<Knot> knots(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i)
+        knots[i] = Knot{xs[i], ys[i]};
+    *this = PiecewiseLinear(std::move(knots));
+}
+
+double
+PiecewiseLinear::eval(double x) const
+{
+    REBUDGET_ASSERT(valid(), "eval on empty curve");
+    if (x <= knots_.front().x)
+        return knots_.front().y;
+    if (x >= knots_.back().x)
+        return knots_.back().y;
+    // Find first knot with knot.x > x.
+    const auto it = std::upper_bound(
+        knots_.begin(), knots_.end(), x,
+        [](double v, const Knot &k) { return v < k.x; });
+    const Knot &hi = *it;
+    const Knot &lo = *(it - 1);
+    const double t = (x - lo.x) / (hi.x - lo.x);
+    return lo.y + t * (hi.y - lo.y);
+}
+
+double
+PiecewiseLinear::slopeRight(double x) const
+{
+    REBUDGET_ASSERT(valid(), "slope on empty curve");
+    if (knots_.size() == 1 || x >= knots_.back().x)
+        return 0.0;
+    if (x < knots_.front().x)
+        x = knots_.front().x;
+    const auto it = std::upper_bound(
+        knots_.begin(), knots_.end(), x,
+        [](double v, const Knot &k) { return v < k.x; });
+    const Knot &hi = *it;
+    const Knot &lo = *(it - 1);
+    return (hi.y - lo.y) / (hi.x - lo.x);
+}
+
+double
+PiecewiseLinear::slopeLeft(double x) const
+{
+    REBUDGET_ASSERT(valid(), "slope on empty curve");
+    if (knots_.size() == 1 || x <= knots_.front().x)
+        return 0.0;
+    if (x > knots_.back().x)
+        return 0.0;
+    // Find last knot with knot.x < x.
+    const auto it = std::lower_bound(
+        knots_.begin(), knots_.end(), x,
+        [](const Knot &k, double v) { return k.x < v; });
+    const Knot &hi = *it;
+    const Knot &lo = *(it - 1);
+    return (hi.y - lo.y) / (hi.x - lo.x);
+}
+
+double
+PiecewiseLinear::minX() const
+{
+    REBUDGET_ASSERT(valid(), "minX on empty curve");
+    return knots_.front().x;
+}
+
+double
+PiecewiseLinear::maxX() const
+{
+    REBUDGET_ASSERT(valid(), "maxX on empty curve");
+    return knots_.back().x;
+}
+
+bool
+PiecewiseLinear::isNonDecreasing(double tol) const
+{
+    for (size_t i = 1; i < knots_.size(); ++i) {
+        if (knots_[i].y < knots_[i - 1].y - tol)
+            return false;
+    }
+    return true;
+}
+
+bool
+PiecewiseLinear::isConcave(double tol) const
+{
+    double prev_slope = std::numeric_limits<double>::infinity();
+    for (size_t i = 1; i < knots_.size(); ++i) {
+        const double slope = (knots_[i].y - knots_[i - 1].y) /
+                             (knots_[i].x - knots_[i - 1].x);
+        if (slope > prev_slope + tol)
+            return false;
+        prev_slope = slope;
+    }
+    return true;
+}
+
+PiecewiseLinear
+PiecewiseLinear::concaveMajorant() const
+{
+    REBUDGET_ASSERT(valid(), "concaveMajorant on empty curve");
+    std::vector<double> xs(knots_.size());
+    std::vector<double> ys(knots_.size());
+    for (size_t i = 0; i < knots_.size(); ++i) {
+        xs[i] = knots_[i].x;
+        ys[i] = knots_[i].y;
+    }
+    const std::vector<size_t> hull = upperConcaveHullIndices(xs, ys);
+    std::vector<Knot> out;
+    out.reserve(hull.size());
+    for (size_t idx : hull)
+        out.push_back(knots_[idx]);
+    return PiecewiseLinear(std::move(out));
+}
+
+PiecewiseLinear
+PiecewiseLinear::monotoneNonDecreasing() const
+{
+    REBUDGET_ASSERT(valid(), "monotoneNonDecreasing on empty curve");
+    std::vector<Knot> out = knots_;
+    for (size_t i = 1; i < out.size(); ++i)
+        out[i].y = std::max(out[i].y, out[i - 1].y);
+    return PiecewiseLinear(std::move(out));
+}
+
+std::vector<size_t>
+upperConcaveHullIndices(const std::vector<double> &xs,
+                        const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        fatal("upperConcaveHullIndices: length mismatch");
+    if (xs.empty())
+        fatal("upperConcaveHullIndices: empty input");
+    for (size_t i = 1; i < xs.size(); ++i) {
+        if (!(xs[i] > xs[i - 1]))
+            fatal("upperConcaveHullIndices: x must be strictly increasing");
+    }
+    // Andrew's monotone chain, upper hull: keep turns that are clockwise
+    // (cross product <= 0 means the middle point is below the chord, so it
+    // is dropped from the *upper* hull when cross >= 0 ... we want to keep
+    // the sequence of slopes non-increasing).
+    std::vector<size_t> hull;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        while (hull.size() >= 2) {
+            const size_t a = hull[hull.size() - 2];
+            const size_t b = hull[hull.size() - 1];
+            // cross of (b - a) x (i - a); >= 0 means b is on or below the
+            // chord a->i, i.e. not a vertex of the upper hull.
+            const double cross = (xs[b] - xs[a]) * (ys[i] - ys[a]) -
+                                 (ys[b] - ys[a]) * (xs[i] - xs[a]);
+            if (cross >= 0.0)
+                hull.pop_back();
+            else
+                break;
+        }
+        hull.push_back(i);
+    }
+    return hull;
+}
+
+} // namespace rebudget::util

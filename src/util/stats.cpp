@@ -1,0 +1,178 @@
+#include "rebudget/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rebudget/util/logging.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::util {
+
+void
+SummaryStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+SummaryStats::merge(const SummaryStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n_total = na + nb;
+    mean_ += delta * nb / n_total;
+    m2_ += other.m2_ + delta * delta * na * nb / n_total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+SummaryStats::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+SummaryStats::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+double
+SummaryStats::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+SummaryStats::variance() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+quantile(std::vector<double> data, double q)
+{
+    std::sort(data.begin(), data.end());
+    return sortedQuantile(data, q);
+}
+
+double
+sortedQuantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        fatal("quantile of empty data");
+    if (q < 0.0 || q > 1.0)
+        fatal("quantile q must be in [0,1], got %f", q);
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+fractionAtLeast(const std::vector<double> &data, double threshold)
+{
+    if (data.empty())
+        return 0.0;
+    size_t n = 0;
+    for (double x : data) {
+        if (x >= threshold)
+            ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(data.size());
+}
+
+ConfidenceInterval
+bootstrapMeanCI(const std::vector<double> &data, double confidence,
+                size_t resamples, uint64_t seed)
+{
+    if (data.empty())
+        fatal("bootstrapMeanCI of empty data");
+    if (confidence <= 0.0 || confidence >= 1.0)
+        fatal("confidence must be in (0,1), got %f", confidence);
+    if (resamples < 100)
+        fatal("bootstrapMeanCI needs at least 100 resamples");
+    Rng rng(seed);
+    const size_t n = data.size();
+    std::vector<double> means;
+    means.reserve(resamples);
+    for (size_t r = 0; r < resamples; ++r) {
+        double sum = 0.0;
+        for (size_t k = 0; k < n; ++k)
+            sum += data[rng.uniformInt(static_cast<uint64_t>(n))];
+        means.push_back(sum / static_cast<double>(n));
+    }
+    std::sort(means.begin(), means.end());
+    const double alpha = (1.0 - confidence) / 2.0;
+    ConfidenceInterval ci;
+    ci.lo = sortedQuantile(means, alpha);
+    ci.hi = sortedQuantile(means, 1.0 - alpha);
+    double sum = 0.0;
+    for (double x : data)
+        sum += x;
+    ci.mean = sum / static_cast<double>(n);
+    return ci;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi)
+{
+    if (!(hi > lo))
+        fatal("Histogram requires hi > lo");
+    if (bins == 0)
+        fatal("Histogram requires at least one bin");
+    counts_.assign(bins, 0);
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto b = static_cast<long>(std::floor((x - lo_) / width));
+    b = std::clamp(b, 0L, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(b)];
+    ++total_;
+}
+
+uint64_t
+Histogram::binCount(size_t b) const
+{
+    REBUDGET_ASSERT(b < counts_.size(), "histogram bin out of range");
+    return counts_[b];
+}
+
+double
+Histogram::binCenter(size_t b) const
+{
+    REBUDGET_ASSERT(b < counts_.size(), "histogram bin out of range");
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(b) + 0.5) * width;
+}
+
+} // namespace rebudget::util

@@ -1,0 +1,168 @@
+#include "rebudget/workloads/bundles.h"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/util/logging.h"
+#include "rebudget/util/rng.h"
+#include "rebudget/workloads/classify.h"
+
+namespace rebudget::workloads {
+
+namespace {
+
+size_t
+classIndex(app::AppClass cls)
+{
+    switch (cls) {
+      case app::AppClass::CacheSensitive:
+        return 0;
+      case app::AppClass::PowerSensitive:
+        return 1;
+      case app::AppClass::BothSensitive:
+        return 2;
+      case app::AppClass::None:
+        return 3;
+    }
+    util::panic("unknown AppClass");
+}
+
+} // namespace
+
+std::array<app::AppClass, 4>
+categorySlots(BundleCategory category)
+{
+    using app::AppClass;
+    switch (category) {
+      case BundleCategory::CPBN:
+        return {AppClass::CacheSensitive, AppClass::PowerSensitive,
+                AppClass::BothSensitive, AppClass::None};
+      case BundleCategory::CCPP:
+        return {AppClass::CacheSensitive, AppClass::CacheSensitive,
+                AppClass::PowerSensitive, AppClass::PowerSensitive};
+      case BundleCategory::CPBB:
+        return {AppClass::CacheSensitive, AppClass::PowerSensitive,
+                AppClass::BothSensitive, AppClass::BothSensitive};
+      case BundleCategory::BBNN:
+        return {AppClass::BothSensitive, AppClass::BothSensitive,
+                AppClass::None, AppClass::None};
+      case BundleCategory::BBPN:
+        return {AppClass::BothSensitive, AppClass::BothSensitive,
+                AppClass::PowerSensitive, AppClass::None};
+      case BundleCategory::BBCN:
+        return {AppClass::BothSensitive, AppClass::BothSensitive,
+                AppClass::CacheSensitive, AppClass::None};
+    }
+    util::panic("unknown BundleCategory");
+}
+
+std::string
+categoryName(BundleCategory category)
+{
+    std::string name;
+    for (app::AppClass cls : categorySlots(category))
+        name.push_back(app::appClassCode(cls));
+    return name;
+}
+
+const std::vector<std::string> &
+ClassifiedCatalog::pool(app::AppClass cls) const
+{
+    const auto &p = byClass[classIndex(cls)];
+    if (p.empty()) {
+        util::fatal("no catalog applications in class %c",
+                    app::appClassCode(cls));
+    }
+    return p;
+}
+
+ClassifiedCatalog
+classifyCatalog()
+{
+    ClassifiedCatalog catalog;
+    const power::PowerModel power;
+    for (const auto &profile : app::catalogProfiles()) {
+        const app::AppUtilityModel model(profile, power);
+        const app::AppClass cls = classifyApp(model);
+        catalog.byClass[classIndex(cls)].push_back(profile.params.name);
+    }
+    return catalog;
+}
+
+std::vector<Bundle>
+generateBundles(const ClassifiedCatalog &catalog, BundleCategory category,
+                uint32_t cores, uint32_t count, uint64_t seed)
+{
+    if (cores == 0 || cores % 4 != 0)
+        util::fatal("core count must be a positive multiple of 4");
+    const uint32_t per_slot = cores / 4;
+    const auto slots = categorySlots(category);
+    util::Rng rng(seed);
+    std::vector<Bundle> bundles;
+    bundles.reserve(count);
+    for (uint32_t b = 0; b < count; ++b) {
+        Bundle bundle;
+        bundle.category = category;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s-%02u",
+                      categoryName(category).c_str(), b);
+        bundle.name = buf;
+        bundle.appNames.reserve(cores);
+        for (const app::AppClass cls : slots) {
+            const auto &pool = catalog.pool(cls);
+            for (uint32_t k = 0; k < per_slot; ++k) {
+                const size_t pick = rng.uniformInt(
+                    static_cast<uint64_t>(pool.size()));
+                bundle.appNames.push_back(pool[pick]);
+            }
+        }
+        bundles.push_back(std::move(bundle));
+    }
+    return bundles;
+}
+
+Bundle
+bundleByName(const ClassifiedCatalog &catalog, const std::string &name,
+             uint32_t cores, uint64_t seed)
+{
+    const auto dash = name.find('-');
+    if (dash == std::string::npos || dash + 1 >= name.size())
+        util::fatal("bundle name '%s' is not CATEGORY-INDEX",
+                    name.c_str());
+    const std::string cat_name = name.substr(0, dash);
+    uint32_t index = 0;
+    try {
+        index = static_cast<uint32_t>(std::stoul(name.substr(dash + 1)));
+    } catch (const std::exception &) {
+        util::fatal("bundle name '%s' has a bad index", name.c_str());
+    }
+    for (const BundleCategory cat : kAllCategories) {
+        if (categoryName(cat) == cat_name) {
+            auto bundles =
+                generateBundles(catalog, cat, cores, index + 1, seed);
+            return std::move(bundles[index]);
+        }
+    }
+    util::fatal("unknown bundle category '%s'", cat_name.c_str());
+}
+
+std::vector<Bundle>
+generateAllBundles(const ClassifiedCatalog &catalog, uint32_t cores,
+                   uint32_t count_per_category, uint64_t seed)
+{
+    std::vector<Bundle> all;
+    all.reserve(kAllCategories.size() * count_per_category);
+    uint64_t s = seed;
+    for (const BundleCategory cat : kAllCategories) {
+        auto bundles =
+            generateBundles(catalog, cat, cores, count_per_category, ++s);
+        for (auto &b : bundles)
+            all.push_back(std::move(b));
+    }
+    return all;
+}
+
+} // namespace rebudget::workloads

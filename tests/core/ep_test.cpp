@@ -1,0 +1,184 @@
+#include "rebudget/core/ep_allocator.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+namespace {
+
+// An exact Cobb-Douglas utility: u = (r0/c0)^a * (r1/c1)^(1-a).
+class CobbDouglas : public market::UtilityModel
+{
+  public:
+    CobbDouglas(double a, std::vector<double> caps)
+        : a_(a), caps_(std::move(caps))
+    {
+    }
+    size_t numResources() const override { return caps_.size(); }
+    double
+    utility(std::span<const double> alloc) const override
+    {
+        const double x0 = std::max(1e-12, alloc[0] / caps_[0]);
+        const double x1 = std::max(1e-12, alloc[1] / caps_[1]);
+        return std::pow(x0, a_) * std::pow(x1, 1.0 - a_);
+    }
+
+  private:
+    double a_;
+    std::vector<double> caps_;
+};
+
+TEST(CobbDouglasFit, RecoversExactElasticities)
+{
+    const std::vector<double> caps = {10.0, 20.0};
+    for (double a : {0.2, 0.5, 0.8}) {
+        const CobbDouglas model(a, caps);
+        const CobbDouglasFit fit = fitCobbDouglas(model, caps);
+        EXPECT_NEAR(fit.elasticities[0], a, 1e-6);
+        EXPECT_NEAR(fit.elasticities[1], 1.0 - a, 1e-6);
+        EXPECT_GT(fit.r2, 0.999);
+    }
+}
+
+TEST(CobbDouglasFit, ElasticitiesNormalized)
+{
+    // PowerLawUtility (additive, not Cobb-Douglas): the fit is inexact
+    // but elasticities must still be a distribution.
+    const market::PowerLawUtility model({3.0, 1.0}, {0.5, 0.9},
+                                        {10.0, 10.0});
+    const CobbDouglasFit fit = fitCobbDouglas(model, {10.0, 10.0});
+    EXPECT_NEAR(fit.elasticities[0] + fit.elasticities[1], 1.0, 1e-9);
+    EXPECT_GE(fit.elasticities[0], 0.0);
+    EXPECT_GE(fit.elasticities[1], 0.0);
+    // The heavier resource gets the larger elasticity.
+    EXPECT_GT(fit.elasticities[0], fit.elasticities[1]);
+}
+
+TEST(CobbDouglasFit, ImperfectFitReportsLowerR2)
+{
+    // A cliff utility fits log-linear badly.
+    class Cliff : public market::UtilityModel
+    {
+      public:
+        size_t numResources() const override { return 2; }
+        double
+        utility(std::span<const double> alloc) const override
+        {
+            return (alloc[0] > 5.0 ? 0.9 : 0.1) + 0.01 * alloc[1];
+        }
+    };
+    const Cliff cliff;
+    const CobbDouglasFit fit = fitCobbDouglas(cliff, {10.0, 10.0});
+    EXPECT_LT(fit.r2, 0.9);
+}
+
+TEST(CobbDouglasFit, RejectsBadArgs)
+{
+    const market::PowerLawUtility model({1.0}, {0.5}, {10.0});
+    EXPECT_THROW(fitCobbDouglas(model, {10.0, 10.0}),
+                 util::FatalError);
+    EXPECT_THROW(fitCobbDouglas(model, {10.0}, 2), util::FatalError);
+}
+
+TEST(EpAllocator, ExactCobbDouglasSplitsByElasticity)
+{
+    const std::vector<double> caps = {10.0, 10.0};
+    const CobbDouglas cache_heavy(0.8, caps);
+    const CobbDouglas power_heavy(0.2, caps);
+    AllocationProblem problem;
+    problem.models = {&cache_heavy, &power_heavy};
+    problem.capacities = caps;
+    const auto out = EpAllocator().allocate(problem);
+    // Resource 0: shares 0.8 / (0.8 + 0.2).
+    EXPECT_NEAR(out.alloc[0][0], 8.0, 0.05);
+    EXPECT_NEAR(out.alloc[1][0], 2.0, 0.05);
+    EXPECT_NEAR(out.alloc[0][1], 2.0, 0.05);
+    EXPECT_NEAR(out.alloc[1][1], 8.0, 0.05);
+}
+
+TEST(EpAllocator, ExhaustsCapacity)
+{
+    const std::vector<double> caps = {12.0, 30.0};
+    const market::PowerLawUtility a({2.0, 1.0}, {0.5, 0.5}, caps);
+    const market::PowerLawUtility b({1.0, 2.0}, {0.7, 0.7}, caps);
+    AllocationProblem problem;
+    problem.models = {&a, &b};
+    problem.capacities = caps;
+    const auto out = EpAllocator().allocate(problem);
+    for (size_t j = 0; j < 2; ++j) {
+        EXPECT_NEAR(out.alloc[0][j] + out.alloc[1][j], caps[j], 1e-9);
+    }
+}
+
+TEST(EpAllocator, ExactCobbDouglasIsEnvyFree)
+{
+    // REF's guarantee under its own assumptions must hold here.
+    const std::vector<double> caps = {10.0, 10.0};
+    const CobbDouglas p1(0.7, caps);
+    const CobbDouglas p2(0.4, caps);
+    const CobbDouglas p3(0.5, caps);
+    AllocationProblem problem;
+    problem.models = {&p1, &p2, &p3};
+    problem.capacities = caps;
+    const auto out = EpAllocator().allocate(problem);
+    EXPECT_GE(market::envyFreeness(problem.models, out.alloc),
+              1.0 - 1e-6);
+}
+
+TEST(EpAllocator, IdenticalPlayersGetEqualShares)
+{
+    const std::vector<double> caps = {10.0, 10.0};
+    const CobbDouglas p(0.6, caps);
+    AllocationProblem problem;
+    problem.models = {&p, &p, &p, &p};
+    problem.capacities = caps;
+    const auto out = EpAllocator().allocate(problem);
+    for (const auto &row : out.alloc) {
+        EXPECT_NEAR(row[0], 2.5, 1e-6);
+        EXPECT_NEAR(row[1], 2.5, 1e-6);
+    }
+}
+
+TEST(EpAllocator, RejectsBadGrid)
+{
+    EXPECT_THROW(EpAllocator{2}, util::FatalError);
+}
+
+TEST(EpAllocator, SuboptimalOnNonCobbDouglasUtilities)
+{
+    // The paper's Section 1 point: with ill-fitting utilities EP can
+    // lose substantial efficiency vs the oracle.
+    const std::vector<double> caps = {10.0, 10.0};
+    class Satiating : public market::UtilityModel
+    {
+      public:
+        size_t numResources() const override { return 2; }
+        double
+        utility(std::span<const double> alloc) const override
+        {
+            // Only resource 0 matters, and it satiates at 2 units.
+            return std::min(1.0, alloc[0] / 2.0);
+        }
+    };
+    const Satiating s1, s2;
+    const market::PowerLawUtility hungry({1.0, 1.0}, {0.9, 0.9}, caps);
+    AllocationProblem problem;
+    problem.models = {&s1, &s2, &hungry};
+    problem.capacities = caps;
+    const double ep_eff = market::efficiency(
+        problem.models, EpAllocator().allocate(problem).alloc);
+    const double opt_eff = market::efficiency(
+        problem.models,
+        MaxEfficiencyAllocator().allocate(problem).alloc);
+    EXPECT_LT(ep_eff, 0.97 * opt_eff);
+}
+
+} // namespace
+} // namespace rebudget::core

@@ -1,0 +1,182 @@
+#include "rebudget/core/groups.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+namespace {
+
+struct Fixture
+{
+    std::vector<std::unique_ptr<market::PowerLawUtility>> models;
+    AllocationProblem problem;
+};
+
+// 4 cores: cores 0-2 run the same app, core 3 another.
+Fixture
+fourCores()
+{
+    Fixture f;
+    f.problem.capacities = {12.0, 12.0};
+    for (int i = 0; i < 3; ++i) {
+        f.models.push_back(std::make_unique<market::PowerLawUtility>(
+            std::vector<double>{2.0, 1.0}, std::vector<double>{0.6, 0.6},
+            f.problem.capacities));
+        f.problem.models.push_back(f.models.back().get());
+    }
+    f.models.push_back(std::make_unique<market::PowerLawUtility>(
+        std::vector<double>{1.0, 2.0}, std::vector<double>{0.6, 0.6},
+        f.problem.capacities));
+    f.problem.models.push_back(f.models.back().get());
+    return f;
+}
+
+std::vector<ThreadGroup>
+standardGroups()
+{
+    return {{"parallel-app", {0, 1, 2}}, {"solo-app", {3}}};
+}
+
+TEST(SharedGroupUtility, SplitsAllocationEvenly)
+{
+    const market::PowerLawUtility member({1.0}, {0.5}, {10.0});
+    const market::SharedGroupUtility group(member, 4);
+    // Group with 8 units = each thread with 2 units.
+    EXPECT_DOUBLE_EQ(group.utility(std::vector<double>{8.0}),
+                     member.utility(std::vector<double>{2.0}));
+}
+
+TEST(SharedGroupUtility, MarginalIsScaledMemberMarginal)
+{
+    const market::PowerLawUtility member({1.0}, {0.5}, {10.0});
+    const market::SharedGroupUtility group(member, 4);
+    EXPECT_NEAR(group.marginal(0, std::vector<double>{8.0}),
+                member.marginal(0, std::vector<double>{2.0}) / 4.0,
+                1e-12);
+}
+
+TEST(SharedGroupUtility, SingleThreadIsIdentity)
+{
+    const market::PowerLawUtility member({1.0, 1.0}, {0.5, 0.8},
+                                         {10.0, 10.0});
+    const market::SharedGroupUtility group(member, 1);
+    const std::vector<double> alloc = {3.0, 7.0};
+    EXPECT_DOUBLE_EQ(group.utility(alloc), member.utility(alloc));
+}
+
+TEST(SharedGroupUtility, NameEncodesThreadCount)
+{
+    const market::PowerLawUtility member({1.0}, {0.5}, {10.0});
+    EXPECT_EQ(market::SharedGroupUtility(member, 8).name(),
+              "power-lawx8");
+}
+
+TEST(SharedGroupUtility, ZeroThreadsIsFatal)
+{
+    const market::PowerLawUtility member({1.0}, {0.5}, {10.0});
+    EXPECT_THROW(market::SharedGroupUtility(member, 0),
+                 util::FatalError);
+}
+
+TEST(GroupedProblem, BuildsOnePlayerPerGroup)
+{
+    Fixture f = fourCores();
+    const GroupedProblem grouped =
+        makeGroupedProblem(f.problem, standardGroups());
+    EXPECT_EQ(grouped.problem.models.size(), 2u);
+    EXPECT_EQ(grouped.models[0]->threads(), 3u);
+    EXPECT_EQ(grouped.models[1]->threads(), 1u);
+}
+
+TEST(GroupedProblem, ExpandSplitsEvenly)
+{
+    Fixture f = fourCores();
+    const GroupedProblem grouped =
+        makeGroupedProblem(f.problem, standardGroups());
+    const std::vector<std::vector<double>> group_alloc = {{9.0, 6.0},
+                                                          {3.0, 6.0}};
+    const auto per_core = grouped.expand(group_alloc, 4);
+    for (int core = 0; core < 3; ++core) {
+        EXPECT_DOUBLE_EQ(per_core[core][0], 3.0);
+        EXPECT_DOUBLE_EQ(per_core[core][1], 2.0);
+    }
+    EXPECT_DOUBLE_EQ(per_core[3][0], 3.0);
+    EXPECT_DOUBLE_EQ(per_core[3][1], 6.0);
+}
+
+TEST(GroupedProblem, ExpandConservesCapacity)
+{
+    Fixture f = fourCores();
+    const GroupedProblem grouped =
+        makeGroupedProblem(f.problem, standardGroups());
+    const auto out = EqualBudgetAllocator().allocate(grouped.problem);
+    const auto per_core = grouped.expand(out.alloc, 4);
+    for (size_t j = 0; j < 2; ++j) {
+        double sum = 0.0;
+        for (const auto &row : per_core)
+            sum += row[j];
+        EXPECT_NEAR(sum, f.problem.capacities[j], 1e-9);
+    }
+}
+
+TEST(GroupedProblem, AppGranularityCurbsThreadCountPower)
+{
+    // Thread granularity: the 3-thread app holds 3 of 4 budgets and
+    // crowds out the solo app.  App granularity: both apps have one
+    // budget, and the solo app's share of each resource rises.
+    Fixture f = fourCores();
+    const auto thread_level =
+        EqualBudgetAllocator().allocate(f.problem);
+    const double solo_thread_share =
+        thread_level.alloc[3][0] + thread_level.alloc[3][1];
+
+    const GroupedProblem grouped =
+        makeGroupedProblem(f.problem, standardGroups());
+    const auto app_level =
+        EqualBudgetAllocator().allocate(grouped.problem);
+    const auto per_core = grouped.expand(app_level.alloc, 4);
+    const double solo_app_share = per_core[3][0] + per_core[3][1];
+
+    EXPECT_GT(solo_app_share, solo_thread_share * 1.3);
+}
+
+TEST(GroupedProblem, RejectsBadPartitions)
+{
+    Fixture f = fourCores();
+    // Missing core.
+    EXPECT_THROW(
+        makeGroupedProblem(f.problem, {{"a", {0, 1}}, {"b", {3}}}),
+        util::FatalError);
+    // Duplicate core.
+    EXPECT_THROW(makeGroupedProblem(
+                     f.problem, {{"a", {0, 1, 2}}, {"b", {2, 3}}}),
+                 util::FatalError);
+    // Out-of-range core.
+    EXPECT_THROW(makeGroupedProblem(
+                     f.problem, {{"a", {0, 1, 2}}, {"b", {7}}}),
+                 util::FatalError);
+    // Empty group.
+    EXPECT_THROW(makeGroupedProblem(
+                     f.problem,
+                     {{"a", {0, 1, 2, 3}}, {"b", {}}}),
+                 util::FatalError);
+    // No groups at all.
+    EXPECT_THROW(makeGroupedProblem(f.problem, {}), util::FatalError);
+}
+
+TEST(GroupedProblem, ExpandRejectsWrongArity)
+{
+    Fixture f = fourCores();
+    const GroupedProblem grouped =
+        makeGroupedProblem(f.problem, standardGroups());
+    EXPECT_THROW(grouped.expand({{1.0, 1.0}}, 4), util::FatalError);
+}
+
+} // namespace
+} // namespace rebudget::core

@@ -1,0 +1,243 @@
+#include "rebudget/core/rebudget_allocator.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/logging.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::core {
+namespace {
+
+struct Fixture
+{
+    std::vector<std::unique_ptr<market::PowerLawUtility>> models;
+    AllocationProblem problem;
+};
+
+// A heterogeneous market where some players are nearly satiated (low
+// lambda) and others starved: the setting ReBudget is built for.
+Fixture
+skewedFixture(uint64_t seed, size_t players)
+{
+    util::Rng rng(seed);
+    Fixture f;
+    f.problem.capacities = {20.0, 20.0};
+    for (size_t i = 0; i < players; ++i) {
+        const bool satiable = i % 2 == 0;
+        const double e = satiable ? 0.15 : 0.95;
+        f.models.push_back(std::make_unique<market::PowerLawUtility>(
+            std::vector<double>{rng.uniform(0.5, 1.0),
+                                rng.uniform(0.5, 1.0)},
+            std::vector<double>{e, e}, f.problem.capacities));
+        f.problem.models.push_back(f.models.back().get());
+    }
+    return f;
+}
+
+TEST(ReBudget, NameEncodesStep)
+{
+    EXPECT_EQ(ReBudgetAllocator::withStep(20).name(), "ReBudget-20");
+    EXPECT_EQ(ReBudgetAllocator::withStep(40).name(), "ReBudget-40");
+}
+
+TEST(ReBudget, FairnessTargetNameAndFloor)
+{
+    const auto alloc = ReBudgetAllocator::withFairnessTarget(0.5);
+    EXPECT_EQ(alloc.name(), "ReBudget-EF0.5");
+    // Theorem 2 inverse: MBR = ((0.5+2)/2)^2 - 1 = 0.5625.
+    EXPECT_NEAR(alloc.budgetFloorFraction(), 0.5625, 1e-9);
+    // Step (1) of Section 4.2: step0 = (1 - MBR) * B / 2.
+    EXPECT_NEAR(alloc.step0(), (1.0 - 0.5625) * 50.0, 1e-9);
+}
+
+TEST(ReBudget, BudgetsNeverBelowGeometricFloor)
+{
+    Fixture f = skewedFixture(1, 6);
+    const auto alloc = ReBudgetAllocator::withStep(20);
+    const auto out = alloc.allocate(f.problem);
+    // Worst case cut series: 20 + 10 + 5 + 2.5 + 1.25 = 38.75.
+    for (double b : out.budgets) {
+        EXPECT_GE(b, 100.0 - 38.75 - 1e-9);
+        EXPECT_LE(b, 100.0 + 1e-9);
+    }
+}
+
+TEST(ReBudget, WorstCaseMbrMatchesCutSeries)
+{
+    EXPECT_NEAR(ReBudgetAllocator::withStep(20).worstCaseMbr(), 0.6125,
+                1e-9);
+    EXPECT_NEAR(ReBudgetAllocator::withStep(40).worstCaseMbr(), 0.2125,
+                1e-9);
+}
+
+TEST(ReBudget, FairnessTargetEnforcesMbrFloor)
+{
+    Fixture f = skewedFixture(2, 6);
+    const auto alloc = ReBudgetAllocator::withFairnessTarget(0.6);
+    const auto out = alloc.allocate(f.problem);
+    const double mbr = market::marketBudgetRange(out.budgets);
+    EXPECT_GE(mbr, alloc.budgetFloorFraction() - 1e-9);
+    // Theorem 2 then guarantees the administrator's target.
+    EXPECT_GE(market::envyFreenessLowerBound(mbr), 0.6 - 1e-9);
+}
+
+TEST(ReBudget, CutsOnlyLowLambdaPlayers)
+{
+    Fixture f = skewedFixture(3, 6);
+    const auto out = ReBudgetAllocator::withStep(20).allocate(f.problem);
+    // Whoever kept the full initial budget must not have had the lowest
+    // lambda... verify the complementary property: every cut player's
+    // final lambda is below the maximum (they were over-budgeted).
+    const double max_lambda =
+        *std::max_element(out.lambdas.begin(), out.lambdas.end());
+    for (size_t i = 0; i < out.budgets.size(); ++i) {
+        if (out.budgets[i] < 100.0 - 1e-9)
+            EXPECT_LT(out.lambdas[i], max_lambda + 1e-12);
+    }
+}
+
+TEST(ReBudget, ImprovesEfficiencyOverEqualBudgetOnSkewedMarkets)
+{
+    int improved = 0;
+    int trials = 0;
+    for (uint64_t seed = 10; seed < 20; ++seed) {
+        Fixture f = skewedFixture(seed, 6);
+        const double eq = market::efficiency(
+            f.problem.models,
+            EqualBudgetAllocator().allocate(f.problem).alloc);
+        const double rb = market::efficiency(
+            f.problem.models,
+            ReBudgetAllocator::withStep(40).allocate(f.problem).alloc);
+        ++trials;
+        if (rb >= eq - 1e-9)
+            ++improved;
+    }
+    // Budget reassignment is a heuristic; it must help in the vast
+    // majority of skewed markets.
+    EXPECT_GE(improved, trials - 1);
+}
+
+TEST(ReBudget, MoreAggressiveStepMovesMurTowardOne)
+{
+    Fixture f = skewedFixture(4, 6);
+    const auto eq = EqualBudgetAllocator().allocate(f.problem);
+    const auto rb40 =
+        ReBudgetAllocator::withStep(40).allocate(f.problem);
+    const double mur_eq = market::marketUtilityRange(eq.lambdas);
+    const double mur_rb = market::marketUtilityRange(rb40.lambdas);
+    EXPECT_GE(mur_rb, mur_eq - 0.05);
+}
+
+TEST(ReBudget, EnvyBoundHoldsAtEquilibrium)
+{
+    for (uint64_t seed = 30; seed < 36; ++seed) {
+        Fixture f = skewedFixture(seed, 6);
+        const auto out =
+            ReBudgetAllocator::withStep(40).allocate(f.problem);
+        const double ef =
+            market::envyFreeness(f.problem.models, out.alloc);
+        const double bound = market::envyFreenessLowerBound(
+            market::marketBudgetRange(out.budgets));
+        EXPECT_GE(ef, bound - 0.05) << "seed " << seed;
+    }
+}
+
+TEST(ReBudget, StableMarketTerminatesWithoutCuts)
+{
+    // Identical players: lambdas equal, nothing to cut, outcome matches
+    // EqualBudget after one round.
+    Fixture f;
+    f.problem.capacities = {10.0, 10.0};
+    for (int i = 0; i < 4; ++i) {
+        f.models.push_back(std::make_unique<market::PowerLawUtility>(
+            std::vector<double>{1.0, 1.0}, std::vector<double>{0.5, 0.5},
+            f.problem.capacities));
+        f.problem.models.push_back(f.models.back().get());
+    }
+    const auto out = ReBudgetAllocator::withStep(20).allocate(f.problem);
+    EXPECT_EQ(out.budgetRounds, 1);
+    for (double b : out.budgets)
+        EXPECT_DOUBLE_EQ(b, 100.0);
+}
+
+TEST(ReBudget, ReportsAccounting)
+{
+    Fixture f = skewedFixture(5, 6);
+    const auto out = ReBudgetAllocator::withStep(40).allocate(f.problem);
+    EXPECT_GE(out.budgetRounds, 1);
+    EXPECT_GE(out.marketIterations, out.budgetRounds);
+    EXPECT_EQ(out.alloc.size(), 6u);
+}
+
+TEST(ReBudget, AllocationExhaustsCapacity)
+{
+    Fixture f = skewedFixture(6, 6);
+    const auto out = ReBudgetAllocator::withStep(20).allocate(f.problem);
+    for (size_t j = 0; j < 2; ++j) {
+        double sum = 0.0;
+        for (const auto &row : out.alloc)
+            sum += row[j];
+        EXPECT_NEAR(sum, f.problem.capacities[j], 1e-9);
+    }
+}
+
+TEST(ReBudget, RejectsBadConfig)
+{
+    ReBudgetConfig bad;
+    bad.initialBudget = 0.0;
+    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+
+    bad = ReBudgetConfig{};
+    bad.step0 = 60.0; // >= B/2
+    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+
+    bad = ReBudgetConfig{};
+    bad.step0 = 0.0;
+    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+
+    bad = ReBudgetConfig{};
+    bad.lambdaCutThreshold = 1.0;
+    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+
+    bad = ReBudgetConfig{};
+    bad.mbrFloor = 2.0;
+    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+
+    bad = ReBudgetConfig{};
+    bad.maxRounds = 0;
+    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+}
+
+// The paper's knob: sweeping the step trades efficiency against
+// fairness monotonically (statistically).
+class StepKnob : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(StepKnob, LargerStepNeverLessEfficientMuchLessFair)
+{
+    Fixture f = skewedFixture(GetParam(), 8);
+    const auto rb10 = ReBudgetAllocator::withStep(10).allocate(f.problem);
+    const auto rb40 = ReBudgetAllocator::withStep(40).allocate(f.problem);
+    const double eff10 =
+        market::efficiency(f.problem.models, rb10.alloc);
+    const double eff40 =
+        market::efficiency(f.problem.models, rb40.alloc);
+    EXPECT_GE(eff40, eff10 - 0.03 * eff10);
+    const double mbr10 = market::marketBudgetRange(rb10.budgets);
+    const double mbr40 = market::marketBudgetRange(rb40.budgets);
+    EXPECT_LE(mbr40, mbr10 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepKnob,
+                         ::testing::Range(uint64_t{50}, uint64_t{58}));
+
+} // namespace
+} // namespace rebudget::core

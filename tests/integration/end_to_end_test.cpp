@@ -1,0 +1,188 @@
+/**
+ * End-to-end integration tests: the analytic (phase-1) pipeline on the
+ * paper's Figure 3 bundle, checking that the qualitative results of
+ * Section 6 hold -- the efficiency/fairness orderings, the behavior of
+ * the ReBudget knob, the theoretical bounds, and convergence behavior.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+
+namespace rebudget {
+namespace {
+
+// Paper Section 6.1.1: the 8-core BBPC study bundle.
+class Fig3Bundle : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        state_ = new State();
+        const std::vector<std::string> names = {
+            "apsi", "apsi", "swim", "swim",
+            "mcf",  "mcf",  "hmmer", "sixtrack"};
+        double min_watts = 0.0;
+        for (const auto &nm : names) {
+            state_->models.push_back(
+                std::make_unique<app::AppUtilityModel>(
+                    app::findCatalogProfile(nm), state_->power));
+            min_watts += state_->models.back()->minWatts();
+            state_->problem.models.push_back(
+                state_->models.back().get());
+        }
+        state_->problem.capacities = {32.0 - 8.0, 80.0 - min_watts};
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete state_;
+        state_ = nullptr;
+    }
+
+    struct State
+    {
+        power::PowerModel power;
+        std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+        core::AllocationProblem problem;
+    };
+    static State *state_;
+
+    static double
+    eff(const core::AllocationOutcome &out)
+    {
+        return market::efficiency(state_->problem.models, out.alloc);
+    }
+
+    static double
+    ef(const core::AllocationOutcome &out)
+    {
+        return market::envyFreeness(state_->problem.models, out.alloc);
+    }
+};
+
+Fig3Bundle::State *Fig3Bundle::state_ = nullptr;
+
+TEST_F(Fig3Bundle, EfficiencyOrderingMatchesPaper)
+{
+    const double e_share =
+        eff(core::EqualShareAllocator().allocate(state_->problem));
+    const double e_equal =
+        eff(core::EqualBudgetAllocator().allocate(state_->problem));
+    const double e_rb20 = eff(
+        core::ReBudgetAllocator::withStep(20).allocate(state_->problem));
+    const double e_rb40 = eff(
+        core::ReBudgetAllocator::withStep(40).allocate(state_->problem));
+    const double e_max =
+        eff(core::MaxEfficiencyAllocator().allocate(state_->problem));
+
+    EXPECT_GT(e_equal, e_share);
+    EXPECT_GE(e_rb20, e_equal - 1e-9);
+    EXPECT_GE(e_rb40, e_rb20 - 1e-9);
+    EXPECT_GE(e_max, e_rb40 - 0.02 * e_max);
+    // Section 6.1.3: aggressive ReBudget reaches ~95% of MaxEfficiency.
+    EXPECT_GT(e_rb40 / e_max, 0.90);
+}
+
+TEST_F(Fig3Bundle, FairnessOrderingMatchesPaper)
+{
+    const double f_equal =
+        ef(core::EqualBudgetAllocator().allocate(state_->problem));
+    const double f_rb20 = ef(
+        core::ReBudgetAllocator::withStep(20).allocate(state_->problem));
+    const double f_rb40 = ef(
+        core::ReBudgetAllocator::withStep(40).allocate(state_->problem));
+    const double f_max =
+        ef(core::MaxEfficiencyAllocator().allocate(state_->problem));
+
+    // Section 6.2: EqualBudget nearly envy-free; MaxEfficiency unfair;
+    // ReBudget in between, ordered by aggressiveness.
+    EXPECT_GT(f_equal, 0.9);
+    EXPECT_GE(f_equal, f_rb20 - 0.02);
+    EXPECT_GE(f_rb20, f_rb40 - 0.02);
+    EXPECT_GT(f_rb40, f_max);
+    EXPECT_LT(f_max, 0.5);
+}
+
+TEST_F(Fig3Bundle, Theorem2BoundNeverViolated)
+{
+    for (double step : {10.0, 20.0, 40.0}) {
+        const auto out = core::ReBudgetAllocator::withStep(step)
+                             .allocate(state_->problem);
+        const double bound = market::envyFreenessLowerBound(
+            market::marketBudgetRange(out.budgets));
+        EXPECT_GE(ef(out), bound - 0.03) << "step " << step;
+    }
+}
+
+TEST_F(Fig3Bundle, ReBudgetRaisesMur)
+{
+    const auto eq =
+        core::EqualBudgetAllocator().allocate(state_->problem);
+    const auto rb =
+        core::ReBudgetAllocator::withStep(40).allocate(state_->problem);
+    EXPECT_GE(market::marketUtilityRange(rb.lambdas),
+              market::marketUtilityRange(eq.lambdas));
+}
+
+TEST_F(Fig3Bundle, ReBudgetCutsOverBudgetedPlayers)
+{
+    // Section 6.1.3: some players keep the full budget, others are cut;
+    // the minimum budget under ReBudget-20 is 61.25.
+    const auto out =
+        core::ReBudgetAllocator::withStep(20).allocate(state_->problem);
+    const double min_b =
+        *std::min_element(out.budgets.begin(), out.budgets.end());
+    const double max_b =
+        *std::max_element(out.budgets.begin(), out.budgets.end());
+    EXPECT_DOUBLE_EQ(max_b, 100.0);
+    EXPECT_LT(min_b, 100.0);
+    EXPECT_GE(min_b, 61.25 - 1e-9);
+}
+
+TEST_F(Fig3Bundle, ConvergenceWithinPaperLimits)
+{
+    // Section 6.4: EqualBudget within ~3 iterations; ReBudget a few
+    // more; never past the 30-iteration fail-safe per equilibrium.
+    const auto eq =
+        core::EqualBudgetAllocator().allocate(state_->problem);
+    EXPECT_LE(eq.marketIterations, 5);
+    const auto rb =
+        core::ReBudgetAllocator::withStep(40).allocate(state_->problem);
+    EXPECT_GT(rb.marketIterations, eq.marketIterations);
+    EXPECT_LE(rb.marketIterations, 30 * rb.budgetRounds);
+}
+
+TEST_F(Fig3Bundle, EqualShareIsPerfectlyFairButInefficient)
+{
+    const auto out =
+        core::EqualShareAllocator().allocate(state_->problem);
+    const double e_max =
+        eff(core::MaxEfficiencyAllocator().allocate(state_->problem));
+    EXPECT_LT(eff(out) / e_max, 0.95);
+}
+
+TEST_F(Fig3Bundle, FairnessTargetModeGuaranteesRequestedEf)
+{
+    for (double target : {0.3, 0.5, 0.7}) {
+        const auto out =
+            core::ReBudgetAllocator::withFairnessTarget(target)
+                .allocate(state_->problem);
+        EXPECT_GE(ef(out), target - 0.03) << "target " << target;
+    }
+}
+
+} // namespace
+} // namespace rebudget

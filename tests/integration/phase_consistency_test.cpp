@@ -1,0 +1,122 @@
+/**
+ * Phase-1 (analytic) vs phase-2 (execution-driven) consistency: the
+ * paper's Section 6.3 argument is that the detailed simulation
+ * validates the analytic evaluation.  These tests run the same bundle
+ * through both pipelines and check that the relational conclusions
+ * agree.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/sim/epoch_sim.h"
+
+namespace rebudget {
+namespace {
+
+const std::vector<std::string> &
+bundleNames()
+{
+    static const std::vector<std::string> names = {
+        "mcf", "vpr", "sixtrack", "hmmer",
+        "swim", "apsi", "milc",    "gap"};
+    return names;
+}
+
+double
+analyticEfficiency(const core::Allocator &mechanism)
+{
+    static const power::PowerModel power;
+    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+    core::AllocationProblem problem;
+    double min_watts = 0.0;
+    for (const auto &nm : bundleNames()) {
+        models.push_back(std::make_unique<app::AppUtilityModel>(
+            app::findCatalogProfile(nm), power));
+        min_watts += models.back()->minWatts();
+        problem.models.push_back(models.back().get());
+    }
+    problem.capacities = {32.0 - 8.0, 80.0 - min_watts};
+    return market::efficiency(problem.models,
+                              mechanism.allocate(problem).alloc);
+}
+
+sim::SimResult
+simulated(const core::Allocator &mechanism)
+{
+    sim::EpochSimConfig cfg = sim::EpochSimConfig::forCores(8);
+    cfg.epochs = 10;
+    cfg.warmupEpochs = 3;
+    cfg.cmp.accessesPerEpochPerCore = 6000;
+    std::vector<app::AppParams> apps;
+    for (const auto &nm : bundleNames())
+        apps.push_back(app::findCatalogProfile(nm).params);
+    sim::EpochSimulator simulator(cfg, apps, mechanism);
+    return simulator.run();
+}
+
+TEST(PhaseConsistency, MarketBeatsEqualShareInBothPhases)
+{
+    const core::EqualShareAllocator share;
+    const core::EqualBudgetAllocator equal;
+    EXPECT_GT(analyticEfficiency(equal), analyticEfficiency(share));
+    EXPECT_GT(simulated(equal).meanEfficiency,
+              simulated(share).meanEfficiency * 0.98);
+}
+
+TEST(PhaseConsistency, ReBudgetKnobDirectionAgrees)
+{
+    const core::EqualBudgetAllocator equal;
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    // Analytic: ReBudget-40 strictly more efficient and less fair.
+    EXPECT_GE(analyticEfficiency(rb40),
+              analyticEfficiency(equal) - 1e-9);
+    const sim::SimResult sim_eq = simulated(equal);
+    const sim::SimResult sim_rb = simulated(rb40);
+    // Execution-driven: same direction, with slack for sampling noise.
+    EXPECT_GT(sim_rb.meanEfficiency, sim_eq.meanEfficiency * 0.95);
+    EXPECT_LT(sim_rb.envyFreeness, sim_eq.envyFreeness);
+}
+
+TEST(PhaseConsistency, SimulatedUtilitiesTrackAnalyticOrdering)
+{
+    // Per-app utilities under EqualShare: the apps the analytic model
+    // says suffer most from a static split are the power-bound ones
+    // (sixtrack core 2, hmmer core 3: a 10 W equal cap caps their
+    // frequency well below the run-alone 4 GHz).  The streaming app
+    // (milc, core 6) runs near its solo performance by construction.
+    // Note mcf is *not* expected to suffer here: futility-scaled
+    // partitioning is work-conserving, so it grows past its static
+    // 4-region target into space the small-footprint apps don't use.
+    const core::EqualShareAllocator share;
+    const sim::SimResult result = simulated(share);
+    const auto &u = result.meanUtilities;
+    EXPECT_LT(u[2], u[6]);
+    EXPECT_LT(u[3], u[6]);
+    EXPECT_LT(u[2], 0.85);
+    EXPECT_GT(u[6], 0.85);
+}
+
+TEST(PhaseConsistency, MemoryContentionVisibleInSim)
+{
+    // The analytic model prices DRAM latency as constant; the simulator
+    // must show elevated latency under the aggregate load of 8 cores
+    // (base 70 ns, 2 channels at 8 cores).
+    const core::EqualShareAllocator share;
+    const sim::SimResult result = simulated(share);
+    bool elevated = false;
+    for (const auto &rec : result.epochs)
+        elevated = elevated || rec.memLatencyNs > 70.0 + 0.5;
+    EXPECT_TRUE(elevated);
+}
+
+} // namespace
+} // namespace rebudget

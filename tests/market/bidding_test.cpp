@@ -1,0 +1,173 @@
+#include "rebudget/market/bidding.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::market {
+namespace {
+
+TEST(PredictedAllocation, ProportionalRule)
+{
+    // r = b / (b + y) * C (Equation 2).
+    EXPECT_DOUBLE_EQ(predictedAllocation(1.0, 3.0, 8.0), 2.0);
+    EXPECT_DOUBLE_EQ(predictedAllocation(3.0, 1.0, 8.0), 6.0);
+}
+
+TEST(PredictedAllocation, ZeroBidGetsNothing)
+{
+    EXPECT_DOUBLE_EQ(predictedAllocation(0.0, 5.0, 8.0), 0.0);
+}
+
+TEST(PredictedAllocation, SoleBidderTakesAll)
+{
+    EXPECT_DOUBLE_EQ(predictedAllocation(0.1, 0.0, 8.0), 8.0);
+}
+
+TEST(BidMarginal, MatchesChainRule)
+{
+    // One resource, U(r) = sqrt(r / C): lambda = dU/dr * C*y/(b+y)^2.
+    const PowerLawUtility u({1.0}, {0.5}, {10.0});
+    const std::vector<double> bids = {2.0};
+    const std::vector<double> others = {3.0};
+    const std::vector<double> caps = {10.0};
+    const double r = predictedAllocation(2.0, 3.0, 10.0);
+    const double du_dr = u.marginal(0, std::vector<double>{r});
+    const double dr_db = 10.0 * 3.0 / (5.0 * 5.0);
+    EXPECT_NEAR(bidMarginal(u, 0, bids, others, caps), du_dr * dr_db,
+                1e-9);
+}
+
+TEST(OptimizeBids, SpendsFullBudget)
+{
+    const PowerLawUtility u({1.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
+    const BidResult res =
+        optimizeBids(u, 100.0, {50.0, 50.0}, {10.0, 10.0});
+    const double spent =
+        std::accumulate(res.bids.begin(), res.bids.end(), 0.0);
+    EXPECT_NEAR(spent, 100.0, 1e-9);
+}
+
+TEST(OptimizeBids, SymmetricProblemSplitsEvenly)
+{
+    const PowerLawUtility u({1.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
+    const BidResult res =
+        optimizeBids(u, 100.0, {50.0, 50.0}, {10.0, 10.0});
+    EXPECT_NEAR(res.bids[0], res.bids[1], 1e-9);
+}
+
+TEST(OptimizeBids, FavorsHigherValuedResource)
+{
+    // Resource 0 carries 4x the weight: optimal bids put more money on
+    // it.
+    const PowerLawUtility u({4.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
+    const BidResult res =
+        optimizeBids(u, 100.0, {50.0, 50.0}, {10.0, 10.0});
+    EXPECT_GT(res.bids[0], res.bids[1] * 1.5);
+}
+
+TEST(OptimizeBids, EqualizesLambdasWithinTolerance)
+{
+    const PowerLawUtility u({2.0, 1.0}, {0.5, 0.7}, {10.0, 20.0});
+    const BidResult res =
+        optimizeBids(u, 100.0, {60.0, 40.0}, {10.0, 20.0});
+    ASSERT_EQ(res.lambdas.size(), 2u);
+    const double lmax = std::max(res.lambdas[0], res.lambdas[1]);
+    const double lmin = std::min(res.lambdas[0], res.lambdas[1]);
+    // Either lambdas agree within ~the 5% tolerance (plus slack for the
+    // final finite shift), or one bid hit zero.
+    const bool zero_bid = res.bids[0] <= 1e-9 || res.bids[1] <= 1e-9;
+    EXPECT_TRUE(zero_bid || (lmax - lmin) <= 0.25 * lmax)
+        << "lambdas " << res.lambdas[0] << " vs " << res.lambdas[1];
+}
+
+TEST(OptimizeBids, BeatsEqualSplit)
+{
+    const PowerLawUtility u({4.0, 1.0}, {0.6, 0.9}, {10.0, 10.0});
+    const std::vector<double> others = {70.0, 30.0};
+    const std::vector<double> caps = {10.0, 10.0};
+    const BidResult res = optimizeBids(u, 100.0, others, caps);
+    auto utility_at = [&](const std::vector<double> &bids) {
+        std::vector<double> alloc(2);
+        for (size_t j = 0; j < 2; ++j)
+            alloc[j] = predictedAllocation(bids[j], others[j], caps[j]);
+        return u.utility(alloc);
+    };
+    EXPECT_GE(utility_at(res.bids),
+              utility_at({50.0, 50.0}) - 1e-9);
+}
+
+TEST(OptimizeBids, ZeroBudgetYieldsZeroBids)
+{
+    const PowerLawUtility u({1.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
+    const BidResult res = optimizeBids(u, 0.0, {1.0, 1.0}, {10.0, 10.0});
+    EXPECT_DOUBLE_EQ(res.bids[0], 0.0);
+    EXPECT_DOUBLE_EQ(res.bids[1], 0.0);
+}
+
+TEST(OptimizeBids, SingleResourceGetsWholeBudget)
+{
+    const PowerLawUtility u({1.0}, {0.5}, {10.0});
+    const BidResult res = optimizeBids(u, 42.0, {10.0}, {10.0});
+    EXPECT_DOUBLE_EQ(res.bids[0], 42.0);
+}
+
+TEST(OptimizeBids, LambdaIsMaxOverResources)
+{
+    const PowerLawUtility u({3.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
+    const BidResult res =
+        optimizeBids(u, 50.0, {25.0, 25.0}, {10.0, 10.0});
+    EXPECT_DOUBLE_EQ(
+        res.lambda, std::max(res.lambdas[0], res.lambdas[1]));
+}
+
+TEST(OptimizeBids, BidsNonNegative)
+{
+    const PowerLawUtility u({5.0, 0.1}, {0.9, 0.9}, {10.0, 10.0});
+    const BidResult res =
+        optimizeBids(u, 100.0, {10.0, 90.0}, {10.0, 10.0});
+    EXPECT_GE(res.bids[0], 0.0);
+    EXPECT_GE(res.bids[1], 0.0);
+}
+
+TEST(OptimizeBids, RejectsArityMismatch)
+{
+    const PowerLawUtility u({1.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
+    EXPECT_THROW(optimizeBids(u, 10.0, {1.0}, {10.0, 10.0}),
+                 util::FatalError);
+}
+
+TEST(OptimizeBids, RejectsNegativeBudget)
+{
+    const PowerLawUtility u({1.0}, {0.5}, {10.0});
+    EXPECT_THROW(optimizeBids(u, -1.0, {1.0}, {10.0}), util::FatalError);
+}
+
+// Three-resource sweep: the optimizer must spend the budget and keep
+// non-zero-bid lambdas within a loose band across shapes.
+class BidSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BidSweep, BudgetConservationAcrossShapes)
+{
+    const double e = GetParam();
+    const PowerLawUtility u({1.0, 2.0, 3.0}, {e, e, e},
+                            {10.0, 10.0, 10.0});
+    const BidResult res = optimizeBids(u, 90.0, {30.0, 30.0, 30.0},
+                                       {10.0, 10.0, 10.0});
+    const double spent =
+        std::accumulate(res.bids.begin(), res.bids.end(), 0.0);
+    EXPECT_NEAR(spent, 90.0, 1e-9);
+    for (double b : res.bids)
+        EXPECT_GE(b, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, BidSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9, 1.0));
+
+} // namespace
+} // namespace rebudget::market

@@ -1,0 +1,157 @@
+/**
+ * Stress and edge-case tests for the market engine: large player
+ * counts, extreme budget skew, many resources, degenerate utilities.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/market/market.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::market {
+namespace {
+
+struct Pool
+{
+    std::vector<std::unique_ptr<PowerLawUtility>> models;
+    std::vector<const UtilityModel *> ptrs;
+};
+
+Pool
+randomPool(size_t n, size_t m, const std::vector<double> &caps,
+           uint64_t seed)
+{
+    util::Rng rng(seed);
+    Pool pool;
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> w(m);
+        std::vector<double> e(m);
+        for (size_t j = 0; j < m; ++j) {
+            w[j] = rng.uniform(0.1, 1.0);
+            e[j] = rng.uniform(0.2, 1.0);
+        }
+        pool.models.push_back(
+            std::make_unique<PowerLawUtility>(w, e, caps));
+        pool.ptrs.push_back(pool.models.back().get());
+    }
+    return pool;
+}
+
+TEST(MarketStress, TwoHundredFiftySixPlayersConverge)
+{
+    const std::vector<double> caps = {1024.0, 2560.0};
+    const Pool pool = randomPool(256, 2, caps, 42);
+    ProportionalMarket mkt(pool.ptrs, caps);
+    const auto eq =
+        mkt.findEquilibrium(std::vector<double>(256, 100.0));
+    EXPECT_TRUE(eq.converged);
+    EXPECT_LE(eq.iterations, 10);
+    for (size_t j = 0; j < 2; ++j) {
+        double sum = 0.0;
+        for (const auto &row : eq.alloc)
+            sum += row[j];
+        EXPECT_NEAR(sum, caps[j], 1e-6 * caps[j]);
+    }
+}
+
+TEST(MarketStress, FiveResources)
+{
+    const std::vector<double> caps = {10, 20, 30, 40, 50};
+    const Pool pool = randomPool(12, 5, caps, 7);
+    ProportionalMarket mkt(pool.ptrs, caps);
+    const auto eq = mkt.findEquilibrium(std::vector<double>(12, 100.0));
+    EXPECT_TRUE(eq.converged);
+    for (size_t j = 0; j < 5; ++j) {
+        double sum = 0.0;
+        for (const auto &row : eq.alloc)
+            sum += row[j];
+        EXPECT_NEAR(sum, caps[j], 1e-6 * caps[j]);
+    }
+}
+
+TEST(MarketStress, ExtremeBudgetSkew)
+{
+    const std::vector<double> caps = {10.0, 10.0};
+    const Pool pool = randomPool(4, 2, caps, 9);
+    ProportionalMarket mkt(pool.ptrs, caps);
+    std::vector<double> budgets = {1e6, 1.0, 1.0, 1.0};
+    const auto eq = mkt.findEquilibrium(budgets);
+    // The whale takes almost everything; the minnows still get a
+    // non-negative sliver and capacity is conserved.
+    EXPECT_GT(eq.alloc[0][0], 9.9);
+    for (size_t i = 1; i < 4; ++i) {
+        EXPECT_GE(eq.alloc[i][0], 0.0);
+        EXPECT_LT(eq.alloc[i][0], 0.1);
+    }
+    EXPECT_NEAR(market::marketBudgetRange(eq.budgets), 1e-6, 1e-9);
+}
+
+TEST(MarketStress, TinyCapacities)
+{
+    const std::vector<double> caps = {1e-3, 1e-3};
+    const Pool pool = randomPool(3, 2, caps, 11);
+    ProportionalMarket mkt(pool.ptrs, caps);
+    const auto eq = mkt.findEquilibrium({100.0, 100.0, 100.0});
+    for (size_t j = 0; j < 2; ++j) {
+        double sum = 0.0;
+        for (const auto &row : eq.alloc)
+            sum += row[j];
+        EXPECT_NEAR(sum, caps[j], 1e-9);
+    }
+}
+
+TEST(MarketStress, FlatUtilityPlayerIsHarmless)
+{
+    // One player's utility is (nearly) constant: its lambda is ~0 and
+    // the others split the resources.
+    class Flat : public UtilityModel
+    {
+      public:
+        size_t numResources() const override { return 2; }
+        double
+        utility(std::span<const double>) const override
+        {
+            return 0.5;
+        }
+    };
+    const Flat flat;
+    const PowerLawUtility hungry({1.0, 1.0}, {0.8, 0.8}, {10.0, 10.0});
+    ProportionalMarket mkt({&flat, &hungry}, {10.0, 10.0});
+    const auto eq = mkt.findEquilibrium({100.0, 100.0});
+    EXPECT_NEAR(eq.lambdas[0], 0.0, 1e-9);
+    // Capacity still fully allocated (the flat player's bids still buy
+    // its proportional share; it just does not value it).
+    EXPECT_NEAR(eq.alloc[0][0] + eq.alloc[1][0], 10.0, 1e-9);
+}
+
+TEST(MarketStress, SinglePlayerMarketTakesAll)
+{
+    const PowerLawUtility solo({1.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
+    ProportionalMarket mkt({&solo}, {10.0, 10.0});
+    const auto eq = mkt.findEquilibrium({100.0});
+    EXPECT_NEAR(eq.alloc[0][0], 10.0, 1e-9);
+    EXPECT_NEAR(eq.alloc[0][1], 10.0, 1e-9);
+}
+
+TEST(MarketStress, IdenticalPlayersManyResources)
+{
+    // Symmetry: identical players over asymmetric capacities still get
+    // identical bundles.
+    const std::vector<double> caps = {4.0, 8.0, 16.0};
+    PowerLawUtility proto({1.0, 1.0, 1.0}, {0.5, 0.5, 0.5}, caps);
+    ProportionalMarket mkt({&proto, &proto, &proto, &proto}, caps);
+    const auto eq =
+        mkt.findEquilibrium(std::vector<double>(4, 100.0));
+    for (size_t j = 0; j < 3; ++j) {
+        for (size_t i = 1; i < 4; ++i)
+            EXPECT_NEAR(eq.alloc[i][j], eq.alloc[0][j],
+                        0.05 * caps[j]);
+    }
+}
+
+} // namespace
+} // namespace rebudget::market

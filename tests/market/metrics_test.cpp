@@ -1,0 +1,194 @@
+#include "rebudget/market/metrics.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::market {
+namespace {
+
+std::unique_ptr<PowerLawUtility>
+model2(double w0, double w1)
+{
+    return std::make_unique<PowerLawUtility>(
+        std::vector<double>{w0, w1}, std::vector<double>{0.5, 0.5},
+        std::vector<double>{10.0, 10.0});
+}
+
+TEST(Efficiency, SumsUtilities)
+{
+    const auto a = model2(1, 1);
+    const auto b = model2(1, 1);
+    const std::vector<const UtilityModel *> models = {a.get(), b.get()};
+    const std::vector<std::vector<double>> alloc = {{10.0, 10.0},
+                                                    {0.0, 0.0}};
+    EXPECT_NEAR(efficiency(models, alloc), 1.0, 1e-12);
+    const auto utils = perPlayerUtilities(models, alloc);
+    EXPECT_NEAR(utils[0], 1.0, 1e-12);
+    EXPECT_NEAR(utils[1], 0.0, 1e-12);
+}
+
+TEST(Efficiency, MismatchedArityIsFatal)
+{
+    const auto a = model2(1, 1);
+    const std::vector<const UtilityModel *> models = {a.get()};
+    EXPECT_THROW(efficiency(models, {}), util::FatalError);
+}
+
+TEST(EnvyFreeness, EqualSplitIsEnvyFree)
+{
+    const auto a = model2(1, 1);
+    const auto b = model2(1, 1);
+    const std::vector<const UtilityModel *> models = {a.get(), b.get()};
+    const std::vector<std::vector<double>> alloc = {{5.0, 5.0},
+                                                    {5.0, 5.0}};
+    EXPECT_DOUBLE_EQ(envyFreeness(models, alloc), 1.0);
+}
+
+TEST(EnvyFreeness, StarvedPlayerEnvies)
+{
+    const auto a = model2(1, 1);
+    const auto b = model2(1, 1);
+    const std::vector<const UtilityModel *> models = {a.get(), b.get()};
+    const std::vector<std::vector<double>> alloc = {{9.0, 9.0},
+                                                    {1.0, 1.0}};
+    // Player 1's own utility vs. what it would get with player 0's
+    // bundle: sqrt(0.1)/sqrt(0.9).
+    EXPECT_NEAR(envyFreeness(models, alloc),
+                std::sqrt(0.1) / std::sqrt(0.9), 1e-9);
+}
+
+TEST(EnvyFreeness, SpecializedAllocationCanBeEnvyFree)
+{
+    // Each player holds exactly what it values: no envy despite unequal
+    // bundles.
+    const auto a = model2(1, 0.0001);
+    const auto b = model2(0.0001, 1);
+    const std::vector<const UtilityModel *> models = {a.get(), b.get()};
+    const std::vector<std::vector<double>> alloc = {{10.0, 0.0},
+                                                    {0.0, 10.0}};
+    EXPECT_GT(envyFreeness(models, alloc), 0.99);
+}
+
+TEST(EnvyFreeness, NeverExceedsOne)
+{
+    const auto a = model2(2, 1);
+    const auto b = model2(1, 3);
+    const std::vector<const UtilityModel *> models = {a.get(), b.get()};
+    const std::vector<std::vector<double>> alloc = {{3.0, 7.0},
+                                                    {7.0, 3.0}};
+    EXPECT_LE(envyFreeness(models, alloc), 1.0);
+}
+
+TEST(Mur, Definition)
+{
+    EXPECT_DOUBLE_EQ(marketUtilityRange({1.0, 2.0, 4.0}), 0.25);
+    EXPECT_DOUBLE_EQ(marketUtilityRange({3.0, 3.0}), 1.0);
+}
+
+TEST(Mur, AllZeroLambdasIsOne)
+{
+    EXPECT_DOUBLE_EQ(marketUtilityRange({0.0, 0.0}), 1.0);
+}
+
+TEST(Mur, ZeroMinIsZero)
+{
+    EXPECT_DOUBLE_EQ(marketUtilityRange({0.0, 5.0}), 0.0);
+}
+
+TEST(Mur, RejectsBadInput)
+{
+    EXPECT_THROW(marketUtilityRange({}), util::FatalError);
+    EXPECT_THROW(marketUtilityRange({-1.0, 1.0}), util::FatalError);
+}
+
+TEST(Mbr, Definition)
+{
+    EXPECT_DOUBLE_EQ(marketBudgetRange({50.0, 100.0}), 0.5);
+    EXPECT_DOUBLE_EQ(marketBudgetRange({100.0, 100.0}), 1.0);
+}
+
+TEST(Mbr, RejectsBadInput)
+{
+    EXPECT_THROW(marketBudgetRange({}), util::FatalError);
+    EXPECT_THROW(marketBudgetRange({-1.0}), util::FatalError);
+}
+
+TEST(PoaBound, Theorem1Shape)
+{
+    // MUR >= 1/2: PoA >= 1 - 1/(4 MUR); at MUR = 1/2 exactly 0.5.
+    EXPECT_DOUBLE_EQ(poaLowerBound(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(poaLowerBound(1.0), 0.75);
+    // MUR < 1/2: PoA >= MUR (continuous at 1/2).
+    EXPECT_DOUBLE_EQ(poaLowerBound(0.3), 0.3);
+    EXPECT_DOUBLE_EQ(poaLowerBound(0.0), 0.0);
+}
+
+TEST(PoaBound, MonotoneInMur)
+{
+    double prev = -1.0;
+    for (double mur = 0.0; mur <= 1.0; mur += 0.05) {
+        const double b = poaLowerBound(mur);
+        EXPECT_GE(b, prev);
+        prev = b;
+    }
+}
+
+TEST(PoaBound, AtLeastHalfAboveHalfMur)
+{
+    for (double mur = 0.5; mur <= 1.0; mur += 0.05)
+        EXPECT_GE(poaLowerBound(mur), 0.5);
+}
+
+TEST(PoaBound, RejectsOutOfRange)
+{
+    EXPECT_THROW(poaLowerBound(-0.1), util::FatalError);
+    EXPECT_THROW(poaLowerBound(1.1), util::FatalError);
+}
+
+TEST(EfBound, Theorem2Shape)
+{
+    // MBR = 1 (equal budgets): 2*sqrt(2) - 2 = 0.828 (Lemma 3).
+    EXPECT_NEAR(envyFreenessLowerBound(1.0), 0.8284271, 1e-6);
+    EXPECT_DOUBLE_EQ(envyFreenessLowerBound(0.0), 0.0);
+}
+
+TEST(EfBound, MonotoneInMbr)
+{
+    double prev = -1.0;
+    for (double mbr = 0.0; mbr <= 1.0; mbr += 0.05) {
+        const double b = envyFreenessLowerBound(mbr);
+        EXPECT_GT(b, prev);
+        prev = b;
+    }
+}
+
+TEST(EfBound, PaperReBudgetValues)
+{
+    // ReBudget-20 min budget 61.25 -> bound ~0.54; ReBudget-40 min
+    // budget 21.25 -> bound ~0.20 (paper Section 6.2 quotes 0.53/0.19
+    // from the slightly looser 2*step bound).
+    EXPECT_NEAR(envyFreenessLowerBound(0.6125), 0.5399, 1e-3);
+    EXPECT_NEAR(envyFreenessLowerBound(0.2125), 0.2023, 1e-3);
+}
+
+TEST(EfBound, InverseRoundTrips)
+{
+    for (double mbr = 0.05; mbr <= 1.0; mbr += 0.05) {
+        const double ef = envyFreenessLowerBound(mbr);
+        EXPECT_NEAR(mbrForEnvyFreenessTarget(ef), mbr, 1e-9);
+    }
+}
+
+TEST(EfBound, InverseClampsExtremes)
+{
+    EXPECT_DOUBLE_EQ(mbrForEnvyFreenessTarget(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(mbrForEnvyFreenessTarget(0.9), 1.0);
+}
+
+} // namespace
+} // namespace rebudget::market

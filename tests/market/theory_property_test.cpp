@@ -1,0 +1,176 @@
+/**
+ * Property tests for the paper's theoretical results (Theorems 1 and 2):
+ * on randomized concave markets, the measured efficiency of the computed
+ * equilibrium must respect the Price-of-Anarchy bound implied by the
+ * measured MUR, and the measured envy-freeness must respect the bound
+ * implied by the measured MBR.  A small tolerance absorbs the fact that
+ * the implementation computes an approximate equilibrium (1% price
+ * convergence).
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/market/market.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::market {
+namespace {
+
+struct RandomMarket
+{
+    std::vector<std::unique_ptr<PowerLawUtility>> models;
+    std::vector<const UtilityModel *> ptrs;
+    std::vector<double> capacities;
+    std::vector<double> budgets;
+};
+
+RandomMarket
+makeRandomMarket(uint64_t seed, size_t players, size_t resources,
+                 bool equal_budgets)
+{
+    util::Rng rng(seed);
+    RandomMarket m;
+    m.capacities.resize(resources);
+    for (auto &c : m.capacities)
+        c = rng.uniform(5.0, 50.0);
+    for (size_t i = 0; i < players; ++i) {
+        std::vector<double> w(resources);
+        std::vector<double> e(resources);
+        for (size_t j = 0; j < resources; ++j) {
+            w[j] = rng.uniform(0.1, 1.0);
+            e[j] = rng.uniform(0.3, 1.0);
+        }
+        m.models.push_back(std::make_unique<PowerLawUtility>(
+            w, e, m.capacities));
+        m.ptrs.push_back(m.models.back().get());
+    }
+    m.budgets.resize(players);
+    for (auto &b : m.budgets)
+        b = equal_budgets ? 100.0 : rng.uniform(20.0, 100.0);
+    return m;
+}
+
+double
+optimalEfficiency(const RandomMarket &m)
+{
+    core::MaxEfficiencyConfig cfg;
+    cfg.quantumFraction = 1.0 / 1024.0;
+    const core::MaxEfficiencyAllocator oracle(cfg);
+    core::AllocationProblem problem;
+    problem.models = m.ptrs;
+    problem.capacities = m.capacities;
+    return efficiency(m.ptrs, oracle.allocate(problem).alloc);
+}
+
+class TheoremProperties
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>>
+{
+};
+
+TEST_P(TheoremProperties, Theorem1PoaBoundHolds)
+{
+    const auto [seed, equal_budgets] = GetParam();
+    const RandomMarket m =
+        makeRandomMarket(seed, 4 + seed % 5, 2, equal_budgets);
+    ProportionalMarket mkt(m.ptrs, m.capacities);
+    const auto eq = mkt.findEquilibrium(m.budgets);
+    const double nash = efficiency(m.ptrs, eq.alloc);
+    const double opt = optimalEfficiency(m);
+    ASSERT_GT(opt, 0.0);
+    const double mur = marketUtilityRange(eq.lambdas);
+    const double bound = poaLowerBound(mur);
+    EXPECT_GE(nash / opt, bound - 0.05)
+        << "seed " << seed << " MUR " << mur << " nash " << nash
+        << " opt " << opt;
+}
+
+TEST_P(TheoremProperties, Theorem2EnvyBoundHolds)
+{
+    const auto [seed, equal_budgets] = GetParam();
+    const RandomMarket m =
+        makeRandomMarket(seed ^ 0xbeef, 3 + seed % 6, 2, equal_budgets);
+    ProportionalMarket mkt(m.ptrs, m.capacities);
+    const auto eq = mkt.findEquilibrium(m.budgets);
+    const double ef = envyFreeness(m.ptrs, eq.alloc);
+    const double mbr = marketBudgetRange(eq.budgets);
+    const double bound = envyFreenessLowerBound(mbr);
+    EXPECT_GE(ef, bound - 0.05)
+        << "seed " << seed << " MBR " << mbr << " EF " << ef;
+}
+
+TEST_P(TheoremProperties, EquilibriumEfficiencyNeverExceedsOptimal)
+{
+    const auto [seed, equal_budgets] = GetParam();
+    const RandomMarket m =
+        makeRandomMarket(seed ^ 0xf00d, 4, 2, equal_budgets);
+    ProportionalMarket mkt(m.ptrs, m.capacities);
+    const auto eq = mkt.findEquilibrium(m.budgets);
+    const double nash = efficiency(m.ptrs, eq.alloc);
+    const double opt = optimalEfficiency(m);
+    EXPECT_LE(nash, opt + 0.02 * opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMarkets, TheoremProperties,
+    ::testing::Combine(::testing::Range(uint64_t{1}, uint64_t{16}),
+                       ::testing::Bool()));
+
+// Lemma 3 special case: with equal budgets the equilibrium should be at
+// least 0.828-approximate envy-free (up to solver tolerance).
+class EqualBudgetFairness : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EqualBudgetFairness, AtLeastZhangBound)
+{
+    const uint64_t seed = GetParam();
+    const RandomMarket m = makeRandomMarket(seed, 6, 2, true);
+    ProportionalMarket mkt(m.ptrs, m.capacities);
+    const auto eq = mkt.findEquilibrium(m.budgets);
+    const double ef = envyFreeness(m.ptrs, eq.alloc);
+    EXPECT_GE(ef, 2.0 * std::sqrt(2.0) - 2.0 - 0.05) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqualBudgetFairness,
+                         ::testing::Range(uint64_t{100}, uint64_t{120}));
+
+// Homogeneity: money is only a numeraire -- scaling every budget by the
+// same factor scales prices but leaves the equilibrium allocation
+// unchanged.
+class BudgetHomogeneity : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BudgetHomogeneity, UniformBudgetScalingPreservesAllocation)
+{
+    const RandomMarket m =
+        makeRandomMarket(GetParam(), 5, 2, /*equal_budgets=*/false);
+    ProportionalMarket mkt(m.ptrs, m.capacities);
+    const auto base = mkt.findEquilibrium(m.budgets);
+    std::vector<double> scaled = m.budgets;
+    for (auto &b : scaled)
+        b *= 7.0;
+    const auto big = mkt.findEquilibrium(scaled);
+    for (size_t i = 0; i < m.budgets.size(); ++i) {
+        for (size_t j = 0; j < 2; ++j) {
+            EXPECT_NEAR(base.alloc[i][j], big.alloc[i][j],
+                        0.02 * m.capacities[j])
+                << "player " << i << " resource " << j;
+        }
+    }
+    for (size_t j = 0; j < 2; ++j)
+        EXPECT_NEAR(big.prices[j], 7.0 * base.prices[j],
+                    0.05 * 7.0 * base.prices[j]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetHomogeneity,
+                         ::testing::Range(uint64_t{200}, uint64_t{210}));
+
+} // namespace
+} // namespace rebudget::market

@@ -1,0 +1,105 @@
+#include "rebudget/market/utility_model.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::market {
+namespace {
+
+TEST(PowerLawUtility, NormalizedAtFullCapacity)
+{
+    const PowerLawUtility u({1.0, 1.0}, {0.5, 1.0}, {10.0, 20.0});
+    const std::vector<double> full = {10.0, 20.0};
+    EXPECT_NEAR(u.utility(full), 1.0, 1e-12);
+}
+
+TEST(PowerLawUtility, ZeroAllocationIsZero)
+{
+    const PowerLawUtility u({1.0, 1.0}, {0.5, 1.0}, {10.0, 20.0});
+    const std::vector<double> none = {0.0, 0.0};
+    EXPECT_DOUBLE_EQ(u.utility(none), 0.0);
+}
+
+TEST(PowerLawUtility, MonotoneInEachResource)
+{
+    const PowerLawUtility u({2.0, 1.0}, {0.5, 0.8}, {10.0, 10.0});
+    std::vector<double> a = {1.0, 1.0};
+    double prev = u.utility(a);
+    for (double x = 2.0; x <= 10.0; x += 1.0) {
+        a[0] = x;
+        const double cur = u.utility(a);
+        EXPECT_GT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(PowerLawUtility, ConcaveInEachResource)
+{
+    const PowerLawUtility u({1.0}, {0.5}, {10.0});
+    std::vector<double> lo = {2.0};
+    std::vector<double> mid = {4.0};
+    std::vector<double> hi = {6.0};
+    EXPECT_GE(u.utility(mid),
+              0.5 * (u.utility(lo) + u.utility(hi)) - 1e-12);
+}
+
+TEST(PowerLawUtility, AnalyticMarginalMatchesFiniteDifference)
+{
+    const PowerLawUtility u({1.0, 2.0}, {0.6, 0.9}, {8.0, 16.0});
+    const std::vector<double> alloc = {3.0, 5.0};
+    for (size_t j = 0; j < 2; ++j) {
+        std::vector<double> bumped = alloc;
+        const double h = 1e-6;
+        bumped[j] += h;
+        const double fd = (u.utility(bumped) - u.utility(alloc)) / h;
+        EXPECT_NEAR(u.marginal(j, alloc), fd, 1e-4);
+    }
+}
+
+TEST(PowerLawUtility, MarginalDecreasesWithAllocation)
+{
+    const PowerLawUtility u({1.0}, {0.5}, {10.0});
+    EXPECT_GT(u.marginal(0, std::vector<double>{1.0}),
+              u.marginal(0, std::vector<double>{5.0}));
+}
+
+TEST(PowerLawUtility, WeightsAreNormalized)
+{
+    const PowerLawUtility u({3.0, 1.0}, {1.0, 1.0}, {1.0, 1.0});
+    EXPECT_NEAR(u.utility(std::vector<double>{1.0, 0.0}), 0.75, 1e-12);
+    EXPECT_NEAR(u.utility(std::vector<double>{0.0, 1.0}), 0.25, 1e-12);
+}
+
+TEST(PowerLawUtility, RejectsBadParameters)
+{
+    EXPECT_THROW(PowerLawUtility({}, {}, {}), util::FatalError);
+    EXPECT_THROW(PowerLawUtility({1.0}, {0.5, 0.5}, {1.0}),
+                 util::FatalError);
+    EXPECT_THROW(PowerLawUtility({1.0}, {1.5}, {1.0}), util::FatalError);
+    EXPECT_THROW(PowerLawUtility({1.0}, {0.5}, {0.0}), util::FatalError);
+    EXPECT_THROW(PowerLawUtility({-1.0}, {0.5}, {1.0}), util::FatalError);
+}
+
+TEST(UtilityModel, DefaultMarginalUsesFiniteDifference)
+{
+    // A model that only overrides utility() must still report sane
+    // marginals via the base-class finite difference.
+    class Linear : public UtilityModel
+    {
+      public:
+        size_t numResources() const override { return 1; }
+        double
+        utility(std::span<const double> alloc) const override
+        {
+            return 3.0 * alloc[0];
+        }
+    };
+    const Linear u;
+    EXPECT_NEAR(u.marginal(0, std::vector<double>{2.0}), 3.0, 1e-6);
+}
+
+} // namespace
+} // namespace rebudget::market

@@ -1,0 +1,104 @@
+/**
+ * Power-model edge cases: custom DVFS ranges, activity monotonicity,
+ * and the inversion's behavior on reconfigured models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rebudget/power/power_model.h"
+#include "rebudget/power/rapl.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::power {
+namespace {
+
+TEST(PowerEdge, CustomDvfsRangeRespected)
+{
+    PowerModelConfig cfg;
+    cfg.dvfs.fMinGhz = 1.0;
+    cfg.dvfs.fMaxGhz = 2.0;
+    cfg.dvfs.vMin = 0.9;
+    cfg.dvfs.vMax = 1.0;
+    const PowerModel pm(cfg);
+    EXPECT_DOUBLE_EQ(pm.freqForPower(1000.0, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(pm.freqForPower(0.0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(pm.dvfs().voltage(1.5), 0.95);
+}
+
+TEST(PowerEdge, CorePowerMonotoneInActivity)
+{
+    const PowerModel pm;
+    double prev = 0.0;
+    for (double a = 0.1; a <= 1.0; a += 0.1) {
+        const double p = pm.corePower(3.0, a);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PowerEdge, FreqForPowerMonotoneInActivity)
+{
+    // With a fixed budget, a busier core runs slower.
+    const PowerModel pm;
+    double prev = 10.0;
+    for (double a = 0.2; a <= 1.0; a += 0.2) {
+        const double f = pm.freqForPower(8.0, a);
+        EXPECT_LE(f, prev + 1e-9);
+        prev = f;
+    }
+}
+
+TEST(PowerEdge, ZeroLeakageModel)
+{
+    PowerModelConfig cfg;
+    cfg.leakRef = 0.0;
+    const PowerModel pm(cfg);
+    EXPECT_NEAR(pm.corePower(2.0, 0.5), pm.dynamicPower(2.0, 0.5),
+                1e-9);
+}
+
+TEST(PowerEdge, ZeroThermalResistanceFixesLeakage)
+{
+    PowerModelConfig cfg;
+    cfg.thermalRes = 0.0;
+    const PowerModel pm(cfg);
+    // T == ambient == reference: leakage is exactly leakRef.
+    EXPECT_NEAR(pm.corePower(2.0, 0.5),
+                pm.dynamicPower(2.0, 0.5) + cfg.leakRef, 1e-9);
+}
+
+TEST(PowerEdge, RaplCoarseQuantum)
+{
+    RaplBudget rapl(100.0, 2, 1.0);
+    rapl.setCaps({10.9, 20.2});
+    EXPECT_DOUBLE_EQ(rapl.cap(0), 10.0);
+    EXPECT_DOUBLE_EQ(rapl.cap(1), 20.0);
+}
+
+TEST(PowerEdge, RaplQuantizationNeverExceedsRequest)
+{
+    const RaplBudget rapl(100.0, 1);
+    for (double w = 0.0; w < 20.0; w += 0.37)
+        EXPECT_LE(rapl.quantize(w), w + 1e-12);
+}
+
+TEST(PowerEdge, FrequenciesRejectWrongActivityArity)
+{
+    const PowerModel pm;
+    RaplBudget rapl(20.0, 2);
+    rapl.setCaps({10.0, 10.0});
+    EXPECT_THROW(rapl.frequencies(pm, {0.5}), util::FatalError);
+}
+
+TEST(PowerEdge, RejectsBadDynCoeff)
+{
+    PowerModelConfig bad;
+    bad.dynCoeff = 0.0;
+    EXPECT_THROW(PowerModel{bad}, util::FatalError);
+    bad = PowerModelConfig{};
+    bad.leakRef = -1.0;
+    EXPECT_THROW(PowerModel{bad}, util::FatalError);
+}
+
+} // namespace
+} // namespace rebudget::power

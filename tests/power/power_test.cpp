@@ -1,0 +1,235 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/power/dvfs.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/power/rapl.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::power {
+namespace {
+
+TEST(Dvfs, VoltageEndpoints)
+{
+    const DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.voltage(0.8), 0.8);
+    EXPECT_DOUBLE_EQ(dvfs.voltage(4.0), 1.2);
+}
+
+TEST(Dvfs, VoltageInterpolatesLinearly)
+{
+    const DvfsModel dvfs;
+    EXPECT_NEAR(dvfs.voltage(2.4), 1.0, 1e-12);
+}
+
+TEST(Dvfs, FrequencyClamping)
+{
+    const DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.clampFrequency(0.1), 0.8);
+    EXPECT_DOUBLE_EQ(dvfs.clampFrequency(9.0), 4.0);
+    EXPECT_DOUBLE_EQ(dvfs.clampFrequency(2.0), 2.0);
+}
+
+TEST(Dvfs, VoltageClampsOutsideRange)
+{
+    const DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.voltage(0.1), 0.8);
+    EXPECT_DOUBLE_EQ(dvfs.voltage(10.0), 1.2);
+}
+
+TEST(Dvfs, RejectsBadRanges)
+{
+    DvfsConfig bad;
+    bad.fMinGhz = 2.0;
+    bad.fMaxGhz = 1.0;
+    EXPECT_THROW(DvfsModel{bad}, util::FatalError);
+    bad = DvfsConfig{};
+    bad.vMin = -1.0;
+    EXPECT_THROW(DvfsModel{bad}, util::FatalError);
+}
+
+TEST(PowerModel, DynamicPowerIncreasesWithFrequency)
+{
+    const PowerModel pm;
+    double prev = 0.0;
+    for (double f = 0.8; f <= 4.01; f += 0.2) {
+        const double p = pm.dynamicPower(f, 0.8);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PowerModel, DynamicPowerScalesWithActivity)
+{
+    const PowerModel pm;
+    EXPECT_NEAR(pm.dynamicPower(2.0, 0.5) * 2.0,
+                pm.dynamicPower(2.0, 1.0), 1e-9);
+}
+
+TEST(PowerModel, CorePowerExceedsDynamicPower)
+{
+    const PowerModel pm;
+    for (double f : {0.8, 2.0, 4.0}) {
+        EXPECT_GT(pm.corePower(f, 0.7), pm.dynamicPower(f, 0.7));
+    }
+}
+
+TEST(PowerModel, MaxPowerAboveTdpMinBelowTdp)
+{
+    // Calibration: the 10 W/core TDP must be a binding constraint.
+    const PowerModel pm;
+    EXPECT_GT(pm.maxCorePower(0.9), 10.0);
+    EXPECT_LT(pm.minCorePower(0.9), 3.0);
+}
+
+TEST(PowerModel, CorePowerIsStrictlyIncreasing)
+{
+    const PowerModel pm;
+    double prev = 0.0;
+    for (double f = 0.8; f <= 4.01; f += 0.1) {
+        const double p = pm.corePower(f, 0.6);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PowerModel, CorePowerIsConvexInFrequency)
+{
+    // Convex power -> concave frequency-per-watt, the property the
+    // market's concavity assumption relies on for the power resource.
+    const PowerModel pm;
+    const double h = 0.1;
+    for (double f = 0.9; f <= 3.9; f += 0.1) {
+        const double second = pm.corePower(f + h, 0.8) -
+                              2 * pm.corePower(f, 0.8) +
+                              pm.corePower(f - h, 0.8);
+        EXPECT_GE(second, -1e-9);
+    }
+}
+
+TEST(PowerModel, TemperatureLinearInPower)
+{
+    const PowerModel pm;
+    const auto &cfg = pm.config();
+    EXPECT_DOUBLE_EQ(pm.temperature(0.0), cfg.tempAmbient);
+    EXPECT_DOUBLE_EQ(pm.temperature(10.0),
+                     cfg.tempAmbient + 10.0 * cfg.thermalRes);
+}
+
+TEST(PowerModel, LeakageGrowsWithTemperature)
+{
+    // Same frequency, but add thermal resistance: hotter core leaks
+    // more, so total power rises.
+    PowerModelConfig hot;
+    hot.thermalRes = 2.5;
+    PowerModelConfig cool;
+    cool.thermalRes = 0.5;
+    const double p_hot = PowerModel(hot).corePower(3.0, 0.8);
+    const double p_cool = PowerModel(cool).corePower(3.0, 0.8);
+    EXPECT_GT(p_hot, p_cool);
+}
+
+TEST(PowerModel, FreqForPowerInvertsCorePower)
+{
+    const PowerModel pm;
+    for (double f : {1.0, 1.7, 2.5, 3.3}) {
+        const double watts = pm.corePower(f, 0.75);
+        EXPECT_NEAR(pm.freqForPower(watts, 0.75), f, 1e-6);
+    }
+}
+
+TEST(PowerModel, FreqForPowerClampsAtExtremes)
+{
+    const PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.freqForPower(0.01, 0.8), 0.8);
+    EXPECT_DOUBLE_EQ(pm.freqForPower(1000.0, 0.8), 4.0);
+}
+
+TEST(PowerModel, FreqForPowerIsMonotone)
+{
+    const PowerModel pm;
+    double prev = 0.0;
+    for (double w = 1.0; w <= 20.0; w += 0.5) {
+        const double f = pm.freqForPower(w, 0.9);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(PowerModel, ActivityLowersPowerAtSameFrequency)
+{
+    const PowerModel pm;
+    EXPECT_LT(pm.corePower(3.0, 0.4), pm.corePower(3.0, 0.9));
+}
+
+TEST(PowerModel, RejectsBadActivity)
+{
+    const PowerModel pm;
+    EXPECT_THROW(pm.dynamicPower(2.0, 0.0), util::FatalError);
+    EXPECT_THROW(pm.dynamicPower(2.0, 1.5), util::FatalError);
+}
+
+TEST(PowerModel, RejectsThermalRunawayConfig)
+{
+    PowerModelConfig bad;
+    bad.leakTempCoeff = 0.5;
+    bad.thermalRes = 10.0;
+    EXPECT_THROW(PowerModel{bad}, util::FatalError);
+}
+
+TEST(Rapl, QuantizesDown)
+{
+    const RaplBudget rapl(80.0, 8);
+    EXPECT_DOUBLE_EQ(rapl.quantize(1.3), 1.25);
+    EXPECT_DOUBLE_EQ(rapl.quantize(0.124), 0.0);
+    EXPECT_DOUBLE_EQ(rapl.quantize(10.0), 10.0);
+}
+
+TEST(Rapl, SetCapsStoresQuantizedValues)
+{
+    RaplBudget rapl(80.0, 2);
+    rapl.setCaps({10.06, 9.49});
+    EXPECT_DOUBLE_EQ(rapl.cap(0), 10.0);
+    EXPECT_DOUBLE_EQ(rapl.cap(1), 9.375);
+}
+
+TEST(Rapl, RejectsOverBudgetCaps)
+{
+    RaplBudget rapl(20.0, 2);
+    EXPECT_THROW(rapl.setCaps({15.0, 10.0}), util::FatalError);
+}
+
+TEST(Rapl, RejectsWrongArity)
+{
+    RaplBudget rapl(20.0, 2);
+    EXPECT_THROW(rapl.setCaps({10.0}), util::FatalError);
+}
+
+TEST(Rapl, RejectsNegativeCap)
+{
+    RaplBudget rapl(20.0, 2);
+    EXPECT_THROW(rapl.setCaps({-1.0, 1.0}), util::FatalError);
+}
+
+TEST(Rapl, FrequenciesHonorCaps)
+{
+    const PowerModel pm;
+    RaplBudget rapl(40.0, 2);
+    rapl.setCaps({4.0, 16.0});
+    const auto freqs = rapl.frequencies(pm, {0.8, 0.8});
+    EXPECT_LT(freqs[0], freqs[1]);
+    // The realized power must respect the cap.
+    EXPECT_LE(pm.corePower(freqs[0], 0.8), 4.0 + 1e-6);
+    EXPECT_LE(pm.corePower(freqs[1], 0.8), 16.0 + 1e-6);
+}
+
+TEST(Rapl, RejectsBadConstruction)
+{
+    EXPECT_THROW(RaplBudget(0.0, 4), util::FatalError);
+    EXPECT_THROW(RaplBudget(10.0, 0), util::FatalError);
+    EXPECT_THROW(RaplBudget(10.0, 2, 0.0), util::FatalError);
+}
+
+} // namespace
+} // namespace rebudget::power

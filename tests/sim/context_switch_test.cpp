@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/sim/epoch_sim.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::sim {
+namespace {
+
+EpochSimConfig
+quadCore()
+{
+    EpochSimConfig cfg = EpochSimConfig::forCores(4);
+    cfg.cmp.l2Assoc = 16;
+    cfg.epochs = 10;
+    cfg.warmupEpochs = 2;
+    cfg.cmp.accessesPerEpochPerCore = 4000;
+    return cfg;
+}
+
+std::vector<app::AppParams>
+baseApps()
+{
+    return {app::findCatalogProfile("mcf").params,
+            app::findCatalogProfile("sixtrack").params,
+            app::findCatalogProfile("swim").params,
+            app::findCatalogProfile("milc").params};
+}
+
+TEST(ContextSwitch, RunCompletesWithSwitches)
+{
+    EpochSimConfig cfg = quadCore();
+    cfg.contextSwitches.push_back(
+        ContextSwitch{6, 3, app::findCatalogProfile("vpr").params});
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator sim(cfg, baseApps(), alloc);
+    const SimResult r = sim.run();
+    EXPECT_EQ(r.epochs.size(), 10u);
+    for (const auto &rec : r.epochs) {
+        for (double u : rec.utilities) {
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST(ContextSwitch, MarketReallocatesAfterSwitch)
+{
+    // Core 3 switches from streaming milc (cache-useless) to
+    // cache-hungry vpr mid-run: under ReBudget the core's cache target
+    // must grow substantially after the switch.
+    EpochSimConfig cfg = quadCore();
+    const uint32_t switch_epoch = 7; // absolute (2 warmup + 5)
+    cfg.contextSwitches.push_back(
+        ContextSwitch{switch_epoch, 3,
+                      app::findCatalogProfile("vpr").params});
+    const auto alloc = core::ReBudgetAllocator::withStep(40);
+    EpochSimulator sim(cfg, baseApps(), alloc);
+    const SimResult r = sim.run();
+    // Measured epoch indices: absolute - warmup.
+    const size_t before = switch_epoch - cfg.warmupEpochs - 1;
+    const size_t after = r.epochs.size() - 1;
+    EXPECT_GT(r.epochs[after].cacheTargets[3],
+              r.epochs[before].cacheTargets[3] + 1.0)
+        << "before " << r.epochs[before].cacheTargets[3] << " after "
+        << r.epochs[after].cacheTargets[3];
+}
+
+TEST(ContextSwitch, SoloBaselineFollowsTheApp)
+{
+    // After switching to an already-running app, utilities stay in
+    // [0, 1] (the solo baseline must be the new app's, not the old).
+    EpochSimConfig cfg = quadCore();
+    cfg.contextSwitches.push_back(
+        ContextSwitch{5, 1, app::findCatalogProfile("mcf").params});
+    const core::EqualShareAllocator alloc;
+    EpochSimulator sim(cfg, baseApps(), alloc);
+    const SimResult r = sim.run();
+    for (const auto &rec : r.epochs) {
+        EXPECT_LE(rec.utilities[1], 1.0);
+        EXPECT_GE(rec.utilities[1], 0.0);
+    }
+}
+
+TEST(ContextSwitch, OutOfRangeCoreIsFatal)
+{
+    EpochSimConfig cfg = quadCore();
+    cfg.contextSwitches.push_back(
+        ContextSwitch{3, 9, app::findCatalogProfile("vpr").params});
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator sim(cfg, baseApps(), alloc);
+    EXPECT_THROW(sim.run(), util::FatalError);
+}
+
+TEST(ContextSwitch, SwitchAtEpochZeroReplacesInitialApp)
+{
+    EpochSimConfig cfg = quadCore();
+    cfg.contextSwitches.push_back(
+        ContextSwitch{0, 0, app::findCatalogProfile("hmmer").params});
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator sim(cfg, baseApps(), alloc);
+    const SimResult r = sim.run();
+    EXPECT_EQ(r.epochs.size(), 10u);
+}
+
+} // namespace
+} // namespace rebudget::sim

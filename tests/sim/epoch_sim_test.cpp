@@ -1,0 +1,166 @@
+#include "rebudget/util/logging.h"
+#include "rebudget/sim/epoch_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/util/units.h"
+
+namespace rebudget::sim {
+namespace {
+
+EpochSimConfig
+quadCore()
+{
+    EpochSimConfig cfg = EpochSimConfig::forCores(4);
+    cfg.cmp.l2Assoc = 16;
+    cfg.epochs = 6;
+    cfg.warmupEpochs = 2;
+    cfg.cmp.accessesPerEpochPerCore = 4000;
+    return cfg;
+}
+
+std::vector<app::AppParams>
+mixedApps()
+{
+    // One of each class.
+    return {app::findCatalogProfile("mcf").params,
+            app::findCatalogProfile("sixtrack").params,
+            app::findCatalogProfile("swim").params,
+            app::findCatalogProfile("milc").params};
+}
+
+TEST(EpochSim, RunsAndReportsEpochs)
+{
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator sim(quadCore(), mixedApps(), alloc);
+    const SimResult result = sim.run();
+    EXPECT_EQ(result.mechanism, "EqualBudget");
+    EXPECT_EQ(result.epochs.size(), 6u);
+    EXPECT_EQ(result.meanUtilities.size(), 4u);
+    EXPECT_EQ(result.soloIps.size(), 4u);
+}
+
+TEST(EpochSim, UtilitiesWithinUnitInterval)
+{
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator sim(quadCore(), mixedApps(), alloc);
+    const SimResult result = sim.run();
+    for (const auto &rec : result.epochs) {
+        for (double u : rec.utilities) {
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+    EXPECT_GT(result.meanEfficiency, 0.0);
+    EXPECT_LE(result.meanEfficiency, 4.0);
+}
+
+TEST(EpochSim, SoloPerformancePositiveAndAppSpecific)
+{
+    const EpochSimConfig cfg = quadCore();
+    const auto solo = EpochSimulator::soloPerformances(cfg, mixedApps());
+    ASSERT_EQ(solo.size(), 4u);
+    for (double ips : solo)
+        EXPECT_GT(ips, 0.0);
+    // The compute-bound app (sixtrack) must be far faster alone than the
+    // streaming app (milc).
+    EXPECT_GT(solo[1], solo[3] * 2.0);
+}
+
+TEST(EpochSim, CacheTargetsRespectTotalCapacity)
+{
+    const core::EqualBudgetAllocator alloc;
+    const EpochSimConfig cfg = quadCore();
+    EpochSimulator sim(cfg, mixedApps(), alloc);
+    const SimResult result = sim.run();
+    for (const auto &rec : result.epochs) {
+        double total = 0.0;
+        for (double t : rec.cacheTargets)
+            total += t;
+        EXPECT_LE(total, cfg.cmp.totalRegions() + 1e-6);
+    }
+}
+
+TEST(EpochSim, FrequenciesWithinDvfsRange)
+{
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator sim(quadCore(), mixedApps(), alloc);
+    const SimResult result = sim.run();
+    for (const auto &rec : result.epochs) {
+        for (double f : rec.freqsGhz) {
+            EXPECT_GE(f, 0.8 - 1e-9);
+            EXPECT_LE(f, 4.0 + 1e-9);
+        }
+    }
+}
+
+TEST(EpochSim, MarketRunsEveryEpoch)
+{
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator sim(quadCore(), mixedApps(), alloc);
+    const SimResult result = sim.run();
+    for (const auto &rec : result.epochs)
+        EXPECT_GE(rec.marketIterations, 1);
+}
+
+TEST(EpochSim, ReBudgetReportsBudgetRounds)
+{
+    const auto alloc = core::ReBudgetAllocator::withStep(40);
+    EpochSimulator sim(quadCore(), mixedApps(), alloc);
+    const SimResult result = sim.run();
+    EXPECT_EQ(result.mechanism, "ReBudget-40");
+    for (const auto &rec : result.epochs)
+        EXPECT_GE(rec.budgetRounds, 1);
+    EXPECT_GE(result.envyFreeness, 0.0);
+    EXPECT_LE(result.envyFreeness, 1.0);
+}
+
+TEST(EpochSim, EqualShareStaticTargets)
+{
+    const core::EqualShareAllocator alloc;
+    const EpochSimConfig cfg = quadCore();
+    EpochSimulator sim(cfg, mixedApps(), alloc);
+    const SimResult result = sim.run();
+    const double share =
+        static_cast<double>(cfg.cmp.totalRegions()) / 4.0;
+    for (double t : result.epochs.back().cacheTargets)
+        EXPECT_NEAR(t, share, 1e-6);
+}
+
+TEST(EpochSim, RejectsWrongAppCount)
+{
+    const core::EqualBudgetAllocator alloc;
+    auto apps = mixedApps();
+    apps.pop_back();
+    EXPECT_THROW(EpochSimulator(quadCore(), apps, alloc),
+                 util::FatalError);
+}
+
+TEST(EpochSim, RunsWithRawUtilities)
+{
+    // The convexify=false (original-XChange) path must run end to end.
+    EpochSimConfig cfg = quadCore();
+    cfg.convexify = false;
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator sim(cfg, mixedApps(), alloc);
+    const SimResult result = sim.run();
+    EXPECT_GT(result.meanEfficiency, 0.0);
+    EXPECT_EQ(result.epochs.size(), 6u);
+}
+
+TEST(EpochSim, DeterministicForSeed)
+{
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator a(quadCore(), mixedApps(), alloc);
+    EpochSimulator b(quadCore(), mixedApps(), alloc);
+    const SimResult ra = a.run();
+    const SimResult rb = b.run();
+    EXPECT_DOUBLE_EQ(ra.meanEfficiency, rb.meanEfficiency);
+    EXPECT_DOUBLE_EQ(ra.envyFreeness, rb.envyFreeness);
+}
+
+} // namespace
+} // namespace rebudget::sim

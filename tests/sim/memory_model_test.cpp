@@ -1,0 +1,73 @@
+#include "rebudget/sim/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::sim {
+namespace {
+
+TEST(MemoryConfig, ChannelProvisioningByCoreCount)
+{
+    EXPECT_EQ(MemoryConfig::forCores(8).channels, 2u);
+    EXPECT_EQ(MemoryConfig::forCores(64).channels, 16u);
+}
+
+TEST(MemoryConfig, PeakBandwidth)
+{
+    MemoryConfig cfg;
+    cfg.channels = 2;
+    cfg.channelBandwidthGBs = 12.8;
+    EXPECT_DOUBLE_EQ(cfg.peakBytesPerSecond(), 25.6e9);
+}
+
+TEST(MemoryModel, UncontendedLatencyIsBase)
+{
+    const MemoryModel m;
+    EXPECT_DOUBLE_EQ(m.effectiveLatencyNs(0.0), 70.0);
+}
+
+TEST(MemoryModel, LatencyMonotoneInDemand)
+{
+    const MemoryModel m;
+    double prev = 0.0;
+    for (double demand = 0.0; demand <= 300e9; demand += 20e9) {
+        const double lat = m.effectiveLatencyNs(demand);
+        EXPECT_GE(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST(MemoryModel, SaturationCapped)
+{
+    const MemoryModel m;
+    const double at_peak = m.effectiveLatencyNs(1e15);
+    // rho capped at 0.95: queuing factor 1 + 0.95/(2*0.05) = 10.5.
+    EXPECT_NEAR(at_peak, 70.0 * 10.5, 1e-6);
+}
+
+TEST(MemoryModel, HalfUtilizationQueuing)
+{
+    MemoryConfig cfg;
+    cfg.channels = 1;
+    cfg.channelBandwidthGBs = 10.0;
+    const MemoryModel m(cfg);
+    // rho = 0.5: W = 0.5/(2*0.5) = 0.5 service times -> 1.5x latency.
+    EXPECT_NEAR(m.effectiveLatencyNs(5e9), 70.0 * 1.5, 1e-9);
+}
+
+TEST(MemoryModel, RejectsBadConfig)
+{
+    MemoryConfig bad;
+    bad.baseLatencyNs = 0.0;
+    EXPECT_THROW(MemoryModel{bad}, util::FatalError);
+    bad = MemoryConfig{};
+    bad.channels = 0;
+    EXPECT_THROW(MemoryModel{bad}, util::FatalError);
+    bad = MemoryConfig{};
+    bad.maxUtilization = 1.0;
+    EXPECT_THROW(MemoryModel{bad}, util::FatalError);
+}
+
+} // namespace
+} // namespace rebudget::sim

@@ -1,0 +1,149 @@
+#include "rebudget/util/logging.h"
+#include "rebudget/sim/shared_l2.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/rng.h"
+
+namespace rebudget::sim {
+namespace {
+
+CmpConfig
+tinyCmp()
+{
+    CmpConfig cfg;
+    cfg.cores = 4;
+    cfg.l2BytesPerCore = 512 * 1024;
+    cfg.l2Assoc = 16;
+    cfg.validate();
+    return cfg;
+}
+
+TEST(CmpConfig, Table1Derivations)
+{
+    const CmpConfig c64 = CmpConfig::forCores(64);
+    EXPECT_DOUBLE_EQ(c64.chipBudgetWatts(), 640.0);
+    EXPECT_EQ(c64.l2Config().sizeBytes, 32ull * 1024 * 1024);
+    EXPECT_EQ(c64.l2Assoc, 32u);
+    EXPECT_EQ(c64.totalRegions(), 256u);
+    const CmpConfig c8 = CmpConfig::forCores(8);
+    EXPECT_DOUBLE_EQ(c8.chipBudgetWatts(), 80.0);
+    EXPECT_EQ(c8.l2Assoc, 16u);
+    EXPECT_EQ(c8.totalRegions(), 32u);
+    EXPECT_EQ(c8.linesPerRegion(), 2048u);
+}
+
+TEST(CmpConfig, ValidateRejectsBadConfigs)
+{
+    CmpConfig bad = tinyCmp();
+    bad.cores = 0;
+    EXPECT_THROW(bad.validate(), util::FatalError);
+    bad = tinyCmp();
+    bad.regionBytes = 100; // not a divisor
+    EXPECT_THROW(bad.validate(), util::FatalError);
+    bad = tinyCmp();
+    bad.epochSeconds = 0.0;
+    EXPECT_THROW(bad.validate(), util::FatalError);
+}
+
+TEST(SharedL2, AccessHitsAfterFill)
+{
+    SharedL2 l2(tinyCmp());
+    EXPECT_FALSE(l2.access(0, 0x1000, false));
+    EXPECT_TRUE(l2.access(0, 0x1000, false));
+}
+
+TEST(SharedL2, StatsAggregatePerCore)
+{
+    SharedL2 l2(tinyCmp());
+    l2.access(1, 0, false);
+    l2.access(1, 0, false);
+    l2.access(1, 64, false);
+    const auto stats = l2.coreStats(1);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(SharedL2, TargetsEnforcedByController)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    // Core 0 gets 12 regions, core 1 gets 4; cores 2,3 idle.  Both
+    // streams touch far more than their shares.
+    const cache::MissCurve big(
+        {1000, 900, 800, 700, 600, 500, 400, 300, 250, 200, 150, 100, 80,
+         60, 40, 20, 10});
+    l2.setTargetRegions(0, 12.0, big);
+    l2.setTargetRegions(1, 4.0, big);
+    l2.setTargetRegions(2, 0.0, big);
+    l2.setTargetRegions(3, 0.0, big);
+    util::Rng rng(1);
+    const uint64_t lines = 64 * 1024; // 4 MB footprint each
+    for (int i = 0; i < 1500000; ++i) {
+        const uint32_t core = i & 1;
+        const uint64_t addr = (static_cast<uint64_t>(core) << 40) +
+                              rng.uniformInt(lines) * 64;
+        l2.access(core, addr, false);
+    }
+    EXPECT_NEAR(l2.occupancyRegions(0), 12.0, 2.5);
+    EXPECT_NEAR(l2.occupancyRegions(1), 4.0, 2.0);
+}
+
+TEST(SharedL2, FractionalTargetRealized)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    const cache::MissCurve curve(
+        {1000, 900, 800, 700, 600, 500, 400, 300, 250, 200, 150, 100, 80,
+         60, 40, 20, 10});
+    l2.setTargetRegions(0, 6.5, curve);
+    l2.setTargetRegions(1, 9.5, curve);
+    l2.setTargetRegions(2, 0.0, curve);
+    l2.setTargetRegions(3, 0.0, curve);
+    util::Rng rng(2);
+    for (int i = 0; i < 1500000; ++i) {
+        const uint32_t core = i & 1;
+        const uint64_t addr = (static_cast<uint64_t>(core) << 40) +
+                              rng.uniformInt(uint64_t{48 * 1024}) * 64;
+        l2.access(core, addr, false);
+    }
+    EXPECT_NEAR(l2.occupancyRegions(0), 6.5, 2.0);
+    EXPECT_NEAR(l2.occupancyRegions(1), 9.5, 2.5);
+}
+
+TEST(SharedL2, TalusSplitRoutesBothShadows)
+{
+    // A cliffy curve at a mid target forces a non-trivial split: both
+    // shadow partitions of the core must receive traffic.
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    std::vector<double> cliff(17, 1000.0);
+    cliff[16] = 0.0;
+    const cache::MissCurve curve(cliff);
+    l2.setTargetRegions(0, 8.0, curve); // PoIs {0,16}: fracA = 0.5
+    util::Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        l2.access(0, rng.uniformInt(uint64_t{64 * 1024}) * 64, false);
+    const auto &cache = l2.cache();
+    EXPECT_GT(cache.stats(0).accesses(), 20000u); // shadow A
+    EXPECT_GT(cache.stats(1).accesses(), 20000u); // shadow B
+}
+
+TEST(SharedL2, TargetAccessorRoundTrips)
+{
+    SharedL2 l2(tinyCmp());
+    const cache::MissCurve curve({10, 5, 0});
+    l2.setTargetRegions(2, 3.25, curve);
+    EXPECT_DOUBLE_EQ(l2.targetRegions(2), 3.25);
+}
+
+TEST(SharedL2, ResetStatsClearsCounters)
+{
+    SharedL2 l2(tinyCmp());
+    l2.access(0, 0, false);
+    l2.resetStats();
+    EXPECT_EQ(l2.coreStats(0).accesses(), 0u);
+}
+
+} // namespace
+} // namespace rebudget::sim

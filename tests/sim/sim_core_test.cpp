@@ -1,0 +1,183 @@
+#include "rebudget/util/logging.h"
+#include "rebudget/sim/sim_core.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/units.h"
+
+namespace rebudget::sim {
+namespace {
+
+using util::kKiB;
+using util::kMiB;
+
+CmpConfig
+tinyCmp()
+{
+    CmpConfig cfg;
+    cfg.cores = 2;
+    cfg.l2Assoc = 16;
+    cfg.validate();
+    return cfg;
+}
+
+app::AppParams
+computeApp()
+{
+    app::AppParams p;
+    p.name = "compute";
+    p.pattern = app::MemPattern::Uniform;
+    p.workingSetBytes = 16 * kKiB; // L1 resident
+    p.memPerInstr = 0.3;
+    p.computeCpi = 0.5;
+    return p;
+}
+
+app::AppParams
+memoryApp()
+{
+    app::AppParams p;
+    p.name = "memory";
+    p.pattern = app::MemPattern::PointerChase;
+    p.workingSetBytes = 512 * kKiB; // 4 regions
+    p.memPerInstr = 0.1;
+    p.computeCpi = 0.5;
+    return p;
+}
+
+app::AppParams
+hugeMemoryApp()
+{
+    // Far beyond the 1 MB shared L2: always misses.
+    app::AppParams p = memoryApp();
+    p.workingSetBytes = 4 * kMiB;
+    return p;
+}
+
+TEST(SimCore, ComputeAppScalesWithFrequency)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    SimCore core(0, computeApp(), cfg, 1);
+    core.runEpoch(1.0, l2, 70.0, 20000); // warm the L1
+    const auto slow = core.runEpoch(1.0, l2, 70.0, 20000);
+    const auto fast = core.runEpoch(4.0, l2, 70.0, 20000);
+    EXPECT_NEAR(fast.ips / slow.ips, 4.0, 0.1);
+}
+
+TEST(SimCore, MemoryAppBarelyScalesWithFrequency)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    SimCore core(0, hugeMemoryApp(), cfg, 2);
+    core.runEpoch(1.0, l2, 70.0, 50000); // warm
+    const auto slow = core.runEpoch(1.0, l2, 70.0, 50000);
+    const auto fast = core.runEpoch(4.0, l2, 70.0, 50000);
+    EXPECT_LT(fast.ips / slow.ips, 2.0);
+}
+
+TEST(SimCore, MoreCacheFewerMisses)
+{
+    // The partitioned cache is work-conserving: targets only bind under
+    // competing pressure, so core 1 streams a large footprint while core
+    // 0 runs a 4-region chase under a 1-region vs. 7-region target.
+    const CmpConfig cfg = tinyCmp(); // 2 cores, 8 regions total
+    const cache::MissCurve flat({100, 0});
+    auto run = [&](double regions0, uint64_t seed) {
+        SharedL2 l2(cfg);
+        l2.setTargetRegions(0, regions0, flat);
+        l2.setTargetRegions(1, 8.0 - regions0, flat);
+        SimCore victim(0, memoryApp(), cfg, seed);
+        SimCore bully(1, hugeMemoryApp(), cfg, seed + 1);
+        CoreEpochStats stats{};
+        for (int epoch = 0; epoch < 6; ++epoch) {
+            stats = victim.runEpoch(2.0, l2, 70.0, 50000);
+            bully.runEpoch(2.0, l2, 70.0, 50000);
+        }
+        return stats;
+    };
+    const auto starved = run(1.0, 3);
+    const auto cached = run(7.0, 3);
+    EXPECT_LT(cached.l2Misses, starved.l2Misses * 0.5);
+    EXPECT_GT(cached.ips, starved.ips);
+}
+
+TEST(SimCore, InstructionsDerivedFromMemPerInstr)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    SimCore core(0, memoryApp(), cfg, 4);
+    const auto stats = core.runEpoch(2.0, l2, 70.0, 10000);
+    EXPECT_NEAR(stats.instructions, 10000 / 0.1, 1.0);
+}
+
+TEST(SimCore, MemBytesTrackMissesAndWritebacks)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    // Pointer chase issues no stores: traffic is fills only.
+    SimCore core(0, memoryApp(), cfg, 5);
+    const auto stats = core.runEpoch(2.0, l2, 70.0, 20000);
+    EXPECT_DOUBLE_EQ(stats.memBytes, stats.l2Misses * 64.0);
+
+    // A write-heavy stream larger than the L2 generates writebacks on
+    // top of the fills.
+    app::AppParams writer = hugeMemoryApp();
+    writer.pattern = app::MemPattern::Uniform;
+    writer.writeFraction = 0.5;
+    SharedL2 l2w(cfg);
+    SimCore wcore(0, writer, cfg, 6);
+    wcore.runEpoch(2.0, l2w, 70.0, 50000); // warm + dirty
+    const auto wstats = wcore.runEpoch(2.0, l2w, 70.0, 50000);
+    EXPECT_GT(wstats.memBytes, wstats.l2Misses * 64.0);
+}
+
+TEST(SimCore, OnlineProfileReflectsWorkload)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    SimCore core(0, memoryApp(), cfg, 6);
+    core.runEpoch(2.0, l2, 70.0, 100000);
+    const app::AppProfile prof = core.onlineProfile();
+    EXPECT_GT(prof.l2AccessesPerInstr, 0.05);
+    EXPECT_TRUE(prof.l2Curve.valid());
+    // 1 MB pointer chase: online curve must show the cliff at 8 regions.
+    const double total = prof.l2Curve.missesAt(0);
+    ASSERT_GT(total, 0.0);
+    EXPECT_LT(prof.l2Curve.missesAt(8) / total, 0.3);
+}
+
+TEST(SimCore, ComputeAppOnlineProfileHasNoTraffic)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    SimCore core(0, computeApp(), cfg, 7);
+    core.runEpoch(2.0, l2, 70.0, 50000);
+    const app::AppProfile prof = core.onlineProfile();
+    EXPECT_LT(prof.l2AccessesPerInstr, 0.01);
+}
+
+TEST(SimCore, ResetEpochMonitorsClearsCounters)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    SimCore core(0, memoryApp(), cfg, 8);
+    core.runEpoch(2.0, l2, 70.0, 10000);
+    core.resetEpochMonitors();
+    const app::AppProfile prof = core.onlineProfile();
+    EXPECT_DOUBLE_EQ(prof.instructions, 0.0);
+}
+
+TEST(SimCore, HigherMemLatencyLowersPerformance)
+{
+    const CmpConfig cfg = tinyCmp();
+    SharedL2 l2(cfg);
+    SimCore core(0, hugeMemoryApp(), cfg, 9);
+    core.runEpoch(2.0, l2, 70.0, 50000);
+    const auto fast_mem = core.runEpoch(2.0, l2, 70.0, 50000);
+    const auto slow_mem = core.runEpoch(2.0, l2, 200.0, 50000);
+    EXPECT_GT(fast_mem.ips, slow_mem.ips);
+}
+
+} // namespace
+} // namespace rebudget::sim

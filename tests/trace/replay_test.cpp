@@ -1,0 +1,149 @@
+#include "rebudget/trace/replay.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::trace {
+namespace {
+
+std::vector<Access>
+sampleTrace()
+{
+    return {{0x1000, false}, {0x2000, true}, {0x1040, false}};
+}
+
+class TempFile
+{
+  public:
+    TempFile()
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("rebudget_trace_test_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(counter_++)))
+                    .string();
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    static int counter_;
+    std::string path_;
+};
+
+int TempFile::counter_ = 0;
+
+TEST(ReplayGen, CyclesThroughRecordedAccesses)
+{
+    ReplayGen gen(sampleTrace());
+    EXPECT_EQ(gen.length(), 3u);
+    for (int lap = 0; lap < 3; ++lap) {
+        EXPECT_EQ(gen.next().addr, 0x1000u);
+        Access w = gen.next();
+        EXPECT_EQ(w.addr, 0x2000u);
+        EXPECT_TRUE(w.write);
+        EXPECT_EQ(gen.next().addr, 0x1040u);
+    }
+}
+
+TEST(ReplayGen, BaseAddressOffsetsEverything)
+{
+    ReplayGen gen(sampleTrace(), 1ull << 40);
+    EXPECT_EQ(gen.next().addr, (1ull << 40) + 0x1000);
+}
+
+TEST(ReplayGen, FootprintCountsDistinctLines)
+{
+    // 0x1000, 0x2000, 0x1040: three distinct 64 B lines.
+    ReplayGen gen(sampleTrace());
+    EXPECT_EQ(gen.footprintBytes(), 3u * 64);
+}
+
+TEST(ReplayGen, FootprintHonorsLineSize)
+{
+    // At 128 B lines, 0x1000 and 0x1040 share a line.
+    ReplayGen gen(sampleTrace(), 0, 128);
+    EXPECT_EQ(gen.footprintBytes(), 2u * 128);
+}
+
+TEST(ReplayGen, RejectsBadLineSize)
+{
+    EXPECT_THROW(ReplayGen(sampleTrace(), 0, 48), util::FatalError);
+}
+
+TEST(ReplayGen, CloneContinuesInPlace)
+{
+    ReplayGen gen(sampleTrace());
+    gen.next();
+    auto clone = gen.clone();
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(gen.next().addr, clone->next().addr);
+}
+
+TEST(ReplayGen, EmptyTraceIsFatal)
+{
+    EXPECT_THROW(ReplayGen({}), util::FatalError);
+}
+
+TEST(TraceFile, RoundTrips)
+{
+    TempFile f;
+    const auto original = sampleTrace();
+    saveTraceFile(f.path(), original);
+    const auto loaded = loadTraceFile(f.path());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].addr, original[i].addr);
+        EXPECT_EQ(loaded[i].write, original[i].write);
+    }
+}
+
+TEST(TraceFile, ParsesCommentsAndBlankLines)
+{
+    TempFile f;
+    std::ofstream(f.path()) << "# header comment\n"
+                            << "\n"
+                            << "R 1000 # trailing comment\n"
+                            << "w 2A40\n";
+    const auto loaded = loadTraceFile(f.path());
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].addr, 0x1000u);
+    EXPECT_FALSE(loaded[0].write);
+    EXPECT_EQ(loaded[1].addr, 0x2A40u);
+    EXPECT_TRUE(loaded[1].write);
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadTraceFile("/nonexistent/path/trace.txt"),
+                 util::FatalError);
+}
+
+TEST(TraceFile, MalformedKindIsFatal)
+{
+    TempFile f;
+    std::ofstream(f.path()) << "X 1000\n";
+    EXPECT_THROW(loadTraceFile(f.path()), util::FatalError);
+}
+
+TEST(TraceFile, BadAddressIsFatal)
+{
+    TempFile f;
+    std::ofstream(f.path()) << "R zzz\n";
+    EXPECT_THROW(loadTraceFile(f.path()), util::FatalError);
+}
+
+TEST(TraceFile, EmptyFileIsFatal)
+{
+    TempFile f;
+    std::ofstream(f.path()) << "# only a comment\n";
+    EXPECT_THROW(loadTraceFile(f.path()), util::FatalError);
+}
+
+} // namespace
+} // namespace rebudget::trace

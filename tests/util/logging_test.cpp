@@ -1,0 +1,60 @@
+#include "rebudget/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace rebudget::util {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom %d", 42), FatalError);
+}
+
+TEST(Logging, FatalFormatsMessage)
+{
+    try {
+        fatal("value=%d name=%s", 7, "x");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=x");
+    }
+}
+
+TEST(Logging, LogLevelRoundTrip)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(saved);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_NO_THROW(warn("suppressed %d", 1));
+    EXPECT_NO_THROW(inform("suppressed %s", "x"));
+    EXPECT_NO_THROW(debugLog("suppressed"));
+    setLogLevel(saved);
+}
+
+TEST(Logging, AssertMacroPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(REBUDGET_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(LoggingDeath, AssertMacroAbortsOnFalseCondition)
+{
+    EXPECT_DEATH(REBUDGET_ASSERT(false, "expected failure"),
+                 "assertion failed");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %d broken", 3), "invariant 3 broken");
+}
+
+} // namespace
+} // namespace rebudget::util

@@ -1,0 +1,181 @@
+#include "rebudget/util/piecewise.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::util {
+namespace {
+
+PiecewiseLinear
+curve(std::initializer_list<std::pair<double, double>> pts)
+{
+    std::vector<Knot> knots;
+    for (auto [x, y] : pts)
+        knots.push_back(Knot{x, y});
+    return PiecewiseLinear(std::move(knots));
+}
+
+TEST(PiecewiseLinear, EvalAtKnots)
+{
+    const auto c = curve({{0, 0}, {1, 2}, {3, 3}});
+    EXPECT_DOUBLE_EQ(c.eval(0), 0.0);
+    EXPECT_DOUBLE_EQ(c.eval(1), 2.0);
+    EXPECT_DOUBLE_EQ(c.eval(3), 3.0);
+}
+
+TEST(PiecewiseLinear, EvalInterpolates)
+{
+    const auto c = curve({{0, 0}, {2, 4}});
+    EXPECT_DOUBLE_EQ(c.eval(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(c.eval(0.5), 1.0);
+}
+
+TEST(PiecewiseLinear, EvalClampsOutside)
+{
+    const auto c = curve({{1, 5}, {2, 7}});
+    EXPECT_DOUBLE_EQ(c.eval(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(c.eval(10.0), 7.0);
+}
+
+TEST(PiecewiseLinear, SlopesPerSegment)
+{
+    const auto c = curve({{0, 0}, {1, 2}, {3, 3}});
+    EXPECT_DOUBLE_EQ(c.slopeRight(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(c.slopeRight(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(c.slopeRight(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.slopeRight(2.9), 0.5);
+    EXPECT_DOUBLE_EQ(c.slopeRight(3.0), 0.0); // beyond last knot
+    EXPECT_DOUBLE_EQ(c.slopeLeft(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(c.slopeLeft(3.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.slopeLeft(0.0), 0.0);
+}
+
+TEST(PiecewiseLinear, SingleKnotIsConstant)
+{
+    const auto c = curve({{2, 3}});
+    EXPECT_DOUBLE_EQ(c.eval(-1), 3.0);
+    EXPECT_DOUBLE_EQ(c.eval(5), 3.0);
+    EXPECT_DOUBLE_EQ(c.slopeRight(2), 0.0);
+}
+
+TEST(PiecewiseLinear, RejectsNonIncreasingX)
+{
+    std::vector<Knot> bad = {{0, 0}, {0, 1}};
+    EXPECT_THROW(PiecewiseLinear(std::move(bad)), FatalError);
+}
+
+TEST(PiecewiseLinear, RejectsEmpty)
+{
+    EXPECT_THROW(PiecewiseLinear(std::vector<Knot>{}), FatalError);
+}
+
+TEST(PiecewiseLinear, VectorConstructorLengthMismatchIsFatal)
+{
+    EXPECT_THROW(PiecewiseLinear({1.0, 2.0}, {1.0}), FatalError);
+}
+
+TEST(PiecewiseLinear, MonotoneDetection)
+{
+    EXPECT_TRUE(curve({{0, 0}, {1, 1}, {2, 1}}).isNonDecreasing());
+    EXPECT_FALSE(curve({{0, 0}, {1, 1}, {2, 0.5}}).isNonDecreasing());
+}
+
+TEST(PiecewiseLinear, ConcaveDetection)
+{
+    EXPECT_TRUE(curve({{0, 0}, {1, 2}, {2, 3}}).isConcave());
+    EXPECT_FALSE(curve({{0, 0}, {1, 1}, {2, 3}}).isConcave());
+}
+
+TEST(PiecewiseLinear, MonotoneNonDecreasingFixups)
+{
+    const auto fixed =
+        curve({{0, 1}, {1, 0.5}, {2, 2}}).monotoneNonDecreasing();
+    EXPECT_DOUBLE_EQ(fixed.eval(1), 1.0);
+    EXPECT_DOUBLE_EQ(fixed.eval(2), 2.0);
+    EXPECT_TRUE(fixed.isNonDecreasing());
+}
+
+TEST(ConcaveMajorant, RemovesConvexDip)
+{
+    // mcf-like: flat then a cliff; hull should be the straight chord.
+    const auto hull =
+        curve({{0, 0.2}, {1, 0.2}, {2, 0.2}, {3, 1.0}}).concaveMajorant();
+    EXPECT_EQ(hull.knots().size(), 2u);
+    EXPECT_DOUBLE_EQ(hull.eval(0), 0.2);
+    EXPECT_DOUBLE_EQ(hull.eval(3), 1.0);
+    EXPECT_NEAR(hull.eval(1.5), 0.2 + 1.5 * (0.8 / 3.0), 1e-12);
+}
+
+TEST(ConcaveMajorant, ConcaveCurveUnchanged)
+{
+    const auto c = curve({{0, 0}, {1, 0.6}, {2, 0.9}, {3, 1.0}});
+    const auto hull = c.concaveMajorant();
+    EXPECT_EQ(hull.knots().size(), 4u);
+    for (double x = 0; x <= 3; x += 0.25)
+        EXPECT_NEAR(hull.eval(x), c.eval(x), 1e-12);
+}
+
+TEST(ConcaveMajorant, AlwaysAtOrAboveOriginal)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> xs;
+        std::vector<double> ys;
+        for (int i = 0; i < 12; ++i) {
+            xs.push_back(i);
+            ys.push_back(rng.uniform());
+        }
+        const PiecewiseLinear raw(xs, ys);
+        const auto hull = raw.concaveMajorant();
+        EXPECT_TRUE(hull.isConcave(1e-9));
+        for (double x = 0; x <= 11; x += 0.1)
+            EXPECT_GE(hull.eval(x), raw.eval(x) - 1e-9);
+    }
+}
+
+TEST(ConcaveMajorant, EndpointsPreserved)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> xs;
+        std::vector<double> ys;
+        for (int i = 0; i < 8; ++i) {
+            xs.push_back(i * 2.0);
+            ys.push_back(rng.uniform());
+        }
+        const auto hull = PiecewiseLinear(xs, ys).concaveMajorant();
+        EXPECT_DOUBLE_EQ(hull.knots().front().y, ys.front());
+        EXPECT_DOUBLE_EQ(hull.knots().back().y, ys.back());
+    }
+}
+
+TEST(UpperHullIndices, IncludesEndpoints)
+{
+    const std::vector<double> xs = {0, 1, 2, 3};
+    const std::vector<double> ys = {0, 0.9, 0.1, 1.0};
+    const auto idx = upperConcaveHullIndices(xs, ys);
+    EXPECT_EQ(idx.front(), 0u);
+    EXPECT_EQ(idx.back(), 3u);
+}
+
+TEST(UpperHullIndices, RejectsBadInput)
+{
+    EXPECT_THROW(upperConcaveHullIndices({}, {}), FatalError);
+    EXPECT_THROW(upperConcaveHullIndices({0, 0}, {1, 2}), FatalError);
+    EXPECT_THROW(upperConcaveHullIndices({0, 1}, {1}), FatalError);
+}
+
+TEST(UpperHullIndices, CollinearPointsCollapse)
+{
+    const std::vector<double> xs = {0, 1, 2, 3};
+    const std::vector<double> ys = {0, 1, 2, 3};
+    const auto idx = upperConcaveHullIndices(xs, ys);
+    EXPECT_EQ(idx.size(), 2u);
+}
+
+} // namespace
+} // namespace rebudget::util

@@ -1,0 +1,210 @@
+#include "rebudget/util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::util {
+namespace {
+
+TEST(SummaryStats, EmptyIsZero)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStats, SingleObservation)
+{
+    SummaryStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStats, KnownMoments)
+{
+    SummaryStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStats, MergeMatchesCombinedStream)
+{
+    SummaryStats a;
+    SummaryStats b;
+    SummaryStats all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStats, MergeWithEmptyIsIdentity)
+{
+    SummaryStats a;
+    a.add(1.0);
+    a.add(3.0);
+    SummaryStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Quantile, MedianOfOddCount)
+{
+    EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    // sorted: 10, 20, 30, 40; q=0.5 -> position 1.5 -> 25.
+    EXPECT_DOUBLE_EQ(quantile({40.0, 10.0, 30.0, 20.0}, 0.5), 25.0);
+}
+
+TEST(Quantile, Extremes)
+{
+    const std::vector<double> v = {5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(Quantile, EmptyIsFatal)
+{
+    EXPECT_THROW(quantile({}, 0.5), FatalError);
+}
+
+TEST(Quantile, OutOfRangeQIsFatal)
+{
+    EXPECT_THROW(quantile({1.0}, 1.5), FatalError);
+    EXPECT_THROW(quantile({1.0}, -0.1), FatalError);
+}
+
+TEST(FractionAtLeast, Basic)
+{
+    const std::vector<double> v = {0.1, 0.5, 0.9, 0.95};
+    EXPECT_DOUBLE_EQ(fractionAtLeast(v, 0.9), 0.5);
+    EXPECT_DOUBLE_EQ(fractionAtLeast(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(fractionAtLeast(v, 1.0), 0.0);
+}
+
+TEST(FractionAtLeast, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(fractionAtLeast({}, 0.5), 0.0);
+}
+
+TEST(BootstrapCI, ContainsTrueMeanOfTightSample)
+{
+    // Constant data: the interval collapses onto the mean.
+    const std::vector<double> v(50, 3.0);
+    const ConfidenceInterval ci = bootstrapMeanCI(v);
+    EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+    EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+    EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(BootstrapCI, BracketsSampleMean)
+{
+    std::vector<double> v;
+    for (int i = 0; i < 200; ++i)
+        v.push_back(std::sin(i) + 2.0);
+    const ConfidenceInterval ci = bootstrapMeanCI(v, 0.95, 2000, 7);
+    EXPECT_LE(ci.lo, ci.mean);
+    EXPECT_GE(ci.hi, ci.mean);
+    EXPECT_LT(ci.hi - ci.lo, 0.5); // reasonably tight for n = 200
+}
+
+TEST(BootstrapCI, WiderAtHigherConfidence)
+{
+    std::vector<double> v;
+    for (int i = 0; i < 100; ++i)
+        v.push_back((i % 10) * 1.0);
+    const auto narrow = bootstrapMeanCI(v, 0.80, 2000, 3);
+    const auto wide = bootstrapMeanCI(v, 0.99, 2000, 3);
+    EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(BootstrapCI, DeterministicForSeed)
+{
+    std::vector<double> v;
+    for (int i = 0; i < 60; ++i)
+        v.push_back(i * 0.1);
+    const auto a = bootstrapMeanCI(v, 0.95, 500, 11);
+    const auto b = bootstrapMeanCI(v, 0.95, 500, 11);
+    EXPECT_DOUBLE_EQ(a.lo, b.lo);
+    EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapCI, RejectsBadArgs)
+{
+    EXPECT_THROW(bootstrapMeanCI({}, 0.95), FatalError);
+    EXPECT_THROW(bootstrapMeanCI({1.0}, 1.5), FatalError);
+    EXPECT_THROW(bootstrapMeanCI({1.0}, 0.95, 10), FatalError);
+}
+
+TEST(Histogram, BinsAndCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bins(), 5u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, CountsLandInRightBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(2.5);  // bin 1
+    h.add(9.9);  // bin 4
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+}
+
+TEST(Histogram, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+} // namespace
+} // namespace rebudget::util

@@ -1,0 +1,166 @@
+#include "rebudget/workloads/bundles.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/util/logging.h"
+#include "rebudget/workloads/classify.h"
+
+namespace rebudget::workloads {
+namespace {
+
+const ClassifiedCatalog &
+catalog()
+{
+    static const ClassifiedCatalog c = classifyCatalog();
+    return c;
+}
+
+TEST(Categories, SlotLettersMatchNames)
+{
+    for (const BundleCategory cat : kAllCategories) {
+        const auto slots = categorySlots(cat);
+        const std::string name = categoryName(cat);
+        ASSERT_EQ(name.size(), 4u);
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(name[i], app::appClassCode(slots[i]));
+    }
+}
+
+TEST(Categories, PaperCategorySet)
+{
+    std::set<std::string> names;
+    for (const BundleCategory cat : kAllCategories)
+        names.insert(categoryName(cat));
+    const std::set<std::string> expected = {"CPBN", "CCPP", "CPBB",
+                                            "BBNN", "BBPN", "BBCN"};
+    EXPECT_EQ(names, expected);
+}
+
+TEST(ClassifiedCatalog, SixAppsPerClass)
+{
+    for (const auto cls :
+         {app::AppClass::CacheSensitive, app::AppClass::PowerSensitive,
+          app::AppClass::BothSensitive, app::AppClass::None}) {
+        EXPECT_EQ(catalog().pool(cls).size(), 6u)
+            << app::appClassCode(cls);
+    }
+}
+
+TEST(Bundles, EightCoreCompositionMatchesCategory)
+{
+    const auto bundles =
+        generateBundles(catalog(), BundleCategory::CPBN, 8, 5, 1);
+    ASSERT_EQ(bundles.size(), 5u);
+    for (const auto &b : bundles) {
+        ASSERT_EQ(b.appNames.size(), 8u);
+        // First 2 from C, next 2 from P, then B, then N.
+        const auto slots = categorySlots(b.category);
+        for (size_t i = 0; i < 8; ++i) {
+            const auto &pool = catalog().pool(slots[i / 2]);
+            EXPECT_NE(std::find(pool.begin(), pool.end(), b.appNames[i]),
+                      pool.end())
+                << b.name << " slot " << i;
+        }
+    }
+}
+
+TEST(Bundles, SixtyFourCoreBundleHasSixteenPerSlot)
+{
+    const auto bundles =
+        generateBundles(catalog(), BundleCategory::CCPP, 64, 2, 7);
+    for (const auto &b : bundles) {
+        ASSERT_EQ(b.appNames.size(), 64u);
+        int cache_class = 0;
+        const auto &c_pool =
+            catalog().pool(app::AppClass::CacheSensitive);
+        for (size_t i = 0; i < 32; ++i) {
+            if (std::find(c_pool.begin(), c_pool.end(), b.appNames[i]) !=
+                c_pool.end())
+                ++cache_class;
+        }
+        EXPECT_EQ(cache_class, 32); // CCPP: first half cache-sensitive
+    }
+}
+
+TEST(Bundles, DeterministicForSeed)
+{
+    const auto a =
+        generateBundles(catalog(), BundleCategory::BBPN, 8, 10, 99);
+    const auto b =
+        generateBundles(catalog(), BundleCategory::BBPN, 8, 10, 99);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].appNames, b[i].appNames);
+}
+
+TEST(Bundles, DifferentSeedsDiffer)
+{
+    const auto a =
+        generateBundles(catalog(), BundleCategory::BBPN, 64, 1, 1);
+    const auto b =
+        generateBundles(catalog(), BundleCategory::BBPN, 64, 1, 2);
+    EXPECT_NE(a[0].appNames, b[0].appNames);
+}
+
+TEST(Bundles, NamesEncodeCategoryAndIndex)
+{
+    const auto bundles =
+        generateBundles(catalog(), BundleCategory::BBCN, 8, 3, 1);
+    EXPECT_EQ(bundles[0].name, "BBCN-00");
+    EXPECT_EQ(bundles[2].name, "BBCN-02");
+}
+
+TEST(Bundles, RejectsBadCoreCount)
+{
+    EXPECT_THROW(generateBundles(catalog(), BundleCategory::CPBN, 6, 1, 1),
+                 util::FatalError);
+    EXPECT_THROW(generateBundles(catalog(), BundleCategory::CPBN, 0, 1, 1),
+                 util::FatalError);
+}
+
+TEST(Bundles, FullSuiteIs240Bundles)
+{
+    const auto all = generateAllBundles(catalog(), 8, 40);
+    EXPECT_EQ(all.size(), 240u);
+    std::map<BundleCategory, int> per_cat;
+    for (const auto &b : all)
+        ++per_cat[b.category];
+    for (const BundleCategory cat : kAllCategories)
+        EXPECT_EQ(per_cat[cat], 40) << categoryName(cat);
+}
+
+TEST(Bundles, BundleByNameMatchesGeneratedStream)
+{
+    const auto direct =
+        generateBundles(catalog(), BundleCategory::BBPN, 8, 5, 77);
+    const Bundle named = bundleByName(catalog(), "BBPN-03", 8, 77);
+    EXPECT_EQ(named.appNames, direct[3].appNames);
+    EXPECT_EQ(named.name, "BBPN-03");
+}
+
+TEST(Bundles, BundleByNameRejectsBadNames)
+{
+    EXPECT_THROW(bundleByName(catalog(), "BBPN", 8, 1),
+                 util::FatalError);
+    EXPECT_THROW(bundleByName(catalog(), "BBPN-", 8, 1),
+                 util::FatalError);
+    EXPECT_THROW(bundleByName(catalog(), "BBPN-xy", 8, 1),
+                 util::FatalError);
+    EXPECT_THROW(bundleByName(catalog(), "ZZZZ-00", 8, 1),
+                 util::FatalError);
+}
+
+TEST(Bundles, AllAppsResolvable)
+{
+    const auto all = generateAllBundles(catalog(), 8, 3);
+    for (const auto &b : all) {
+        for (const auto &name : b.appNames)
+            EXPECT_NO_THROW(app::findCatalogProfile(name));
+    }
+}
+
+} // namespace
+} // namespace rebudget::workloads

@@ -1,0 +1,67 @@
+#include "rebudget/workloads/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/power/power_model.h"
+
+namespace rebudget::workloads {
+namespace {
+
+TEST(Classify, ThresholdLogic)
+{
+    EXPECT_EQ(classify({0.8, 0.2}), app::AppClass::CacheSensitive);
+    EXPECT_EQ(classify({0.2, 0.8}), app::AppClass::PowerSensitive);
+    EXPECT_EQ(classify({0.8, 0.8}), app::AppClass::BothSensitive);
+    EXPECT_EQ(classify({0.2, 0.2}), app::AppClass::None);
+}
+
+TEST(Classify, ThresholdBoundaryInclusive)
+{
+    EXPECT_EQ(classify({0.5, 0.0}), app::AppClass::CacheSensitive);
+    EXPECT_EQ(classify({0.4999, 0.0}), app::AppClass::None);
+}
+
+TEST(Classify, CustomThreshold)
+{
+    EXPECT_EQ(classify({0.3, 0.1}, 0.25), app::AppClass::CacheSensitive);
+    EXPECT_EQ(classify({0.3, 0.1}, 0.5), app::AppClass::None);
+}
+
+TEST(Classify, SensitivitiesAreLossesFromFull)
+{
+    const power::PowerModel pm;
+    const app::AppUtilityModel model(app::findCatalogProfile("mcf"), pm);
+    const Sensitivity s = measureSensitivity(model);
+    EXPECT_NEAR(s.cache,
+                1.0 - model.utilityTotal(model.minRegions(),
+                                         model.maxWatts()),
+                1e-9);
+    EXPECT_NEAR(s.power,
+                1.0 - model.utilityTotal(model.maxRegions(),
+                                         model.minWatts()),
+                1e-9);
+}
+
+// Golden check for the whole catalog: the measured class must equal the
+// design class of every application -- this pins the workload pools the
+// paper's bundles are drawn from.
+class CatalogClass
+    : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(CatalogClass, MeasuredEqualsDesignClass)
+{
+    const auto &profile = app::catalogProfiles()[GetParam()];
+    const power::PowerModel pm;
+    const app::AppUtilityModel model(profile, pm);
+    EXPECT_EQ(classifyApp(model), profile.params.designClass)
+        << profile.params.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCatalogApps, CatalogClass,
+                         ::testing::Range(size_t{0}, size_t{24}));
+
+} // namespace
+} // namespace rebudget::workloads

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * rebudget_cli: run any allocation mechanism on any workload from the
+ * command line, analytically or in the execution-driven simulator.
+ *
+ * Examples:
+ *   rebudget_cli --list-apps
+ *   rebudget_cli --apps mcf,vpr,hmmer,milc --mechanism ReBudget-40
+ *   rebudget_cli --bundle BBPN-03 --cores 8 --mechanism EqualBudget
+ *   rebudget_cli --apps mcf,vpr,hmmer,milc --ef-target 0.6
+ *   rebudget_cli --apps mcf,vpr,swim,milc --mechanism ReBudget-40 --sim
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <map>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/params_io.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/ep_allocator.h"
+#include "rebudget/core/groups.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/sim/epoch_sim.h"
+#include "rebudget/util/logging.h"
+#include "rebudget/util/table.h"
+#include "rebudget/workloads/bundles.h"
+#include "rebudget/workloads/classify.h"
+
+using namespace rebudget;
+
+namespace {
+
+struct Options
+{
+    std::string mechanism = "ReBudget-40";
+    std::vector<std::string> apps;
+    std::string appsFile; // custom app definitions (params_io format)
+    std::vector<uint32_t> threads; // thread count per app (app-granularity)
+    std::string bundle;   // e.g. "BBPN-03"
+    uint32_t cores = 0; // 0 = number of apps
+    double step = 40.0;
+    double efTarget = -1.0;
+    bool sim = false;
+    uint32_t epochs = 12;
+    uint64_t seed = 42;
+    bool csv = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "rebudget_cli -- market-based multicore resource allocation\n\n"
+        "  --list-apps             print the application catalog\n"
+        "  --list-mechanisms       print available mechanisms\n"
+        "  --apps a,b,c            run these apps (one per core)\n"
+        "  --apps-file F           load custom app definitions (INI\n"
+        "                          format, see app/params_io.h); names\n"
+        "                          there shadow the catalog\n"
+        "  --threads k1,k2,...     thread count per app: replicate each\n"
+        "                          app over k cores and allocate at\n"
+        "                          application granularity\n"
+        "  --bundle CAT-NN         run a generated bundle, e.g. BBPN-03\n"
+        "  --cores N               machine size for --bundle (default:\n"
+        "                          number of apps; multiple of 4)\n"
+        "  --mechanism NAME        EqualShare | EqualBudget | Balanced |\n"
+        "                          EP | MaxEfficiency | ReBudget-<step>\n"
+        "  --step X                ReBudget step (with mechanism\n"
+        "                          ReBudget)\n"
+        "  --ef-target Y           ReBudget fairness-SLA mode\n"
+        "  --sim                   execution-driven simulation instead\n"
+        "                          of the analytic model\n"
+        "  --epochs N              measured epochs for --sim\n"
+        "  --seed S                workload seed\n"
+        "  --csv                   machine-readable output\n";
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+/**
+ * Profile lookup that lets --apps-file definitions shadow the catalog;
+ * custom apps are profiled on first use and cached.
+ */
+class ProfileSource
+{
+  public:
+    explicit ProfileSource(const Options &opt)
+    {
+        if (!opt.appsFile.empty())
+            custom_ = app::loadAppParamsFile(opt.appsFile);
+    }
+
+    /** @return names of all custom apps (for a default app list). */
+    std::vector<std::string>
+    customNames() const
+    {
+        std::vector<std::string> out;
+        for (const auto &p : custom_)
+            out.push_back(p.name);
+        return out;
+    }
+
+    const app::AppProfile &
+    profile(const std::string &name)
+    {
+        const auto it = cache_.find(name);
+        if (it != cache_.end())
+            return it->second;
+        for (const auto &p : custom_) {
+            if (p.name == name) {
+                return cache_.emplace(name, app::profileApp(p))
+                    .first->second;
+            }
+        }
+        return app::findCatalogProfile(name);
+    }
+
+  private:
+    std::vector<app::AppParams> custom_;
+    std::map<std::string, app::AppProfile> cache_;
+};
+
+std::unique_ptr<core::Allocator>
+makeMechanism(const Options &opt)
+{
+    if (opt.efTarget >= 0.0) {
+        return std::make_unique<core::ReBudgetAllocator>(
+            core::ReBudgetAllocator::withFairnessTarget(opt.efTarget));
+    }
+    const std::string &m = opt.mechanism;
+    if (m == "EqualShare")
+        return std::make_unique<core::EqualShareAllocator>();
+    if (m == "EqualBudget")
+        return std::make_unique<core::EqualBudgetAllocator>();
+    if (m == "Balanced")
+        return std::make_unique<core::BalancedBudgetAllocator>();
+    if (m == "EP")
+        return std::make_unique<core::EpAllocator>();
+    if (m == "MaxEfficiency")
+        return std::make_unique<core::MaxEfficiencyAllocator>();
+    if (m.rfind("ReBudget", 0) == 0) {
+        double step = opt.step;
+        const auto dash = m.find('-');
+        if (dash != std::string::npos)
+            step = std::stod(m.substr(dash + 1));
+        return std::make_unique<core::ReBudgetAllocator>(
+            core::ReBudgetAllocator::withStep(step));
+    }
+    util::fatal("unknown mechanism '%s' (try --list-mechanisms)",
+                m.c_str());
+}
+
+int
+listApps()
+{
+    const power::PowerModel power;
+    util::TablePrinter t({"app", "class", "S_cache", "S_power",
+                          "working_set_kB", "mem/instr"});
+    for (const auto &profile : app::catalogProfiles()) {
+        const app::AppUtilityModel model(profile, power);
+        const auto s = workloads::measureSensitivity(model);
+        t.addRow({profile.params.name,
+                  std::string(1, app::appClassCode(
+                                     profile.params.designClass)),
+                  util::formatDouble(s.cache, 3),
+                  util::formatDouble(s.power, 3),
+                  std::to_string(profile.params.workingSetBytes / 1024),
+                  util::formatDouble(profile.params.memPerInstr, 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+runAnalytic(const Options &opt, ProfileSource &source,
+            const std::vector<std::string> &apps)
+{
+    const power::PowerModel power;
+    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+    core::AllocationProblem problem;
+    double min_watts = 0.0;
+    for (const auto &nm : apps) {
+        models.push_back(std::make_unique<app::AppUtilityModel>(
+            source.profile(nm), power));
+        min_watts += models.back()->minWatts();
+        problem.models.push_back(models.back().get());
+    }
+    const double n = static_cast<double>(apps.size());
+    problem.capacities = {n * 4.0 - n, n * 10.0 - min_watts};
+
+    const auto mechanism = makeMechanism(opt);
+    core::AllocationOutcome out;
+    if (opt.threads.empty()) {
+        out = mechanism->allocate(problem);
+    } else {
+        // Application-granularity allocation: each entry of --threads
+        // replicates the corresponding app over that many cores and
+        // makes the tenant one market player.
+        if (opt.threads.size() != apps.size()) {
+            util::fatal("--threads needs one count per app (%zu vs "
+                        "%zu)",
+                        opt.threads.size(), apps.size());
+        }
+        // Rebuild the per-core problem with replicated cores.
+        std::vector<std::unique_ptr<app::AppUtilityModel>> core_models;
+        core::AllocationProblem per_core;
+        std::vector<core::ThreadGroup> groups;
+        double mw = 0.0;
+        uint32_t core_id = 0;
+        for (size_t a = 0; a < apps.size(); ++a) {
+            core::ThreadGroup g;
+            g.name = apps[a];
+            for (uint32_t k = 0; k < opt.threads[a]; ++k) {
+                core_models.push_back(
+                    std::make_unique<app::AppUtilityModel>(
+                        source.profile(apps[a]), power));
+                mw += core_models.back()->minWatts();
+                per_core.models.push_back(core_models.back().get());
+                g.cores.push_back(core_id++);
+            }
+            groups.push_back(std::move(g));
+        }
+        const double cores = static_cast<double>(core_id);
+        per_core.capacities = {cores * 4.0 - cores,
+                               cores * 10.0 - mw};
+        const core::GroupedProblem grouped =
+            core::makeGroupedProblem(per_core, groups);
+        const auto group_out = mechanism->allocate(grouped.problem);
+        // Report at tenant granularity.
+        util::TablePrinter t({"tenant", "threads", "cache_regions",
+                              "watts", "utility", "budget"});
+        const auto utils = market::perPlayerUtilities(
+            grouped.problem.models, group_out.alloc);
+        for (size_t g = 0; g < grouped.groups.size(); ++g) {
+            t.addRow({grouped.groups[g].name,
+                      std::to_string(grouped.groups[g].cores.size()),
+                      util::formatDouble(group_out.alloc[g][0], 2),
+                      util::formatDouble(group_out.alloc[g][1], 2),
+                      util::formatDouble(utils[g], 3),
+                      group_out.budgets.empty()
+                          ? std::string("-")
+                          : util::formatDouble(group_out.budgets[g],
+                                               2)});
+        }
+        if (opt.csv)
+            t.printCsv(std::cout);
+        else
+            t.print(std::cout);
+        std::cout << "\nmechanism " << group_out.mechanism
+                  << " (application granularity): efficiency "
+                  << util::formatDouble(
+                         market::efficiency(grouped.problem.models,
+                                            group_out.alloc), 3)
+                  << ", envy-freeness "
+                  << util::formatDouble(
+                         market::envyFreeness(grouped.problem.models,
+                                              group_out.alloc), 3)
+                  << "\n";
+        return 0;
+    }
+    const auto utils = market::perPlayerUtilities(problem.models,
+                                                  out.alloc);
+
+    util::TablePrinter t({"core", "app", "cache_regions", "watts",
+                          "utility", "budget"});
+    for (size_t i = 0; i < apps.size(); ++i) {
+        t.addRow({std::to_string(i), apps[i],
+                  util::formatDouble(1.0 + out.alloc[i][0], 2),
+                  util::formatDouble(models[i]->minWatts() +
+                                         out.alloc[i][1], 2),
+                  util::formatDouble(utils[i], 3),
+                  out.budgets.empty()
+                      ? std::string("-")
+                      : util::formatDouble(out.budgets[i], 2)});
+    }
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    std::cout << "\nmechanism " << out.mechanism << ": efficiency "
+              << util::formatDouble(
+                     market::efficiency(problem.models, out.alloc), 3)
+              << ", envy-freeness "
+              << util::formatDouble(
+                     market::envyFreeness(problem.models, out.alloc), 3);
+    if (!out.lambdas.empty()) {
+        const double mur = market::marketUtilityRange(out.lambdas);
+        std::cout << ", MUR " << util::formatDouble(mur, 2)
+                  << " (PoA bound "
+                  << util::formatDouble(market::poaLowerBound(mur), 2)
+                  << ")";
+    }
+    if (!out.budgets.empty()) {
+        const double mbr = market::marketBudgetRange(out.budgets);
+        std::cout << ", MBR " << util::formatDouble(mbr, 2)
+                  << " (EF bound "
+                  << util::formatDouble(
+                         market::envyFreenessLowerBound(mbr), 2)
+                  << ")";
+    }
+    std::cout << "\n";
+    return 0;
+}
+
+int
+runSim(const Options &opt, ProfileSource &source,
+       const std::vector<std::string> &apps)
+{
+    if (!opt.threads.empty())
+        util::fatal("--threads is not supported with --sim");
+    if (apps.size() % 4 != 0) {
+        util::fatal("--sim needs a multiple-of-4 app count (got %zu)",
+                    apps.size());
+    }
+    sim::EpochSimConfig cfg =
+        sim::EpochSimConfig::forCores(static_cast<uint32_t>(apps.size()));
+    cfg.epochs = opt.epochs;
+    cfg.seed = opt.seed;
+    std::vector<app::AppParams> params;
+    for (const auto &nm : apps)
+        params.push_back(source.profile(nm).params);
+    const auto mechanism = makeMechanism(opt);
+    sim::EpochSimulator simulator(cfg, params, *mechanism);
+    const sim::SimResult result = simulator.run();
+
+    util::TablePrinter t({"core", "app", "mean_utility",
+                          "final_cache_regions", "final_freq_GHz"});
+    for (size_t i = 0; i < apps.size(); ++i) {
+        t.addRow({std::to_string(i), apps[i],
+                  util::formatDouble(result.meanUtilities[i], 3),
+                  util::formatDouble(
+                      result.epochs.back().cacheTargets[i], 2),
+                  util::formatDouble(result.epochs.back().freqsGhz[i],
+                                     2)});
+    }
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "\nmechanism " << result.mechanism
+              << ": weighted speedup "
+              << util::formatDouble(result.meanEfficiency, 3)
+              << ", envy-freeness "
+              << util::formatDouble(result.envyFreeness, 3) << " ("
+              << result.epochs.size() << " measured epochs)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                util::fatal("%s requires a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list-apps") {
+            return listApps();
+        } else if (arg == "--list-mechanisms") {
+            std::cout << "EqualShare EqualBudget Balanced EP "
+                         "MaxEfficiency ReBudget-<step>\n";
+            return 0;
+        } else if (arg == "--apps") {
+            opt.apps = splitCsv(next());
+        } else if (arg == "--apps-file") {
+            opt.appsFile = next();
+        } else if (arg == "--threads") {
+            for (const auto &tok : splitCsv(next())) {
+                opt.threads.push_back(
+                    static_cast<uint32_t>(std::stoul(tok)));
+            }
+        } else if (arg == "--bundle") {
+            opt.bundle = next();
+        } else if (arg == "--cores") {
+            opt.cores = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--mechanism") {
+            opt.mechanism = next();
+        } else if (arg == "--step") {
+            opt.step = std::stod(next());
+        } else if (arg == "--ef-target") {
+            opt.efTarget = std::stod(next());
+        } else if (arg == "--sim") {
+            opt.sim = true;
+        } else if (arg == "--epochs") {
+            opt.epochs = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(next());
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    try {
+        ProfileSource source(opt);
+        std::vector<std::string> apps = opt.apps;
+        if (apps.empty() && opt.bundle.empty())
+            apps = source.customNames();
+        if (!opt.bundle.empty()) {
+            const auto catalog = workloads::classifyCatalog();
+            const uint32_t cores = opt.cores ? opt.cores : 8;
+            apps = workloads::bundleByName(catalog, opt.bundle, cores,
+                                           opt.seed)
+                       .appNames;
+        }
+        if (apps.empty()) {
+            usage();
+            return 1;
+        }
+        return opt.sim ? runSim(opt, source, apps)
+                       : runAnalytic(opt, source, apps);
+    } catch (const util::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
