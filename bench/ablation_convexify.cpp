@@ -8,54 +8,78 @@
  * efficiency and convergence.  Without convexification the cache
  * utilities have plateaus and cliffs, so hill-climbing bidders see zero
  * marginals below a cliff and misprice cache.
+ *
+ * The raw/convex cross-evaluation is not expressible as a plain
+ * BundleRunner sweep, so this bench parallelizes per bundle with
+ * util::parallelFor directly (--jobs N / REBUDGET_JOBS); per-bundle
+ * results land in index-addressed slots, so output is byte-identical
+ * at any job count.
  */
 
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/market/metrics.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
+#include "rebudget/util/thread_pool.h"
 
 using namespace rebudget;
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint32_t cores = 16; // smaller machine: effect is the same
     const auto catalog = workloads::classifyCatalog();
     const auto bundles =
         workloads::generateAllBundles(catalog, cores, 8, 7);
 
-    util::SummaryStats eq_raw, eq_cvx, rb_raw, rb_cvx;
     const core::EqualBudgetAllocator equal_budget;
     const auto rb40 = core::ReBudgetAllocator::withStep(40);
     const core::MaxEfficiencyAllocator max_eff;
 
-    for (const auto &bundle : bundles) {
-        bench::BundleProblem raw = bench::makeBundleProblem(
-            bundle.appNames, 4.0, 10.0, /*convexify=*/false);
-        bench::BundleProblem cvx = bench::makeBundleProblem(
-            bundle.appNames, 4.0, 10.0, /*convexify=*/true);
+    struct BundleRow
+    {
+        double eq_raw = 0.0, eq_cvx = 0.0, rb_raw = 0.0, rb_cvx = 0.0;
+    };
+    std::vector<BundleRow> rows(bundles.size());
+
+    app::catalogProfiles(); // warm the catalog before forking workers
+    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    util::parallelFor(jobs, bundles.size(), [&](size_t i) {
+        const eval::BundleProblem raw = eval::makeBundleProblem(
+            bundles[i].appNames, 4.0, 10.0, /*convexify=*/false);
+        const eval::BundleProblem cvx = eval::makeBundleProblem(
+            bundles[i].appNames, 4.0, 10.0, /*convexify=*/true);
         // Normalize both to the convexified oracle (what the hardware
         // can actually achieve with Talus installed).
         const double opt =
-            bench::score(max_eff, cvx.problem).efficiency;
+            eval::score(max_eff, cvx.problem).efficiency;
         // Raw-model bids, but outcomes valued on the achievable
         // (convexified) utilities: allocate with raw models, evaluate
         // with convex models.
         const auto raw_eq = equal_budget.allocate(raw.problem);
         const auto raw_rb = rb40.allocate(raw.problem);
-        eq_raw.add(market::efficiency(cvx.problem.models, raw_eq.alloc) /
-                   opt);
-        rb_raw.add(market::efficiency(cvx.problem.models, raw_rb.alloc) /
-                   opt);
-        eq_cvx.add(bench::score(equal_budget, cvx.problem).efficiency /
-                   opt);
-        rb_cvx.add(bench::score(rb40, cvx.problem).efficiency / opt);
+        BundleRow &r = rows[i];
+        r.eq_raw =
+            market::efficiency(cvx.problem.models, raw_eq.alloc) / opt;
+        r.rb_raw =
+            market::efficiency(cvx.problem.models, raw_rb.alloc) / opt;
+        r.eq_cvx =
+            eval::score(equal_budget, cvx.problem).efficiency / opt;
+        r.rb_cvx = eval::score(rb40, cvx.problem).efficiency / opt;
+    });
+
+    util::SummaryStats eq_raw, eq_cvx, rb_raw, rb_cvx;
+    for (const auto &r : rows) {
+        eq_raw.add(r.eq_raw);
+        eq_cvx.add(r.eq_cvx);
+        rb_raw.add(r.rb_raw);
+        rb_cvx.add(r.rb_cvx);
     }
 
     util::printBanner(std::cout,

@@ -9,51 +9,70 @@
  * cut too few players (efficiency is left on the table), higher
  * thresholds cut well-budgeted players too (fairness cost with little
  * efficiency gain).
+ *
+ * All thresholds plus the MaxEfficiency oracle run as one BundleRunner
+ * mechanism set: a single parallel pass over the bundles (--jobs N).
  */
 
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
 using namespace rebudget;
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint32_t cores = 16;
     const auto catalog = workloads::classifyCatalog();
     const auto bundles =
         workloads::generateAllBundles(catalog, cores, 8, 13);
+
+    const std::vector<double> thresholds = {0.2, 0.35, 0.5, 0.65, 0.8};
+    std::vector<core::ReBudgetAllocator> rb_allocs;
+    rb_allocs.reserve(thresholds.size());
+    for (double thr : thresholds) {
+        core::ReBudgetConfig cfg;
+        cfg.step0 = 40.0;
+        cfg.lambdaCutThreshold = thr;
+        rb_allocs.emplace_back(cfg);
+    }
+
     const core::MaxEfficiencyAllocator max_eff;
+    std::vector<const core::Allocator *> mechanisms;
+    for (const auto &rb : rb_allocs)
+        mechanisms.push_back(&rb);
+    mechanisms.push_back(&max_eff);
+
+    eval::BundleRunnerOptions opts;
+    opts.jobs = eval::parseJobsArg(argc, argv);
+    const eval::BundleRunner runner(mechanisms, opts);
+    const size_t i_opt = runner.mechanismIndex("MaxEfficiency");
+    const auto evals = runner.run(bundles);
 
     util::printBanner(std::cout,
                       "Ablation: ReBudget lambda cut threshold "
                       "(48 bundles, 16 cores, step 40)");
     util::TablePrinter t({"threshold", "mean_eff_vs_opt", "mean_EF",
                           "mean_MUR", "mean_budget_rounds"});
-    for (double thr : {0.2, 0.35, 0.5, 0.65, 0.8}) {
-        core::ReBudgetConfig cfg;
-        cfg.step0 = 40.0;
-        cfg.lambdaCutThreshold = thr;
-        const core::ReBudgetAllocator rb(cfg);
+    for (size_t k = 0; k < thresholds.size(); ++k) {
         util::SummaryStats eff, ef, mur, rounds;
-        for (const auto &bundle : bundles) {
-            bench::BundleProblem bp =
-                bench::makeBundleProblem(bundle.appNames);
-            const double opt =
-                bench::score(max_eff, bp.problem).efficiency;
-            const auto s = bench::score(rb, bp.problem);
+        for (const auto &ev : evals) {
+            if (ev.skipped)
+                continue;
+            const double opt = ev.scores[i_opt].efficiency;
+            const auto &s = ev.scores[k];
             eff.add(s.efficiency / opt);
             ef.add(s.envyFreeness);
             mur.add(s.mur);
             rounds.add(s.budgetRounds);
         }
-        t.addRow({util::formatDouble(thr, 2),
+        t.addRow({util::formatDouble(thresholds[k], 2),
                   util::formatDouble(eff.mean(), 3),
                   util::formatDouble(ef.mean(), 3),
                   util::formatDouble(mur.mean(), 3),

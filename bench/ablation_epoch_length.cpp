@@ -9,6 +9,11 @@
  * references executed per epoch while the phase length in references
  * stays fixed): slower reallocation reacts late to each phase and loses
  * efficiency, quantifying why a fine epoch matters.
+ *
+ * The four epoch-length simulations are independent, so they run on
+ * util::parallelFor (--jobs N / REBUDGET_JOBS); each simulation writes
+ * only its own result slot, so output is byte-identical at any job
+ * count.
  */
 
 #include <iostream>
@@ -16,9 +21,11 @@
 
 #include "rebudget/app/catalog.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/sim/epoch_sim.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
+#include "rebudget/util/thread_pool.h"
 
 using namespace rebudget;
 
@@ -56,7 +63,7 @@ bundle()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     util::printBanner(std::cout,
                       "Ablation: reallocation epoch length vs phase "
@@ -64,7 +71,14 @@ main()
     util::TablePrinter t({"epoch_accesses", "epochs/phase",
                           "mean_efficiency", "eff_95%CI"});
     const auto rb40 = core::ReBudgetAllocator::withStep(40);
-    for (uint64_t epoch_accesses : {4000u, 8000u, 24000u, 48000u}) {
+    const std::vector<uint64_t> epoch_lengths = {4000, 8000, 24000,
+                                                 48000};
+    const auto apps = bundle();
+
+    std::vector<util::ConfidenceInterval> cis(epoch_lengths.size());
+    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    util::parallelFor(jobs, epoch_lengths.size(), [&](size_t i) {
+        const uint64_t epoch_accesses = epoch_lengths[i];
         sim::EpochSimConfig cfg = sim::EpochSimConfig::forCores(8);
         cfg.cmp.accessesPerEpochPerCore = epoch_accesses;
         // Hold the *work* simulated constant across rows so every row
@@ -73,12 +87,17 @@ main()
         cfg.epochs = static_cast<uint32_t>(total_accesses /
                                            epoch_accesses);
         cfg.warmupEpochs = 2;
-        sim::EpochSimulator simulator(cfg, bundle(), rb40);
+        sim::EpochSimulator simulator(cfg, apps, rb40);
         const sim::SimResult r = simulator.run();
         std::vector<double> eff;
         for (const auto &rec : r.epochs)
             eff.push_back(rec.efficiency);
-        const auto ci = util::bootstrapMeanCI(eff);
+        cis[i] = util::bootstrapMeanCI(eff);
+    });
+
+    for (size_t i = 0; i < epoch_lengths.size(); ++i) {
+        const uint64_t epoch_accesses = epoch_lengths[i];
+        const auto &ci = cis[i];
         t.addRow({std::to_string(epoch_accesses),
                   util::formatDouble(static_cast<double>(kPhaseAccesses) /
                                          epoch_accesses, 1),

@@ -4,27 +4,51 @@
  * paper's two settings (20 and 40).  Sweeps the first-round step over a
  * bundle subset and reports the mean efficiency (vs MaxEfficiency),
  * mean envy-freeness, realized MBR, and the Theorem 2 bound.
+ *
+ * All steps plus the MaxEfficiency oracle run as one BundleRunner
+ * mechanism set, so a single parallel pass over the bundles (--jobs N)
+ * covers the whole sweep.
  */
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/market/metrics.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
 using namespace rebudget;
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint32_t cores = 16;
     const auto catalog = workloads::classifyCatalog();
     const auto bundles =
         workloads::generateAllBundles(catalog, cores, 8, 11);
+
+    const std::vector<double> steps = {2.5,  5.0,  10.0, 15.0,
+                                       20.0, 30.0, 40.0, 45.0};
+    std::vector<core::ReBudgetAllocator> rb_allocs;
+    rb_allocs.reserve(steps.size());
+    for (double step : steps)
+        rb_allocs.push_back(core::ReBudgetAllocator::withStep(step));
+
     const core::MaxEfficiencyAllocator max_eff;
+    std::vector<const core::Allocator *> mechanisms;
+    for (const auto &rb : rb_allocs)
+        mechanisms.push_back(&rb);
+    mechanisms.push_back(&max_eff);
+
+    eval::BundleRunnerOptions opts;
+    opts.jobs = eval::parseJobsArg(argc, argv);
+    const eval::BundleRunner runner(mechanisms, opts);
+    const size_t i_opt = runner.mechanismIndex("MaxEfficiency");
+    const auto evals = runner.run(bundles);
 
     util::printBanner(std::cout,
                       "Ablation: ReBudget step sweep (48 bundles, 16 "
@@ -32,23 +56,21 @@ main()
     util::TablePrinter t({"step", "mean_eff_vs_opt", "eff_95%CI",
                           "mean_EF", "worst_EF", "mean_MBR",
                           "EF_bound(worst-case MBR)"});
-    for (double step : {2.5, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 45.0}) {
-        const auto rb = core::ReBudgetAllocator::withStep(step);
+    for (size_t k = 0; k < steps.size(); ++k) {
         util::SummaryStats ef, mbr;
         std::vector<double> eff_samples;
-        for (const auto &bundle : bundles) {
-            bench::BundleProblem bp =
-                bench::makeBundleProblem(bundle.appNames);
-            const double opt =
-                bench::score(max_eff, bp.problem).efficiency;
-            const auto s = bench::score(rb, bp.problem);
+        for (const auto &ev : evals) {
+            if (ev.skipped)
+                continue;
+            const double opt = ev.scores[i_opt].efficiency;
+            const auto &s = ev.scores[k];
             eff_samples.push_back(s.efficiency / opt);
             ef.add(s.envyFreeness);
             mbr.add(s.mbr);
         }
         const util::ConfidenceInterval ci =
             util::bootstrapMeanCI(eff_samples);
-        t.addRow({util::formatDouble(step, 1),
+        t.addRow({util::formatDouble(steps[k], 1),
                   util::formatDouble(ci.mean, 3),
                   "[" + util::formatDouble(ci.lo, 3) + ", " +
                       util::formatDouble(ci.hi, 3) + "]",
@@ -56,7 +78,7 @@ main()
                   util::formatDouble(ef.min(), 3),
                   util::formatDouble(mbr.mean(), 3),
                   util::formatDouble(market::envyFreenessLowerBound(
-                                         rb.worstCaseMbr()),
+                                         rb_allocs[k].worstCaseMbr()),
                                      3)});
     }
     t.print(std::cout);

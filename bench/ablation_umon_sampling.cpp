@@ -8,6 +8,10 @@
  * miss-curve error of sampled monitors against a fully-sampled monitor,
  * together with the storage cost -- the accuracy/overhead trade-off
  * behind the paper's choice.
+ *
+ * Each (ratio, app) measurement is independent with a precomputed seed,
+ * so they all run on util::parallelFor (--jobs N / REBUDGET_JOBS) with
+ * output byte-identical at any job count.
  */
 
 #include <cmath>
@@ -17,8 +21,10 @@
 #include "rebudget/app/catalog.h"
 #include "rebudget/cache/set_assoc_cache.h"
 #include "rebudget/cache/umon.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
+#include "rebudget/util/thread_pool.h"
 
 using namespace rebudget;
 
@@ -63,32 +69,58 @@ missCurveError(const app::AppParams &params, uint32_t ratio,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::vector<uint32_t> ratios = {1, 8, 32, 128};
+
+    // Flatten the (ratio, non-power-sensitive app) grid into tasks with
+    // the seeds the serial loop would have used: per ratio, the seed
+    // starts at 500 and increments per monitored app in catalog order.
+    struct Task
+    {
+        const app::AppProfile *profile = nullptr;
+        uint32_t ratio = 0;
+        uint64_t seed = 0;
+        double error = 0.0;
+    };
+    std::vector<Task> tasks;
+    for (const uint32_t ratio : ratios) {
+        uint64_t seed = 500;
+        for (const auto &profile : app::catalogProfiles()) {
+            if (profile.params.designClass ==
+                app::AppClass::PowerSensitive)
+                continue; // no L2 traffic to monitor
+            tasks.push_back(Task{&profile, ratio, seed++});
+        }
+    }
+
+    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    util::parallelFor(jobs, tasks.size(), [&](size_t i) {
+        tasks[i].error = missCurveError(tasks[i].profile->params,
+                                        tasks[i].ratio, tasks[i].seed);
+    });
+
     util::printBanner(std::cout,
                       "Ablation: UMON sampling ratio -- miss-curve "
                       "error vs storage");
     util::TablePrinter t({"sampling_ratio", "tags_bytes/core",
                           "mean_abs_error(C)", "mean_abs_error(B)",
                           "mean_abs_error(N)"});
-    for (uint32_t ratio : {1u, 8u, 32u, 128u}) {
+    for (const uint32_t ratio : ratios) {
         cache::UMonConfig cfg;
         cfg.samplingRatio = ratio;
         const cache::UMonitor probe(cfg);
         util::SummaryStats err_c, err_b, err_n;
-        uint64_t seed = 500;
-        for (const auto &profile : app::catalogProfiles()) {
-            const auto cls = profile.params.designClass;
-            if (cls == app::AppClass::PowerSensitive)
-                continue; // no L2 traffic to monitor
-            const double e =
-                missCurveError(profile.params, ratio, seed++);
+        for (const auto &task : tasks) {
+            if (task.ratio != ratio)
+                continue;
+            const auto cls = task.profile->params.designClass;
             if (cls == app::AppClass::CacheSensitive)
-                err_c.add(e);
+                err_c.add(task.error);
             else if (cls == app::AppClass::BothSensitive)
-                err_b.add(e);
+                err_b.add(task.error);
             else
-                err_n.add(e);
+                err_n.add(task.error);
         }
         t.addRow({std::to_string(ratio),
                   std::to_string(probe.storageOverheadBytes()),

@@ -10,23 +10,25 @@
  * a bundle subset -- quantifying the paper's claim that EP "can in fact
  * perform worse than expected when such curve-fitting is not well
  * suited to the applications".
+ *
+ * The bundle sweep runs on eval::BundleRunner (--jobs N).
  */
 
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/ep_allocator.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
 using namespace rebudget;
 
 int
-main()
+main(int argc, char **argv)
 {
     // (a) Cobb-Douglas fit quality per catalog application.
     util::printBanner(std::cout,
@@ -36,8 +38,8 @@ main()
         util::TablePrinter t({"app", "class", "elasticity_cache",
                               "elasticity_power", "R2"});
         const std::vector<double> caps = {15.0, 14.0};
+        const power::PowerModel power;
         for (const auto &profile : app::catalogProfiles()) {
-            static const power::PowerModel power;
             const app::AppUtilityModel model(profile, power);
             const auto fit = core::fitCobbDouglas(model, caps);
             t.addRow({profile.params.name,
@@ -61,20 +63,27 @@ main()
     const auto rb40 = core::ReBudgetAllocator::withStep(40);
     const core::MaxEfficiencyAllocator max_eff;
 
+    eval::BundleRunnerOptions opts;
+    opts.jobs = eval::parseJobsArg(argc, argv);
+    const eval::BundleRunner runner(
+        {&ep, &equal_budget, &rb40, &max_eff}, opts);
+    const size_t i_ep = runner.mechanismIndex("EP");
+    const size_t i_eq = runner.mechanismIndex("EqualBudget");
+    const size_t i_rb = runner.mechanismIndex("ReBudget-40");
+    const size_t i_opt = runner.mechanismIndex("MaxEfficiency");
+    const auto evals = runner.run(bundles);
+
     util::SummaryStats ep_eff, eq_eff, rb_eff, ep_ef, eq_ef, rb_ef;
-    for (const auto &bundle : bundles) {
-        bench::BundleProblem bp =
-            bench::makeBundleProblem(bundle.appNames);
-        const double opt = bench::score(max_eff, bp.problem).efficiency;
-        const auto s_ep = bench::score(ep, bp.problem);
-        const auto s_eq = bench::score(equal_budget, bp.problem);
-        const auto s_rb = bench::score(rb40, bp.problem);
-        ep_eff.add(s_ep.efficiency / opt);
-        eq_eff.add(s_eq.efficiency / opt);
-        rb_eff.add(s_rb.efficiency / opt);
-        ep_ef.add(s_ep.envyFreeness);
-        eq_ef.add(s_eq.envyFreeness);
-        rb_ef.add(s_rb.envyFreeness);
+    for (const auto &ev : evals) {
+        if (ev.skipped)
+            continue;
+        const double opt = ev.scores[i_opt].efficiency;
+        ep_eff.add(ev.scores[i_ep].efficiency / opt);
+        eq_eff.add(ev.scores[i_eq].efficiency / opt);
+        rb_eff.add(ev.scores[i_rb].efficiency / opt);
+        ep_ef.add(ev.scores[i_ep].envyFreeness);
+        eq_ef.add(ev.scores[i_eq].envyFreeness);
+        rb_ef.add(ev.scores[i_rb].envyFreeness);
     }
 
     util::printBanner(std::cout,

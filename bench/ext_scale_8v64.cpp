@@ -7,15 +7,17 @@
  * we omit the results for the 8-core configuration."  This bench runs
  * the analytic suite at both sizes and prints the suite means side by
  * side so the claim can be checked rather than taken on faith.
+ *
+ * Both suites run on eval::BundleRunner (--jobs N / REBUDGET_JOBS).
  */
 
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
@@ -30,7 +32,7 @@ struct SuiteMeans
 };
 
 SuiteMeans
-runSuite(uint32_t cores, uint32_t bundles_per_category)
+runSuite(uint32_t cores, uint32_t bundles_per_category, unsigned jobs)
 {
     const auto catalog = workloads::classifyCatalog();
     const auto bundles = workloads::generateAllBundles(
@@ -42,18 +44,22 @@ runSuite(uint32_t cores, uint32_t bundles_per_category)
     const auto rb20 = core::ReBudgetAllocator::withStep(20);
     const auto rb40 = core::ReBudgetAllocator::withStep(40);
     const core::MaxEfficiencyAllocator max_eff;
-    const std::vector<const core::Allocator *> mechanisms = {
-        &share, &equal, &balanced, &rb20, &rb40};
+
+    eval::BundleRunnerOptions opts;
+    opts.jobs = jobs;
+    const eval::BundleRunner runner(
+        {&share, &equal, &balanced, &rb20, &rb40, &max_eff}, opts);
+    const size_t opt_idx = runner.mechanismIndex("MaxEfficiency");
+    const auto evals = runner.run(bundles);
 
     SuiteMeans means;
-    for (const auto &bundle : bundles) {
-        bench::BundleProblem bp =
-            bench::makeBundleProblem(bundle.appNames);
-        const double opt = bench::score(max_eff, bp.problem).efficiency;
-        for (size_t m = 0; m < mechanisms.size(); ++m) {
-            const auto s = bench::score(*mechanisms[m], bp.problem);
-            means.eff[m].add(s.efficiency / opt);
-            means.ef[m].add(s.envyFreeness);
+    for (const auto &ev : evals) {
+        if (ev.skipped)
+            continue;
+        const double opt = ev.scores[opt_idx].efficiency;
+        for (size_t m = 0; m < 5; ++m) {
+            means.eff[m].add(ev.scores[m].efficiency / opt);
+            means.ef[m].add(ev.scores[m].envyFreeness);
         }
     }
     return means;
@@ -62,12 +68,13 @@ runSuite(uint32_t cores, uint32_t bundles_per_category)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = eval::parseJobsArg(argc, argv);
     const char *names[5] = {"EqualShare", "EqualBudget", "Balanced",
                             "ReBudget-20", "ReBudget-40"};
-    const SuiteMeans m8 = runSuite(8, 40);
-    const SuiteMeans m64 = runSuite(64, 40);
+    const SuiteMeans m8 = runSuite(8, 40, jobs);
+    const SuiteMeans m64 = runSuite(64, 40, jobs);
 
     util::printBanner(std::cout,
                       "Extension: 8-core vs 64-core suite means "

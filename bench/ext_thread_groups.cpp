@@ -17,9 +17,9 @@
 #include <memory>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/groups.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/util/table.h"
 
@@ -62,7 +62,7 @@ main()
         ++core;
     }
 
-    bench::BundleProblem bp = bench::makeBundleProblem(per_core_apps);
+    eval::BundleProblem bp = eval::makeBundleProblem(per_core_apps);
     const core::GroupedProblem grouped =
         core::makeGroupedProblem(bp.problem, groups);
 

@@ -11,9 +11,10 @@
 #include <map>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/market/metrics.h"
 #include "rebudget/util/table.h"
 
 using namespace rebudget;
@@ -24,7 +25,7 @@ main()
     const std::vector<std::string> names = {"apsi", "apsi", "swim",
                                             "swim", "mcf",  "mcf",
                                             "hmmer", "sixtrack"};
-    bench::BundleProblem bp = bench::makeBundleProblem(names);
+    eval::BundleProblem bp = eval::makeBundleProblem(names);
 
     struct Row
     {

@@ -8,6 +8,10 @@
  * the EqualBudget CDF points (Section 6.1.1), the ReBudget efficiency
  * floor (Section 6.1.3), worst-case envy-freeness per mechanism, and
  * the Theorem 2 bound check (Section 6.2).
+ *
+ * The sweep runs on eval::BundleRunner: pass --jobs N (or set
+ * REBUDGET_JOBS) to parallelize over bundles; output is byte-identical
+ * at any job count.
  */
 
 #include <algorithm>
@@ -15,10 +19,11 @@
 #include <numeric>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/market/metrics.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
@@ -31,21 +36,16 @@ struct BundleResult
     std::string name;
     workloads::BundleCategory category = workloads::BundleCategory::CPBN;
     // Normalized efficiency and envy-freeness per mechanism, in the
-    // order of kMechanisms.
+    // runner's mechanism order.
     std::vector<double> eff;
     std::vector<double> ef;
     std::vector<double> mbr;
 };
 
-constexpr int kNumMechanisms = 6;
-const char *kMechanisms[kNumMechanisms] = {
-    "EqualShare", "EqualBudget", "Balanced",
-    "ReBudget-20", "ReBudget-40", "MaxEfficiency"};
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint32_t cores = 64;
     const auto catalog = workloads::classifyCatalog();
@@ -58,23 +58,26 @@ main()
     const auto rb20 = core::ReBudgetAllocator::withStep(20);
     const auto rb40 = core::ReBudgetAllocator::withStep(40);
     const core::MaxEfficiencyAllocator max_eff;
-    const std::vector<const core::Allocator *> mechanisms = {
-        &equal_share, &equal_budget, &balanced, &rb20, &rb40, &max_eff};
+
+    eval::BundleRunnerOptions opts;
+    opts.jobs = eval::parseJobsArg(argc, argv);
+    const eval::BundleRunner runner({&equal_share, &equal_budget,
+                                     &balanced, &rb20, &rb40, &max_eff},
+                                    opts);
+    // Normalize against the oracle looked up by name, not by position.
+    const size_t opt_idx = runner.mechanismIndex("MaxEfficiency");
+    const auto evals = runner.run(bundles);
 
     std::vector<BundleResult> results;
-    results.reserve(bundles.size());
-    for (const auto &bundle : bundles) {
-        bench::BundleProblem bp =
-            bench::makeBundleProblem(bundle.appNames);
+    results.reserve(evals.size());
+    for (const auto &ev : evals) {
+        if (ev.skipped)
+            continue;
         BundleResult r;
-        r.name = bundle.name;
-        r.category = bundle.category;
-        double opt = 0.0;
-        std::vector<bench::MechanismScore> scores;
-        for (const auto *m : mechanisms)
-            scores.push_back(bench::score(*m, bp.problem));
-        opt = scores.back().efficiency; // MaxEfficiency
-        for (const auto &s : scores) {
+        r.name = ev.bundle;
+        r.category = ev.category;
+        const double opt = ev.scores[opt_idx].efficiency;
+        for (const auto &s : ev.scores) {
             r.eff.push_back(opt > 0 ? s.efficiency / opt : 0.0);
             r.ef.push_back(s.envyFreeness);
             r.mbr.push_back(s.mbr);
@@ -124,46 +127,50 @@ main()
     // ---- Summary block: the claims quoted in the paper's text. ----
     util::printBanner(std::cout, "Summary vs paper claims");
     util::TablePrinter s({"metric", "measured", "paper"});
-    auto column = [&](int m, bool eff) {
+    auto column = [&](size_t m, bool eff) {
         std::vector<double> out;
         out.reserve(results.size());
         for (const auto &r : results)
             out.push_back(eff ? r.eff[m] : r.ef[m]);
         return out;
     };
+    const size_t i_eq = runner.mechanismIndex("EqualBudget");
+    const size_t i_bal = runner.mechanismIndex("Balanced");
+    const size_t i_rb20 = runner.mechanismIndex("ReBudget-20");
+    const size_t i_rb40 = runner.mechanismIndex("ReBudget-40");
 
-    const auto eq_eff = column(1, true);
+    const auto eq_eff = column(i_eq, true);
     s.addRow({"EqualBudget: bundles >= 95% of MaxEff",
               util::formatDouble(util::fractionAtLeast(eq_eff, 0.95), 3),
               "0.37"});
     s.addRow({"EqualBudget: bundles >= 90% of MaxEff",
               util::formatDouble(util::fractionAtLeast(eq_eff, 0.90), 3),
               ">= 0.90"});
-    const auto rb40_eff = column(4, true);
+    const auto rb40_eff = column(i_rb40, true);
     s.addRow({"ReBudget-40: worst-bundle efficiency",
               util::formatDouble(
                   *std::min_element(rb40_eff.begin(), rb40_eff.end()),
                   3),
               "0.95"});
-    const auto eq_ef = column(1, false);
+    const auto eq_ef = column(i_eq, false);
     s.addRow({"EqualBudget: worst-case envy-freeness",
               util::formatDouble(
                   *std::min_element(eq_ef.begin(), eq_ef.end()), 3),
               "0.93"});
-    const auto bal_ef = column(2, false);
+    const auto bal_ef = column(i_bal, false);
     s.addRow({"Balanced: worst-case envy-freeness",
               util::formatDouble(
                   *std::min_element(bal_ef.begin(), bal_ef.end()), 3),
               "0.86"});
-    const auto rb20_ef = column(3, false);
-    const auto rb40_ef = column(4, false);
+    const auto rb20_ef = column(i_rb20, false);
+    const auto rb40_ef = column(i_rb40, false);
     s.addRow({"ReBudget-20: median envy-freeness",
               util::formatDouble(util::quantile(rb20_ef, 0.5), 3),
               "~0.8"});
     s.addRow({"ReBudget-40: median envy-freeness",
               util::formatDouble(util::quantile(rb40_ef, 0.5), 3),
               "~0.5"});
-    const auto max_ef = column(5, false);
+    const auto max_ef = column(opt_idx, false);
     s.addRow({"MaxEfficiency: median envy-freeness",
               util::formatDouble(util::quantile(max_ef, 0.5), 3),
               "~0.35"});
@@ -174,11 +181,11 @@ main()
     int violations20 = 0;
     int violations40 = 0;
     for (const auto &r : results) {
-        if (r.ef[3] <
-            market::envyFreenessLowerBound(r.mbr[3]) - 1e-6)
+        if (r.ef[i_rb20] <
+            market::envyFreenessLowerBound(r.mbr[i_rb20]) - 1e-6)
             ++violations20;
-        if (r.ef[4] <
-            market::envyFreenessLowerBound(r.mbr[4]) - 1e-6)
+        if (r.ef[i_rb40] <
+            market::envyFreenessLowerBound(r.mbr[i_rb40]) - 1e-6)
             ++violations40;
     }
     s.addRow({"ReBudget-20: Theorem 2 violations",
@@ -199,8 +206,8 @@ main()
             if (r.category != cat)
                 continue;
             share.add(r.eff[0]);
-            equal.add(r.eff[1]);
-            rb40_s.add(r.eff[4]);
+            equal.add(r.eff[i_eq]);
+            rb40_s.add(r.eff[i_rb40]);
         }
         c.addRow({workloads::categoryName(cat),
                   util::formatDouble(share.mean(), 3),

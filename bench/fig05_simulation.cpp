@@ -8,6 +8,11 @@
  *
  * Efficiency is reported normalized to the MaxEfficiency outcome under
  * the same simulation, as in the figure.
+ *
+ * The 36 (bundle x mechanism) simulations are independent, so they run
+ * on util::parallelFor (--jobs N / REBUDGET_JOBS); every simulation
+ * writes only its own result slot, so output is byte-identical at any
+ * job count.
  */
 
 #include <iostream>
@@ -17,8 +22,10 @@
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/sim/epoch_sim.h"
 #include "rebudget/util/table.h"
+#include "rebudget/util/thread_pool.h"
 #include "rebudget/workloads/bundles.h"
 
 using namespace rebudget;
@@ -38,7 +45,7 @@ machine()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const auto catalog = workloads::classifyCatalog();
 
@@ -52,15 +59,16 @@ main()
         &equal_share, &equal_budget, &balanced,
         &rb20,        &rb40,         &max_eff};
 
-    util::TablePrinter eff_table({"bundle", "EqualShare", "EqualBudget",
-                                  "Balanced", "ReBudget-20",
-                                  "ReBudget-40"});
-    util::TablePrinter ef_table({"bundle", "EqualShare", "EqualBudget",
-                                 "Balanced", "ReBudget-20",
-                                 "ReBudget-40", "MaxEfficiency"});
-
     // One bundle per category (the paper randomly selects one; we take
     // the first of each category's deterministic stream).
+    struct Task
+    {
+        std::string bundle;
+        std::vector<app::AppParams> apps;
+        const core::Allocator *mechanism = nullptr;
+    };
+    std::vector<Task> tasks;
+    std::vector<std::string> bundle_names;
     for (const workloads::BundleCategory cat : workloads::kAllCategories) {
         const auto bundles =
             workloads::generateBundles(catalog, cat, 64, 1, 99);
@@ -68,29 +76,55 @@ main()
         std::vector<app::AppParams> apps;
         for (const auto &nm : bundle.appNames)
             apps.push_back(app::findCatalogProfile(nm).params);
+        bundle_names.push_back(bundle.name);
+        for (const auto *m : mechanisms)
+            tasks.push_back(Task{bundle.name, apps, m});
+    }
 
+    // Every (bundle, mechanism) simulation is independent and owns its
+    // simulator; task i writes only results[i].
+    struct TaskResult
+    {
+        double efficiency = 0.0;
+        double envyFreeness = 0.0;
+    };
+    std::vector<TaskResult> results(tasks.size());
+    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    util::parallelFor(jobs, tasks.size(), [&](size_t i) {
+        sim::EpochSimulator simulator(machine(), tasks[i].apps,
+                                      *tasks[i].mechanism);
+        const sim::SimResult r = simulator.run();
+        results[i] = TaskResult{r.meanEfficiency, r.envyFreeness};
+    });
+
+    util::TablePrinter eff_table({"bundle", "EqualShare", "EqualBudget",
+                                  "Balanced", "ReBudget-20",
+                                  "ReBudget-40"});
+    util::TablePrinter ef_table({"bundle", "EqualShare", "EqualBudget",
+                                 "Balanced", "ReBudget-20",
+                                 "ReBudget-40", "MaxEfficiency"});
+    const size_t n_mech = mechanisms.size();
+    for (size_t b = 0; b < bundle_names.size(); ++b) {
         std::vector<double> eff;
         std::vector<double> ef;
-        for (const auto *m : mechanisms) {
-            sim::EpochSimulator simulator(machine(), apps, *m);
-            const sim::SimResult r = simulator.run();
-            eff.push_back(r.meanEfficiency);
-            ef.push_back(r.envyFreeness);
+        for (size_t m = 0; m < n_mech; ++m) {
+            eff.push_back(results[b * n_mech + m].efficiency);
+            ef.push_back(results[b * n_mech + m].envyFreeness);
         }
-        const double opt = eff.back();
-        eff_table.addRow({bundle.name,
+        const double opt = eff.back(); // MaxEfficiency is listed last
+        eff_table.addRow({bundle_names[b],
                           util::formatDouble(eff[0] / opt, 3),
                           util::formatDouble(eff[1] / opt, 3),
                           util::formatDouble(eff[2] / opt, 3),
                           util::formatDouble(eff[3] / opt, 3),
                           util::formatDouble(eff[4] / opt, 3)});
-        ef_table.addRow({bundle.name, util::formatDouble(ef[0], 3),
+        ef_table.addRow({bundle_names[b], util::formatDouble(ef[0], 3),
                          util::formatDouble(ef[1], 3),
                          util::formatDouble(ef[2], 3),
                          util::formatDouble(ef[3], 3),
                          util::formatDouble(ef[4], 3),
                          util::formatDouble(ef[5], 3)});
-        std::cerr << "simulated " << bundle.name << "\n";
+        std::cerr << "simulated " << bundle_names[b] << "\n";
     }
 
     util::printBanner(std::cout,

@@ -7,22 +7,28 @@
  * Paper claims: EqualBudget and Balanced converge within 3 iterations
  * for 95% of bundles; ReBudget needs a few more (it re-converges after
  * each budget cut); a 30-iteration fail-safe bounds the worst case.
+ *
+ * The sweep runs on eval::BundleRunner (--jobs N / REBUDGET_JOBS).  A
+ * second section opts into MarketConfig::recordPriceHistory to show the
+ * actual price trajectory of one sample bundle -- the per-iteration
+ * price movement that the convergence claim summarizes.
  */
 
 #include <algorithm>
+#include <cmath>
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
 using namespace rebudget;
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint32_t cores = 64;
     const auto catalog = workloads::classifyCatalog();
@@ -33,28 +39,31 @@ main()
     const core::BalancedBudgetAllocator balanced;
     const auto rb20 = core::ReBudgetAllocator::withStep(20);
     const auto rb40 = core::ReBudgetAllocator::withStep(40);
+
+    eval::BundleRunnerOptions opts;
+    opts.jobs = eval::parseJobsArg(argc, argv);
+    const eval::BundleRunner runner(
+        {&equal_budget, &balanced, &rb20, &rb40}, opts);
+    const auto evals = runner.run(bundles);
+
     struct Mech
     {
-        const core::Allocator *alloc;
         std::vector<double> per_solve_iters; // iterations per solve
         std::vector<double> total_iters;     // total per allocation
         std::vector<double> rounds;
     };
-    std::vector<Mech> mechs = {{&equal_budget, {}, {}, {}},
-                               {&balanced, {}, {}, {}},
-                               {&rb20, {}, {}, {}},
-                               {&rb40, {}, {}, {}}};
+    std::vector<Mech> mechs(runner.mechanismNames().size());
 
-    for (const auto &bundle : bundles) {
-        bench::BundleProblem bp =
-            bench::makeBundleProblem(bundle.appNames);
-        for (auto &m : mechs) {
-            const auto out = m.alloc->allocate(bp.problem);
-            const int solves = std::max(1, out.budgetRounds);
-            m.per_solve_iters.push_back(
-                static_cast<double>(out.marketIterations) / solves);
-            m.total_iters.push_back(out.marketIterations);
-            m.rounds.push_back(out.budgetRounds);
+    for (const auto &ev : evals) {
+        if (ev.skipped)
+            continue;
+        for (size_t m = 0; m < ev.scores.size(); ++m) {
+            const auto &s = ev.scores[m];
+            const int solves = std::max(1, s.budgetRounds);
+            mechs[m].per_solve_iters.push_back(
+                static_cast<double>(s.marketIterations) / solves);
+            mechs[m].total_iters.push_back(s.marketIterations);
+            mechs[m].rounds.push_back(s.budgetRounds);
         }
     }
 
@@ -65,26 +74,69 @@ main()
                           "p95_iters/solve", "max_iters/solve",
                           "frac_solves<=3", "median_total_iters",
                           "median_budget_rounds"});
-    for (auto &m : mechs) {
-        t.addRow({m.alloc->name(),
-                  util::formatDouble(util::quantile(m.per_solve_iters,
+    for (size_t m = 0; m < mechs.size(); ++m) {
+        const auto &mech = mechs[m];
+        t.addRow({runner.mechanismNames()[m],
+                  util::formatDouble(util::quantile(mech.per_solve_iters,
                                                     0.5), 2),
-                  util::formatDouble(util::quantile(m.per_solve_iters,
+                  util::formatDouble(util::quantile(mech.per_solve_iters,
                                                     0.95), 2),
                   util::formatDouble(
-                      *std::max_element(m.per_solve_iters.begin(),
-                                        m.per_solve_iters.end()), 2),
+                      *std::max_element(mech.per_solve_iters.begin(),
+                                        mech.per_solve_iters.end()), 2),
                   util::formatDouble(
-                      1.0 - util::fractionAtLeast(m.per_solve_iters,
+                      1.0 - util::fractionAtLeast(mech.per_solve_iters,
                                                   3.0 + 1e-9), 3),
-                  util::formatDouble(util::quantile(m.total_iters, 0.5),
-                                     1),
-                  util::formatDouble(util::quantile(m.rounds, 0.5), 1)});
+                  util::formatDouble(util::quantile(mech.total_iters,
+                                                    0.5), 1),
+                  util::formatDouble(util::quantile(mech.rounds, 0.5),
+                                     1)});
     }
     t.print(std::cout);
     std::cout << "\nPaper: EqualBudget/Balanced converge within 3 "
                  "iterations for 95% of bundles;\nReBudget spends a few "
                  "more because it re-converges after each cut; the\n"
                  "fail-safe terminates any solve at 30 iterations.\n";
+
+    // ---- Price trajectory of one sample bundle. ----
+    //
+    // The sweep above leaves recordPriceHistory off (the default);
+    // here we opt in on a single equilibrium solve to display the
+    // per-iteration price movement behind the iteration counts.
+    {
+        const auto &sample = bundles.front();
+        const auto bp = eval::makeBundleProblem(sample.appNames);
+        market::MarketConfig cfg = bp.problem.marketConfig;
+        cfg.recordPriceHistory = true;
+        const market::ProportionalMarket market(
+            bp.problem.models, bp.problem.capacities, cfg);
+        const std::vector<double> budgets(bp.problem.models.size(), 1.0);
+        const auto eq = market.findEquilibrium(budgets);
+
+        util::printBanner(std::cout,
+                          "Price trajectory (equal budgets, bundle " +
+                              sample.name + ")");
+        util::TablePrinter pt({"iteration", "max_rel_price_move"});
+        for (size_t it = 0; it < eq.priceHistory.size(); ++it) {
+            double move = 0.0;
+            if (it > 0) {
+                const auto &prev = eq.priceHistory[it - 1];
+                const auto &cur = eq.priceHistory[it];
+                for (size_t j = 0; j < cur.size(); ++j) {
+                    if (prev[j] > 0)
+                        move = std::max(
+                            move,
+                            std::fabs(cur[j] - prev[j]) / prev[j]);
+                }
+            }
+            pt.addRow({std::to_string(it + 1),
+                       util::formatDouble(move, 4)});
+        }
+        pt.print(std::cout);
+        std::cout << "\nConverged: " << (eq.converged ? "yes" : "no")
+                  << " in " << eq.iterations
+                  << " iterations (tolerance "
+                  << util::formatDouble(cfg.priceTol, 2) << ").\n";
+    }
     return 0;
 }

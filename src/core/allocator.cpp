@@ -1,28 +1,50 @@
 #include "rebudget/core/allocator.h"
 
+#include <sstream>
+
 #include "rebudget/util/logging.h"
 
 namespace rebudget::core {
 
+std::optional<std::string>
+tryValidateProblem(const AllocationProblem &problem)
+{
+    if (problem.models.empty())
+        return "allocation problem has no players";
+    if (problem.capacities.empty())
+        return "allocation problem has no resources";
+    for (size_t i = 0; i < problem.models.size(); ++i) {
+        const auto *m = problem.models[i];
+        if (m == nullptr) {
+            std::ostringstream ss;
+            ss << "allocation problem has a null utility model (player "
+               << i << ")";
+            return ss.str();
+        }
+        if (m->numResources() != problem.capacities.size()) {
+            std::ostringstream ss;
+            ss << "utility arity " << m->numResources()
+               << " != resource count " << problem.capacities.size()
+               << " (player " << i << ", model '" << m->name() << "')";
+            return ss.str();
+        }
+    }
+    for (size_t j = 0; j < problem.capacities.size(); ++j) {
+        if (problem.capacities[j] <= 0.0) {
+            std::ostringstream ss;
+            ss << "capacities must be positive (resource " << j << " is "
+               << problem.capacities[j] << ")";
+            return ss.str();
+        }
+    }
+    return std::nullopt;
+}
+
 void
 validateProblem(const AllocationProblem &problem)
 {
-    if (problem.models.empty())
-        util::fatal("allocation problem has no players");
-    if (problem.capacities.empty())
-        util::fatal("allocation problem has no resources");
-    for (const auto *m : problem.models) {
-        if (m == nullptr)
-            util::fatal("allocation problem has a null utility model");
-        if (m->numResources() != problem.capacities.size()) {
-            util::fatal("utility arity %zu != resource count %zu",
-                        m->numResources(), problem.capacities.size());
-        }
-    }
-    for (double c : problem.capacities) {
-        if (c <= 0.0)
-            util::fatal("capacities must be positive");
-    }
+    if (const auto err = tryValidateProblem(problem))
+        util::fatal("%s", err->c_str());
 }
 
 } // namespace rebudget::core

@@ -12,6 +12,7 @@
  * convergence accounting used by the evaluation (Sections 6.1-6.4).
  */
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,10 +60,28 @@ class Allocator
     /** @return the mechanism's display name. */
     virtual std::string name() const = 0;
 
-    /** Solve one allocation problem. */
+    /**
+     * Solve one allocation problem.
+     *
+     * Thread-safety contract (relied on by eval::BundleRunner, which
+     * calls allocate() concurrently from pool workers): implementations
+     * must keep all scratch state local to the call -- no mutable
+     * members, no globals, no global RNG.  Distinct problems may then
+     * be solved concurrently through the same Allocator instance.
+     */
     virtual AllocationOutcome allocate(
         const AllocationProblem &problem) const = 0;
 };
+
+/**
+ * Check problem arity without side effects.
+ *
+ * @return std::nullopt if the problem is well-formed, else a diagnostic
+ * describing the first inconsistency.  Used by the eval layer to skip a
+ * malformed bundle with a warning instead of killing a whole sweep.
+ */
+std::optional<std::string> tryValidateProblem(
+    const AllocationProblem &problem);
 
 /** Validate problem arity; calls util::fatal() on inconsistency. */
 void validateProblem(const AllocationProblem &problem);

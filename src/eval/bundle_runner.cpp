@@ -1,0 +1,192 @@
+#include "rebudget/eval/bundle_runner.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "rebudget/market/metrics.h"
+#include "rebudget/power/power_model.h"
+#include "rebudget/util/logging.h"
+#include "rebudget/util/thread_pool.h"
+
+namespace rebudget::eval {
+
+namespace {
+
+const power::PowerModel &
+defaultPowerModel()
+{
+    static const power::PowerModel power;
+    return power;
+}
+
+} // namespace
+
+BundleProblem
+makeBundleProblem(const std::vector<std::string> &app_names,
+                  const ProfileLookup &lookup, double regions_per_core,
+                  double watts_per_core, bool convexify)
+{
+    const power::PowerModel &power = defaultPowerModel();
+    BundleProblem bp;
+    app::UtilityGridOptions options;
+    options.convexify = convexify;
+    double min_watts = 0.0;
+    for (const auto &nm : app_names) {
+        bp.models.push_back(std::make_unique<app::AppUtilityModel>(
+            lookup(nm), power, options));
+        min_watts += bp.models.back()->minWatts();
+        bp.problem.models.push_back(bp.models.back().get());
+    }
+    const double n = static_cast<double>(app_names.size());
+    bp.problem.capacities = {n * regions_per_core - n * 1.0,
+                             n * watts_per_core - min_watts};
+    return bp;
+}
+
+BundleProblem
+makeBundleProblem(const std::vector<std::string> &app_names,
+                  double regions_per_core, double watts_per_core,
+                  bool convexify)
+{
+    return makeBundleProblem(
+        app_names,
+        [](const std::string &nm) -> const app::AppProfile & {
+            return app::findCatalogProfile(nm);
+        },
+        regions_per_core, watts_per_core, convexify);
+}
+
+MechanismScore
+scoreOutcome(const core::AllocationProblem &problem,
+             const core::AllocationOutcome &outcome)
+{
+    MechanismScore s;
+    s.mechanism = outcome.mechanism;
+    s.efficiency = market::efficiency(problem.models, outcome.alloc);
+    s.envyFreeness = market::envyFreeness(problem.models, outcome.alloc);
+    if (!outcome.lambdas.empty())
+        s.mur = market::marketUtilityRange(outcome.lambdas);
+    if (!outcome.budgets.empty())
+        s.mbr = market::marketBudgetRange(outcome.budgets);
+    s.marketIterations = outcome.marketIterations;
+    s.budgetRounds = outcome.budgetRounds;
+    return s;
+}
+
+MechanismScore
+score(const core::Allocator &mechanism,
+      const core::AllocationProblem &problem)
+{
+    return scoreOutcome(problem, mechanism.allocate(problem));
+}
+
+BundleRunner::BundleRunner(std::vector<const core::Allocator *> mechanisms,
+                           const BundleRunnerOptions &options)
+    : mechanisms_(std::move(mechanisms)), options_(options)
+{
+    if (mechanisms_.empty())
+        util::fatal("BundleRunner needs at least one mechanism");
+    names_.reserve(mechanisms_.size());
+    for (const auto *m : mechanisms_) {
+        if (m == nullptr)
+            util::fatal("BundleRunner has a null mechanism");
+        names_.push_back(m->name());
+    }
+}
+
+size_t
+BundleRunner::mechanismIndex(const std::string &name) const
+{
+    for (size_t m = 0; m < names_.size(); ++m) {
+        if (names_[m] == name)
+            return m;
+    }
+    util::fatal("BundleRunner has no mechanism named '%s'", name.c_str());
+}
+
+BundleEvaluation
+BundleRunner::evaluate(const workloads::Bundle &bundle) const
+{
+    BundleEvaluation ev;
+    ev.bundle = bundle.name;
+    ev.category = bundle.category;
+
+    BundleProblem bp;
+    try {
+        bp = makeBundleProblem(bundle.appNames, options_.regionsPerCore,
+                               options_.wattsPerCore, options_.convexify);
+    } catch (const util::FatalError &e) {
+        ev.skipped = true;
+        ev.skipReason = e.what();
+        util::warn("skipping bundle %s: %s", bundle.name.c_str(),
+                   e.what());
+        return ev;
+    }
+    bp.problem.marketConfig = options_.marketConfig;
+
+    if (const auto err = core::tryValidateProblem(bp.problem)) {
+        ev.skipped = true;
+        ev.skipReason = *err;
+        util::warn("skipping bundle %s: %s", bundle.name.c_str(),
+                   err->c_str());
+        return ev;
+    }
+
+    ev.scores.reserve(mechanisms_.size());
+    if (options_.keepOutcomes)
+        ev.outcomes.reserve(mechanisms_.size());
+    for (const auto *m : mechanisms_) {
+        try {
+            core::AllocationOutcome out = m->allocate(bp.problem);
+            ev.scores.push_back(scoreOutcome(bp.problem, out));
+            if (options_.keepOutcomes)
+                ev.outcomes.push_back(std::move(out));
+        } catch (const util::FatalError &e) {
+            ev.skipped = true;
+            ev.skipReason = e.what();
+            ev.scores.clear();
+            ev.outcomes.clear();
+            util::warn("skipping bundle %s: mechanism %s failed: %s",
+                       bundle.name.c_str(), m->name().c_str(), e.what());
+            return ev;
+        }
+    }
+    return ev;
+}
+
+std::vector<BundleEvaluation>
+BundleRunner::run(const std::vector<workloads::Bundle> &bundles) const
+{
+    // Warm the profile catalog before spawning workers so no worker
+    // pays (or serializes on) the one-time profiling behind its magic
+    // static.
+    app::catalogProfiles();
+
+    std::vector<BundleEvaluation> results(bundles.size());
+    util::ThreadPool pool(options_.jobs);
+    pool.parallelFor(bundles.size(), [&](size_t i) {
+        results[i] = evaluate(bundles[i]);
+    });
+    return results;
+}
+
+unsigned
+parseJobsArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--jobs")
+            continue;
+        if (i + 1 >= argc)
+            util::fatal("--jobs requires a value");
+        char *end = nullptr;
+        const long v = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || v < 1)
+            util::fatal("--jobs needs a positive integer, got '%s'",
+                        argv[i + 1]);
+        return static_cast<unsigned>(v);
+    }
+    return 0;
+}
+
+} // namespace rebudget::eval

@@ -1,0 +1,197 @@
+#ifndef REBUDGET_EVAL_BUNDLE_RUNNER_H_
+#define REBUDGET_EVAL_BUNDLE_RUNNER_H_
+
+/**
+ * @file
+ * The evaluation engine behind the paper's Section 6 sweeps: turn
+ * workload bundles into allocation problems with catalog utility
+ * models, evaluate a fixed set of mechanisms on each bundle, and
+ * aggregate the scores -- in parallel over bundles.
+ *
+ * Replaces the header-only plumbing formerly duplicated across the
+ * bench binaries (bench/bench_common.h).
+ *
+ * Determinism: work is partitioned by bundle index (util::ThreadPool's
+ * parallelFor contract), every bundle's evaluation depends only on its
+ * own inputs, and no component below uses global RNG state (randomness
+ * enters only through seeds fixed at bundle-generation time, before the
+ * parallel region).  Results are therefore byte-identical at any job
+ * count; tests/eval asserts this with 1, 2 and hardware-concurrency
+ * threads, and the TSan build preset (-DREBUDGET_SANITIZE=thread)
+ * checks the same suite for data races.
+ *
+ * Re-entrancy contract of the audited layers underneath:
+ *  - Allocator::allocate(), ProportionalMarket::findEquilibrium() and
+ *    optimizeBids() keep all scratch state local to the call.
+ *  - UtilityModel implementations are immutable after construction.
+ *  - app::catalogProfiles() builds the catalog behind a magic static;
+ *    BundleRunner::run() warms it before spawning workers so no worker
+ *    pays (or serializes on) first-use profiling.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/core/allocator.h"
+#include "rebudget/market/market.h"
+#include "rebudget/workloads/bundles.h"
+
+namespace rebudget::eval {
+
+/** An allocation problem plus the utility models backing it. */
+struct BundleProblem
+{
+    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+    core::AllocationProblem problem;
+};
+
+/** Profile lookup hook: lets custom app definitions shadow the catalog. */
+using ProfileLookup =
+    std::function<const app::AppProfile &(const std::string &)>;
+
+/**
+ * Build the phase-1 (analytic) allocation problem for a bundle: catalog
+ * profiles -> convexified utility models, market capacities = machine
+ * resources minus per-core minimums.
+ *
+ * @param app_names            one catalog app per core
+ * @param regions_per_core     cache regions per core (paper: 4)
+ * @param watts_per_core       chip TDP per core (paper: 10 W)
+ * @param convexify            apply Talus convexification
+ */
+BundleProblem makeBundleProblem(const std::vector<std::string> &app_names,
+                                double regions_per_core = 4.0,
+                                double watts_per_core = 10.0,
+                                bool convexify = true);
+
+/** As above, resolving profiles through a caller-supplied lookup. */
+BundleProblem makeBundleProblem(const std::vector<std::string> &app_names,
+                                const ProfileLookup &lookup,
+                                double regions_per_core = 4.0,
+                                double watts_per_core = 10.0,
+                                bool convexify = true);
+
+/** Efficiency and fairness of one mechanism on one problem. */
+struct MechanismScore
+{
+    std::string mechanism;
+    double efficiency = 0.0;
+    double envyFreeness = 0.0;
+    double mur = 0.0;
+    double mbr = 1.0;
+    int marketIterations = 0;
+    int budgetRounds = 0;
+};
+
+/** Score an already-computed outcome on its problem. */
+MechanismScore scoreOutcome(const core::AllocationProblem &problem,
+                            const core::AllocationOutcome &outcome);
+
+/** Run one mechanism and collect its scores. */
+MechanismScore score(const core::Allocator &mechanism,
+                     const core::AllocationProblem &problem);
+
+/** Tuning for a BundleRunner sweep. */
+struct BundleRunnerOptions
+{
+    /** Worker threads; 0 = REBUDGET_JOBS env, else hardware size. */
+    unsigned jobs = 0;
+    /** Cache regions per core (paper: 4). */
+    double regionsPerCore = 4.0;
+    /** Chip TDP per core (paper: 10 W). */
+    double wattsPerCore = 10.0;
+    /** Apply Talus convexification to the utility models. */
+    bool convexify = true;
+    /** Keep the full AllocationOutcome per mechanism (costs memory). */
+    bool keepOutcomes = false;
+    /**
+     * Market tuning applied to every bundle problem.  Note that
+     * recordPriceHistory defaults to off here: sweeps never read the
+     * trajectories.
+     */
+    market::MarketConfig marketConfig;
+};
+
+/** One bundle's evaluation across every mechanism of the runner. */
+struct BundleEvaluation
+{
+    /** Bundle identifier, e.g. "CPBN-07". */
+    std::string bundle;
+    /** Category the bundle was drawn from. */
+    workloads::BundleCategory category = workloads::BundleCategory::CPBN;
+    /** True if the bundle was skipped (see skipReason); scores empty. */
+    bool skipped = false;
+    /** Why the bundle was skipped (malformed problem, unknown app...). */
+    std::string skipReason;
+    /** One score per mechanism, in BundleRunner::mechanismNames order. */
+    std::vector<MechanismScore> scores;
+    /** Full outcomes (only if BundleRunnerOptions::keepOutcomes). */
+    std::vector<core::AllocationOutcome> outcomes;
+};
+
+/**
+ * Evaluates a fixed mechanism set over bundle suites, in parallel.
+ *
+ * The mechanism pointers are non-owning and must outlive the runner;
+ * their allocate() is invoked concurrently (see Allocator's contract).
+ */
+class BundleRunner
+{
+  public:
+    /**
+     * @param mechanisms  mechanisms to evaluate per bundle (non-owning)
+     * @param options     sweep tuning
+     */
+    explicit BundleRunner(
+        std::vector<const core::Allocator *> mechanisms,
+        const BundleRunnerOptions &options = {});
+
+    /** @return the mechanisms' display names, in evaluation order. */
+    const std::vector<std::string> &mechanismNames() const
+    {
+        return names_;
+    }
+
+    /** @return the sweep options. */
+    const BundleRunnerOptions &options() const { return options_; }
+
+    /**
+     * @return the index of the named mechanism; util::fatal() if the
+     * runner has no mechanism of that name.  Use this instead of
+     * assuming a mechanism's position (e.g. "MaxEfficiency is last").
+     */
+    size_t mechanismIndex(const std::string &name) const;
+
+    /** Evaluate one bundle across every mechanism (serially). */
+    BundleEvaluation evaluate(const workloads::Bundle &bundle) const;
+
+    /**
+     * Evaluate a whole suite, parallelized over bundles with
+     * options().jobs workers.  Results are in bundle order and
+     * byte-identical at any job count.  Malformed bundles are skipped
+     * with a warning (BundleEvaluation::skipped) instead of aborting
+     * the sweep.
+     */
+    std::vector<BundleEvaluation> run(
+        const std::vector<workloads::Bundle> &bundles) const;
+
+  private:
+    std::vector<const core::Allocator *> mechanisms_;
+    std::vector<std::string> names_;
+    BundleRunnerOptions options_;
+};
+
+/**
+ * Scan argv for "--jobs N" and return N; 0 if absent (callers pass the
+ * result as BundleRunnerOptions::jobs, where 0 defers to REBUDGET_JOBS
+ * and then the hardware).  util::fatal() on a malformed value.
+ */
+unsigned parseJobsArg(int argc, char **argv);
+
+} // namespace rebudget::eval
+
+#endif // REBUDGET_EVAL_BUNDLE_RUNNER_H_

@@ -64,6 +64,9 @@ double bidMarginal(const UtilityModel &model, size_t resource,
 /**
  * Optimize a player's bids for a fixed view of the competition.
  *
+ * Re-entrant: pure function of its arguments with call-local scratch
+ * only, safe to invoke concurrently (the parallel eval sweeps do).
+ *
  * @param model       the player's utility
  * @param budget      the player's budget B_i (>= 0)
  * @param others      y_j: summed competing bids per resource

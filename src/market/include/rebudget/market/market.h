@@ -28,6 +28,14 @@ struct MarketConfig
     double priceTol = 0.01;
     /** Fail-safe iteration cap (paper Section 6.4 uses 30). */
     int maxIterations = 30;
+    /**
+     * Record a price snapshot after every bidding-pricing round into
+     * EquilibriumResult::priceHistory.  Off by default: sweep workloads
+     * solve hundreds of thousands of equilibria and never read the
+     * trajectories, so the per-round snapshot allocations are pure
+     * overhead.  Convergence/trajectory consumers opt in.
+     */
+    bool recordPriceHistory = false;
     /** Player bid-optimizer tuning. */
     BidOptimizerConfig bid;
 };
@@ -53,6 +61,8 @@ struct EquilibriumResult
      * Price snapshot after every bidding-pricing round (size equals
      * iterations; the last entry equals prices).  Used by the
      * convergence analysis and for plotting price trajectories.
+     * Only populated when MarketConfig::recordPriceHistory is set;
+     * empty otherwise.
      */
     std::vector<std::vector<double>> priceHistory;
 };
@@ -75,6 +85,11 @@ class ProportionalMarket
     /**
      * Run the iterative bidding-pricing procedure to (approximate)
      * equilibrium under the given budgets.
+     *
+     * Re-entrant: all solver scratch state is local to the call, so one
+     * market instance may run concurrent solves on distinct budget
+     * vectors (and distinct markets are fully independent).  The eval
+     * layer's parallel sweeps depend on this.
      *
      * @param budgets  B_i per player (>= 0)
      */

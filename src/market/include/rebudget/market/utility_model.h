@@ -19,7 +19,13 @@
 
 namespace rebudget::market {
 
-/** Abstract concave utility over an M-resource allocation. */
+/**
+ * Abstract concave utility over an M-resource allocation.
+ *
+ * Implementations must be immutable after construction (const methods
+ * with no mutable caches): markets and allocators evaluate them
+ * concurrently from parallel eval sweeps.
+ */
 class UtilityModel
 {
   public:

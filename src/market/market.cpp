@@ -83,7 +83,8 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets) const
         }
         const std::vector<double> new_prices =
             computePrices(result.bids, capacities_);
-        result.priceHistory.push_back(new_prices);
+        if (config_.recordPriceHistory)
+            result.priceHistory.push_back(new_prices);
         bool stable = true;
         for (size_t j = 0; j < m; ++j) {
             const double old_p = prices[j];

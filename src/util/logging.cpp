@@ -1,5 +1,6 @@
 #include "rebudget/util/logging.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -8,19 +9,20 @@
 namespace rebudget::util {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic so log emission from pool workers never races setLogLevel().
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -44,7 +46,7 @@ vformat(const char *fmt, std::va_list args)
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Info)
+    if (logLevel() < LogLevel::Info)
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -56,7 +58,7 @@ inform(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Debug)
+    if (logLevel() < LogLevel::Debug)
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -68,7 +70,7 @@ debugLog(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (logLevel() < LogLevel::Warn)
         return;
     std::va_list args;
     va_start(args, fmt);

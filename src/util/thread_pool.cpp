@@ -1,0 +1,147 @@
+#include "rebudget/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace rebudget::util {
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("REBUDGET_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? defaultThreadCount() : threads)
+{
+    if (threads_ <= 1)
+        return; // inline mode: no workers
+    workers_.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t count,
+                        const std::function<void(size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    // Shared loop state: a cursor handing out indices, a completion
+    // counter, and the first exception (workers stop taking new indices
+    // once one is recorded).
+    struct ForState
+    {
+        std::atomic<size_t> next{0};
+        std::atomic<bool> cancelled{false};
+        std::exception_ptr error;
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        size_t tasks_finished = 0;
+    };
+    auto state = std::make_shared<ForState>();
+    const size_t tasks =
+        std::min<size_t>(static_cast<size_t>(threads_), count);
+
+    for (size_t t = 0; t < tasks; ++t) {
+        post([state, count, &body] {
+            for (;;) {
+                if (state->cancelled.load(std::memory_order_relaxed))
+                    break;
+                const size_t i =
+                    state->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    break;
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->mutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                    state->cancelled.store(true,
+                                           std::memory_order_relaxed);
+                }
+            }
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                ++state->tasks_finished;
+            }
+            state->done_cv.notify_one();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock,
+                        [&] { return state->tasks_finished == tasks; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+void
+parallelFor(unsigned jobs, size_t count,
+            const std::function<void(size_t)> &body)
+{
+    ThreadPool pool(jobs);
+    pool.parallelFor(count, body);
+}
+
+} // namespace rebudget::util

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * eval::BundleRunner: the parallel sweep engine must be deterministic
+ * (bit-identical outcomes at 1, 2, and hardware-concurrency threads),
+ * skip malformed bundles non-fatally, and expose name-based mechanism
+ * lookup so consumers never rely on positional coupling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/max_efficiency.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/util/logging.h"
+#include "rebudget/workloads/bundles.h"
+
+using namespace rebudget;
+
+namespace {
+
+std::vector<workloads::Bundle>
+smallSuite(uint32_t cores, uint32_t per_category)
+{
+    const auto catalog = workloads::classifyCatalog();
+    return workloads::generateAllBundles(catalog, cores, per_category,
+                                         2016);
+}
+
+void
+expectIdentical(const eval::BundleEvaluation &a,
+                const eval::BundleEvaluation &b)
+{
+    EXPECT_EQ(a.bundle, b.bundle);
+    EXPECT_EQ(a.skipped, b.skipped);
+    ASSERT_EQ(a.scores.size(), b.scores.size());
+    for (size_t m = 0; m < a.scores.size(); ++m) {
+        // Bit-identical, not approximately equal: the parallel sweep
+        // must not change any floating-point result.
+        EXPECT_EQ(a.scores[m].efficiency, b.scores[m].efficiency);
+        EXPECT_EQ(a.scores[m].envyFreeness, b.scores[m].envyFreeness);
+        EXPECT_EQ(a.scores[m].mur, b.scores[m].mur);
+        EXPECT_EQ(a.scores[m].mbr, b.scores[m].mbr);
+        EXPECT_EQ(a.scores[m].marketIterations,
+                  b.scores[m].marketIterations);
+        EXPECT_EQ(a.scores[m].budgetRounds, b.scores[m].budgetRounds);
+    }
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t m = 0; m < a.outcomes.size(); ++m) {
+        EXPECT_EQ(a.outcomes[m].mechanism, b.outcomes[m].mechanism);
+        EXPECT_EQ(a.outcomes[m].alloc, b.outcomes[m].alloc);
+        EXPECT_EQ(a.outcomes[m].budgets, b.outcomes[m].budgets);
+        EXPECT_EQ(a.outcomes[m].lambdas, b.outcomes[m].lambdas);
+        EXPECT_EQ(a.outcomes[m].marketIterations,
+                  b.outcomes[m].marketIterations);
+        EXPECT_EQ(a.outcomes[m].budgetRounds,
+                  b.outcomes[m].budgetRounds);
+        EXPECT_EQ(a.outcomes[m].converged, b.outcomes[m].converged);
+    }
+}
+
+} // namespace
+
+TEST(BundleRunner, DeterminismAcrossThreadCounts)
+{
+    const auto bundles = smallSuite(8, 2);
+    ASSERT_FALSE(bundles.empty());
+
+    const core::EqualShareAllocator share;
+    const core::EqualBudgetAllocator equal;
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    const core::MaxEfficiencyAllocator max_eff;
+    const std::vector<const core::Allocator *> mechanisms = {
+        &share, &equal, &rb40, &max_eff};
+
+    auto run = [&](unsigned jobs) {
+        eval::BundleRunnerOptions opts;
+        opts.jobs = jobs;
+        opts.keepOutcomes = true;
+        const eval::BundleRunner runner(mechanisms, opts);
+        return runner.run(bundles);
+    };
+
+    const auto serial = run(1);
+    const auto two = run(2);
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const auto many = run(hw);
+
+    ASSERT_EQ(serial.size(), bundles.size());
+    ASSERT_EQ(two.size(), bundles.size());
+    ASSERT_EQ(many.size(), bundles.size());
+    for (size_t i = 0; i < bundles.size(); ++i) {
+        expectIdentical(serial[i], two[i]);
+        expectIdentical(serial[i], many[i]);
+    }
+}
+
+TEST(BundleRunner, MechanismNamesAndIndexLookup)
+{
+    const core::EqualShareAllocator share;
+    const core::EqualBudgetAllocator equal;
+    const core::MaxEfficiencyAllocator max_eff;
+    const eval::BundleRunner runner({&share, &equal, &max_eff});
+
+    ASSERT_EQ(runner.mechanismNames().size(), 3u);
+    EXPECT_EQ(runner.mechanismNames()[0], "EqualShare");
+    EXPECT_EQ(runner.mechanismIndex("EqualShare"), 0u);
+    EXPECT_EQ(runner.mechanismIndex("EqualBudget"), 1u);
+    EXPECT_EQ(runner.mechanismIndex("MaxEfficiency"), 2u);
+    EXPECT_THROW(runner.mechanismIndex("Bogus"), util::FatalError);
+}
+
+TEST(BundleRunner, SkipsMalformedBundleNonFatally)
+{
+    const auto good = smallSuite(8, 1);
+    ASSERT_FALSE(good.empty());
+
+    workloads::Bundle bad = good.front();
+    bad.name = "bad-bundle";
+    bad.appNames = {"no_such_app_xyz", "mcf", "vpr", "hmmer",
+                    "milc", "swim", "apsi", "gcc"};
+
+    std::vector<workloads::Bundle> bundles = {bad, good.front()};
+
+    const core::EqualBudgetAllocator equal;
+    const eval::BundleRunner runner({&equal});
+    const auto evals = runner.run(bundles);
+
+    ASSERT_EQ(evals.size(), 2u);
+    EXPECT_TRUE(evals[0].skipped);
+    EXPECT_FALSE(evals[0].skipReason.empty());
+    EXPECT_TRUE(evals[0].scores.empty());
+    EXPECT_FALSE(evals[1].skipped);
+    ASSERT_EQ(evals[1].scores.size(), 1u);
+    EXPECT_GT(evals[1].scores[0].efficiency, 0.0);
+}
+
+TEST(BundleRunner, TryValidateProblemDiagnoses)
+{
+    // Well-formed problems pass...
+    const auto bp = eval::makeBundleProblem({"mcf", "vpr", "hmmer",
+                                             "milc"});
+    EXPECT_FALSE(core::tryValidateProblem(bp.problem).has_value());
+
+    // ...and arity mismatches produce a diagnostic instead of dying.
+    core::AllocationProblem broken = bp.problem;
+    broken.capacities.push_back(3.0);
+    const auto err = core::tryValidateProblem(broken);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_FALSE(err->empty());
+
+    core::AllocationProblem empty;
+    EXPECT_TRUE(core::tryValidateProblem(empty).has_value());
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * util::ThreadPool / parallelFor: full index coverage, determinism of
+ * index-addressed writes at any thread count, exception propagation,
+ * and the REBUDGET_JOBS / --jobs sizing rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "rebudget/util/thread_pool.h"
+
+using namespace rebudget::util;
+
+TEST(ThreadPool, SizeOneRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<int> hit(17, 0);
+    pool.parallelFor(hit.size(), [&](size_t i) { hit[i] = 1; });
+    EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 17);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(101);
+        for (auto &h : hits)
+            h.store(0);
+        pool.parallelFor(hits.size(),
+                         [&](size_t i) { hits[i].fetch_add(1); });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ZeroCountIsANoop)
+{
+    ThreadPool pool(4);
+    bool touched = false;
+    pool.parallelFor(0, [&](size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::vector<int> out(64, -1);
+        pool.parallelFor(out.size(),
+                         [&](size_t i) { out[i] = static_cast<int>(i); });
+        for (size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], static_cast<int>(i));
+    }
+}
+
+TEST(ThreadPool, IndexAddressedWritesAreDeterministic)
+{
+    // The determinism contract: body(i) writing only slot i produces
+    // identical results at any thread count.
+    auto run = [](unsigned threads) {
+        ThreadPool pool(threads);
+        std::vector<double> out(200);
+        pool.parallelFor(out.size(), [&](size_t i) {
+            double v = static_cast<double>(i);
+            for (int k = 0; k < 50; ++k)
+                v = v * 1.0000001 + 0.5;
+            out[i] = v;
+        });
+        return out;
+    };
+    const auto serial = run(1);
+    EXPECT_EQ(serial, run(2));
+    EXPECT_EQ(serial, run(5));
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(
+            pool.parallelFor(32,
+                             [](size_t i) {
+                                 if (i == 7)
+                                     throw std::runtime_error("boom");
+                             }),
+            std::runtime_error);
+        // The pool must stay usable after a failed run.
+        std::vector<int> out(8, 0);
+        pool.parallelFor(out.size(), [&](size_t i) { out[i] = 1; });
+        EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 8);
+    }
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, FreeFunctionParallelFor)
+{
+    std::vector<int> out(33, 0);
+    parallelFor(2, out.size(), [&](size_t i) { out[i] = 1; });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 33);
+}

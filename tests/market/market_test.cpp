@@ -211,7 +211,9 @@ TEST(Market, RejectsBadBudgets)
 TEST(Market, PriceHistoryTracksIterations)
 {
     const auto models = symmetricPlayers(3);
-    ProportionalMarket mkt(ptrs(models), {9.0, 9.0});
+    MarketConfig cfg;
+    cfg.recordPriceHistory = true; // trajectories are opt-in
+    ProportionalMarket mkt(ptrs(models), {9.0, 9.0}, cfg);
     const auto eq = mkt.findEquilibrium({120.0, 90.0, 60.0});
     ASSERT_EQ(eq.priceHistory.size(),
               static_cast<size_t>(eq.iterations));

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MarketConfig::recordPriceHistory gating: recording is off by default
+ * (priceHistory stays empty) and turning it on changes nothing about
+ * the equilibrium itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rebudget/market/market.h"
+
+using namespace rebudget::market;
+
+namespace {
+
+std::vector<PowerLawUtility>
+asymmetricPlayers()
+{
+    std::vector<PowerLawUtility> models;
+    models.emplace_back(std::vector<double>{0.8, 0.2},
+                        std::vector<double>{0.5, 0.9},
+                        std::vector<double>{6.0, 9.0});
+    models.emplace_back(std::vector<double>{0.3, 0.7},
+                        std::vector<double>{0.7, 0.4},
+                        std::vector<double>{6.0, 9.0});
+    models.emplace_back(std::vector<double>{0.5, 0.5},
+                        std::vector<double>{1.0, 0.6},
+                        std::vector<double>{6.0, 9.0});
+    return models;
+}
+
+std::vector<const UtilityModel *>
+ptrs(const std::vector<PowerLawUtility> &models)
+{
+    std::vector<const UtilityModel *> out;
+    for (const auto &m : models)
+        out.push_back(&m);
+    return out;
+}
+
+} // namespace
+
+TEST(PriceHistory, OffByDefaultAndEmpty)
+{
+    const auto models = asymmetricPlayers();
+    const ProportionalMarket mkt(ptrs(models), {6.0, 9.0});
+    ASSERT_FALSE(mkt.config().recordPriceHistory);
+
+    const auto eq = mkt.findEquilibrium({100.0, 80.0, 60.0});
+    EXPECT_TRUE(eq.priceHistory.empty());
+    EXPECT_GT(eq.iterations, 0);
+}
+
+TEST(PriceHistory, RecordingDoesNotChangeTheEquilibrium)
+{
+    const auto models = asymmetricPlayers();
+    const std::vector<double> caps = {6.0, 9.0};
+    const std::vector<double> budgets = {100.0, 80.0, 60.0};
+
+    const ProportionalMarket off(ptrs(models), caps);
+    MarketConfig cfg;
+    cfg.recordPriceHistory = true;
+    const ProportionalMarket on(ptrs(models), caps, cfg);
+
+    const auto eq_off = off.findEquilibrium(budgets);
+    const auto eq_on = on.findEquilibrium(budgets);
+
+    // Bit-identical results apart from the recorded trajectory.
+    EXPECT_EQ(eq_off.bids, eq_on.bids);
+    EXPECT_EQ(eq_off.alloc, eq_on.alloc);
+    EXPECT_EQ(eq_off.prices, eq_on.prices);
+    EXPECT_EQ(eq_off.lambdas, eq_on.lambdas);
+    EXPECT_EQ(eq_off.budgets, eq_on.budgets);
+    EXPECT_EQ(eq_off.iterations, eq_on.iterations);
+    EXPECT_EQ(eq_off.converged, eq_on.converged);
+
+    EXPECT_TRUE(eq_off.priceHistory.empty());
+    ASSERT_EQ(eq_on.priceHistory.size(),
+              static_cast<size_t>(eq_on.iterations));
+    EXPECT_EQ(eq_on.priceHistory.back(), eq_on.prices);
+}

@@ -9,6 +9,7 @@
  *   rebudget_cli --bundle BBPN-03 --cores 8 --mechanism EqualBudget
  *   rebudget_cli --apps mcf,vpr,hmmer,milc --ef-target 0.6
  *   rebudget_cli --apps mcf,vpr,swim,milc --mechanism ReBudget-40 --sim
+ *   rebudget_cli --sweep --cores 64 --jobs 4 --csv
  */
 
 #include <cstdio>
@@ -29,10 +30,12 @@
 #include "rebudget/core/groups.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
 #include "rebudget/market/metrics.h"
 #include "rebudget/power/power_model.h"
 #include "rebudget/sim/epoch_sim.h"
 #include "rebudget/util/logging.h"
+#include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 #include "rebudget/workloads/bundles.h"
 #include "rebudget/workloads/classify.h"
@@ -52,9 +55,11 @@ struct Options
     double step = 40.0;
     double efTarget = -1.0;
     bool sim = false;
+    bool sweep = false;
     uint32_t epochs = 12;
     uint64_t seed = 42;
     bool csv = false;
+    unsigned jobs = 0; // 0 = REBUDGET_JOBS env or hardware concurrency
 };
 
 void
@@ -81,9 +86,48 @@ usage()
         "  --ef-target Y           ReBudget fairness-SLA mode\n"
         "  --sim                   execution-driven simulation instead\n"
         "                          of the analytic model\n"
+        "  --sweep                 evaluate the full generated bundle\n"
+        "                          suite under all mechanisms (analytic)\n"
+        "  --jobs N                worker threads for --sweep (default:\n"
+        "                          REBUDGET_JOBS env, else hardware\n"
+        "                          concurrency); results are identical\n"
+        "                          at any job count\n"
         "  --epochs N              measured epochs for --sim\n"
         "  --seed S                workload seed\n"
         "  --csv                   machine-readable output\n";
+}
+
+/**
+ * Strict numeric parsing for command-line values: the whole token must
+ * convert, and a bad value surfaces as a clean `error:` line instead of
+ * an uncaught std::invalid_argument from std::stoul / std::stod.
+ */
+unsigned long
+parseUnsignedArg(const std::string &flag, const std::string &value)
+{
+    try {
+        size_t pos = 0;
+        const unsigned long v = std::stoul(value, &pos);
+        if (pos == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    util::fatal("%s needs a non-negative integer, got '%s'",
+                flag.c_str(), value.c_str());
+}
+
+double
+parseDoubleArg(const std::string &flag, const std::string &value)
+{
+    try {
+        size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    util::fatal("%s needs a number, got '%s'", flag.c_str(),
+                value.c_str());
 }
 
 std::vector<std::string>
@@ -164,7 +208,7 @@ makeMechanism(const Options &opt)
         double step = opt.step;
         const auto dash = m.find('-');
         if (dash != std::string::npos)
-            step = std::stod(m.substr(dash + 1));
+            step = parseDoubleArg("ReBudget step", m.substr(dash + 1));
         return std::make_unique<core::ReBudgetAllocator>(
             core::ReBudgetAllocator::withStep(step));
     }
@@ -197,18 +241,13 @@ int
 runAnalytic(const Options &opt, ProfileSource &source,
             const std::vector<std::string> &apps)
 {
-    const power::PowerModel power;
-    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
-    core::AllocationProblem problem;
-    double min_watts = 0.0;
-    for (const auto &nm : apps) {
-        models.push_back(std::make_unique<app::AppUtilityModel>(
-            source.profile(nm), power));
-        min_watts += models.back()->minWatts();
-        problem.models.push_back(models.back().get());
-    }
-    const double n = static_cast<double>(apps.size());
-    problem.capacities = {n * 4.0 - n, n * 10.0 - min_watts};
+    const eval::ProfileLookup lookup =
+        [&source](const std::string &nm) -> const app::AppProfile & {
+        return source.profile(nm);
+    };
+    eval::BundleProblem bp = eval::makeBundleProblem(apps, lookup);
+    const auto &models = bp.models;
+    core::AllocationProblem &problem = bp.problem;
 
     const auto mechanism = makeMechanism(opt);
     core::AllocationOutcome out;
@@ -224,29 +263,22 @@ runAnalytic(const Options &opt, ProfileSource &source,
                         opt.threads.size(), apps.size());
         }
         // Rebuild the per-core problem with replicated cores.
-        std::vector<std::unique_ptr<app::AppUtilityModel>> core_models;
-        core::AllocationProblem per_core;
+        std::vector<std::string> per_core_apps;
         std::vector<core::ThreadGroup> groups;
-        double mw = 0.0;
         uint32_t core_id = 0;
         for (size_t a = 0; a < apps.size(); ++a) {
             core::ThreadGroup g;
             g.name = apps[a];
             for (uint32_t k = 0; k < opt.threads[a]; ++k) {
-                core_models.push_back(
-                    std::make_unique<app::AppUtilityModel>(
-                        source.profile(apps[a]), power));
-                mw += core_models.back()->minWatts();
-                per_core.models.push_back(core_models.back().get());
+                per_core_apps.push_back(apps[a]);
                 g.cores.push_back(core_id++);
             }
             groups.push_back(std::move(g));
         }
-        const double cores = static_cast<double>(core_id);
-        per_core.capacities = {cores * 4.0 - cores,
-                               cores * 10.0 - mw};
+        const eval::BundleProblem per_core =
+            eval::makeBundleProblem(per_core_apps, lookup);
         const core::GroupedProblem grouped =
-            core::makeGroupedProblem(per_core, groups);
+            core::makeGroupedProblem(per_core.problem, groups);
         const auto group_out = mechanism->allocate(grouped.problem);
         // Report at tenant granularity.
         util::TablePrinter t({"tenant", "threads", "cache_regions",
@@ -325,6 +357,83 @@ runAnalytic(const Options &opt, ProfileSource &source,
     return 0;
 }
 
+/**
+ * --sweep: the full generated bundle suite through every mechanism on
+ * eval::BundleRunner, normalized to MaxEfficiency (looked up by name).
+ */
+int
+runSweep(const Options &opt)
+{
+    const uint32_t cores = opt.cores ? opt.cores : 64;
+    const auto catalog = workloads::classifyCatalog();
+    const auto bundles =
+        workloads::generateAllBundles(catalog, cores, 40, opt.seed);
+
+    const core::EqualShareAllocator equal_share;
+    const core::EqualBudgetAllocator equal_budget;
+    const core::BalancedBudgetAllocator balanced;
+    const auto rb20 = core::ReBudgetAllocator::withStep(20);
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    const core::MaxEfficiencyAllocator max_eff;
+
+    eval::BundleRunnerOptions ropts;
+    ropts.jobs = opt.jobs;
+    const eval::BundleRunner runner({&equal_share, &equal_budget,
+                                     &balanced, &rb20, &rb40, &max_eff},
+                                    ropts);
+    const size_t opt_idx = runner.mechanismIndex("MaxEfficiency");
+    const auto evals = runner.run(bundles);
+
+    std::vector<std::string> header = {"bundle", "category"};
+    for (const auto &nm : runner.mechanismNames()) {
+        header.push_back(nm + "_eff");
+        header.push_back(nm + "_EF");
+    }
+    util::TablePrinter t(header);
+    std::vector<util::SummaryStats> eff_stats(
+        runner.mechanismNames().size());
+    std::vector<util::SummaryStats> ef_stats(
+        runner.mechanismNames().size());
+    for (const auto &ev : evals) {
+        if (ev.skipped)
+            continue;
+        const double opt_eff = ev.scores[opt_idx].efficiency;
+        std::vector<std::string> row = {
+            ev.bundle, workloads::categoryName(ev.category)};
+        for (size_t m = 0; m < ev.scores.size(); ++m) {
+            const double eff = opt_eff > 0
+                                   ? ev.scores[m].efficiency / opt_eff
+                                   : 0.0;
+            row.push_back(util::formatDouble(eff, 3));
+            row.push_back(
+                util::formatDouble(ev.scores[m].envyFreeness, 3));
+            eff_stats[m].add(eff);
+            ef_stats[m].add(ev.scores[m].envyFreeness);
+        }
+        t.addRow(row);
+    }
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    util::TablePrinter s({"mechanism", "mean_eff_vs_opt", "worst_eff",
+                          "mean_EF", "worst_EF"});
+    for (size_t m = 0; m < runner.mechanismNames().size(); ++m) {
+        s.addRow({runner.mechanismNames()[m],
+                  util::formatDouble(eff_stats[m].mean(), 3),
+                  util::formatDouble(eff_stats[m].min(), 3),
+                  util::formatDouble(ef_stats[m].mean(), 3),
+                  util::formatDouble(ef_stats[m].min(), 3)});
+    }
+    std::cout << "\n";
+    if (opt.csv)
+        s.printCsv(std::cout);
+    else
+        s.print(std::cout);
+    return 0;
+}
+
 int
 runSim(const Options &opt, ProfileSource &source,
        const std::vector<std::string> &apps)
@@ -375,58 +484,69 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                util::fatal("%s requires a value", arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (arg == "--list-apps") {
-            return listApps();
-        } else if (arg == "--list-mechanisms") {
-            std::cout << "EqualShare EqualBudget Balanced EP "
-                         "MaxEfficiency ReBudget-<step>\n";
-            return 0;
-        } else if (arg == "--apps") {
-            opt.apps = splitCsv(next());
-        } else if (arg == "--apps-file") {
-            opt.appsFile = next();
-        } else if (arg == "--threads") {
-            for (const auto &tok : splitCsv(next())) {
-                opt.threads.push_back(
-                    static_cast<uint32_t>(std::stoul(tok)));
-            }
-        } else if (arg == "--bundle") {
-            opt.bundle = next();
-        } else if (arg == "--cores") {
-            opt.cores = static_cast<uint32_t>(std::stoul(next()));
-        } else if (arg == "--mechanism") {
-            opt.mechanism = next();
-        } else if (arg == "--step") {
-            opt.step = std::stod(next());
-        } else if (arg == "--ef-target") {
-            opt.efTarget = std::stod(next());
-        } else if (arg == "--sim") {
-            opt.sim = true;
-        } else if (arg == "--epochs") {
-            opt.epochs = static_cast<uint32_t>(std::stoul(next()));
-        } else if (arg == "--seed") {
-            opt.seed = std::stoull(next());
-        } else if (arg == "--csv") {
-            opt.csv = true;
-        } else {
-            std::fprintf(stderr, "unknown argument '%s'\n\n",
-                         arg.c_str());
-            usage();
-            return 1;
-        }
-    }
-
+    // Argument parsing shares the FatalError handler below so a bad
+    // value prints a clean `error:` line instead of terminating.
     try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    util::fatal("%s requires a value", arg.c_str());
+                return argv[++i];
+            };
+            if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else if (arg == "--list-apps") {
+                return listApps();
+            } else if (arg == "--list-mechanisms") {
+                std::cout << "EqualShare EqualBudget Balanced EP "
+                             "MaxEfficiency ReBudget-<step>\n";
+                return 0;
+            } else if (arg == "--apps") {
+                opt.apps = splitCsv(next());
+            } else if (arg == "--apps-file") {
+                opt.appsFile = next();
+            } else if (arg == "--threads") {
+                for (const auto &tok : splitCsv(next())) {
+                    opt.threads.push_back(static_cast<uint32_t>(
+                        parseUnsignedArg("--threads", tok)));
+                }
+            } else if (arg == "--bundle") {
+                opt.bundle = next();
+            } else if (arg == "--cores") {
+                opt.cores = static_cast<uint32_t>(
+                    parseUnsignedArg(arg, next()));
+            } else if (arg == "--mechanism") {
+                opt.mechanism = next();
+            } else if (arg == "--step") {
+                opt.step = parseDoubleArg(arg, next());
+            } else if (arg == "--ef-target") {
+                opt.efTarget = parseDoubleArg(arg, next());
+            } else if (arg == "--sim") {
+                opt.sim = true;
+            } else if (arg == "--sweep") {
+                opt.sweep = true;
+            } else if (arg == "--jobs") {
+                opt.jobs = static_cast<unsigned>(
+                    parseUnsignedArg(arg, next()));
+            } else if (arg == "--epochs") {
+                opt.epochs = static_cast<uint32_t>(
+                    parseUnsignedArg(arg, next()));
+            } else if (arg == "--seed") {
+                opt.seed = parseUnsignedArg(arg, next());
+            } else if (arg == "--csv") {
+                opt.csv = true;
+            } else {
+                std::fprintf(stderr, "unknown argument '%s'\n\n",
+                             arg.c_str());
+                usage();
+                return 1;
+            }
+        }
+
+        if (opt.sweep)
+            return runSweep(opt);
         ProfileSource source(opt);
         std::vector<std::string> apps = opt.apps;
         if (apps.empty() && opt.bundle.empty())
