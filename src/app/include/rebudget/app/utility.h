@@ -75,6 +75,16 @@ class AppUtilityModel : public market::UtilityModel
     double marginal(size_t resource,
                     std::span<const double> alloc) const override;
 
+    /**
+     * Both axis slopes from a single grid-cell lookup: the two
+     * marginal() calls share the clamping, the per-axis binary searches
+     * and the four cell corners, so the combined pass does that work
+     * once.  Produces exactly the values of the two marginal() calls
+     * (the bid optimizer's hot path depends on the equivalence).
+     */
+    void gradient(std::span<const double> alloc,
+                  std::span<double> out) const override;
+
     std::string name() const override { return name_; }
 
     /** Utility at *total* (regions, watts), bypassing the minimums. */

@@ -30,6 +30,27 @@ EqualBudgetAllocator::EqualBudgetAllocator(double initial_budget)
         util::fatal("initial budget must be positive");
 }
 
+namespace {
+
+/**
+ * Package a final equilibrium into an outcome, publishing it as the
+ * warm-start seed for the next allocate() on a similar problem.
+ */
+void
+publishEquilibrium(AllocationOutcome &outcome,
+                   market::EquilibriumResult &&eq)
+{
+    outcome.marketIterations += eq.iterations;
+    outcome.converged = outcome.converged && eq.converged;
+    auto seed =
+        std::make_shared<const market::EquilibriumResult>(std::move(eq));
+    outcome.alloc = seed->alloc;
+    outcome.lambdas = seed->lambdas;
+    outcome.equilibrium = std::move(seed);
+}
+
+} // namespace
+
 AllocationOutcome
 EqualBudgetAllocator::allocate(const AllocationProblem &problem) const
 {
@@ -38,14 +59,13 @@ EqualBudgetAllocator::allocate(const AllocationProblem &problem) const
                                    problem.marketConfig);
     const std::vector<double> budgets(problem.models.size(),
                                       initialBudget_);
-    market::EquilibriumResult eq = mkt.findEquilibrium(budgets);
     AllocationOutcome outcome;
     outcome.mechanism = name();
-    outcome.alloc = std::move(eq.alloc);
     outcome.budgets = budgets;
-    outcome.lambdas = std::move(eq.lambdas);
-    outcome.marketIterations = eq.iterations;
-    outcome.converged = eq.converged;
+    if (problem.recordBudgetHistory)
+        outcome.budgetHistory.push_back(budgets);
+    publishEquilibrium(outcome,
+                       mkt.findEquilibrium(budgets, problem.warmStart));
     return outcome;
 }
 
@@ -82,14 +102,13 @@ BalancedBudgetAllocator::allocate(const AllocationProblem &problem) const
 
     market::ProportionalMarket mkt(problem.models, problem.capacities,
                                    problem.marketConfig);
-    market::EquilibriumResult eq = mkt.findEquilibrium(budgets);
     AllocationOutcome outcome;
     outcome.mechanism = name();
-    outcome.alloc = std::move(eq.alloc);
+    if (problem.recordBudgetHistory)
+        outcome.budgetHistory.push_back(budgets);
+    publishEquilibrium(outcome,
+                       mkt.findEquilibrium(budgets, problem.warmStart));
     outcome.budgets = std::move(budgets);
-    outcome.lambdas = std::move(eq.lambdas);
-    outcome.marketIterations = eq.iterations;
-    outcome.converged = eq.converged;
     return outcome;
 }
 

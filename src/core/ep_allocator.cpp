@@ -168,6 +168,10 @@ EpAllocator::allocate(const AllocationProblem &problem) const
     const size_t n = problem.models.size();
     const size_t m = problem.capacities.size();
 
+    // The Cobb-Douglas share rule is closed-form, so problem.warmStart is
+    // ignored: there is no iteration to seed.  An allocation-only seed is
+    // still published below so downstream epochs that switch mechanism
+    // (e.g. to MaxEfficiency) can resume from this epoch's allocation.
     std::vector<CobbDouglasFit> fits;
     fits.reserve(n);
     for (const auto *model : problem.models)
@@ -188,6 +192,9 @@ EpAllocator::allocate(const AllocationProblem &problem) const
             outcome.alloc[i][j] = problem.capacities[j] * share;
         }
     }
+    auto seed = std::make_shared<market::EquilibriumResult>();
+    seed->alloc = outcome.alloc;
+    outcome.equilibrium = std::move(seed);
     return outcome;
 }
 

@@ -12,6 +12,7 @@
  * convergence accounting used by the evaluation (Sections 6.1-6.4).
  */
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,25 @@ struct AllocationProblem
     std::vector<double> capacities;
     /** Market engine tuning (used by market-based mechanisms). */
     market::MarketConfig marketConfig;
+    /**
+     * Optional warm-start hint: the equilibrium seed published by a
+     * prior allocate() on a similar problem (the previous epoch in the
+     * online setting, where consecutive profiles are alike).  Non-owning
+     * and only read during allocate(); null means cold start.  Market
+     * mechanisms seed their first equilibrium solve from it, the
+     * MaxEfficiency oracle resumes hill climbing from its allocation,
+     * and mechanisms with closed-form solutions ignore it.  Honored only
+     * when marketConfig.warmStart is set (the default).
+     */
+    const market::EquilibriumResult *warmStart = nullptr;
+    /**
+     * Record the budget vector of every equilibrium solve into
+     * AllocationOutcome::budgetHistory.  Off by default (sweeps solve
+     * hundreds of thousands of problems and never read trajectories);
+     * the warm-start benchmark and the warm/cold agreement tests turn
+     * it on to replay a mechanism's exact solve sequence.
+     */
+    bool recordBudgetHistory = false;
 };
 
 /** Outputs of one allocation decision. */
@@ -49,6 +69,24 @@ struct AllocationOutcome
     int budgetRounds = 0;
     /** False if any equilibrium solve hit the fail-safe. */
     bool converged = true;
+    /**
+     * Warm-start seed for the next allocate() on a similar problem:
+     * market mechanisms publish their final equilibrium; non-market
+     * mechanisms that can resume from an allocation (MaxEfficiency, EP)
+     * publish an allocation-only seed (bids empty).  Shared so chaining
+     * consumers (sim::EpochSimulator) can hold the seed across epochs
+     * while outcomes are moved or copied freely.
+     */
+    std::shared_ptr<const market::EquilibriumResult> equilibrium;
+    /**
+     * Budget vector of every equilibrium solve, in solve order (only
+     * when AllocationProblem::recordBudgetHistory is set; market
+     * mechanisms only).  Elided rounds (see
+     * ReBudgetConfig::elideStepFraction) are excluded: the history is
+     * exactly the sequence of real solves, so replaying it cold/warm
+     * reproduces the mechanism's market work.
+     */
+    std::vector<std::vector<double>> budgetHistory;
 };
 
 /** Abstract allocation mechanism. */

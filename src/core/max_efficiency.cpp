@@ -1,6 +1,7 @@
 #include "rebudget/core/max_efficiency.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "rebudget/util/logging.h"
 
@@ -14,6 +15,45 @@ MaxEfficiencyAllocator::MaxEfficiencyAllocator(
         util::fatal("quantumFraction must be in (0, 1]");
 }
 
+namespace {
+
+/**
+ * @return true if `prior` carries an allocation usable as a hill-climb
+ * starting point for this problem: matching shape, non-negative
+ * entries, and columns summing to the capacities (the invariant the
+ * exchange refinement preserves).
+ */
+bool
+usableWarmAlloc(const AllocationProblem &problem,
+                const market::EquilibriumResult *prior)
+{
+    if (!problem.marketConfig.warmStart || prior == nullptr)
+        return false;
+    const size_t n = problem.models.size();
+    const size_t m = problem.capacities.size();
+    if (prior->alloc.size() != n)
+        return false;
+    for (const auto &row : prior->alloc) {
+        if (row.size() != m)
+            return false;
+        for (double v : row) {
+            if (v < 0.0)
+                return false;
+        }
+    }
+    for (size_t j = 0; j < m; ++j) {
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            sum += prior->alloc[i][j];
+        if (std::abs(sum - problem.capacities[j]) >
+            1e-6 * problem.capacities[j])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
 AllocationOutcome
 MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
 {
@@ -23,40 +63,53 @@ MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
 
     AllocationOutcome outcome;
     outcome.mechanism = name();
-    outcome.alloc.assign(n, std::vector<double>(m, 0.0));
     auto &alloc = outcome.alloc;
 
     std::vector<double> quantum(m);
-    std::vector<double> remaining = problem.capacities;
     for (size_t j = 0; j < m; ++j)
         quantum[j] = problem.capacities[j] * config_.quantumFraction;
 
-    auto best_marginal_player = [&](size_t j) {
-        size_t best = 0;
-        double best_m = -1.0;
-        for (size_t i = 0; i < n; ++i) {
-            const double mg = problem.models[i]->marginal(j, alloc[i]);
-            if (mg > best_m) {
-                best_m = mg;
-                best = i;
-            }
-        }
-        return best;
-    };
+    if (usableWarmAlloc(problem, problem.warmStart)) {
+        // Warm start: resume from the prior allocation (the previous
+        // epoch's optimum is a near-optimal point when utilities drift
+        // slowly) and let the exchange refinement move what changed.
+        // This skips the greedy fill, the expensive O(N * M / quantum)
+        // phase, without losing optimality: for per-resource concave
+        // utilities, exchange-local optimality is quantum-optimal from
+        // any full allocation.
+        alloc = problem.warmStart->alloc;
+    } else {
+        alloc.assign(n, std::vector<double>(m, 0.0));
+        std::vector<double> remaining = problem.capacities;
 
-    // Greedy fill: hand out quanta of each resource, interleaved, to the
-    // player with the largest marginal utility at its current bundle.
-    bool any = true;
-    while (any) {
-        any = false;
-        for (size_t j = 0; j < m; ++j) {
-            if (remaining[j] <= 1e-12 * problem.capacities[j])
-                continue;
-            const double q = std::min(quantum[j], remaining[j]);
-            const size_t i = best_marginal_player(j);
-            alloc[i][j] += q;
-            remaining[j] -= q;
-            any = true;
+        auto best_marginal_player = [&](size_t j) {
+            size_t best = 0;
+            double best_m = -1.0;
+            for (size_t i = 0; i < n; ++i) {
+                const double mg = problem.models[i]->marginal(j, alloc[i]);
+                if (mg > best_m) {
+                    best_m = mg;
+                    best = i;
+                }
+            }
+            return best;
+        };
+
+        // Greedy fill: hand out quanta of each resource, interleaved, to
+        // the player with the largest marginal utility at its current
+        // bundle.
+        bool any = true;
+        while (any) {
+            any = false;
+            for (size_t j = 0; j < m; ++j) {
+                if (remaining[j] <= 1e-12 * problem.capacities[j])
+                    continue;
+                const double q = std::min(quantum[j], remaining[j]);
+                const size_t i = best_marginal_player(j);
+                alloc[i][j] += q;
+                remaining[j] -= q;
+                any = true;
+            }
         }
     }
 
@@ -94,6 +147,11 @@ MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
         if (!improved)
             break;
     }
+    // Allocation-only warm-start seed (bids empty: the oracle never runs
+    // a market); the next epoch resumes refinement from here.
+    auto seed = std::make_shared<market::EquilibriumResult>();
+    seed->alloc = alloc;
+    outcome.equilibrium = std::move(seed);
     return outcome;
 }
 

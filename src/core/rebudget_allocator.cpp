@@ -19,6 +19,8 @@ ReBudgetAllocator::ReBudgetAllocator(const ReBudgetConfig &config)
         util::fatal("lambdaCutThreshold must be in (0, 1)");
     if (config_.maxRounds <= 0)
         util::fatal("maxRounds must be positive");
+    if (config_.elideStepFraction < 0.0 || config_.elideStepFraction >= 0.5)
+        util::fatal("elideStepFraction must be in [0, 0.5)");
     if (config_.efTarget >= 0.0) {
         // ByFairnessTarget: derive the MBR floor from Theorem 2 and the
         // initial step from Section 4.2 step (1).
@@ -105,8 +107,38 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
     AllocationOutcome outcome;
     outcome.mechanism = name();
     market::EquilibriumResult eq;
+    // Warm-start chain: the first round may be seeded by the caller
+    // (epoch-to-epoch), every later round by the previous round's
+    // equilibrium -- consecutive budget vectors differ only by the cut
+    // step, so re-convergence from the prior bids is fast.  With
+    // marketConfig.warmStart off, findEquilibrium ignores the hint and
+    // every round cold-starts (the A/B baseline).
+    const market::EquilibriumResult *prior = problem.warmStart;
+    const bool warm_mode = problem.marketConfig.warmStart;
+    const double elide_below =
+        config_.elideStepFraction * config_.initialBudget;
+    // True while `eq` is a rescaled approximation rather than a real
+    // solve; set when a sub-tolerance cut round elides its solve.
+    bool eq_approx = false;
+    bool next_elidable = false;
     for (int round = 0; round < config_.maxRounds; ++round) {
-        eq = mkt.findEquilibrium(budgets);
+        // Passing &eq while assigning to eq is safe: both solvers only
+        // read the prior during the call and their result is a separate
+        // temporary, move-assigned after the call returns.
+        if (warm_mode && next_elidable) {
+            // The cut that produced these budgets was below the elision
+            // threshold: reuse the previous equilibrium rescaled to the
+            // new budgets (zero sweeps) for this round's lambda
+            // ordering instead of re-solving.
+            eq = mkt.rescaleEquilibrium(eq, budgets);
+            eq_approx = true;
+        } else {
+            if (problem.recordBudgetHistory)
+                outcome.budgetHistory.push_back(budgets);
+            eq = mkt.findEquilibrium(budgets, prior);
+            eq_approx = false;
+        }
+        prior = &eq;
         outcome.marketIterations += eq.iterations;
         outcome.converged = outcome.converged && eq.converged;
         ++outcome.budgetRounds;
@@ -130,12 +162,26 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
         }
         if (!any_cut)
             break; // stable: this equilibrium is final
+        next_elidable = step <= elide_below;
         step *= 0.5;
     }
+    if (eq_approx) {
+        // The loop ended on an elided round; the published equilibrium
+        // must be real.  Budgets are unchanged since the approximation,
+        // which seeds the solve, so this re-converges in a sweep or two.
+        if (problem.recordBudgetHistory)
+            outcome.budgetHistory.push_back(budgets);
+        eq = mkt.findEquilibrium(budgets, &eq);
+        outcome.marketIterations += eq.iterations;
+        outcome.converged = outcome.converged && eq.converged;
+    }
 
-    outcome.alloc = std::move(eq.alloc);
     outcome.budgets = std::move(budgets);
-    outcome.lambdas = std::move(eq.lambdas);
+    auto seed =
+        std::make_shared<market::EquilibriumResult>(std::move(eq));
+    outcome.alloc = seed->alloc;
+    outcome.lambdas = seed->lambdas;
+    outcome.equilibrium = std::move(seed);
     return outcome;
 }
 

@@ -41,6 +41,15 @@ SharedGroupUtility::marginal(size_t resource,
            static_cast<double>(threads_);
 }
 
+void
+SharedGroupUtility::gradient(std::span<const double> alloc,
+                             std::span<double> out) const
+{
+    member_.gradient(split(alloc), out);
+    for (auto &g : out)
+        g /= static_cast<double>(threads_);
+}
+
 std::string
 SharedGroupUtility::name() const
 {

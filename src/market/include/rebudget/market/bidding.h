@@ -13,6 +13,13 @@
  * budget from the resource with the lowest marginal-utility-per-dollar
  * (lambda_j) to the one with the highest, halving S each step, until all
  * lambdas agree within 5% or S drops below 1% of the budget.
+ *
+ * Implementation note: because one shift changes the bids of exactly two
+ * resources, the climber maintains the predicted allocations and the
+ * price-response slopes dr_j/db_j incrementally (refreshing only the two
+ * touched entries) and evaluates all marginal utilities through one
+ * UtilityModel::gradient() call per step, instead of recomputing every
+ * predicted allocation for every resource (O(M^2) per step).
  */
 
 #include <vector>
@@ -46,11 +53,37 @@ struct BidResult
 };
 
 /**
+ * Reusable scratch buffers for optimizeBidsInto.  The hill climber
+ * maintains the predicted allocation and the price-response slope
+ * dr_j/db_j incrementally (a bid shift touches exactly two resources),
+ * and evaluates the utility gradient into a caller-owned buffer, so a
+ * solver that holds one BidScratch across players and rounds performs
+ * no heap allocation per optimization.
+ */
+struct BidScratch
+{
+    /** Predicted allocation r_j at the current bids. */
+    std::vector<double> alloc;
+    /** Utility gradient dU/dr_j at the current allocation. */
+    std::vector<double> grad;
+    /** Price response dr_j/db_j at the current bids. */
+    std::vector<double> drdb;
+};
+
+/**
  * Predict the allocation for a bid against fixed competing bids
  * (Equation 2): r = b / (b + y) * C, with the conventions r = C when the
  * player is the sole bidder (y = 0, b > 0) and r = 0 when b = 0.
  */
 double predictedAllocation(double bid, double others_bids, double capacity);
+
+/**
+ * @return the price response dr_j/db_j = C_j * y_j / (b_j + y_j)^2 of the
+ * proportional rule, with the same tiny competing-bid floor on y_j the
+ * hill climber applies (avoids an infinite marginal on an unbid
+ * resource).
+ */
+double priceResponse(double bid, double others_bids, double capacity);
 
 /**
  * @return lambda_j = dU/db_j at the given bids via the chain rule
@@ -77,6 +110,26 @@ BidResult optimizeBids(const UtilityModel &model, double budget,
                        const std::vector<double> &others,
                        const std::vector<double> &capacities,
                        const BidOptimizerConfig &config = {});
+
+/**
+ * Allocation-free core of optimizeBids: writes into `result` (reusing
+ * its vector capacity) with scratch buffers supplied by the caller.
+ *
+ * @param initial  optional warm-start bids (length M, non-negative,
+ *                 summing to the budget).  When null the climber starts
+ *                 from the paper's equal split.  A near-optimal seed
+ *                 terminates via the lambda-agreement rule after few
+ *                 (often zero) shifts.
+ *
+ * Same re-entrancy contract as optimizeBids provided each concurrent
+ * call uses its own `result` and `scratch`.
+ */
+void optimizeBidsInto(const UtilityModel &model, double budget,
+                      const std::vector<double> &others,
+                      const std::vector<double> &capacities,
+                      const BidOptimizerConfig &config,
+                      const double *initial, BidResult &result,
+                      BidScratch &scratch);
 
 } // namespace rebudget::market
 

@@ -44,6 +44,10 @@ class SharedGroupUtility : public UtilityModel
     double marginal(size_t resource,
                     std::span<const double> alloc) const override;
 
+    /** Member gradient at the split, scaled by 1/k (one split only). */
+    void gradient(std::span<const double> alloc,
+                  std::span<double> out) const override;
+
     std::string name() const override;
 
     /** @return the group size k. */

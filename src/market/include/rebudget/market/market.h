@@ -29,6 +29,15 @@ struct MarketConfig
     /** Fail-safe iteration cap (paper Section 6.4 uses 30). */
     int maxIterations = 30;
     /**
+     * Honor warm-start hints: findEquilibrium(budgets, prior) seeds the
+     * solve from the prior equilibrium and multi-round consumers
+     * (ReBudget's budget rounds, the epoch simulator) chain solves.
+     * When false every solve cold-starts from the equal split, which is
+     * the A/B baseline for the incremental engine (rebudget_cli
+     * --warm-start off, bench/perf_equilibrium).
+     */
+    bool warmStart = true;
+    /**
      * Record a price snapshot after every bidding-pricing round into
      * EquilibriumResult::priceHistory.  Off by default: sweep workloads
      * solve hundreds of thousands of equilibria and never read the
@@ -57,6 +66,8 @@ struct EquilibriumResult
     int iterations = 0;
     /** False if the 30-iteration fail-safe triggered. */
     bool converged = false;
+    /** True if this solve was seeded from a prior equilibrium. */
+    bool warmStarted = false;
     /**
      * Price snapshot after every bidding-pricing round (size equals
      * iterations; the last entry equals prices).  Used by the
@@ -94,6 +105,54 @@ class ProportionalMarket
      * @param budgets  B_i per player (>= 0)
      */
     EquilibriumResult findEquilibrium(
+        const std::vector<double> &budgets) const;
+
+    /**
+     * As above, warm-started from a prior equilibrium of this market
+     * (or one of identical shape).
+     *
+     * Each player's bids are seeded from its prior bids scaled by its
+     * budget ratio B_i / B_i^prior (renormalized so they sum exactly to
+     * B_i) instead of the equal split, and every bidding round seeds
+     * the player's hill climb from its current bids.  Because the seed
+     * is a per-player function of that player's own prior bids and
+     * budget, the distributed bidding semantics of Section 2.1 are
+     * preserved; only the starting point of the fixed-point iteration
+     * changes, so the converged equilibrium agrees with a cold solve
+     * within the price tolerance.
+     *
+     * The hint is ignored (cold start) when `prior` is null, when
+     * MarketConfig::warmStart is off, or when the prior's shape does
+     * not match this market (wrong player/resource count, e.g. a seed
+     * produced by a different machine configuration).
+     *
+     * Re-entrant like the cold overload; `prior` is only read.
+     */
+    EquilibriumResult findEquilibrium(
+        const std::vector<double> &budgets,
+        const EquilibriumResult *prior) const;
+
+    /**
+     * Cheap approximate equilibrium for a small budget perturbation:
+     * the prior bids are rescaled row-wise to the new budgets (the same
+     * seeding rule the warm solve uses) and prices, allocations and
+     * every player's lambda_i are re-evaluated at that point -- one
+     * utility-gradient call per player, no bidding-pricing sweeps
+     * (EquilibriumResult::iterations is 0).
+     *
+     * The result is NOT a converged equilibrium; it inherits the
+     * prior's error plus the (second-order) response the other players
+     * would have made to the perturbation.  Multi-round consumers use
+     * it to elide full solves for budget deltas below the solver's own
+     * price tolerance (e.g. ReBudget's sub-tolerance cut rounds, where
+     * only the lambda ordering is consumed) and must finish with a real
+     * findEquilibrium before publishing an allocation.
+     *
+     * The prior must match this market's shape; re-entrant like
+     * findEquilibrium.
+     */
+    EquilibriumResult rescaleEquilibrium(
+        const EquilibriumResult &prior,
         const std::vector<double> &budgets) const;
 
     /** @return the number of players N. */

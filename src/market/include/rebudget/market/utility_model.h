@@ -52,6 +52,20 @@ class UtilityModel
     virtual double marginal(size_t resource,
                             std::span<const double> alloc) const;
 
+    /**
+     * Compute every marginal dU/dr_j at once into `out` (size M).
+     *
+     * Semantically identical to calling marginal() for each resource;
+     * the contract is exact agreement, so callers may use either
+     * interchangeably.  The default implementation loops over
+     * marginal().  Models whose per-resource marginals share work (the
+     * bilinear AppUtilityModel locates the grid cell once for both
+     * axes) override this as the bid optimizer's fast path: the hill
+     * climber evaluates the full gradient every step.
+     */
+    virtual void gradient(std::span<const double> alloc,
+                          std::span<double> out) const;
+
     /** @return a human-readable name for diagnostics. */
     virtual std::string name() const { return "utility"; }
 
@@ -82,6 +96,8 @@ class PowerLawUtility : public UtilityModel
     double utility(std::span<const double> alloc) const override;
     double marginal(size_t resource,
                     std::span<const double> alloc) const override;
+    void gradient(std::span<const double> alloc,
+                  std::span<double> out) const override;
     std::string name() const override { return "power-law"; }
 
   private:

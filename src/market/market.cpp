@@ -33,8 +33,35 @@ ProportionalMarket::ProportionalMarket(
         util::fatal("market maxIterations must be positive");
 }
 
+namespace {
+
+/** computePrices into a reusable buffer (no per-iteration allocation). */
+void
+computePricesInto(const std::vector<std::vector<double>> &bids,
+                  const std::vector<double> &capacities,
+                  std::vector<double> &out)
+{
+    const size_t m = capacities.size();
+    out.assign(m, 0.0);
+    for (const auto &row : bids) {
+        for (size_t j = 0; j < m; ++j)
+            out[j] += row[j];
+    }
+    for (size_t j = 0; j < m; ++j)
+        out[j] /= capacities[j];
+}
+
+} // namespace
+
 EquilibriumResult
 ProportionalMarket::findEquilibrium(const std::vector<double> &budgets) const
+{
+    return findEquilibrium(budgets, nullptr);
+}
+
+EquilibriumResult
+ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
+                                    const EquilibriumResult *prior) const
 {
     const size_t n = models_.size();
     const size_t m = capacities_.size();
@@ -45,15 +72,45 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets) const
             util::fatal("budgets must be non-negative");
     }
 
+    // A warm hint is usable only when enabled and shape-compatible; an
+    // incompatible prior (different machine) degrades to a cold start.
+    bool warm = config_.warmStart && prior != nullptr &&
+                prior->bids.size() == n && prior->budgets.size() == n;
+    if (warm) {
+        for (const auto &row : prior->bids) {
+            if (row.size() != m) {
+                warm = false;
+                break;
+            }
+        }
+    }
+
     EquilibriumResult result;
     result.budgets = budgets;
+    result.warmStarted = warm;
     result.lambdas.assign(n, 0.0);
-    // Initial bids: every player splits its budget equally (step 1 of the
-    // bidding strategy).
     result.bids.assign(n, std::vector<double>(m, 0.0));
     for (size_t i = 0; i < n; ++i) {
-        for (size_t j = 0; j < m; ++j)
-            result.bids[i][j] = budgets[i] / static_cast<double>(m);
+        // Warm start: seed from the player's prior bids scaled by its
+        // budget ratio, renormalized so the row sums exactly to B_i.
+        // Cold start (and players without a usable prior row): equal
+        // split (step 1 of the bidding strategy).
+        bool seeded = false;
+        if (warm && prior->budgets[i] > 0.0) {
+            double sum = 0.0;
+            for (size_t j = 0; j < m; ++j)
+                sum += prior->bids[i][j];
+            if (sum > 0.0) {
+                const double scale = budgets[i] / sum;
+                for (size_t j = 0; j < m; ++j)
+                    result.bids[i][j] = prior->bids[i][j] * scale;
+                seeded = true;
+            }
+        }
+        if (!seeded) {
+            for (size_t j = 0; j < m; ++j)
+                result.bids[i][j] = budgets[i] / static_cast<double>(m);
+        }
     }
 
     std::vector<double> col_sums(m, 0.0);
@@ -61,9 +118,15 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets) const
         for (size_t i = 0; i < n; ++i)
             col_sums[j] += result.bids[i][j];
     }
-    std::vector<double> prices = computePrices(result.bids, capacities_);
+    std::vector<double> prices;
+    computePricesInto(result.bids, capacities_, prices);
 
+    // Solver scratch, reused across rounds and players: after this
+    // setup the iteration loop performs no heap allocation.
     std::vector<double> others(m);
+    std::vector<double> new_prices(m);
+    BidResult br;
+    BidScratch scratch;
     for (int iter = 0; iter < config_.maxIterations; ++iter) {
         ++result.iterations;
         // Each player re-optimizes against the latest bids (players see
@@ -73,16 +136,24 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets) const
         for (size_t i = 0; i < n; ++i) {
             for (size_t j = 0; j < m; ++j)
                 others[j] = std::max(0.0, col_sums[j] - result.bids[i][j]);
-            BidResult br = optimizeBids(*models_[i], budgets[i], others,
-                                        capacities_, config_.bid);
+            // Cold solves restart every climb from equal split (the
+            // paper's step 1).  Warm solves seed each climb from the
+            // player's current bids: the seeded climb expands its shift
+            // from the 1% floor (see optimizeBidsInto), so a settled
+            // player is an exact no-op and the sweep map reaches a true
+            // fixed point instead of re-rolling each climb's
+            // quantization noise every sweep.
+            optimizeBidsInto(*models_[i], budgets[i], others, capacities_,
+                             config_.bid,
+                             warm ? result.bids[i].data() : nullptr, br,
+                             scratch);
             for (size_t j = 0; j < m; ++j) {
                 col_sums[j] += br.bids[j] - result.bids[i][j];
                 result.bids[i][j] = br.bids[j];
             }
             result.lambdas[i] = br.lambda;
         }
-        const std::vector<double> new_prices =
-            computePrices(result.bids, capacities_);
+        computePricesInto(result.bids, capacities_, new_prices);
         if (config_.recordPriceHistory)
             result.priceHistory.push_back(new_prices);
         bool stable = true;
@@ -95,18 +166,93 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets) const
                 break;
             }
         }
-        prices = new_prices;
+        std::swap(prices, new_prices);
         if (stable) {
             result.converged = true;
             break;
         }
     }
 
-    result.prices = prices;
+    result.prices = std::move(prices);
     result.alloc = proportionalAllocation(result.bids, capacities_);
     if (!result.converged) {
         util::warn("market fail-safe: no equilibrium within %d iterations",
                    config_.maxIterations);
+    }
+    return result;
+}
+
+EquilibriumResult
+ProportionalMarket::rescaleEquilibrium(
+    const EquilibriumResult &prior,
+    const std::vector<double> &budgets) const
+{
+    const size_t n = models_.size();
+    const size_t m = capacities_.size();
+    if (budgets.size() != n)
+        util::fatal("expected %zu budgets, got %zu", n, budgets.size());
+    if (prior.bids.size() != n)
+        util::fatal("rescaleEquilibrium: prior has %zu players, market %zu",
+                    prior.bids.size(), n);
+
+    EquilibriumResult result;
+    result.budgets = budgets;
+    result.warmStarted = true;
+    result.converged = prior.converged;
+    result.iterations = 0;
+    result.lambdas.assign(n, 0.0);
+    result.bids.assign(n, std::vector<double>(m, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        if (prior.bids[i].size() != m)
+            util::fatal("rescaleEquilibrium: prior arity mismatch");
+        double sum = 0.0;
+        for (size_t j = 0; j < m; ++j)
+            sum += prior.bids[i][j];
+        if (sum > 0.0) {
+            const double scale = budgets[i] / sum;
+            for (size_t j = 0; j < m; ++j)
+                result.bids[i][j] = prior.bids[i][j] * scale;
+        } else {
+            for (size_t j = 0; j < m; ++j)
+                result.bids[i][j] = budgets[i] / static_cast<double>(m);
+        }
+    }
+
+    computePricesInto(result.bids, capacities_, result.prices);
+    result.alloc = proportionalAllocation(result.bids, capacities_);
+
+    // lambda_i = max_j dU_i/dr_j * dr_j/db_j, evaluated exactly like the
+    // hill climber does at its final bids (predicted allocation against
+    // the other players' money, one gradient call per player).
+    std::vector<double> col_sums(m, 0.0);
+    for (size_t j = 0; j < m; ++j) {
+        for (size_t i = 0; i < n; ++i)
+            col_sums[j] += result.bids[i][j];
+    }
+    std::vector<double> pred(m);
+    std::vector<double> grad(m);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j) {
+            const double others =
+                std::max(0.0, col_sums[j] - result.bids[i][j]);
+            pred[j] = predictedAllocation(result.bids[i][j], others,
+                                          capacities_[j]);
+        }
+        models_[i]->gradient(pred, grad);
+        double lambda = 0.0;
+        bool first = true;
+        for (size_t j = 0; j < m; ++j) {
+            const double others =
+                std::max(0.0, col_sums[j] - result.bids[i][j]);
+            const double l =
+                grad[j] * priceResponse(result.bids[i][j], others,
+                                        capacities_[j]);
+            if (first || l > lambda) {
+                lambda = l;
+                first = false;
+            }
+        }
+        result.lambdas[i] = lambda;
     }
     return result;
 }

@@ -15,6 +15,16 @@ UtilityModel::marginal(size_t resource, std::span<const double> alloc) const
     return (utility(bumped) - utility(alloc)) / kFiniteDiffStep;
 }
 
+void
+UtilityModel::gradient(std::span<const double> alloc,
+                       std::span<double> out) const
+{
+    REBUDGET_ASSERT(out.size() == numResources(),
+                    "gradient output arity mismatch");
+    for (size_t j = 0; j < out.size(); ++j)
+        out[j] = marginal(j, alloc);
+}
+
 PowerLawUtility::PowerLawUtility(std::vector<double> weights,
                                  std::vector<double> exponents,
                                  std::vector<double> capacities)
@@ -65,6 +75,24 @@ PowerLawUtility::marginal(size_t resource,
     const double e = exponents_[resource];
     const double x = std::max(1e-12, alloc[resource] / c);
     return weights_[resource] * e * std::pow(x, e - 1.0) / c;
+}
+
+void
+PowerLawUtility::gradient(std::span<const double> alloc,
+                          std::span<double> out) const
+{
+    REBUDGET_ASSERT(alloc.size() == weights_.size(),
+                    "allocation arity mismatch");
+    REBUDGET_ASSERT(out.size() == weights_.size(),
+                    "gradient output arity mismatch");
+    // The per-resource terms are separable, so the combined pass is the
+    // same expression as marginal() without the per-call dispatch.
+    for (size_t j = 0; j < weights_.size(); ++j) {
+        const double c = capacities_[j];
+        const double e = exponents_[j];
+        const double x = std::max(1e-12, alloc[j] / c);
+        out[j] = weights_[j] * e * std::pow(x, e - 1.0) / c;
+    }
 }
 
 } // namespace rebudget::market

@@ -108,6 +108,9 @@ EpochSimulator::run()
     std::vector<app::AppProfile> profiles(n);
     std::vector<std::unique_ptr<app::AppUtilityModel>> models(n);
     core::AllocationOutcome outcome;
+    // Epoch-to-epoch warm-start chain: hold the seed the allocator
+    // published last epoch and hand it back as the hint for the next one.
+    std::shared_ptr<const market::EquilibriumResult> warm_seed;
     for (uint32_t epoch = 0; epoch < total_epochs; ++epoch) {
         // (0) OS context switches: the incoming app gets a fresh core
         // state (cold L1, cold monitors) and a new solo baseline.
@@ -168,7 +171,10 @@ EpochSimulator::run()
         core::AllocationProblem problem;
         problem.models = model_ptrs;
         problem.capacities = {cache_capacity, power_capacity};
+        problem.marketConfig = config_.marketConfig;
+        problem.warmStart = warm_seed.get();
         outcome = allocator_.allocate(problem);
+        warm_seed = outcome.equilibrium;
         record.marketIterations = outcome.marketIterations;
         record.budgetRounds = outcome.budgetRounds;
 

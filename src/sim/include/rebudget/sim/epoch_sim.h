@@ -62,6 +62,14 @@ struct EpochSimConfig
     uint64_t seed = 42;
     /** Convexify online utility models (Talus; on in the paper). */
     bool convexify = true;
+    /**
+     * Market engine tuning, forwarded to the allocator every epoch.
+     * With warmStart on (the default) each epoch's allocation is seeded
+     * from the previous epoch's published equilibrium -- consecutive
+     * epochs have similar profiles, so the market re-converges in far
+     * fewer bidding-pricing rounds.
+     */
+    market::MarketConfig marketConfig;
     /** OS context switches to apply during the run. */
     std::vector<ContextSwitch> contextSwitches;
 

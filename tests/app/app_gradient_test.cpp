@@ -1,0 +1,80 @@
+/**
+ * @file
+ * AppUtilityModel::gradient(): the single grid-cell-lookup fast path
+ * must produce exactly the values of the two marginal() calls, on and
+ * off grid knots, at the clamped boundaries, and for both the
+ * convexified and the raw sampled surface.  The bid optimizer's hot
+ * path evaluates gradients only, so exact agreement is load-bearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/app/utility.h"
+#include "rebudget/power/power_model.h"
+
+namespace rebudget::app {
+namespace {
+
+const power::PowerModel &
+powerModel()
+{
+    static const power::PowerModel pm;
+    return pm;
+}
+
+void
+expectGradientMatchesMarginals(const AppUtilityModel &m, double cache,
+                               double watts)
+{
+    const std::vector<double> alloc = {cache, watts};
+    std::vector<double> grad(2, -1.0);
+    m.gradient(alloc, grad);
+    EXPECT_EQ(grad[AppUtilityModel::kCache],
+              m.marginal(AppUtilityModel::kCache, alloc))
+        << m.name() << " at (" << cache << ", " << watts << ")";
+    EXPECT_EQ(grad[AppUtilityModel::kPower],
+              m.marginal(AppUtilityModel::kPower, alloc))
+        << m.name() << " at (" << cache << ", " << watts << ")";
+}
+
+TEST(AppGradient, MatchesMarginalsAcrossTheSurface)
+{
+    for (const char *app : {"mcf", "swim", "vpr", "gcc"}) {
+        const AppUtilityModel m(findCatalogProfile(app), powerModel());
+        const double max_c = m.maxRegions() - m.minRegions();
+        const double max_w = m.maxWatts() - m.minWatts();
+        for (double fc : {0.0, 0.1, 0.37, 0.5, 0.93, 1.0}) {
+            for (double fw : {0.0, 0.2, 0.55, 0.8, 1.0})
+                expectGradientMatchesMarginals(m, fc * max_c,
+                                               fw * max_w);
+        }
+    }
+}
+
+TEST(AppGradient, MatchesMarginalsAtKnotsAndBeyondClamp)
+{
+    const AppUtilityModel m(findCatalogProfile("mcf"), powerModel());
+    // Exact knots (interior grid lines) and out-of-range points the
+    // model clamps; both exercise the cell-location edge cases.
+    for (double c : {0.0, 1.0, 3.0, 5.0, 7.0, 11.0, 15.0, 40.0}) {
+        expectGradientMatchesMarginals(m, c, 5.0);
+        expectGradientMatchesMarginals(m, c, 1e6);
+    }
+}
+
+TEST(AppGradient, MatchesMarginalsOnRawSurface)
+{
+    UtilityGridOptions raw;
+    raw.convexify = false;
+    const AppUtilityModel m(findCatalogProfile("swim"), powerModel(),
+                            raw);
+    for (double c : {0.5, 2.5, 6.0, 10.0})
+        for (double w : {1.0, 4.0, 12.0})
+            expectGradientMatchesMarginals(m, c, w);
+}
+
+} // namespace
+} // namespace rebudget::app

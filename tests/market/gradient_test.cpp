@@ -1,0 +1,117 @@
+/**
+ * @file
+ * UtilityModel::gradient() contract: exact (bitwise) agreement with the
+ * per-resource marginal() loop, for the default implementation, for
+ * models that override only marginal(), and for models that override
+ * both (PowerLawUtility).  The bid hill climber's incremental hot path
+ * evaluates gradients instead of per-resource marginals, so any drift
+ * between the two would silently change equilibria.
+ */
+
+#include "rebudget/market/utility_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rebudget::market {
+namespace {
+
+/** Overrides only utility(): both defaults (finite diff + loop) run. */
+class UtilityOnlyModel : public UtilityModel
+{
+  public:
+    size_t numResources() const override { return 3; }
+    double utility(std::span<const double> alloc) const override
+    {
+        // Smooth, concave, asymmetric in the three resources.
+        return std::sqrt(alloc[0] + 1.0) + std::log1p(2.0 * alloc[1]) +
+               0.5 * std::sqrt(alloc[2] + 0.25);
+    }
+    std::string name() const override { return "utility-only"; }
+};
+
+/** Overrides marginal() analytically but keeps the default gradient(). */
+class MarginalOnlyModel : public UtilityModel
+{
+  public:
+    size_t numResources() const override { return 2; }
+    double utility(std::span<const double> alloc) const override
+    {
+        return std::sqrt(alloc[0]) + std::sqrt(alloc[1]);
+    }
+    double marginal(size_t resource,
+                    std::span<const double> alloc) const override
+    {
+        const double r = alloc[resource];
+        return r > 0.0 ? 0.5 / std::sqrt(r) : 1e9;
+    }
+    std::string name() const override { return "marginal-only"; }
+};
+
+void
+expectGradientMatchesMarginals(const UtilityModel &m,
+                               const std::vector<double> &alloc)
+{
+    std::vector<double> grad(m.numResources(), -1.0);
+    m.gradient(alloc, grad);
+    for (size_t j = 0; j < m.numResources(); ++j) {
+        // Bitwise equality, not EXPECT_NEAR: the contract is exact
+        // agreement so callers may mix the two entry points freely.
+        EXPECT_EQ(grad[j], m.marginal(j, alloc))
+            << m.name() << " resource " << j;
+    }
+}
+
+TEST(Gradient, DefaultImplementationMatchesFiniteDiffMarginals)
+{
+    const UtilityOnlyModel m;
+    for (const auto &alloc :
+         {std::vector<double>{0.0, 0.0, 0.0},
+          std::vector<double>{1.0, 2.0, 3.0},
+          std::vector<double>{0.3, 7.5, 0.01},
+          std::vector<double>{12.0, 0.0, 4.0}})
+        expectGradientMatchesMarginals(m, alloc);
+}
+
+TEST(Gradient, DefaultLoopsOverriddenMarginal)
+{
+    const MarginalOnlyModel m;
+    for (const auto &alloc :
+         {std::vector<double>{1.0, 4.0}, std::vector<double>{0.0, 9.0},
+          std::vector<double>{2.25, 0.0}})
+        expectGradientMatchesMarginals(m, alloc);
+}
+
+TEST(Gradient, PowerLawOverrideMatchesItsMarginal)
+{
+    const PowerLawUtility m({2.0, 1.0, 0.5}, {0.5, 1.0, 0.75},
+                            {8.0, 12.0, 6.0});
+    for (const auto &alloc :
+         {std::vector<double>{0.0, 0.0, 0.0},
+          std::vector<double>{4.0, 6.0, 3.0},
+          std::vector<double>{8.0, 12.0, 6.0},
+          std::vector<double>{0.1, 11.9, 5.99},
+          std::vector<double>{16.0, 24.0, 12.0}})
+        expectGradientMatchesMarginals(m, alloc);
+}
+
+TEST(Gradient, PowerLawGradientIsPositiveAndDecreasing)
+{
+    // Sanity on the analytic override itself: concave power laws have
+    // positive, decreasing marginals away from zero.
+    const PowerLawUtility m({1.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
+    std::vector<double> lo(2, 1.0), hi(2, 9.0);
+    std::vector<double> glo(2), ghi(2);
+    m.gradient(lo, glo);
+    m.gradient(hi, ghi);
+    for (size_t j = 0; j < 2; ++j) {
+        EXPECT_GT(glo[j], 0.0);
+        EXPECT_GT(ghi[j], 0.0);
+        EXPECT_LT(ghi[j], glo[j]);
+    }
+}
+
+} // namespace
+} // namespace rebudget::market

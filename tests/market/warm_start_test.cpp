@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Warm-started equilibrium engine: seeded solves must agree with cold
+ * solves within the solver's tolerance class, honor the warmStart
+ * config gate, fall back to a cold start on malformed hints, and stay
+ * bit-deterministic.  rescaleEquilibrium must be a zero-sweep
+ * re-evaluation with conserved budgets.
+ */
+
+#include "rebudget/market/market.h"
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rebudget::market {
+namespace {
+
+/**
+ * A small asymmetric market: players value the three resources with
+ * different weights and curvatures, so the equilibrium is non-trivial
+ * (no symmetry shortcuts) but smooth (power-law utilities), making the
+ * warm/cold agreement band tight.
+ */
+class WarmFixture : public ::testing::Test
+{
+  protected:
+    WarmFixture()
+    {
+        players_.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{3.0, 1.0, 0.5},
+            std::vector<double>{0.5, 0.4, 0.6}, caps_));
+        players_.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{0.5, 2.5, 1.0},
+            std::vector<double>{0.7, 0.5, 0.3}, caps_));
+        players_.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{1.0, 1.0, 2.0},
+            std::vector<double>{0.4, 0.6, 0.5}, caps_));
+        players_.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{2.0, 0.8, 1.5},
+            std::vector<double>{0.6, 0.5, 0.4}, caps_));
+        for (const auto &p : players_)
+            models_.push_back(p.get());
+    }
+
+    ProportionalMarket makeMarket(const MarketConfig &cfg = {}) const
+    {
+        return ProportionalMarket(models_, caps_, cfg);
+    }
+
+    const std::vector<double> caps_ = {8.0, 12.0, 6.0};
+    std::vector<std::unique_ptr<PowerLawUtility>> players_;
+    std::vector<const UtilityModel *> models_;
+};
+
+void
+expectBitIdentical(const EquilibriumResult &a, const EquilibriumResult &b)
+{
+    EXPECT_EQ(a.bids, b.bids);
+    EXPECT_EQ(a.alloc, b.alloc);
+    EXPECT_EQ(a.prices, b.prices);
+    EXPECT_EQ(a.lambdas, b.lambdas);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.converged, b.converged);
+}
+
+TEST_F(WarmFixture, FlagReportsSeeding)
+{
+    const auto mkt = makeMarket();
+    const std::vector<double> budgets(4, 100.0);
+    const EquilibriumResult cold = mkt.findEquilibrium(budgets);
+    EXPECT_FALSE(cold.warmStarted);
+    const EquilibriumResult warm = mkt.findEquilibrium(budgets, &cold);
+    EXPECT_TRUE(warm.warmStarted);
+}
+
+TEST_F(WarmFixture, NullPriorIsExactlyCold)
+{
+    const auto mkt = makeMarket();
+    const std::vector<double> budgets = {100.0, 80.0, 120.0, 90.0};
+    const EquilibriumResult a = mkt.findEquilibrium(budgets);
+    const EquilibriumResult b = mkt.findEquilibrium(budgets, nullptr);
+    expectBitIdentical(a, b);
+    EXPECT_FALSE(b.warmStarted);
+}
+
+/**
+ * The solver stops on per-sweep price stability, which bounds how fast
+ * the iteration is still moving, not its distance from the true fixed
+ * point; with 1%-of-budget bid quantization on top, two converged
+ * solves of the *same* budgets from different starting points can land
+ * up to ~4% of capacity apart on this fixture (see
+ * ResolvingIdenticalBudgetsIsNearNoop, which measures exactly that).
+ * That intrinsic reproducibility band -- not the price tolerance -- is
+ * the honest yardstick for warm/cold agreement.
+ */
+constexpr double kSolverAllocBand = 0.05;
+
+TEST_F(WarmFixture, AgreesWithColdWithinToleranceClass)
+{
+    // ReBudget-style perturbation: a 10% cut to one player.  Warm and
+    // cold solves approach the same fixed point from different sides;
+    // their gap must stay within the solver's own reproducibility band.
+    const auto mkt = makeMarket();
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult prior = mkt.findEquilibrium(b0);
+    ASSERT_TRUE(prior.converged);
+
+    std::vector<double> b1 = b0;
+    b1[2] = 90.0;
+    const EquilibriumResult cold = mkt.findEquilibrium(b1);
+    const EquilibriumResult warm = mkt.findEquilibrium(b1, &prior);
+    ASSERT_TRUE(warm.converged);
+    ASSERT_TRUE(cold.converged);
+
+    const double tol = kSolverAllocBand;
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = 0; j < caps_.size(); ++j) {
+            EXPECT_NEAR(warm.alloc[i][j], cold.alloc[i][j],
+                        tol * caps_[j])
+                << "player " << i << " resource " << j;
+        }
+    }
+}
+
+TEST_F(WarmFixture, WarmUsesFewerIterationsOnSmallPerturbation)
+{
+    const auto mkt = makeMarket();
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult prior = mkt.findEquilibrium(b0);
+
+    std::vector<double> b1 = b0;
+    b1[0] = 95.0;
+    const EquilibriumResult cold = mkt.findEquilibrium(b1);
+    const EquilibriumResult warm = mkt.findEquilibrium(b1, &prior);
+    EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST_F(WarmFixture, ResolvingIdenticalBudgetsIsNearNoop)
+{
+    // Seeding a solve with its own result: every player starts settled,
+    // so prices stabilize within a sweep or two.  The allocation may
+    // still drift -- the extra sweeps keep contracting toward the true
+    // fixed point the first solve stopped short of -- but only within
+    // the solver's reproducibility band.
+    const auto mkt = makeMarket();
+    const std::vector<double> budgets = {100.0, 70.0, 110.0, 100.0};
+    const EquilibriumResult eq = mkt.findEquilibrium(budgets);
+    const EquilibriumResult again = mkt.findEquilibrium(budgets, &eq);
+    EXPECT_TRUE(again.converged);
+    EXPECT_LE(again.iterations, 3);
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = 0; j < caps_.size(); ++j)
+            EXPECT_NEAR(again.alloc[i][j], eq.alloc[i][j],
+                        kSolverAllocBand * caps_[j]);
+    }
+}
+
+TEST_F(WarmFixture, ConfigGateDisablesSeeding)
+{
+    MarketConfig cfg;
+    cfg.warmStart = false;
+    const auto mkt = makeMarket(cfg);
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult prior = mkt.findEquilibrium(b0);
+
+    std::vector<double> b1 = b0;
+    b1[1] = 60.0;
+    const EquilibriumResult plain = mkt.findEquilibrium(b1);
+    const EquilibriumResult hinted = mkt.findEquilibrium(b1, &prior);
+    // The hint must be ignored bit-exactly: --warm-start off is the A/B
+    // baseline and must reproduce the historical cold path.
+    expectBitIdentical(plain, hinted);
+    EXPECT_FALSE(hinted.warmStarted);
+}
+
+TEST_F(WarmFixture, ShapeMismatchedPriorFallsBackToCold)
+{
+    const auto mkt = makeMarket();
+    const std::vector<double> budgets(4, 100.0);
+    const EquilibriumResult cold = mkt.findEquilibrium(budgets);
+
+    EquilibriumResult wrong_players = cold;
+    wrong_players.bids.pop_back();
+    wrong_players.budgets.pop_back();
+    const EquilibriumResult a =
+        mkt.findEquilibrium(budgets, &wrong_players);
+    expectBitIdentical(a, cold);
+    EXPECT_FALSE(a.warmStarted);
+
+    EquilibriumResult wrong_resources = cold;
+    for (auto &row : wrong_resources.bids)
+        row.pop_back();
+    const EquilibriumResult b =
+        mkt.findEquilibrium(budgets, &wrong_resources);
+    expectBitIdentical(b, cold);
+    EXPECT_FALSE(b.warmStarted);
+}
+
+TEST_F(WarmFixture, WarmSolveIsDeterministic)
+{
+    const auto mkt = makeMarket();
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult prior = mkt.findEquilibrium(b0);
+
+    std::vector<double> b1 = {100.0, 92.0, 100.0, 84.0};
+    const EquilibriumResult once = mkt.findEquilibrium(b1, &prior);
+    const EquilibriumResult twice = mkt.findEquilibrium(b1, &prior);
+    expectBitIdentical(once, twice);
+}
+
+TEST_F(WarmFixture, SeededBidsConserveBudgets)
+{
+    const auto mkt = makeMarket();
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult prior = mkt.findEquilibrium(b0);
+
+    const std::vector<double> b1 = {80.0, 100.0, 130.0, 100.0};
+    const EquilibriumResult warm = mkt.findEquilibrium(b1, &prior);
+    for (size_t i = 0; i < 4; ++i) {
+        const double spent = std::accumulate(warm.bids[i].begin(),
+                                             warm.bids[i].end(), 0.0);
+        EXPECT_NEAR(spent, b1[i], 1e-9 * b1[i]);
+        for (const double b : warm.bids[i])
+            EXPECT_GE(b, 0.0);
+    }
+}
+
+TEST_F(WarmFixture, ZeroBudgetPriorRowSeedsEqualSplit)
+{
+    // A player that had no money in the prior has an all-zero bid row;
+    // scaling it cannot recover a seed, so the engine must fall back to
+    // the equal split for that player and still conserve budgets.
+    const auto mkt = makeMarket();
+    const std::vector<double> b0 = {100.0, 0.0, 100.0, 100.0};
+    const EquilibriumResult prior = mkt.findEquilibrium(b0);
+
+    const std::vector<double> b1 = {100.0, 50.0, 100.0, 100.0};
+    const EquilibriumResult warm = mkt.findEquilibrium(b1, &prior);
+    EXPECT_TRUE(warm.warmStarted);
+    const double spent = std::accumulate(warm.bids[1].begin(),
+                                         warm.bids[1].end(), 0.0);
+    EXPECT_NEAR(spent, 50.0, 1e-9 * 50.0);
+}
+
+TEST_F(WarmFixture, RescaleEquilibriumIsZeroSweep)
+{
+    const auto mkt = makeMarket();
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult prior = mkt.findEquilibrium(b0);
+
+    std::vector<double> b1 = b0;
+    b1[3] = 96.0;
+    const EquilibriumResult approx = mkt.rescaleEquilibrium(prior, b1);
+    EXPECT_EQ(approx.iterations, 0);
+    EXPECT_TRUE(approx.warmStarted);
+    EXPECT_EQ(approx.converged, prior.converged);
+    EXPECT_EQ(approx.budgets, b1);
+
+    // Budgets conserved row-wise and the published prices/allocation
+    // consistent with the rescaled bid matrix.
+    for (size_t i = 0; i < 4; ++i) {
+        const double spent = std::accumulate(approx.bids[i].begin(),
+                                             approx.bids[i].end(), 0.0);
+        EXPECT_NEAR(spent, b1[i], 1e-9 * b1[i]);
+    }
+    const auto prices = computePrices(approx.bids, caps_);
+    const auto alloc = proportionalAllocation(approx.bids, caps_);
+    for (size_t j = 0; j < caps_.size(); ++j)
+        EXPECT_DOUBLE_EQ(approx.prices[j], prices[j]);
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = 0; j < caps_.size(); ++j)
+            EXPECT_DOUBLE_EQ(approx.alloc[i][j], alloc[i][j]);
+    }
+    // Lambdas are re-evaluated at the rescaled point, not copied.
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_GT(approx.lambdas[i], 0.0);
+}
+
+TEST_F(WarmFixture, RescaleTracksSmallCutsClosely)
+{
+    // The elision use case: a cut below the price tolerance.  The
+    // rescaled allocation must stay within the solver's tolerance band
+    // of a real re-solve.
+    const auto mkt = makeMarket();
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult prior = mkt.findEquilibrium(b0);
+
+    std::vector<double> b1 = b0;
+    b1[1] = 99.0; // 1% cut, at the priceTol boundary
+    const EquilibriumResult approx = mkt.rescaleEquilibrium(prior, b1);
+    const EquilibriumResult real = mkt.findEquilibrium(b1, &prior);
+    const double tol = 1.5 * kSolverAllocBand;
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = 0; j < caps_.size(); ++j)
+            EXPECT_NEAR(approx.alloc[i][j], real.alloc[i][j],
+                        tol * caps_[j]);
+    }
+}
+
+} // namespace
+} // namespace rebudget::market

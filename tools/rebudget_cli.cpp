@@ -60,6 +60,7 @@ struct Options
     uint64_t seed = 42;
     bool csv = false;
     unsigned jobs = 0; // 0 = REBUDGET_JOBS env or hardware concurrency
+    bool warmStart = true;
 };
 
 void
@@ -94,6 +95,12 @@ usage()
         "                          at any job count\n"
         "  --epochs N              measured epochs for --sim\n"
         "  --seed S                workload seed\n"
+        "  --warm-start on|off     seed equilibrium solves from the\n"
+        "                          previous solve (ReBudget rounds,\n"
+        "                          --sim epochs).  Default on; 'off'\n"
+        "                          cold-starts every solve from the\n"
+        "                          equal split -- the A/B baseline for\n"
+        "                          bench/perf_equilibrium\n"
         "  --csv                   machine-readable output\n";
 }
 
@@ -248,6 +255,7 @@ runAnalytic(const Options &opt, ProfileSource &source,
     eval::BundleProblem bp = eval::makeBundleProblem(apps, lookup);
     const auto &models = bp.models;
     core::AllocationProblem &problem = bp.problem;
+    problem.marketConfig.warmStart = opt.warmStart;
 
     const auto mechanism = makeMechanism(opt);
     core::AllocationOutcome out;
@@ -275,8 +283,9 @@ runAnalytic(const Options &opt, ProfileSource &source,
             }
             groups.push_back(std::move(g));
         }
-        const eval::BundleProblem per_core =
+        eval::BundleProblem per_core =
             eval::makeBundleProblem(per_core_apps, lookup);
+        per_core.problem.marketConfig.warmStart = opt.warmStart;
         const core::GroupedProblem grouped =
             core::makeGroupedProblem(per_core.problem, groups);
         const auto group_out = mechanism->allocate(grouped.problem);
@@ -378,6 +387,7 @@ runSweep(const Options &opt)
 
     eval::BundleRunnerOptions ropts;
     ropts.jobs = opt.jobs;
+    ropts.marketConfig.warmStart = opt.warmStart;
     const eval::BundleRunner runner({&equal_share, &equal_budget,
                                      &balanced, &rb20, &rb40, &max_eff},
                                     ropts);
@@ -448,6 +458,7 @@ runSim(const Options &opt, ProfileSource &source,
         sim::EpochSimConfig::forCores(static_cast<uint32_t>(apps.size()));
     cfg.epochs = opt.epochs;
     cfg.seed = opt.seed;
+    cfg.marketConfig.warmStart = opt.warmStart;
     std::vector<app::AppParams> params;
     for (const auto &nm : apps)
         params.push_back(source.profile(nm).params);
@@ -535,6 +546,16 @@ main(int argc, char **argv)
                     parseUnsignedArg(arg, next()));
             } else if (arg == "--seed") {
                 opt.seed = parseUnsignedArg(arg, next());
+            } else if (arg == "--warm-start") {
+                const std::string v = next();
+                if (v == "on")
+                    opt.warmStart = true;
+                else if (v == "off")
+                    opt.warmStart = false;
+                else
+                    util::fatal("--warm-start needs 'on' or 'off', got "
+                                "'%s'",
+                                v.c_str());
             } else if (arg == "--csv") {
                 opt.csv = true;
             } else {
