@@ -24,6 +24,7 @@
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
 #include "rebudget/market/metrics.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 #include "rebudget/util/thread_pool.h"
@@ -49,7 +50,10 @@ main(int argc, char **argv)
     std::vector<BundleRow> rows(bundles.size());
 
     app::catalogProfiles(); // warm the catalog before forking workers
-    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    const unsigned jobs = jobs_arg.value();
     util::parallelFor(jobs, bundles.size(), [&](size_t i) {
         const eval::BundleProblem raw = eval::makeBundleProblem(
             bundles[i].appNames, 4.0, 10.0, /*convexify=*/false);

@@ -20,6 +20,7 @@
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
@@ -50,9 +51,12 @@ main(int argc, char **argv)
     mechanisms.push_back(&max_eff);
 
     eval::BundleRunnerOptions opts;
-    opts.jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    opts.jobs = jobs_arg.value();
     const eval::BundleRunner runner(mechanisms, opts);
-    const size_t i_opt = runner.mechanismIndex("MaxEfficiency");
+    const size_t i_opt = runner.mechanismIndex("MaxEfficiency").value();
     const auto evals = runner.run(bundles);
 
     util::printBanner(std::cout,

@@ -23,6 +23,7 @@
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
 #include "rebudget/sim/epoch_sim.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 #include "rebudget/util/thread_pool.h"
@@ -76,7 +77,10 @@ main(int argc, char **argv)
     const auto apps = bundle();
 
     std::vector<util::ConfidenceInterval> cis(epoch_lengths.size());
-    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    const unsigned jobs = jobs_arg.value();
     util::parallelFor(jobs, epoch_lengths.size(), [&](size_t i) {
         const uint64_t epoch_accesses = epoch_lengths[i];
         sim::EpochSimConfig cfg = sim::EpochSimConfig::forCores(8);

@@ -22,6 +22,7 @@
 #include "rebudget/cache/set_assoc_cache.h"
 #include "rebudget/cache/umon.h"
 #include "rebudget/eval/bundle_runner.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 #include "rebudget/util/thread_pool.h"
@@ -94,7 +95,10 @@ main(int argc, char **argv)
         }
     }
 
-    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    const unsigned jobs = jobs_arg.value();
     util::parallelFor(jobs, tasks.size(), [&](size_t i) {
         tasks[i].error = missCurveError(tasks[i].profile->params,
                                         tasks[i].ratio, tasks[i].seed);

@@ -22,6 +22,7 @@
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
@@ -64,13 +65,16 @@ main(int argc, char **argv)
     const core::MaxEfficiencyAllocator max_eff;
 
     eval::BundleRunnerOptions opts;
-    opts.jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    opts.jobs = jobs_arg.value();
     const eval::BundleRunner runner(
         {&ep, &equal_budget, &rb40, &max_eff}, opts);
-    const size_t i_ep = runner.mechanismIndex("EP");
-    const size_t i_eq = runner.mechanismIndex("EqualBudget");
-    const size_t i_rb = runner.mechanismIndex("ReBudget-40");
-    const size_t i_opt = runner.mechanismIndex("MaxEfficiency");
+    const size_t i_ep = runner.mechanismIndex("EP").value();
+    const size_t i_eq = runner.mechanismIndex("EqualBudget").value();
+    const size_t i_rb = runner.mechanismIndex("ReBudget-40").value();
+    const size_t i_opt = runner.mechanismIndex("MaxEfficiency").value();
     const auto evals = runner.run(bundles);
 
     util::SummaryStats ep_eff, eq_eff, rb_eff, ep_ef, eq_ef, rb_ef;

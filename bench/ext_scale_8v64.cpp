@@ -18,6 +18,7 @@
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
@@ -49,7 +50,7 @@ runSuite(uint32_t cores, uint32_t bundles_per_category, unsigned jobs)
     opts.jobs = jobs;
     const eval::BundleRunner runner(
         {&share, &equal, &balanced, &rb20, &rb40, &max_eff}, opts);
-    const size_t opt_idx = runner.mechanismIndex("MaxEfficiency");
+    const size_t opt_idx = runner.mechanismIndex("MaxEfficiency").value();
     const auto evals = runner.run(bundles);
 
     SuiteMeans means;
@@ -70,7 +71,10 @@ runSuite(uint32_t cores, uint32_t bundles_per_category, unsigned jobs)
 int
 main(int argc, char **argv)
 {
-    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    const unsigned jobs = jobs_arg.value();
     const char *names[5] = {"EqualShare", "EqualBudget", "Balanced",
                             "ReBudget-20", "ReBudget-40"};
     const SuiteMeans m8 = runSuite(8, 40, jobs);

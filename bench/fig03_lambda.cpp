@@ -43,7 +43,7 @@ main()
         for (double l : out.lambdas)
             row.lambdas_norm.push_back(max_l > 0 ? l / max_l : 0.0);
         row.budgets = out.budgets;
-        row.mur = market::marketUtilityRange(out.lambdas);
+        row.mur = market::marketUtilityRange(out.lambdas).value();
         rows[out.mechanism] = std::move(row);
     };
     run(core::EqualBudgetAllocator());

@@ -24,6 +24,7 @@
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
 #include "rebudget/market/metrics.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
@@ -60,12 +61,15 @@ main(int argc, char **argv)
     const core::MaxEfficiencyAllocator max_eff;
 
     eval::BundleRunnerOptions opts;
-    opts.jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    opts.jobs = jobs_arg.value();
     const eval::BundleRunner runner({&equal_share, &equal_budget,
                                      &balanced, &rb20, &rb40, &max_eff},
                                     opts);
     // Normalize against the oracle looked up by name, not by position.
-    const size_t opt_idx = runner.mechanismIndex("MaxEfficiency");
+    const size_t opt_idx = runner.mechanismIndex("MaxEfficiency").value();
     const auto evals = runner.run(bundles);
 
     std::vector<BundleResult> results;
@@ -134,10 +138,10 @@ main(int argc, char **argv)
             out.push_back(eff ? r.eff[m] : r.ef[m]);
         return out;
     };
-    const size_t i_eq = runner.mechanismIndex("EqualBudget");
-    const size_t i_bal = runner.mechanismIndex("Balanced");
-    const size_t i_rb20 = runner.mechanismIndex("ReBudget-20");
-    const size_t i_rb40 = runner.mechanismIndex("ReBudget-40");
+    const size_t i_eq = runner.mechanismIndex("EqualBudget").value();
+    const size_t i_bal = runner.mechanismIndex("Balanced").value();
+    const size_t i_rb20 = runner.mechanismIndex("ReBudget-20").value();
+    const size_t i_rb40 = runner.mechanismIndex("ReBudget-40").value();
 
     const auto eq_eff = column(i_eq, true);
     s.addRow({"EqualBudget: bundles >= 95% of MaxEff",

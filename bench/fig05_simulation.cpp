@@ -24,6 +24,7 @@
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
 #include "rebudget/sim/epoch_sim.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/table.h"
 #include "rebudget/util/thread_pool.h"
 #include "rebudget/workloads/bundles.h"
@@ -89,7 +90,10 @@ main(int argc, char **argv)
         double envyFreeness = 0.0;
     };
     std::vector<TaskResult> results(tasks.size());
-    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    const unsigned jobs = jobs_arg.value();
     util::parallelFor(jobs, tasks.size(), [&](size_t i) {
         sim::EpochSimulator simulator(machine(), tasks[i].apps,
                                       *tasks[i].mechanism);

@@ -408,7 +408,10 @@ main(int argc, char **argv)
             out_path = argv[++a];
         }
     }
-    const unsigned jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    const unsigned jobs = jobs_arg.value();
 
     const std::vector<size_t> sizes =
         smoke ? std::vector<size_t>{8} : std::vector<size_t>{8, 16, 64};

@@ -22,6 +22,7 @@
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
+#include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
 
@@ -41,7 +42,10 @@ main(int argc, char **argv)
     const auto rb40 = core::ReBudgetAllocator::withStep(40);
 
     eval::BundleRunnerOptions opts;
-    opts.jobs = eval::parseJobsArg(argc, argv);
+    const auto jobs_arg = eval::parseJobsArg(argc, argv);
+    if (!jobs_arg.ok())
+        util::fatal("%s", jobs_arg.status().message().c_str());
+    opts.jobs = jobs_arg.value();
     const eval::BundleRunner runner(
         {&equal_budget, &balanced, &rb20, &rb40}, opts);
     const auto evals = runner.run(bundles);

@@ -62,9 +62,11 @@ main()
             market::envyFreeness(problem.models, out.alloc);
         const bool market_based = !out.budgets.empty();
         const double mur =
-            market_based ? market::marketUtilityRange(out.lambdas) : 0.0;
+            market_based ? market::marketUtilityRange(out.lambdas).value()
+                         : 0.0;
         const double mbr =
-            market_based ? market::marketBudgetRange(out.budgets) : 1.0;
+            market_based ? market::marketBudgetRange(out.budgets).value()
+                         : 1.0;
         table.addRow({out.mechanism, util::formatDouble(eff, 3),
                       util::formatDouble(eff / opt, 3),
                       util::formatDouble(ef, 3),

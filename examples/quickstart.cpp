@@ -56,13 +56,13 @@ main()
                     out.mechanism.c_str(), eff, ef);
         if (!out.lambdas.empty()) {
             const double mur =
-                market::marketUtilityRange(out.lambdas);
+                market::marketUtilityRange(out.lambdas).value();
             std::printf(" MUR=%.2f (PoA bound %.2f)", mur,
                         market::poaLowerBound(mur));
         }
         if (!out.budgets.empty()) {
             const double mbr =
-                market::marketBudgetRange(out.budgets);
+                market::marketBudgetRange(out.budgets).value();
             std::printf(" MBR=%.2f (EF bound %.2f)", mbr,
                         market::envyFreenessLowerBound(mbr));
         }

@@ -40,11 +40,42 @@ tryValidateProblem(const AllocationProblem &problem)
     return std::nullopt;
 }
 
-void
-validateProblem(const AllocationProblem &problem)
+util::SolveStatus
+validateProblemStatus(const AllocationProblem &problem)
 {
-    if (const auto err = tryValidateProblem(problem))
-        util::fatal("%s", err->c_str());
+    if (const auto err = tryValidateProblem(problem)) {
+        return util::SolveStatus::error(util::StatusCode::InvalidArgument,
+                                        "%s", err->c_str());
+    }
+    return util::SolveStatus();
+}
+
+void
+accumulateSolve(AllocationOutcome &outcome,
+                const market::EquilibriumResult &eq)
+{
+    util::SolverStats &s = outcome.stats;
+    outcome.marketIterations += eq.iterations;
+    if (eq.approximated) {
+        s.elidedRescales += 1;
+        s.rescaleSeconds += eq.solveSeconds;
+    } else {
+        s.equilibriumSolves += 1;
+        s.sweepIterations += eq.iterations;
+        s.hillClimbSteps += eq.hillClimbSteps;
+        s.solveSeconds += eq.solveSeconds;
+        if (eq.warmStarted)
+            s.warmStartedSolves += 1;
+        else
+            s.coldStartedSolves += 1;
+        if (eq.status.ok() && !eq.converged)
+            s.failSafeTrips += 1;
+        outcome.converged = outcome.converged && eq.converged;
+    }
+    if (!eq.status.ok()) {
+        s.failedSolves += 1;
+        outcome.status = eq.status;
+    }
 }
 
 } // namespace rebudget::core

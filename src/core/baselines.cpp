@@ -6,42 +6,37 @@
 
 namespace rebudget::core {
 
+namespace {
+
+using util::SolveStatus;
+using util::StatusCode;
+
+/** Stamp an error outcome: empty allocation, reason in status. */
 AllocationOutcome
-EqualShareAllocator::allocate(const AllocationProblem &problem) const
+failedOutcome(const std::string &mechanism, SolveStatus status, double t0)
 {
-    validateProblem(problem);
-    const size_t n = problem.models.size();
-    const size_t m = problem.capacities.size();
     AllocationOutcome outcome;
-    outcome.mechanism = name();
-    outcome.alloc.assign(n, std::vector<double>(m, 0.0));
-    for (size_t i = 0; i < n; ++i) {
-        for (size_t j = 0; j < m; ++j)
-            outcome.alloc[i][j] =
-                problem.capacities[j] / static_cast<double>(n);
-    }
+    outcome.mechanism = mechanism;
+    outcome.status = std::move(status);
+    outcome.converged = false;
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
     return outcome;
 }
-
-EqualBudgetAllocator::EqualBudgetAllocator(double initial_budget)
-    : initialBudget_(initial_budget)
-{
-    if (initial_budget <= 0.0)
-        util::fatal("initial budget must be positive");
-}
-
-namespace {
 
 /**
  * Package a final equilibrium into an outcome, publishing it as the
  * warm-start seed for the next allocate() on a similar problem.
+ * Propagates the solve's status and telemetry.
  */
 void
 publishEquilibrium(AllocationOutcome &outcome,
                    market::EquilibriumResult &&eq)
 {
-    outcome.marketIterations += eq.iterations;
-    outcome.converged = outcome.converged && eq.converged;
+    accumulateSolve(outcome, eq);
+    if (!outcome.status.ok()) {
+        outcome.converged = false;
+        return;
+    }
     auto seed =
         std::make_shared<const market::EquilibriumResult>(std::move(eq));
     outcome.alloc = seed->alloc;
@@ -52,11 +47,47 @@ publishEquilibrium(AllocationOutcome &outcome,
 } // namespace
 
 AllocationOutcome
+EqualShareAllocator::allocate(const AllocationProblem &problem) const
+{
+    const double t0 = util::monotonicSeconds();
+    if (SolveStatus st = validateProblemStatus(problem); !st.ok())
+        return failedOutcome(name(), std::move(st), t0);
+    const size_t n = problem.models.size();
+    const size_t m = problem.capacities.size();
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    outcome.alloc.assign(n, std::vector<double>(m, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j)
+            outcome.alloc[i][j] =
+                problem.capacities[j] / static_cast<double>(n);
+    }
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+    return outcome;
+}
+
+EqualBudgetAllocator::EqualBudgetAllocator(double initial_budget)
+    : initialBudget_(initial_budget)
+{
+    if (initial_budget <= 0.0) {
+        configStatus_ = SolveStatus::error(
+            StatusCode::InvalidArgument,
+            "initial budget must be positive (got %g)", initial_budget);
+    }
+}
+
+AllocationOutcome
 EqualBudgetAllocator::allocate(const AllocationProblem &problem) const
 {
-    validateProblem(problem);
+    const double t0 = util::monotonicSeconds();
+    if (!configStatus_.ok())
+        return failedOutcome(name(), configStatus_, t0);
+    if (SolveStatus st = validateProblemStatus(problem); !st.ok())
+        return failedOutcome(name(), std::move(st), t0);
     market::ProportionalMarket mkt(problem.models, problem.capacities,
                                    problem.marketConfig);
+    if (!mkt.setupStatus().ok())
+        return failedOutcome(name(), mkt.setupStatus(), t0);
     const std::vector<double> budgets(problem.models.size(),
                                       initialBudget_);
     AllocationOutcome outcome;
@@ -66,20 +97,28 @@ EqualBudgetAllocator::allocate(const AllocationProblem &problem) const
         outcome.budgetHistory.push_back(budgets);
     publishEquilibrium(outcome,
                        mkt.findEquilibrium(budgets, problem.warmStart));
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
     return outcome;
 }
 
 BalancedBudgetAllocator::BalancedBudgetAllocator(double mean_budget)
     : meanBudget_(mean_budget)
 {
-    if (mean_budget <= 0.0)
-        util::fatal("mean budget must be positive");
+    if (mean_budget <= 0.0) {
+        configStatus_ = SolveStatus::error(
+            StatusCode::InvalidArgument,
+            "mean budget must be positive (got %g)", mean_budget);
+    }
 }
 
 AllocationOutcome
 BalancedBudgetAllocator::allocate(const AllocationProblem &problem) const
 {
-    validateProblem(problem);
+    const double t0 = util::monotonicSeconds();
+    if (!configStatus_.ok())
+        return failedOutcome(name(), configStatus_, t0);
+    if (SolveStatus st = validateProblemStatus(problem); !st.ok())
+        return failedOutcome(name(), std::move(st), t0);
     const size_t n = problem.models.size();
     const size_t m = problem.capacities.size();
     // Budget_i proportional to (U_max - U_min) / U_max: the utility at
@@ -102,6 +141,8 @@ BalancedBudgetAllocator::allocate(const AllocationProblem &problem) const
 
     market::ProportionalMarket mkt(problem.models, problem.capacities,
                                    problem.marketConfig);
+    if (!mkt.setupStatus().ok())
+        return failedOutcome(name(), mkt.setupStatus(), t0);
     AllocationOutcome outcome;
     outcome.mechanism = name();
     if (problem.recordBudgetHistory)
@@ -109,6 +150,7 @@ BalancedBudgetAllocator::allocate(const AllocationProblem &problem) const
     publishEquilibrium(outcome,
                        mkt.findEquilibrium(budgets, problem.warmStart));
     outcome.budgets = std::move(budgets);
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
     return outcome;
 }
 

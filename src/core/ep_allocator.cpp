@@ -58,10 +58,26 @@ fitCobbDouglas(const market::UtilityModel &model,
                const std::vector<double> &capacities, int grid_points)
 {
     const size_t m = model.numResources();
-    if (capacities.size() != m)
-        util::fatal("fitCobbDouglas: capacity arity mismatch");
-    if (grid_points < 3)
-        util::fatal("fitCobbDouglas needs at least 3 grid points");
+    if (capacities.size() != m || grid_points < 3) {
+        // Malformed inputs degrade to the uniform-elasticity fallback
+        // the fit itself uses for degenerate utilities, with the reason
+        // recorded on the fit.
+        CobbDouglasFit fit;
+        fit.elasticities.assign(m > 0 ? m : 1,
+                                1.0 / static_cast<double>(m > 0 ? m : 1));
+        if (capacities.size() != m) {
+            fit.status = util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "fitCobbDouglas: capacity arity %zu != model arity %zu",
+                capacities.size(), m);
+        } else {
+            fit.status = util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "fitCobbDouglas needs at least 3 grid points (got %d)",
+                grid_points);
+        }
+        return fit;
+    }
 
     // Geometric per-axis grid from 5% to 100% of capacity.
     std::vector<std::vector<double>> axis(m);
@@ -157,14 +173,32 @@ fitCobbDouglas(const market::UtilityModel &model,
 
 EpAllocator::EpAllocator(int grid_points) : gridPoints_(grid_points)
 {
-    if (grid_points < 3)
-        util::fatal("EpAllocator needs at least 3 grid points");
+    if (grid_points < 3) {
+        configStatus_ = util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "EpAllocator needs at least 3 grid points (got %d)",
+            grid_points);
+    }
 }
 
 AllocationOutcome
 EpAllocator::allocate(const AllocationProblem &problem) const
 {
-    validateProblem(problem);
+    const double t0 = util::monotonicSeconds();
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    if (!configStatus_.ok()) {
+        outcome.status = configStatus_;
+        outcome.converged = false;
+        outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+        return outcome;
+    }
+    if (util::SolveStatus st = validateProblemStatus(problem); !st.ok()) {
+        outcome.status = std::move(st);
+        outcome.converged = false;
+        outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+        return outcome;
+    }
     const size_t n = problem.models.size();
     const size_t m = problem.capacities.size();
 
@@ -178,8 +212,6 @@ EpAllocator::allocate(const AllocationProblem &problem) const
         fits.push_back(
             fitCobbDouglas(*model, problem.capacities, gridPoints_));
 
-    AllocationOutcome outcome;
-    outcome.mechanism = name();
     outcome.alloc.assign(n, std::vector<double>(m, 0.0));
     for (size_t j = 0; j < m; ++j) {
         double total = 0.0;
@@ -195,6 +227,7 @@ EpAllocator::allocate(const AllocationProblem &problem) const
     auto seed = std::make_shared<market::EquilibriumResult>();
     seed->alloc = outcome.alloc;
     outcome.equilibrium = std::move(seed);
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
     return outcome;
 }
 

@@ -10,18 +10,16 @@ std::vector<std::vector<double>>
 GroupedProblem::expand(const std::vector<std::vector<double>> &group_alloc,
                        size_t total_cores) const
 {
-    if (group_alloc.size() != groups.size())
-        util::fatal("expand: expected %zu group allocations, got %zu",
-                    groups.size(), group_alloc.size());
+    REBUDGET_ASSERT(group_alloc.size() == groups.size(),
+                    "expand: group allocation count mismatch");
     const size_t m = problem.capacities.size();
     std::vector<std::vector<double>> out(total_cores,
                                          std::vector<double>(m, 0.0));
     for (size_t g = 0; g < groups.size(); ++g) {
         const double k = static_cast<double>(groups[g].cores.size());
         for (const uint32_t core : groups[g].cores) {
-            if (core >= total_cores)
-                util::fatal("group '%s' references core %u of %zu",
-                            groups[g].name.c_str(), core, total_cores);
+            REBUDGET_ASSERT(core < total_cores,
+                            "expand: group references an out-of-range core");
             for (size_t j = 0; j < m; ++j)
                 out[core][j] = group_alloc[g][j] / k;
         }
@@ -33,30 +31,51 @@ GroupedProblem
 makeGroupedProblem(const AllocationProblem &per_core,
                    std::vector<ThreadGroup> groups)
 {
-    validateProblem(per_core);
-    if (groups.empty())
-        util::fatal("makeGroupedProblem requires at least one group");
+    using util::SolveStatus;
+    using util::StatusCode;
+    GroupedProblem out;
+    auto reject = [&](SolveStatus status) {
+        out.status = std::move(status);
+        return std::move(out);
+    };
+    if (SolveStatus st = validateProblemStatus(per_core); !st.ok())
+        return reject(std::move(st));
+    if (groups.empty()) {
+        return reject(SolveStatus::error(
+            StatusCode::InvalidArgument,
+            "makeGroupedProblem requires at least one group"));
+    }
     // Check the groups partition the cores.
     std::vector<bool> seen(per_core.models.size(), false);
     for (const auto &group : groups) {
-        if (group.cores.empty())
-            util::fatal("group '%s' has no cores", group.name.c_str());
+        if (group.cores.empty()) {
+            return reject(SolveStatus::error(StatusCode::InvalidArgument,
+                                             "group '%s' has no cores",
+                                             group.name.c_str()));
+        }
         for (const uint32_t core : group.cores) {
-            if (core >= per_core.models.size())
-                util::fatal("group '%s' references core %u of %zu",
-                            group.name.c_str(), core,
-                            per_core.models.size());
-            if (seen[core])
-                util::fatal("core %u appears in two groups", core);
+            if (core >= per_core.models.size()) {
+                return reject(SolveStatus::error(
+                    StatusCode::InvalidArgument,
+                    "group '%s' references core %u of %zu",
+                    group.name.c_str(), core, per_core.models.size()));
+            }
+            if (seen[core]) {
+                return reject(SolveStatus::error(
+                    StatusCode::InvalidArgument,
+                    "core %u appears in two groups", core));
+            }
             seen[core] = true;
         }
     }
     for (size_t c = 0; c < seen.size(); ++c) {
-        if (!seen[c])
-            util::fatal("core %zu belongs to no group", c);
+        if (!seen[c]) {
+            return reject(SolveStatus::error(StatusCode::InvalidArgument,
+                                             "core %zu belongs to no group",
+                                             c));
+        }
     }
 
-    GroupedProblem out;
     out.groups = std::move(groups);
     out.problem.capacities = per_core.capacities;
     out.problem.marketConfig = per_core.marketConfig;

@@ -19,6 +19,8 @@
 
 #include "rebudget/market/market.h"
 #include "rebudget/market/utility_model.h"
+#include "rebudget/util/solver_stats.h"
+#include "rebudget/util/status.h"
 
 namespace rebudget::core {
 
@@ -55,6 +57,16 @@ struct AllocationProblem
 /** Outputs of one allocation decision. */
 struct AllocationOutcome
 {
+    /**
+     * Ok, or why the mechanism could not produce an allocation (bad
+     * config, malformed problem, failed solve).  On error the
+     * allocation is empty and only `mechanism`, `status` and `stats`
+     * are meaningful.  Non-convergence is NOT an error: a fail-safe
+     * allocation returns Ok with converged=false.
+     */
+    util::SolveStatus status;
+    /** Solver health telemetry for this call (see util::SolverStats). */
+    util::SolverStats stats;
     /** Mechanism that produced the outcome. */
     std::string mechanism;
     /** Allocation [player][resource]. */
@@ -121,8 +133,18 @@ class Allocator
 std::optional<std::string> tryValidateProblem(
     const AllocationProblem &problem);
 
-/** Validate problem arity; calls util::fatal() on inconsistency. */
-void validateProblem(const AllocationProblem &problem);
+/** @return tryValidateProblem()'s verdict as a SolveStatus. */
+util::SolveStatus validateProblemStatus(const AllocationProblem &problem);
+
+/**
+ * Fold one equilibrium solve's accounting into an outcome: iteration
+ * and hill-climb counters, warm/cold and fail-safe tallies, phase
+ * timers, the converged flag (real solves only; an approximated
+ * rescale inherits the prior's flag and is counted as an elided round
+ * instead), and the solve's status on failure.
+ */
+void accumulateSolve(AllocationOutcome &outcome,
+                     const market::EquilibriumResult &eq);
 
 } // namespace rebudget::core
 

@@ -29,8 +29,15 @@ class EqualShareAllocator : public Allocator
 class EqualBudgetAllocator : public Allocator
 {
   public:
-    /** @param initial_budget  budget given to every player. */
+    /**
+     * @param initial_budget  budget given to every player (> 0; a
+     * non-positive budget is recorded in configStatus() and every
+     * allocate() returns that status).
+     */
     explicit EqualBudgetAllocator(double initial_budget = 100.0);
+
+    /** Ok, or why this allocator cannot run. */
+    const util::SolveStatus &configStatus() const { return configStatus_; }
 
     std::string name() const override { return "EqualBudget"; }
     AllocationOutcome allocate(
@@ -38,14 +45,21 @@ class EqualBudgetAllocator : public Allocator
 
   private:
     double initialBudget_;
+    util::SolveStatus configStatus_;
 };
 
 /** Market equilibrium with XChange's Balanced budget heuristic. */
 class BalancedBudgetAllocator : public Allocator
 {
   public:
-    /** @param mean_budget  budgets are scaled to this mean. */
+    /**
+     * @param mean_budget  budgets are scaled to this mean (> 0; a
+     * non-positive mean is recorded in configStatus()).
+     */
     explicit BalancedBudgetAllocator(double mean_budget = 100.0);
+
+    /** Ok, or why this allocator cannot run. */
+    const util::SolveStatus &configStatus() const { return configStatus_; }
 
     std::string name() const override { return "Balanced"; }
     AllocationOutcome allocate(
@@ -53,6 +67,7 @@ class BalancedBudgetAllocator : public Allocator
 
   private:
     double meanBudget_;
+    util::SolveStatus configStatus_;
 };
 
 } // namespace rebudget::core

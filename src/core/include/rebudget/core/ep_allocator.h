@@ -26,6 +26,12 @@ namespace rebudget::core {
 /** Cobb-Douglas fit of one player's utility surface. */
 struct CobbDouglasFit
 {
+    /**
+     * Ok, or why the fit could not run (capacity arity mismatch, too
+     * few grid points); on error the elasticities are the uniform
+     * fallback.
+     */
+    util::SolveStatus status;
     /** Normalized elasticities per resource (non-negative, sum to 1). */
     std::vector<double> elasticities;
     /** R^2 of the log-log regression (1 = exact Cobb-Douglas). */
@@ -48,8 +54,15 @@ CobbDouglasFit fitCobbDouglas(const market::UtilityModel &model,
 class EpAllocator : public Allocator
 {
   public:
-    /** @param grid_points  samples per axis for the curve fit. */
+    /**
+     * @param grid_points  samples per axis for the curve fit (>= 3; a
+     * smaller grid is recorded in configStatus() and every allocate()
+     * returns that status).
+     */
     explicit EpAllocator(int grid_points = 8);
+
+    /** Ok, or why this allocator cannot run. */
+    const util::SolveStatus &configStatus() const { return configStatus_; }
 
     std::string name() const override { return "EP"; }
     AllocationOutcome allocate(
@@ -57,6 +70,7 @@ class EpAllocator : public Allocator
 
   private:
     int gridPoints_;
+    util::SolveStatus configStatus_;
 };
 
 } // namespace rebudget::core

@@ -31,6 +31,12 @@ struct ThreadGroup
 /** A grouped view over a per-core allocation problem. */
 struct GroupedProblem
 {
+    /**
+     * Ok, or why the grouping was rejected (empty/overlapping groups,
+     * out-of-range cores, malformed per-core problem).  On error the
+     * models and the grouped problem are empty.
+     */
+    util::SolveStatus status;
     /** One player per group (owned group utilities). */
     std::vector<std::unique_ptr<market::SharedGroupUtility>> models;
     /** The grouped allocation problem (one entry per group). */
@@ -56,6 +62,9 @@ struct GroupedProblem
  * Every core must belong to exactly one group, and all members of a
  * group are assumed to run the same application (the group utility is
  * derived from the first member's model).
+ *
+ * A malformed grouping does not throw: the rejection is recorded in
+ * GroupedProblem::status and the returned problem is empty.
  *
  * @param per_core  the original problem (one model per core)
  * @param groups    a partition of the cores

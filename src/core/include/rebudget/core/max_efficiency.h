@@ -28,7 +28,14 @@ struct MaxEfficiencyConfig
 class MaxEfficiencyAllocator : public Allocator
 {
   public:
+    /**
+     * A malformed config does not throw: it is recorded in
+     * configStatus() and every allocate() returns that status.
+     */
     explicit MaxEfficiencyAllocator(const MaxEfficiencyConfig &config = {});
+
+    /** Ok, or why this allocator cannot run. */
+    const util::SolveStatus &configStatus() const { return configStatus_; }
 
     std::string name() const override { return "MaxEfficiency"; }
     AllocationOutcome allocate(
@@ -36,6 +43,7 @@ class MaxEfficiencyAllocator : public Allocator
 
   private:
     MaxEfficiencyConfig config_;
+    util::SolveStatus configStatus_;
 };
 
 } // namespace rebudget::core

@@ -79,7 +79,14 @@ struct ReBudgetConfig
 class ReBudgetAllocator : public Allocator
 {
   public:
+    /**
+     * A malformed config does not throw: it is recorded in
+     * configStatus() and every allocate() returns that status.
+     */
     explicit ReBudgetAllocator(const ReBudgetConfig &config = {});
+
+    /** Ok, or why this allocator cannot run (see the constructor). */
+    const util::SolveStatus &configStatus() const { return configStatus_; }
 
     /** Convenience: the paper's ReBudget-step variant. */
     static ReBudgetAllocator withStep(double step0,
@@ -109,6 +116,7 @@ class ReBudgetAllocator : public Allocator
     ReBudgetConfig config_;
     double step0_ = 0.0;
     double floorFraction_ = 0.0;
+    util::SolveStatus configStatus_;
 };
 
 } // namespace rebudget::core

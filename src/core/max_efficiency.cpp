@@ -11,8 +11,12 @@ MaxEfficiencyAllocator::MaxEfficiencyAllocator(
     const MaxEfficiencyConfig &config)
     : config_(config)
 {
-    if (config_.quantumFraction <= 0.0 || config_.quantumFraction > 1.0)
-        util::fatal("quantumFraction must be in (0, 1]");
+    if (config_.quantumFraction <= 0.0 || config_.quantumFraction > 1.0) {
+        configStatus_ = util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "quantumFraction must be in (0, 1] (got %g)",
+            config_.quantumFraction);
+    }
 }
 
 namespace {
@@ -57,12 +61,23 @@ usableWarmAlloc(const AllocationProblem &problem,
 AllocationOutcome
 MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
 {
-    validateProblem(problem);
-    const size_t n = problem.models.size();
-    const size_t m = problem.capacities.size();
-
+    const double t0 = util::monotonicSeconds();
     AllocationOutcome outcome;
     outcome.mechanism = name();
+    if (!configStatus_.ok()) {
+        outcome.status = configStatus_;
+        outcome.converged = false;
+        outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+        return outcome;
+    }
+    if (util::SolveStatus st = validateProblemStatus(problem); !st.ok()) {
+        outcome.status = std::move(st);
+        outcome.converged = false;
+        outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+        return outcome;
+    }
+    const size_t n = problem.models.size();
+    const size_t m = problem.capacities.size();
     auto &alloc = outcome.alloc;
 
     std::vector<double> quantum(m);
@@ -137,6 +152,7 @@ MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
                         problem.models[rcpt]->utility(alloc[rcpt]);
                     if (after > before + 1e-12) {
                         improved = true;
+                        ++outcome.stats.hillClimbSteps;
                     } else {
                         alloc[donor][j] += q; // revert
                         alloc[rcpt][j] -= q;
@@ -152,6 +168,7 @@ MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
     auto seed = std::make_shared<market::EquilibriumResult>();
     seed->alloc = alloc;
     outcome.equilibrium = std::move(seed);
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
     return outcome;
 }
 

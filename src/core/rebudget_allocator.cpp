@@ -9,18 +9,56 @@
 
 namespace rebudget::core {
 
-ReBudgetAllocator::ReBudgetAllocator(const ReBudgetConfig &config)
-    : config_(config)
+namespace {
+
+using util::SolveStatus;
+using util::StatusCode;
+
+/** Validate a ReBudget config; Ok when allocate() may run. */
+SolveStatus
+validateReBudgetConfig(const ReBudgetConfig &config)
 {
-    if (config_.initialBudget <= 0.0)
-        util::fatal("ReBudget initial budget must be positive");
-    if (config_.lambdaCutThreshold <= 0.0 ||
-        config_.lambdaCutThreshold >= 1.0)
-        util::fatal("lambdaCutThreshold must be in (0, 1)");
-    if (config_.maxRounds <= 0)
-        util::fatal("maxRounds must be positive");
-    if (config_.elideStepFraction < 0.0 || config_.elideStepFraction >= 0.5)
-        util::fatal("elideStepFraction must be in [0, 0.5)");
+    if (config.initialBudget <= 0.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "ReBudget initial budget must be positive");
+    }
+    if (config.lambdaCutThreshold <= 0.0 ||
+        config.lambdaCutThreshold >= 1.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "lambdaCutThreshold must be in (0, 1)");
+    }
+    if (config.maxRounds <= 0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "maxRounds must be positive");
+    }
+    if (config.elideStepFraction < 0.0 ||
+        config.elideStepFraction >= 0.5) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "elideStepFraction must be in [0, 0.5)");
+    }
+    if (config.efTarget < 0.0) {
+        if (config.step0 <= 0.0 ||
+            config.step0 >= config.initialBudget / 2.0) {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "ReBudget step0 must be in (0, B/2) = (0, %f)",
+                config.initialBudget / 2.0);
+        }
+        if (config.mbrFloor < 0.0 || config.mbrFloor > 1.0) {
+            return SolveStatus::error(StatusCode::InvalidArgument,
+                                      "mbrFloor must be in [0, 1]");
+        }
+    }
+    return SolveStatus();
+}
+
+} // namespace
+
+ReBudgetAllocator::ReBudgetAllocator(const ReBudgetConfig &config)
+    : config_(config), configStatus_(validateReBudgetConfig(config))
+{
+    if (!configStatus_.ok())
+        return; // allocate() will refuse to run; knobs stay at zero
     if (config_.efTarget >= 0.0) {
         // ByFairnessTarget: derive the MBR floor from Theorem 2 and the
         // initial step from Section 4.2 step (1).
@@ -28,13 +66,6 @@ ReBudgetAllocator::ReBudgetAllocator(const ReBudgetConfig &config)
             market::mbrForEnvyFreenessTarget(config_.efTarget);
         step0_ = (1.0 - floorFraction_) * config_.initialBudget / 2.0;
     } else {
-        if (config_.step0 <= 0.0 ||
-            config_.step0 >= config_.initialBudget / 2.0) {
-            util::fatal("ReBudget step0 must be in (0, B/2) = (0, %f)",
-                        config_.initialBudget / 2.0);
-        }
-        if (config_.mbrFloor < 0.0 || config_.mbrFloor > 1.0)
-            util::fatal("mbrFloor must be in [0, 1]");
         step0_ = config_.step0;
         floorFraction_ = config_.mbrFloor;
     }
@@ -93,10 +124,24 @@ ReBudgetAllocator::worstCaseMbr() const
 AllocationOutcome
 ReBudgetAllocator::allocate(const AllocationProblem &problem) const
 {
-    validateProblem(problem);
+    const double t0 = util::monotonicSeconds();
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+    auto fail = [&](util::SolveStatus status) {
+        outcome.status = std::move(status);
+        outcome.converged = false;
+        outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+        return std::move(outcome);
+    };
+    if (!configStatus_.ok())
+        return fail(configStatus_);
+    if (util::SolveStatus st = validateProblemStatus(problem); !st.ok())
+        return fail(std::move(st));
     const size_t n = problem.models.size();
     market::ProportionalMarket mkt(problem.models, problem.capacities,
                                    problem.marketConfig);
+    if (!mkt.setupStatus().ok())
+        return fail(mkt.setupStatus());
 
     const double floor = floorFraction_ * config_.initialBudget;
     std::vector<double> budgets(n, config_.initialBudget);
@@ -104,8 +149,6 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
     const double min_step =
         config_.minStepFraction * config_.initialBudget;
 
-    AllocationOutcome outcome;
-    outcome.mechanism = name();
     market::EquilibriumResult eq;
     // Warm-start chain: the first round may be seeded by the caller
     // (epoch-to-epoch), every later round by the previous round's
@@ -117,9 +160,6 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
     const bool warm_mode = problem.marketConfig.warmStart;
     const double elide_below =
         config_.elideStepFraction * config_.initialBudget;
-    // True while `eq` is a rescaled approximation rather than a real
-    // solve; set when a sub-tolerance cut round elides its solve.
-    bool eq_approx = false;
     bool next_elidable = false;
     for (int round = 0; round < config_.maxRounds; ++round) {
         // Passing &eq while assigning to eq is safe: both solvers only
@@ -129,19 +169,20 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
             // The cut that produced these budgets was below the elision
             // threshold: reuse the previous equilibrium rescaled to the
             // new budgets (zero sweeps) for this round's lambda
-            // ordering instead of re-solving.
+            // ordering instead of re-solving.  The result carries
+            // approximated=true; budget-history and convergence
+            // accounting key off that flag.
             eq = mkt.rescaleEquilibrium(eq, budgets);
-            eq_approx = true;
         } else {
-            if (problem.recordBudgetHistory)
-                outcome.budgetHistory.push_back(budgets);
             eq = mkt.findEquilibrium(budgets, prior);
-            eq_approx = false;
         }
+        if (problem.recordBudgetHistory && !eq.approximated)
+            outcome.budgetHistory.push_back(budgets);
         prior = &eq;
-        outcome.marketIterations += eq.iterations;
-        outcome.converged = outcome.converged && eq.converged;
+        accumulateSolve(outcome, eq);
         ++outcome.budgetRounds;
+        if (!outcome.status.ok())
+            return fail(outcome.status);
         if (step < min_step)
             break; // step exhausted: this equilibrium is final
         // Cut over-budgeted players: lambda below the threshold fraction
@@ -165,23 +206,26 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
         next_elidable = step <= elide_below;
         step *= 0.5;
     }
-    if (eq_approx) {
+    if (eq.approximated) {
         // The loop ended on an elided round; the published equilibrium
         // must be real.  Budgets are unchanged since the approximation,
         // which seeds the solve, so this re-converges in a sweep or two.
-        if (problem.recordBudgetHistory)
-            outcome.budgetHistory.push_back(budgets);
         eq = mkt.findEquilibrium(budgets, &eq);
-        outcome.marketIterations += eq.iterations;
-        outcome.converged = outcome.converged && eq.converged;
+        if (problem.recordBudgetHistory && !eq.approximated)
+            outcome.budgetHistory.push_back(budgets);
+        accumulateSolve(outcome, eq);
+        if (!outcome.status.ok())
+            return fail(outcome.status);
     }
 
     outcome.budgets = std::move(budgets);
+    outcome.stats.budgetRounds = outcome.budgetRounds;
     auto seed =
         std::make_shared<market::EquilibriumResult>(std::move(eq));
     outcome.alloc = seed->alloc;
     outcome.lambdas = seed->lambdas;
     outcome.equilibrium = std::move(seed);
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
     return outcome;
 }
 

@@ -63,14 +63,29 @@ scoreOutcome(const core::AllocationProblem &problem,
 {
     MechanismScore s;
     s.mechanism = outcome.mechanism;
-    s.efficiency = market::efficiency(problem.models, outcome.alloc);
-    s.envyFreeness = market::envyFreeness(problem.models, outcome.alloc);
-    if (!outcome.lambdas.empty())
-        s.mur = market::marketUtilityRange(outcome.lambdas);
-    if (!outcome.budgets.empty())
-        s.mbr = market::marketBudgetRange(outcome.budgets);
+    s.status = outcome.status;
+    s.converged = outcome.converged;
+    s.stats = outcome.stats;
     s.marketIterations = outcome.marketIterations;
     s.budgetRounds = outcome.budgetRounds;
+    if (!s.status.ok())
+        return s; // failed allocation: nothing to score
+    s.efficiency = market::efficiency(problem.models, outcome.alloc);
+    s.envyFreeness = market::envyFreeness(problem.models, outcome.alloc);
+    if (!outcome.lambdas.empty()) {
+        const auto mur = market::marketUtilityRange(outcome.lambdas);
+        if (mur.ok())
+            s.mur = mur.value();
+        else
+            s.status = mur.status();
+    }
+    if (!outcome.budgets.empty()) {
+        const auto mbr = market::marketBudgetRange(outcome.budgets);
+        if (mbr.ok())
+            s.mbr = mbr.value();
+        else
+            s.status = mbr.status();
+    }
     return s;
 }
 
@@ -85,24 +100,33 @@ BundleRunner::BundleRunner(std::vector<const core::Allocator *> mechanisms,
                            const BundleRunnerOptions &options)
     : mechanisms_(std::move(mechanisms)), options_(options)
 {
-    if (mechanisms_.empty())
-        util::fatal("BundleRunner needs at least one mechanism");
+    if (mechanisms_.empty()) {
+        status_ = util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "BundleRunner needs at least one mechanism");
+        return;
+    }
     names_.reserve(mechanisms_.size());
     for (const auto *m : mechanisms_) {
-        if (m == nullptr)
-            util::fatal("BundleRunner has a null mechanism");
+        if (m == nullptr) {
+            status_ = util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "BundleRunner has a null mechanism");
+            names_.clear();
+            return;
+        }
         names_.push_back(m->name());
     }
 }
 
-size_t
+std::optional<size_t>
 BundleRunner::mechanismIndex(const std::string &name) const
 {
     for (size_t m = 0; m < names_.size(); ++m) {
         if (names_[m] == name)
             return m;
     }
-    util::fatal("BundleRunner has no mechanism named '%s'", name.c_str());
+    return std::nullopt;
 }
 
 BundleEvaluation
@@ -111,6 +135,11 @@ BundleRunner::evaluate(const workloads::Bundle &bundle) const
     BundleEvaluation ev;
     ev.bundle = bundle.name;
     ev.category = bundle.category;
+    if (!status_.ok()) {
+        ev.skipped = true;
+        ev.skipReason = status_.toString();
+        return ev;
+    }
 
     BundleProblem bp;
     try {
@@ -139,10 +168,26 @@ BundleRunner::evaluate(const workloads::Bundle &bundle) const
     for (const auto *m : mechanisms_) {
         try {
             core::AllocationOutcome out = m->allocate(bp.problem);
-            ev.scores.push_back(scoreOutcome(bp.problem, out));
+            MechanismScore s = scoreOutcome(bp.problem, out);
+            if (!s.status.ok()) {
+                // A pathological bundle degrades to a recorded
+                // per-bundle failure: the sweep continues and the
+                // reason survives in the evaluation.
+                ev.skipped = true;
+                ev.skipReason = m->name() + ": " + s.status.toString();
+                ev.scores.clear();
+                ev.outcomes.clear();
+                util::warn("skipping bundle %s: mechanism %s failed: %s",
+                           bundle.name.c_str(), m->name().c_str(),
+                           s.status.toString().c_str());
+                return ev;
+            }
+            ev.scores.push_back(std::move(s));
             if (options_.keepOutcomes)
                 ev.outcomes.push_back(std::move(out));
         } catch (const util::FatalError &e) {
+            // Belt-and-suspenders: layers outside the solve pipeline
+            // (e.g. app-level profile code) may still throw.
             ev.skipped = true;
             ev.skipReason = e.what();
             ev.scores.clear();
@@ -171,22 +216,74 @@ BundleRunner::run(const std::vector<workloads::Bundle> &bundles) const
     return results;
 }
 
-unsigned
+std::vector<MechanismSweepStats>
+aggregateSweepStats(const std::vector<BundleEvaluation> &evals,
+                    const std::vector<std::string> &mechanism_names)
+{
+    std::vector<MechanismSweepStats> agg(mechanism_names.size());
+    for (size_t m = 0; m < mechanism_names.size(); ++m)
+        agg[m].mechanism = mechanism_names[m];
+    for (const auto &ev : evals) {
+        if (ev.skipped)
+            continue;
+        const size_t count =
+            std::min(ev.scores.size(), mechanism_names.size());
+        for (size_t m = 0; m < count; ++m) {
+            agg[m].bundlesEvaluated += 1;
+            if (ev.scores[m].converged)
+                agg[m].bundlesConverged += 1;
+            agg[m].stats.merge(ev.scores[m].stats);
+        }
+    }
+    return agg;
+}
+
+std::string
+sweepStatsJson(const std::vector<MechanismSweepStats> &stats,
+               std::int64_t skipped_bundles)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"rebudget.solver_stats.v1\",\n";
+    out += "  \"skipped_bundles\": " + std::to_string(skipped_bundles) +
+           ",\n";
+    out += "  \"mechanisms\": [\n";
+    for (size_t m = 0; m < stats.size(); ++m) {
+        const auto &s = stats[m];
+        out += "    {\n";
+        out += "      \"mechanism\": \"" + s.mechanism + "\",\n";
+        out += "      \"bundles_evaluated\": " +
+               std::to_string(s.bundlesEvaluated) + ",\n";
+        out += "      \"bundles_converged\": " +
+               std::to_string(s.bundlesConverged) + ",\n";
+        out += "      \"solver\": " + s.stats.toJson(6) + "\n";
+        out += m + 1 < stats.size() ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n";
+    out += "}";
+    return out;
+}
+
+util::Expected<unsigned>
 parseJobsArg(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) != "--jobs")
             continue;
-        if (i + 1 >= argc)
-            util::fatal("--jobs requires a value");
+        if (i + 1 >= argc) {
+            return util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "--jobs requires a value");
+        }
         char *end = nullptr;
         const long v = std::strtol(argv[i + 1], &end, 10);
-        if (end == argv[i + 1] || *end != '\0' || v < 1)
-            util::fatal("--jobs needs a positive integer, got '%s'",
-                        argv[i + 1]);
+        if (end == argv[i + 1] || *end != '\0' || v < 1) {
+            return util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "--jobs needs a positive integer, got '%s'", argv[i + 1]);
+        }
         return static_cast<unsigned>(v);
     }
-    return 0;
+    return 0u;
 }
 
 } // namespace rebudget::eval

@@ -29,8 +29,10 @@
  *    pays (or serializes on) first-use profiling.
  */
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,8 @@
 #include "rebudget/app/utility.h"
 #include "rebudget/core/allocator.h"
 #include "rebudget/market/market.h"
+#include "rebudget/util/solver_stats.h"
+#include "rebudget/util/status.h"
 #include "rebudget/workloads/bundles.h"
 
 namespace rebudget::eval {
@@ -78,6 +82,12 @@ BundleProblem makeBundleProblem(const std::vector<std::string> &app_names,
 /** Efficiency and fairness of one mechanism on one problem. */
 struct MechanismScore
 {
+    /**
+     * Ok, or why the mechanism produced no scorable allocation (the
+     * outcome's own status, or a metric rejection).  On error the
+     * figure-of-merit fields hold their defaults.
+     */
+    util::SolveStatus status;
     std::string mechanism;
     double efficiency = 0.0;
     double envyFreeness = 0.0;
@@ -85,6 +95,14 @@ struct MechanismScore
     double mbr = 1.0;
     int marketIterations = 0;
     int budgetRounds = 0;
+    /**
+     * False if any equilibrium solve behind this score hit the
+     * iteration fail-safe; figure data built on such scores is flagged,
+     * not dropped (stats.failSafeTrips counts the trips).
+     */
+    bool converged = true;
+    /** Solver health telemetry from the mechanism's allocate(). */
+    util::SolverStats stats;
 };
 
 /** Score an already-computed outcome on its problem. */
@@ -145,10 +163,17 @@ class BundleRunner
     /**
      * @param mechanisms  mechanisms to evaluate per bundle (non-owning)
      * @param options     sweep tuning
+     *
+     * A malformed mechanism set (empty, or containing null) does not
+     * throw: it is recorded in setupStatus() and every evaluation is
+     * reported as skipped with that reason.
      */
     explicit BundleRunner(
         std::vector<const core::Allocator *> mechanisms,
         const BundleRunnerOptions &options = {});
+
+    /** Ok, or why this runner cannot evaluate (see the constructor). */
+    const util::SolveStatus &setupStatus() const { return status_; }
 
     /** @return the mechanisms' display names, in evaluation order. */
     const std::vector<std::string> &mechanismNames() const
@@ -160,11 +185,11 @@ class BundleRunner
     const BundleRunnerOptions &options() const { return options_; }
 
     /**
-     * @return the index of the named mechanism; util::fatal() if the
+     * @return the index of the named mechanism, or std::nullopt if the
      * runner has no mechanism of that name.  Use this instead of
      * assuming a mechanism's position (e.g. "MaxEfficiency is last").
      */
-    size_t mechanismIndex(const std::string &name) const;
+    std::optional<size_t> mechanismIndex(const std::string &name) const;
 
     /** Evaluate one bundle across every mechanism (serially). */
     BundleEvaluation evaluate(const workloads::Bundle &bundle) const;
@@ -183,14 +208,49 @@ class BundleRunner
     std::vector<const core::Allocator *> mechanisms_;
     std::vector<std::string> names_;
     BundleRunnerOptions options_;
+    util::SolveStatus status_;
 };
+
+/** Aggregate solver telemetry for one mechanism across a sweep. */
+struct MechanismSweepStats
+{
+    std::string mechanism;
+    /** Bundles this mechanism was scored on (skipped bundles excluded). */
+    std::int64_t bundlesEvaluated = 0;
+    /** Scored bundles whose every equilibrium solve converged. */
+    std::int64_t bundlesConverged = 0;
+    /** Merged telemetry across the scored bundles. */
+    util::SolverStats stats;
+};
+
+/**
+ * Merge per-bundle telemetry into one MechanismSweepStats per
+ * mechanism.  Counters are deterministic for a given suite; only the
+ * embedded wall-clock timers vary run to run.
+ *
+ * @param evals            sweep results (skipped bundles contribute
+ *                         nothing)
+ * @param mechanism_names  names in score order (mechanismNames())
+ */
+std::vector<MechanismSweepStats> aggregateSweepStats(
+    const std::vector<BundleEvaluation> &evals,
+    const std::vector<std::string> &mechanism_names);
+
+/**
+ * Schema-stable JSON for a sweep's solver telemetry
+ * ("rebudget.solver_stats.v1"): fixed key order, counters as integers,
+ * timers as fixed-point seconds.  The CLI prints this for
+ * `--stats json`; tests parse it.
+ */
+std::string sweepStatsJson(const std::vector<MechanismSweepStats> &stats,
+                           std::int64_t skipped_bundles);
 
 /**
  * Scan argv for "--jobs N" and return N; 0 if absent (callers pass the
  * result as BundleRunnerOptions::jobs, where 0 defers to REBUDGET_JOBS
- * and then the hardware).  util::fatal() on a malformed value.
+ * and then the hardware).  A malformed value yields an error Expected.
  */
-unsigned parseJobsArg(int argc, char **argv);
+util::Expected<unsigned> parseJobsArg(int argc, char **argv);
 
 } // namespace rebudget::eval
 

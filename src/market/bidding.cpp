@@ -81,13 +81,32 @@ optimizeBidsInto(const UtilityModel &model, double budget,
                  BidResult &result, BidScratch &scratch)
 {
     const size_t m = model.numResources();
-    if (others.size() != m || capacities.size() != m)
-        util::fatal("optimizeBids: arity mismatch");
-    if (budget < 0.0)
-        util::fatal("optimizeBids: negative budget");
-
+    result.status = util::SolveStatus();
     result.lambda = 0.0;
     result.steps = 0;
+    if (others.size() != m || capacities.size() != m) {
+        result.status = util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "optimizeBids: arity mismatch (model %zu, others %zu, "
+            "capacities %zu)", m, others.size(), capacities.size());
+        result.bids.assign(m, 0.0);
+        result.lambdas.assign(m, 0.0);
+        return;
+    }
+    if (budget < 0.0) {
+        // FP noise from budget arithmetic upstream is treated as zero;
+        // a genuinely negative budget is a caller error.
+        if (budget > -1e-9 * std::max(1.0, std::abs(budget))) {
+            budget = 0.0;
+        } else {
+            result.status = util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "optimizeBids: negative budget %g", budget);
+            result.bids.assign(m, 0.0);
+            result.lambdas.assign(m, 0.0);
+            return;
+        }
+    }
     if (initial != nullptr)
         result.bids.assign(initial, initial + m);
     else

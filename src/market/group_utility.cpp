@@ -8,8 +8,13 @@ SharedGroupUtility::SharedGroupUtility(const UtilityModel &member,
                                        size_t threads)
     : member_(member), threads_(threads)
 {
-    if (threads == 0)
-        util::fatal("SharedGroupUtility requires at least one thread");
+    if (threads == 0) {
+        // Degrade to a single-thread group; setupStatus() records why.
+        threads_ = 1;
+        status_ = util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "SharedGroupUtility requires at least one thread");
+    }
 }
 
 size_t

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "rebudget/market/utility_model.h"
+#include "rebudget/util/status.h"
 
 namespace rebudget::market {
 
@@ -42,6 +43,11 @@ struct BidOptimizerConfig
 /** Result of one player bid optimization. */
 struct BidResult
 {
+    /**
+     * Ok, or why the optimization could not run (arity mismatch,
+     * genuinely negative budget).  On error the bids are all zero.
+     */
+    util::SolveStatus status;
     /** Optimized bids, one per resource; sums to the budget. */
     std::vector<double> bids;
     /** Marginal utility of money per resource at the final bids. */

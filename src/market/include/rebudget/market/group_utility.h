@@ -31,9 +31,13 @@ class SharedGroupUtility : public UtilityModel
   public:
     /**
      * @param member   per-thread utility (non-owning; must outlive this)
-     * @param threads  group size k (>= 1)
+     * @param threads  group size k (>= 1).  A zero group size degrades
+     *                 to k = 1 with the rejection in setupStatus().
      */
     SharedGroupUtility(const UtilityModel &member, size_t threads);
+
+    /** Ok, or why the group size was rejected. */
+    const util::SolveStatus &setupStatus() const { return status_; }
 
     size_t numResources() const override;
 
@@ -61,6 +65,7 @@ class SharedGroupUtility : public UtilityModel
 
     const UtilityModel &member_;
     size_t threads_;
+    util::SolveStatus status_;
 };
 
 } // namespace rebudget::market

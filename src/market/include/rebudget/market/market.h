@@ -18,6 +18,7 @@
 
 #include "rebudget/market/bidding.h"
 #include "rebudget/market/utility_model.h"
+#include "rebudget/util/status.h"
 
 namespace rebudget::market {
 
@@ -52,6 +53,13 @@ struct MarketConfig
 /** Outcome of an equilibrium computation. */
 struct EquilibriumResult
 {
+    /**
+     * Ok, or why the solve could not run at all (bad market setup, bad
+     * budgets).  On error the result carries no allocation; callers
+     * must check before consuming any other field.  Non-convergence is
+     * NOT an error: a fail-safe solve returns Ok with converged=false.
+     */
+    util::SolveStatus status;
     /** Final bids, [player][resource]. */
     std::vector<std::vector<double>> bids;
     /** Final allocation, [player][resource]; columns sum to capacity. */
@@ -64,10 +72,25 @@ struct EquilibriumResult
     std::vector<double> budgets;
     /** Bidding-pricing rounds executed. */
     int iterations = 0;
-    /** False if the 30-iteration fail-safe triggered. */
+    /**
+     * False if the iteration fail-safe triggered.  On an approximated
+     * (rescaled) result this is inherited from the prior real solve,
+     * not a statement about this round; see `approximated`.
+     */
     bool converged = false;
     /** True if this solve was seeded from a prior equilibrium. */
     bool warmStarted = false;
+    /**
+     * True when this result came from rescaleEquilibrium: a zero-sweep
+     * approximation, never a converged equilibrium of its own.
+     * Consumers that track convergence or exclude elided rounds (e.g.
+     * ReBudget's budgetHistory) must key off this flag.
+     */
+    bool approximated = false;
+    /** Bid hill-climb steps summed over all players and rounds. */
+    std::int64_t hillClimbSteps = 0;
+    /** Wall-clock seconds spent inside the solve. */
+    double solveSeconds = 0.0;
     /**
      * Price snapshot after every bidding-pricing round (size equals
      * iterations; the last entry equals prices).  Used by the
@@ -88,10 +111,18 @@ class ProportionalMarket
      *                    number of resources
      * @param capacities  C_j per resource (> 0)
      * @param config      market tuning
+     *
+     * A malformed setup (empty players/resources, null model, arity
+     * mismatch, non-positive capacity or maxIterations) does not throw:
+     * it is recorded in setupStatus() and every subsequent solve
+     * returns that status without running.
      */
     ProportionalMarket(std::vector<const UtilityModel *> models,
                        std::vector<double> capacities,
                        const MarketConfig &config = {});
+
+    /** Ok, or why this market cannot solve (see the constructor). */
+    const util::SolveStatus &setupStatus() const { return status_; }
 
     /**
      * Run the iterative bidding-pricing procedure to (approximate)
@@ -102,7 +133,9 @@ class ProportionalMarket
      * vectors (and distinct markets are fully independent).  The eval
      * layer's parallel sweeps depend on this.
      *
-     * @param budgets  B_i per player (>= 0)
+     * @param budgets  B_i per player (>= 0; values within FP noise of
+     *                 zero are clamped to 0, genuinely negative budgets
+     *                 yield an InvalidArgument status)
      */
     EquilibriumResult findEquilibrium(
         const std::vector<double> &budgets) const;
@@ -177,10 +210,13 @@ class ProportionalMarket
     std::vector<const UtilityModel *> models_;
     std::vector<double> capacities_;
     MarketConfig config_;
+    util::SolveStatus status_;
 };
 
 /**
  * @return prices p_j = sum_i b_ij / C_j for a bid matrix (Equation 1).
+ * An empty bid matrix prices every resource at zero; rows whose arity
+ * does not match `capacities` violate the caller contract (asserts).
  */
 std::vector<double> computePrices(
     const std::vector<std::vector<double>> &bids,

@@ -14,11 +14,20 @@
  * - Theorem 1: PoA >= 1 - 1/(4 MUR) when MUR >= 1/2, else PoA >= MUR.
  * - Theorem 2: equilibrium is (2 sqrt(1 + MBR) - 2)-approximate
  *   envy-free.
+ *
+ * Error policy: the range metrics take solver outputs, which can carry
+ * floating-point noise (a lambda of -1e-15 from the incremental
+ * gradient path); values within a small tolerance of zero are clamped
+ * to 0 and only genuinely negative inputs are rejected, via an error
+ * Expected rather than process death.  The utility metrics take
+ * parallel arrays whose sizes the caller controls; a mismatch is a
+ * caller bug and asserts.
  */
 
 #include <vector>
 
 #include "rebudget/market/utility_model.h"
+#include "rebudget/util/status.h"
 
 namespace rebudget::market {
 
@@ -42,22 +51,30 @@ double envyFreeness(const std::vector<const UtilityModel *> &models,
 
 /**
  * @return MUR = min_i lambda_i / max_i lambda_i (Definition 5); 1 when
- * all lambdas are zero (fully satiated market).
+ * all lambdas are zero (fully satiated market).  Lambdas within FP
+ * noise of zero count as zero; an empty set or a genuinely negative
+ * lambda yields an error.
  */
-double marketUtilityRange(const std::vector<double> &lambdas);
+util::Expected<double> marketUtilityRange(
+    const std::vector<double> &lambdas);
 
-/** @return MBR = min_i B_i / max_i B_i (Definition 6). */
-double marketBudgetRange(const std::vector<double> &budgets);
+/**
+ * @return MBR = min_i B_i / max_i B_i (Definition 6), with the same
+ * noise clamp and error conditions as marketUtilityRange.
+ */
+util::Expected<double> marketBudgetRange(
+    const std::vector<double> &budgets);
 
 /**
  * @return the Theorem 1 Price-of-Anarchy lower bound at the given MUR:
- * 1 - 1/(4 MUR) for MUR >= 1/2, MUR otherwise.
+ * 1 - 1/(4 MUR) for MUR >= 1/2, MUR otherwise.  The input is clamped
+ * into [0, 1] (ratios can exceed the interval only by FP noise).
  */
 double poaLowerBound(double mur);
 
 /**
  * @return the Theorem 2 envy-freeness lower bound at the given MBR:
- * 2 sqrt(1 + MBR) - 2.
+ * 2 sqrt(1 + MBR) - 2, with the input clamped into [0, 1].
  */
 double envyFreenessLowerBound(double mbr);
 

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "rebudget/util/status.h"
+
 namespace rebudget::market {
 
 /**
@@ -87,10 +89,16 @@ class PowerLawUtility : public UtilityModel
      * @param weights    per-resource weights (sum normalized internally)
      * @param exponents  per-resource exponents in (0, 1]
      * @param capacities per-resource normalization constants (> 0)
+     *
+     * Malformed parameters do not throw: the model degrades to a
+     * harmless single-resource constant and setupStatus() records why.
      */
     PowerLawUtility(std::vector<double> weights,
                     std::vector<double> exponents,
                     std::vector<double> capacities);
+
+    /** Ok, or why the parameters were rejected (see the constructor). */
+    const util::SolveStatus &setupStatus() const { return status_; }
 
     size_t numResources() const override { return weights_.size(); }
     double utility(std::span<const double> alloc) const override;
@@ -104,6 +112,7 @@ class PowerLawUtility : public UtilityModel
     std::vector<double> weights_;
     std::vector<double> exponents_;
     std::vector<double> capacities_;
+    util::SolveStatus status_;
 };
 
 } // namespace rebudget::market

@@ -4,36 +4,78 @@
 #include <cmath>
 
 #include "rebudget/util/logging.h"
+#include "rebudget/util/solver_stats.h"
 
 namespace rebudget::market {
 
-ProportionalMarket::ProportionalMarket(
-    std::vector<const UtilityModel *> models, std::vector<double> capacities,
-    const MarketConfig &config)
-    : models_(std::move(models)), capacities_(std::move(capacities)),
-      config_(config)
+namespace {
+
+using util::SolveStatus;
+using util::StatusCode;
+
+/** Validate a market setup; Ok when every solve precondition holds. */
+SolveStatus
+validateSetup(const std::vector<const UtilityModel *> &models,
+              const std::vector<double> &capacities,
+              const MarketConfig &config)
 {
-    if (models_.empty())
-        util::fatal("market requires at least one player");
-    if (capacities_.empty())
-        util::fatal("market requires at least one resource");
-    for (const auto *m : models_) {
-        if (m == nullptr)
-            util::fatal("market has a null utility model");
-        if (m->numResources() != capacities_.size()) {
-            util::fatal("utility model arity %zu != resource count %zu",
-                        m->numResources(), capacities_.size());
+    if (models.empty()) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "market requires at least one player");
+    }
+    if (capacities.empty()) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "market requires at least one resource");
+    }
+    for (const auto *m : models) {
+        if (m == nullptr) {
+            return SolveStatus::error(StatusCode::InvalidArgument,
+                                      "market has a null utility model");
+        }
+        if (m->numResources() != capacities.size()) {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "utility model arity %zu != resource count %zu",
+                m->numResources(), capacities.size());
         }
     }
-    for (double c : capacities_) {
-        if (c <= 0.0)
-            util::fatal("resource capacities must be positive");
+    for (double c : capacities) {
+        if (c <= 0.0) {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "resource capacities must be positive (got %g)", c);
+        }
     }
-    if (config_.maxIterations <= 0)
-        util::fatal("market maxIterations must be positive");
+    if (config.maxIterations <= 0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "market maxIterations must be positive");
+    }
+    return SolveStatus();
 }
 
-namespace {
+/**
+ * Clamp FP-noise negative budgets to zero in place; a genuinely
+ * negative budget (beyond noise tolerance) is an error.
+ */
+SolveStatus
+sanitizeBudgets(std::vector<double> &budgets)
+{
+    double scale = 1.0;
+    for (double b : budgets)
+        scale = std::max(scale, std::abs(b));
+    const double tol = 1e-9 * scale;
+    for (double &b : budgets) {
+        if (b < 0.0) {
+            if (b < -tol) {
+                return SolveStatus::error(
+                    StatusCode::InvalidArgument,
+                    "budgets must be non-negative (got %g)", b);
+            }
+            b = 0.0;
+        }
+    }
+    return SolveStatus();
+}
 
 /** computePrices into a reusable buffer (no per-iteration allocation). */
 void
@@ -53,6 +95,14 @@ computePricesInto(const std::vector<std::vector<double>> &bids,
 
 } // namespace
 
+ProportionalMarket::ProportionalMarket(
+    std::vector<const UtilityModel *> models, std::vector<double> capacities,
+    const MarketConfig &config)
+    : models_(std::move(models)), capacities_(std::move(capacities)),
+      config_(config), status_(validateSetup(models_, capacities_, config_))
+{
+}
+
 EquilibriumResult
 ProportionalMarket::findEquilibrium(const std::vector<double> &budgets) const
 {
@@ -63,13 +113,24 @@ EquilibriumResult
 ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
                                     const EquilibriumResult *prior) const
 {
+    const double t0 = util::monotonicSeconds();
     const size_t n = models_.size();
     const size_t m = capacities_.size();
-    if (budgets.size() != n)
-        util::fatal("expected %zu budgets, got %zu", n, budgets.size());
-    for (double b : budgets) {
-        if (b < 0.0)
-            util::fatal("budgets must be non-negative");
+    EquilibriumResult result;
+    result.budgets = budgets;
+    if (!status_.ok()) {
+        result.status = status_;
+        return result;
+    }
+    if (budgets.size() != n) {
+        result.status = SolveStatus::error(StatusCode::InvalidArgument,
+                                           "expected %zu budgets, got %zu",
+                                           n, budgets.size());
+        return result;
+    }
+    if (SolveStatus st = sanitizeBudgets(result.budgets); !st.ok()) {
+        result.status = st;
+        return result;
     }
 
     // A warm hint is usable only when enabled and shape-compatible; an
@@ -85,8 +146,7 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
         }
     }
 
-    EquilibriumResult result;
-    result.budgets = budgets;
+    const std::vector<double> &b = result.budgets;
     result.warmStarted = warm;
     result.lambdas.assign(n, 0.0);
     result.bids.assign(n, std::vector<double>(m, 0.0));
@@ -101,7 +161,7 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
             for (size_t j = 0; j < m; ++j)
                 sum += prior->bids[i][j];
             if (sum > 0.0) {
-                const double scale = budgets[i] / sum;
+                const double scale = b[i] / sum;
                 for (size_t j = 0; j < m; ++j)
                     result.bids[i][j] = prior->bids[i][j] * scale;
                 seeded = true;
@@ -109,7 +169,7 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
         }
         if (!seeded) {
             for (size_t j = 0; j < m; ++j)
-                result.bids[i][j] = budgets[i] / static_cast<double>(m);
+                result.bids[i][j] = b[i] / static_cast<double>(m);
         }
     }
 
@@ -143,7 +203,7 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
             // player is an exact no-op and the sweep map reaches a true
             // fixed point instead of re-rolling each climb's
             // quantization noise every sweep.
-            optimizeBidsInto(*models_[i], budgets[i], others, capacities_,
+            optimizeBidsInto(*models_[i], b[i], others, capacities_,
                              config_.bid,
                              warm ? result.bids[i].data() : nullptr, br,
                              scratch);
@@ -152,6 +212,7 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
                 result.bids[i][j] = br.bids[j];
             }
             result.lambdas[i] = br.lambda;
+            result.hillClimbSteps += br.steps;
         }
         computePricesInto(result.bids, capacities_, new_prices);
         if (config_.recordPriceHistory)
@@ -179,6 +240,7 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
         util::warn("market fail-safe: no equilibrium within %d iterations",
                    config_.maxIterations);
     }
+    result.solveSeconds = util::monotonicSeconds() - t0;
     return result;
 }
 
@@ -187,34 +249,62 @@ ProportionalMarket::rescaleEquilibrium(
     const EquilibriumResult &prior,
     const std::vector<double> &budgets) const
 {
+    const double t0 = util::monotonicSeconds();
     const size_t n = models_.size();
     const size_t m = capacities_.size();
-    if (budgets.size() != n)
-        util::fatal("expected %zu budgets, got %zu", n, budgets.size());
-    if (prior.bids.size() != n)
-        util::fatal("rescaleEquilibrium: prior has %zu players, market %zu",
-                    prior.bids.size(), n);
-
     EquilibriumResult result;
     result.budgets = budgets;
+    // The rescaled point is an approximation by construction; its
+    // converged flag merely carries the prior real solve's verdict.
+    result.approximated = true;
+    if (!status_.ok()) {
+        result.status = status_;
+        return result;
+    }
+    if (budgets.size() != n) {
+        result.status = SolveStatus::error(StatusCode::InvalidArgument,
+                                           "expected %zu budgets, got %zu",
+                                           n, budgets.size());
+        return result;
+    }
+    if (prior.bids.size() != n) {
+        result.status = SolveStatus::error(
+            StatusCode::FailedPrecondition,
+            "rescaleEquilibrium: prior has %zu players, market %zu",
+            prior.bids.size(), n);
+        return result;
+    }
+    for (const auto &row : prior.bids) {
+        if (row.size() != m) {
+            result.status = SolveStatus::error(
+                StatusCode::FailedPrecondition,
+                "rescaleEquilibrium: prior arity %zu, market %zu",
+                row.size(), m);
+            return result;
+        }
+    }
+    if (SolveStatus st = sanitizeBudgets(result.budgets); !st.ok()) {
+        result.status = st;
+        return result;
+    }
+
+    const std::vector<double> &b = result.budgets;
     result.warmStarted = true;
     result.converged = prior.converged;
     result.iterations = 0;
     result.lambdas.assign(n, 0.0);
     result.bids.assign(n, std::vector<double>(m, 0.0));
     for (size_t i = 0; i < n; ++i) {
-        if (prior.bids[i].size() != m)
-            util::fatal("rescaleEquilibrium: prior arity mismatch");
         double sum = 0.0;
         for (size_t j = 0; j < m; ++j)
             sum += prior.bids[i][j];
         if (sum > 0.0) {
-            const double scale = budgets[i] / sum;
+            const double scale = b[i] / sum;
             for (size_t j = 0; j < m; ++j)
                 result.bids[i][j] = prior.bids[i][j] * scale;
         } else {
             for (size_t j = 0; j < m; ++j)
-                result.bids[i][j] = budgets[i] / static_cast<double>(m);
+                result.bids[i][j] = b[i] / static_cast<double>(m);
         }
     }
 
@@ -254,6 +344,7 @@ ProportionalMarket::rescaleEquilibrium(
         }
         result.lambdas[i] = lambda;
     }
+    result.solveSeconds = util::monotonicSeconds() - t0;
     return result;
 }
 
@@ -261,13 +352,10 @@ std::vector<double>
 computePrices(const std::vector<std::vector<double>> &bids,
               const std::vector<double> &capacities)
 {
-    if (bids.empty())
-        util::fatal("computePrices: no players");
     const size_t m = capacities.size();
     std::vector<double> prices(m, 0.0);
     for (const auto &row : bids) {
-        if (row.size() != m)
-            util::fatal("computePrices: bid arity mismatch");
+        REBUDGET_ASSERT(row.size() == m, "computePrices: bid arity mismatch");
         for (size_t j = 0; j < m; ++j)
             prices[j] += row[j];
     }

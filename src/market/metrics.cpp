@@ -7,12 +7,48 @@
 
 namespace rebudget::market {
 
+namespace {
+
+using util::Expected;
+using util::SolveStatus;
+using util::StatusCode;
+
+/**
+ * min/max ratio with an FP-noise clamp: values within tolerance below
+ * zero count as zero; genuinely negative values are an error.
+ */
+Expected<double>
+clampedRange(const std::vector<double> &values, const char *what)
+{
+    if (values.empty()) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "%s of empty set", what);
+    }
+    auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+    double mn = *mn_it;
+    const double mx = *mx_it;
+    const double tol = 1e-9 * std::max(1.0, std::abs(mx));
+    if (mn < 0.0) {
+        if (mn < -tol) {
+            return SolveStatus::error(StatusCode::Numerical,
+                                      "%s: genuinely negative value %g",
+                                      what, mn);
+        }
+        mn = 0.0; // FP noise (e.g. -1e-15 from the incremental gradient)
+    }
+    if (mx <= 0.0)
+        return 1.0; // fully satiated market: no reassignment potential
+    return mn / mx;
+}
+
+} // namespace
+
 std::vector<double>
 perPlayerUtilities(const std::vector<const UtilityModel *> &models,
                    const std::vector<std::vector<double>> &alloc)
 {
-    if (models.size() != alloc.size())
-        util::fatal("perPlayerUtilities: players/allocations mismatch");
+    REBUDGET_ASSERT(models.size() == alloc.size(),
+                    "perPlayerUtilities: players/allocations mismatch");
     std::vector<double> utils(models.size());
     for (size_t i = 0; i < models.size(); ++i)
         utils[i] = models[i]->utility(alloc[i]);
@@ -33,8 +69,8 @@ double
 envyFreeness(const std::vector<const UtilityModel *> &models,
              const std::vector<std::vector<double>> &alloc)
 {
-    if (models.size() != alloc.size())
-        util::fatal("envyFreeness: players/allocations mismatch");
+    REBUDGET_ASSERT(models.size() == alloc.size(),
+                    "envyFreeness: players/allocations mismatch");
     double ef = 1.0;
     for (size_t i = 0; i < models.size(); ++i) {
         const double own = models[i]->utility(alloc[i]);
@@ -52,39 +88,22 @@ envyFreeness(const std::vector<const UtilityModel *> &models,
     return ef;
 }
 
-double
+util::Expected<double>
 marketUtilityRange(const std::vector<double> &lambdas)
 {
-    if (lambdas.empty())
-        util::fatal("marketUtilityRange of empty lambda set");
-    const auto [mn, mx] =
-        std::minmax_element(lambdas.begin(), lambdas.end());
-    if (*mn < 0.0)
-        util::fatal("negative lambda %f", *mn);
-    if (*mx <= 0.0)
-        return 1.0; // fully satiated market: no reassignment potential
-    return *mn / *mx;
+    return clampedRange(lambdas, "marketUtilityRange");
 }
 
-double
+util::Expected<double>
 marketBudgetRange(const std::vector<double> &budgets)
 {
-    if (budgets.empty())
-        util::fatal("marketBudgetRange of empty budget set");
-    const auto [mn, mx] =
-        std::minmax_element(budgets.begin(), budgets.end());
-    if (*mn < 0.0)
-        util::fatal("negative budget %f", *mn);
-    if (*mx <= 0.0)
-        return 1.0;
-    return *mn / *mx;
+    return clampedRange(budgets, "marketBudgetRange");
 }
 
 double
 poaLowerBound(double mur)
 {
-    if (mur < 0.0 || mur > 1.0)
-        util::fatal("MUR must be in [0,1], got %f", mur);
+    mur = std::clamp(mur, 0.0, 1.0);
     if (mur >= 0.5)
         return 1.0 - 1.0 / (4.0 * mur);
     return mur;
@@ -93,8 +112,7 @@ poaLowerBound(double mur)
 double
 envyFreenessLowerBound(double mbr)
 {
-    if (mbr < 0.0 || mbr > 1.0)
-        util::fatal("MBR must be in [0,1], got %f", mbr);
+    mbr = std::clamp(mbr, 0.0, 1.0);
     return 2.0 * std::sqrt(1.0 + mbr) - 2.0;
 }
 

@@ -25,28 +25,74 @@ UtilityModel::gradient(std::span<const double> alloc,
         out[j] = marginal(j, alloc);
 }
 
+namespace {
+
+/** Validate power-law parameters; Ok when the model is well-formed. */
+util::SolveStatus
+validatePowerLaw(const std::vector<double> &weights,
+                 const std::vector<double> &exponents,
+                 const std::vector<double> &capacities)
+{
+    using util::SolveStatus;
+    using util::StatusCode;
+    if (weights.empty() || weights.size() != exponents.size() ||
+        weights.size() != capacities.size()) {
+        return SolveStatus::error(
+            StatusCode::InvalidArgument,
+            "PowerLawUtility: mismatched parameter vectors "
+            "(%zu weights, %zu exponents, %zu capacities)",
+            weights.size(), exponents.size(), capacities.size());
+    }
+    double wsum = 0.0;
+    for (size_t j = 0; j < weights.size(); ++j) {
+        if (weights[j] < 0.0) {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "PowerLawUtility weights must be non-negative (got %g)",
+                weights[j]);
+        }
+        if (exponents[j] <= 0.0 || exponents[j] > 1.0) {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "PowerLawUtility exponents must be in (0, 1] (got %g)",
+                exponents[j]);
+        }
+        if (capacities[j] <= 0.0) {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "PowerLawUtility capacities must be positive (got %g)",
+                capacities[j]);
+        }
+        wsum += weights[j];
+    }
+    if (wsum <= 0.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "PowerLawUtility requires a positive "
+                                  "weight sum");
+    }
+    return SolveStatus();
+}
+
+} // namespace
+
 PowerLawUtility::PowerLawUtility(std::vector<double> weights,
                                  std::vector<double> exponents,
                                  std::vector<double> capacities)
     : weights_(std::move(weights)), exponents_(std::move(exponents)),
-      capacities_(std::move(capacities))
+      capacities_(std::move(capacities)),
+      status_(validatePowerLaw(weights_, exponents_, capacities_))
 {
-    if (weights_.empty() || weights_.size() != exponents_.size() ||
-        weights_.size() != capacities_.size()) {
-        util::fatal("PowerLawUtility: mismatched parameter vectors");
+    if (!status_.ok()) {
+        // Degrade to a harmless single-resource model so the object is
+        // safe to call; consumers check setupStatus() before trusting it.
+        weights_ = {1.0};
+        exponents_ = {1.0};
+        capacities_ = {1.0};
+        return;
     }
     double wsum = 0.0;
-    for (size_t j = 0; j < weights_.size(); ++j) {
-        if (weights_[j] < 0.0)
-            util::fatal("PowerLawUtility weights must be non-negative");
-        if (exponents_[j] <= 0.0 || exponents_[j] > 1.0)
-            util::fatal("PowerLawUtility exponents must be in (0, 1]");
-        if (capacities_[j] <= 0.0)
-            util::fatal("PowerLawUtility capacities must be positive");
-        wsum += weights_[j];
-    }
-    if (wsum <= 0.0)
-        util::fatal("PowerLawUtility requires a positive weight sum");
+    for (double w : weights_)
+        wsum += w;
     for (auto &w : weights_)
         w /= wsum;
 }

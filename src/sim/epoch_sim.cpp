@@ -107,7 +107,9 @@ EpochSimulator::run()
     const uint32_t total_epochs = config_.warmupEpochs + config_.epochs;
     std::vector<app::AppProfile> profiles(n);
     std::vector<std::unique_ptr<app::AppUtilityModel>> models(n);
-    core::AllocationOutcome outcome;
+    // Last successfully installed allocation, for the final fairness
+    // metric and as the fallback when an epoch's solve fails.
+    std::vector<std::vector<double>> last_alloc;
     // Epoch-to-epoch warm-start chain: hold the seed the allocator
     // published last epoch and hand it back as the hint for the next one.
     std::shared_ptr<const market::EquilibriumResult> warm_seed;
@@ -173,24 +175,42 @@ EpochSimulator::run()
         problem.capacities = {cache_capacity, power_capacity};
         problem.marketConfig = config_.marketConfig;
         problem.warmStart = warm_seed.get();
-        outcome = allocator_.allocate(problem);
-        warm_seed = outcome.equilibrium;
+        const core::AllocationOutcome outcome = allocator_.allocate(problem);
+        result.solverStats.merge(outcome.stats);
         record.marketIterations = outcome.marketIterations;
         record.budgetRounds = outcome.budgetRounds;
+        record.converged = outcome.converged;
 
-        // (4) Install cache targets and power caps for the next epoch.
-        std::vector<double> caps(n);
-        for (uint32_t i = 0; i < n; ++i) {
-            const double regions =
-                grid_options.minRegions +
-                outcome.alloc[i][app::AppUtilityModel::kCache];
-            l2.setTargetRegions(i, regions, profiles[i].l2Curve);
-            caps[i] = min_watts[i] +
-                      outcome.alloc[i][app::AppUtilityModel::kPower];
+        if (!outcome.status.ok()) {
+            // A degenerate online model (e.g. a pathological miss curve)
+            // must not kill a multi-second run: keep the previous
+            // operating point for one epoch and try again with the next
+            // epoch's monitors.
+            result.failedAllocations += 1;
+            util::warn(
+                "epoch %u: %s allocation failed (%s); keeping the "
+                "previous operating point",
+                epoch, allocator_.name().c_str(),
+                outcome.status.toString().c_str());
+        } else {
+            warm_seed = outcome.equilibrium;
+            last_alloc = outcome.alloc;
+
+            // (4) Install cache targets and power caps for the next
+            // epoch.
+            std::vector<double> caps(n);
+            for (uint32_t i = 0; i < n; ++i) {
+                const double regions =
+                    grid_options.minRegions +
+                    outcome.alloc[i][app::AppUtilityModel::kCache];
+                l2.setTargetRegions(i, regions, profiles[i].l2Curve);
+                caps[i] = min_watts[i] +
+                          outcome.alloc[i][app::AppUtilityModel::kPower];
+            }
+            l2.updateController();
+            rapl.setCaps(caps);
+            freqs = rapl.frequencies(power_model, activities);
         }
-        l2.updateController();
-        rapl.setCaps(caps);
-        freqs = rapl.frequencies(power_model, activities);
 
         if (epoch >= config_.warmupEpochs)
             result.epochs.push_back(std::move(record));
@@ -208,13 +228,14 @@ EpochSimulator::run()
         for (auto &u : result.meanUtilities)
             u /= static_cast<double>(result.epochs.size());
     }
-    // Fairness: model-based envy-freeness of the final allocation.
-    {
+    // Fairness: model-based envy-freeness of the last installed
+    // allocation (zero if every epoch's solve failed).
+    if (!last_alloc.empty()) {
         std::vector<const market::UtilityModel *> model_ptrs(n);
         for (uint32_t i = 0; i < n; ++i)
             model_ptrs[i] = models[i].get();
         result.envyFreeness =
-            market::envyFreeness(model_ptrs, outcome.alloc);
+            market::envyFreeness(model_ptrs, last_alloc);
     }
     return result;
 }

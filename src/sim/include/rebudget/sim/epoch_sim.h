@@ -19,6 +19,7 @@
  * efficiency weighted speedup (Equation 5).
  */
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "rebudget/core/allocator.h"
 #include "rebudget/sim/cmp_config.h"
 #include "rebudget/sim/memory_model.h"
+#include "rebudget/util/solver_stats.h"
 
 namespace rebudget::sim {
 
@@ -94,6 +96,12 @@ struct EpochRecord
     int marketIterations = 0;
     /** ReBudget outer rounds this epoch. */
     int budgetRounds = 0;
+    /**
+     * False if any equilibrium solve this epoch hit the iteration
+     * fail-safe (the installed operating point is the fail-safe
+     * allocation, not a fixed point).
+     */
+    bool converged = true;
     /** Effective DRAM latency this epoch (ns). */
     double memLatencyNs = 0.0;
 };
@@ -113,6 +121,14 @@ struct SimResult
     std::vector<double> meanUtilities;
     /** Solo (run-alone) performance per core used for normalization. */
     std::vector<double> soloIps;
+    /** Solver health telemetry merged across every epoch's allocate(). */
+    util::SolverStats solverStats;
+    /**
+     * Epochs whose allocation failed (degenerate online model).  The
+     * simulator keeps the previous epoch's operating point for such
+     * epochs instead of aborting the run.
+     */
+    std::int64_t failedAllocations = 0;
 };
 
 /** Execution-driven CMP simulator with in-the-loop allocation. */

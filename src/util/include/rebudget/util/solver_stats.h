@@ -1,0 +1,66 @@
+#ifndef REBUDGET_UTIL_SOLVER_STATS_H_
+#define REBUDGET_UTIL_SOLVER_STATS_H_
+
+/**
+ * @file
+ * Health telemetry for the equilibrium solve pipeline.
+ *
+ * A SolverStats rides inside each AllocationOutcome (call-local, so
+ * concurrent BundleRunner jobs never share one) and is merged upward:
+ * per-round solves -> one allocate() -> one mechanism across a sweep.
+ * All counters are deterministic for a given input; only the *Seconds
+ * timers are wall-clock and must stay out of determinism comparisons.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace rebudget::util {
+
+/** @return a monotonic timestamp in seconds, for the stats timers. */
+double monotonicSeconds();
+
+/** Counters and timers describing solver work and health. */
+struct SolverStats
+{
+    /** Real (non-elided) equilibrium solves. */
+    std::int64_t equilibriumSolves = 0;
+    /** Bidding-pricing sweeps summed over real solves. */
+    std::int64_t sweepIterations = 0;
+    /** Bid hill-climb steps summed over all players and solves. */
+    std::int64_t hillClimbSteps = 0;
+    /** Real solves that hit the iteration fail-safe (converged=false). */
+    std::int64_t failSafeTrips = 0;
+    /** Real solves seeded from a prior equilibrium. */
+    std::int64_t warmStartedSolves = 0;
+    /** Real solves started from the cold equal-split seed. */
+    std::int64_t coldStartedSolves = 0;
+    /** Cut rounds served by rescaleEquilibrium (zero sweeps). */
+    std::int64_t elidedRescales = 0;
+    /** Budget-reassignment rounds executed (ReBudget only). */
+    std::int64_t budgetRounds = 0;
+    /** Solves or allocations abandoned with a non-Ok status. */
+    std::int64_t failedSolves = 0;
+
+    /** Wall-clock seconds inside real equilibrium solves. */
+    double solveSeconds = 0.0;
+    /** Wall-clock seconds inside elided rescale rounds. */
+    double rescaleSeconds = 0.0;
+    /** Wall-clock seconds for whole allocate() calls. */
+    double allocateSeconds = 0.0;
+
+    /** Accumulate another stats block into this one. */
+    void merge(const SolverStats &other);
+
+    /**
+     * Schema-stable JSON object (fixed key order, counters as
+     * integers, timers as fixed-point seconds).
+     *
+     * @param indent  spaces of indentation for each line; 0 = one line.
+     */
+    std::string toJson(int indent = 0) const;
+};
+
+} // namespace rebudget::util
+
+#endif // REBUDGET_UTIL_SOLVER_STATS_H_

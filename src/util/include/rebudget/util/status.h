@@ -1,0 +1,111 @@
+#ifndef REBUDGET_UTIL_STATUS_H_
+#define REBUDGET_UTIL_STATUS_H_
+
+/**
+ * @file
+ * Recoverable error reporting for the solve pipeline.
+ *
+ * The library layers (src/market, src/core, src/eval) never terminate
+ * the process on malformed-but-parseable input: they report a
+ * SolveStatus (or an Expected<T> for value-returning helpers) and let
+ * the caller decide.  fatal() remains the right tool in tools/, bench/
+ * and examples/, where the process IS the user session; panic() /
+ * REBUDGET_ASSERT remain the right tool for internal invariants and
+ * caller contract violations (mismatched parallel arrays etc.), which
+ * indicate a bug rather than bad data.
+ */
+
+#include <cstdarg>
+#include <string>
+#include <utility>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::util {
+
+/** Coarse classification of a recoverable solver error. */
+enum class StatusCode {
+    /** No error. */
+    Ok = 0,
+    /** A caller-supplied value is malformed (negative budget, ...). */
+    InvalidArgument = 1,
+    /** Object state forbids the call (bad config, failed setup, ...). */
+    FailedPrecondition = 2,
+    /** A numerical degeneracy that exceeds tolerance. */
+    Numerical = 3,
+    /** The solve gave up (iteration caps, no fallback left). */
+    Aborted = 4,
+};
+
+/** @return a stable lower-case name for @p code ("ok", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * Outcome of a library operation: Ok, or an error code plus a
+ * human-readable message.  Cheap to copy when Ok (empty message).
+ */
+class [[nodiscard]] SolveStatus
+{
+  public:
+    /** Default: success. */
+    SolveStatus() = default;
+
+    /** Build an error status with a printf-style message. */
+    static SolveStatus error(StatusCode code, const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** @return "ok" or "<code>: <message>". */
+    std::string toString() const;
+
+  private:
+    SolveStatus(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * A value of type T or the SolveStatus explaining its absence.
+ *
+ * Accessing value() on an error Expected violates the caller contract
+ * and trips REBUDGET_ASSERT; check ok() (or use valueOr()) first.
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    /** Implicit from a value: success. */
+    Expected(T value) : value_(std::move(value)) {}
+
+    /** Implicit from an error status. */
+    Expected(SolveStatus status) : status_(std::move(status))
+    {
+        REBUDGET_ASSERT(!status_.ok(),
+                        "Expected built from an Ok status carries no value");
+    }
+
+    bool ok() const { return status_.ok(); }
+    const SolveStatus &status() const { return status_; }
+
+    const T &value() const
+    {
+        REBUDGET_ASSERT(ok(), "value() on an error Expected");
+        return value_;
+    }
+
+    /** @return the value, or @p fallback when in the error state. */
+    T valueOr(T fallback) const { return ok() ? value_ : fallback; }
+
+  private:
+    SolveStatus status_;
+    T value_{};
+};
+
+} // namespace rebudget::util
+
+#endif // REBUDGET_UTIL_STATUS_H_

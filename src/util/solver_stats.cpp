@@ -1,0 +1,69 @@
+#include "rebudget/util/solver_stats.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace rebudget::util {
+
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+        clock::now().time_since_epoch()).count();
+}
+
+void
+SolverStats::merge(const SolverStats &other)
+{
+    equilibriumSolves += other.equilibriumSolves;
+    sweepIterations += other.sweepIterations;
+    hillClimbSteps += other.hillClimbSteps;
+    failSafeTrips += other.failSafeTrips;
+    warmStartedSolves += other.warmStartedSolves;
+    coldStartedSolves += other.coldStartedSolves;
+    elidedRescales += other.elidedRescales;
+    budgetRounds += other.budgetRounds;
+    failedSolves += other.failedSolves;
+    solveSeconds += other.solveSeconds;
+    rescaleSeconds += other.rescaleSeconds;
+    allocateSeconds += other.allocateSeconds;
+}
+
+std::string
+SolverStats::toJson(int indent) const
+{
+    const std::string pad(indent, ' ');
+    const char *sep = indent > 0 ? "\n" : " ";
+    const std::string field = indent > 0 ? pad + "  " : "";
+
+    char buf[128];
+    std::string out = "{";
+    out += sep;
+    auto addInt = [&](const char *key, std::int64_t v, bool last = false) {
+        std::snprintf(buf, sizeof(buf), "\"%s\": %lld%s", key,
+                      static_cast<long long>(v), last ? "" : ",");
+        out += field + buf + sep;
+    };
+    auto addSec = [&](const char *key, double v, bool last = false) {
+        std::snprintf(buf, sizeof(buf), "\"%s\": %.6f%s", key, v,
+                      last ? "" : ",");
+        out += field + buf + sep;
+    };
+    addInt("equilibrium_solves", equilibriumSolves);
+    addInt("sweep_iterations", sweepIterations);
+    addInt("hill_climb_steps", hillClimbSteps);
+    addInt("fail_safe_trips", failSafeTrips);
+    addInt("warm_started_solves", warmStartedSolves);
+    addInt("cold_started_solves", coldStartedSolves);
+    addInt("elided_rescales", elidedRescales);
+    addInt("budget_rounds", budgetRounds);
+    addInt("failed_solves", failedSolves);
+    addSec("solve_seconds", solveSeconds);
+    addSec("rescale_seconds", rescaleSeconds);
+    addSec("allocate_seconds", allocateSeconds, /*last=*/true);
+    out += pad + "}";
+    return out;
+}
+
+} // namespace rebudget::util

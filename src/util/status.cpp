@@ -1,0 +1,38 @@
+#include "rebudget/util/status.h"
+
+namespace rebudget::util {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid_argument";
+      case StatusCode::FailedPrecondition: return "failed_precondition";
+      case StatusCode::Numerical: return "numerical";
+      case StatusCode::Aborted: return "aborted";
+    }
+    return "unknown";
+}
+
+SolveStatus
+SolveStatus::error(StatusCode code, const char *fmt, ...)
+{
+    REBUDGET_ASSERT(code != StatusCode::Ok,
+                    "SolveStatus::error() needs a non-Ok code");
+    std::va_list args;
+    va_start(args, fmt);
+    std::string message = detail::vformat(fmt, args);
+    va_end(args);
+    return SolveStatus(code, std::move(message));
+}
+
+std::string
+SolveStatus::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+} // namespace rebudget::util

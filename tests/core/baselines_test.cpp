@@ -89,7 +89,7 @@ TEST(EqualBudget, AllocationExhaustsCapacity)
 
 TEST(EqualBudget, RejectsNonPositiveBudget)
 {
-    EXPECT_THROW(EqualBudgetAllocator(0.0), util::FatalError);
+    EXPECT_FALSE(EqualBudgetAllocator(0.0).configStatus().ok());
 }
 
 TEST(Balanced, BudgetsScaleWithPotential)
@@ -130,19 +130,21 @@ TEST(Balanced, MechanismName)
 
 TEST(Allocators, ValidateRejectsBadProblems)
 {
+    // Malformed problems come back as failed outcomes, not throws: the
+    // eval sweep records them per bundle and keeps going.
     AllocationProblem empty;
-    EXPECT_THROW(EqualShareAllocator().allocate(empty),
-                 util::FatalError);
+    const auto out_empty = EqualShareAllocator().allocate(empty);
+    EXPECT_FALSE(out_empty.status.ok());
+    EXPECT_TRUE(out_empty.alloc.empty());
+    EXPECT_FALSE(out_empty.converged);
 
     Fixture f({{1, 1}});
     f.problem.capacities = {12.0, -1.0};
-    EXPECT_THROW(EqualShareAllocator().allocate(f.problem),
-                 util::FatalError);
+    EXPECT_FALSE(EqualShareAllocator().allocate(f.problem).status.ok());
 
     Fixture g({{1, 1}});
     g.problem.models[0] = nullptr;
-    EXPECT_THROW(EqualBudgetAllocator().allocate(g.problem),
-                 util::FatalError);
+    EXPECT_FALSE(EqualBudgetAllocator().allocate(g.problem).status.ok());
 }
 
 } // namespace

@@ -81,10 +81,15 @@ TEST(CobbDouglasFit, ImperfectFitReportsLowerR2)
 
 TEST(CobbDouglasFit, RejectsBadArgs)
 {
+    // Malformed fit inputs yield a uniform-elasticity fallback with the
+    // rejection recorded in the fit's status.
     const market::PowerLawUtility model({1.0}, {0.5}, {10.0});
-    EXPECT_THROW(fitCobbDouglas(model, {10.0, 10.0}),
-                 util::FatalError);
-    EXPECT_THROW(fitCobbDouglas(model, {10.0}, 2), util::FatalError);
+    const CobbDouglasFit arity = fitCobbDouglas(model, {10.0, 10.0});
+    EXPECT_FALSE(arity.status.ok());
+    const CobbDouglasFit grid = fitCobbDouglas(model, {10.0}, 2);
+    EXPECT_FALSE(grid.status.ok());
+    ASSERT_EQ(grid.elasticities.size(), 1u);
+    EXPECT_DOUBLE_EQ(grid.elasticities[0], 1.0);
 }
 
 TEST(EpAllocator, ExactCobbDouglasSplitsByElasticity)
@@ -148,7 +153,7 @@ TEST(EpAllocator, IdenticalPlayersGetEqualShares)
 
 TEST(EpAllocator, RejectsBadGrid)
 {
-    EXPECT_THROW(EpAllocator{2}, util::FatalError);
+    EXPECT_FALSE(EpAllocator{2}.configStatus().ok());
 }
 
 TEST(EpAllocator, SuboptimalOnNonCobbDouglasUtilities)

@@ -77,11 +77,14 @@ TEST(SharedGroupUtility, NameEncodesThreadCount)
               "power-lawx8");
 }
 
-TEST(SharedGroupUtility, ZeroThreadsIsFatal)
+TEST(SharedGroupUtility, ZeroThreadsDegradesToOne)
 {
+    // Zero threads no longer throws: the model degrades to a
+    // single-thread group and records the rejection in setupStatus().
     const market::PowerLawUtility member({1.0}, {0.5}, {10.0});
-    EXPECT_THROW(market::SharedGroupUtility(member, 0),
-                 util::FatalError);
+    const market::SharedGroupUtility group(member, 0);
+    EXPECT_FALSE(group.setupStatus().ok());
+    EXPECT_EQ(group.threads(), 1u);
 }
 
 TEST(GroupedProblem, BuildsOnePlayerPerGroup)
@@ -149,33 +152,38 @@ TEST(GroupedProblem, AppGranularityCurbsThreadCountPower)
 TEST(GroupedProblem, RejectsBadPartitions)
 {
     Fixture f = fourCores();
+    // Bad partitions are recorded in GroupedProblem::status instead of
+    // throwing; the returned problem is empty.
     // Missing core.
-    EXPECT_THROW(
-        makeGroupedProblem(f.problem, {{"a", {0, 1}}, {"b", {3}}}),
-        util::FatalError);
+    EXPECT_FALSE(
+        makeGroupedProblem(f.problem, {{"a", {0, 1}}, {"b", {3}}})
+            .status.ok());
     // Duplicate core.
-    EXPECT_THROW(makeGroupedProblem(
-                     f.problem, {{"a", {0, 1, 2}}, {"b", {2, 3}}}),
-                 util::FatalError);
+    EXPECT_FALSE(makeGroupedProblem(
+                     f.problem, {{"a", {0, 1, 2}}, {"b", {2, 3}}})
+                     .status.ok());
     // Out-of-range core.
-    EXPECT_THROW(makeGroupedProblem(
-                     f.problem, {{"a", {0, 1, 2}}, {"b", {7}}}),
-                 util::FatalError);
+    EXPECT_FALSE(makeGroupedProblem(
+                     f.problem, {{"a", {0, 1, 2}}, {"b", {7}}})
+                     .status.ok());
     // Empty group.
-    EXPECT_THROW(makeGroupedProblem(
-                     f.problem,
-                     {{"a", {0, 1, 2, 3}}, {"b", {}}}),
-                 util::FatalError);
+    const GroupedProblem empty_group = makeGroupedProblem(
+        f.problem, {{"a", {0, 1, 2, 3}}, {"b", {}}});
+    EXPECT_FALSE(empty_group.status.ok());
+    EXPECT_TRUE(empty_group.problem.models.empty());
     // No groups at all.
-    EXPECT_THROW(makeGroupedProblem(f.problem, {}), util::FatalError);
+    EXPECT_FALSE(makeGroupedProblem(f.problem, {}).status.ok());
 }
 
-TEST(GroupedProblem, ExpandRejectsWrongArity)
+TEST(GroupedProblemDeathTest, ExpandAssertsOnWrongArity)
 {
+    // expand() misuse is a caller bug (the allocation came from this
+    // very problem), so it asserts instead of reporting a status.
     Fixture f = fourCores();
     const GroupedProblem grouped =
         makeGroupedProblem(f.problem, standardGroups());
-    EXPECT_THROW(grouped.expand({{1.0, 1.0}}, 4), util::FatalError);
+    EXPECT_DEATH(grouped.expand({{1.0, 1.0}}, 4),
+                 "group allocation count mismatch");
 }
 
 } // namespace

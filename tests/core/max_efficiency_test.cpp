@@ -139,11 +139,18 @@ TEST(MaxEfficiency, FinerQuantumNeverWorse)
 
 TEST(MaxEfficiency, RejectsBadQuantum)
 {
+    // A bad config is recorded in configStatus() and echoed by every
+    // allocate() instead of throwing from the constructor.
     MaxEfficiencyConfig bad;
     bad.quantumFraction = 0.0;
-    EXPECT_THROW(MaxEfficiencyAllocator{bad}, util::FatalError);
+    EXPECT_FALSE(MaxEfficiencyAllocator{bad}.configStatus().ok());
     bad.quantumFraction = 2.0;
-    EXPECT_THROW(MaxEfficiencyAllocator{bad}, util::FatalError);
+    const MaxEfficiencyAllocator alloc{bad};
+    EXPECT_FALSE(alloc.configStatus().ok());
+    Fixture f = randomFixture(3, 2);
+    const auto out = alloc.allocate(f.problem);
+    EXPECT_FALSE(out.status.ok());
+    EXPECT_TRUE(out.alloc.empty());
 }
 
 TEST(MaxEfficiency, SinglePlayerTakesEverything)

@@ -82,7 +82,7 @@ TEST(ReBudget, FairnessTargetEnforcesMbrFloor)
     Fixture f = skewedFixture(2, 6);
     const auto alloc = ReBudgetAllocator::withFairnessTarget(0.6);
     const auto out = alloc.allocate(f.problem);
-    const double mbr = market::marketBudgetRange(out.budgets);
+    const double mbr = market::marketBudgetRange(out.budgets).value();
     EXPECT_GE(mbr, alloc.budgetFloorFraction() - 1e-9);
     // Theorem 2 then guarantees the administrator's target.
     EXPECT_GE(market::envyFreenessLowerBound(mbr), 0.6 - 1e-9);
@@ -130,8 +130,8 @@ TEST(ReBudget, MoreAggressiveStepMovesMurTowardOne)
     const auto eq = EqualBudgetAllocator().allocate(f.problem);
     const auto rb40 =
         ReBudgetAllocator::withStep(40).allocate(f.problem);
-    const double mur_eq = market::marketUtilityRange(eq.lambdas);
-    const double mur_rb = market::marketUtilityRange(rb40.lambdas);
+    const double mur_eq = market::marketUtilityRange(eq.lambdas).value();
+    const double mur_rb = market::marketUtilityRange(rb40.lambdas).value();
     EXPECT_GE(mur_rb, mur_eq - 0.05);
 }
 
@@ -144,7 +144,7 @@ TEST(ReBudget, EnvyBoundHoldsAtEquilibrium)
         const double ef =
             market::envyFreeness(f.problem.models, out.alloc);
         const double bound = market::envyFreenessLowerBound(
-            market::marketBudgetRange(out.budgets));
+            market::marketBudgetRange(out.budgets).value());
         EXPECT_GE(ef, bound - 0.05) << "seed " << seed;
     }
 }
@@ -188,31 +188,92 @@ TEST(ReBudget, AllocationExhaustsCapacity)
     }
 }
 
+TEST(ReBudget, BudgetHistoryExcludesElidedRounds)
+{
+    // An aggressive elision threshold makes every post-cut round below
+    // the bar reuse a rescaled equilibrium; the recorded budget history
+    // must list exactly the real solves, so replaying it reproduces the
+    // mechanism's market work without the elided rounds.
+    ReBudgetConfig cfg;
+    cfg.step0 = 20.0;
+    cfg.elideStepFraction = 0.4;
+    const ReBudgetAllocator alloc{cfg};
+    ASSERT_TRUE(alloc.configStatus().ok());
+
+    // Nearly-satiated players bid almost nothing, so their lambda falls
+    // below half the hungry players' and they get cut -- skewedFixture's
+    // lambda spread stays above the cut threshold.
+    Fixture f;
+    f.problem.capacities = {20.0, 20.0};
+    for (int i = 0; i < 6; ++i) {
+        const bool satiated = i % 2 == 0;
+        const double w = satiated ? 0.05 : 1.0;
+        const double e = satiated ? 0.10 : 0.95;
+        f.models.push_back(std::make_unique<market::PowerLawUtility>(
+            std::vector<double>{w, w}, std::vector<double>{e, e},
+            f.problem.capacities));
+        f.problem.models.push_back(f.models.back().get());
+    }
+    f.problem.recordBudgetHistory = true;
+    const auto out = alloc.allocate(f.problem);
+    ASSERT_TRUE(out.status.ok());
+    EXPECT_GT(out.stats.elidedRescales, 0);
+    EXPECT_EQ(out.budgetHistory.size(),
+              static_cast<size_t>(out.stats.equilibriumSolves));
+    // The published equilibrium is always a real solve.
+    ASSERT_NE(out.equilibrium, nullptr);
+    EXPECT_FALSE(out.equilibrium->approximated);
+
+    // Elided rounds leave no history entry, so the history stays
+    // strictly below the round count (each elided round's real-solve
+    // slot is at most the single final re-solve).
+    EXPECT_LE(out.budgetHistory.size(),
+              static_cast<size_t>(out.budgetRounds));
+
+    // With elision disabled every round is a real solve: history and
+    // round count agree exactly.
+    cfg.elideStepFraction = 0.0;
+    const auto full = ReBudgetAllocator{cfg}.allocate(f.problem);
+    ASSERT_TRUE(full.status.ok());
+    EXPECT_EQ(full.stats.elidedRescales, 0);
+    EXPECT_EQ(full.budgetHistory.size(),
+              static_cast<size_t>(full.budgetRounds));
+}
+
 TEST(ReBudget, RejectsBadConfig)
 {
+    // A bad config is recorded in configStatus() instead of throwing;
+    // allocate() echoes it as a failed outcome.
     ReBudgetConfig bad;
     bad.initialBudget = 0.0;
-    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+    EXPECT_FALSE(ReBudgetAllocator{bad}.configStatus().ok());
 
     bad = ReBudgetConfig{};
     bad.step0 = 60.0; // >= B/2
-    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+    EXPECT_FALSE(ReBudgetAllocator{bad}.configStatus().ok());
 
     bad = ReBudgetConfig{};
     bad.step0 = 0.0;
-    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+    EXPECT_FALSE(ReBudgetAllocator{bad}.configStatus().ok());
 
     bad = ReBudgetConfig{};
     bad.lambdaCutThreshold = 1.0;
-    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+    EXPECT_FALSE(ReBudgetAllocator{bad}.configStatus().ok());
 
     bad = ReBudgetConfig{};
     bad.mbrFloor = 2.0;
-    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+    EXPECT_FALSE(ReBudgetAllocator{bad}.configStatus().ok());
 
     bad = ReBudgetConfig{};
     bad.maxRounds = 0;
-    EXPECT_THROW(ReBudgetAllocator{bad}, util::FatalError);
+    const ReBudgetAllocator alloc{bad};
+    EXPECT_FALSE(alloc.configStatus().ok());
+    Fixture f = skewedFixture(2, 3);
+    const auto out = alloc.allocate(f.problem);
+    EXPECT_FALSE(out.status.ok());
+    EXPECT_FALSE(out.converged);
+    EXPECT_TRUE(out.alloc.empty());
+    EXPECT_EQ(out.stats.failedSolves, 0);
 }
 
 // The paper's knob: sweeping the step trades efficiency against
@@ -231,8 +292,8 @@ TEST_P(StepKnob, LargerStepNeverLessEfficientMuchLessFair)
     const double eff40 =
         market::efficiency(f.problem.models, rb40.alloc);
     EXPECT_GE(eff40, eff10 - 0.03 * eff10);
-    const double mbr10 = market::marketBudgetRange(rb10.budgets);
-    const double mbr40 = market::marketBudgetRange(rb40.budgets);
+    const double mbr10 = market::marketBudgetRange(rb10.budgets).value();
+    const double mbr40 = market::marketBudgetRange(rb40.budgets).value();
     EXPECT_LE(mbr40, mbr10 + 1e-9);
 }
 

@@ -98,7 +98,7 @@ TEST_P(ThreeResource, Theorem2HoldsWithThreeResources)
         ReBudgetAllocator::withStep(40).allocate(f.problem);
     const double ef = market::envyFreeness(f.problem.models, out.alloc);
     const double bound = market::envyFreenessLowerBound(
-        market::marketBudgetRange(out.budgets));
+        market::marketBudgetRange(out.budgets).value());
     EXPECT_GE(ef, bound - 0.05);
 }
 

@@ -47,6 +47,22 @@ expectIdentical(const eval::BundleEvaluation &a,
         EXPECT_EQ(a.scores[m].marketIterations,
                   b.scores[m].marketIterations);
         EXPECT_EQ(a.scores[m].budgetRounds, b.scores[m].budgetRounds);
+        EXPECT_EQ(a.scores[m].converged, b.scores[m].converged);
+        EXPECT_EQ(a.scores[m].status.ok(), b.scores[m].status.ok());
+        // Solver counters are deterministic; the embedded wall-clock
+        // timers are the one allowed difference between runs.
+        EXPECT_EQ(a.scores[m].stats.sweepIterations,
+                  b.scores[m].stats.sweepIterations);
+        EXPECT_EQ(a.scores[m].stats.hillClimbSteps,
+                  b.scores[m].stats.hillClimbSteps);
+        EXPECT_EQ(a.scores[m].stats.failSafeTrips,
+                  b.scores[m].stats.failSafeTrips);
+        EXPECT_EQ(a.scores[m].stats.warmStartedSolves,
+                  b.scores[m].stats.warmStartedSolves);
+        EXPECT_EQ(a.scores[m].stats.coldStartedSolves,
+                  b.scores[m].stats.coldStartedSolves);
+        EXPECT_EQ(a.scores[m].stats.elidedRescales,
+                  b.scores[m].stats.elidedRescales);
     }
     ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
     for (size_t m = 0; m < a.outcomes.size(); ++m) {
@@ -111,7 +127,124 @@ TEST(BundleRunner, MechanismNamesAndIndexLookup)
     EXPECT_EQ(runner.mechanismIndex("EqualShare"), 0u);
     EXPECT_EQ(runner.mechanismIndex("EqualBudget"), 1u);
     EXPECT_EQ(runner.mechanismIndex("MaxEfficiency"), 2u);
-    EXPECT_THROW(runner.mechanismIndex("Bogus"), util::FatalError);
+    EXPECT_EQ(runner.mechanismIndex("Bogus"), std::nullopt);
+}
+
+TEST(BundleRunner, MalformedMechanismSetIsRecorded)
+{
+    // An empty or null mechanism set does not throw: the runner records
+    // why and reports every bundle as skipped with that reason.
+    const eval::BundleRunner empty({});
+    EXPECT_FALSE(empty.setupStatus().ok());
+
+    const core::EqualShareAllocator share;
+    const eval::BundleRunner with_null({&share, nullptr});
+    EXPECT_FALSE(with_null.setupStatus().ok());
+
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const auto ev = with_null.evaluate(bundles.front());
+    EXPECT_TRUE(ev.skipped);
+    EXPECT_FALSE(ev.skipReason.empty());
+}
+
+TEST(BundleRunner, NonConvergenceIsRecordedNotDropped)
+{
+    // Starve the solver (one bidding-pricing sweep) on a real catalog
+    // bundle: the fail-safe trips, but the pipeline still completes and
+    // the evaluation is recorded with converged=false -- figure data is
+    // flagged, never silently dropped.
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+
+    const core::EqualBudgetAllocator equal;
+    eval::BundleRunnerOptions opts;
+    opts.marketConfig.maxIterations = 1;
+    const eval::BundleRunner runner({&equal}, opts);
+
+    const auto ev = runner.evaluate(bundles.front());
+    EXPECT_FALSE(ev.skipped);
+    ASSERT_EQ(ev.scores.size(), 1u);
+    EXPECT_TRUE(ev.scores[0].status.ok());
+    EXPECT_FALSE(ev.scores[0].converged);
+    EXPECT_GT(ev.scores[0].stats.failSafeTrips, 0);
+    // The fail-safe allocation is still scorable.
+    EXPECT_GT(ev.scores[0].efficiency, 0.0);
+
+    // ...and the aggregate keeps the distinction visible.
+    const auto agg =
+        eval::aggregateSweepStats({ev}, runner.mechanismNames());
+    ASSERT_EQ(agg.size(), 1u);
+    EXPECT_EQ(agg[0].bundlesEvaluated, 1);
+    EXPECT_EQ(agg[0].bundlesConverged, 0);
+    EXPECT_GT(agg[0].stats.failSafeTrips, 0);
+}
+
+TEST(BundleRunner, MechanismFailureBecomesRecordedSkip)
+{
+    // A mechanism whose config can never run (maxRounds=0) fails its
+    // allocate(); the bundle is recorded as skipped with the mechanism's
+    // own diagnostic instead of killing the sweep.
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+
+    core::ReBudgetConfig bad;
+    bad.maxRounds = 0;
+    const core::ReBudgetAllocator broken{bad};
+    const core::EqualBudgetAllocator equal;
+    const eval::BundleRunner runner({&broken, &equal});
+
+    const auto evals =
+        runner.run({bundles.front(), bundles.front()});
+    ASSERT_EQ(evals.size(), 2u);
+    for (const auto &ev : evals) {
+        EXPECT_TRUE(ev.skipped);
+        EXPECT_NE(ev.skipReason.find("ReBudget"), std::string::npos);
+        EXPECT_TRUE(ev.scores.empty());
+    }
+}
+
+TEST(BundleRunner, SweepStatsJsonIsSchemaStable)
+{
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const core::EqualBudgetAllocator equal;
+    const eval::BundleRunner runner({&equal});
+    const auto evals = runner.run({bundles.front()});
+    const auto agg =
+        eval::aggregateSweepStats(evals, runner.mechanismNames());
+    const std::string json = eval::sweepStatsJson(agg, 3);
+    EXPECT_NE(json.find("\"schema\": \"rebudget.solver_stats.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"skipped_bundles\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"mechanism\": \"EqualBudget\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"bundles_evaluated\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"bundles_converged\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"sweep_iterations\""), std::string::npos);
+}
+
+TEST(BundleRunner, ParseJobsArg)
+{
+    const char *good[] = {"prog", "--jobs", "4"};
+    auto jobs = eval::parseJobsArg(3, const_cast<char **>(good));
+    ASSERT_TRUE(jobs.ok());
+    EXPECT_EQ(jobs.value(), 4u);
+
+    const char *absent[] = {"prog", "--other"};
+    jobs = eval::parseJobsArg(2, const_cast<char **>(absent));
+    ASSERT_TRUE(jobs.ok());
+    EXPECT_EQ(jobs.value(), 0u);
+
+    const char *missing[] = {"prog", "--jobs"};
+    EXPECT_FALSE(eval::parseJobsArg(2, const_cast<char **>(missing)).ok());
+
+    const char *bad[] = {"prog", "--jobs", "zero"};
+    EXPECT_FALSE(eval::parseJobsArg(3, const_cast<char **>(bad)).ok());
+
+    const char *negative[] = {"prog", "--jobs", "-2"};
+    EXPECT_FALSE(
+        eval::parseJobsArg(3, const_cast<char **>(negative)).ok());
 }
 
 TEST(BundleRunner, SkipsMalformedBundleNonFatally)

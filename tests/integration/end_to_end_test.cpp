@@ -122,7 +122,7 @@ TEST_F(Fig3Bundle, Theorem2BoundNeverViolated)
         const auto out = core::ReBudgetAllocator::withStep(step)
                              .allocate(state_->problem);
         const double bound = market::envyFreenessLowerBound(
-            market::marketBudgetRange(out.budgets));
+            market::marketBudgetRange(out.budgets).value());
         EXPECT_GE(ef(out), bound - 0.03) << "step " << step;
     }
 }
@@ -133,8 +133,8 @@ TEST_F(Fig3Bundle, ReBudgetRaisesMur)
         core::EqualBudgetAllocator().allocate(state_->problem);
     const auto rb =
         core::ReBudgetAllocator::withStep(40).allocate(state_->problem);
-    EXPECT_GE(market::marketUtilityRange(rb.lambdas),
-              market::marketUtilityRange(eq.lambdas));
+    EXPECT_GE(market::marketUtilityRange(rb.lambdas).value(),
+              market::marketUtilityRange(eq.lambdas).value());
 }
 
 TEST_F(Fig3Bundle, ReBudgetCutsOverBudgetedPlayers)

@@ -136,14 +136,29 @@ TEST(OptimizeBids, BidsNonNegative)
 TEST(OptimizeBids, RejectsArityMismatch)
 {
     const PowerLawUtility u({1.0, 1.0}, {0.5, 0.5}, {10.0, 10.0});
-    EXPECT_THROW(optimizeBids(u, 10.0, {1.0}, {10.0, 10.0}),
-                 util::FatalError);
+    const BidResult res = optimizeBids(u, 10.0, {1.0}, {10.0, 10.0});
+    EXPECT_FALSE(res.status.ok());
+    ASSERT_EQ(res.bids.size(), 2u);
+    EXPECT_DOUBLE_EQ(res.bids[0], 0.0);
+    EXPECT_DOUBLE_EQ(res.bids[1], 0.0);
 }
 
 TEST(OptimizeBids, RejectsNegativeBudget)
 {
     const PowerLawUtility u({1.0}, {0.5}, {10.0});
-    EXPECT_THROW(optimizeBids(u, -1.0, {1.0}, {10.0}), util::FatalError);
+    const BidResult res = optimizeBids(u, -1.0, {1.0}, {10.0});
+    EXPECT_FALSE(res.status.ok());
+    EXPECT_DOUBLE_EQ(res.bids[0], 0.0);
+}
+
+TEST(OptimizeBids, ClampsNoiseNegativeBudget)
+{
+    // A budget an ulp below zero is rounding noise from upstream budget
+    // arithmetic, not a malformed player: treat it as zero.
+    const PowerLawUtility u({1.0}, {0.5}, {10.0});
+    const BidResult res = optimizeBids(u, -1e-14, {1.0}, {10.0});
+    EXPECT_TRUE(res.status.ok());
+    EXPECT_DOUBLE_EQ(res.bids[0], 0.0);
 }
 
 // Three-resource sweep: the optimizer must spend the budget and keep

@@ -87,7 +87,7 @@ TEST(MarketStress, ExtremeBudgetSkew)
         EXPECT_GE(eq.alloc[i][0], 0.0);
         EXPECT_LT(eq.alloc[i][0], 0.1);
     }
-    EXPECT_NEAR(market::marketBudgetRange(eq.budgets), 1e-6, 1e-9);
+    EXPECT_NEAR(market::marketBudgetRange(eq.budgets).value(), 1e-6, 1e-9);
 }
 
 TEST(MarketStress, TinyCapacities)

@@ -191,21 +191,40 @@ TEST(Market, LambdasPopulated)
 
 TEST(Market, RejectsBadConstruction)
 {
+    // Malformed setups no longer throw: the rejection is recorded in
+    // setupStatus() and every solve echoes it.
     const auto models = symmetricPlayers(2);
-    EXPECT_THROW(ProportionalMarket({}, {1.0, 1.0}), util::FatalError);
-    EXPECT_THROW(ProportionalMarket(ptrs(models), {}), util::FatalError);
-    EXPECT_THROW(ProportionalMarket(ptrs(models), {1.0, -1.0}),
-                 util::FatalError);
-    EXPECT_THROW(ProportionalMarket(ptrs(models), {1.0}),
-                 util::FatalError); // arity mismatch
+    EXPECT_FALSE(ProportionalMarket({}, {1.0, 1.0}).setupStatus().ok());
+    EXPECT_FALSE(ProportionalMarket(ptrs(models), {}).setupStatus().ok());
+    EXPECT_FALSE(ProportionalMarket(ptrs(models), {1.0, -1.0})
+                     .setupStatus()
+                     .ok());
+    const ProportionalMarket arity(ptrs(models), {1.0}); // arity mismatch
+    EXPECT_FALSE(arity.setupStatus().ok());
+    const auto eq = arity.findEquilibrium({100.0, 100.0});
+    EXPECT_FALSE(eq.status.ok());
+    EXPECT_FALSE(eq.converged);
+    EXPECT_TRUE(eq.alloc.empty());
 }
 
 TEST(Market, RejectsBadBudgets)
 {
     const auto models = symmetricPlayers(2);
     ProportionalMarket mkt(ptrs(models), {10.0, 10.0});
-    EXPECT_THROW(mkt.findEquilibrium({1.0}), util::FatalError);
-    EXPECT_THROW(mkt.findEquilibrium({1.0, -2.0}), util::FatalError);
+    EXPECT_FALSE(mkt.findEquilibrium({1.0}).status.ok());
+    EXPECT_FALSE(mkt.findEquilibrium({1.0, -2.0}).status.ok());
+}
+
+TEST(Market, ClampsNoiseNegativeBudgets)
+{
+    // ReBudget's geometric cuts can leave a donor budget a few ulps
+    // below zero; the solve treats that as zero instead of rejecting.
+    const auto models = symmetricPlayers(2);
+    ProportionalMarket mkt(ptrs(models), {10.0, 10.0});
+    const auto eq = mkt.findEquilibrium({100.0, -1e-13});
+    ASSERT_TRUE(eq.status.ok());
+    EXPECT_DOUBLE_EQ(eq.budgets[1], 0.0);
+    EXPECT_NEAR(eq.alloc[1][0], 0.0, 1e-9);
 }
 
 TEST(Market, PriceHistoryTracksIterations)

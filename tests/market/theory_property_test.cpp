@@ -83,7 +83,7 @@ TEST_P(TheoremProperties, Theorem1PoaBoundHolds)
     const double nash = efficiency(m.ptrs, eq.alloc);
     const double opt = optimalEfficiency(m);
     ASSERT_GT(opt, 0.0);
-    const double mur = marketUtilityRange(eq.lambdas);
+    const double mur = marketUtilityRange(eq.lambdas).value();
     const double bound = poaLowerBound(mur);
     EXPECT_GE(nash / opt, bound - 0.05)
         << "seed " << seed << " MUR " << mur << " nash " << nash
@@ -98,7 +98,7 @@ TEST_P(TheoremProperties, Theorem2EnvyBoundHolds)
     ProportionalMarket mkt(m.ptrs, m.capacities);
     const auto eq = mkt.findEquilibrium(m.budgets);
     const double ef = envyFreeness(m.ptrs, eq.alloc);
-    const double mbr = marketBudgetRange(eq.budgets);
+    const double mbr = marketBudgetRange(eq.budgets).value();
     const double bound = envyFreenessLowerBound(mbr);
     EXPECT_GE(ef, bound - 0.05)
         << "seed " << seed << " MBR " << mbr << " EF " << ef;

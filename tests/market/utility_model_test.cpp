@@ -75,12 +75,19 @@ TEST(PowerLawUtility, WeightsAreNormalized)
 
 TEST(PowerLawUtility, RejectsBadParameters)
 {
-    EXPECT_THROW(PowerLawUtility({}, {}, {}), util::FatalError);
-    EXPECT_THROW(PowerLawUtility({1.0}, {0.5, 0.5}, {1.0}),
-                 util::FatalError);
-    EXPECT_THROW(PowerLawUtility({1.0}, {1.5}, {1.0}), util::FatalError);
-    EXPECT_THROW(PowerLawUtility({1.0}, {0.5}, {0.0}), util::FatalError);
-    EXPECT_THROW(PowerLawUtility({-1.0}, {0.5}, {1.0}), util::FatalError);
+    // Bad parameters no longer throw: the model degrades to a harmless
+    // single-resource constant and records why in setupStatus().
+    EXPECT_FALSE(PowerLawUtility({}, {}, {}).setupStatus().ok());
+    EXPECT_FALSE(PowerLawUtility({1.0}, {0.5, 0.5}, {1.0})
+                     .setupStatus()
+                     .ok());
+    EXPECT_FALSE(PowerLawUtility({1.0}, {1.5}, {1.0}).setupStatus().ok());
+    EXPECT_FALSE(PowerLawUtility({1.0}, {0.5}, {0.0}).setupStatus().ok());
+    EXPECT_FALSE(PowerLawUtility({-1.0}, {0.5}, {1.0}).setupStatus().ok());
+    // The fallback model is still safe to query.
+    const PowerLawUtility bad({-1.0}, {0.5}, {1.0});
+    EXPECT_EQ(bad.numResources(), 1u);
+    EXPECT_GE(bad.utility(std::vector<double>{0.5}), 0.0);
 }
 
 TEST(UtilityModel, DefaultMarginalUsesFiniteDifference)

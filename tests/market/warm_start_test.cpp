@@ -257,6 +257,11 @@ TEST_F(WarmFixture, RescaleEquilibriumIsZeroSweep)
     const EquilibriumResult approx = mkt.rescaleEquilibrium(prior, b1);
     EXPECT_EQ(approx.iterations, 0);
     EXPECT_TRUE(approx.warmStarted);
+    // A rescale is never an equilibrium of its own: it must carry the
+    // approximated marker so consumers (convergence accounting,
+    // ReBudget's budgetHistory) can exclude it.  Real solves never do.
+    EXPECT_TRUE(approx.approximated);
+    EXPECT_FALSE(prior.approximated);
     EXPECT_EQ(approx.converged, prior.converged);
     EXPECT_EQ(approx.budgets, b1);
 

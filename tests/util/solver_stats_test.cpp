@@ -1,0 +1,97 @@
+/**
+ * @file
+ * util::SolverStats: the telemetry block that rides inside every
+ * AllocationOutcome.  merge() must be a plain componentwise sum and
+ * toJson() must keep the schema the CLI's --stats json promises.
+ */
+
+#include "rebudget/util/solver_stats.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rebudget::util {
+namespace {
+
+SolverStats
+sample()
+{
+    SolverStats s;
+    s.equilibriumSolves = 3;
+    s.sweepIterations = 40;
+    s.hillClimbSteps = 1000;
+    s.failSafeTrips = 1;
+    s.warmStartedSolves = 2;
+    s.coldStartedSolves = 1;
+    s.elidedRescales = 4;
+    s.budgetRounds = 5;
+    s.failedSolves = 0;
+    s.solveSeconds = 0.25;
+    s.rescaleSeconds = 0.0625;
+    s.allocateSeconds = 0.5;
+    return s;
+}
+
+TEST(SolverStats, MergeSumsEveryField)
+{
+    SolverStats a = sample();
+    a.merge(sample());
+    EXPECT_EQ(a.equilibriumSolves, 6);
+    EXPECT_EQ(a.sweepIterations, 80);
+    EXPECT_EQ(a.hillClimbSteps, 2000);
+    EXPECT_EQ(a.failSafeTrips, 2);
+    EXPECT_EQ(a.warmStartedSolves, 4);
+    EXPECT_EQ(a.coldStartedSolves, 2);
+    EXPECT_EQ(a.elidedRescales, 8);
+    EXPECT_EQ(a.budgetRounds, 10);
+    EXPECT_EQ(a.failedSolves, 0);
+    EXPECT_DOUBLE_EQ(a.solveSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(a.rescaleSeconds, 0.125);
+    EXPECT_DOUBLE_EQ(a.allocateSeconds, 1.0);
+}
+
+TEST(SolverStats, MergeWithDefaultIsIdentity)
+{
+    SolverStats a = sample();
+    a.merge(SolverStats{});
+    EXPECT_EQ(a.sweepIterations, sample().sweepIterations);
+    EXPECT_DOUBLE_EQ(a.solveSeconds, sample().solveSeconds);
+}
+
+TEST(SolverStats, JsonContainsEveryCounter)
+{
+    const std::string json = sample().toJson();
+    // Key order and spelling are part of the
+    // "rebudget.solver_stats.v1" contract.
+    EXPECT_NE(json.find("\"equilibrium_solves\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"sweep_iterations\": 40"), std::string::npos);
+    EXPECT_NE(json.find("\"hill_climb_steps\": 1000"), std::string::npos);
+    EXPECT_NE(json.find("\"fail_safe_trips\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"warm_started_solves\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"cold_started_solves\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"elided_rescales\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"budget_rounds\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"failed_solves\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"solve_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"rescale_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"allocate_seconds\""), std::string::npos);
+}
+
+TEST(SolverStats, JsonIsOneLineAtZeroIndent)
+{
+    const std::string json = SolverStats{}.toJson(0);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(SolverStats, MonotonicSecondsAdvances)
+{
+    const double t0 = monotonicSeconds();
+    const double t1 = monotonicSeconds();
+    EXPECT_GE(t1, t0);
+}
+
+} // namespace
+} // namespace rebudget::util

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * util::SolveStatus / util::Expected: the recoverable error channel the
+ * solve pipeline reports through instead of terminating the process.
+ */
+
+#include "rebudget/util/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rebudget::util {
+namespace {
+
+TEST(SolveStatus, DefaultIsOk)
+{
+    const SolveStatus s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_TRUE(s.message().empty());
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(SolveStatus, ErrorFormatsPrintfStyle)
+{
+    const SolveStatus s = SolveStatus::error(
+        StatusCode::InvalidArgument, "budget[%d] = %g is negative", 3,
+        -2.5);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(s.message(), "budget[3] = -2.5 is negative");
+    EXPECT_EQ(s.toString(), "invalid_argument: budget[3] = -2.5 is negative");
+}
+
+TEST(SolveStatus, CodeNamesAreStable)
+{
+    // The CLI and tests key on these strings; keep them frozen.
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::InvalidArgument),
+                 "invalid_argument");
+    EXPECT_STREQ(statusCodeName(StatusCode::FailedPrecondition),
+                 "failed_precondition");
+    EXPECT_STREQ(statusCodeName(StatusCode::Numerical), "numerical");
+    EXPECT_STREQ(statusCodeName(StatusCode::Aborted), "aborted");
+}
+
+TEST(Expected, CarriesValueOnSuccess)
+{
+    const Expected<double> e(2.5);
+    EXPECT_TRUE(e.ok());
+    EXPECT_TRUE(e.status().ok());
+    EXPECT_DOUBLE_EQ(e.value(), 2.5);
+    EXPECT_DOUBLE_EQ(e.valueOr(-1.0), 2.5);
+}
+
+TEST(Expected, CarriesStatusOnError)
+{
+    const Expected<double> e(
+        SolveStatus::error(StatusCode::Numerical, "degenerate"));
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.status().code(), StatusCode::Numerical);
+    EXPECT_DOUBLE_EQ(e.valueOr(-1.0), -1.0);
+}
+
+TEST(ExpectedDeathTest, ValueOnErrorAsserts)
+{
+    // value() on an error Expected is a caller bug, not bad data: it
+    // trips the assert channel rather than the status channel.
+    const Expected<int> e(
+        SolveStatus::error(StatusCode::Aborted, "gave up"));
+    EXPECT_DEATH((void)e.value(), "value\\(\\) on an error Expected");
+}
+
+} // namespace
+} // namespace rebudget::util

@@ -12,6 +12,8 @@
  *   rebudget_cli --sweep --cores 64 --jobs 4 --csv
  */
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -61,6 +63,7 @@ struct Options
     bool csv = false;
     unsigned jobs = 0; // 0 = REBUDGET_JOBS env or hardware concurrency
     bool warmStart = true;
+    bool statsJson = false; // --stats json
 };
 
 void
@@ -101,7 +104,12 @@ usage()
         "                          cold-starts every solve from the\n"
         "                          equal split -- the A/B baseline for\n"
         "                          bench/perf_equilibrium\n"
-        "  --csv                   machine-readable output\n";
+        "  --csv                   machine-readable output\n"
+        "  --stats json            append solver health telemetry\n"
+        "                          (sweep iterations, warm/cold starts,\n"
+        "                          fail-safe trips, timers) as a\n"
+        "                          schema-stable JSON object\n"
+        "                          (rebudget.solver_stats.v1)\n";
 }
 
 /**
@@ -192,6 +200,27 @@ class ProfileSource
     std::vector<app::AppParams> custom_;
     std::map<std::string, app::AppProfile> cache_;
 };
+
+/** One-line solve health note for the human-readable summaries. */
+std::string
+solveHealthNote(bool converged, std::int64_t fail_safe_trips)
+{
+    std::string out = converged ? ", converged" : ", NOT converged";
+    out += " (" + std::to_string(fail_safe_trips) + " fail-safe trips)";
+    return out;
+}
+
+/** Single-run `--stats json`: one-mechanism sweep-stats object. */
+void
+printOutcomeStatsJson(const core::AllocationOutcome &out)
+{
+    eval::MechanismSweepStats s;
+    s.mechanism = out.mechanism;
+    s.bundlesEvaluated = 1;
+    s.bundlesConverged = out.converged ? 1 : 0;
+    s.stats = out.stats;
+    std::cout << eval::sweepStatsJson({s}, 0) << "\n";
+}
 
 std::unique_ptr<core::Allocator>
 makeMechanism(const Options &opt)
@@ -288,7 +317,13 @@ runAnalytic(const Options &opt, ProfileSource &source,
         per_core.problem.marketConfig.warmStart = opt.warmStart;
         const core::GroupedProblem grouped =
             core::makeGroupedProblem(per_core.problem, groups);
+        if (!grouped.status.ok())
+            util::fatal("bad grouping: %s", grouped.status.toString().c_str());
         const auto group_out = mechanism->allocate(grouped.problem);
+        if (!group_out.status.ok()) {
+            util::fatal("allocation failed: %s",
+                        group_out.status.toString().c_str());
+        }
         // Report at tenant granularity.
         util::TablePrinter t({"tenant", "threads", "cache_regions",
                               "watts", "utility", "budget"});
@@ -318,9 +353,15 @@ runAnalytic(const Options &opt, ProfileSource &source,
                   << util::formatDouble(
                          market::envyFreeness(grouped.problem.models,
                                               group_out.alloc), 3)
+                  << solveHealthNote(group_out.converged,
+                                     group_out.stats.failSafeTrips)
                   << "\n";
+        if (opt.statsJson)
+            printOutcomeStatsJson(group_out);
         return 0;
     }
+    if (!out.status.ok())
+        util::fatal("allocation failed: %s", out.status.toString().c_str());
     const auto utils = market::perPlayerUtilities(problem.models,
                                                   out.alloc);
 
@@ -348,21 +389,30 @@ runAnalytic(const Options &opt, ProfileSource &source,
               << util::formatDouble(
                      market::envyFreeness(problem.models, out.alloc), 3);
     if (!out.lambdas.empty()) {
-        const double mur = market::marketUtilityRange(out.lambdas);
-        std::cout << ", MUR " << util::formatDouble(mur, 2)
-                  << " (PoA bound "
-                  << util::formatDouble(market::poaLowerBound(mur), 2)
-                  << ")";
+        if (const auto mur = market::marketUtilityRange(out.lambdas);
+            mur.ok()) {
+            std::cout << ", MUR " << util::formatDouble(mur.value(), 2)
+                      << " (PoA bound "
+                      << util::formatDouble(
+                             market::poaLowerBound(mur.value()), 2)
+                      << ")";
+        }
     }
     if (!out.budgets.empty()) {
-        const double mbr = market::marketBudgetRange(out.budgets);
-        std::cout << ", MBR " << util::formatDouble(mbr, 2)
-                  << " (EF bound "
-                  << util::formatDouble(
-                         market::envyFreenessLowerBound(mbr), 2)
-                  << ")";
+        if (const auto mbr = market::marketBudgetRange(out.budgets);
+            mbr.ok()) {
+            std::cout << ", MBR " << util::formatDouble(mbr.value(), 2)
+                      << " (EF bound "
+                      << util::formatDouble(
+                             market::envyFreenessLowerBound(mbr.value()),
+                             2)
+                      << ")";
+        }
     }
-    std::cout << "\n";
+    std::cout << solveHealthNote(out.converged, out.stats.failSafeTrips)
+              << "\n";
+    if (opt.statsJson)
+        printOutcomeStatsJson(out);
     return 0;
 }
 
@@ -391,7 +441,10 @@ runSweep(const Options &opt)
     const eval::BundleRunner runner({&equal_share, &equal_budget,
                                      &balanced, &rb20, &rb40, &max_eff},
                                     ropts);
-    const size_t opt_idx = runner.mechanismIndex("MaxEfficiency");
+    const auto opt_idx_lookup = runner.mechanismIndex("MaxEfficiency");
+    if (!opt_idx_lookup)
+        util::fatal("sweep mechanism set lost MaxEfficiency");
+    const size_t opt_idx = *opt_idx_lookup;
     const auto evals = runner.run(bundles);
 
     std::vector<std::string> header = {"bundle", "category"};
@@ -427,20 +480,37 @@ runSweep(const Options &opt)
     else
         t.print(std::cout);
 
+    const std::int64_t skipped =
+        static_cast<std::int64_t>(std::count_if(
+            evals.begin(), evals.end(),
+            [](const eval::BundleEvaluation &ev) { return ev.skipped; }));
+    const auto sweep_stats =
+        eval::aggregateSweepStats(evals, runner.mechanismNames());
+
     util::TablePrinter s({"mechanism", "mean_eff_vs_opt", "worst_eff",
-                          "mean_EF", "worst_EF"});
+                          "mean_EF", "worst_EF", "converged_bundles",
+                          "fail_safe_trips"});
     for (size_t m = 0; m < runner.mechanismNames().size(); ++m) {
         s.addRow({runner.mechanismNames()[m],
                   util::formatDouble(eff_stats[m].mean(), 3),
                   util::formatDouble(eff_stats[m].min(), 3),
                   util::formatDouble(ef_stats[m].mean(), 3),
-                  util::formatDouble(ef_stats[m].min(), 3)});
+                  util::formatDouble(ef_stats[m].min(), 3),
+                  std::to_string(sweep_stats[m].bundlesConverged) + "/" +
+                      std::to_string(sweep_stats[m].bundlesEvaluated),
+                  std::to_string(sweep_stats[m].stats.failSafeTrips)});
     }
     std::cout << "\n";
     if (opt.csv)
         s.printCsv(std::cout);
     else
         s.print(std::cout);
+    if (skipped > 0) {
+        std::cout << "\n" << skipped << " of " << evals.size()
+                  << " bundles skipped (see warnings above)\n";
+    }
+    if (opt.statsJson)
+        std::cout << eval::sweepStatsJson(sweep_stats, skipped) << "\n";
     return 0;
 }
 
@@ -480,12 +550,27 @@ runSim(const Options &opt, ProfileSource &source,
         t.printCsv(std::cout);
     else
         t.print(std::cout);
+    const std::int64_t converged_epochs = static_cast<std::int64_t>(
+        std::count_if(result.epochs.begin(), result.epochs.end(),
+                      [](const sim::EpochRecord &r) { return r.converged; }));
     std::cout << "\nmechanism " << result.mechanism
               << ": weighted speedup "
               << util::formatDouble(result.meanEfficiency, 3)
               << ", envy-freeness "
               << util::formatDouble(result.envyFreeness, 3) << " ("
-              << result.epochs.size() << " measured epochs)\n";
+              << result.epochs.size() << " measured epochs, "
+              << converged_epochs << " converged, "
+              << result.failedAllocations << " failed allocations)\n";
+    if (opt.statsJson) {
+        eval::MechanismSweepStats s;
+        s.mechanism = result.mechanism;
+        s.bundlesEvaluated =
+            static_cast<std::int64_t>(result.epochs.size());
+        s.bundlesConverged = converged_epochs;
+        s.stats = result.solverStats;
+        std::cout << eval::sweepStatsJson({s}, result.failedAllocations)
+                  << "\n";
+    }
     return 0;
 }
 
@@ -556,6 +641,13 @@ main(int argc, char **argv)
                     util::fatal("--warm-start needs 'on' or 'off', got "
                                 "'%s'",
                                 v.c_str());
+            } else if (arg == "--stats") {
+                const std::string v = next();
+                if (v != "json") {
+                    util::fatal("--stats supports only 'json', got '%s'",
+                                v.c_str());
+                }
+                opt.statsJson = true;
             } else if (arg == "--csv") {
                 opt.csv = true;
             } else {
