@@ -35,6 +35,13 @@
  * still flip a cut decision and walk the budgets to a
  * (quality-equivalent) neighboring fixed point.
  *
+ * Part C pins the flattened solver's memory contract: after a sizing
+ * pass, repeated warm solves through findEquilibriumInto with a reused
+ * SolveWorkspace and ping-ponged result slots must perform ZERO heap
+ * allocations (counted by this binary's own operator new override) --
+ * the benchmark aborts otherwise -- and the per-sweep cost
+ * (nanoseconds per bidding-pricing sweep) is reported per market size.
+ *
  * Output: a human-readable summary on stdout and a JSON artifact
  * (default BENCH_market.json; see EXPERIMENTS.md).
  *
@@ -42,12 +49,16 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -61,6 +72,62 @@
 #include "rebudget/util/rng.h"
 #include "rebudget/util/table.h"
 #include "rebudget/workloads/bundles.h"
+
+// ---------------------------------------------------------------------
+// Heap allocation counter: every operator new in this binary bumps an
+// atomic, so Part C can assert that steady-state solves are
+// allocation-free.  Counting is process-wide (all threads) but Part C
+// only reads the counter around a single-threaded measurement loop.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::int64_t> g_heap_allocs{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 using namespace rebudget;
 
@@ -172,6 +239,78 @@ runSynthetic(size_t players, int rounds)
             out.warmIterations += eq.iterations;
         }
         out.warmMs = nowMs() - t0;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Part C: steady-state memory contract and per-sweep cost of the
+// flattened Into-API hot path.
+// ---------------------------------------------------------------------
+
+struct SteadyStateResult
+{
+    size_t players = 0;
+    int countedSolves = 0;
+    /** Heap allocations during the counted solves; the contract is 0. */
+    std::int64_t countedAllocs = 0;
+    /** Bidding-pricing sweeps performed by the counted solves. */
+    long sweeps = 0;
+    double nsPerSweep = 0.0;
+    double usPerSolve = 0.0;
+};
+
+SteadyStateResult
+runSteadyState(size_t players, int reps)
+{
+    const SyntheticProblem p = makeSynthetic(players, 42);
+    market::MarketConfig cfg;
+    cfg.warmStart = true;
+    const market::ProportionalMarket mkt(p.models, p.capacities, cfg);
+    const auto walk = budgetWalk(players, 12);
+
+    market::SolveWorkspace ws;
+    market::EquilibriumResult slots[2];
+    int cur = 0;
+    const market::EquilibriumResult *prior = nullptr;
+    // Sizing pass: the first traversal grows every workspace and result
+    // buffer to its steady-state footprint.
+    for (const auto &budgets : walk) {
+        market::EquilibriumResult *eq = &slots[cur];
+        cur ^= 1;
+        mkt.findEquilibriumInto(budgets, prior, ws, *eq);
+        prior = eq;
+    }
+
+    SteadyStateResult out;
+    out.players = players;
+    const std::int64_t a0 =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    const double t0 = nowMs();
+    for (int rep = 0; rep < reps; ++rep) {
+        for (const auto &budgets : walk) {
+            market::EquilibriumResult *eq = &slots[cur];
+            cur ^= 1;
+            mkt.findEquilibriumInto(budgets, prior, ws, *eq);
+            prior = eq;
+            out.sweeps += eq->iterations;
+            ++out.countedSolves;
+        }
+    }
+    const double elapsed_ms = nowMs() - t0;
+    out.countedAllocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - a0;
+    out.nsPerSweep =
+        out.sweeps > 0 ? elapsed_ms * 1e6 / out.sweeps : 0.0;
+    out.usPerSolve = out.countedSolves > 0
+                         ? elapsed_ms * 1e3 / out.countedSolves
+                         : 0.0;
+    if (out.countedAllocs != 0) {
+        util::fatal("steady-state contract violated: %lld heap "
+                    "allocations across %d warm solves at %zu players "
+                    "(expected 0)",
+                    static_cast<long long>(out.countedAllocs),
+                    out.countedSolves, players);
     }
     return out;
 }
@@ -332,6 +471,7 @@ ratio(long cold, long warm)
 void
 writeJson(const std::string &path, bool smoke,
           const std::vector<SyntheticResult> &synthetic,
+          const std::vector<SteadyStateResult> &steady,
           const SuiteResult &suite)
 {
     std::ostringstream js;
@@ -354,6 +494,18 @@ writeJson(const std::string &path, bool smoke,
            << util::formatDouble(
                   s.warmMs > 0.0 ? s.coldMs / s.warmMs : 0.0, 3)
            << "}" << (k + 1 < synthetic.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n";
+    js << "  \"steady_state\": [\n";
+    for (size_t k = 0; k < steady.size(); ++k) {
+        const auto &s = steady[k];
+        js << "    {\"players\": " << s.players
+           << ", \"solves\": " << s.countedSolves
+           << ", \"counted_allocs\": " << s.countedAllocs
+           << ", \"sweeps\": " << s.sweeps
+           << ", \"ns_per_sweep\": " << util::formatDouble(s.nsPerSweep, 1)
+           << ", \"us_per_solve\": " << util::formatDouble(s.usPerSolve, 2)
+           << "}" << (k + 1 < steady.size() ? "," : "") << "\n";
     }
     js << "  ],\n";
     js << "  \"bundle_suite\": {\n";
@@ -415,7 +567,12 @@ main(int argc, char **argv)
 
     const std::vector<size_t> sizes =
         smoke ? std::vector<size_t>{8} : std::vector<size_t>{8, 16, 64};
-    const int rounds = smoke ? 6 : 12;
+    // Part A rounds and all of Part C are identical in smoke and full
+    // mode: the solver is deterministic, so their iteration/sweep
+    // counters from a --smoke run are directly comparable against a
+    // committed full-run baseline (tools/bench_compare.py relies on
+    // this).
+    const int rounds = 12;
     const uint32_t suite_cores = smoke ? 8 : 64;
     const int per_category = smoke ? 2 : 40;
 
@@ -440,6 +597,24 @@ main(int argc, char **argv)
     ta.print(std::cout);
 
     util::printBanner(std::cout,
+                      "Part C: steady-state memory contract "
+                      "(warm Into-API solves)");
+    util::TablePrinter tc({"players", "solves", "heap allocs", "sweeps",
+                           "ns/sweep", "us/solve"});
+    std::vector<SteadyStateResult> steady;
+    for (size_t players : std::vector<size_t>{8, 16, 64}) {
+        const SteadyStateResult s = runSteadyState(players, 20);
+        tc.addRow({std::to_string(s.players),
+                   std::to_string(s.countedSolves),
+                   std::to_string(s.countedAllocs),
+                   std::to_string(s.sweeps),
+                   util::formatDouble(s.nsPerSweep, 1),
+                   util::formatDouble(s.usPerSolve, 2)});
+        steady.push_back(s);
+    }
+    tc.print(std::cout);
+
+    util::printBanner(std::cout,
                       "Part B: Figure 4 bundle suite, warm starts "
                       "off vs on");
     const SuiteResult suite = runSuite(suite_cores, per_category, jobs);
@@ -461,7 +636,7 @@ main(int argc, char **argv)
               << util::formatDouble(suite.coldMs, 1) << " ms, warm "
               << util::formatDouble(suite.warmMs, 1) << " ms\n";
 
-    writeJson(out_path, smoke, synthetic, suite);
+    writeJson(out_path, smoke, synthetic, steady, suite);
     std::cout << "wrote " << out_path << "\n";
     return 0;
 }

@@ -56,10 +56,10 @@ EqualShareAllocator::allocate(const AllocationProblem &problem) const
     const size_t m = problem.capacities.size();
     AllocationOutcome outcome;
     outcome.mechanism = name();
-    outcome.alloc.assign(n, std::vector<double>(m, 0.0));
+    outcome.alloc.assign(n, m, 0.0);
     for (size_t i = 0; i < n; ++i) {
         for (size_t j = 0; j < m; ++j)
-            outcome.alloc[i][j] =
+            outcome.alloc(i, j) =
                 problem.capacities[j] / static_cast<double>(n);
     }
     outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
@@ -95,8 +95,12 @@ EqualBudgetAllocator::allocate(const AllocationProblem &problem) const
     outcome.budgets = budgets;
     if (problem.recordBudgetHistory)
         outcome.budgetHistory.push_back(budgets);
-    publishEquilibrium(outcome,
-                       mkt.findEquilibrium(budgets, problem.warmStart));
+    market::SolveWorkspace local_ws;
+    market::SolveWorkspace &ws =
+        problem.workspace != nullptr ? *problem.workspace : local_ws;
+    market::EquilibriumResult eq;
+    mkt.findEquilibriumInto(budgets, problem.warmStart, ws, eq);
+    publishEquilibrium(outcome, std::move(eq));
     outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
     return outcome;
 }
@@ -147,8 +151,12 @@ BalancedBudgetAllocator::allocate(const AllocationProblem &problem) const
     outcome.mechanism = name();
     if (problem.recordBudgetHistory)
         outcome.budgetHistory.push_back(budgets);
-    publishEquilibrium(outcome,
-                       mkt.findEquilibrium(budgets, problem.warmStart));
+    market::SolveWorkspace local_ws;
+    market::SolveWorkspace &ws =
+        problem.workspace != nullptr ? *problem.workspace : local_ws;
+    market::EquilibriumResult eq;
+    mkt.findEquilibriumInto(budgets, problem.warmStart, ws, eq);
+    publishEquilibrium(outcome, std::move(eq));
     outcome.budgets = std::move(budgets);
     outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
     return outcome;

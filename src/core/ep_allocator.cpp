@@ -212,7 +212,7 @@ EpAllocator::allocate(const AllocationProblem &problem) const
         fits.push_back(
             fitCobbDouglas(*model, problem.capacities, gridPoints_));
 
-    outcome.alloc.assign(n, std::vector<double>(m, 0.0));
+    outcome.alloc.assign(n, m, 0.0);
     for (size_t j = 0; j < m; ++j) {
         double total = 0.0;
         for (size_t i = 0; i < n; ++i)
@@ -221,7 +221,7 @@ EpAllocator::allocate(const AllocationProblem &problem) const
             const double share =
                 total > 0.0 ? fits[i].elasticities[j] / total
                             : 1.0 / static_cast<double>(n);
-            outcome.alloc[i][j] = problem.capacities[j] * share;
+            outcome.alloc(i, j) = problem.capacities[j] * share;
         }
     }
     auto seed = std::make_shared<market::EquilibriumResult>();

@@ -6,22 +6,21 @@
 
 namespace rebudget::core {
 
-std::vector<std::vector<double>>
-GroupedProblem::expand(const std::vector<std::vector<double>> &group_alloc,
+util::Matrix<double>
+GroupedProblem::expand(const util::Matrix<double> &group_alloc,
                        size_t total_cores) const
 {
-    REBUDGET_ASSERT(group_alloc.size() == groups.size(),
+    REBUDGET_ASSERT(group_alloc.rows() == groups.size(),
                     "expand: group allocation count mismatch");
     const size_t m = problem.capacities.size();
-    std::vector<std::vector<double>> out(total_cores,
-                                         std::vector<double>(m, 0.0));
+    util::Matrix<double> out(total_cores, m, 0.0);
     for (size_t g = 0; g < groups.size(); ++g) {
         const double k = static_cast<double>(groups[g].cores.size());
         for (const uint32_t core : groups[g].cores) {
             REBUDGET_ASSERT(core < total_cores,
                             "expand: group references an out-of-range core");
             for (size_t j = 0; j < m; ++j)
-                out[core][j] = group_alloc[g][j] / k;
+                out(core, j) = group_alloc(g, j) / k;
         }
     }
     return out;

@@ -19,6 +19,7 @@
 
 #include "rebudget/market/market.h"
 #include "rebudget/market/utility_model.h"
+#include "rebudget/util/matrix.h"
 #include "rebudget/util/solver_stats.h"
 #include "rebudget/util/status.h"
 
@@ -52,6 +53,16 @@ struct AllocationProblem
      * it on to replay a mechanism's exact solve sequence.
      */
     bool recordBudgetHistory = false;
+    /**
+     * Optional reusable solver scratch (non-owning).  Market mechanisms
+     * run every equilibrium solve through it, so a caller that solves
+     * many problems of the same shape (the epoch simulator, a sweep
+     * worker) amortizes all solver buffers to zero steady-state heap
+     * allocations.  Null means allocate() uses a call-local workspace.
+     * Not thread-safe: concurrent allocate() calls must pass distinct
+     * workspaces (or null).
+     */
+    market::SolveWorkspace *workspace = nullptr;
 };
 
 /** Outputs of one allocation decision. */
@@ -69,8 +80,8 @@ struct AllocationOutcome
     util::SolverStats stats;
     /** Mechanism that produced the outcome. */
     std::string mechanism;
-    /** Allocation [player][resource]. */
-    std::vector<std::vector<double>> alloc;
+    /** Allocation [player][resource] (flat row-major). */
+    util::Matrix<double> alloc;
     /** Final budgets per player (market mechanisms only). */
     std::vector<double> budgets;
     /** Final lambda_i per player (market mechanisms only). */
@@ -107,8 +118,13 @@ class Allocator
   public:
     virtual ~Allocator() = default;
 
-    /** @return the mechanism's display name. */
-    virtual std::string name() const = 0;
+    /**
+     * @return the mechanism's display name.  The reference must stay
+     * valid for the allocator's lifetime: implementations compute the
+     * name once at construction (or return a literal-backed static)
+     * instead of formatting it on every call.
+     */
+    virtual const std::string &name() const = 0;
 
     /**
      * Solve one allocation problem.

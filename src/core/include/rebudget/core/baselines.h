@@ -20,7 +20,11 @@ namespace rebudget::core {
 class EqualShareAllocator : public Allocator
 {
   public:
-    std::string name() const override { return "EqualShare"; }
+    const std::string &name() const override
+    {
+        static const std::string kName = "EqualShare";
+        return kName;
+    }
     AllocationOutcome allocate(
         const AllocationProblem &problem) const override;
 };
@@ -39,7 +43,11 @@ class EqualBudgetAllocator : public Allocator
     /** Ok, or why this allocator cannot run. */
     const util::SolveStatus &configStatus() const { return configStatus_; }
 
-    std::string name() const override { return "EqualBudget"; }
+    const std::string &name() const override
+    {
+        static const std::string kName = "EqualBudget";
+        return kName;
+    }
     AllocationOutcome allocate(
         const AllocationProblem &problem) const override;
 
@@ -61,7 +69,11 @@ class BalancedBudgetAllocator : public Allocator
     /** Ok, or why this allocator cannot run. */
     const util::SolveStatus &configStatus() const { return configStatus_; }
 
-    std::string name() const override { return "Balanced"; }
+    const std::string &name() const override
+    {
+        static const std::string kName = "Balanced";
+        return kName;
+    }
     AllocationOutcome allocate(
         const AllocationProblem &problem) const override;
 

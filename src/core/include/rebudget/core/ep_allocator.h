@@ -64,7 +64,11 @@ class EpAllocator : public Allocator
     /** Ok, or why this allocator cannot run. */
     const util::SolveStatus &configStatus() const { return configStatus_; }
 
-    std::string name() const override { return "EP"; }
+    const std::string &name() const override
+    {
+        static const std::string kName = "EP";
+        return kName;
+    }
     AllocationOutcome allocate(
         const AllocationProblem &problem) const override;
 

@@ -51,8 +51,8 @@ struct GroupedProblem
      * @param group_alloc  allocation per group ([group][resource])
      * @param total_cores  size of the per-core problem
      */
-    std::vector<std::vector<double>> expand(
-        const std::vector<std::vector<double>> &group_alloc,
+    util::Matrix<double> expand(
+        const util::Matrix<double> &group_alloc,
         size_t total_cores) const;
 };
 

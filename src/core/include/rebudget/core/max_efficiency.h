@@ -37,7 +37,11 @@ class MaxEfficiencyAllocator : public Allocator
     /** Ok, or why this allocator cannot run. */
     const util::SolveStatus &configStatus() const { return configStatus_; }
 
-    std::string name() const override { return "MaxEfficiency"; }
+    const std::string &name() const override
+    {
+        static const std::string kName = "MaxEfficiency";
+        return kName;
+    }
     AllocationOutcome allocate(
         const AllocationProblem &problem) const override;
 

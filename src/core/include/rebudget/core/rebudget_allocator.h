@@ -96,7 +96,7 @@ class ReBudgetAllocator : public Allocator
     static ReBudgetAllocator withFairnessTarget(
         double ef_target, double initial_budget = 100.0);
 
-    std::string name() const override;
+    const std::string &name() const override { return name_; }
     AllocationOutcome allocate(
         const AllocationProblem &problem) const override;
 
@@ -117,6 +117,8 @@ class ReBudgetAllocator : public Allocator
     double step0_ = 0.0;
     double floorFraction_ = 0.0;
     util::SolveStatus configStatus_;
+    /** Display name, formatted once at construction. */
+    std::string name_;
 };
 
 } // namespace rebudget::core

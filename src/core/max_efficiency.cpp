@@ -35,11 +35,9 @@ usableWarmAlloc(const AllocationProblem &problem,
         return false;
     const size_t n = problem.models.size();
     const size_t m = problem.capacities.size();
-    if (prior->alloc.size() != n)
+    if (prior->alloc.rows() != n || prior->alloc.cols() != m)
         return false;
-    for (const auto &row : prior->alloc) {
-        if (row.size() != m)
-            return false;
+    for (auto row : prior->alloc) {
         for (double v : row) {
             if (v < 0.0)
                 return false;
@@ -48,7 +46,7 @@ usableWarmAlloc(const AllocationProblem &problem,
     for (size_t j = 0; j < m; ++j) {
         double sum = 0.0;
         for (size_t i = 0; i < n; ++i)
-            sum += prior->alloc[i][j];
+            sum += prior->alloc(i, j);
         if (std::abs(sum - problem.capacities[j]) >
             1e-6 * problem.capacities[j])
             return false;
@@ -94,7 +92,7 @@ MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
         // any full allocation.
         alloc = problem.warmStart->alloc;
     } else {
-        alloc.assign(n, std::vector<double>(m, 0.0));
+        alloc.assign(n, m, 0.0);
         std::vector<double> remaining = problem.capacities;
 
         auto best_marginal_player = [&](size_t j) {
@@ -121,7 +119,7 @@ MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
                     continue;
                 const double q = std::min(quantum[j], remaining[j]);
                 const size_t i = best_marginal_player(j);
-                alloc[i][j] += q;
+                alloc(i, j) += q;
                 remaining[j] -= q;
                 any = true;
             }
@@ -140,13 +138,13 @@ MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
             const double q = quantum[j];
             for (size_t donor = 0; donor < n; ++donor) {
                 for (size_t rcpt = 0; rcpt < n; ++rcpt) {
-                    if (rcpt == donor || alloc[donor][j] < q)
+                    if (rcpt == donor || alloc(donor, j) < q)
                         continue;
                     const double before =
                         problem.models[donor]->utility(alloc[donor]) +
                         problem.models[rcpt]->utility(alloc[rcpt]);
-                    alloc[donor][j] -= q;
-                    alloc[rcpt][j] += q;
+                    alloc(donor, j) -= q;
+                    alloc(rcpt, j) += q;
                     const double after =
                         problem.models[donor]->utility(alloc[donor]) +
                         problem.models[rcpt]->utility(alloc[rcpt]);
@@ -154,8 +152,8 @@ MaxEfficiencyAllocator::allocate(const AllocationProblem &problem) const
                         improved = true;
                         ++outcome.stats.hillClimbSteps;
                     } else {
-                        alloc[donor][j] += q; // revert
-                        alloc[rcpt][j] -= q;
+                        alloc(donor, j) += q; // revert
+                        alloc(rcpt, j) -= q;
                     }
                 }
             }

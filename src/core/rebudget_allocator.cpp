@@ -57,18 +57,26 @@ validateReBudgetConfig(const ReBudgetConfig &config)
 ReBudgetAllocator::ReBudgetAllocator(const ReBudgetConfig &config)
     : config_(config), configStatus_(validateReBudgetConfig(config))
 {
-    if (!configStatus_.ok())
-        return; // allocate() will refuse to run; knobs stay at zero
-    if (config_.efTarget >= 0.0) {
-        // ByFairnessTarget: derive the MBR floor from Theorem 2 and the
-        // initial step from Section 4.2 step (1).
-        floorFraction_ =
-            market::mbrForEnvyFreenessTarget(config_.efTarget);
-        step0_ = (1.0 - floorFraction_) * config_.initialBudget / 2.0;
-    } else {
-        step0_ = config_.step0;
-        floorFraction_ = config_.mbrFloor;
+    if (configStatus_.ok()) {
+        if (config_.efTarget >= 0.0) {
+            // ByFairnessTarget: derive the MBR floor from Theorem 2 and
+            // the initial step from Section 4.2 step (1).
+            floorFraction_ =
+                market::mbrForEnvyFreenessTarget(config_.efTarget);
+            step0_ = (1.0 - floorFraction_) * config_.initialBudget / 2.0;
+        } else {
+            step0_ = config_.step0;
+            floorFraction_ = config_.mbrFloor;
+        }
     }
+    // Display name, formatted once here instead of on every name() call
+    // (sweeps ask for the mechanism name per bundle).
+    std::ostringstream ss;
+    if (config_.efTarget >= 0.0)
+        ss << "ReBudget-EF" << config_.efTarget;
+    else
+        ss << "ReBudget-" << std::llround(step0_);
+    name_ = ss.str();
 }
 
 ReBudgetAllocator
@@ -88,17 +96,6 @@ ReBudgetAllocator::withFairnessTarget(double ef_target,
     cfg.initialBudget = initial_budget;
     cfg.efTarget = ef_target;
     return ReBudgetAllocator(cfg);
-}
-
-std::string
-ReBudgetAllocator::name() const
-{
-    std::ostringstream ss;
-    if (config_.efTarget >= 0.0)
-        ss << "ReBudget-EF" << config_.efTarget;
-    else
-        ss << "ReBudget-" << std::llround(step0_);
-    return ss.str();
 }
 
 double
@@ -149,22 +146,32 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
     const double min_step =
         config_.minStepFraction * config_.initialBudget;
 
-    market::EquilibriumResult eq;
     // Warm-start chain: the first round may be seeded by the caller
     // (epoch-to-epoch), every later round by the previous round's
     // equilibrium -- consecutive budget vectors differ only by the cut
     // step, so re-convergence from the prior bids is fast.  With
-    // marketConfig.warmStart off, findEquilibrium ignores the hint and
-    // every round cold-starts (the A/B baseline).
+    // marketConfig.warmStart off, the solver ignores the hint and every
+    // round cold-starts (the A/B baseline).
+    //
+    // The rounds solve through a shared workspace and ping-pong between
+    // two result slots (the solver requires result != prior), so a
+    // multi-round allocate performs no solver heap allocation after the
+    // first round -- and none at all when the caller supplies
+    // problem.workspace warmed by a previous allocate.
+    market::SolveWorkspace local_ws;
+    market::SolveWorkspace &ws =
+        problem.workspace != nullptr ? *problem.workspace : local_ws;
+    market::EquilibriumResult slots[2];
+    int cur = 0;
+    market::EquilibriumResult *eq = nullptr;
     const market::EquilibriumResult *prior = problem.warmStart;
     const bool warm_mode = problem.marketConfig.warmStart;
     const double elide_below =
         config_.elideStepFraction * config_.initialBudget;
     bool next_elidable = false;
     for (int round = 0; round < config_.maxRounds; ++round) {
-        // Passing &eq while assigning to eq is safe: both solvers only
-        // read the prior during the call and their result is a separate
-        // temporary, move-assigned after the call returns.
+        eq = &slots[cur];
+        cur ^= 1;
         if (warm_mode && next_elidable) {
             // The cut that produced these budgets was below the elision
             // threshold: reuse the previous equilibrium rescaled to the
@@ -172,14 +179,14 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
             // ordering instead of re-solving.  The result carries
             // approximated=true; budget-history and convergence
             // accounting key off that flag.
-            eq = mkt.rescaleEquilibrium(eq, budgets);
+            mkt.rescaleEquilibriumInto(*prior, budgets, ws, *eq);
         } else {
-            eq = mkt.findEquilibrium(budgets, prior);
+            mkt.findEquilibriumInto(budgets, prior, ws, *eq);
         }
-        if (problem.recordBudgetHistory && !eq.approximated)
+        if (problem.recordBudgetHistory && !eq->approximated)
             outcome.budgetHistory.push_back(budgets);
-        prior = &eq;
-        accumulateSolve(outcome, eq);
+        prior = eq;
+        accumulateSolve(outcome, *eq);
         ++outcome.budgetRounds;
         if (!outcome.status.ok())
             return fail(outcome.status);
@@ -188,10 +195,10 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
         // Cut over-budgeted players: lambda below the threshold fraction
         // of the market maximum.
         const double max_lambda =
-            *std::max_element(eq.lambdas.begin(), eq.lambdas.end());
+            *std::max_element(eq->lambdas.begin(), eq->lambdas.end());
         bool any_cut = false;
         for (size_t i = 0; i < n; ++i) {
-            if (eq.lambdas[i] <
+            if (eq->lambdas[i] <
                 config_.lambdaCutThreshold * max_lambda) {
                 const double cut_to =
                     std::max(budgets[i] - step, floor);
@@ -206,14 +213,16 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
         next_elidable = step <= elide_below;
         step *= 0.5;
     }
-    if (eq.approximated) {
+    if (eq->approximated) {
         // The loop ended on an elided round; the published equilibrium
         // must be real.  Budgets are unchanged since the approximation,
         // which seeds the solve, so this re-converges in a sweep or two.
-        eq = mkt.findEquilibrium(budgets, &eq);
-        if (problem.recordBudgetHistory && !eq.approximated)
+        market::EquilibriumResult *fin = &slots[cur];
+        mkt.findEquilibriumInto(budgets, eq, ws, *fin);
+        eq = fin;
+        if (problem.recordBudgetHistory && !eq->approximated)
             outcome.budgetHistory.push_back(budgets);
-        accumulateSolve(outcome, eq);
+        accumulateSolve(outcome, *eq);
         if (!outcome.status.ok())
             return fail(outcome.status);
     }
@@ -221,7 +230,7 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
     outcome.budgets = std::move(budgets);
     outcome.stats.budgetRounds = outcome.budgetRounds;
     auto seed =
-        std::make_shared<market::EquilibriumResult>(std::move(eq));
+        std::make_shared<market::EquilibriumResult>(std::move(*eq));
     outcome.alloc = seed->alloc;
     outcome.lambdas = seed->lambdas;
     outcome.equilibrium = std::move(seed);

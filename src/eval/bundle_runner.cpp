@@ -1,6 +1,8 @@
 #include "rebudget/eval/bundle_runner.h"
 
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -20,6 +22,52 @@ defaultPowerModel()
     return power;
 }
 
+/**
+ * Process-wide memo of catalog utility models keyed by (app,
+ * convexify).  Construction samples and convexifies the 90-point
+ * utility grid -- by far the most expensive part of problem setup --
+ * and the result is immutable, so every bundle and worker thread can
+ * share one instance per app.  Only catalog-backed profiles are
+ * memoized; a caller-supplied ProfileLookup can shadow names with
+ * different profiles, so that path always builds fresh models.
+ */
+std::shared_ptr<const app::AppUtilityModel>
+catalogModel(const std::string &name, bool convexify)
+{
+    static std::mutex mu;
+    static std::map<std::pair<std::string, bool>,
+                    std::shared_ptr<const app::AppUtilityModel>>
+        cache;
+    const std::lock_guard<std::mutex> lock(mu);
+    auto &slot = cache[{name, convexify}];
+    if (!slot) {
+        app::UtilityGridOptions options;
+        options.convexify = convexify;
+        slot = std::make_shared<const app::AppUtilityModel>(
+            app::findCatalogProfile(name), defaultPowerModel(), options);
+    }
+    return slot;
+}
+
+} // namespace
+
+namespace {
+
+/** Capacities = machine resources minus the per-core minimums. */
+void
+finishBundleProblem(BundleProblem &bp, double regions_per_core,
+                    double watts_per_core)
+{
+    double min_watts = 0.0;
+    for (const auto &model : bp.models) {
+        min_watts += model->minWatts();
+        bp.problem.models.push_back(model.get());
+    }
+    const double n = static_cast<double>(bp.models.size());
+    bp.problem.capacities = {n * regions_per_core - n * 1.0,
+                             n * watts_per_core - min_watts};
+}
+
 } // namespace
 
 BundleProblem
@@ -31,16 +79,11 @@ makeBundleProblem(const std::vector<std::string> &app_names,
     BundleProblem bp;
     app::UtilityGridOptions options;
     options.convexify = convexify;
-    double min_watts = 0.0;
     for (const auto &nm : app_names) {
-        bp.models.push_back(std::make_unique<app::AppUtilityModel>(
+        bp.models.push_back(std::make_shared<const app::AppUtilityModel>(
             lookup(nm), power, options));
-        min_watts += bp.models.back()->minWatts();
-        bp.problem.models.push_back(bp.models.back().get());
     }
-    const double n = static_cast<double>(app_names.size());
-    bp.problem.capacities = {n * regions_per_core - n * 1.0,
-                             n * watts_per_core - min_watts};
+    finishBundleProblem(bp, regions_per_core, watts_per_core);
     return bp;
 }
 
@@ -49,12 +92,11 @@ makeBundleProblem(const std::vector<std::string> &app_names,
                   double regions_per_core, double watts_per_core,
                   bool convexify)
 {
-    return makeBundleProblem(
-        app_names,
-        [](const std::string &nm) -> const app::AppProfile & {
-            return app::findCatalogProfile(nm);
-        },
-        regions_per_core, watts_per_core, convexify);
+    BundleProblem bp;
+    for (const auto &nm : app_names)
+        bp.models.push_back(catalogModel(nm, convexify));
+    finishBundleProblem(bp, regions_per_core, watts_per_core);
+    return bp;
 }
 
 MechanismScore
@@ -153,6 +195,12 @@ BundleRunner::evaluate(const workloads::Bundle &bundle) const
         return ev;
     }
     bp.problem.marketConfig = options_.marketConfig;
+    // One solver workspace per bundle evaluation: every mechanism's
+    // solves (ReBudget runs a dozen rounds) reuse the same buffers.
+    // evaluate() runs concurrently across bundles, so the workspace
+    // must stay local to the call, never shared across workers.
+    market::SolveWorkspace ws;
+    bp.problem.workspace = &ws;
 
     if (const auto err = core::tryValidateProblem(bp.problem)) {
         ev.skipped = true;

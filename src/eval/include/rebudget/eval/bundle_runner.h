@@ -46,10 +46,20 @@
 
 namespace rebudget::eval {
 
-/** An allocation problem plus the utility models backing it. */
+/**
+ * An allocation problem plus the utility models backing it.
+ *
+ * Models are shared (not owned): catalog-backed problems reuse one
+ * immutable AppUtilityModel per (app, convexify) across every bundle
+ * and thread -- model construction (grid sampling + convexification)
+ * dominates problem setup, so the suite pays it once per app instead
+ * of once per bundle.  UtilityModel is immutable after construction
+ * (see the re-entrancy contract above), which is what makes the
+ * sharing safe.
+ */
 struct BundleProblem
 {
-    std::vector<std::unique_ptr<app::AppUtilityModel>> models;
+    std::vector<std::shared_ptr<const app::AppUtilityModel>> models;
     core::AllocationProblem problem;
 };
 

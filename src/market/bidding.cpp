@@ -15,8 +15,8 @@ namespace {
 constexpr double kMinCompetingBid = 1e-9;
 
 std::vector<double>
-predictAll(const std::vector<double> &bids, const std::vector<double> &others,
-           const std::vector<double> &capacities)
+predictAll(std::span<const double> bids, std::span<const double> others,
+           std::span<const double> capacities)
 {
     std::vector<double> alloc(bids.size());
     for (size_t j = 0; j < bids.size(); ++j)
@@ -47,9 +47,8 @@ predictedAllocation(double bid, double others_bids, double capacity)
 
 double
 bidMarginal(const UtilityModel &model, size_t resource,
-            const std::vector<double> &bids,
-            const std::vector<double> &others,
-            const std::vector<double> &capacities)
+            std::span<const double> bids, std::span<const double> others,
+            std::span<const double> capacities)
 {
     REBUDGET_ASSERT(resource < bids.size(), "resource out of range");
     const std::vector<double> alloc = predictAll(bids, others, capacities);
@@ -62,8 +61,8 @@ bidMarginal(const UtilityModel &model, size_t resource,
 
 BidResult
 optimizeBids(const UtilityModel &model, double budget,
-             const std::vector<double> &others,
-             const std::vector<double> &capacities,
+             std::span<const double> others,
+             std::span<const double> capacities,
              const BidOptimizerConfig &config)
 {
     BidResult result;
@@ -75,8 +74,8 @@ optimizeBids(const UtilityModel &model, double budget,
 
 void
 optimizeBidsInto(const UtilityModel &model, double budget,
-                 const std::vector<double> &others,
-                 const std::vector<double> &capacities,
+                 std::span<const double> others,
+                 std::span<const double> capacities,
                  const BidOptimizerConfig &config, const double *initial,
                  BidResult &result, BidScratch &scratch)
 {

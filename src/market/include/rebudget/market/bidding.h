@@ -22,6 +22,7 @@
  * predicted allocation for every resource (O(M^2) per step).
  */
 
+#include <span>
 #include <vector>
 
 #include "rebudget/market/utility_model.h"
@@ -96,9 +97,9 @@ double priceResponse(double bid, double others_bids, double capacity);
  * dU/dr_j * dr_j/db_j with dr_j/db_j = C_j * y_j / (b_j + y_j)^2.
  */
 double bidMarginal(const UtilityModel &model, size_t resource,
-                   const std::vector<double> &bids,
-                   const std::vector<double> &others,
-                   const std::vector<double> &capacities);
+                   std::span<const double> bids,
+                   std::span<const double> others,
+                   std::span<const double> capacities);
 
 /**
  * Optimize a player's bids for a fixed view of the competition.
@@ -113,8 +114,8 @@ double bidMarginal(const UtilityModel &model, size_t resource,
  * @param config      hill-climber tuning
  */
 BidResult optimizeBids(const UtilityModel &model, double budget,
-                       const std::vector<double> &others,
-                       const std::vector<double> &capacities,
+                       std::span<const double> others,
+                       std::span<const double> capacities,
                        const BidOptimizerConfig &config = {});
 
 /**
@@ -131,8 +132,8 @@ BidResult optimizeBids(const UtilityModel &model, double budget,
  * call uses its own `result` and `scratch`.
  */
 void optimizeBidsInto(const UtilityModel &model, double budget,
-                      const std::vector<double> &others,
-                      const std::vector<double> &capacities,
+                      std::span<const double> others,
+                      std::span<const double> capacities,
                       const BidOptimizerConfig &config,
                       const double *initial, BidResult &result,
                       BidScratch &scratch);

@@ -11,6 +11,18 @@
  * bidding-pricing procedure of Section 2.1: broadcast prices, let each
  * player re-optimize its bids (see bidding.h), repeat until prices
  * fluctuate by less than 1%, with a 30-iteration fail-safe (Section 6.4).
+ *
+ * Memory discipline: bid and allocation matrices are flat row-major
+ * util::Matrix buffers, and the solver exposes an Into-style API
+ * (findEquilibriumInto / rescaleEquilibriumInto) writing into a
+ * caller-owned EquilibriumResult with scratch supplied via
+ * SolveWorkspace.  Repeated solves at a fixed market shape reuse every
+ * buffer, so steady-state solving performs zero heap allocations (the
+ * contract bench/perf_equilibrium's allocation audit enforces; see
+ * DESIGN.md "Solver memory layout").  Prices are maintained as
+ * incrementally-updated per-resource bid column sums -- O(1) per bid
+ * shift instead of O(n*m) per sweep -- with a full-recompute
+ * cross-check available behind MarketConfig::validatePriceSums.
  */
 
 #include <cstdint>
@@ -18,6 +30,7 @@
 
 #include "rebudget/market/bidding.h"
 #include "rebudget/market/utility_model.h"
+#include "rebudget/util/matrix.h"
 #include "rebudget/util/status.h"
 
 namespace rebudget::market {
@@ -46,6 +59,15 @@ struct MarketConfig
      * overhead.  Convergence/trajectory consumers opt in.
      */
     bool recordPriceHistory = false;
+    /**
+     * Debug cross-check for the incremental price engine: after every
+     * sweep, recompute the per-resource bid column sums from scratch and
+     * REBUDGET_ASSERT that they agree with the incrementally maintained
+     * sums within FP noise (1e-9 relative).  Costs the O(n*m) recompute
+     * the incremental engine exists to avoid, so it is off by default
+     * and enabled by the solver test-suite and ad-hoc debugging only.
+     */
+    bool validatePriceSums = false;
     /** Player bid-optimizer tuning. */
     BidOptimizerConfig bid;
 };
@@ -60,10 +82,10 @@ struct EquilibriumResult
      * NOT an error: a fail-safe solve returns Ok with converged=false.
      */
     util::SolveStatus status;
-    /** Final bids, [player][resource]. */
-    std::vector<std::vector<double>> bids;
+    /** Final bids, [player][resource] (flat row-major). */
+    util::Matrix<double> bids;
     /** Final allocation, [player][resource]; columns sum to capacity. */
-    std::vector<std::vector<double>> alloc;
+    util::Matrix<double> alloc;
     /** Final prices per resource. */
     std::vector<double> prices;
     /** Final lambda_i (marginal utility of money) per player. */
@@ -101,6 +123,38 @@ struct EquilibriumResult
     std::vector<std::vector<double>> priceHistory;
 };
 
+/**
+ * Reusable scratch buffers for the equilibrium solver.  A caller that
+ * holds one SolveWorkspace (and one EquilibriumResult per chain slot)
+ * across repeated solves of a fixed-shape market performs zero heap
+ * allocations per solve after the first: every vector here and every
+ * buffer inside the result is resized once and reused.
+ *
+ * Not thread-safe: concurrent solves need one workspace each (the
+ * parallel eval sweeps hold one per worker task).  A workspace carries
+ * no market state between solves -- any workspace works with any
+ * market; buffers are reshaped on entry.
+ */
+struct SolveWorkspace
+{
+    /** Incrementally maintained per-resource bid column sums. */
+    std::vector<double> colSums;
+    /** Previous sweep's prices (convergence reference). */
+    std::vector<double> prices;
+    /** Current sweep's prices. */
+    std::vector<double> newPrices;
+    /** y_j: competing bids seen by the player being optimized. */
+    std::vector<double> others;
+    /** Predicted allocation scratch (rescale path). */
+    std::vector<double> pred;
+    /** Utility gradient scratch (rescale path). */
+    std::vector<double> grad;
+    /** Per-player bid optimization result, reused across players. */
+    BidResult bid;
+    /** Hill-climber scratch, reused across players and rounds. */
+    BidScratch scratch;
+};
+
 /** Proportional-share market over a fixed set of players and resources. */
 class ProportionalMarket
 {
@@ -132,6 +186,10 @@ class ProportionalMarket
      * market instance may run concurrent solves on distinct budget
      * vectors (and distinct markets are fully independent).  The eval
      * layer's parallel sweeps depend on this.
+     *
+     * Convenience wrapper over findEquilibriumInto with a call-local
+     * workspace; multi-solve callers should hold a SolveWorkspace and
+     * use the Into form to stay allocation-free.
      *
      * @param budgets  B_i per player (>= 0; values within FP noise of
      *                 zero are clamped to 0, genuinely negative budgets
@@ -166,6 +224,26 @@ class ProportionalMarket
         const EquilibriumResult *prior) const;
 
     /**
+     * Allocation-free core of findEquilibrium: solve into a
+     * caller-owned result, with scratch buffers supplied by the caller.
+     * Semantics are identical to findEquilibrium(budgets, prior) --
+     * same convergence behavior, bit-identical numbers.
+     *
+     * `result` must not alias `prior` (asserted): chained consumers
+     * keep two result slots and ping-pong between them (see
+     * ReBudgetAllocator).  Every field of `result` is reset; buffers
+     * keep their capacity, which is what makes repeated same-shape
+     * solves allocation-free.
+     *
+     * Re-entrant provided each concurrent call uses its own `ws` and
+     * `result`.
+     */
+    void findEquilibriumInto(const std::vector<double> &budgets,
+                             const EquilibriumResult *prior,
+                             SolveWorkspace &ws,
+                             EquilibriumResult &result) const;
+
+    /**
      * Cheap approximate equilibrium for a small budget perturbation:
      * the prior bids are rescaled row-wise to the new budgets (the same
      * seeding rule the warm solve uses) and prices, allocations and
@@ -187,6 +265,15 @@ class ProportionalMarket
     EquilibriumResult rescaleEquilibrium(
         const EquilibriumResult &prior,
         const std::vector<double> &budgets) const;
+
+    /**
+     * Allocation-free core of rescaleEquilibrium (same result-reuse and
+     * no-aliasing contract as findEquilibriumInto).
+     */
+    void rescaleEquilibriumInto(const EquilibriumResult &prior,
+                                const std::vector<double> &budgets,
+                                SolveWorkspace &ws,
+                                EquilibriumResult &result) const;
 
     /** @return the number of players N. */
     size_t numPlayers() const { return models_.size(); }
@@ -215,26 +302,26 @@ class ProportionalMarket
 
 /**
  * @return prices p_j = sum_i b_ij / C_j for a bid matrix (Equation 1).
- * An empty bid matrix prices every resource at zero; rows whose arity
- * does not match `capacities` violate the caller contract (asserts).
+ * An empty bid matrix prices every resource at zero; a column count that
+ * does not match `capacities` violates the caller contract (asserts).
  */
 std::vector<double> computePrices(
-    const std::vector<std::vector<double>> &bids,
+    const util::Matrix<double> &bids,
     const std::vector<double> &capacities);
 
 /**
  * @return the proportional allocation r_ij = b_ij / p_j; resources with
  * zero price (no bids) are left unallocated.
  */
-std::vector<std::vector<double>> proportionalAllocation(
-    const std::vector<std::vector<double>> &bids,
+util::Matrix<double> proportionalAllocation(
+    const util::Matrix<double> &bids,
     const std::vector<double> &capacities);
 
 /**
  * @return true if every resource has at least two players with positive
  * bids (Zhang's strong competitiveness condition, Lemma 1).
  */
-bool stronglyCompetitive(const std::vector<std::vector<double>> &bids);
+bool stronglyCompetitive(const util::Matrix<double> &bids);
 
 } // namespace rebudget::market
 

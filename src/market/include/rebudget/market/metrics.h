@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "rebudget/market/utility_model.h"
+#include "rebudget/util/matrix.h"
 #include "rebudget/util/status.h"
 
 namespace rebudget::market {
@@ -34,11 +35,11 @@ namespace rebudget::market {
 /** @return per-player utilities at the given allocation. */
 std::vector<double> perPlayerUtilities(
     const std::vector<const UtilityModel *> &models,
-    const std::vector<std::vector<double>> &alloc);
+    const util::Matrix<double> &alloc);
 
 /** @return efficiency = sum of utilities (Definition 1 / Equation 5). */
 double efficiency(const std::vector<const UtilityModel *> &models,
-                  const std::vector<std::vector<double>> &alloc);
+                  const util::Matrix<double> &alloc);
 
 /**
  * @return envy-freeness of an allocation (Definition 3): for each player
@@ -47,7 +48,7 @@ double efficiency(const std::vector<const UtilityModel *> &models,
  * utility is zero everywhere contribute 1 (nothing to envy).
  */
 double envyFreeness(const std::vector<const UtilityModel *> &models,
-                    const std::vector<std::vector<double>> &alloc);
+                    const util::Matrix<double> &alloc);
 
 /**
  * @return MUR = min_i lambda_i / max_i lambda_i (Definition 5); 1 when

@@ -10,6 +10,7 @@ namespace rebudget::market {
 
 namespace {
 
+using util::Matrix;
 using util::SolveStatus;
 using util::StatusCode;
 
@@ -77,20 +78,90 @@ sanitizeBudgets(std::vector<double> &budgets)
     return SolveStatus();
 }
 
-/** computePrices into a reusable buffer (no per-iteration allocation). */
+/**
+ * Per-resource bid column sums, accumulated per column in ascending
+ * player order -- the solver's canonical summation order.  The
+ * incremental engine reproduces these sums up to FP drift; prices
+ * published in results always come from this full recompute so they are
+ * independent of the solve's shift history.
+ */
 void
-computePricesInto(const std::vector<std::vector<double>> &bids,
-                  const std::vector<double> &capacities,
-                  std::vector<double> &out)
+computeColumnSumsInto(const Matrix<double> &bids, std::vector<double> &out)
 {
-    const size_t m = capacities.size();
+    const size_t n = bids.rows();
+    const size_t m = bids.cols();
     out.assign(m, 0.0);
-    for (const auto &row : bids) {
+    for (size_t i = 0; i < n; ++i) {
+        const double *row = bids.row(i);
         for (size_t j = 0; j < m; ++j)
             out[j] += row[j];
     }
-    for (size_t j = 0; j < m; ++j)
+}
+
+/** computePrices into a reusable buffer (no per-iteration allocation). */
+void
+computePricesInto(const Matrix<double> &bids,
+                  const std::vector<double> &capacities,
+                  std::vector<double> &out)
+{
+    computeColumnSumsInto(bids, out);
+    for (size_t j = 0; j < capacities.size(); ++j)
         out[j] /= capacities[j];
+}
+
+/** proportionalAllocation against known prices, into a reused matrix. */
+void
+allocationFromPricesInto(const Matrix<double> &bids,
+                         const std::vector<double> &prices,
+                         Matrix<double> &alloc)
+{
+    const size_t n = bids.rows();
+    const size_t m = bids.cols();
+    alloc.resize(n, m);
+    for (size_t i = 0; i < n; ++i) {
+        const double *b = bids.row(i);
+        double *a = alloc.row(i);
+        for (size_t j = 0; j < m; ++j)
+            a[j] = prices[j] > 0.0 ? b[j] / prices[j] : 0.0;
+    }
+}
+
+/**
+ * Reset every field of a possibly-reused result to its freshly
+ * constructed state without releasing buffer capacity.
+ */
+void
+resetResult(EquilibriumResult &result)
+{
+    result.status = SolveStatus();
+    result.prices.clear();
+    result.lambdas.clear();
+    result.budgets.clear();
+    result.iterations = 0;
+    result.converged = false;
+    result.warmStarted = false;
+    result.approximated = false;
+    result.hillClimbSteps = 0;
+    result.solveSeconds = 0.0;
+    result.priceHistory.clear();
+}
+
+/**
+ * validatePriceSums cross-check: the incrementally maintained column
+ * sums must match a from-scratch recompute within FP drift.
+ */
+void
+crossCheckColumnSums(const Matrix<double> &bids,
+                     const std::vector<double> &incremental,
+                     std::vector<double> &scratch)
+{
+    computeColumnSumsInto(bids, scratch);
+    for (size_t j = 0; j < incremental.size(); ++j) {
+        const double ref = scratch[j];
+        const double tol = 1e-9 * std::max(1.0, std::abs(ref));
+        REBUDGET_ASSERT(std::abs(incremental[j] - ref) <= tol,
+                        "incremental price sums drifted from recompute");
+    }
 }
 
 } // namespace
@@ -113,80 +184,86 @@ EquilibriumResult
 ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
                                     const EquilibriumResult *prior) const
 {
+    SolveWorkspace ws;
+    EquilibriumResult result;
+    findEquilibriumInto(budgets, prior, ws, result);
+    return result;
+}
+
+void
+ProportionalMarket::findEquilibriumInto(const std::vector<double> &budgets,
+                                        const EquilibriumResult *prior,
+                                        SolveWorkspace &ws,
+                                        EquilibriumResult &result) const
+{
+    REBUDGET_ASSERT(&result != prior,
+                    "findEquilibriumInto: result must not alias prior "
+                    "(ping-pong two result slots)");
     const double t0 = util::monotonicSeconds();
     const size_t n = models_.size();
     const size_t m = capacities_.size();
-    EquilibriumResult result;
-    result.budgets = budgets;
+    resetResult(result);
+    result.budgets.assign(budgets.begin(), budgets.end());
     if (!status_.ok()) {
         result.status = status_;
-        return result;
+        return;
     }
     if (budgets.size() != n) {
         result.status = SolveStatus::error(StatusCode::InvalidArgument,
                                            "expected %zu budgets, got %zu",
                                            n, budgets.size());
-        return result;
+        return;
     }
     if (SolveStatus st = sanitizeBudgets(result.budgets); !st.ok()) {
         result.status = st;
-        return result;
+        return;
     }
 
     // A warm hint is usable only when enabled and shape-compatible; an
     // incompatible prior (different machine) degrades to a cold start.
-    bool warm = config_.warmStart && prior != nullptr &&
-                prior->bids.size() == n && prior->budgets.size() == n;
-    if (warm) {
-        for (const auto &row : prior->bids) {
-            if (row.size() != m) {
-                warm = false;
-                break;
-            }
-        }
-    }
+    const bool warm = config_.warmStart && prior != nullptr &&
+                      prior->bids.rows() == n && prior->bids.cols() == m &&
+                      prior->budgets.size() == n;
 
     const std::vector<double> &b = result.budgets;
     result.warmStarted = warm;
     result.lambdas.assign(n, 0.0);
-    result.bids.assign(n, std::vector<double>(m, 0.0));
+    result.bids.assign(n, m, 0.0);
     for (size_t i = 0; i < n; ++i) {
+        double *bids_i = result.bids.row(i);
         // Warm start: seed from the player's prior bids scaled by its
         // budget ratio, renormalized so the row sums exactly to B_i.
         // Cold start (and players without a usable prior row): equal
         // split (step 1 of the bidding strategy).
         bool seeded = false;
         if (warm && prior->budgets[i] > 0.0) {
+            const double *prior_i = prior->bids.row(i);
             double sum = 0.0;
             for (size_t j = 0; j < m; ++j)
-                sum += prior->bids[i][j];
+                sum += prior_i[j];
             if (sum > 0.0) {
                 const double scale = b[i] / sum;
                 for (size_t j = 0; j < m; ++j)
-                    result.bids[i][j] = prior->bids[i][j] * scale;
+                    bids_i[j] = prior_i[j] * scale;
                 seeded = true;
             }
         }
         if (!seeded) {
             for (size_t j = 0; j < m; ++j)
-                result.bids[i][j] = b[i] / static_cast<double>(m);
+                bids_i[j] = b[i] / static_cast<double>(m);
         }
     }
 
-    std::vector<double> col_sums(m, 0.0);
-    for (size_t j = 0; j < m; ++j) {
-        for (size_t i = 0; i < n; ++i)
-            col_sums[j] += result.bids[i][j];
-    }
-    std::vector<double> prices;
-    computePricesInto(result.bids, capacities_, prices);
+    // Column sums are the price engine: maintained incrementally on bid
+    // deltas below, recomputed from scratch only at entry, at exit (the
+    // published prices) and under validatePriceSums.
+    computeColumnSumsInto(result.bids, ws.colSums);
+    ws.prices.resize(m);
+    for (size_t j = 0; j < m; ++j)
+        ws.prices[j] = ws.colSums[j] / capacities_[j];
 
-    // Solver scratch, reused across rounds and players: after this
-    // setup the iteration loop performs no heap allocation.
-    std::vector<double> others(m);
-    std::vector<double> new_prices(m);
-    BidResult br;
-    BidScratch scratch;
+    ws.others.resize(m);
+    ws.newPrices.resize(m);
     for (int iter = 0; iter < config_.maxIterations; ++iter) {
         ++result.iterations;
         // Each player re-optimizes against the latest bids (players see
@@ -194,8 +271,9 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
         // column sums in place is equivalent and matches the distributed
         // semantics).
         for (size_t i = 0; i < n; ++i) {
+            double *bids_i = result.bids.row(i);
             for (size_t j = 0; j < m; ++j)
-                others[j] = std::max(0.0, col_sums[j] - result.bids[i][j]);
+                ws.others[j] = std::max(0.0, ws.colSums[j] - bids_i[j]);
             // Cold solves restart every climb from equal split (the
             // paper's step 1).  Warm solves seed each climb from the
             // player's current bids: the seeded climb expands its shift
@@ -203,45 +281,61 @@ ProportionalMarket::findEquilibrium(const std::vector<double> &budgets,
             // player is an exact no-op and the sweep map reaches a true
             // fixed point instead of re-rolling each climb's
             // quantization noise every sweep.
-            optimizeBidsInto(*models_[i], b[i], others, capacities_,
-                             config_.bid,
-                             warm ? result.bids[i].data() : nullptr, br,
-                             scratch);
+            optimizeBidsInto(*models_[i], b[i], ws.others, capacities_,
+                             config_.bid, warm ? bids_i : nullptr, ws.bid,
+                             ws.scratch);
             for (size_t j = 0; j < m; ++j) {
-                col_sums[j] += br.bids[j] - result.bids[i][j];
-                result.bids[i][j] = br.bids[j];
+                ws.colSums[j] += ws.bid.bids[j] - bids_i[j];
+                bids_i[j] = ws.bid.bids[j];
             }
-            result.lambdas[i] = br.lambda;
-            result.hillClimbSteps += br.steps;
+            result.lambdas[i] = ws.bid.lambda;
+            result.hillClimbSteps += ws.bid.steps;
         }
-        computePricesInto(result.bids, capacities_, new_prices);
-        if (config_.recordPriceHistory)
-            result.priceHistory.push_back(new_prices);
+        // Sweep-end prices straight from the incremental column sums:
+        // O(m), not the historical O(n*m) full recompute.  The
+        // incremental sums track the recompute up to ulp-level FP drift
+        // (non-associativity of the += deltas); convergence is checked
+        // against them consistently on every sweep, and the published
+        // prices below come from a full recompute, so results do not
+        // depend on the drift.
+        for (size_t j = 0; j < m; ++j)
+            ws.newPrices[j] = ws.colSums[j] / capacities_[j];
+        if (config_.validatePriceSums)
+            crossCheckColumnSums(result.bids, ws.colSums, ws.pred);
+        if (config_.recordPriceHistory) {
+            // History entries stay full-recompute prices (bit-identical
+            // to the historical trajectory; the last entry must equal
+            // the published prices exactly).
+            computePricesInto(result.bids, capacities_, ws.pred);
+            result.priceHistory.push_back(ws.pred);
+        }
         bool stable = true;
         for (size_t j = 0; j < m; ++j) {
-            const double old_p = prices[j];
-            const double new_p = new_prices[j];
+            const double old_p = ws.prices[j];
+            const double new_p = ws.newPrices[j];
             const double denom = std::max(old_p, 1e-12);
             if (std::abs(new_p - old_p) / denom > config_.priceTol) {
                 stable = false;
                 break;
             }
         }
-        std::swap(prices, new_prices);
+        std::swap(ws.prices, ws.newPrices);
         if (stable) {
             result.converged = true;
             break;
         }
     }
 
-    result.prices = std::move(prices);
-    result.alloc = proportionalAllocation(result.bids, capacities_);
+    // Published prices: full recompute over the final bids in canonical
+    // order, so they are bit-identical to the historical per-sweep
+    // recompute path and independent of incremental drift.
+    computePricesInto(result.bids, capacities_, result.prices);
+    allocationFromPricesInto(result.bids, result.prices, result.alloc);
     if (!result.converged) {
         util::warn("market fail-safe: no equilibrium within %d iterations",
                    config_.maxIterations);
     }
     result.solveSeconds = util::monotonicSeconds() - t0;
-    return result;
 }
 
 EquilibriumResult
@@ -249,43 +343,54 @@ ProportionalMarket::rescaleEquilibrium(
     const EquilibriumResult &prior,
     const std::vector<double> &budgets) const
 {
+    SolveWorkspace ws;
+    EquilibriumResult result;
+    rescaleEquilibriumInto(prior, budgets, ws, result);
+    return result;
+}
+
+void
+ProportionalMarket::rescaleEquilibriumInto(
+    const EquilibriumResult &prior, const std::vector<double> &budgets,
+    SolveWorkspace &ws, EquilibriumResult &result) const
+{
+    REBUDGET_ASSERT(&result != &prior,
+                    "rescaleEquilibriumInto: result must not alias prior");
     const double t0 = util::monotonicSeconds();
     const size_t n = models_.size();
     const size_t m = capacities_.size();
-    EquilibriumResult result;
-    result.budgets = budgets;
+    resetResult(result);
+    result.budgets.assign(budgets.begin(), budgets.end());
     // The rescaled point is an approximation by construction; its
     // converged flag merely carries the prior real solve's verdict.
     result.approximated = true;
     if (!status_.ok()) {
         result.status = status_;
-        return result;
+        return;
     }
     if (budgets.size() != n) {
         result.status = SolveStatus::error(StatusCode::InvalidArgument,
                                            "expected %zu budgets, got %zu",
                                            n, budgets.size());
-        return result;
+        return;
     }
-    if (prior.bids.size() != n) {
+    if (prior.bids.rows() != n) {
         result.status = SolveStatus::error(
             StatusCode::FailedPrecondition,
             "rescaleEquilibrium: prior has %zu players, market %zu",
-            prior.bids.size(), n);
-        return result;
+            prior.bids.rows(), n);
+        return;
     }
-    for (const auto &row : prior.bids) {
-        if (row.size() != m) {
-            result.status = SolveStatus::error(
-                StatusCode::FailedPrecondition,
-                "rescaleEquilibrium: prior arity %zu, market %zu",
-                row.size(), m);
-            return result;
-        }
+    if (prior.bids.cols() != m) {
+        result.status = SolveStatus::error(
+            StatusCode::FailedPrecondition,
+            "rescaleEquilibrium: prior arity %zu, market %zu",
+            prior.bids.cols(), m);
+        return;
     }
     if (SolveStatus st = sanitizeBudgets(result.budgets); !st.ok()) {
         result.status = st;
-        return result;
+        return;
     }
 
     const std::vector<double> &b = result.budgets;
@@ -293,50 +398,51 @@ ProportionalMarket::rescaleEquilibrium(
     result.converged = prior.converged;
     result.iterations = 0;
     result.lambdas.assign(n, 0.0);
-    result.bids.assign(n, std::vector<double>(m, 0.0));
+    result.bids.resize(n, m);
     for (size_t i = 0; i < n; ++i) {
+        const double *prior_i = prior.bids.row(i);
+        double *bids_i = result.bids.row(i);
         double sum = 0.0;
         for (size_t j = 0; j < m; ++j)
-            sum += prior.bids[i][j];
+            sum += prior_i[j];
         if (sum > 0.0) {
             const double scale = b[i] / sum;
             for (size_t j = 0; j < m; ++j)
-                result.bids[i][j] = prior.bids[i][j] * scale;
+                bids_i[j] = prior_i[j] * scale;
         } else {
             for (size_t j = 0; j < m; ++j)
-                result.bids[i][j] = b[i] / static_cast<double>(m);
+                bids_i[j] = b[i] / static_cast<double>(m);
         }
     }
 
-    computePricesInto(result.bids, capacities_, result.prices);
-    result.alloc = proportionalAllocation(result.bids, capacities_);
+    computeColumnSumsInto(result.bids, ws.colSums);
+    result.prices.resize(m);
+    for (size_t j = 0; j < m; ++j)
+        result.prices[j] = ws.colSums[j] / capacities_[j];
+    allocationFromPricesInto(result.bids, result.prices, result.alloc);
 
     // lambda_i = max_j dU_i/dr_j * dr_j/db_j, evaluated exactly like the
     // hill climber does at its final bids (predicted allocation against
     // the other players' money, one gradient call per player).
-    std::vector<double> col_sums(m, 0.0);
-    for (size_t j = 0; j < m; ++j) {
-        for (size_t i = 0; i < n; ++i)
-            col_sums[j] += result.bids[i][j];
-    }
-    std::vector<double> pred(m);
-    std::vector<double> grad(m);
+    ws.pred.resize(m);
+    ws.grad.resize(m);
     for (size_t i = 0; i < n; ++i) {
+        const double *bids_i = result.bids.row(i);
         for (size_t j = 0; j < m; ++j) {
             const double others =
-                std::max(0.0, col_sums[j] - result.bids[i][j]);
-            pred[j] = predictedAllocation(result.bids[i][j], others,
-                                          capacities_[j]);
+                std::max(0.0, ws.colSums[j] - bids_i[j]);
+            ws.pred[j] = predictedAllocation(bids_i[j], others,
+                                             capacities_[j]);
         }
-        models_[i]->gradient(pred, grad);
+        models_[i]->gradient(ws.pred, ws.grad);
         double lambda = 0.0;
         bool first = true;
         for (size_t j = 0; j < m; ++j) {
             const double others =
-                std::max(0.0, col_sums[j] - result.bids[i][j]);
+                std::max(0.0, ws.colSums[j] - bids_i[j]);
             const double l =
-                grad[j] * priceResponse(result.bids[i][j], others,
-                                        capacities_[j]);
+                ws.grad[j] * priceResponse(bids_i[j], others,
+                                           capacities_[j]);
             if (first || l > lambda) {
                 lambda = l;
                 first = false;
@@ -345,51 +451,41 @@ ProportionalMarket::rescaleEquilibrium(
         result.lambdas[i] = lambda;
     }
     result.solveSeconds = util::monotonicSeconds() - t0;
-    return result;
 }
 
 std::vector<double>
-computePrices(const std::vector<std::vector<double>> &bids,
+computePrices(const Matrix<double> &bids,
               const std::vector<double> &capacities)
 {
-    const size_t m = capacities.size();
-    std::vector<double> prices(m, 0.0);
-    for (const auto &row : bids) {
-        REBUDGET_ASSERT(row.size() == m, "computePrices: bid arity mismatch");
-        for (size_t j = 0; j < m; ++j)
-            prices[j] += row[j];
-    }
-    for (size_t j = 0; j < m; ++j)
-        prices[j] /= capacities[j];
+    std::vector<double> prices(capacities.size(), 0.0);
+    if (bids.empty())
+        return prices;
+    REBUDGET_ASSERT(bids.cols() == capacities.size(),
+                    "computePrices: bid arity mismatch");
+    computePricesInto(bids, capacities, prices);
     return prices;
 }
 
-std::vector<std::vector<double>>
-proportionalAllocation(const std::vector<std::vector<double>> &bids,
+Matrix<double>
+proportionalAllocation(const Matrix<double> &bids,
                        const std::vector<double> &capacities)
 {
     const std::vector<double> prices = computePrices(bids, capacities);
-    std::vector<std::vector<double>> alloc(
-        bids.size(), std::vector<double>(capacities.size(), 0.0));
-    for (size_t i = 0; i < bids.size(); ++i) {
-        for (size_t j = 0; j < capacities.size(); ++j) {
-            if (prices[j] > 0.0)
-                alloc[i][j] = bids[i][j] / prices[j];
-        }
-    }
+    Matrix<double> alloc;
+    allocationFromPricesInto(bids, prices, alloc);
     return alloc;
 }
 
 bool
-stronglyCompetitive(const std::vector<std::vector<double>> &bids)
+stronglyCompetitive(const Matrix<double> &bids)
 {
     if (bids.empty())
         return false;
-    const size_t m = bids.front().size();
+    const size_t m = bids.cols();
     for (size_t j = 0; j < m; ++j) {
         int bidders = 0;
-        for (const auto &row : bids) {
-            if (row[j] > 0.0)
+        for (size_t i = 0; i < bids.rows(); ++i) {
+            if (bids(i, j) > 0.0)
                 ++bidders;
         }
         if (bidders < 2)

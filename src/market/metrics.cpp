@@ -45,7 +45,7 @@ clampedRange(const std::vector<double> &values, const char *what)
 
 std::vector<double>
 perPlayerUtilities(const std::vector<const UtilityModel *> &models,
-                   const std::vector<std::vector<double>> &alloc)
+                   const util::Matrix<double> &alloc)
 {
     REBUDGET_ASSERT(models.size() == alloc.size(),
                     "perPlayerUtilities: players/allocations mismatch");
@@ -57,7 +57,7 @@ perPlayerUtilities(const std::vector<const UtilityModel *> &models,
 
 double
 efficiency(const std::vector<const UtilityModel *> &models,
-           const std::vector<std::vector<double>> &alloc)
+           const util::Matrix<double> &alloc)
 {
     double sum = 0.0;
     for (double u : perPlayerUtilities(models, alloc))
@@ -67,7 +67,7 @@ efficiency(const std::vector<const UtilityModel *> &models,
 
 double
 envyFreeness(const std::vector<const UtilityModel *> &models,
-             const std::vector<std::vector<double>> &alloc)
+             const util::Matrix<double> &alloc)
 {
     REBUDGET_ASSERT(models.size() == alloc.size(),
                     "envyFreeness: players/allocations mismatch");

@@ -109,10 +109,14 @@ EpochSimulator::run()
     std::vector<std::unique_ptr<app::AppUtilityModel>> models(n);
     // Last successfully installed allocation, for the final fairness
     // metric and as the fallback when an epoch's solve fails.
-    std::vector<std::vector<double>> last_alloc;
+    util::Matrix<double> last_alloc;
     // Epoch-to-epoch warm-start chain: hold the seed the allocator
     // published last epoch and hand it back as the hint for the next one.
     std::shared_ptr<const market::EquilibriumResult> warm_seed;
+    // One solver workspace for the whole run: every epoch's equilibrium
+    // solves reuse the same buffers, so steady-state epochs perform no
+    // solver heap allocation.
+    market::SolveWorkspace solve_ws;
     for (uint32_t epoch = 0; epoch < total_epochs; ++epoch) {
         // (0) OS context switches: the incoming app gets a fresh core
         // state (cold L1, cold monitors) and a new solo baseline.
@@ -175,6 +179,7 @@ EpochSimulator::run()
         problem.capacities = {cache_capacity, power_capacity};
         problem.marketConfig = config_.marketConfig;
         problem.warmStart = warm_seed.get();
+        problem.workspace = &solve_ws;
         const core::AllocationOutcome outcome = allocator_.allocate(problem);
         result.solverStats.merge(outcome.stats);
         record.marketIterations = outcome.marketIterations;

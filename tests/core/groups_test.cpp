@@ -102,8 +102,7 @@ TEST(GroupedProblem, ExpandSplitsEvenly)
     Fixture f = fourCores();
     const GroupedProblem grouped =
         makeGroupedProblem(f.problem, standardGroups());
-    const std::vector<std::vector<double>> group_alloc = {{9.0, 6.0},
-                                                          {3.0, 6.0}};
+    const util::Matrix<double> group_alloc = {{9.0, 6.0}, {3.0, 6.0}};
     const auto per_core = grouped.expand(group_alloc, 4);
     for (int core = 0; core < 3; ++core) {
         EXPECT_DOUBLE_EQ(per_core[core][0], 3.0);

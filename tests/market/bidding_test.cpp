@@ -10,6 +10,18 @@
 namespace rebudget::market {
 namespace {
 
+// The production entry points take std::span so Matrix rows slot in
+// without copies; braced literals below go through this vector shim.
+BidResult
+optimizeBids(const UtilityModel &model, double budget,
+             const std::vector<double> &others,
+             const std::vector<double> &capacities)
+{
+    return market::optimizeBids(model, budget,
+                                std::span<const double>(others),
+                                std::span<const double>(capacities));
+}
+
 TEST(PredictedAllocation, ProportionalRule)
 {
     // r = b / (b + y) * C (Equation 2).

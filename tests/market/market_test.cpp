@@ -36,8 +36,7 @@ ptrs(const std::vector<std::unique_ptr<PowerLawUtility>> &models)
 TEST(ComputePrices, Equation1)
 {
     // p_j = sum of bids / capacity.
-    const std::vector<std::vector<double>> bids = {{4.0, 2.0},
-                                                   {6.0, 2.0}};
+    const util::Matrix<double> bids = {{4.0, 2.0}, {6.0, 2.0}};
     const auto prices = computePrices(bids, {10.0, 2.0});
     EXPECT_DOUBLE_EQ(prices[0], 1.0);
     EXPECT_DOUBLE_EQ(prices[1], 2.0);
@@ -45,8 +44,7 @@ TEST(ComputePrices, Equation1)
 
 TEST(ProportionalAllocation, ColumnsSumToCapacity)
 {
-    const std::vector<std::vector<double>> bids = {{4.0, 1.0},
-                                                   {6.0, 3.0}};
+    const util::Matrix<double> bids = {{4.0, 1.0}, {6.0, 3.0}};
     const auto alloc = proportionalAllocation(bids, {10.0, 8.0});
     EXPECT_NEAR(alloc[0][0] + alloc[1][0], 10.0, 1e-12);
     EXPECT_NEAR(alloc[0][1] + alloc[1][1], 8.0, 1e-12);
@@ -56,8 +54,7 @@ TEST(ProportionalAllocation, ColumnsSumToCapacity)
 
 TEST(ProportionalAllocation, UnbidResourceUnallocated)
 {
-    const std::vector<std::vector<double>> bids = {{1.0, 0.0},
-                                                   {1.0, 0.0}};
+    const util::Matrix<double> bids = {{1.0, 0.0}, {1.0, 0.0}};
     const auto alloc = proportionalAllocation(bids, {4.0, 4.0});
     EXPECT_DOUBLE_EQ(alloc[0][1], 0.0);
     EXPECT_DOUBLE_EQ(alloc[1][1], 0.0);

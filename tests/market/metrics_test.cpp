@@ -24,8 +24,7 @@ TEST(Efficiency, SumsUtilities)
     const auto a = model2(1, 1);
     const auto b = model2(1, 1);
     const std::vector<const UtilityModel *> models = {a.get(), b.get()};
-    const std::vector<std::vector<double>> alloc = {{10.0, 10.0},
-                                                    {0.0, 0.0}};
+    const util::Matrix<double> alloc = {{10.0, 10.0}, {0.0, 0.0}};
     EXPECT_NEAR(efficiency(models, alloc), 1.0, 1e-12);
     const auto utils = perPlayerUtilities(models, alloc);
     EXPECT_NEAR(utils[0], 1.0, 1e-12);
@@ -46,8 +45,7 @@ TEST(EnvyFreeness, EqualSplitIsEnvyFree)
     const auto a = model2(1, 1);
     const auto b = model2(1, 1);
     const std::vector<const UtilityModel *> models = {a.get(), b.get()};
-    const std::vector<std::vector<double>> alloc = {{5.0, 5.0},
-                                                    {5.0, 5.0}};
+    const util::Matrix<double> alloc = {{5.0, 5.0}, {5.0, 5.0}};
     EXPECT_DOUBLE_EQ(envyFreeness(models, alloc), 1.0);
 }
 
@@ -56,8 +54,7 @@ TEST(EnvyFreeness, StarvedPlayerEnvies)
     const auto a = model2(1, 1);
     const auto b = model2(1, 1);
     const std::vector<const UtilityModel *> models = {a.get(), b.get()};
-    const std::vector<std::vector<double>> alloc = {{9.0, 9.0},
-                                                    {1.0, 1.0}};
+    const util::Matrix<double> alloc = {{9.0, 9.0}, {1.0, 1.0}};
     // Player 1's own utility vs. what it would get with player 0's
     // bundle: sqrt(0.1)/sqrt(0.9).
     EXPECT_NEAR(envyFreeness(models, alloc),
@@ -71,8 +68,7 @@ TEST(EnvyFreeness, SpecializedAllocationCanBeEnvyFree)
     const auto a = model2(1, 0.0001);
     const auto b = model2(0.0001, 1);
     const std::vector<const UtilityModel *> models = {a.get(), b.get()};
-    const std::vector<std::vector<double>> alloc = {{10.0, 0.0},
-                                                    {0.0, 10.0}};
+    const util::Matrix<double> alloc = {{10.0, 0.0}, {0.0, 10.0}};
     EXPECT_GT(envyFreeness(models, alloc), 0.99);
 }
 
@@ -81,8 +77,7 @@ TEST(EnvyFreeness, NeverExceedsOne)
     const auto a = model2(2, 1);
     const auto b = model2(1, 3);
     const std::vector<const UtilityModel *> models = {a.get(), b.get()};
-    const std::vector<std::vector<double>> alloc = {{3.0, 7.0},
-                                                    {7.0, 3.0}};
+    const util::Matrix<double> alloc = {{3.0, 7.0}, {7.0, 3.0}};
     EXPECT_LE(envyFreeness(models, alloc), 1.0);
 }
 

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Incremental per-resource bid column sums: the solver maintains
+ * sum_i b_ij across player updates in O(m) per shift instead of
+ * recomputing the O(n*m) sum every sweep.  These tests pin the
+ * arithmetic contract: a long randomized shift sequence must keep the
+ * incremental sums within tight relative tolerance of a from-scratch
+ * recompute, and the MarketConfig::validatePriceSums cross-check must
+ * be a pure observer (bit-identical results with the flag on or off).
+ */
+
+#include "rebudget/market/market.h"
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/matrix.h"
+
+namespace rebudget::market {
+namespace {
+
+/** Relative agreement band, matching the solver's own cross-check. */
+constexpr double kSumTol = 1e-9;
+
+void
+expectSumsAgree(const util::Matrix<double> &bids,
+                const std::vector<double> &incremental)
+{
+    std::vector<double> ref(bids.cols(), 0.0);
+    for (size_t i = 0; i < bids.rows(); ++i) {
+        const double *row = bids.row(i);
+        for (size_t j = 0; j < bids.cols(); ++j)
+            ref[j] += row[j];
+    }
+    for (size_t j = 0; j < bids.cols(); ++j) {
+        EXPECT_NEAR(incremental[j], ref[j],
+                    kSumTol * std::max(1.0, std::abs(ref[j])))
+            << "column " << j;
+    }
+}
+
+TEST(IncrementalPriceSums, LongRandomShiftSequenceStaysTight)
+{
+    // The solver's exact update pattern: one player's bid row is
+    // replaced and each column sum absorbs the delta.  Drift would
+    // accumulate over sweeps; 100k shifts is two orders of magnitude
+    // more than any real solve performs between full recomputes.
+    const size_t n = 32;
+    const size_t m = 3;
+    std::mt19937_64 rng(20160405);
+    std::uniform_real_distribution<double> bid(0.0, 50.0);
+    std::uniform_int_distribution<size_t> player(0, n - 1);
+
+    util::Matrix<double> bids(n, m, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j)
+            bids(i, j) = bid(rng);
+    }
+    std::vector<double> sums(m, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j)
+            sums[j] += bids(i, j);
+    }
+
+    for (int step = 0; step < 100000; ++step) {
+        const size_t i = player(rng);
+        double *row = bids.row(i);
+        for (size_t j = 0; j < m; ++j) {
+            const double next = bid(rng);
+            sums[j] += next - row[j];
+            row[j] = next;
+        }
+        if (step % 5000 == 0)
+            expectSumsAgree(bids, sums);
+    }
+    expectSumsAgree(bids, sums);
+}
+
+TEST(IncrementalPriceSums, AdversarialMagnitudeSwingsStayTight)
+{
+    // Mix tiny and huge bids so cancellation error has every chance to
+    // show: the relative band is anchored at max(1, |sum|), mirroring
+    // the solver's cross-check.
+    const size_t n = 16;
+    const size_t m = 2;
+    std::mt19937_64 rng(77);
+    std::uniform_real_distribution<double> mag(-6.0, 6.0);
+    std::uniform_int_distribution<size_t> player(0, n - 1);
+
+    util::Matrix<double> bids(n, m, 1.0);
+    std::vector<double> sums(m, static_cast<double>(n));
+    for (int step = 0; step < 20000; ++step) {
+        const size_t i = player(rng);
+        double *row = bids.row(i);
+        for (size_t j = 0; j < m; ++j) {
+            const double next = std::pow(10.0, mag(rng));
+            sums[j] += next - row[j];
+            row[j] = next;
+        }
+    }
+    expectSumsAgree(bids, sums);
+}
+
+/** Asymmetric four-player market (no symmetry shortcuts). */
+class ValidateFixture : public ::testing::Test
+{
+  protected:
+    ValidateFixture()
+    {
+        players_.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{3.0, 1.0, 0.5},
+            std::vector<double>{0.5, 0.4, 0.6}, caps_));
+        players_.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{0.5, 2.5, 1.0},
+            std::vector<double>{0.7, 0.5, 0.3}, caps_));
+        players_.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{1.0, 1.0, 2.0},
+            std::vector<double>{0.4, 0.6, 0.5}, caps_));
+        players_.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{2.0, 0.8, 1.5},
+            std::vector<double>{0.6, 0.5, 0.4}, caps_));
+        for (const auto &p : players_)
+            models_.push_back(p.get());
+    }
+
+    const std::vector<double> caps_ = {8.0, 12.0, 6.0};
+    std::vector<std::unique_ptr<PowerLawUtility>> players_;
+    std::vector<const UtilityModel *> models_;
+};
+
+TEST_F(ValidateFixture, ValidatePriceSumsIsAPureObserver)
+{
+    // The debug cross-check recomputes the column sums from scratch
+    // each sweep and asserts agreement; it must never perturb the
+    // solve.  Completing without panic is the cross-check's own pass.
+    MarketConfig plain;
+    MarketConfig checked;
+    checked.validatePriceSums = true;
+    const ProportionalMarket mkt(models_, caps_, plain);
+    const ProportionalMarket chk(models_, caps_, checked);
+
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult cold = mkt.findEquilibrium(b0);
+    const EquilibriumResult cold_chk = chk.findEquilibrium(b0);
+    EXPECT_EQ(cold.bids, cold_chk.bids);
+    EXPECT_EQ(cold.prices, cold_chk.prices);
+    EXPECT_EQ(cold.lambdas, cold_chk.lambdas);
+    EXPECT_EQ(cold.iterations, cold_chk.iterations);
+
+    // Warm chain with successive asymmetric cuts: every round's sums
+    // are maintained incrementally from the seeded rows, the prime
+    // territory for drift.
+    std::vector<double> b = b0;
+    const EquilibriumResult *prior = &cold;
+    const EquilibriumResult *prior_chk = &cold_chk;
+    EquilibriumResult warm, warm_chk;
+    for (int round = 0; round < 6; ++round) {
+        b[round % 4] *= 0.9;
+        warm = mkt.findEquilibrium(b, prior);
+        warm_chk = chk.findEquilibrium(b, prior_chk);
+        EXPECT_EQ(warm.bids, warm_chk.bids) << "round " << round;
+        EXPECT_EQ(warm.prices, warm_chk.prices) << "round " << round;
+        EXPECT_EQ(warm.iterations, warm_chk.iterations)
+            << "round " << round;
+        prior = &warm;
+        prior_chk = &warm_chk;
+    }
+}
+
+TEST_F(ValidateFixture, ValidatePriceSumsCoversRescale)
+{
+    MarketConfig checked;
+    checked.validatePriceSums = true;
+    const ProportionalMarket chk(models_, caps_, checked);
+    const std::vector<double> b0(4, 100.0);
+    const EquilibriumResult prior = chk.findEquilibrium(b0);
+    std::vector<double> b1 = b0;
+    b1[2] = 96.0;
+    const EquilibriumResult approx = chk.rescaleEquilibrium(prior, b1);
+    EXPECT_TRUE(approx.status.ok());
+    EXPECT_TRUE(approx.approximated);
+}
+
+} // namespace
+} // namespace rebudget::market

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Bit-identicality regression against the seed solver.  The flattened
+ * Matrix/SolveWorkspace engine replaced the nested-vector hot path; a
+ * verbatim port of the seed's nested-vector solver lives below and
+ * every published artifact (bids, prices, lambdas, allocation,
+ * iteration count) must match it bitwise -- cold, warm-chained, and
+ * rescaled -- on real catalog problems from the fig04 bundle suite.
+ *
+ * Any divergence here means the memory-layout work changed the
+ * floating-point trajectory, which the perf PR explicitly must not.
+ */
+
+#include "rebudget/market/market.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/workloads/bundles.h"
+
+namespace rebudget::market {
+namespace {
+
+/** The seed solver's result shape: nested rows. */
+struct RefResult
+{
+    std::vector<double> budgets;
+    std::vector<std::vector<double>> bids;
+    std::vector<std::vector<double>> alloc;
+    std::vector<double> prices;
+    std::vector<double> lambdas;
+    int iterations = 0;
+    bool converged = false;
+};
+
+void
+refComputePricesInto(const std::vector<std::vector<double>> &bids,
+                     const std::vector<double> &capacities,
+                     std::vector<double> &out)
+{
+    const size_t m = capacities.size();
+    out.assign(m, 0.0);
+    for (const auto &row : bids) {
+        for (size_t j = 0; j < m; ++j)
+            out[j] += row[j];
+    }
+    for (size_t j = 0; j < m; ++j)
+        out[j] /= capacities[j];
+}
+
+std::vector<std::vector<double>>
+refProportionalAllocation(const std::vector<std::vector<double>> &bids,
+                          const std::vector<double> &capacities)
+{
+    std::vector<double> prices;
+    refComputePricesInto(bids, capacities, prices);
+    std::vector<std::vector<double>> alloc(
+        bids.size(), std::vector<double>(capacities.size(), 0.0));
+    for (size_t i = 0; i < bids.size(); ++i) {
+        for (size_t j = 0; j < capacities.size(); ++j) {
+            if (prices[j] > 0.0)
+                alloc[i][j] = bids[i][j] / prices[j];
+        }
+    }
+    return alloc;
+}
+
+/**
+ * Verbatim port of the seed findEquilibrium (nested vectors, full
+ * price recompute every sweep).  Inputs are assumed valid; only the
+ * FP-noise budget clamp is kept for fidelity with the production
+ * sanitizer.
+ */
+RefResult
+refFindEquilibrium(const std::vector<const UtilityModel *> &models,
+                   const std::vector<double> &capacities,
+                   const MarketConfig &config,
+                   const std::vector<double> &budgets,
+                   const RefResult *prior)
+{
+    const size_t n = models.size();
+    const size_t m = capacities.size();
+    RefResult result;
+    result.budgets = budgets;
+    for (double &bv : result.budgets)
+        bv = std::max(0.0, bv);
+
+    bool warm = config.warmStart && prior != nullptr &&
+                prior->bids.size() == n && prior->budgets.size() == n;
+    if (warm) {
+        for (const auto &row : prior->bids) {
+            if (row.size() != m) {
+                warm = false;
+                break;
+            }
+        }
+    }
+
+    const std::vector<double> &b = result.budgets;
+    result.lambdas.assign(n, 0.0);
+    result.bids.assign(n, std::vector<double>(m, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        bool seeded = false;
+        if (warm && prior->budgets[i] > 0.0) {
+            double sum = 0.0;
+            for (size_t j = 0; j < m; ++j)
+                sum += prior->bids[i][j];
+            if (sum > 0.0) {
+                const double scale = b[i] / sum;
+                for (size_t j = 0; j < m; ++j)
+                    result.bids[i][j] = prior->bids[i][j] * scale;
+                seeded = true;
+            }
+        }
+        if (!seeded) {
+            for (size_t j = 0; j < m; ++j)
+                result.bids[i][j] = b[i] / static_cast<double>(m);
+        }
+    }
+
+    std::vector<double> col_sums(m, 0.0);
+    for (size_t j = 0; j < m; ++j) {
+        for (size_t i = 0; i < n; ++i)
+            col_sums[j] += result.bids[i][j];
+    }
+    std::vector<double> prices;
+    refComputePricesInto(result.bids, capacities, prices);
+
+    std::vector<double> others(m);
+    std::vector<double> new_prices(m);
+    BidResult br;
+    BidScratch scratch;
+    for (int iter = 0; iter < config.maxIterations; ++iter) {
+        ++result.iterations;
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < m; ++j)
+                others[j] =
+                    std::max(0.0, col_sums[j] - result.bids[i][j]);
+            optimizeBidsInto(*models[i], b[i], others, capacities,
+                             config.bid,
+                             warm ? result.bids[i].data() : nullptr, br,
+                             scratch);
+            for (size_t j = 0; j < m; ++j) {
+                col_sums[j] += br.bids[j] - result.bids[i][j];
+                result.bids[i][j] = br.bids[j];
+            }
+            result.lambdas[i] = br.lambda;
+        }
+        refComputePricesInto(result.bids, capacities, new_prices);
+        bool stable = true;
+        for (size_t j = 0; j < m; ++j) {
+            const double old_p = prices[j];
+            const double new_p = new_prices[j];
+            const double denom = std::max(old_p, 1e-12);
+            if (std::abs(new_p - old_p) / denom > config.priceTol) {
+                stable = false;
+                break;
+            }
+        }
+        std::swap(prices, new_prices);
+        if (stable) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.prices = std::move(prices);
+    result.alloc = refProportionalAllocation(result.bids, capacities);
+    return result;
+}
+
+/** Verbatim port of the seed rescaleEquilibrium. */
+RefResult
+refRescaleEquilibrium(const std::vector<const UtilityModel *> &models,
+                      const std::vector<double> &capacities,
+                      const RefResult &prior,
+                      const std::vector<double> &budgets)
+{
+    const size_t n = models.size();
+    const size_t m = capacities.size();
+    RefResult result;
+    result.budgets = budgets;
+    for (double &bv : result.budgets)
+        bv = std::max(0.0, bv);
+    const std::vector<double> &b = result.budgets;
+    result.converged = prior.converged;
+    result.lambdas.assign(n, 0.0);
+    result.bids.assign(n, std::vector<double>(m, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        double sum = 0.0;
+        for (size_t j = 0; j < m; ++j)
+            sum += prior.bids[i][j];
+        if (sum > 0.0) {
+            const double scale = b[i] / sum;
+            for (size_t j = 0; j < m; ++j)
+                result.bids[i][j] = prior.bids[i][j] * scale;
+        } else {
+            for (size_t j = 0; j < m; ++j)
+                result.bids[i][j] = b[i] / static_cast<double>(m);
+        }
+    }
+
+    refComputePricesInto(result.bids, capacities, result.prices);
+    result.alloc = refProportionalAllocation(result.bids, capacities);
+
+    std::vector<double> col_sums(m, 0.0);
+    for (size_t j = 0; j < m; ++j) {
+        for (size_t i = 0; i < n; ++i)
+            col_sums[j] += result.bids[i][j];
+    }
+    std::vector<double> pred(m);
+    std::vector<double> grad(m);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j) {
+            const double others =
+                std::max(0.0, col_sums[j] - result.bids[i][j]);
+            pred[j] = predictedAllocation(result.bids[i][j], others,
+                                          capacities[j]);
+        }
+        models[i]->gradient(pred, grad);
+        double lambda = 0.0;
+        bool first = true;
+        for (size_t j = 0; j < m; ++j) {
+            const double others =
+                std::max(0.0, col_sums[j] - result.bids[i][j]);
+            const double l =
+                grad[j] * priceResponse(result.bids[i][j], others,
+                                        capacities[j]);
+            if (first || l > lambda) {
+                lambda = l;
+                first = false;
+            }
+        }
+        result.lambdas[i] = lambda;
+    }
+    return result;
+}
+
+void
+expectBitIdentical(const EquilibriumResult &eq, const RefResult &ref,
+                   const std::string &context)
+{
+    EXPECT_EQ(eq.iterations, ref.iterations) << context;
+    EXPECT_EQ(eq.converged, ref.converged) << context;
+    EXPECT_EQ(eq.prices, ref.prices) << context;
+    EXPECT_EQ(eq.lambdas, ref.lambdas) << context;
+    EXPECT_EQ(eq.bids.toNested(), ref.bids) << context;
+    EXPECT_EQ(eq.alloc.toNested(), ref.alloc) << context;
+}
+
+std::vector<workloads::Bundle>
+fig04Suite()
+{
+    // The fig04 evaluation suite in miniature: every category, two
+    // bundles each, on the 8-core machine (full 240x64 is bench-only).
+    const auto catalog = workloads::classifyCatalog();
+    return workloads::generateAllBundles(catalog, 8, 2, 2016);
+}
+
+TEST(ReferenceSolver, BitIdenticalOnFig04SuiteColdAndWarm)
+{
+    const auto bundles = fig04Suite();
+    ASSERT_FALSE(bundles.empty());
+
+    // One workspace and ping-ponged result slots across the entire
+    // suite: proves reuse carries no state between solves in addition
+    // to proving trajectory identity.
+    SolveWorkspace ws;
+    EquilibriumResult slots[2];
+    int cur = 0;
+
+    for (const auto &bundle : bundles) {
+        const eval::BundleProblem bp =
+            eval::makeBundleProblem(bundle.appNames);
+        const auto &models = bp.problem.models;
+        const auto &caps = bp.problem.capacities;
+        const MarketConfig cfg = bp.problem.marketConfig;
+        const ProportionalMarket mkt(models, caps, cfg);
+        const size_t n = models.size();
+
+        // Cold solve at equal budgets.
+        std::vector<double> budgets(n, 100.0);
+        EquilibriumResult *cold = &slots[cur];
+        cur ^= 1;
+        mkt.findEquilibriumInto(budgets, nullptr, ws, *cold);
+        const RefResult ref_cold =
+            refFindEquilibrium(models, caps, cfg, budgets, nullptr);
+        ASSERT_TRUE(cold->status.ok()) << bundle.name;
+        expectBitIdentical(*cold, ref_cold, bundle.name + " cold");
+
+        // Warm chain: ReBudget-style asymmetric cuts, each round
+        // seeded from the previous one on both paths independently.
+        const EquilibriumResult *prior = cold;
+        const RefResult *ref_prior = &ref_cold;
+        RefResult ref_warm;
+        for (int round = 0; round < 3; ++round) {
+            budgets[round % n] *= 0.8;
+            EquilibriumResult *warm = &slots[cur];
+            cur ^= 1;
+            mkt.findEquilibriumInto(budgets, prior, ws, *warm);
+            ref_warm = refFindEquilibrium(models, caps, cfg, budgets,
+                                          ref_prior);
+            expectBitIdentical(*warm, ref_warm,
+                               bundle.name + " warm round " +
+                                   std::to_string(round));
+            prior = warm;
+            ref_prior = &ref_warm;
+        }
+
+        // Rescale (the sub-tolerance cut elision path).
+        std::vector<double> nudged = budgets;
+        nudged[0] *= 0.995;
+        EquilibriumResult *resc = &slots[cur];
+        cur ^= 1;
+        mkt.rescaleEquilibriumInto(*prior, nudged, ws, *resc);
+        const RefResult ref_resc =
+            refRescaleEquilibrium(models, caps, *ref_prior, nudged);
+        EXPECT_EQ(resc->prices, ref_resc.prices) << bundle.name;
+        EXPECT_EQ(resc->lambdas, ref_resc.lambdas) << bundle.name;
+        EXPECT_EQ(resc->bids.toNested(), ref_resc.bids) << bundle.name;
+        EXPECT_EQ(resc->alloc.toNested(), ref_resc.alloc) << bundle.name;
+    }
+}
+
+TEST(ReferenceSolver, ConvenienceWrapperMatchesIntoPath)
+{
+    // findEquilibrium() is documented as a thin wrapper over the Into
+    // API; pin that equivalence on a real bundle, cold and warm.
+    const auto bundles = fig04Suite();
+    ASSERT_FALSE(bundles.empty());
+    const eval::BundleProblem bp =
+        eval::makeBundleProblem(bundles.front().appNames);
+    const ProportionalMarket mkt(bp.problem.models, bp.problem.capacities,
+                                 bp.problem.marketConfig);
+    const size_t n = bp.problem.models.size();
+
+    const std::vector<double> b0(n, 100.0);
+    const EquilibriumResult cold = mkt.findEquilibrium(b0);
+    SolveWorkspace ws;
+    EquilibriumResult cold_into;
+    mkt.findEquilibriumInto(b0, nullptr, ws, cold_into);
+    EXPECT_EQ(cold.bids, cold_into.bids);
+    EXPECT_EQ(cold.prices, cold_into.prices);
+    EXPECT_EQ(cold.lambdas, cold_into.lambdas);
+    EXPECT_EQ(cold.alloc, cold_into.alloc);
+    EXPECT_EQ(cold.iterations, cold_into.iterations);
+
+    std::vector<double> b1 = b0;
+    b1[0] = 70.0;
+    const EquilibriumResult warm = mkt.findEquilibrium(b1, &cold);
+    EquilibriumResult warm_into;
+    mkt.findEquilibriumInto(b1, &cold_into, ws, warm_into);
+    EXPECT_EQ(warm.bids, warm_into.bids);
+    EXPECT_EQ(warm.prices, warm_into.prices);
+    EXPECT_EQ(warm.iterations, warm_into.iterations);
+}
+
+} // namespace
+} // namespace rebudget::market

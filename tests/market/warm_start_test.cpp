@@ -184,7 +184,8 @@ TEST_F(WarmFixture, ShapeMismatchedPriorFallsBackToCold)
     const EquilibriumResult cold = mkt.findEquilibrium(budgets);
 
     EquilibriumResult wrong_players = cold;
-    wrong_players.bids.pop_back();
+    wrong_players.bids.resize(wrong_players.bids.rows() - 1,
+                              wrong_players.bids.cols());
     wrong_players.budgets.pop_back();
     const EquilibriumResult a =
         mkt.findEquilibrium(budgets, &wrong_players);
@@ -192,8 +193,8 @@ TEST_F(WarmFixture, ShapeMismatchedPriorFallsBackToCold)
     EXPECT_FALSE(a.warmStarted);
 
     EquilibriumResult wrong_resources = cold;
-    for (auto &row : wrong_resources.bids)
-        row.pop_back();
+    wrong_resources.bids.resize(wrong_resources.bids.rows(),
+                                wrong_resources.bids.cols() - 1);
     const EquilibriumResult b =
         mkt.findEquilibrium(budgets, &wrong_resources);
     expectBitIdentical(b, cold);

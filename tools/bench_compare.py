@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_equilibrium JSON against a committed baseline.
+
+The equilibrium solver is deterministic, so every iteration/sweep
+counter in a fresh run must match the committed BENCH_market.json
+EXACTLY wherever the two runs share a configuration -- a drifted
+counter means the solver's floating-point trajectory changed, which the
+perf work must never do.  Wall-clock numbers are machine-dependent and
+only checked against a generous tolerance band.
+
+perf_equilibrium keeps Part A (synthetic walk) and Part C (steady
+state) configurations identical between --smoke and full runs exactly
+so that a cheap smoke run remains comparable against the committed
+full-run baseline; the bundle-suite section is compared only when both
+runs used the same suite shape.
+
+Usage:
+    bench_compare.py FRESH.json [--baseline BENCH_market.json]
+                     [--timing-band 10.0]
+
+Exit status 0 when every comparable counter matches (at least one
+section must be comparable), 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+class Comparison:
+    def __init__(self, timing_band):
+        self.band = timing_band
+        self.errors = []
+        self.checked_counters = 0
+        self.notes = []
+
+    def exact(self, context, key, fresh, base):
+        self.checked_counters += 1
+        if fresh != base:
+            self.errors.append(
+                f"{context}: {key} = {fresh}, baseline {base} (exact "
+                f"match required)")
+
+    def timing(self, context, key, fresh, base):
+        # Timings below a millisecond are noise-dominated; skip.
+        if base < 1.0 or fresh < 1.0:
+            return
+        ratio = fresh / base
+        if ratio > self.band or ratio < 1.0 / self.band:
+            self.errors.append(
+                f"{context}: {key} = {fresh:.3f}, baseline {base:.3f} "
+                f"(ratio {ratio:.2f} outside band {self.band}x)")
+
+
+def index_by(entries, *keys):
+    return {tuple(e[k] for k in keys): e for e in entries}
+
+
+def compare_synthetic(cmp, fresh, base):
+    base_idx = index_by(base.get("synthetic_budget_walk", []),
+                        "players", "rounds")
+    matched = 0
+    for entry in fresh.get("synthetic_budget_walk", []):
+        key = (entry["players"], entry["rounds"])
+        ref = base_idx.get(key)
+        if ref is None:
+            continue
+        matched += 1
+        ctx = f"synthetic players={key[0]} rounds={key[1]}"
+        cmp.exact(ctx, "cold_iterations", entry["cold_iterations"],
+                  ref["cold_iterations"])
+        cmp.exact(ctx, "warm_iterations", entry["warm_iterations"],
+                  ref["warm_iterations"])
+        cmp.timing(ctx, "cold_ms", entry["cold_ms"], ref["cold_ms"])
+        cmp.timing(ctx, "warm_ms", entry["warm_ms"], ref["warm_ms"])
+    cmp.notes.append(f"synthetic: {matched} comparable entr"
+                     f"{'y' if matched == 1 else 'ies'}")
+
+
+def compare_steady_state(cmp, fresh, base):
+    base_idx = index_by(base.get("steady_state", []), "players")
+    matched = 0
+    for entry in fresh.get("steady_state", []):
+        ref = base_idx.get((entry["players"],))
+        if ref is None:
+            continue
+        matched += 1
+        ctx = f"steady_state players={entry['players']}"
+        # The zero-allocation contract is absolute, not just
+        # baseline-relative.
+        cmp.exact(ctx, "counted_allocs", entry["counted_allocs"], 0)
+        cmp.exact(ctx, "counted_allocs(baseline)",
+                  entry["counted_allocs"], ref["counted_allocs"])
+        cmp.exact(ctx, "solves", entry["solves"], ref["solves"])
+        cmp.exact(ctx, "sweeps", entry["sweeps"], ref["sweeps"])
+        cmp.timing(ctx, "ns_per_sweep", entry["ns_per_sweep"],
+                   ref["ns_per_sweep"])
+    cmp.notes.append(f"steady_state: {matched} comparable entr"
+                     f"{'y' if matched == 1 else 'ies'}")
+
+
+def compare_suite(cmp, fresh, base):
+    fs = fresh.get("bundle_suite")
+    bs = base.get("bundle_suite")
+    if not fs or not bs:
+        cmp.notes.append("bundle_suite: absent, skipped")
+        return
+    if fs["cores"] != bs["cores"] or fs["bundles"] != bs["bundles"]:
+        cmp.notes.append(
+            f"bundle_suite: shapes differ (fresh {fs['cores']}c/"
+            f"{fs['bundles']}b vs baseline {bs['cores']}c/"
+            f"{bs['bundles']}b), skipped")
+        return
+    base_idx = index_by(bs.get("mechanisms", []), "mechanism")
+    matched = 0
+    for entry in fs.get("mechanisms", []):
+        ref = base_idx.get((entry["mechanism"],))
+        if ref is None:
+            continue
+        matched += 1
+        ctx = f"bundle_suite mechanism={entry['mechanism']}"
+        cmp.exact(ctx, "cold_iterations", entry["cold_iterations"],
+                  ref["cold_iterations"])
+        cmp.exact(ctx, "warm_iterations", entry["warm_iterations"],
+                  ref["warm_iterations"])
+    cmp.timing("bundle_suite", "cold_ms", fs["cold_ms"], bs["cold_ms"])
+    cmp.timing("bundle_suite", "warm_ms", fs["warm_ms"], bs["warm_ms"])
+    cmp.notes.append(f"bundle_suite: {matched} comparable mechanisms")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff a fresh perf_equilibrium JSON against the "
+                    "committed baseline")
+    ap.add_argument("fresh", help="fresh perf_equilibrium output")
+    ap.add_argument("--baseline", default="BENCH_market.json",
+                    help="committed baseline (default: BENCH_market.json)")
+    ap.add_argument("--timing-band", type=float, default=10.0,
+                    help="allowed wall-clock ratio in either direction "
+                         "(default: 10x; counters are always exact)")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    cmp = Comparison(args.timing_band)
+    compare_synthetic(cmp, fresh, base)
+    compare_steady_state(cmp, fresh, base)
+    compare_suite(cmp, fresh, base)
+
+    for note in cmp.notes:
+        print(note)
+    if cmp.checked_counters == 0:
+        print("FAIL: no comparable sections between "
+              f"{args.fresh} and {args.baseline}")
+        return 1
+    if cmp.errors:
+        for err in cmp.errors:
+            print(f"FAIL: {err}")
+        print(f"{len(cmp.errors)} mismatches, "
+              f"{cmp.checked_counters} counters checked")
+        return 1
+    print(f"OK: {cmp.checked_counters} counters match "
+          f"(timing band {args.timing_band}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
