@@ -1,0 +1,79 @@
+#ifndef REBUDGET_APP_SAMPLE_FILTER_H_
+#define REBUDGET_APP_SAMPLE_FILTER_H_
+
+/**
+ * @file
+ * Streaming robustness filter for noisy monitor samples.
+ *
+ * Online profiles (per-epoch IPC, L2 access rates, power readings) come
+ * from hardware counters that can glitch: a single wild sample would
+ * otherwise steer the next epoch's utility model and hence the market.
+ * SampleFilter smooths each scalar stream with an EWMA and rejects
+ * samples that sit implausibly far from the running mean, substituting
+ * the mean instead.  Disabled by default so the clean simulation path
+ * stays bit-identical; sim::EpochSim enables it via its config.
+ */
+
+#include <cstdint>
+
+namespace rebudget::app {
+
+/** Tuning for one SampleFilter stream. */
+struct SampleFilterConfig
+{
+    /** Master switch; false = filter() is the identity. */
+    bool enabled = false;
+    /** EWMA smoothing factor in (0, 1]; 1 = no smoothing. */
+    double alpha = 0.3;
+    /**
+     * Reject a sample when |sample - mean| exceeds this multiple of the
+     * EWMA absolute deviation (plus a small relative floor so steady
+     * streams don't reject benign jitter).
+     */
+    double outlierFactor = 4.0;
+    /** Samples accepted unconditionally before rejection arms. */
+    int warmupSamples = 2;
+};
+
+/**
+ * EWMA smoother with absolute-deviation outlier rejection over one
+ * scalar stream.  Non-finite samples are always rejected.
+ */
+class SampleFilter
+{
+  public:
+    SampleFilter() = default;
+    explicit SampleFilter(const SampleFilterConfig &config)
+        : config_(config) {}
+
+    /**
+     * Feed one sample; @return the filtered value (the raw sample when
+     * disabled, the updated EWMA when accepted, the frozen mean when
+     * rejected).
+     */
+    double filter(double sample);
+
+    /** @return true if the most recent sample was rejected. */
+    bool lastRejected() const { return lastRejected_; }
+
+    /** @return total samples rejected since construction. */
+    std::int64_t rejectedSamples() const { return rejected_; }
+
+    /**
+     * Forget the stream state (e.g. across a context switch); the
+     * rejected-sample telemetry survives.
+     */
+    void reset();
+
+  private:
+    SampleFilterConfig config_;
+    double mean_ = 0.0;
+    double deviation_ = 0.0;
+    int accepted_ = 0;
+    std::int64_t rejected_ = 0;
+    bool lastRejected_ = false;
+};
+
+} // namespace rebudget::app
+
+#endif // REBUDGET_APP_SAMPLE_FILTER_H_

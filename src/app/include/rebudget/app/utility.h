@@ -20,13 +20,71 @@
  * baked in.
  */
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rebudget/app/profiler.h"
 #include "rebudget/market/utility_model.h"
 #include "rebudget/power/power_model.h"
+#include "rebudget/util/status.h"
 
 namespace rebudget::app {
+
+/** What sanitizeUtilityGrid changed, for telemetry. */
+struct GridSanitizeReport
+{
+    /** NaN/Inf cells replaced by a preceding finite value. */
+    std::int64_t nonFiniteCells = 0;
+    /** Negative utilities clamped to zero. */
+    std::int64_t negativeCells = 0;
+    /** Cells raised by the monotone (running-max) projection. */
+    std::int64_t monotoneRaised = 0;
+    /** True when every cell ended up equal (degenerate flat surface). */
+    bool flatGrid = false;
+
+    /** @return true if any cell was repaired (flatness alone counts). */
+    bool any() const
+    {
+        return nonFiniteCells > 0 || negativeCells > 0 ||
+               monotoneRaised > 0 || flatGrid;
+    }
+};
+
+/**
+ * Repair a sampled utility grid in place so bilinear interpolation and
+ * the bid optimizer stay well-defined: replaces NaN/Inf cells with the
+ * last finite value in row-major scan order (zero when none precedes),
+ * clamps negatives to zero, then enforces monotone non-decreasing
+ * utility along the cache axis and then the power axis via running
+ * maxima -- the exact projection AppUtilityModel has always applied, so
+ * clean grids are bit-identical before and after.
+ *
+ * @param grid  row-major grid, grid[ci * np + pi]
+ * @param nc    number of cache knots (rows)
+ * @param np    number of power knots (columns)
+ */
+GridSanitizeReport sanitizeUtilityGrid(std::vector<double> &grid,
+                                       size_t nc, size_t np);
+
+/**
+ * An externally supplied (possibly corrupted) utility surface, the
+ * untrusted-input counterpart of profile-driven construction.  Fault
+ * injection and external profile importers build models from this.
+ */
+struct RawUtilityGrid
+{
+    std::string name = "raw";
+    /** Total cache regions per knot, strictly increasing, >= 2 knots. */
+    std::vector<double> cacheKnots;
+    /** Total watts per knot, strictly increasing, >= 2 knots. */
+    std::vector<double> powerKnots;
+    /** Row-major utilities, grid[ci * powerKnots.size() + pi]. */
+    std::vector<double> grid;
+    double minRegions = 1.0;
+    double minWatts = 0.0;
+    double activity = 1.0;
+};
 
 /** Grid and convexification options for utility construction. */
 struct UtilityGridOptions
@@ -65,6 +123,15 @@ class AppUtilityModel : public market::UtilityModel
     AppUtilityModel(const AppProfile &profile,
                     const power::PowerModel &power,
                     const UtilityGridOptions &options = {});
+
+    /**
+     * Construct from an untrusted raw grid.  Never fatals: malformed
+     * knots or a size-mismatched grid degrade to a flat zero surface
+     * with gridStatus() explaining why, and repairable damage (NaN/Inf
+     * cells, negative or non-monotone utilities) is sanitized with the
+     * repairs recorded in sanitizeReport().
+     */
+    explicit AppUtilityModel(RawUtilityGrid raw);
 
     size_t numResources() const override { return 2; }
 
@@ -114,6 +181,18 @@ class AppUtilityModel : public market::UtilityModel
     /** @return power grid knots (total watts). */
     const std::vector<double> &powerKnots() const { return powerKnots_; }
 
+    /**
+     * @return Ok, or why the supplied grid was unusable and the model
+     * fell back to a flat zero surface (raw-grid construction only).
+     */
+    const util::SolveStatus &gridStatus() const { return gridStatus_; }
+
+    /** @return what grid sanitation repaired during construction. */
+    const GridSanitizeReport &sanitizeReport() const
+    {
+        return sanitizeReport_;
+    }
+
   private:
     double interpolate(double regions, double watts) const;
 
@@ -125,6 +204,8 @@ class AppUtilityModel : public market::UtilityModel
     std::vector<double> powerKnots_; // total watts, increasing
     // grid_[ci * powerKnots_.size() + pi]
     std::vector<double> grid_;
+    util::SolveStatus gridStatus_;
+    GridSanitizeReport sanitizeReport_;
 };
 
 /**

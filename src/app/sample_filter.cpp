@@ -1,0 +1,54 @@
+#include "rebudget/app/sample_filter.h"
+
+#include <cmath>
+
+namespace rebudget::app {
+
+double
+SampleFilter::filter(double sample)
+{
+    lastRejected_ = false;
+    if (!config_.enabled)
+        return sample;
+
+    if (!std::isfinite(sample)) {
+        lastRejected_ = true;
+        ++rejected_;
+        return accepted_ > 0 ? mean_ : 0.0;
+    }
+
+    if (accepted_ >= config_.warmupSamples) {
+        // Relative floor keeps near-constant streams from rejecting
+        // benign jitter once the deviation EWMA has decayed to ~0.
+        const double band =
+            config_.outlierFactor *
+            (deviation_ + 1e-3 * std::abs(mean_) + 1e-12);
+        if (std::abs(sample - mean_) > band) {
+            lastRejected_ = true;
+            ++rejected_;
+            return mean_;
+        }
+    }
+
+    if (accepted_ == 0) {
+        mean_ = sample;
+        deviation_ = 0.0;
+    } else {
+        const double a = config_.alpha;
+        deviation_ = (1.0 - a) * deviation_ + a * std::abs(sample - mean_);
+        mean_ = (1.0 - a) * mean_ + a * sample;
+    }
+    ++accepted_;
+    return mean_;
+}
+
+void
+SampleFilter::reset()
+{
+    mean_ = 0.0;
+    deviation_ = 0.0;
+    accepted_ = 0;
+    lastRejected_ = false;
+}
+
+} // namespace rebudget::app

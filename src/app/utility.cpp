@@ -8,6 +8,60 @@
 
 namespace rebudget::app {
 
+GridSanitizeReport
+sanitizeUtilityGrid(std::vector<double> &grid, size_t nc, size_t np)
+{
+    REBUDGET_ASSERT(grid.size() == nc * np, "grid size mismatch");
+    GridSanitizeReport report;
+
+    // Non-finite cells take the last finite value in row-major scan
+    // order (zero when the grid starts with a hole); the monotone
+    // projection below then restores shape around the patch.
+    double prev = 0.0;
+    for (auto &v : grid) {
+        if (!std::isfinite(v)) {
+            v = prev;
+            ++report.nonFiniteCells;
+        }
+        prev = v;
+    }
+
+    for (auto &v : grid) {
+        if (v < 0.0) {
+            v = 0.0;
+            ++report.negativeCells;
+        }
+    }
+
+    // Enforce monotone non-decreasing along both axes (running max),
+    // cache axis first, then power: the exact projection the profile
+    // constructor has always applied, so clean grids pass unchanged.
+    for (size_t pi = 0; pi < np; ++pi) {
+        for (size_t ci = 1; ci < nc; ++ci) {
+            const double below = grid[(ci - 1) * np + pi];
+            if (grid[ci * np + pi] < below) {
+                grid[ci * np + pi] = below;
+                ++report.monotoneRaised;
+            }
+        }
+    }
+    for (size_t ci = 0; ci < nc; ++ci) {
+        for (size_t pi = 1; pi < np; ++pi) {
+            const double left = grid[ci * np + pi - 1];
+            if (grid[ci * np + pi] < left) {
+                grid[ci * np + pi] = left;
+                ++report.monotoneRaised;
+            }
+        }
+    }
+
+    if (!grid.empty()) {
+        const auto [lo, hi] = std::minmax_element(grid.begin(), grid.end());
+        report.flatGrid = *lo == *hi;
+    }
+    return report;
+}
+
 std::vector<double>
 concavifySamples(const std::vector<double> &xs, const std::vector<double> &ys)
 {
@@ -88,19 +142,78 @@ AppUtilityModel::AppUtilityModel(const AppProfile &profile,
                 break;
         }
     }
-    // Enforce monotone non-decreasing along both axes (running max).
-    for (size_t pi = 0; pi < np; ++pi) {
-        for (size_t ci = 1; ci < nc; ++ci) {
-            grid_[ci * np + pi] =
-                std::max(grid_[ci * np + pi], grid_[(ci - 1) * np + pi]);
+    // Monotone non-decreasing along both axes plus NaN/negative guards
+    // (the latter are no-ops for profile-sampled grids).
+    sanitizeReport_ = sanitizeUtilityGrid(grid_, nc, np);
+}
+
+AppUtilityModel::AppUtilityModel(RawUtilityGrid raw)
+    : name_(std::move(raw.name)), activity_(raw.activity),
+      minRegions_(raw.minRegions), minWatts_(raw.minWatts),
+      cacheKnots_(std::move(raw.cacheKnots)),
+      powerKnots_(std::move(raw.powerKnots)), grid_(std::move(raw.grid))
+{
+    // Untrusted input: degrade to a flat zero surface over a minimal
+    // valid grid instead of fataling, and say why in gridStatus().
+    const auto degrade = [this](util::SolveStatus status) {
+        gridStatus_ = std::move(status);
+        if (!std::isfinite(minRegions_) || minRegions_ < 0.0)
+            minRegions_ = 1.0;
+        if (!std::isfinite(minWatts_) || minWatts_ < 0.0)
+            minWatts_ = 0.0;
+        if (!std::isfinite(activity_) || activity_ <= 0.0)
+            activity_ = 1.0;
+        cacheKnots_ = {minRegions_, minRegions_ + 1.0};
+        powerKnots_ = {minWatts_, minWatts_ + 1.0};
+        grid_.assign(4, 0.0);
+        sanitizeReport_ = GridSanitizeReport{};
+        sanitizeReport_.flatGrid = true;
+    };
+
+    const auto strictly_increasing = [](const std::vector<double> &knots) {
+        for (size_t i = 0; i < knots.size(); ++i) {
+            if (!std::isfinite(knots[i]))
+                return false;
+            if (i > 0 && knots[i] <= knots[i - 1])
+                return false;
         }
+        return true;
+    };
+
+    if (cacheKnots_.size() < 2 || powerKnots_.size() < 2) {
+        degrade(util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "raw grid '%s' needs >= 2 knots per axis (got %zu x %zu)",
+            name_.c_str(), cacheKnots_.size(), powerKnots_.size()));
+        return;
     }
-    for (size_t ci = 0; ci < nc; ++ci) {
-        for (size_t pi = 1; pi < np; ++pi) {
-            grid_[ci * np + pi] =
-                std::max(grid_[ci * np + pi], grid_[ci * np + pi - 1]);
-        }
+    if (!strictly_increasing(cacheKnots_) ||
+        !strictly_increasing(powerKnots_)) {
+        degrade(util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "raw grid '%s' knots must be finite and strictly increasing",
+            name_.c_str()));
+        return;
     }
+    if (grid_.size() != cacheKnots_.size() * powerKnots_.size()) {
+        degrade(util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "raw grid '%s' has %zu cells, expected %zu x %zu",
+            name_.c_str(), grid_.size(), cacheKnots_.size(),
+            powerKnots_.size()));
+        return;
+    }
+    if (!std::isfinite(minRegions_) || minRegions_ < 0.0 ||
+        !std::isfinite(minWatts_) || minWatts_ < 0.0 ||
+        !std::isfinite(activity_) || activity_ <= 0.0) {
+        degrade(util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "raw grid '%s' has malformed minimums or activity",
+            name_.c_str()));
+        return;
+    }
+    sanitizeReport_ =
+        sanitizeUtilityGrid(grid_, cacheKnots_.size(), powerKnots_.size());
 }
 
 namespace {

@@ -1,0 +1,69 @@
+#include "rebudget/cache/curve_repair.h"
+
+#include <cmath>
+
+namespace rebudget::cache {
+
+CurveRepairReport
+repairMissCurveSamples(std::vector<double> &samples)
+{
+    CurveRepairReport report;
+
+    // Zero-width curves cannot bracket any allocation: pad with zeros
+    // (an empty curve) or duplicate the lone sample (a flat curve).
+    while (samples.size() < 2) {
+        samples.push_back(samples.empty() ? 0.0 : samples.back());
+        report.padded = true;
+    }
+
+    // Non-finite cells: leading ones take the first finite value in the
+    // curve (zero if there is none), later ones repeat the previous
+    // cell, preserving the non-increasing shape around the hole.
+    double first_finite = 0.0;
+    for (const double v : samples) {
+        if (std::isfinite(v)) {
+            first_finite = v;
+            break;
+        }
+    }
+    double prev = first_finite;
+    for (auto &v : samples) {
+        if (!std::isfinite(v)) {
+            v = prev;
+            ++report.nonFiniteCells;
+        }
+        prev = v;
+    }
+
+    for (auto &v : samples) {
+        if (v < 0.0) {
+            v = 0.0;
+            ++report.negativeCells;
+        }
+    }
+
+    // Misses cannot grow with capacity: project onto the non-increasing
+    // cone with a running minimum (the closest such curve from below).
+    double running_min = samples.front();
+    for (auto &v : samples) {
+        if (v > running_min) {
+            v = running_min;
+            ++report.monotoneViolations;
+        } else {
+            running_min = v;
+        }
+    }
+
+    return report;
+}
+
+MissCurve
+repairedMissCurve(std::vector<double> samples, CurveRepairReport *report)
+{
+    const CurveRepairReport r = repairMissCurveSamples(samples);
+    if (report != nullptr)
+        *report = r;
+    return MissCurve(std::move(samples));
+}
+
+} // namespace rebudget::cache

@@ -1,0 +1,67 @@
+#ifndef REBUDGET_CACHE_CURVE_REPAIR_H_
+#define REBUDGET_CACHE_CURVE_REPAIR_H_
+
+/**
+ * @file
+ * Input hardening for miss-curve samples.
+ *
+ * UMON curves are non-increasing by construction (cumulative hit
+ * counts), but curves that arrive from traces, faults or external
+ * profilers may carry NaN/Inf cells, negative counts, non-monotone
+ * runs, or too few points for Talus to bracket an allocation.  The
+ * convex-hull machinery (util::upperConcaveHullIndices) treats such
+ * input as a programming error and fatals, so every untrusted curve
+ * must pass through repairMissCurveSamples() first.  On a well-formed
+ * curve the repair is a provable no-op.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "rebudget/cache/miss_curve.h"
+
+namespace rebudget::cache {
+
+/** What repairMissCurveSamples changed, for telemetry. */
+struct CurveRepairReport
+{
+    /** NaN/Inf cells replaced by a neighboring finite value. */
+    std::int64_t nonFiniteCells = 0;
+    /** Negative miss counts clamped to zero. */
+    std::int64_t negativeCells = 0;
+    /** Cells raised/lowered to restore the non-increasing shape. */
+    std::int64_t monotoneViolations = 0;
+    /** True if the curve was padded to the two-point minimum. */
+    bool padded = false;
+
+    /** @return true if any cell was modified. */
+    bool anyRepair() const
+    {
+        return nonFiniteCells > 0 || negativeCells > 0 ||
+               monotoneViolations > 0 || padded;
+    }
+};
+
+/**
+ * Repair a miss-sample vector in place so that MissCurve construction
+ * cannot fatal: replaces NaN/Inf cells (leading non-finite cells take
+ * the first finite value, later ones the previous cell), clamps
+ * negatives to zero, enforces the non-increasing invariant via a
+ * running minimum, and pads zero-width input to two points.
+ *
+ * @return a report of every class of repair performed.
+ */
+CurveRepairReport repairMissCurveSamples(std::vector<double> &samples);
+
+/**
+ * Convenience wrapper: repair then construct.  Never fatals on finite-
+ * size input.
+ *
+ * @param report  optional out-param receiving the repair report.
+ */
+MissCurve repairedMissCurve(std::vector<double> samples,
+                            CurveRepairReport *report = nullptr);
+
+} // namespace rebudget::cache
+
+#endif // REBUDGET_CACHE_CURVE_REPAIR_H_

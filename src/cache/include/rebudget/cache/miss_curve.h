@@ -60,6 +60,9 @@ class MissCurve
     /** @return the hull as a piecewise-linear curve over regions. */
     const util::PiecewiseLinear &hull() const { return hull_; }
 
+    /** @return the raw per-region miss samples. */
+    const std::vector<double> &samples() const { return misses_; }
+
     /** @return true if the curve has data. */
     bool valid() const { return !misses_.empty(); }
 

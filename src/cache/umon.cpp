@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rebudget/cache/curve_repair.h"
 #include "rebudget/util/logging.h"
 
 namespace rebudget::cache {
@@ -64,7 +65,10 @@ UMonitor::missCurve() const
         hits_below += hits_[r - 1];
         misses[r] = static_cast<double>(total - hits_below) * scale;
     }
-    return MissCurve(std::move(misses));
+    // Cumulative hit counts make this curve non-increasing already, so
+    // the repair is a no-op here; it guards against future histogram
+    // sources (sampled, decayed, or injected) that may not be.
+    return repairedMissCurve(std::move(misses));
 }
 
 double

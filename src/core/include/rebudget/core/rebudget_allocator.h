@@ -51,6 +51,18 @@ struct ReBudgetConfig
      * Theorem 2 inversion.
      */
     double mbrFloor = 0.0;
+    /**
+     * Hard lower bound on any player's budget as a fraction of the
+     * initial budget, applied in BOTH modes on top of the mode-derived
+     * floor.  This is an input-hardening guardrail: a corrupted or
+     * misreported utility can hold a victim's lambda below the cut
+     * threshold round after round, and without a floor the geometric
+     * cut series would strip that player's purchasing power entirely.
+     * The default (5%) sits well below the worst-case MBR of every
+     * paper configuration (ReBudget-40 bottoms out at 21.25%), so it
+     * never binds on clean inputs.
+     */
+    double guardrailFloor = 0.05;
     /** Players with lambda_i below this fraction of max lambda are cut. */
     double lambdaCutThreshold = 0.5;
     /** Stop when step < this fraction of the initial budget. */

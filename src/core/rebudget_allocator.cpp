@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "rebudget/market/metrics.h"
@@ -35,6 +36,10 @@ validateReBudgetConfig(const ReBudgetConfig &config)
         config.elideStepFraction >= 0.5) {
         return SolveStatus::error(StatusCode::InvalidArgument,
                                   "elideStepFraction must be in [0, 0.5)");
+    }
+    if (config.guardrailFloor < 0.0 || config.guardrailFloor >= 1.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "guardrailFloor must be in [0, 1)");
     }
     if (config.efTarget < 0.0) {
         if (config.step0 <= 0.0 ||
@@ -112,9 +117,11 @@ ReBudgetAllocator::worstCaseMbr() const
         cuts += step;
         step *= 0.5;
     }
-    const double min_budget = std::max(config_.initialBudget - cuts,
-                                       floorFraction_ *
-                                           config_.initialBudget);
+    const double floor_fraction =
+        std::max(floorFraction_, config_.guardrailFloor);
+    const double min_budget =
+        std::max(config_.initialBudget - cuts,
+                 floor_fraction * config_.initialBudget);
     return min_budget / config_.initialBudget;
 }
 
@@ -140,7 +147,11 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
     if (!mkt.setupStatus().ok())
         return fail(mkt.setupStatus());
 
-    const double floor = floorFraction_ * config_.initialBudget;
+    // The guardrail floor backstops the mode-derived floor so budget
+    // cuts stay bounded even when lambdas are corrupted (see
+    // ReBudgetConfig::guardrailFloor).
+    const double floor = std::max(floorFraction_, config_.guardrailFloor) *
+                         config_.initialBudget;
     std::vector<double> budgets(n, config_.initialBudget);
     double step = step0_;
     const double min_step =
@@ -193,12 +204,22 @@ ReBudgetAllocator::allocate(const AllocationProblem &problem) const
         if (step < min_step)
             break; // step exhausted: this equilibrium is final
         // Cut over-budgeted players: lambda below the threshold fraction
-        // of the market maximum.
-        const double max_lambda =
-            *std::max_element(eq->lambdas.begin(), eq->lambdas.end());
+        // of the market maximum.  Lambdas are untrusted under fault
+        // injection: only finite values participate in the ranking, and
+        // a round with no finite positive lambda makes no cuts (the
+        // equilibrium just solved is final, exactly as if no player
+        // qualified).
+        double max_lambda = -std::numeric_limits<double>::infinity();
+        for (const double l : eq->lambdas) {
+            if (std::isfinite(l))
+                max_lambda = std::max(max_lambda, l);
+        }
+        if (!(max_lambda > 0.0))
+            break;
         bool any_cut = false;
         for (size_t i = 0; i < n; ++i) {
-            if (eq->lambdas[i] <
+            if (std::isfinite(eq->lambdas[i]) &&
+                eq->lambdas[i] <
                 config_.lambdaCutThreshold * max_lambda) {
                 const double cut_to =
                     std::max(budgets[i] - step, floor);

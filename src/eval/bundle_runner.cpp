@@ -9,6 +9,7 @@
 #include "rebudget/market/metrics.h"
 #include "rebudget/power/power_model.h"
 #include "rebudget/util/logging.h"
+#include "rebudget/util/rng.h"
 #include "rebudget/util/thread_pool.h"
 
 namespace rebudget::eval {
@@ -210,12 +211,37 @@ BundleRunner::evaluate(const workloads::Bundle &bundle) const
         return ev;
     }
 
+    // Fault injection: the mechanisms allocate against damaged (and
+    // possibly lying) models, while scoring below always measures the
+    // resulting allocation against the TRUTH models in bp.problem.
+    // Streams are keyed by (plan seed, bundle-name hash, player), so
+    // identical sweeps inject identical damage at any job count.
+    core::AllocationProblem faulted_problem = bp.problem;
+    std::vector<std::shared_ptr<const market::UtilityModel>> faulted_keep;
+    if (options_.faultPlan.enabled()) {
+        const faults::FaultInjector injector(options_.faultPlan);
+        const std::uint64_t scope = util::hashId(bundle.name);
+        faulted_keep.reserve(bp.models.size());
+        for (size_t i = 0; i < bp.models.size(); ++i) {
+            std::shared_ptr<const app::AppUtilityModel> damaged =
+                injector.perturbModel(bp.models[i], scope, i,
+                                      ev.injectionStats,
+                                      &ev.hardeningStats);
+            std::shared_ptr<const market::UtilityModel> reported =
+                injector.maybeLiar(damaged, scope, i, ev.injectionStats);
+            faulted_keep.push_back(reported);
+            faulted_problem.models[i] = reported.get();
+        }
+    }
+    const core::AllocationProblem &solve_problem =
+        faulted_keep.empty() ? bp.problem : faulted_problem;
+
     ev.scores.reserve(mechanisms_.size());
     if (options_.keepOutcomes)
         ev.outcomes.reserve(mechanisms_.size());
     for (const auto *m : mechanisms_) {
         try {
-            core::AllocationOutcome out = m->allocate(bp.problem);
+            core::AllocationOutcome out = m->allocate(solve_problem);
             MechanismScore s = scoreOutcome(bp.problem, out);
             if (!s.status.ok()) {
                 // A pathological bundle degrades to a recorded
@@ -286,14 +312,48 @@ aggregateSweepStats(const std::vector<BundleEvaluation> &evals,
     return agg;
 }
 
+SweepFaultStats
+aggregateFaultStats(const std::vector<BundleEvaluation> &evals)
+{
+    SweepFaultStats agg;
+    for (const auto &ev : evals) {
+        if (ev.injectionStats.total() > 0)
+            agg.bundlesFaulted += 1;
+        agg.injected.merge(ev.injectionStats);
+        agg.hardening.merge(ev.hardeningStats);
+    }
+    return agg;
+}
+
 std::string
 sweepStatsJson(const std::vector<MechanismSweepStats> &stats,
-               std::int64_t skipped_bundles)
+               std::int64_t skipped_bundles,
+               const SweepFaultStats *fault_stats)
 {
     std::string out = "{\n";
-    out += "  \"schema\": \"rebudget.solver_stats.v1\",\n";
+    out += "  \"schema\": \"rebudget.solver_stats.v2\",\n";
     out += "  \"skipped_bundles\": " + std::to_string(skipped_bundles) +
            ",\n";
+    if (fault_stats != nullptr) {
+        const auto &f = *fault_stats;
+        auto field = [&](const char *key, std::int64_t v,
+                         bool comma = true) {
+            out += std::string("    \"") + key +
+                   "\": " + std::to_string(v) + (comma ? ",\n" : "\n");
+        };
+        out += "  \"faults\": {\n";
+        field("bundles_faulted", f.bundlesFaulted);
+        field("curve_cells_perturbed", f.injected.curveCellsPerturbed);
+        field("curve_samples_dropped", f.injected.curveSamplesDropped);
+        field("grid_cells_corrupted", f.injected.gridCellsCorrupted);
+        field("grid_columns_zeroed", f.injected.gridColumnsZeroed);
+        field("grid_rows_scrambled", f.injected.gridRowsScrambled);
+        field("liar_players", f.injected.liarPlayers);
+        field("power_readings_biased", f.injected.powerReadingsBiased);
+        field("stale_profiles", f.injected.staleProfiles);
+        out += "    \"hardening\": " + f.hardening.toJson(4) + "\n";
+        out += "  },\n";
+    }
     out += "  \"mechanisms\": [\n";
     for (size_t m = 0; m < stats.size(); ++m) {
         const auto &s = stats[m];

@@ -39,6 +39,7 @@
 #include "rebudget/app/catalog.h"
 #include "rebudget/app/utility.h"
 #include "rebudget/core/allocator.h"
+#include "rebudget/faults/fault_injector.h"
 #include "rebudget/market/market.h"
 #include "rebudget/util/solver_stats.h"
 #include "rebudget/util/status.h"
@@ -142,6 +143,18 @@ struct BundleRunnerOptions
      * trajectories.
      */
     market::MarketConfig marketConfig;
+    /**
+     * Fault plan injected between problem setup and the mechanisms
+     * (default disabled, which leaves every byte of the sweep
+     * unchanged).  When enabled, each player's utility model is damaged
+     * and possibly wrapped in a liar shim before the allocator sees it;
+     * scoring always measures realized efficiency and fairness against
+     * the TRUTH models, so degradation curves reflect what the faults
+     * cost, not what the lies claim.  Fault streams are keyed by
+     * (plan seed, hash of the bundle name, player), so results are
+     * bit-identical at any job count.
+     */
+    faults::FaultPlan faultPlan;
 };
 
 /** One bundle's evaluation across every mechanism of the runner. */
@@ -159,6 +172,15 @@ struct BundleEvaluation
     std::vector<MechanismScore> scores;
     /** Full outcomes (only if BundleRunnerOptions::keepOutcomes). */
     std::vector<core::AllocationOutcome> outcomes;
+    /** Faults injected into this bundle (all zero when disabled). */
+    faults::InjectionStats injectionStats;
+    /**
+     * Input-hardening telemetry from problem setup under faults
+     * (sanitizedGrids, repairedCurves); separate from the per-mechanism
+     * solver stats because the repair happens once per bundle, not once
+     * per mechanism.
+     */
+    util::SolverStats hardeningStats;
 };
 
 /**
@@ -246,14 +268,31 @@ std::vector<MechanismSweepStats> aggregateSweepStats(
     const std::vector<BundleEvaluation> &evals,
     const std::vector<std::string> &mechanism_names);
 
+/** Sweep-wide fault totals: what was injected and what was repaired. */
+struct SweepFaultStats
+{
+    /** Bundles that received at least one injected fault. */
+    std::int64_t bundlesFaulted = 0;
+    /** Injection tallies summed over every bundle. */
+    faults::InjectionStats injected;
+    /** Setup-time hardening telemetry summed over every bundle. */
+    util::SolverStats hardening;
+};
+
+/** Merge per-bundle fault telemetry (skipped bundles contribute too). */
+SweepFaultStats aggregateFaultStats(
+    const std::vector<BundleEvaluation> &evals);
+
 /**
  * Schema-stable JSON for a sweep's solver telemetry
- * ("rebudget.solver_stats.v1"): fixed key order, counters as integers,
+ * ("rebudget.solver_stats.v2"): fixed key order, counters as integers,
  * timers as fixed-point seconds.  The CLI prints this for
- * `--stats json`; tests parse it.
+ * `--stats json`; tests parse it.  When @p fault_stats is non-null a
+ * "faults" object reports the sweep's injection and hardening totals.
  */
 std::string sweepStatsJson(const std::vector<MechanismSweepStats> &stats,
-                           std::int64_t skipped_bundles);
+                           std::int64_t skipped_bundles,
+                           const SweepFaultStats *fault_stats = nullptr);
 
 /**
  * Scan argv for "--jobs N" and return N; 0 if absent (callers pass the

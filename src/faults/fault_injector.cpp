@@ -1,0 +1,235 @@
+#include "rebudget/faults/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "rebudget/cache/curve_repair.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::faults {
+
+void
+InjectionStats::merge(const InjectionStats &other)
+{
+    curveCellsPerturbed += other.curveCellsPerturbed;
+    curveSamplesDropped += other.curveSamplesDropped;
+    gridCellsCorrupted += other.gridCellsCorrupted;
+    gridColumnsZeroed += other.gridColumnsZeroed;
+    gridRowsScrambled += other.gridRowsScrambled;
+    liarPlayers += other.liarPlayers;
+    powerReadingsBiased += other.powerReadingsBiased;
+    staleProfiles += other.staleProfiles;
+}
+
+std::int64_t
+InjectionStats::total() const
+{
+    return curveCellsPerturbed + curveSamplesDropped + gridCellsCorrupted +
+           gridColumnsZeroed + gridRowsScrambled + liarPlayers +
+           powerReadingsBiased + staleProfiles;
+}
+
+LiarUtilityModel::LiarUtilityModel(
+    std::shared_ptr<const market::UtilityModel> truth, double gain)
+    : truth_(std::move(truth)), gain_(gain)
+{
+    REBUDGET_ASSERT(truth_ != nullptr, "liar needs a truth model");
+    REBUDGET_ASSERT(gain_ > 0.0 && std::isfinite(gain_),
+                    "liar gain must be positive and finite");
+}
+
+void
+LiarUtilityModel::gradient(std::span<const double> alloc,
+                           std::span<double> out) const
+{
+    truth_->gradient(alloc, out);
+    for (auto &g : out)
+        g *= gain_;
+}
+
+std::string
+LiarUtilityModel::name() const
+{
+    return truth_->name() + "+liar";
+}
+
+util::Rng
+FaultInjector::fork(std::uint64_t scope, std::uint64_t player,
+                    FaultStream stream, std::uint64_t salt) const
+{
+    return util::Rng::forStream(
+        plan_.seed,
+        {scope, player, static_cast<std::uint64_t>(stream), salt});
+}
+
+cache::MissCurve
+FaultInjector::perturbMissCurve(const cache::MissCurve &curve,
+                                std::uint64_t scope, std::uint64_t player,
+                                std::uint64_t salt, InjectionStats &stats,
+                                util::SolverStats *hardening) const
+{
+    const NoiseModel &noise = plan_.curveNoise;
+    if (!noise.active() || !curve.valid())
+        return curve;
+
+    util::Rng rng = fork(scope, player, FaultStream::Curve, salt);
+    std::vector<double> samples = curve.samples();
+    for (auto &v : samples) {
+        double perturbed = v;
+        if (noise.gaussianRel > 0.0)
+            perturbed *= 1.0 + rng.normal(0.0, noise.gaussianRel);
+        if (noise.quantizeStep > 0.0)
+            perturbed = std::round(perturbed / noise.quantizeStep) *
+                        noise.quantizeStep;
+        if (perturbed != v)
+            ++stats.curveCellsPerturbed;
+        if (noise.dropProbability > 0.0 &&
+            rng.bernoulli(noise.dropProbability)) {
+            perturbed = std::numeric_limits<double>::quiet_NaN();
+            ++stats.curveSamplesDropped;
+        }
+        v = perturbed;
+    }
+
+    cache::CurveRepairReport report;
+    cache::MissCurve repaired =
+        cache::repairedMissCurve(std::move(samples), &report);
+    if (report.anyRepair() && hardening != nullptr)
+        ++hardening->repairedCurves;
+    return repaired;
+}
+
+double
+FaultInjector::biasPowerReading(double watts, std::uint64_t scope,
+                                std::uint64_t player, std::uint64_t salt,
+                                InjectionStats &stats) const
+{
+    if (plan_.powerBias == 0.0 && !plan_.powerNoise.active())
+        return watts;
+
+    double out = watts * (1.0 + plan_.powerBias);
+    const NoiseModel &noise = plan_.powerNoise;
+    if (noise.active()) {
+        util::Rng rng = fork(scope, player, FaultStream::Power, salt);
+        if (noise.gaussianRel > 0.0)
+            out *= 1.0 + rng.normal(0.0, noise.gaussianRel);
+        if (noise.quantizeStep > 0.0)
+            out = std::round(out / noise.quantizeStep) * noise.quantizeStep;
+    }
+    out = std::max(0.0, out);
+    if (out != watts)
+        ++stats.powerReadingsBiased;
+    return out;
+}
+
+bool
+FaultInjector::staleProfile(std::uint64_t scope, std::uint64_t player,
+                            std::uint64_t salt,
+                            InjectionStats &stats) const
+{
+    if (plan_.staleProfileRate <= 0.0)
+        return false;
+    util::Rng rng = fork(scope, player, FaultStream::Stale, salt);
+    if (!rng.bernoulli(plan_.staleProfileRate))
+        return false;
+    ++stats.staleProfiles;
+    return true;
+}
+
+bool
+FaultInjector::isLiar(std::uint64_t scope, std::uint64_t player) const
+{
+    if (plan_.liarFraction <= 0.0 || plan_.liarGain == 1.0)
+        return false;
+    util::Rng rng = fork(scope, player, FaultStream::Liar);
+    return rng.bernoulli(plan_.liarFraction);
+}
+
+std::shared_ptr<const market::UtilityModel>
+FaultInjector::maybeLiar(std::shared_ptr<const market::UtilityModel> model,
+                         std::uint64_t scope, std::uint64_t player,
+                         InjectionStats &stats) const
+{
+    if (model == nullptr || !isLiar(scope, player))
+        return model;
+    ++stats.liarPlayers;
+    return std::make_shared<LiarUtilityModel>(std::move(model),
+                                              plan_.liarGain);
+}
+
+std::shared_ptr<const app::AppUtilityModel>
+FaultInjector::perturbModel(
+    const std::shared_ptr<const app::AppUtilityModel> &model,
+    std::uint64_t scope, std::uint64_t player, InjectionStats &stats,
+    util::SolverStats *hardening) const
+{
+    if (model == nullptr ||
+        (plan_.gridNanRate <= 0.0 && plan_.gridZeroColumnRate <= 0.0 &&
+         plan_.gridScrambleRate <= 0.0)) {
+        return model;
+    }
+
+    const size_t nc = model->cacheKnots().size();
+    const size_t np = model->powerKnots().size();
+    app::RawUtilityGrid raw;
+    raw.name = model->name();
+    raw.cacheKnots = model->cacheKnots();
+    raw.powerKnots = model->powerKnots();
+    raw.minRegions = model->minRegions();
+    raw.minWatts = model->minWatts();
+    raw.activity = model->activity();
+    raw.grid.resize(nc * np);
+    for (size_t ci = 0; ci < nc; ++ci)
+        for (size_t pi = 0; pi < np; ++pi)
+            raw.grid[ci * np + pi] = model->gridValue(ci, pi);
+
+    util::Rng rng = fork(scope, player, FaultStream::Grid);
+    bool corrupted = false;
+    if (plan_.gridNanRate > 0.0) {
+        for (auto &v : raw.grid) {
+            if (rng.bernoulli(plan_.gridNanRate)) {
+                // Alternate NaN and Inf holes so both repair paths see
+                // traffic.
+                v = rng.bernoulli(0.5)
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : std::numeric_limits<double>::infinity();
+                ++stats.gridCellsCorrupted;
+                corrupted = true;
+            }
+        }
+    }
+    if (plan_.gridZeroColumnRate > 0.0) {
+        for (size_t pi = 0; pi < np; ++pi) {
+            if (!rng.bernoulli(plan_.gridZeroColumnRate))
+                continue;
+            for (size_t ci = 0; ci < nc; ++ci)
+                raw.grid[ci * np + pi] = 0.0;
+            ++stats.gridColumnsZeroed;
+            corrupted = true;
+        }
+    }
+    if (plan_.gridScrambleRate > 0.0) {
+        for (size_t ci = 0; ci < nc; ++ci) {
+            if (!rng.bernoulli(plan_.gridScrambleRate))
+                continue;
+            std::vector<double> row(raw.grid.begin() + ci * np,
+                                    raw.grid.begin() + (ci + 1) * np);
+            rng.shuffle(row);
+            std::copy(row.begin(), row.end(), raw.grid.begin() + ci * np);
+            ++stats.gridRowsScrambled;
+            corrupted = true;
+        }
+    }
+    if (!corrupted)
+        return model;
+
+    auto rebuilt = std::make_shared<app::AppUtilityModel>(std::move(raw));
+    if (hardening != nullptr &&
+        (rebuilt->sanitizeReport().any() || !rebuilt->gridStatus().ok()))
+        ++hardening->sanitizedGrids;
+    return rebuilt;
+}
+
+} // namespace rebudget::faults

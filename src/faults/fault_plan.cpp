@@ -1,0 +1,196 @@
+#include "rebudget/faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace rebudget::faults {
+
+namespace {
+
+double
+clampRate(double v)
+{
+    return std::clamp(v, 0.0, 1.0);
+}
+
+void
+appendKnob(std::string &out, const char *key, double v)
+{
+    if (v == 0.0)
+        return;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%s=%g", out.empty() ? "" : ",",
+                  key, v);
+    out += buf;
+}
+
+} // namespace
+
+NoiseModel
+NoiseModel::scaled(double level) const
+{
+    NoiseModel out;
+    out.gaussianRel = gaussianRel * level;
+    out.quantizeStep = quantizeStep * level;
+    out.dropProbability = clampRate(dropProbability * level);
+    return out;
+}
+
+bool
+FaultPlan::enabled() const
+{
+    return curveNoise.active() || powerNoise.active() || powerBias != 0.0 ||
+           gridNanRate > 0.0 || gridZeroColumnRate > 0.0 ||
+           gridScrambleRate > 0.0 || staleProfileRate > 0.0 ||
+           liarFraction > 0.0;
+}
+
+FaultPlan
+FaultPlan::scaled(double level) const
+{
+    level = std::max(0.0, level);
+    FaultPlan out;
+    out.seed = seed;
+    out.curveNoise = curveNoise.scaled(level);
+    out.powerNoise = powerNoise.scaled(level);
+    out.powerBias = powerBias * level;
+    out.gridNanRate = clampRate(gridNanRate * level);
+    out.gridZeroColumnRate = clampRate(gridZeroColumnRate * level);
+    out.gridScrambleRate = clampRate(gridScrambleRate * level);
+    out.staleProfileRate = clampRate(staleProfileRate * level);
+    out.liarFraction = clampRate(liarFraction * level);
+    // Interpolate the gain from honest (1) so level 0 means no lying
+    // even if the fraction rounds above zero.
+    out.liarGain = 1.0 + (liarGain - 1.0) * level;
+    return out;
+}
+
+util::Expected<FaultPlan>
+FaultPlan::parse(std::string_view spec, std::uint64_t seed)
+{
+    using util::SolveStatus;
+    using util::StatusCode;
+
+    FaultPlan plan;
+    plan.seed = seed;
+
+    std::vector<std::string> tokens;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        const size_t comma = spec.find(',', start);
+        const size_t end = comma == std::string_view::npos ? spec.size()
+                                                           : comma;
+        if (end > start)
+            tokens.emplace_back(spec.substr(start, end - start));
+        if (comma == std::string_view::npos)
+            break;
+        start = comma + 1;
+    }
+
+    for (const std::string &token : tokens) {
+        const size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            if (token == "liar") {
+                plan.liarFraction = 0.25;
+            } else if (token == "corrupt-grid") {
+                plan.gridNanRate = 0.05;
+                plan.gridZeroColumnRate = 0.05;
+                plan.gridScrambleRate = 0.1;
+            } else if (token == "noise") {
+                plan.curveNoise.gaussianRel = 0.1;
+                plan.curveNoise.dropProbability = 0.02;
+                plan.powerNoise.gaussianRel = 0.05;
+            } else {
+                return SolveStatus::error(
+                    StatusCode::InvalidArgument,
+                    "unknown fault preset '%s' (try liar, corrupt-grid, "
+                    "noise, or key=value)",
+                    token.c_str());
+            }
+            continue;
+        }
+
+        const std::string key = token.substr(0, eq);
+        const std::string value_str = token.substr(eq + 1);
+        char *parse_end = nullptr;
+        const double value = std::strtod(value_str.c_str(), &parse_end);
+        if (value_str.empty() || parse_end == value_str.c_str() ||
+            *parse_end != '\0' || !std::isfinite(value)) {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "fault spec '%s' has a malformed number", token.c_str());
+        }
+
+        const bool is_rate = key == "curve-drop" || key == "grid-nan" ||
+                             key == "grid-zero-col" ||
+                             key == "grid-scramble" || key == "stale" ||
+                             key == "liar";
+        if (is_rate && (value < 0.0 || value > 1.0)) {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "fault rate '%s' must be in [0, 1]", token.c_str());
+        }
+
+        if (key == "curve-noise") {
+            plan.curveNoise.gaussianRel = value;
+        } else if (key == "curve-drop") {
+            plan.curveNoise.dropProbability = value;
+        } else if (key == "curve-quant") {
+            plan.curveNoise.quantizeStep = value;
+        } else if (key == "grid-nan") {
+            plan.gridNanRate = value;
+        } else if (key == "grid-zero-col") {
+            plan.gridZeroColumnRate = value;
+        } else if (key == "grid-scramble") {
+            plan.gridScrambleRate = value;
+        } else if (key == "power-bias") {
+            plan.powerBias = value;
+        } else if (key == "power-noise") {
+            plan.powerNoise.gaussianRel = value;
+        } else if (key == "stale") {
+            plan.staleProfileRate = value;
+        } else if (key == "liar") {
+            plan.liarFraction = value;
+        } else if (key == "liar-gain") {
+            if (value <= 0.0) {
+                return SolveStatus::error(StatusCode::InvalidArgument,
+                                          "liar-gain must be > 0");
+            }
+            plan.liarGain = value;
+        } else {
+            return SolveStatus::error(StatusCode::InvalidArgument,
+                                      "unknown fault key '%s'",
+                                      key.c_str());
+        }
+        if (value < 0.0 && key != "power-bias") {
+            return SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "fault knob '%s' must be non-negative", token.c_str());
+        }
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::string out;
+    appendKnob(out, "curve-noise", curveNoise.gaussianRel);
+    appendKnob(out, "curve-quant", curveNoise.quantizeStep);
+    appendKnob(out, "curve-drop", curveNoise.dropProbability);
+    appendKnob(out, "power-noise", powerNoise.gaussianRel);
+    appendKnob(out, "power-bias", powerBias);
+    appendKnob(out, "grid-nan", gridNanRate);
+    appendKnob(out, "grid-zero-col", gridZeroColumnRate);
+    appendKnob(out, "grid-scramble", gridScrambleRate);
+    appendKnob(out, "stale", staleProfileRate);
+    appendKnob(out, "liar", liarFraction);
+    if (liarFraction > 0.0)
+        appendKnob(out, "liar-gain", liarGain);
+    return out.empty() ? "disabled" : out;
+}
+
+} // namespace rebudget::faults

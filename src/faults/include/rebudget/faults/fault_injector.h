@@ -1,0 +1,199 @@
+#ifndef REBUDGET_FAULTS_FAULT_INJECTOR_H_
+#define REBUDGET_FAULTS_FAULT_INJECTOR_H_
+
+/**
+ * @file
+ * Deterministic fault injection for the monitoring->market pipeline.
+ *
+ * The injector executes a FaultPlan: it perturbs miss curves, corrupts
+ * utility grids, biases power readings, freezes profiles, and wraps
+ * utility models in misreporting "liar" shims.  Every stochastic
+ * decision draws from util::Rng::forStream(plan.seed, {scope, player,
+ * stream, salt}) -- keyed purely by values, never by shared generator
+ * state -- so the same plan produces bit-identical faults regardless of
+ * evaluation order, thread count, or which other faults fired.
+ *
+ * Scope identifies the experiment slice (hash of the bundle name for
+ * sweeps, the sim seed for epoch simulation), player the position
+ * within it, and salt a per-call discriminator (the epoch index).
+ *
+ * The injector is const and stateless beyond its plan: concurrent
+ * sweep workers share one instance safely.  Tallies of what was
+ * injected accumulate in caller-owned InjectionStats.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "rebudget/app/utility.h"
+#include "rebudget/cache/miss_curve.h"
+#include "rebudget/faults/fault_plan.h"
+#include "rebudget/market/utility_model.h"
+#include "rebudget/util/rng.h"
+#include "rebudget/util/solver_stats.h"
+
+namespace rebudget::faults {
+
+/** Tally of injected faults, for the `--stats json` report. */
+struct InjectionStats
+{
+    /** Miss-curve samples altered by noise or quantization. */
+    std::int64_t curveCellsPerturbed = 0;
+    /** Miss-curve samples dropped (holes handed to curve repair). */
+    std::int64_t curveSamplesDropped = 0;
+    /** Utility-grid cells turned into NaN/Inf holes. */
+    std::int64_t gridCellsCorrupted = 0;
+    /** Utility-grid power columns zeroed. */
+    std::int64_t gridColumnsZeroed = 0;
+    /** Utility-grid cache rows scrambled (non-monotone). */
+    std::int64_t gridRowsScrambled = 0;
+    /** Players wrapped in a liar shim. */
+    std::int64_t liarPlayers = 0;
+    /** Power readings biased or noised. */
+    std::int64_t powerReadingsBiased = 0;
+    /** Profile refreshes suppressed (stale profile reused). */
+    std::int64_t staleProfiles = 0;
+
+    /** Accumulate another tally into this one. */
+    void merge(const InjectionStats &other);
+
+    /** @return the sum of every counter. */
+    std::int64_t total() const;
+};
+
+/** Independent RNG stream ids; part of the reproducibility contract. */
+enum class FaultStream : std::uint64_t {
+    Curve = 1,
+    Grid = 2,
+    Power = 3,
+    Liar = 4,
+    Stale = 5,
+};
+
+/**
+ * A player that misreports utility: every reported value (and slope)
+ * is the truth scaled by a fixed gain, the classic strategy for
+ * inflating one's allocation in a proportional-share market.  The
+ * wrapped truth model survives for scoring: evaluations always measure
+ * realized utility against the *truth*, never the lie.
+ */
+class LiarUtilityModel : public market::UtilityModel
+{
+  public:
+    /**
+     * @param truth  the player's real utility (shared, immutable)
+     * @param gain   multiplicative misreporting factor (> 0)
+     */
+    LiarUtilityModel(std::shared_ptr<const market::UtilityModel> truth,
+                     double gain);
+
+    size_t numResources() const override
+    {
+        return truth_->numResources();
+    }
+    double utility(std::span<const double> alloc) const override
+    {
+        return gain_ * truth_->utility(alloc);
+    }
+    double marginal(size_t resource,
+                    std::span<const double> alloc) const override
+    {
+        return gain_ * truth_->marginal(resource, alloc);
+    }
+    void gradient(std::span<const double> alloc,
+                  std::span<double> out) const override;
+    std::string name() const override;
+
+    /** @return the wrapped truth model. */
+    const market::UtilityModel &truth() const { return *truth_; }
+
+    /** @return the misreporting gain. */
+    double gain() const { return gain_; }
+
+  private:
+    std::shared_ptr<const market::UtilityModel> truth_;
+    double gain_;
+};
+
+/** Executes a FaultPlan deterministically (see the file comment). */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * @return the independent RNG stream for (scope, player, stream,
+     * salt) under this plan's seed.  Pure function of its arguments.
+     */
+    util::Rng fork(std::uint64_t scope, std::uint64_t player,
+                   FaultStream stream, std::uint64_t salt = 0) const;
+
+    /**
+     * Apply curve noise (Gaussian, quantization, sample drops) to a
+     * miss curve, then repair the result so Talus never sees the
+     * damage raw.  Returns the input unchanged when curve noise is off.
+     *
+     * @param hardening  optional telemetry sink: repairedCurves is
+     *                   bumped when the repair actually changed cells.
+     */
+    cache::MissCurve perturbMissCurve(
+        const cache::MissCurve &curve, std::uint64_t scope,
+        std::uint64_t player, std::uint64_t salt, InjectionStats &stats,
+        util::SolverStats *hardening = nullptr) const;
+
+    /**
+     * @return the power reading with the plan's systematic bias and
+     * noise applied (never below zero); unchanged when both are off.
+     */
+    double biasPowerReading(double watts, std::uint64_t scope,
+                            std::uint64_t player, std::uint64_t salt,
+                            InjectionStats &stats) const;
+
+    /**
+     * @return true if this player's profile refresh should be
+     * suppressed this round (the caller keeps the previous profile).
+     */
+    bool staleProfile(std::uint64_t scope, std::uint64_t player,
+                      std::uint64_t salt, InjectionStats &stats) const;
+
+    /**
+     * @return true if this player misreports utility under the plan.
+     * Deterministic per (scope, player); independent of salt so a liar
+     * lies for the whole run.
+     */
+    bool isLiar(std::uint64_t scope, std::uint64_t player) const;
+
+    /**
+     * Wrap @p model in a LiarUtilityModel when isLiar() says so;
+     * otherwise return it unchanged.
+     */
+    std::shared_ptr<const market::UtilityModel> maybeLiar(
+        std::shared_ptr<const market::UtilityModel> model,
+        std::uint64_t scope, std::uint64_t player,
+        InjectionStats &stats) const;
+
+    /**
+     * Apply grid corruption (NaN holes, zeroed power columns,
+     * scrambled rows) to a utility model.  The corrupted grid is
+     * rebuilt through the sanitizing RawUtilityGrid constructor, so the
+     * result is always usable; `hardening->sanitizedGrids` is bumped
+     * when sanitation had to repair cells.  Returns the original
+     * pointer when no grid fault fires (the common case), so clean
+     * players keep sharing the memoized catalog model.
+     */
+    std::shared_ptr<const app::AppUtilityModel> perturbModel(
+        const std::shared_ptr<const app::AppUtilityModel> &model,
+        std::uint64_t scope, std::uint64_t player, InjectionStats &stats,
+        util::SolverStats *hardening = nullptr) const;
+
+  private:
+    FaultPlan plan_;
+};
+
+} // namespace rebudget::faults
+
+#endif // REBUDGET_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,117 @@
+#ifndef REBUDGET_FAULTS_FAULT_PLAN_H_
+#define REBUDGET_FAULTS_FAULT_PLAN_H_
+
+/**
+ * @file
+ * Declarative description of what to break.
+ *
+ * A FaultPlan is the configuration half of the fault-injection harness
+ * (see fault_injector.h for the mechanism half): it names the noise
+ * magnitudes, corruption rates and misreporting behaviors to apply to
+ * the monitoring->market pipeline.  Plans are plain data -- copyable,
+ * comparable by field, scalable for noise sweeps -- and are parsed from
+ * the CLI's `--faults` spec.  A default-constructed plan injects
+ * nothing, which is what keeps the clean evaluation paths bit-identical
+ * to the no-faults baseline.
+ *
+ * Randomness never lives in the plan: every stochastic decision is
+ * drawn from a per-(scope, player, stream) util::Rng fork keyed by the
+ * plan's seed (see FaultInjector::fork), so identical plans reproduce
+ * identical faults at any `--jobs` count.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rebudget/util/status.h"
+
+namespace rebudget::faults {
+
+/** Measurement-noise shape applied to one scalar sample stream. */
+struct NoiseModel
+{
+    /** Stddev of multiplicative Gaussian noise, relative to the value. */
+    double gaussianRel = 0.0;
+    /** Round values to multiples of this absolute step (0 = off). */
+    double quantizeStep = 0.0;
+    /** Probability a sample is dropped (becomes a hole to repair). */
+    double dropProbability = 0.0;
+
+    /** @return true if any knob is nonzero. */
+    bool active() const
+    {
+        return gaussianRel > 0.0 || quantizeStep > 0.0 ||
+               dropProbability > 0.0;
+    }
+
+    /** @return a copy with every knob multiplied by @p level. */
+    NoiseModel scaled(double level) const;
+};
+
+/**
+ * Everything the injector may do, with all knobs off by default.
+ * Rates are probabilities in [0, 1]; magnitudes are relative.
+ */
+struct FaultPlan
+{
+    /** Root seed for every fault stream (fork keys layer on top). */
+    std::uint64_t seed = 2016;
+
+    /** Noise on UMON miss-curve samples. */
+    NoiseModel curveNoise;
+    /** Noise on power readings (RAPL-style meters). */
+    NoiseModel powerNoise;
+    /** Systematic relative bias on power readings (+0.1 = reads 10% high). */
+    double powerBias = 0.0;
+
+    /** Per-cell probability of a NaN/Inf hole in a utility grid. */
+    double gridNanRate = 0.0;
+    /** Per-column probability a utility grid power column reads zero. */
+    double gridZeroColumnRate = 0.0;
+    /** Per-row probability a grid row is scrambled (non-monotone). */
+    double gridScrambleRate = 0.0;
+
+    /** Probability a player's profile is stale (frozen from before). */
+    double staleProfileRate = 0.0;
+
+    /** Fraction of players that misreport utility ("liar players"). */
+    double liarFraction = 0.0;
+    /** Multiplicative gain a liar applies to its reported utility. */
+    double liarGain = 4.0;
+
+    /** @return true if this plan injects anything at all. */
+    bool enabled() const;
+
+    /**
+     * @return a copy with every rate and magnitude multiplied by
+     * @p level (probabilities clamp to 1; liarGain interpolates from 1
+     * so level 0 means honest players).  Used by `--noise-sweep` to
+     * trace degradation curves from one base plan.
+     */
+    FaultPlan scaled(double level) const;
+
+    /**
+     * Parse a comma-separated spec: `key=value` pairs and bare presets.
+     *
+     * Keys: curve-noise, curve-drop, curve-quant, grid-nan,
+     * grid-zero-col, grid-scramble, power-bias, power-noise, stale,
+     * liar, liar-gain.  Presets: `liar` (liar=0.25), `corrupt-grid`
+     * (grid-nan=0.05, grid-zero-col=0.05, grid-scramble=0.1), `noise`
+     * (curve-noise=0.1, curve-drop=0.02, power-noise=0.05).
+     *
+     * @param spec  e.g. "liar,grid-nan=0.05" or "curve-noise=0.2"
+     * @param seed  root seed stored into the plan
+     * @return the plan, or InvalidArgument for unknown keys, bad
+     * numbers, or out-of-range rates.
+     */
+    static util::Expected<FaultPlan> parse(std::string_view spec,
+                                           std::uint64_t seed);
+
+    /** @return a one-line human-readable summary of the active knobs. */
+    std::string describe() const;
+};
+
+} // namespace rebudget::faults
+
+#endif // REBUDGET_FAULTS_FAULT_PLAN_H_

@@ -55,6 +55,14 @@ EpochSimulator::run()
 
     SimResult result;
     result.mechanism = allocator_.name();
+    // Fault injection between the monitors and the market.  Streams are
+    // keyed by (config seed, core, epoch), so a given configuration is
+    // damaged bit-identically on every run.
+    const faults::FaultInjector injector(config_.faults);
+    const bool faults_on = config_.faults.enabled();
+    // One robustness filter per core over the measured L2 access rate.
+    std::vector<app::SampleFilter> filters(
+        n, app::SampleFilter(config_.sampleFilter));
     // Solo (run-alone) calibration, cached by app so context switches to
     // an already-known app are free.
     std::map<std::string, double> solo_cache;
@@ -117,6 +125,10 @@ EpochSimulator::run()
     // solves reuse the same buffers, so steady-state epochs perform no
     // solver heap allocation.
     market::SolveWorkspace solve_ws;
+    // Non-convergence watchdog state: consecutive bad epochs seen, and
+    // remaining equal-share epochs after a trip.
+    uint32_t consecutive_bad = 0;
+    uint32_t fallback_remaining = 0;
     for (uint32_t epoch = 0; epoch < total_epochs; ++epoch) {
         // (0) OS context switches: the incoming app gets a fresh core
         // state (cold L1, cold monitors) and a new solo baseline.
@@ -133,6 +145,7 @@ EpochSimulator::run()
                 config_.seed + cs.core * 977 + epoch * 131);
             activities[cs.core] = cs.newApp.activity;
             solo[cs.core] = solo_for(cs.newApp);
+            filters[cs.core].reset();
             switched = true;
         }
         if (switched) {
@@ -163,58 +176,146 @@ EpochSimulator::run()
         }
         mem_lat_ns = memory.effectiveLatencyNs(bandwidth_demand);
 
-        // (2) Rebuild online utility models from the monitors.
+        // (2) Rebuild online utility models from the monitors.  Under
+        // fault injection a core's refresh may be suppressed (stale
+        // profile) or its miss curve perturbed; fresh readings pass
+        // through the per-core sample filter before the model sees them.
         std::vector<const market::UtilityModel *> model_ptrs(n);
         for (uint32_t i = 0; i < n; ++i) {
-            profiles[i] = cores[i]->onlineProfile();
+            const bool stale =
+                faults_on && epoch > 0 &&
+                injector.staleProfile(config_.seed, i, epoch,
+                                      result.injectionStats);
+            if (!stale) {
+                profiles[i] = cores[i]->onlineProfile();
+                if (faults_on) {
+                    profiles[i].l2Curve = injector.perturbMissCurve(
+                        profiles[i].l2Curve, config_.seed, i, epoch,
+                        result.injectionStats, &result.solverStats);
+                }
+                profiles[i].l2AccessesPerInstr =
+                    filters[i].filter(profiles[i].l2AccessesPerInstr);
+            }
             models[i] = std::make_unique<app::AppUtilityModel>(
                 profiles[i], power_model, grid_options);
             model_ptrs[i] = models[i].get();
             cores[i]->resetEpochMonitors();
         }
 
-        // (3) Allocate.
-        core::AllocationProblem problem;
-        problem.models = model_ptrs;
-        problem.capacities = {cache_capacity, power_capacity};
-        problem.marketConfig = config_.marketConfig;
-        problem.warmStart = warm_seed.get();
-        problem.workspace = &solve_ws;
-        const core::AllocationOutcome outcome = allocator_.allocate(problem);
-        result.solverStats.merge(outcome.stats);
-        record.marketIterations = outcome.marketIterations;
-        record.budgetRounds = outcome.budgetRounds;
-        record.converged = outcome.converged;
-
-        if (!outcome.status.ok()) {
-            // A degenerate online model (e.g. a pathological miss curve)
-            // must not kill a multi-second run: keep the previous
-            // operating point for one epoch and try again with the next
-            // epoch's monitors.
-            result.failedAllocations += 1;
-            util::warn(
-                "epoch %u: %s allocation failed (%s); keeping the "
-                "previous operating point",
-                epoch, allocator_.name().c_str(),
-                outcome.status.toString().c_str());
+        // (3) Allocate -- unless the watchdog has the machine running
+        // open-loop on the equal-share operating point installed at the
+        // last trip.
+        if (fallback_remaining > 0) {
+            --fallback_remaining;
+            record.fallback = true;
+            result.solverStats.fallbackEpochs += 1;
         } else {
-            warm_seed = outcome.equilibrium;
-            last_alloc = outcome.alloc;
+            core::AllocationProblem problem;
+            problem.models = model_ptrs;
+            problem.capacities = {cache_capacity, power_capacity};
+            problem.marketConfig = config_.marketConfig;
+            problem.warmStart = warm_seed.get();
+            problem.workspace = &solve_ws;
+            const core::AllocationOutcome outcome =
+                allocator_.allocate(problem);
+            result.solverStats.merge(outcome.stats);
+            record.marketIterations = outcome.marketIterations;
+            record.budgetRounds = outcome.budgetRounds;
+            record.converged = outcome.converged;
 
-            // (4) Install cache targets and power caps for the next
-            // epoch.
-            std::vector<double> caps(n);
-            for (uint32_t i = 0; i < n; ++i) {
-                const double regions =
-                    grid_options.minRegions +
-                    outcome.alloc[i][app::AppUtilityModel::kCache];
-                l2.setTargetRegions(i, regions, profiles[i].l2Curve);
-                caps[i] = min_watts[i] +
-                          outcome.alloc[i][app::AppUtilityModel::kPower];
+            if (!outcome.status.ok()) {
+                // A degenerate online model (e.g. a pathological miss
+                // curve) must not kill a multi-second run: keep the
+                // previous operating point for one epoch and try again
+                // with the next epoch's monitors.
+                result.failedAllocations += 1;
+                util::warn(
+                    "epoch %u: %s allocation failed (%s); keeping the "
+                    "previous operating point",
+                    epoch, allocator_.name().c_str(),
+                    outcome.status.toString().c_str());
+            } else {
+                warm_seed = outcome.equilibrium;
+                last_alloc = outcome.alloc;
+
+                // (4) Install cache targets and power caps for the next
+                // epoch.
+                std::vector<double> caps(n);
+                for (uint32_t i = 0; i < n; ++i) {
+                    const double regions =
+                        grid_options.minRegions +
+                        outcome.alloc[i][app::AppUtilityModel::kCache];
+                    l2.setTargetRegions(i, regions, profiles[i].l2Curve);
+                    caps[i] =
+                        min_watts[i] +
+                        outcome.alloc[i][app::AppUtilityModel::kPower];
+                    if (faults_on) {
+                        // A lying power sensor: RAPL enforces the biased
+                        // reading, clamped so DVFS stays feasible.
+                        caps[i] = std::max(
+                            min_watts[i],
+                            injector.biasPowerReading(
+                                caps[i], config_.seed, i, epoch,
+                                result.injectionStats));
+                    }
+                }
+                if (faults_on) {
+                    // Upward-biased readings can push the cap vector
+                    // past the chip budget, which RAPL rightly rejects.
+                    // Guardrail: scale the headroom above the guaranteed
+                    // minimums back into budget.
+                    double total = 0.0;
+                    double min_sum = 0.0;
+                    for (uint32_t i = 0; i < n; ++i) {
+                        total += caps[i];
+                        min_sum += min_watts[i];
+                    }
+                    const double budget = config_.cmp.chipBudgetWatts();
+                    if (total > budget) {
+                        const double scale =
+                            (budget - min_sum) / (total - min_sum);
+                        for (uint32_t i = 0; i < n; ++i) {
+                            caps[i] = min_watts[i] +
+                                      (caps[i] - min_watts[i]) * scale;
+                        }
+                    }
+                }
+                l2.updateController();
+                rapl.setCaps(caps);
+                freqs = rapl.frequencies(power_model, activities);
             }
-            l2.updateController();
-            rapl.setCaps(caps);
-            freqs = rapl.frequencies(power_model, activities);
+
+            // Watchdog: too many consecutive failed or fail-safe epochs
+            // means the online models are feeding the market garbage.
+            // Stop trusting it: install the equal-share operating point,
+            // drop the warm-start chain, and run open-loop for a few
+            // epochs so the monitors can recover before re-entry.
+            const bool bad = !outcome.status.ok() || !outcome.converged;
+            if (!bad) {
+                consecutive_bad = 0;
+            } else if (++consecutive_bad >=
+                       config_.watchdogFailureThreshold) {
+                consecutive_bad = 0;
+                fallback_remaining = config_.watchdogCleanEpochs;
+                record.fallback = true;
+                result.solverStats.watchdogTrips += 1;
+                warm_seed.reset();
+                util::warn(
+                    "epoch %u: watchdog tripped for %s; equal-share "
+                    "fallback for %u epochs",
+                    epoch, allocator_.name().c_str(),
+                    config_.watchdogCleanEpochs);
+                const double share =
+                    static_cast<double>(config_.cmp.totalRegions()) /
+                    static_cast<double>(n);
+                std::vector<double> caps(
+                    n, config_.cmp.chipBudgetWatts() / n);
+                for (uint32_t i = 0; i < n; ++i)
+                    l2.setTargetRegions(i, share, profiles[i].l2Curve);
+                l2.updateController();
+                rapl.setCaps(caps);
+                freqs = rapl.frequencies(power_model, activities);
+            }
         }
 
         if (epoch >= config_.warmupEpochs)
@@ -222,6 +323,8 @@ EpochSimulator::run()
     }
 
     // Aggregates.
+    for (const app::SampleFilter &f : filters)
+        result.solverStats.rejectedSamples += f.rejectedSamples();
     result.meanUtilities.assign(n, 0.0);
     for (const auto &rec : result.epochs) {
         result.meanEfficiency += rec.efficiency;

@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "rebudget/app/app_params.h"
+#include "rebudget/app/sample_filter.h"
 #include "rebudget/core/allocator.h"
+#include "rebudget/faults/fault_injector.h"
 #include "rebudget/sim/cmp_config.h"
 #include "rebudget/sim/memory_model.h"
 #include "rebudget/util/solver_stats.h"
@@ -74,6 +76,29 @@ struct EpochSimConfig
     market::MarketConfig marketConfig;
     /** OS context switches to apply during the run. */
     std::vector<ContextSwitch> contextSwitches;
+    /**
+     * Non-convergence watchdog: after this many consecutive epochs whose
+     * allocation failed or hit the iteration fail-safe, the simulator
+     * abandons the market, installs an equal-share operating point, and
+     * runs open-loop for watchdogCleanEpochs epochs before re-entering
+     * the market from a cold start.  Clean runs converge every epoch,
+     * so the watchdog never fires on them.
+     */
+    uint32_t watchdogFailureThreshold = 3;
+    /** Equal-share epochs to run after a watchdog trip. */
+    uint32_t watchdogCleanEpochs = 3;
+    /**
+     * Robustness filter applied to each core's measured L2 access rate
+     * before the utility model is rebuilt.  Disabled by default: the
+     * clean path stays bit-identical.
+     */
+    app::SampleFilterConfig sampleFilter;
+    /**
+     * Fault plan injected between the monitors and the market (default
+     * disabled).  Streams are keyed by (this seed, core, epoch), so the
+     * damage is bit-reproducible for a given configuration.
+     */
+    faults::FaultPlan faults;
 
     /** @return the paper's configuration for a core count. */
     static EpochSimConfig forCores(uint32_t cores);
@@ -102,6 +127,11 @@ struct EpochRecord
      * allocation, not a fixed point).
      */
     bool converged = true;
+    /**
+     * True when the watchdog had this epoch running (or falling back
+     * to) the equal-share operating point instead of a market result.
+     */
+    bool fallback = false;
     /** Effective DRAM latency this epoch (ns). */
     double memLatencyNs = 0.0;
 };
@@ -129,6 +159,8 @@ struct SimResult
      * epochs instead of aborting the run.
      */
     std::int64_t failedAllocations = 0;
+    /** Faults actually injected (all zero when the plan is disabled). */
+    faults::InjectionStats injectionStats;
 };
 
 /** Execution-driven CMP simulator with in-the-loop allocation. */

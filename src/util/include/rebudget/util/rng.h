@@ -14,9 +14,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <string_view>
 #include <vector>
 
 namespace rebudget::util {
+
+/** splitmix64 finalizer: a fast, well-mixed 64-bit hash step. */
+uint64_t mix64(uint64_t x);
+
+/**
+ * Stable 64-bit id for a string (FNV-1a folded through mix64).  Used to
+ * key deterministic RNG streams by bundle or run name.
+ */
+uint64_t hashId(std::string_view s);
 
 /** Deterministic xoshiro256++ generator with distribution helpers. */
 class Rng
@@ -62,6 +73,17 @@ class Rng
 
     /** Fork a new independent generator (stream split). */
     Rng split();
+
+    /**
+     * Deterministic named sub-stream: an independent generator keyed by
+     * (seed, key0, key1, ...).  Unlike split(), the result depends only
+     * on the keys, never on generator state, so concurrent consumers
+     * (parallel sweep workers, per-player fault streams) obtain
+     * bit-identical streams regardless of evaluation order or job
+     * count.  Distinct key tuples yield independent streams.
+     */
+    static Rng forStream(uint64_t seed,
+                         std::initializer_list<uint64_t> keys);
 
   private:
     uint64_t s_[4];

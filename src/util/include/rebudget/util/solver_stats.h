@@ -41,6 +41,16 @@ struct SolverStats
     std::int64_t budgetRounds = 0;
     /** Solves or allocations abandoned with a non-Ok status. */
     std::int64_t failedSolves = 0;
+    /** Utility grids repaired by app::sanitizeUtilityGrid. */
+    std::int64_t sanitizedGrids = 0;
+    /** UMON miss curves repaired before convexification. */
+    std::int64_t repairedCurves = 0;
+    /** Profiler samples rejected by the outlier filter. */
+    std::int64_t rejectedSamples = 0;
+    /** Non-convergence watchdog activations (sim fallback entries). */
+    std::int64_t watchdogTrips = 0;
+    /** Epochs spent on the EqualShare fallback operating point. */
+    std::int64_t fallbackEpochs = 0;
 
     /** Wall-clock seconds inside real equilibrium solves. */
     double solveSeconds = 0.0;

@@ -27,11 +27,43 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+hashId(std::string_view s)
+{
+    // FNV-1a, then one mix64 pass to spread the low bits.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return mix64(h);
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t sm = seed;
     for (auto &s : s_)
         s = splitmix64(sm);
+}
+
+Rng
+Rng::forStream(uint64_t seed, std::initializer_list<uint64_t> keys)
+{
+    // Fold the keys into the seed one mix at a time; every prefix yields
+    // a distinct, well-mixed state, so (a, b) and (b, a) differ.
+    uint64_t h = mix64(seed);
+    for (const uint64_t k : keys)
+        h = mix64(h ^ mix64(k));
+    return Rng(h);
 }
 
 uint64_t

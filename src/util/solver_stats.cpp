@@ -25,6 +25,11 @@ SolverStats::merge(const SolverStats &other)
     elidedRescales += other.elidedRescales;
     budgetRounds += other.budgetRounds;
     failedSolves += other.failedSolves;
+    sanitizedGrids += other.sanitizedGrids;
+    repairedCurves += other.repairedCurves;
+    rejectedSamples += other.rejectedSamples;
+    watchdogTrips += other.watchdogTrips;
+    fallbackEpochs += other.fallbackEpochs;
     solveSeconds += other.solveSeconds;
     rescaleSeconds += other.rescaleSeconds;
     allocateSeconds += other.allocateSeconds;
@@ -59,6 +64,11 @@ SolverStats::toJson(int indent) const
     addInt("elided_rescales", elidedRescales);
     addInt("budget_rounds", budgetRounds);
     addInt("failed_solves", failedSolves);
+    addInt("sanitized_grids", sanitizedGrids);
+    addInt("repaired_curves", repairedCurves);
+    addInt("rejected_samples", rejectedSamples);
+    addInt("watchdog_trips", watchdogTrips);
+    addInt("fallback_epochs", fallbackEpochs);
     addSec("solve_seconds", solveSeconds);
     addSec("rescale_seconds", rescaleSeconds);
     addSec("allocate_seconds", allocateSeconds, /*last=*/true);

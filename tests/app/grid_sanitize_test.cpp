@@ -1,0 +1,152 @@
+/**
+ * @file
+ * app::sanitizeUtilityGrid and the RawUtilityGrid constructor: corrupted
+ * utility surfaces (NaN/Inf cells, negative or non-monotone utilities,
+ * malformed knots) must yield usable models instead of fatals, and
+ * clean grids must pass through bit-identical.
+ */
+
+#include "rebudget/app/utility.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/status.h"
+
+namespace rebudget::app {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+RawUtilityGrid
+cleanRaw()
+{
+    RawUtilityGrid raw;
+    raw.name = "clean";
+    raw.cacheKnots = {1.0, 2.0, 4.0};
+    raw.powerKnots = {5.0, 10.0};
+    // Row-major [ci * np + pi], non-decreasing along both axes.
+    raw.grid = {0.1, 0.2, 0.3, 0.5, 0.6, 0.9};
+    raw.minRegions = 1.0;
+    raw.minWatts = 5.0;
+    return raw;
+}
+
+TEST(GridSanitize, CleanGridIsUntouched)
+{
+    std::vector<double> grid = {0.1, 0.2, 0.3, 0.5, 0.6, 0.9};
+    const std::vector<double> original = grid;
+    const GridSanitizeReport report = sanitizeUtilityGrid(grid, 3, 2);
+    EXPECT_FALSE(report.any());
+    EXPECT_EQ(grid, original);
+}
+
+TEST(GridSanitize, NonFiniteCellsAreRepairedThenProjected)
+{
+    std::vector<double> grid = {0.1, kNaN, 0.3, kInf, 0.6, 0.9};
+    const GridSanitizeReport report = sanitizeUtilityGrid(grid, 3, 2);
+    EXPECT_EQ(report.nonFiniteCells, 2);
+    for (double v : grid)
+        EXPECT_TRUE(std::isfinite(v));
+    // Monotone along cache (rows stacked) and power (within row).
+    for (size_t ci = 1; ci < 3; ++ci)
+        for (size_t pi = 0; pi < 2; ++pi)
+            EXPECT_GE(grid[ci * 2 + pi], grid[(ci - 1) * 2 + pi]);
+    for (size_t ci = 0; ci < 3; ++ci)
+        EXPECT_GE(grid[ci * 2 + 1], grid[ci * 2]);
+}
+
+TEST(GridSanitize, NegativeAndNonMonotoneCellsAreCounted)
+{
+    std::vector<double> grid = {0.5, -0.2, 0.3, 0.1, 0.9, 0.4};
+    const GridSanitizeReport report = sanitizeUtilityGrid(grid, 3, 2);
+    EXPECT_EQ(report.negativeCells, 1);
+    EXPECT_GT(report.monotoneRaised, 0);
+    EXPECT_TRUE(report.any());
+}
+
+TEST(GridSanitize, FlatGridIsFlagged)
+{
+    std::vector<double> grid(6, 0.25);
+    const GridSanitizeReport report = sanitizeUtilityGrid(grid, 3, 2);
+    EXPECT_TRUE(report.flatGrid);
+    EXPECT_TRUE(report.any());
+}
+
+TEST(RawUtilityGrid, CleanGridBuildsOkModel)
+{
+    const AppUtilityModel model(cleanRaw());
+    EXPECT_TRUE(model.gridStatus().ok());
+    EXPECT_FALSE(model.sanitizeReport().any());
+    EXPECT_EQ(model.name(), "clean");
+    EXPECT_DOUBLE_EQ(model.gridValue(2, 1), 0.9);
+    const std::vector<double> alloc = {3.0, 5.0}; // total (4 regions, 10 W)
+    EXPECT_DOUBLE_EQ(model.utility(alloc), 0.9);
+}
+
+TEST(RawUtilityGrid, CorruptedCellsAreSanitizedNotFatal)
+{
+    RawUtilityGrid raw = cleanRaw();
+    raw.grid[1] = kNaN;
+    raw.grid[4] = -2.0;
+    const AppUtilityModel model(raw);
+    EXPECT_TRUE(model.gridStatus().ok());
+    EXPECT_TRUE(model.sanitizeReport().any());
+    EXPECT_GT(model.sanitizeReport().nonFiniteCells, 0);
+    EXPECT_GT(model.sanitizeReport().negativeCells, 0);
+    const std::vector<double> alloc = {1.0, 2.5};
+    EXPECT_TRUE(std::isfinite(model.utility(alloc)));
+    EXPECT_TRUE(std::isfinite(model.marginal(0, alloc)));
+    EXPECT_TRUE(std::isfinite(model.marginal(1, alloc)));
+}
+
+TEST(RawUtilityGrid, MalformedKnotsDegradeToFlatSurface)
+{
+    RawUtilityGrid raw = cleanRaw();
+    raw.cacheKnots = {4.0, 2.0, 1.0}; // decreasing
+    const AppUtilityModel model(raw);
+    EXPECT_FALSE(model.gridStatus().ok());
+    EXPECT_EQ(model.gridStatus().code(), util::StatusCode::InvalidArgument);
+    EXPECT_TRUE(model.sanitizeReport().flatGrid);
+    const std::vector<double> alloc = {1.0, 1.0};
+    EXPECT_DOUBLE_EQ(model.utility(alloc), 0.0);
+    EXPECT_DOUBLE_EQ(model.marginal(0, alloc), 0.0);
+}
+
+TEST(RawUtilityGrid, SizeMismatchDegradesToFlatSurface)
+{
+    RawUtilityGrid raw = cleanRaw();
+    raw.grid.pop_back();
+    const AppUtilityModel model(raw);
+    EXPECT_FALSE(model.gridStatus().ok());
+    const std::vector<double> alloc = {0.5, 0.5};
+    EXPECT_DOUBLE_EQ(model.utility(alloc), 0.0);
+}
+
+TEST(RawUtilityGrid, ZeroWidthAxisDegradesToFlatSurface)
+{
+    RawUtilityGrid raw = cleanRaw();
+    raw.powerKnots = {5.0};
+    raw.grid = {0.1, 0.2, 0.3};
+    const AppUtilityModel model(raw);
+    EXPECT_FALSE(model.gridStatus().ok());
+    const std::vector<double> alloc = {0.0, 0.0};
+    EXPECT_DOUBLE_EQ(model.utility(alloc), 0.0);
+}
+
+TEST(RawUtilityGrid, NonFiniteMinimumsDegradeSafely)
+{
+    RawUtilityGrid raw = cleanRaw();
+    raw.minWatts = kInf;
+    const AppUtilityModel model(raw);
+    EXPECT_FALSE(model.gridStatus().ok());
+    EXPECT_TRUE(std::isfinite(model.minWatts()));
+    EXPECT_TRUE(std::isfinite(model.maxWatts()));
+}
+
+} // namespace
+} // namespace rebudget::app

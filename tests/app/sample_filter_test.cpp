@@ -1,0 +1,111 @@
+/**
+ * @file
+ * app::SampleFilter: disabled = identity (the clean-path bit-identity
+ * contract), enabled = EWMA smoothing with outlier and NaN rejection.
+ */
+
+#include "rebudget/app/sample_filter.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace rebudget::app {
+namespace {
+
+TEST(SampleFilter, DisabledIsIdentity)
+{
+    SampleFilter filter; // default config: disabled
+    EXPECT_DOUBLE_EQ(filter.filter(3.75), 3.75);
+    EXPECT_DOUBLE_EQ(filter.filter(-1.0), -1.0);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(filter.filter(nan)));
+    EXPECT_EQ(filter.rejectedSamples(), 0);
+    EXPECT_FALSE(filter.lastRejected());
+}
+
+TEST(SampleFilter, SmoothsTowardTheStream)
+{
+    SampleFilterConfig config;
+    config.enabled = true;
+    config.alpha = 0.5;
+    SampleFilter filter(config);
+    EXPECT_DOUBLE_EQ(filter.filter(10.0), 10.0); // first sample seeds
+    const double second = filter.filter(20.0);
+    EXPECT_GT(second, 10.0);
+    EXPECT_LT(second, 20.0);
+}
+
+TEST(SampleFilter, RejectsWildOutliersAfterWarmup)
+{
+    SampleFilterConfig config;
+    config.enabled = true;
+    config.warmupSamples = 2;
+    SampleFilter filter(config);
+    filter.filter(1.0);
+    filter.filter(1.02);
+    filter.filter(0.98);
+    const double out = filter.filter(500.0);
+    EXPECT_TRUE(filter.lastRejected());
+    EXPECT_EQ(filter.rejectedSamples(), 1);
+    EXPECT_LT(out, 2.0); // frozen mean, not the outlier
+    // The stream keeps flowing normally afterwards.
+    filter.filter(1.01);
+    EXPECT_FALSE(filter.lastRejected());
+}
+
+TEST(SampleFilter, AcceptsEverythingDuringWarmup)
+{
+    SampleFilterConfig config;
+    config.enabled = true;
+    config.warmupSamples = 3;
+    SampleFilter filter(config);
+    filter.filter(1.0);
+    filter.filter(1000.0);
+    EXPECT_EQ(filter.rejectedSamples(), 0);
+}
+
+TEST(SampleFilter, RejectsNonFiniteSamples)
+{
+    SampleFilterConfig config;
+    config.enabled = true;
+    SampleFilter filter(config);
+    filter.filter(2.0);
+    const double out =
+        filter.filter(std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(filter.lastRejected());
+    EXPECT_DOUBLE_EQ(out, 2.0);
+    EXPECT_EQ(filter.rejectedSamples(), 1);
+}
+
+TEST(SampleFilter, SteadyStreamNeverRejectsBenignJitter)
+{
+    SampleFilterConfig config;
+    config.enabled = true;
+    SampleFilter filter(config);
+    for (int i = 0; i < 200; ++i)
+        filter.filter(5.0 + 1e-4 * (i % 3));
+    EXPECT_EQ(filter.rejectedSamples(), 0);
+}
+
+TEST(SampleFilter, ResetForgetsStateKeepsTelemetry)
+{
+    SampleFilterConfig config;
+    config.enabled = true;
+    config.warmupSamples = 1;
+    SampleFilter filter(config);
+    filter.filter(1.0);
+    filter.filter(1.0);
+    filter.filter(900.0); // rejected
+    EXPECT_EQ(filter.rejectedSamples(), 1);
+    filter.reset();
+    // After reset the stream re-seeds: a formerly wild value is now the
+    // first sample and must be accepted.
+    EXPECT_DOUBLE_EQ(filter.filter(900.0), 900.0);
+    EXPECT_FALSE(filter.lastRejected());
+    EXPECT_EQ(filter.rejectedSamples(), 1);
+}
+
+} // namespace
+} // namespace rebudget::app

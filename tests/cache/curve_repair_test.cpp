@@ -1,0 +1,115 @@
+/**
+ * @file
+ * cache::repairMissCurveSamples: untrusted miss curves (non-monotone,
+ * NaN/Inf, negative, zero-width) must become valid MissCurve input
+ * instead of tripping the convex-hull fatals, and well-formed curves
+ * must pass through untouched.
+ */
+
+#include "rebudget/cache/curve_repair.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/cache/talus.h"
+
+namespace rebudget::cache {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CurveRepair, WellFormedCurveIsUntouched)
+{
+    std::vector<double> samples = {100.0, 60.0, 35.0, 20.0, 20.0, 12.0};
+    const std::vector<double> original = samples;
+    const CurveRepairReport report = repairMissCurveSamples(samples);
+    EXPECT_FALSE(report.anyRepair());
+    EXPECT_EQ(samples, original);
+}
+
+TEST(CurveRepair, DecreasingThenIncreasingCurveBecomesMonotone)
+{
+    // Regression: a curve that dips then rises used to fatal inside
+    // upperConcaveHullIndices via MissCurve.  After repair it must be
+    // non-increasing and fully usable by Talus.
+    std::vector<double> samples = {100.0, 50.0, 30.0, 45.0, 60.0, 25.0};
+    CurveRepairReport report;
+    const MissCurve curve = repairedMissCurve(samples, &report);
+    EXPECT_EQ(report.monotoneViolations, 2);
+    EXPECT_TRUE(report.anyRepair());
+    for (size_t r = 1; r <= curve.maxRegions(); ++r)
+        EXPECT_LE(curve.missesAt(r), curve.missesAt(r - 1));
+    // The rising cells were projected down to the running minimum.
+    EXPECT_DOUBLE_EQ(curve.missesAt(3), 30.0);
+    EXPECT_DOUBLE_EQ(curve.missesAt(4), 30.0);
+    EXPECT_DOUBLE_EQ(curve.missesAt(5), 25.0);
+    const TalusSplit split = computeTalusSplit(curve, 3.5);
+    EXPECT_GE(split.poiHigh, split.poiLow);
+    EXPECT_TRUE(std::isfinite(split.expectedMisses));
+}
+
+TEST(CurveRepair, NonFiniteCellsTakeNeighborValues)
+{
+    std::vector<double> samples = {kNaN, 80.0, kInf, 40.0, kNaN};
+    const CurveRepairReport report = repairMissCurveSamples(samples);
+    EXPECT_EQ(report.nonFiniteCells, 3);
+    // Leading hole takes the first finite value; later holes repeat the
+    // previous cell.
+    EXPECT_DOUBLE_EQ(samples[0], 80.0);
+    EXPECT_DOUBLE_EQ(samples[2], 80.0);
+    EXPECT_DOUBLE_EQ(samples[4], 40.0);
+    for (double v : samples)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CurveRepair, AllNonFiniteCurveFlattensToZero)
+{
+    std::vector<double> samples = {kNaN, kInf, kNaN};
+    CurveRepairReport report;
+    const MissCurve curve = repairedMissCurve(samples, &report);
+    EXPECT_EQ(report.nonFiniteCells, 3);
+    for (size_t r = 0; r <= curve.maxRegions(); ++r)
+        EXPECT_DOUBLE_EQ(curve.missesAt(r), 0.0);
+}
+
+TEST(CurveRepair, NegativeCellsClampToZero)
+{
+    std::vector<double> samples = {10.0, -5.0, -1.0};
+    const CurveRepairReport report = repairMissCurveSamples(samples);
+    EXPECT_EQ(report.negativeCells, 2);
+    EXPECT_DOUBLE_EQ(samples[1], 0.0);
+    EXPECT_DOUBLE_EQ(samples[2], 0.0);
+}
+
+TEST(CurveRepair, EmptyAndZeroWidthCurvesArePadded)
+{
+    std::vector<double> empty;
+    CurveRepairReport report_empty;
+    const MissCurve from_empty = repairedMissCurve(empty, &report_empty);
+    EXPECT_TRUE(report_empty.padded);
+    EXPECT_GE(from_empty.maxRegions(), 1u);
+
+    std::vector<double> lone = {42.0};
+    CurveRepairReport report_lone;
+    const MissCurve from_lone = repairedMissCurve(lone, &report_lone);
+    EXPECT_TRUE(report_lone.padded);
+    EXPECT_GE(from_lone.maxRegions(), 1u);
+    EXPECT_DOUBLE_EQ(from_lone.missesAt(0), 42.0);
+    EXPECT_DOUBLE_EQ(from_lone.missesAt(1), 42.0);
+    const TalusSplit split = computeTalusSplit(from_lone, 0.5);
+    EXPECT_TRUE(std::isfinite(split.expectedMisses));
+}
+
+TEST(CurveRepair, RepairedCurveSamplesAccessorRoundTrips)
+{
+    std::vector<double> samples = {9.0, 4.0, 1.0};
+    const MissCurve curve = repairedMissCurve(samples);
+    EXPECT_EQ(curve.samples(), samples);
+}
+
+} // namespace
+} // namespace rebudget::cache

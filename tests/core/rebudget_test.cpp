@@ -77,6 +77,38 @@ TEST(ReBudget, WorstCaseMbrMatchesCutSeries)
                 1e-9);
 }
 
+TEST(ReBudget, GuardrailFloorBoundsBudgetCuts)
+{
+    // An aggressive config whose geometric cut series would otherwise
+    // strip a player near to zero: the guardrail floor must bind.
+    ReBudgetConfig cfg;
+    cfg.step0 = 45.0;
+    cfg.minStepFraction = 1e-6;
+    cfg.maxRounds = 64;
+    cfg.guardrailFloor = 0.25;
+    const ReBudgetAllocator alloc{cfg};
+    ASSERT_TRUE(alloc.configStatus().ok());
+    // Ungated cuts: 45 * (1 + 1/2 + ...) -> 90, i.e. MBR 0.10; the
+    // guardrail holds the bound at 0.25.
+    EXPECT_NEAR(alloc.worstCaseMbr(), 0.25, 1e-9);
+
+    Fixture f = skewedFixture(3, 6);
+    const auto out = alloc.allocate(f.problem);
+    ASSERT_TRUE(out.status.ok());
+    for (double b : out.budgets)
+        EXPECT_GE(b, 25.0 - 1e-9);
+}
+
+TEST(ReBudget, DefaultGuardrailNeverBindsOnPaperConfigs)
+{
+    // 5% sits below ReBudget-40's 21.25% worst case, so enabling it by
+    // default cannot change any paper result.
+    ReBudgetConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.guardrailFloor, 0.05);
+    EXPECT_NEAR(ReBudgetAllocator::withStep(40).worstCaseMbr(), 0.2125,
+                1e-9);
+}
+
 TEST(ReBudget, FairnessTargetEnforcesMbrFloor)
 {
     Fixture f = skewedFixture(2, 6);
@@ -262,6 +294,14 @@ TEST(ReBudget, RejectsBadConfig)
 
     bad = ReBudgetConfig{};
     bad.mbrFloor = 2.0;
+    EXPECT_FALSE(ReBudgetAllocator{bad}.configStatus().ok());
+
+    bad = ReBudgetConfig{};
+    bad.guardrailFloor = 1.0;
+    EXPECT_FALSE(ReBudgetAllocator{bad}.configStatus().ok());
+
+    bad = ReBudgetConfig{};
+    bad.guardrailFloor = -0.1;
     EXPECT_FALSE(ReBudgetAllocator{bad}.configStatus().ok());
 
     bad = ReBudgetConfig{};

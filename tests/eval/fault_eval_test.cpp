@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Fault injection through eval::BundleRunner: a disabled plan is a
+ * byte-identical no-op, enabled plans are bit-reproducible at any job
+ * count, liar players cannot inflate truth-scored results, and
+ * corrupted grids degrade the sweep gracefully instead of killing it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/workloads/bundles.h"
+
+using namespace rebudget;
+
+namespace {
+
+std::vector<workloads::Bundle>
+smallSuite(uint32_t cores, uint32_t per_category)
+{
+    const auto catalog = workloads::classifyCatalog();
+    return workloads::generateAllBundles(catalog, cores, per_category,
+                                         2016);
+}
+
+faults::FaultPlan
+noisyPlan()
+{
+    faults::FaultPlan plan;
+    plan.seed = 2016;
+    plan.curveNoise.gaussianRel = 0.1;
+    plan.gridNanRate = 0.1;
+    plan.gridScrambleRate = 0.2;
+    plan.liarFraction = 0.25;
+    return plan;
+}
+
+void
+expectSameScores(const eval::BundleEvaluation &a,
+                 const eval::BundleEvaluation &b)
+{
+    EXPECT_EQ(a.bundle, b.bundle);
+    EXPECT_EQ(a.skipped, b.skipped);
+    ASSERT_EQ(a.scores.size(), b.scores.size());
+    for (size_t m = 0; m < a.scores.size(); ++m) {
+        // Bit-identical: fault streams are value-keyed, so neither the
+        // job count nor evaluation order may leak into the numbers.
+        EXPECT_EQ(a.scores[m].efficiency, b.scores[m].efficiency);
+        EXPECT_EQ(a.scores[m].envyFreeness, b.scores[m].envyFreeness);
+        EXPECT_EQ(a.scores[m].mur, b.scores[m].mur);
+        EXPECT_EQ(a.scores[m].mbr, b.scores[m].mbr);
+        EXPECT_EQ(a.scores[m].marketIterations,
+                  b.scores[m].marketIterations);
+    }
+    EXPECT_EQ(a.injectionStats.total(), b.injectionStats.total());
+    EXPECT_EQ(a.injectionStats.liarPlayers, b.injectionStats.liarPlayers);
+    EXPECT_EQ(a.injectionStats.gridCellsCorrupted,
+              b.injectionStats.gridCellsCorrupted);
+    EXPECT_EQ(a.hardeningStats.sanitizedGrids,
+              b.hardeningStats.sanitizedGrids);
+    EXPECT_EQ(a.hardeningStats.repairedCurves,
+              b.hardeningStats.repairedCurves);
+}
+
+} // namespace
+
+TEST(FaultEval, DisabledPlanIsByteIdenticalNoop)
+{
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const core::EqualBudgetAllocator equal;
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+
+    eval::BundleRunnerOptions base;
+    base.jobs = 1;
+    // A plan with a different seed but no active knob must not change a
+    // byte: the enabled() gate, not the seed, decides.
+    eval::BundleRunnerOptions armed = base;
+    armed.faultPlan.seed = 77;
+    ASSERT_FALSE(armed.faultPlan.enabled());
+
+    const eval::BundleRunner ra({&equal, &rb40}, base);
+    const eval::BundleRunner rb({&equal, &rb40}, armed);
+    const auto ea = ra.run(bundles);
+    const auto eb = rb.run(bundles);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i) {
+        expectSameScores(ea[i], eb[i]);
+        EXPECT_EQ(eb[i].injectionStats.total(), 0);
+    }
+}
+
+TEST(FaultEval, DeterministicAcrossThreadCounts)
+{
+    const auto bundles = smallSuite(8, 2);
+    ASSERT_FALSE(bundles.empty());
+    const core::EqualBudgetAllocator equal;
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+
+    eval::BundleRunnerOptions options;
+    options.faultPlan = noisyPlan();
+
+    std::vector<unsigned> job_counts = {1, 2};
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 2)
+        job_counts.push_back(hw);
+
+    std::vector<std::vector<eval::BundleEvaluation>> runs;
+    for (unsigned jobs : job_counts) {
+        options.jobs = jobs;
+        const eval::BundleRunner runner({&equal, &rb40}, options);
+        runs.push_back(runner.run(bundles));
+    }
+    for (size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].size(), runs[0].size());
+        for (size_t i = 0; i < runs[0].size(); ++i)
+            expectSameScores(runs[0][i], runs[r][i]);
+    }
+    // The plan actually fired somewhere.
+    const auto agg = eval::aggregateFaultStats(runs[0]);
+    EXPECT_GT(agg.bundlesFaulted, 0);
+    EXPECT_GT(agg.injected.total(), 0);
+}
+
+TEST(FaultEval, UniformLiarsCannotInflateTruthScores)
+{
+    // Every player lies with the same gain: the proportional market's
+    // allocation is scale-invariant, so truth-based scoring must land
+    // on the clean sweep's numbers.  If scoring ever consumed the lies,
+    // efficiency would inflate by the gain.
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const core::EqualBudgetAllocator equal;
+
+    eval::BundleRunnerOptions clean;
+    clean.jobs = 1;
+    eval::BundleRunnerOptions lying = clean;
+    lying.faultPlan.liarFraction = 1.0;
+    lying.faultPlan.liarGain = 4.0;
+
+    const eval::BundleRunner rc({&equal}, clean);
+    const eval::BundleRunner rl({&equal}, lying);
+    const auto ec = rc.run(bundles);
+    const auto el = rl.run(bundles);
+    ASSERT_EQ(ec.size(), el.size());
+    for (size_t i = 0; i < ec.size(); ++i) {
+        ASSERT_FALSE(el[i].skipped);
+        ASSERT_EQ(el[i].scores.size(), 1u);
+        EXPECT_EQ(el[i].injectionStats.liarPlayers, 8);
+        EXPECT_NEAR(el[i].scores[0].efficiency,
+                    ec[i].scores[0].efficiency, 1e-6);
+        EXPECT_NEAR(el[i].scores[0].envyFreeness,
+                    ec[i].scores[0].envyFreeness, 1e-6);
+    }
+}
+
+TEST(FaultEval, CorruptedGridsDegradeGracefully)
+{
+    const auto bundles = smallSuite(8, 2);
+    ASSERT_FALSE(bundles.empty());
+    const core::EqualBudgetAllocator equal;
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+
+    eval::BundleRunnerOptions options;
+    options.faultPlan.seed = 2016;
+    options.faultPlan.gridNanRate = 0.2;
+    options.faultPlan.gridZeroColumnRate = 0.1;
+    options.faultPlan.gridScrambleRate = 0.3;
+
+    const eval::BundleRunner runner({&equal, &rb40}, options);
+    const auto evals = runner.run(bundles);
+    ASSERT_EQ(evals.size(), bundles.size());
+    for (const auto &ev : evals) {
+        // Sanitation guarantees every corrupted grid is still usable:
+        // no bundle may die, and every score must stay finite and
+        // in range.
+        ASSERT_FALSE(ev.skipped) << ev.bundle << ": " << ev.skipReason;
+        for (const auto &s : ev.scores) {
+            EXPECT_TRUE(std::isfinite(s.efficiency));
+            EXPECT_TRUE(std::isfinite(s.envyFreeness));
+            EXPECT_TRUE(std::isfinite(s.mur));
+            EXPECT_TRUE(std::isfinite(s.mbr));
+            EXPECT_GE(s.efficiency, 0.0);
+            EXPECT_GT(s.mbr, 0.0);
+            EXPECT_LE(s.mbr, 1.0);
+        }
+    }
+    const auto agg = eval::aggregateFaultStats(evals);
+    EXPECT_GT(agg.injected.gridCellsCorrupted +
+                  agg.injected.gridColumnsZeroed +
+                  agg.injected.gridRowsScrambled,
+              0);
+    EXPECT_GT(agg.hardening.sanitizedGrids, 0);
+}
+
+TEST(FaultEval, SweepStatsJsonReportsFaults)
+{
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const core::EqualBudgetAllocator equal;
+    eval::BundleRunnerOptions options;
+    options.jobs = 1;
+    options.faultPlan = noisyPlan();
+    const eval::BundleRunner runner({&equal}, options);
+    const auto evals = runner.run(bundles);
+    const auto agg =
+        eval::aggregateSweepStats(evals, runner.mechanismNames());
+    const auto fault_agg = eval::aggregateFaultStats(evals);
+    const std::string json = eval::sweepStatsJson(agg, 0, &fault_agg);
+    EXPECT_NE(json.find("\"schema\": \"rebudget.solver_stats.v2\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"faults\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"liar_players\""), std::string::npos);
+    EXPECT_NE(json.find("\"grid_cells_corrupted\""), std::string::npos);
+    EXPECT_NE(json.find("\"hardening\""), std::string::npos);
+    // Without fault stats the object is omitted entirely.
+    EXPECT_EQ(eval::sweepStatsJson(agg, 0).find("\"faults\""),
+              std::string::npos);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * faults::FaultPlan: spec parsing, preset expansion, level scaling, and
+ * the disabled-by-default contract that keeps clean runs bit-identical.
+ */
+
+#include "rebudget/faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "rebudget/util/status.h"
+
+namespace rebudget::faults {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsDisabled)
+{
+    const FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_EQ(plan.describe(), "disabled");
+}
+
+TEST(FaultPlan, ParseEmptySpecIsDisabled)
+{
+    const auto plan = FaultPlan::parse("", 2016);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_FALSE(plan.value().enabled());
+    EXPECT_EQ(plan.value().seed, 2016u);
+}
+
+TEST(FaultPlan, ParseKeyValuePairs)
+{
+    const auto plan = FaultPlan::parse(
+        "curve-noise=0.2,curve-drop=0.05,curve-quant=100,grid-nan=0.1,"
+        "grid-zero-col=0.02,grid-scramble=0.3,power-bias=-0.1,"
+        "power-noise=0.04,stale=0.15,liar=0.5,liar-gain=8",
+        7);
+    ASSERT_TRUE(plan.ok());
+    const FaultPlan &p = plan.value();
+    EXPECT_DOUBLE_EQ(p.curveNoise.gaussianRel, 0.2);
+    EXPECT_DOUBLE_EQ(p.curveNoise.dropProbability, 0.05);
+    EXPECT_DOUBLE_EQ(p.curveNoise.quantizeStep, 100.0);
+    EXPECT_DOUBLE_EQ(p.gridNanRate, 0.1);
+    EXPECT_DOUBLE_EQ(p.gridZeroColumnRate, 0.02);
+    EXPECT_DOUBLE_EQ(p.gridScrambleRate, 0.3);
+    EXPECT_DOUBLE_EQ(p.powerBias, -0.1);
+    EXPECT_DOUBLE_EQ(p.powerNoise.gaussianRel, 0.04);
+    EXPECT_DOUBLE_EQ(p.staleProfileRate, 0.15);
+    EXPECT_DOUBLE_EQ(p.liarFraction, 0.5);
+    EXPECT_DOUBLE_EQ(p.liarGain, 8.0);
+    EXPECT_EQ(p.seed, 7u);
+    EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultPlan, ParsePresetsCompose)
+{
+    const auto plan = FaultPlan::parse("liar,corrupt-grid", 2016);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_GT(plan.value().liarFraction, 0.0);
+    EXPECT_GT(plan.value().gridNanRate, 0.0);
+    EXPECT_GT(plan.value().gridScrambleRate, 0.0);
+}
+
+TEST(FaultPlan, ParseRejectsUnknownKey)
+{
+    const auto plan = FaultPlan::parse("bogus=1", 2016);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().code(), util::StatusCode::InvalidArgument);
+}
+
+TEST(FaultPlan, ParseRejectsUnknownPreset)
+{
+    EXPECT_FALSE(FaultPlan::parse("chaos", 2016).ok());
+}
+
+TEST(FaultPlan, ParseRejectsMalformedNumber)
+{
+    EXPECT_FALSE(FaultPlan::parse("curve-noise=abc", 2016).ok());
+    EXPECT_FALSE(FaultPlan::parse("curve-noise=", 2016).ok());
+    EXPECT_FALSE(FaultPlan::parse("curve-noise=0.1x", 2016).ok());
+}
+
+TEST(FaultPlan, ParseRejectsOutOfRangeRates)
+{
+    EXPECT_FALSE(FaultPlan::parse("liar=1.5", 2016).ok());
+    EXPECT_FALSE(FaultPlan::parse("grid-nan=-0.1", 2016).ok());
+    EXPECT_FALSE(FaultPlan::parse("liar-gain=0", 2016).ok());
+}
+
+TEST(FaultPlan, ScaledZeroDisablesEverything)
+{
+    const auto parsed =
+        FaultPlan::parse("liar,corrupt-grid,noise,stale=0.2", 2016);
+    ASSERT_TRUE(parsed.ok());
+    const FaultPlan zero = parsed.value().scaled(0.0);
+    EXPECT_FALSE(zero.enabled());
+    EXPECT_DOUBLE_EQ(zero.liarGain, 1.0);
+    EXPECT_EQ(zero.seed, 2016u);
+}
+
+TEST(FaultPlan, ScaledInterpolatesRatesAndGain)
+{
+    FaultPlan plan;
+    plan.gridNanRate = 0.4;
+    plan.liarFraction = 0.8;
+    plan.liarGain = 5.0;
+    plan.curveNoise.gaussianRel = 0.2;
+    const FaultPlan half = plan.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.gridNanRate, 0.2);
+    EXPECT_DOUBLE_EQ(half.liarFraction, 0.4);
+    EXPECT_DOUBLE_EQ(half.liarGain, 3.0);
+    EXPECT_DOUBLE_EQ(half.curveNoise.gaussianRel, 0.1);
+    // Probabilities clamp at 1 even when over-scaled.
+    const FaultPlan over = plan.scaled(4.0);
+    EXPECT_DOUBLE_EQ(over.gridNanRate, 1.0);
+    EXPECT_DOUBLE_EQ(over.liarFraction, 1.0);
+}
+
+TEST(FaultPlan, DescribeListsActiveKnobs)
+{
+    const auto plan = FaultPlan::parse("liar=0.5,grid-nan=0.05", 2016);
+    ASSERT_TRUE(plan.ok());
+    const std::string desc = plan.value().describe();
+    EXPECT_NE(desc.find("liar=0.5"), std::string::npos);
+    EXPECT_NE(desc.find("grid-nan=0.05"), std::string::npos);
+    EXPECT_NE(desc.find("liar-gain=4"), std::string::npos);
+}
+
+} // namespace
+} // namespace rebudget::faults

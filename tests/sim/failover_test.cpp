@@ -1,0 +1,201 @@
+/**
+ * @file
+ * sim::EpochSim degradation paths: the last-good-operating-point hold
+ * on a solve failure, the non-convergence watchdog's equal-share
+ * fallback and market re-entry, fault injection determinism inside the
+ * simulation loop, and the sample-filter wiring.
+ */
+
+#include "rebudget/sim/epoch_sim.h"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/core/baselines.h"
+#include "rebudget/util/status.h"
+
+namespace rebudget::sim {
+namespace {
+
+EpochSimConfig
+quadCore()
+{
+    EpochSimConfig cfg = EpochSimConfig::forCores(4);
+    cfg.cmp.l2Assoc = 16;
+    cfg.epochs = 6;
+    cfg.warmupEpochs = 2;
+    cfg.cmp.accessesPerEpochPerCore = 4000;
+    return cfg;
+}
+
+std::vector<app::AppParams>
+mixedApps()
+{
+    return {app::findCatalogProfile("mcf").params,
+            app::findCatalogProfile("sixtrack").params,
+            app::findCatalogProfile("swim").params,
+            app::findCatalogProfile("milc").params};
+}
+
+/**
+ * Wraps a real allocator but fails a fixed window of allocate() calls
+ * with a recoverable error, simulating epochs whose online models are
+ * degenerate.
+ */
+class FlakyAllocator : public core::Allocator
+{
+  public:
+    FlakyAllocator(const core::Allocator &inner, int fail_first,
+                   int fail_count)
+        : inner_(inner), failFirst_(fail_first), failCount_(fail_count),
+          name_(inner.name() + "+flaky")
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+
+    core::AllocationOutcome allocate(
+        const core::AllocationProblem &problem) const override
+    {
+        const int call = calls_.fetch_add(1);
+        if (call >= failFirst_ && call < failFirst_ + failCount_) {
+            core::AllocationOutcome out;
+            out.mechanism = name_;
+            out.status = util::SolveStatus::error(
+                util::StatusCode::Numerical,
+                "injected solve failure (call %d)", call);
+            out.converged = false;
+            return out;
+        }
+        return inner_.allocate(problem);
+    }
+
+  private:
+    const core::Allocator &inner_;
+    int failFirst_;
+    int failCount_;
+    std::string name_;
+    mutable std::atomic<int> calls_{0};
+};
+
+TEST(SimFailover, KeepsOperatingPointAcrossSolveFailure)
+{
+    // One failure at epoch 4 (call index 4 of 8: 2 warmup + 6 measured).
+    const core::EqualBudgetAllocator inner;
+    const FlakyAllocator alloc(inner, 4, 1);
+    EpochSimulator sim(quadCore(), mixedApps(), alloc);
+    const SimResult r = sim.run();
+
+    EXPECT_EQ(r.failedAllocations, 1);
+    EXPECT_EQ(r.solverStats.watchdogTrips, 0);
+    EXPECT_EQ(r.solverStats.fallbackEpochs, 0);
+    ASSERT_EQ(r.epochs.size(), 6u);
+    // Measured index 2 is the failing epoch: nothing was installed, so
+    // the next epoch ran with exactly the same operating point.
+    EXPECT_FALSE(r.epochs[2].converged);
+    EXPECT_EQ(r.epochs[3].freqsGhz, r.epochs[2].freqsGhz);
+    EXPECT_EQ(r.epochs[3].cacheTargets, r.epochs[2].cacheTargets);
+    // A single failure stays below the watchdog threshold: the market
+    // resumes on the very next epoch.
+    EXPECT_GE(r.epochs[3].marketIterations, 1);
+    for (const auto &rec : r.epochs)
+        EXPECT_FALSE(rec.fallback);
+}
+
+TEST(SimFailover, WatchdogFallsBackToEqualShareAndRecovers)
+{
+    // Fail the first three calls: the watchdog trips at epoch 2, runs
+    // three equal-share epochs (3..5), then re-enters the market cold.
+    const core::EqualBudgetAllocator inner;
+    const FlakyAllocator alloc(inner, 0, 3);
+    const EpochSimConfig cfg = quadCore();
+    EpochSimulator sim(cfg, mixedApps(), alloc);
+    const SimResult r = sim.run();
+
+    EXPECT_EQ(r.failedAllocations, 3);
+    EXPECT_EQ(r.solverStats.watchdogTrips, 1);
+    EXPECT_EQ(r.solverStats.fallbackEpochs, 3);
+    ASSERT_EQ(r.epochs.size(), 6u);
+    // Measured records start at epoch 2: the trip epoch, three
+    // equal-share epochs, then the market again.
+    EXPECT_TRUE(r.epochs[0].fallback);
+    const double share =
+        static_cast<double>(cfg.cmp.totalRegions()) / 4.0;
+    for (int i = 1; i <= 3; ++i) {
+        EXPECT_TRUE(r.epochs[i].fallback);
+        EXPECT_EQ(r.epochs[i].marketIterations, 0);
+        for (double t : r.epochs[i].cacheTargets)
+            EXPECT_NEAR(t, share, 1e-6);
+    }
+    EXPECT_FALSE(r.epochs[4].fallback);
+    EXPECT_GE(r.epochs[4].marketIterations, 1);
+    EXPECT_GT(r.meanEfficiency, 0.0);
+}
+
+TEST(SimFailover, FaultedRunIsDeterministicAndComplete)
+{
+    EpochSimConfig cfg = quadCore();
+    cfg.faults.curveNoise.gaussianRel = 0.2;
+    cfg.faults.curveNoise.dropProbability = 0.05;
+    cfg.faults.staleProfileRate = 0.2;
+    cfg.faults.powerBias = 0.05;
+    const core::EqualBudgetAllocator alloc;
+    EpochSimulator a(cfg, mixedApps(), alloc);
+    EpochSimulator b(cfg, mixedApps(), alloc);
+    const SimResult ra = a.run();
+    const SimResult rb = b.run();
+
+    EXPECT_GT(ra.injectionStats.curveCellsPerturbed, 0);
+    EXPECT_GT(ra.injectionStats.powerReadingsBiased, 0);
+    // Identical configurations inject identical damage and land on
+    // identical results.
+    EXPECT_DOUBLE_EQ(ra.meanEfficiency, rb.meanEfficiency);
+    EXPECT_DOUBLE_EQ(ra.envyFreeness, rb.envyFreeness);
+    EXPECT_EQ(ra.injectionStats.total(), rb.injectionStats.total());
+    // Degradation is graceful: every epoch completes with finite,
+    // in-range numbers.
+    ASSERT_EQ(ra.epochs.size(), 6u);
+    for (const auto &rec : ra.epochs) {
+        EXPECT_TRUE(std::isfinite(rec.efficiency));
+        for (double u : rec.utilities) {
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST(SimFailover, LooseSampleFilterIsIdentity)
+{
+    // alpha = 1 disables smoothing and a huge outlier factor never
+    // rejects: the enabled filter must reproduce the clean run exactly.
+    EpochSimConfig loose = quadCore();
+    loose.sampleFilter.enabled = true;
+    loose.sampleFilter.alpha = 1.0;
+    loose.sampleFilter.outlierFactor = 1e9;
+    const core::EqualBudgetAllocator alloc;
+    const SimResult ra =
+        EpochSimulator(quadCore(), mixedApps(), alloc).run();
+    const SimResult rb = EpochSimulator(loose, mixedApps(), alloc).run();
+    EXPECT_DOUBLE_EQ(ra.meanEfficiency, rb.meanEfficiency);
+    EXPECT_DOUBLE_EQ(ra.envyFreeness, rb.envyFreeness);
+    EXPECT_EQ(rb.solverStats.rejectedSamples, 0);
+}
+
+TEST(SimFailover, AggressiveSampleFilterReportsRejections)
+{
+    EpochSimConfig cfg = quadCore();
+    cfg.sampleFilter.enabled = true;
+    cfg.sampleFilter.warmupSamples = 1;
+    cfg.sampleFilter.outlierFactor = 0.0;
+    const core::EqualBudgetAllocator alloc;
+    const SimResult r = EpochSimulator(cfg, mixedApps(), alloc).run();
+    EXPECT_GT(r.solverStats.rejectedSamples, 0);
+    EXPECT_GT(r.meanEfficiency, 0.0);
+}
+
+} // namespace
+} // namespace rebudget::sim

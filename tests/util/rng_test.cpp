@@ -157,6 +157,53 @@ TEST(Rng, SplitStreamsAreIndependentButDeterministic)
     EXPECT_NE(c.next(), cs.next());
 }
 
+TEST(Rng, ForStreamIsDeterministicAcrossCalls)
+{
+    Rng a = Rng::forStream(2016, {1, 7, 3});
+    Rng b = Rng::forStream(2016, {1, 7, 3});
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForStreamIgnoresCallerState)
+{
+    // Unlike split(), forStream() never consults generator state: two
+    // consumers reach the same stream no matter what ran before them.
+    Rng warm(9);
+    for (int i = 0; i < 1000; ++i)
+        warm.next();
+    Rng a = Rng::forStream(2016, {4, 2});
+    Rng b = Rng::forStream(2016, {4, 2});
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForStreamDistinguishesKeys)
+{
+    Rng a = Rng::forStream(2016, {1, 2});
+    Rng b = Rng::forStream(2016, {2, 1});
+    Rng c = Rng::forStream(2016, {1, 2, 0});
+    Rng d = Rng::forStream(2017, {1, 2});
+    const uint64_t va = a.next();
+    EXPECT_NE(va, b.next());
+    EXPECT_NE(va, c.next());
+    EXPECT_NE(va, d.next());
+}
+
+TEST(Rng, Mix64IsStableAndSpreads)
+{
+    EXPECT_EQ(mix64(0), mix64(0));
+    EXPECT_NE(mix64(0), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Rng, HashIdIsStablePerString)
+{
+    EXPECT_EQ(hashId("b_mix_04"), hashId("b_mix_04"));
+    EXPECT_NE(hashId("b_mix_04"), hashId("b_mix_05"));
+    EXPECT_NE(hashId(""), hashId("a"));
+}
+
 TEST(Zipf, AlphaZeroIsUniform)
 {
     ZipfSampler z(8, 0.0);

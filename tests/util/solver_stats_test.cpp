@@ -27,6 +27,11 @@ sample()
     s.elidedRescales = 4;
     s.budgetRounds = 5;
     s.failedSolves = 0;
+    s.sanitizedGrids = 6;
+    s.repairedCurves = 7;
+    s.rejectedSamples = 8;
+    s.watchdogTrips = 9;
+    s.fallbackEpochs = 11;
     s.solveSeconds = 0.25;
     s.rescaleSeconds = 0.0625;
     s.allocateSeconds = 0.5;
@@ -46,6 +51,11 @@ TEST(SolverStats, MergeSumsEveryField)
     EXPECT_EQ(a.elidedRescales, 8);
     EXPECT_EQ(a.budgetRounds, 10);
     EXPECT_EQ(a.failedSolves, 0);
+    EXPECT_EQ(a.sanitizedGrids, 12);
+    EXPECT_EQ(a.repairedCurves, 14);
+    EXPECT_EQ(a.rejectedSamples, 16);
+    EXPECT_EQ(a.watchdogTrips, 18);
+    EXPECT_EQ(a.fallbackEpochs, 22);
     EXPECT_DOUBLE_EQ(a.solveSeconds, 0.5);
     EXPECT_DOUBLE_EQ(a.rescaleSeconds, 0.125);
     EXPECT_DOUBLE_EQ(a.allocateSeconds, 1.0);
@@ -63,7 +73,7 @@ TEST(SolverStats, JsonContainsEveryCounter)
 {
     const std::string json = sample().toJson();
     // Key order and spelling are part of the
-    // "rebudget.solver_stats.v1" contract.
+    // "rebudget.solver_stats.v2" contract.
     EXPECT_NE(json.find("\"equilibrium_solves\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"sweep_iterations\": 40"), std::string::npos);
     EXPECT_NE(json.find("\"hill_climb_steps\": 1000"), std::string::npos);
@@ -73,6 +83,11 @@ TEST(SolverStats, JsonContainsEveryCounter)
     EXPECT_NE(json.find("\"elided_rescales\": 4"), std::string::npos);
     EXPECT_NE(json.find("\"budget_rounds\": 5"), std::string::npos);
     EXPECT_NE(json.find("\"failed_solves\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"sanitized_grids\": 6"), std::string::npos);
+    EXPECT_NE(json.find("\"repaired_curves\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"rejected_samples\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"watchdog_trips\": 9"), std::string::npos);
+    EXPECT_NE(json.find("\"fallback_epochs\": 11"), std::string::npos);
     EXPECT_NE(json.find("\"solve_seconds\""), std::string::npos);
     EXPECT_NE(json.find("\"rescale_seconds\""), std::string::npos);
     EXPECT_NE(json.find("\"allocate_seconds\""), std::string::npos);

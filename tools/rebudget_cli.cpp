@@ -33,6 +33,7 @@
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
+#include "rebudget/faults/fault_plan.h"
 #include "rebudget/market/metrics.h"
 #include "rebudget/power/power_model.h"
 #include "rebudget/sim/epoch_sim.h"
@@ -58,8 +59,11 @@ struct Options
     double efTarget = -1.0;
     bool sim = false;
     bool sweep = false;
+    bool noiseSweep = false;
     uint32_t epochs = 12;
     uint64_t seed = 42;
+    uint32_t bundlesPerCategory = 40;
+    std::string faultsSpec; // --faults key=value,... (see faults::FaultPlan)
     bool csv = false;
     unsigned jobs = 0; // 0 = REBUDGET_JOBS env or hardware concurrency
     bool warmStart = true;
@@ -92,6 +96,22 @@ usage()
         "                          of the analytic model\n"
         "  --sweep                 evaluate the full generated bundle\n"
         "                          suite under all mechanisms (analytic)\n"
+        "  --bundles N             bundles per category for --sweep /\n"
+        "                          --noise-sweep (default 40)\n"
+        "  --faults SPEC           inject faults into the monitoring->\n"
+        "                          market pipeline: comma-separated\n"
+        "                          key=value knobs (curve-noise,\n"
+        "                          curve-drop, grid-nan, grid-zero-col,\n"
+        "                          grid-scramble, power-bias, stale,\n"
+        "                          liar, liar-gain, ...) or the presets\n"
+        "                          'noise', 'liar', 'corrupt-grid'.\n"
+        "                          Applies to --sweep, --noise-sweep and\n"
+        "                          --sim; seeded from --seed\n"
+        "  --noise-sweep           run the bundle sweep at fault levels\n"
+        "                          0, 0.25, 0.5, 0.75, 1.0 of the\n"
+        "                          --faults spec and report the\n"
+        "                          efficiency/fairness degradation per\n"
+        "                          mechanism\n"
         "  --jobs N                worker threads for --sweep (default:\n"
         "                          REBUDGET_JOBS env, else hardware\n"
         "                          concurrency); results are identical\n"
@@ -109,7 +129,8 @@ usage()
         "                          (sweep iterations, warm/cold starts,\n"
         "                          fail-safe trips, timers) as a\n"
         "                          schema-stable JSON object\n"
-        "                          (rebudget.solver_stats.v1)\n";
+        "                          (rebudget.solver_stats.v2; the noise\n"
+        "                          sweep emits rebudget.noise_sweep.v1)\n";
 }
 
 /**
@@ -416,31 +437,50 @@ runAnalytic(const Options &opt, ProfileSource &source,
     return 0;
 }
 
+/** The fixed mechanism set evaluated by --sweep and --noise-sweep. */
+struct SweepMechanisms
+{
+    core::EqualShareAllocator equalShare;
+    core::EqualBudgetAllocator equalBudget;
+    core::BalancedBudgetAllocator balanced;
+    core::ReBudgetAllocator rb20 = core::ReBudgetAllocator::withStep(20);
+    core::ReBudgetAllocator rb40 = core::ReBudgetAllocator::withStep(40);
+    core::MaxEfficiencyAllocator maxEff;
+
+    std::vector<const core::Allocator *>
+    all() const
+    {
+        return {&equalShare, &equalBudget, &balanced, &rb20, &rb40,
+                &maxEff};
+    }
+};
+
+/** The generated bundle suite for a sweep invocation. */
+std::vector<workloads::Bundle>
+sweepBundles(const Options &opt)
+{
+    const uint32_t cores = opt.cores ? opt.cores : 64;
+    const auto catalog = workloads::classifyCatalog();
+    return workloads::generateAllBundles(catalog, cores,
+                                         opt.bundlesPerCategory,
+                                         opt.seed);
+}
+
 /**
  * --sweep: the full generated bundle suite through every mechanism on
  * eval::BundleRunner, normalized to MaxEfficiency (looked up by name).
  */
 int
-runSweep(const Options &opt)
+runSweep(const Options &opt, const faults::FaultPlan &plan)
 {
-    const uint32_t cores = opt.cores ? opt.cores : 64;
-    const auto catalog = workloads::classifyCatalog();
-    const auto bundles =
-        workloads::generateAllBundles(catalog, cores, 40, opt.seed);
-
-    const core::EqualShareAllocator equal_share;
-    const core::EqualBudgetAllocator equal_budget;
-    const core::BalancedBudgetAllocator balanced;
-    const auto rb20 = core::ReBudgetAllocator::withStep(20);
-    const auto rb40 = core::ReBudgetAllocator::withStep(40);
-    const core::MaxEfficiencyAllocator max_eff;
+    const auto bundles = sweepBundles(opt);
+    const SweepMechanisms mechanisms;
 
     eval::BundleRunnerOptions ropts;
     ropts.jobs = opt.jobs;
     ropts.marketConfig.warmStart = opt.warmStart;
-    const eval::BundleRunner runner({&equal_share, &equal_budget,
-                                     &balanced, &rb20, &rb40, &max_eff},
-                                    ropts);
+    ropts.faultPlan = plan;
+    const eval::BundleRunner runner(mechanisms.all(), ropts);
     const auto opt_idx_lookup = runner.mechanismIndex("MaxEfficiency");
     if (!opt_idx_lookup)
         util::fatal("sweep mechanism set lost MaxEfficiency");
@@ -509,14 +549,125 @@ runSweep(const Options &opt)
         std::cout << "\n" << skipped << " of " << evals.size()
                   << " bundles skipped (see warnings above)\n";
     }
-    if (opt.statsJson)
+    if (plan.enabled()) {
+        const auto fault_agg = eval::aggregateFaultStats(evals);
+        std::cout << "\nfaults (" << plan.describe() << "): "
+                  << fault_agg.bundlesFaulted << " bundles faulted, "
+                  << fault_agg.injected.liarPlayers << " liars, "
+                  << fault_agg.hardening.sanitizedGrids
+                  << " grids sanitized, "
+                  << fault_agg.hardening.repairedCurves
+                  << " curves repaired\n";
+        if (opt.statsJson) {
+            std::cout << eval::sweepStatsJson(sweep_stats, skipped,
+                                              &fault_agg)
+                      << "\n";
+        }
+    } else if (opt.statsJson) {
         std::cout << eval::sweepStatsJson(sweep_stats, skipped) << "\n";
+    }
+    return 0;
+}
+
+/**
+ * --noise-sweep: run the bundle suite at increasing fractions of the
+ * --faults spec and report how each mechanism's efficiency and
+ * fairness degrade.  Level 0 is the clean baseline (the plan scaled to
+ * zero is disabled, so its numbers are bit-identical to a plain
+ * --sweep).
+ */
+int
+runNoiseSweep(const Options &opt, const faults::FaultPlan &plan)
+{
+    if (!plan.enabled()) {
+        util::fatal("--noise-sweep needs --faults with at least one "
+                    "active knob");
+    }
+    const auto bundles = sweepBundles(opt);
+    const SweepMechanisms mechanisms;
+    const std::vector<double> levels = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+    util::TablePrinter t({"level", "mechanism", "mean_eff_vs_opt",
+                          "mean_EF", "mean_MUR", "mean_MBR",
+                          "bundles_faulted", "liars", "grids_sanitized",
+                          "curves_repaired"});
+    std::string json = "{\n  \"schema\": \"rebudget.noise_sweep.v1\",\n";
+    json += "  \"faults\": \"" + plan.describe() + "\",\n";
+    json += "  \"levels\": [\n";
+    for (size_t li = 0; li < levels.size(); ++li) {
+        const double level = levels[li];
+        eval::BundleRunnerOptions ropts;
+        ropts.jobs = opt.jobs;
+        ropts.marketConfig.warmStart = opt.warmStart;
+        ropts.faultPlan = plan.scaled(level);
+        const eval::BundleRunner runner(mechanisms.all(), ropts);
+        const auto opt_idx_lookup = runner.mechanismIndex("MaxEfficiency");
+        if (!opt_idx_lookup)
+            util::fatal("sweep mechanism set lost MaxEfficiency");
+        const size_t opt_idx = *opt_idx_lookup;
+        const auto evals = runner.run(bundles);
+
+        const size_t n_mech = runner.mechanismNames().size();
+        std::vector<util::SummaryStats> eff_stats(n_mech);
+        std::vector<util::SummaryStats> ef_stats(n_mech);
+        std::vector<util::SummaryStats> mur_stats(n_mech);
+        std::vector<util::SummaryStats> mbr_stats(n_mech);
+        for (const auto &ev : evals) {
+            if (ev.skipped)
+                continue;
+            const double opt_eff = ev.scores[opt_idx].efficiency;
+            for (size_t m = 0; m < ev.scores.size(); ++m) {
+                eff_stats[m].add(opt_eff > 0
+                                     ? ev.scores[m].efficiency / opt_eff
+                                     : 0.0);
+                ef_stats[m].add(ev.scores[m].envyFreeness);
+                mur_stats[m].add(ev.scores[m].mur);
+                mbr_stats[m].add(ev.scores[m].mbr);
+            }
+        }
+        const auto fault_agg = eval::aggregateFaultStats(evals);
+        for (size_t m = 0; m < n_mech; ++m) {
+            t.addRow({util::formatDouble(level, 2),
+                      runner.mechanismNames()[m],
+                      util::formatDouble(eff_stats[m].mean(), 3),
+                      util::formatDouble(ef_stats[m].mean(), 3),
+                      util::formatDouble(mur_stats[m].mean(), 2),
+                      util::formatDouble(mbr_stats[m].mean(), 3),
+                      std::to_string(fault_agg.bundlesFaulted),
+                      std::to_string(fault_agg.injected.liarPlayers),
+                      std::to_string(fault_agg.hardening.sanitizedGrids),
+                      std::to_string(
+                          fault_agg.hardening.repairedCurves)});
+        }
+        const std::int64_t skipped =
+            static_cast<std::int64_t>(std::count_if(
+                evals.begin(), evals.end(),
+                [](const eval::BundleEvaluation &ev) {
+                    return ev.skipped;
+                }));
+        const auto sweep_stats =
+            eval::aggregateSweepStats(evals, runner.mechanismNames());
+        json += "    {\n      \"level\": " +
+                util::formatDouble(level, 2) + ",\n";
+        json += "      \"sweep\": " +
+                eval::sweepStatsJson(sweep_stats, skipped, &fault_agg) +
+                "\n";
+        json += li + 1 < levels.size() ? "    },\n" : "    }\n";
+    }
+    json += "  ]\n}";
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    if (opt.statsJson)
+        std::cout << json << "\n";
     return 0;
 }
 
 int
 runSim(const Options &opt, ProfileSource &source,
-       const std::vector<std::string> &apps)
+       const std::vector<std::string> &apps,
+       const faults::FaultPlan &plan)
 {
     if (!opt.threads.empty())
         util::fatal("--threads is not supported with --sim");
@@ -529,6 +680,7 @@ runSim(const Options &opt, ProfileSource &source,
     cfg.epochs = opt.epochs;
     cfg.seed = opt.seed;
     cfg.marketConfig.warmStart = opt.warmStart;
+    cfg.faults = plan;
     std::vector<app::AppParams> params;
     for (const auto &nm : apps)
         params.push_back(source.profile(nm).params);
@@ -561,6 +713,17 @@ runSim(const Options &opt, ProfileSource &source,
               << result.epochs.size() << " measured epochs, "
               << converged_epochs << " converged, "
               << result.failedAllocations << " failed allocations)\n";
+    if (plan.enabled()) {
+        std::cout << "faults (" << plan.describe() << "): "
+                  << result.injectionStats.total()
+                  << " injections, "
+                  << result.solverStats.repairedCurves
+                  << " curves repaired, "
+                  << result.solverStats.watchdogTrips
+                  << " watchdog trips, "
+                  << result.solverStats.fallbackEpochs
+                  << " fallback epochs\n";
+    }
     if (opt.statsJson) {
         eval::MechanismSweepStats s;
         s.mechanism = result.mechanism;
@@ -623,6 +786,13 @@ main(int argc, char **argv)
                 opt.sim = true;
             } else if (arg == "--sweep") {
                 opt.sweep = true;
+            } else if (arg == "--noise-sweep") {
+                opt.noiseSweep = true;
+            } else if (arg == "--bundles") {
+                opt.bundlesPerCategory = static_cast<uint32_t>(
+                    parseUnsignedArg(arg, next()));
+            } else if (arg == "--faults") {
+                opt.faultsSpec = next();
             } else if (arg == "--jobs") {
                 opt.jobs = static_cast<unsigned>(
                     parseUnsignedArg(arg, next()));
@@ -658,8 +828,24 @@ main(int argc, char **argv)
             }
         }
 
+        faults::FaultPlan plan;
+        if (!opt.faultsSpec.empty()) {
+            auto parsed =
+                faults::FaultPlan::parse(opt.faultsSpec, opt.seed);
+            if (!parsed.ok()) {
+                util::fatal("bad --faults spec: %s",
+                            parsed.status().toString().c_str());
+            }
+            plan = parsed.value();
+        }
+        if (opt.noiseSweep)
+            return runNoiseSweep(opt, plan);
         if (opt.sweep)
-            return runSweep(opt);
+            return runSweep(opt, plan);
+        if (plan.enabled() && !opt.sim) {
+            util::fatal("--faults requires --sweep, --noise-sweep, or "
+                        "--sim");
+        }
         ProfileSource source(opt);
         std::vector<std::string> apps = opt.apps;
         if (apps.empty() && opt.bundle.empty())
@@ -675,7 +861,7 @@ main(int argc, char **argv)
             usage();
             return 1;
         }
-        return opt.sim ? runSim(opt, source, apps)
+        return opt.sim ? runSim(opt, source, apps, plan)
                        : runAnalytic(opt, source, apps);
     } catch (const util::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
