@@ -37,7 +37,91 @@ tryValidateProblem(const AllocationProblem &problem)
             return ss.str();
         }
     }
+    if (!problem.playerIds.empty()) {
+        if (problem.playerIds.size() != problem.models.size()) {
+            std::ostringstream ss;
+            ss << "player id count " << problem.playerIds.size()
+               << " != player count " << problem.models.size();
+            return ss.str();
+        }
+        for (size_t i = 0; i < problem.playerIds.size(); ++i) {
+            for (size_t k = i + 1; k < problem.playerIds.size(); ++k) {
+                if (problem.playerIds[i] == problem.playerIds[k]) {
+                    std::ostringstream ss;
+                    ss << "duplicate player id "
+                       << problem.playerIds[i] << " (dense indices "
+                       << i << " and " << k << ")";
+                    return ss.str();
+                }
+            }
+        }
+    }
     return std::nullopt;
+}
+
+std::optional<size_t>
+AllocationProblem::indexOfPlayer(PlayerId id) const
+{
+    if (playerIds.empty()) {
+        const size_t i = static_cast<size_t>(id);
+        if (i < models.size())
+            return i;
+        return std::nullopt;
+    }
+    for (size_t i = 0; i < playerIds.size(); ++i) {
+        if (playerIds[i] == id)
+            return i;
+    }
+    return std::nullopt;
+}
+
+util::Expected<size_t>
+AllocationProblem::addTenant(PlayerId id,
+                             const market::UtilityModel *model)
+{
+    if (model == nullptr) {
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "addTenant: null utility model for player id %llu",
+            static_cast<unsigned long long>(id));
+    }
+    if (indexOfPlayer(id)) {
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "addTenant: player id %llu is already active",
+            static_cast<unsigned long long>(id));
+    }
+    if (playerIds.empty() && !models.empty()) {
+        // Materialize the implicit dense roster so existing players
+        // keep their identities when the first churn event lands.
+        playerIds.reserve(models.size() + 1);
+        for (size_t i = 0; i < models.size(); ++i)
+            playerIds.push_back(static_cast<PlayerId>(i));
+    }
+    models.push_back(model);
+    playerIds.push_back(id);
+    return models.size() - 1;
+}
+
+util::Expected<size_t>
+AllocationProblem::removeTenant(PlayerId id)
+{
+    const auto idx = indexOfPlayer(id);
+    if (!idx) {
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "removeTenant: player id %llu is not active",
+            static_cast<unsigned long long>(id));
+    }
+    if (playerIds.empty() && !models.empty()) {
+        playerIds.reserve(models.size());
+        for (size_t i = 0; i < models.size(); ++i)
+            playerIds.push_back(static_cast<PlayerId>(i));
+    }
+    models.erase(models.begin() + static_cast<std::ptrdiff_t>(*idx));
+    playerIds.erase(playerIds.begin() +
+                    static_cast<std::ptrdiff_t>(*idx));
+    return *idx;
 }
 
 util::SolveStatus

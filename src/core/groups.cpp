@@ -78,6 +78,21 @@ makeGroupedProblem(const AllocationProblem &per_core,
     out.groups = std::move(groups);
     out.problem.capacities = per_core.capacities;
     out.problem.marketConfig = per_core.marketConfig;
+    /*
+     * Roster audit (dynamic-tenant refactor): grouping changes the
+     * player space -- the grouped problem's players are GROUPS, indexed
+     * densely 0..G-1, not the per-core players.  Per-core playerIds
+     * therefore deliberately do not survive into out.problem (it keeps
+     * the legacy empty/dense roster): carrying core identities across
+     * would alias group g to whatever tenant happened to own its first
+     * core.  The same shape argument keeps warmStart, workspace and
+     * creditBank behind -- their rows/balances are per-core, not
+     * per-group.  A caller running grouped problems under churn assigns
+     * group-level identities itself (one PlayerId per tenant-group) on
+     * the problem this function returns.  The loops below index
+     * `groups[g]`/`out.problem.models[g]` positionally and never treat
+     * g as a stable identity.
+     */
     for (const auto &group : out.groups) {
         out.models.push_back(
             std::make_unique<market::SharedGroupUtility>(

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "rebudget/core/roster.h"
 #include "rebudget/market/market.h"
 #include "rebudget/market/utility_model.h"
 #include "rebudget/util/matrix.h"
@@ -25,11 +26,24 @@
 
 namespace rebudget::core {
 
+struct KarmaBank;
+
 /** Inputs of one allocation decision. */
 struct AllocationProblem
 {
     /** One utility model per player (non-owning). */
     std::vector<const market::UtilityModel *> models;
+    /**
+     * Stable identity per player, aligned with `models` (see
+     * core/roster.h).  Empty means the legacy dense roster 0..n-1 --
+     * the default for every fixed-roster caller, and deliberately so:
+     * an empty vector keeps the fixed-roster path byte-identical to
+     * the pre-roster code.  When non-empty it must have one unique id
+     * per model (validated).  Allocators that keep per-tenant state
+     * across epochs (KarmaAllocator) key it by these ids; stateless
+     * mechanisms ignore them.
+     */
+    std::vector<PlayerId> playerIds;
     /** Market capacities per resource. */
     std::vector<double> capacities;
     /** Market engine tuning (used by market-based mechanisms). */
@@ -63,6 +77,48 @@ struct AllocationProblem
      * workspaces (or null).
      */
     market::SolveWorkspace *workspace = nullptr;
+    /**
+     * Optional persistent credit state for banking mechanisms
+     * (non-owning).  KarmaAllocator reads and UPDATES it on every
+     * allocate(), so it follows the workspace's ownership contract,
+     * not warmStart's: the caller holds one bank per allocation chain
+     * and concurrent allocate() calls must pass distinct banks (or
+     * null, which makes banking mechanisms run a call-local transient
+     * bank -- correct for one-shot problems, no memory across calls).
+     * Non-banking mechanisms ignore it.
+     */
+    KarmaBank *creditBank = nullptr;
+
+    /** @return the stable identity at dense index i (see playerIds). */
+    PlayerId playerIdAt(size_t i) const
+    {
+        return playerIds.empty() ? static_cast<PlayerId>(i)
+                                 : playerIds[i];
+    }
+
+    /** @return the dense index of an identity, if present. */
+    std::optional<size_t> indexOfPlayer(PlayerId id) const;
+
+    /**
+     * Add a tenant at the end of the dense order, between epochs.
+     * Materializes playerIds from the implicit dense roster first if
+     * needed.  The model pointer follows the same non-owning contract
+     * as `models`.
+     *
+     * @return the new dense index, or an error if the identity is
+     * already active.
+     */
+    util::Expected<size_t> addTenant(PlayerId id,
+                                     const market::UtilityModel *model);
+
+    /**
+     * Remove a tenant between epochs, shifting later players down one
+     * dense index (order-preserving, like Roster::remove).
+     *
+     * @return the departed tenant's former dense index, or an error if
+     * the identity is not active.
+     */
+    util::Expected<size_t> removeTenant(PlayerId id);
 };
 
 /** Outputs of one allocation decision. */
@@ -137,6 +193,32 @@ class Allocator
      */
     virtual AllocationOutcome allocate(
         const AllocationProblem &problem) const = 0;
+
+    /**
+     * Roster-change notification: called by chaining drivers (the eval
+     * churn runner, the epoch simulator) after tenants joined or left
+     * `problem` and before the first allocate() over the new roster.
+     *
+     * The default is a no-op, which IS the departing-budget policy for
+     * every budget-recomputing mechanism: EqualShare/EqualBudget/
+     * Balanced/ReBudget derive budgets from the roster on each call,
+     * so a departure implicitly redistributes the departed player's
+     * purchasing power across the survivors.  Mechanisms with
+     * persistent per-tenant state override this to apply their own
+     * policy (KarmaAllocator forfeits a departing tenant's banked
+     * credits to the public pool and grants newcomers their initial
+     * credit line).
+     *
+     * Like allocate(), implementations must keep the Allocator itself
+     * immutable; any state they touch lives in the problem (e.g.
+     * problem.creditBank).
+     */
+    virtual void onRosterChange(const RosterChange &change,
+                                AllocationProblem &problem) const
+    {
+        (void)change;
+        (void)problem;
+    }
 };
 
 /**

@@ -1,0 +1,141 @@
+#ifndef REBUDGET_CORE_KARMA_ALLOCATOR_H_
+#define REBUDGET_CORE_KARMA_ALLOCATOR_H_
+
+/**
+ * @file
+ * Karma: a credit-banking market mechanism over persistent identities.
+ *
+ * Every market mechanism above (EqualBudget, Balanced, ReBudget)
+ * re-derives budgets from the current epoch alone, so a player whose
+ * demand is momentarily low simply wastes its purchasing power.  Karma
+ * lets it BANK that power instead: each epoch every active tenant
+ * receives the same allowance A; tenants whose marginal utility of
+ * money (lambda) is low relative to the epoch's peak donate part of
+ * the allowance into per-tenant credit balances, and tenants whose
+ * lambda is at the peak draw previously banked credit on top of the
+ * allowance.  Balances persist across epochs in a caller-owned
+ * KarmaBank keyed by core::PlayerId -- this is the first mechanism in
+ * the repo that is only expressible with stable identity, which is why
+ * it arrives together with the roster layer.
+ *
+ * The design follows the karma-economy literature (credit schemes for
+ * repeated resource auctions): donors/borrowers, a public pool that
+ * fully backs every outstanding credit, and bounded balances so no
+ * tenant can hoard unbounded future purchasing power.
+ *
+ * Accounting invariant (checked by tests to 1e-9): with n active
+ * players, pool P and spendable budgets s_i,
+ *
+ *     n * A + P_before = sum_i s_i + P_after
+ *
+ * i.e. every epoch's minted allowance is either spent in that epoch's
+ * market or parked in the pool; credits are claims on the pool and
+ * always satisfy sum_i credit_i <= P.  Departing tenants forfeit their
+ * claim (the money stays in the pool and so flows to the survivors);
+ * newcomers may be granted an initial credit line against the pool.
+ */
+
+#include <cstdint>
+#include <map>
+
+#include "rebudget/core/allocator.h"
+
+namespace rebudget::core {
+
+/** Karma tuning. */
+struct KarmaConfig
+{
+    /** Per-epoch allowance A minted for every active tenant (> 0). */
+    double allowance = 100.0;
+    /** Fraction of A a donor banks per epoch (in [0, 1]). */
+    double donateFraction = 0.25;
+    /** Fraction of A a borrower tries to draw per epoch (>= 0). */
+    double borrowFraction = 0.5;
+    /**
+     * A player donates when its probe lambda is below this fraction of
+     * the epoch's maximum lambda (in [0, 1]).
+     */
+    double donateThreshold = 0.5;
+    /**
+     * A player borrows when its probe lambda is at or above this
+     * fraction of the epoch's maximum lambda (in [donateThreshold, 1]).
+     */
+    double borrowThreshold = 0.9;
+    /** Credit balances are capped at this multiple of A (> 0). */
+    double maxCreditFraction = 3.0;
+    /**
+     * Credit line granted to a newcomer, as a fraction of A, limited
+     * to what the pool can back (>= 0; default: none).
+     */
+    double initialCreditFraction = 0.0;
+};
+
+/**
+ * Persistent credit state for one allocation chain (one bundle, one
+ * simulated machine).  Caller-owned, like SolveWorkspace: hold one per
+ * chain and pass it via AllocationProblem::creditBank; concurrent
+ * allocate() calls must use distinct banks.  std::map keeps iteration
+ * deterministic in tenant-id order.
+ */
+struct KarmaBank
+{
+    /** Outstanding credit per tenant (claims against the pool). */
+    std::map<PlayerId, double> credits;
+    /** Public pool backing every outstanding credit. */
+    double publicPool = 0.0;
+    /** Donation events across the bank's lifetime (telemetry). */
+    std::int64_t donations = 0;
+    /** Borrow events across the bank's lifetime (telemetry). */
+    std::int64_t borrows = 0;
+    /** Credits forfeited to the pool by departing tenants. */
+    double forfeited = 0.0;
+
+    /** @return the sum of outstanding credits. */
+    double totalCredits() const;
+};
+
+/** Credit-banking market mechanism (see the file comment). */
+class KarmaAllocator : public Allocator
+{
+  public:
+    explicit KarmaAllocator(const KarmaConfig &config = {});
+
+    /** Ok, or why this allocator cannot run. */
+    const util::SolveStatus &configStatus() const { return configStatus_; }
+
+    /** @return the tuning. */
+    const KarmaConfig &config() const { return config_; }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "Karma";
+        return kName;
+    }
+
+    /**
+     * Two market solves per call: a probe at the uniform allowance to
+     * read every tenant's lambda, then the real solve at the
+     * credit-adjusted budgets (the probe's equilibrium warm-starts it).
+     * Reads AND updates problem.creditBank; with a null bank the call
+     * runs a transient bank (no memory, so no donations ever return).
+     */
+    AllocationOutcome allocate(
+        const AllocationProblem &problem) const override;
+
+    /**
+     * Karma's departing-budget policy: a departing tenant's banked
+     * credits are forfeited to the public pool (survivors inherit the
+     * purchasing power through future borrows); newcomers get
+     * initialCreditFraction * A, limited to what the pool can back.
+     */
+    void onRosterChange(const RosterChange &change,
+                        AllocationProblem &problem) const override;
+
+  private:
+    KarmaConfig config_;
+    util::SolveStatus configStatus_;
+};
+
+} // namespace rebudget::core
+
+#endif // REBUDGET_CORE_KARMA_ALLOCATOR_H_

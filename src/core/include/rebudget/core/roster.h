@@ -1,0 +1,120 @@
+#ifndef REBUDGET_CORE_ROSTER_H_
+#define REBUDGET_CORE_ROSTER_H_
+
+/**
+ * @file
+ * Stable tenant identity over dense solver indices.
+ *
+ * Every layer below core solves over players indexed 0..n-1 (the SoA
+ * bid matrices, SolveWorkspace, the bidding loops) and must keep doing
+ * so -- dense indices are what make the hot path flat.  A Roster is
+ * the thin mapping that sits on top: position i of the roster names
+ * the PlayerId occupying dense index i right now.  When tenants join
+ * or leave between epochs the dense indices shift, but identities do
+ * not, which is what lets chaining consumers migrate warm-start state
+ * (market::migrateEquilibrium), bank per-tenant credit across epochs
+ * (KarmaAllocator) and score fairness over a tenant's lifetime (the
+ * eval churn runner) instead of forgetting everything on every churn
+ * event.
+ *
+ * Determinism: removal is order-preserving (an erase, not a
+ * swap-with-last), so the dense order of the survivors -- and with it
+ * every downstream solve trajectory -- is a pure function of the event
+ * sequence, never of container internals.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rebudget::core {
+
+/**
+ * Stable tenant identity.  Ids are assigned by the roster's owner (the
+ * churn schedule, the simulator) and never reused within a run; a
+ * fixed-roster problem uses the dense identities 0..n-1.
+ */
+using PlayerId = std::uint64_t;
+
+/** Mapping between stable PlayerIds and dense solver indices. */
+class Roster
+{
+  public:
+    Roster() = default;
+
+    /** @return the legacy fixed roster: identities 0..n-1 in order. */
+    static Roster dense(size_t n);
+
+    /** @return the number of active players. */
+    size_t size() const { return ids_.size(); }
+
+    /** @return true if no players are active. */
+    bool empty() const { return ids_.empty(); }
+
+    /** @return the identity at dense index i (i < size()). */
+    PlayerId idAt(size_t i) const { return ids_[i]; }
+
+    /** @return all identities in dense-index order. */
+    const std::vector<PlayerId> &ids() const { return ids_; }
+
+    /** @return the dense index of an identity, if active. */
+    std::optional<size_t> indexOf(PlayerId id) const;
+
+    /** @return true if the roster is exactly the identities 0..n-1. */
+    bool isDense() const;
+
+    /**
+     * Add a tenant at the end of the dense order.
+     *
+     * @return the new dense index, or std::nullopt if the identity is
+     * already active (duplicate ids would make indexOf ambiguous).
+     */
+    std::optional<size_t> add(PlayerId id);
+
+    /**
+     * Remove a tenant, shifting later players down one dense index
+     * (order-preserving; see the determinism note above).
+     *
+     * @return the departed tenant's former dense index, or
+     * std::nullopt if the identity was not active.
+     */
+    std::optional<size_t> remove(PlayerId id);
+
+    /**
+     * Dense-index mapping from a prior roster snapshot to this one,
+     * for warm-state migration: out[i] is the dense index the identity
+     * now at index i held in `prior`, or -1 for a newcomer.  Departed
+     * tenants simply do not appear.
+     */
+    std::vector<std::ptrdiff_t> mapFrom(const Roster &prior) const;
+
+  private:
+    std::vector<PlayerId> ids_;
+};
+
+/**
+ * One epoch's roster delta, handed to Allocator::onRosterChange before
+ * the first allocate() over the new roster.
+ */
+struct RosterChange
+{
+    /** A departed tenant and the budget it last held (0 if unknown). */
+    struct Departure
+    {
+        PlayerId id = 0;
+        double lastBudget = 0.0;
+    };
+
+    /** Tenants that joined this epoch, in arrival order. */
+    std::vector<PlayerId> joined;
+    /** Tenants that departed this epoch, in departure order. */
+    std::vector<Departure> departed;
+
+    /** @return true if the roster actually changed. */
+    bool any() const { return !joined.empty() || !departed.empty(); }
+};
+
+} // namespace rebudget::core
+
+#endif // REBUDGET_CORE_ROSTER_H_

@@ -1,0 +1,239 @@
+#include "rebudget/core/karma_allocator.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "rebudget/util/logging.h"
+
+namespace rebudget::core {
+
+namespace {
+
+using util::SolveStatus;
+using util::StatusCode;
+
+/** Stamp an error outcome: empty allocation, reason in status. */
+AllocationOutcome
+failedOutcome(const std::string &mechanism, SolveStatus status, double t0)
+{
+    AllocationOutcome outcome;
+    outcome.mechanism = mechanism;
+    outcome.status = std::move(status);
+    outcome.converged = false;
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+    return outcome;
+}
+
+SolveStatus
+validateConfig(const KarmaConfig &c)
+{
+    if (c.allowance <= 0.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "Karma allowance must be positive "
+                                  "(got %g)", c.allowance);
+    }
+    if (c.donateFraction < 0.0 || c.donateFraction > 1.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "Karma donateFraction must be in "
+                                  "[0, 1] (got %g)", c.donateFraction);
+    }
+    if (c.borrowFraction < 0.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "Karma borrowFraction must be >= 0 "
+                                  "(got %g)", c.borrowFraction);
+    }
+    if (c.donateThreshold < 0.0 || c.donateThreshold > 1.0 ||
+        c.borrowThreshold < c.donateThreshold ||
+        c.borrowThreshold > 1.0) {
+        return SolveStatus::error(
+            StatusCode::InvalidArgument,
+            "Karma thresholds need 0 <= donate <= borrow <= 1 "
+            "(got donate %g, borrow %g)", c.donateThreshold,
+            c.borrowThreshold);
+    }
+    if (c.maxCreditFraction <= 0.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "Karma maxCreditFraction must be "
+                                  "positive (got %g)",
+                                  c.maxCreditFraction);
+    }
+    if (c.initialCreditFraction < 0.0) {
+        return SolveStatus::error(StatusCode::InvalidArgument,
+                                  "Karma initialCreditFraction must be "
+                                  ">= 0 (got %g)",
+                                  c.initialCreditFraction);
+    }
+    return SolveStatus();
+}
+
+} // namespace
+
+double
+KarmaBank::totalCredits() const
+{
+    double sum = 0.0;
+    for (const auto &[id, c] : credits)
+        sum += c;
+    return sum;
+}
+
+KarmaAllocator::KarmaAllocator(const KarmaConfig &config)
+    : config_(config), configStatus_(validateConfig(config))
+{
+}
+
+AllocationOutcome
+KarmaAllocator::allocate(const AllocationProblem &problem) const
+{
+    const double t0 = util::monotonicSeconds();
+    if (!configStatus_.ok())
+        return failedOutcome(name(), configStatus_, t0);
+    if (SolveStatus st = validateProblemStatus(problem); !st.ok())
+        return failedOutcome(name(), std::move(st), t0);
+    market::ProportionalMarket mkt(problem.models, problem.capacities,
+                                   problem.marketConfig);
+    if (!mkt.setupStatus().ok())
+        return failedOutcome(name(), mkt.setupStatus(), t0);
+
+    const size_t n = problem.models.size();
+    const double A = config_.allowance;
+
+    // Transient fallback bank: correct one-shot semantics (donations
+    // leave, nothing ever returns) when the caller keeps no state.
+    KarmaBank local_bank;
+    KarmaBank &bank =
+        problem.creditBank != nullptr ? *problem.creditBank : local_bank;
+    market::SolveWorkspace local_ws;
+    market::SolveWorkspace &ws =
+        problem.workspace != nullptr ? *problem.workspace : local_ws;
+
+    AllocationOutcome outcome;
+    outcome.mechanism = name();
+
+    // Probe solve at the uniform allowance: reads every tenant's
+    // marginal utility of money at equal purchasing power, which is
+    // what classifies donors and borrowers this epoch.
+    std::vector<double> budgets(n, A);
+    if (problem.recordBudgetHistory)
+        outcome.budgetHistory.push_back(budgets);
+    market::EquilibriumResult probe;
+    mkt.findEquilibriumInto(budgets, problem.warmStart, ws, probe);
+    accumulateSolve(outcome, probe);
+    if (!outcome.status.ok()) {
+        outcome.converged = false;
+        outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+        return outcome;
+    }
+
+    double lambda_max = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        lambda_max = std::max(lambda_max, probe.lambdas[i]);
+
+    // Reassign purchasing power through the bank.  Order matters for
+    // determinism only (dense index order); the pool grows by every
+    // donation before borrows draw on it, so same-epoch recycling is
+    // allowed and the backing invariant sum(credits) <= pool holds
+    // throughout.
+    const double credit_cap = config_.maxCreditFraction * A;
+    if (lambda_max > 0.0) {
+        const double donate_below = config_.donateThreshold * lambda_max;
+        const double borrow_at = config_.borrowThreshold * lambda_max;
+        double want_total = 0.0;
+        std::vector<double> want(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            const PlayerId id = problem.playerIdAt(i);
+            double &credit = bank.credits[id];
+            if (probe.lambdas[i] < donate_below) {
+                const double d = std::min(config_.donateFraction * A,
+                                          credit_cap - credit);
+                if (d > 0.0) {
+                    credit += d;
+                    bank.publicPool += d;
+                    budgets[i] = A - d;
+                    bank.donations += 1;
+                    outcome.stats.karmaDonors += 1;
+                }
+            } else if (probe.lambdas[i] >= borrow_at) {
+                want[i] = std::min(config_.borrowFraction * A, credit);
+                want_total += want[i];
+            }
+        }
+        if (want_total > 0.0) {
+            // Credits are fully backed, so the pool normally covers
+            // every draw; the rationing scale only guards FP drift.
+            const double scale =
+                std::min(1.0, bank.publicPool / want_total);
+            for (size_t i = 0; i < n; ++i) {
+                if (want[i] <= 0.0)
+                    continue;
+                const double x = want[i] * scale;
+                const PlayerId id = problem.playerIdAt(i);
+                bank.credits[id] =
+                    std::max(0.0, bank.credits[id] - x);
+                bank.publicPool -= x;
+                budgets[i] = A + x;
+                bank.borrows += 1;
+                outcome.stats.karmaBorrowers += 1;
+            }
+        }
+    }
+
+    // Real solve at the credit-adjusted budgets, warm-started from the
+    // probe equilibrium (the budget perturbation is small, so the
+    // probe's bid point is an excellent seed).
+    outcome.budgetRounds = 1;
+    if (problem.recordBudgetHistory)
+        outcome.budgetHistory.push_back(budgets);
+    market::EquilibriumResult final_eq;
+    mkt.findEquilibriumInto(budgets, &probe, ws, final_eq);
+    accumulateSolve(outcome, final_eq);
+    if (!outcome.status.ok()) {
+        outcome.converged = false;
+        outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+        return outcome;
+    }
+    auto seed = std::make_shared<const market::EquilibriumResult>(
+        std::move(final_eq));
+    outcome.alloc = seed->alloc;
+    outcome.lambdas = seed->lambdas;
+    outcome.budgets = std::move(budgets);
+    outcome.equilibrium = std::move(seed);
+    outcome.stats.allocateSeconds = util::monotonicSeconds() - t0;
+    return outcome;
+}
+
+void
+KarmaAllocator::onRosterChange(const RosterChange &change,
+                               AllocationProblem &problem) const
+{
+    if (problem.creditBank == nullptr)
+        return;
+    KarmaBank &bank = *problem.creditBank;
+    for (const auto &dep : change.departed) {
+        const auto it = bank.credits.find(dep.id);
+        if (it == bank.credits.end())
+            continue;
+        // Forfeit the claim; the backing money stays in the pool and
+        // flows to the survivors through future borrows.
+        bank.forfeited += it->second;
+        bank.credits.erase(it);
+    }
+    if (config_.initialCreditFraction > 0.0) {
+        for (const PlayerId id : change.joined) {
+            if (bank.credits.count(id))
+                continue;
+            // A newcomer's credit line is a claim like any other: it
+            // must stay backed by the pool.
+            const double backable =
+                std::max(0.0, bank.publicPool - bank.totalCredits());
+            const double grant =
+                std::min(config_.initialCreditFraction *
+                             config_.allowance, backable);
+            if (grant > 0.0)
+                bank.credits[id] = grant;
+        }
+    }
+}
+
+} // namespace rebudget::core

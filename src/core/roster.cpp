@@ -1,0 +1,68 @@
+#include "rebudget/core/roster.h"
+
+#include <algorithm>
+
+namespace rebudget::core {
+
+Roster
+Roster::dense(size_t n)
+{
+    Roster r;
+    r.ids_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        r.ids_.push_back(static_cast<PlayerId>(i));
+    return r;
+}
+
+std::optional<size_t>
+Roster::indexOf(PlayerId id) const
+{
+    // Rosters are core-count sized (tens of entries); a linear scan
+    // beats a side map and keeps the class trivially copyable state.
+    const auto it = std::find(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end())
+        return std::nullopt;
+    return static_cast<size_t>(it - ids_.begin());
+}
+
+bool
+Roster::isDense() const
+{
+    for (size_t i = 0; i < ids_.size(); ++i) {
+        if (ids_[i] != static_cast<PlayerId>(i))
+            return false;
+    }
+    return true;
+}
+
+std::optional<size_t>
+Roster::add(PlayerId id)
+{
+    if (indexOf(id))
+        return std::nullopt;
+    ids_.push_back(id);
+    return ids_.size() - 1;
+}
+
+std::optional<size_t>
+Roster::remove(PlayerId id)
+{
+    const auto idx = indexOf(id);
+    if (!idx)
+        return std::nullopt;
+    ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(*idx));
+    return idx;
+}
+
+std::vector<std::ptrdiff_t>
+Roster::mapFrom(const Roster &prior) const
+{
+    std::vector<std::ptrdiff_t> map(ids_.size(), -1);
+    for (size_t i = 0; i < ids_.size(); ++i) {
+        if (const auto old = prior.indexOf(ids_[i]))
+            map[i] = static_cast<std::ptrdiff_t>(*old);
+    }
+    return map;
+}
+
+} // namespace rebudget::core

@@ -331,7 +331,7 @@ sweepStatsJson(const std::vector<MechanismSweepStats> &stats,
                const SweepFaultStats *fault_stats)
 {
     std::string out = "{\n";
-    out += "  \"schema\": \"rebudget.solver_stats.v2\",\n";
+    out += "  \"schema\": \"rebudget.solver_stats.v3\",\n";
     out += "  \"skipped_bundles\": " + std::to_string(skipped_bundles) +
            ",\n";
     if (fault_stats != nullptr) {

@@ -39,6 +39,7 @@
 #include "rebudget/app/catalog.h"
 #include "rebudget/app/utility.h"
 #include "rebudget/core/allocator.h"
+#include "rebudget/eval/churn.h"
 #include "rebudget/faults/fault_injector.h"
 #include "rebudget/market/market.h"
 #include "rebudget/util/solver_stats.h"
@@ -236,6 +237,24 @@ class BundleRunner
     std::vector<BundleEvaluation> run(
         const std::vector<workloads::Bundle> &bundles) const;
 
+    /**
+     * Replay one bundle as a churn scenario (see eval/churn.h): the
+     * bundle provides the initial roster and machine size, the spec the
+     * arrival/departure schedule.  Each mechanism runs the whole
+     * scenario with identity-migrated warm state and a persistent
+     * KarmaBank; faults (options().faultPlan) re-damage the active
+     * models every epoch with streams keyed by (bundle, epoch,
+     * tenant id).  Epoch failures degrade to unscored epochs, never
+     * fatals.
+     */
+    ChurnEvaluation evaluateChurn(const workloads::Bundle &bundle,
+                                  const ChurnSpec &spec) const;
+
+    /** Churn scenarios over a suite, parallelized like run(). */
+    std::vector<ChurnEvaluation> runChurn(
+        const std::vector<workloads::Bundle> &bundles,
+        const ChurnSpec &spec) const;
+
   private:
     std::vector<const core::Allocator *> mechanisms_;
     std::vector<std::string> names_;
@@ -268,6 +287,18 @@ std::vector<MechanismSweepStats> aggregateSweepStats(
     const std::vector<BundleEvaluation> &evals,
     const std::vector<std::string> &mechanism_names);
 
+/**
+ * As aggregateSweepStats, for churn scenarios: a bundle counts as
+ * evaluated for a mechanism when its scenario ran (even with unscored
+ * epochs), and as converged when every scored epoch converged.  The
+ * merged SolverStats carry the churn counters (tenants_joined,
+ * tenants_departed, migrated_warm_seeds, karma_donors,
+ * karma_borrowers), so sweepStatsJson needs no churn-specific schema.
+ */
+std::vector<MechanismSweepStats> aggregateChurnStats(
+    const std::vector<ChurnEvaluation> &evals,
+    const std::vector<std::string> &mechanism_names);
+
 /** Sweep-wide fault totals: what was injected and what was repaired. */
 struct SweepFaultStats
 {
@@ -285,7 +316,7 @@ SweepFaultStats aggregateFaultStats(
 
 /**
  * Schema-stable JSON for a sweep's solver telemetry
- * ("rebudget.solver_stats.v2"): fixed key order, counters as integers,
+ * ("rebudget.solver_stats.v3"): fixed key order, counters as integers,
  * timers as fixed-point seconds.  The CLI prints this for
  * `--stats json`; tests parse it.  When @p fault_stats is non-null a
  * "faults" object reports the sweep's injection and hardening totals.

@@ -1,0 +1,200 @@
+#ifndef REBUDGET_EVAL_CHURN_H_
+#define REBUDGET_EVAL_CHURN_H_
+
+/**
+ * @file
+ * Churn scenarios: evaluating mechanisms under tenant arrival and
+ * departure (the roster layer's eval-side consumer).
+ *
+ * A churn scenario replays a bundle for a number of epochs.  Epoch 0
+ * starts from the bundle's full roster; before every later epoch a
+ * deterministic schedule removes tenants (Bernoulli per tenant) and
+ * admits newcomers drawn from the bundle's own application mix, within
+ * configured roster bounds.  Machine capacity is FIXED at the initial
+ * bundle's size -- churn changes who competes for the machine, not the
+ * machine -- so a shrinking roster leaves more resources per survivor
+ * and a growing one squeezes everyone, which is exactly the budget
+ * redistribution question the mechanisms answer differently.
+ *
+ * Two things distinguish this from running independent sweeps:
+ *
+ *  - Warm-state migration: each mechanism's equilibrium is carried
+ *    across epochs BY IDENTITY (market::migrateEquilibrium), so
+ *    surviving players never cold-start; SolverStats churn counters
+ *    record the migrations.
+ *
+ *  - Time-integrated fairness: per-epoch efficiency/EF/MUR/MBR answer
+ *    "was epoch e fair"; the lifetime metrics answer "was the RUN fair
+ *    to each tenant" -- lifetime envy-freeness compares each tenant's
+ *    accumulated utility against the best it could have accumulated
+ *    with any other player's allocations over the epochs it was
+ *    present, and cumulative MUR/MBR take the range over per-tenant
+ *    lifetime means instead of a single epoch's snapshot.
+ *
+ * Determinism: the schedule is a pure function of (spec seed, bundle
+ * name, epoch), shared by every mechanism, so churn sweeps are
+ * byte-identical at any job count like everything else in eval.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rebudget/core/roster.h"
+#include "rebudget/faults/fault_injector.h"
+#include "rebudget/util/solver_stats.h"
+#include "rebudget/util/status.h"
+#include "rebudget/workloads/bundles.h"
+
+namespace rebudget::eval {
+
+/** Tuning of a churn scenario. */
+struct ChurnSpec
+{
+    /** Epochs to run (>= 1; epoch 0 is the unchurned bundle). */
+    std::uint32_t epochs = 12;
+    /** Per-epoch arrival probability per initial-roster slot. */
+    double joinRate = 0.2;
+    /** Per-epoch departure probability per active tenant. */
+    double leaveRate = 0.2;
+    /** Departures never shrink the roster below this (>= 2). */
+    std::uint32_t minPlayers = 2;
+    /** Arrivals never grow the roster above this; 0 = 2x initial. */
+    std::uint32_t maxPlayers = 0;
+    /** Schedule stream seed (mixed with the bundle name). */
+    std::uint64_t seed = 1;
+
+    /**
+     * Parse "epochs=12,join=0.2,leave=0.2,min-players=2,
+     * max-players=16,seed=7" (any subset of keys, any order).  Unknown
+     * keys and out-of-range values yield an error Expected naming the
+     * offender.
+     */
+    static util::Expected<ChurnSpec> parse(const std::string &text);
+
+    /** @return a short human-readable summary of the spec. */
+    std::string describe() const;
+
+    /** @return std::nullopt if the spec is valid, else a diagnostic. */
+    std::optional<std::string> validate() const;
+};
+
+/** One scheduled roster event. */
+struct ChurnEvent
+{
+    /** Epoch before which the event applies (>= 1). */
+    std::uint32_t epoch = 0;
+    /** True = arrival, false = departure. */
+    bool join = true;
+    /** Stable identity of the tenant. */
+    core::PlayerId id = 0;
+    /** Catalog app of an arriving tenant (empty for departures). */
+    std::string app;
+};
+
+/**
+ * Deterministic arrival/departure schedule for one bundle: departures
+ * are Bernoulli(leaveRate) per active tenant per epoch (respecting
+ * minPlayers), arrivals Bernoulli(joinRate) per initial-roster slot
+ * (respecting maxPlayers), apps drawn uniformly from `initial_apps`.
+ * Streams are keyed by (spec.seed, scope, epoch), so the schedule is a
+ * pure value function -- identical for every mechanism and job count.
+ *
+ * @param scope  caller scope key, e.g. util::hashId(bundle.name)
+ */
+std::vector<ChurnEvent> makeChurnSchedule(
+    const ChurnSpec &spec, const std::vector<std::string> &initial_apps,
+    std::uint64_t scope);
+
+/** One tenant's whole-run record under one mechanism. */
+struct TenantLifetime
+{
+    core::PlayerId id = 0;
+    /** Catalog app backing the tenant. */
+    std::string app;
+    /** Epoch the tenant first competed in. */
+    std::uint32_t joinEpoch = 0;
+    /** Epochs the tenant was present AND scored. */
+    std::uint32_t epochsPresent = 0;
+    /** True if the tenant left before the run ended. */
+    bool departed = false;
+    /** Utility accumulated over the tenant's scored epochs. */
+    double utilitySum = 0.0;
+    /**
+     * Best accumulated utility over any single competitor's
+     * allocations in the same epochs (includes the tenant's own, so
+     * utilitySum / bestOtherUtilitySum <= 1).
+     */
+    double bestOtherUtilitySum = 0.0;
+    /** Mean budget over scored epochs (market mechanisms). */
+    double meanBudget = 0.0;
+    /** Mean lambda over scored epochs (market mechanisms). */
+    double meanLambda = 0.0;
+};
+
+/** One epoch's scores under one mechanism. */
+struct ChurnEpochRecord
+{
+    std::uint32_t epoch = 0;
+    /** Active players this epoch. */
+    std::uint32_t players = 0;
+    /** Tenants that joined / departed before this epoch. */
+    std::uint32_t joins = 0;
+    std::uint32_t leaves = 0;
+    /** True if the epoch's allocation was produced and scored. */
+    bool scored = false;
+    double efficiency = 0.0;
+    double envyFreeness = 0.0;
+    double mur = 0.0;
+    double mbr = 1.0;
+    int marketIterations = 0;
+    bool converged = true;
+};
+
+/** One mechanism's run over a whole churn scenario. */
+struct MechanismChurnResult
+{
+    /** Ok, or the first epoch failure (later epochs still run). */
+    util::SolveStatus status;
+    std::string mechanism;
+    /** Per-epoch scores, in epoch order. */
+    std::vector<ChurnEpochRecord> epochs;
+    /** Per-tenant lifetime records, in first-seen order. */
+    std::vector<TenantLifetime> tenants;
+    /** Mean per-epoch efficiency over scored epochs. */
+    double meanEfficiency = 0.0;
+    /** Mean per-epoch envy-freeness over scored epochs. */
+    double meanEnvyFreeness = 0.0;
+    /** min_i utilitySum_i / bestOtherUtilitySum_i over tenants. */
+    double lifetimeEnvyFreeness = 1.0;
+    /** MUR over per-tenant lifetime-mean lambdas. */
+    double cumulativeMur = 1.0;
+    /** MBR over per-tenant lifetime-mean budgets. */
+    double cumulativeMbr = 1.0;
+    /** False if any scored epoch hit the solver fail-safe. */
+    bool converged = true;
+    /** Merged solver telemetry, including the churn counters. */
+    util::SolverStats stats;
+};
+
+/** One bundle's churn scenario across every mechanism. */
+struct ChurnEvaluation
+{
+    std::string bundle;
+    workloads::BundleCategory category = workloads::BundleCategory::CPBN;
+    bool skipped = false;
+    std::string skipReason;
+    /** The schedule the scenario replayed (shared by all mechanisms). */
+    std::vector<ChurnEvent> schedule;
+    /** One result per mechanism, in BundleRunner::mechanismNames order. */
+    std::vector<MechanismChurnResult> results;
+    /** Faults injected across all epochs (zero when disabled). */
+    faults::InjectionStats injectionStats;
+    /** Input-hardening telemetry from per-epoch model damage. */
+    util::SolverStats hardeningStats;
+};
+
+} // namespace rebudget::eval
+
+#endif // REBUDGET_EVAL_CHURN_H_

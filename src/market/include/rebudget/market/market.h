@@ -25,6 +25,7 @@
  * cross-check available behind MarketConfig::validatePriceSums.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -299,6 +300,49 @@ class ProportionalMarket
     MarketConfig config_;
     util::SolveStatus status_;
 };
+
+/**
+ * Migrate a warm-start seed across a roster change.
+ *
+ * `prior_index` gives, for each player of the NEW dense order, the
+ * dense index that player held in the market `prior` was solved on, or
+ * -1 for a newcomer (core::Roster::mapFrom computes exactly this; the
+ * market layer deliberately takes the dense mapping, not identities,
+ * to stay below core in the layering).  The migrated seed has the new
+ * player count: surviving players carry over their prior bid row,
+ * allocation row, budget and lambda, so the next
+ * findEquilibrium(budgets, &seed) warm-starts them exactly as if the
+ * roster had never changed (the per-row budget-ratio seeding rule does
+ * the rescale); newcomers get a zero bid row and a zero budget, which
+ * the solver treats as "no usable prior row" and cold-seeds with the
+ * equal split.  Prices carry over verbatim -- the surviving bids imply
+ * nearly the same price point, which is the whole value of migrating.
+ *
+ * Allocation-only seeds (bids empty, published by MaxEfficiency/EP)
+ * migrate their allocation rows the same way and keep bids empty.
+ *
+ * The seed is marked `approximated` (it is not an equilibrium of the
+ * new market) and inherits the prior's `converged` flag.  A failed or
+ * shape-inconsistent prior yields a seed whose status says why; the
+ * caller falls back to a cold start.
+ *
+ * @param prior          equilibrium of the market before the change
+ * @param prior_index    prior dense index per new player, -1 = newcomer
+ * @param num_resources  resource count (must match the prior's)
+ * @param seed           output (must not alias `prior`; reset like
+ *                       findEquilibriumInto, buffers reused)
+ * @return the number of surviving players whose state was migrated
+ */
+size_t migrateEquilibriumInto(const EquilibriumResult &prior,
+                              const std::vector<std::ptrdiff_t> &prior_index,
+                              size_t num_resources,
+                              EquilibriumResult &seed);
+
+/** Allocating convenience wrapper over migrateEquilibriumInto. */
+EquilibriumResult migrateEquilibrium(
+    const EquilibriumResult &prior,
+    const std::vector<std::ptrdiff_t> &prior_index,
+    size_t num_resources);
 
 /**
  * @return prices p_j = sum_i b_ij / C_j for a bid matrix (Equation 1).

@@ -67,6 +67,22 @@ util::Expected<double> marketBudgetRange(
     const std::vector<double> &budgets);
 
 /**
+ * Time-integrated envy-freeness over tenant lifetimes (the churn
+ * extension of Definition 3): `own[i]` is the utility tenant i
+ * accumulated over the epochs it was present, `best_other[i]` the best
+ * utility any single competitor's allocations would have accumulated
+ * for i over those same epochs (the competitor set includes i itself,
+ * so each ratio is <= 1).  Returns min_i own[i] / best_other[i];
+ * tenants with nothing to envy (best_other <= 0) contribute 1.
+ * Parallel-array sizes are the caller's contract (asserts) -- entries
+ * are matched positionally, so the caller aligns both vectors in the
+ * same tenant order (identity-keyed accumulation handles roster churn
+ * before this function is reached).
+ */
+double lifetimeEnvyFreeness(const std::vector<double> &own,
+                            const std::vector<double> &best_other);
+
+/**
  * @return the Theorem 1 Price-of-Anarchy lower bound at the given MUR:
  * 1 - 1/(4 MUR) for MUR >= 1/2, MUR otherwise.  The input is clamped
  * into [0, 1] (ratios can exceed the interval only by FP noise).

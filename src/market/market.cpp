@@ -453,6 +453,93 @@ ProportionalMarket::rescaleEquilibriumInto(
     result.solveSeconds = util::monotonicSeconds() - t0;
 }
 
+size_t
+migrateEquilibriumInto(const EquilibriumResult &prior,
+                       const std::vector<std::ptrdiff_t> &prior_index,
+                       size_t num_resources, EquilibriumResult &seed)
+{
+    REBUDGET_ASSERT(&seed != &prior,
+                    "migrateEquilibriumInto: seed must not alias prior");
+    resetResult(seed);
+    seed.bids.assign(0, 0, 0.0);
+    seed.alloc.assign(0, 0, 0.0);
+    if (!prior.status.ok()) {
+        seed.status = prior.status;
+        return 0;
+    }
+    const size_t n = prior_index.size();
+    const size_t m = num_resources;
+    const bool have_bids = !prior.bids.empty();
+    const bool have_alloc = !prior.alloc.empty();
+    if ((have_bids && prior.bids.cols() != m) ||
+        (have_alloc && prior.alloc.cols() != m)) {
+        seed.status = SolveStatus::error(
+            StatusCode::InvalidArgument,
+            "migrateEquilibrium: prior has %zu resources, market has %zu",
+            have_bids ? prior.bids.cols() : prior.alloc.cols(), m);
+        return 0;
+    }
+    const size_t prior_n =
+        have_bids ? prior.bids.rows()
+                  : (have_alloc ? prior.alloc.rows()
+                                : prior.budgets.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (prior_index[i] >= static_cast<std::ptrdiff_t>(prior_n)) {
+            seed.status = SolveStatus::error(
+                StatusCode::InvalidArgument,
+                "migrateEquilibrium: prior index %td out of range "
+                "(prior has %zu players)", prior_index[i], prior_n);
+            return 0;
+        }
+    }
+
+    if (have_bids)
+        seed.bids.assign(n, m, 0.0);
+    if (have_alloc)
+        seed.alloc.assign(n, m, 0.0);
+    seed.budgets.assign(n, 0.0);
+    seed.lambdas.assign(n, 0.0);
+    seed.prices = prior.prices;
+    size_t migrated = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const std::ptrdiff_t pi = prior_index[i];
+        if (pi < 0)
+            continue; // newcomer: zero row + zero budget = cold seed
+        const size_t p = static_cast<size_t>(pi);
+        if (have_bids) {
+            const double *src = prior.bids.row(p);
+            double *dst = seed.bids.row(i);
+            for (size_t j = 0; j < m; ++j)
+                dst[j] = src[j];
+        }
+        if (have_alloc) {
+            const double *src = prior.alloc.row(p);
+            double *dst = seed.alloc.row(i);
+            for (size_t j = 0; j < m; ++j)
+                dst[j] = src[j];
+        }
+        if (p < prior.budgets.size())
+            seed.budgets[i] = prior.budgets[p];
+        if (p < prior.lambdas.size())
+            seed.lambdas[i] = prior.lambdas[p];
+        ++migrated;
+    }
+    // Not an equilibrium of the new market: zero sweeps ran over it.
+    seed.approximated = true;
+    seed.converged = prior.converged;
+    return migrated;
+}
+
+EquilibriumResult
+migrateEquilibrium(const EquilibriumResult &prior,
+                   const std::vector<std::ptrdiff_t> &prior_index,
+                   size_t num_resources)
+{
+    EquilibriumResult seed;
+    migrateEquilibriumInto(prior, prior_index, num_resources, seed);
+    return seed;
+}
+
 std::vector<double>
 computePrices(const Matrix<double> &bids,
               const std::vector<double> &capacities)

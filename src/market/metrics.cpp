@@ -43,6 +43,18 @@ clampedRange(const std::vector<double> &values, const char *what)
 
 } // namespace
 
+/*
+ * Roster audit (dynamic-tenant refactor): every player loop in this
+ * file indexes PARALLEL arrays (models[i] with alloc row i, or a
+ * single per-player vector), so `i` is a dense position, never an
+ * identity.  Under churn the caller rebuilds these arrays in the
+ * current roster's dense order each epoch, which keeps the loops
+ * correct by construction; anything lifetime-scoped is accumulated by
+ * identity upstream (eval/churn.cpp) and reaches this layer as
+ * positionally-aligned vectors (see lifetimeEnvyFreeness).  No loop
+ * here assumes player == stable id.
+ */
+
 std::vector<double>
 perPlayerUtilities(const std::vector<const UtilityModel *> &models,
                    const util::Matrix<double> &alloc)
@@ -98,6 +110,21 @@ util::Expected<double>
 marketBudgetRange(const std::vector<double> &budgets)
 {
     return clampedRange(budgets, "marketBudgetRange");
+}
+
+double
+lifetimeEnvyFreeness(const std::vector<double> &own,
+                     const std::vector<double> &best_other)
+{
+    REBUDGET_ASSERT(own.size() == best_other.size(),
+                    "lifetimeEnvyFreeness: tenant array mismatch");
+    double ef = 1.0;
+    for (size_t i = 0; i < own.size(); ++i) {
+        if (best_other[i] <= 0.0)
+            continue; // zero utility everywhere: nothing to envy
+        ef = std::min(ef, own[i] / best_other[i]);
+    }
+    return ef;
 }
 
 double

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "rebudget/app/utility.h"
+#include "rebudget/core/karma_allocator.h"
 #include "rebudget/market/metrics.h"
 #include "rebudget/power/power_model.h"
 #include "rebudget/power/rapl.h"
@@ -55,6 +56,27 @@ EpochSimulator::run()
 
     SimResult result;
     result.mechanism = allocator_.name();
+    // Tenant-churn state.  With no tenant events every core stays active
+    // with its dense identity, problem.playerIds stays empty (the legacy
+    // roster), and every churn branch below is dead -- the fixed-roster
+    // path is byte-identical to the pre-roster simulator.
+    const bool churn_on = !config_.tenantEvents.empty();
+    std::vector<char> active(n, 1);
+    std::vector<core::PlayerId> ident(n);
+    for (uint32_t i = 0; i < n; ++i)
+        ident[i] = i;
+    core::PlayerId next_ident = n;
+    // Roster the current warm seed was solved on, the migration seed
+    // slot, and roster changes not yet delivered to the allocator
+    // (accumulated across watchdog-fallback epochs, which skip the
+    // market entirely).
+    core::Roster warm_roster;
+    market::EquilibriumResult migrated_seed;
+    core::RosterChange pending_change;
+    std::map<core::PlayerId, double> last_budget_by_ident;
+    // Persistent credit state for banking mechanisms (KarmaAllocator);
+    // every other mechanism ignores it.
+    core::KarmaBank credit_bank;
     // Fault injection between the monitors and the market.  Streams are
     // keyed by (config seed, core, epoch), so a given configuration is
     // damaged bit-identically on every run.
@@ -97,18 +119,28 @@ EpochSimulator::run()
     }();
     std::vector<double> min_watts(n);
     double power_capacity = 0.0;
+    double cache_capacity = 0.0;
+    // Guaranteed minimums are reserved for ACTIVE cores only: the
+    // machine's total capacity never changes, so a departing tenant's
+    // minimums (and market share) flow back to the survivors.
     auto recompute_capacity = [&]() {
         double min_watts_sum = 0.0;
+        uint32_t n_active = 0;
         for (uint32_t i = 0; i < n; ++i) {
+            if (!active[i]) {
+                min_watts[i] = 0.0;
+                continue;
+            }
+            ++n_active;
             min_watts[i] = power_model.minCorePower(activities[i]);
             min_watts_sum += min_watts[i];
         }
         power_capacity = config_.cmp.chipBudgetWatts() - min_watts_sum;
+        cache_capacity =
+            static_cast<double>(config_.cmp.totalRegions()) -
+            static_cast<double>(n_active) * grid_options.minRegions;
     };
     recompute_capacity();
-    const double cache_capacity =
-        static_cast<double>(config_.cmp.totalRegions()) -
-        static_cast<double>(n) * grid_options.minRegions;
     if (cache_capacity <= 0.0 || power_capacity <= 0.0)
         util::fatal("no market capacity beyond the guaranteed minimums");
 
@@ -116,8 +148,10 @@ EpochSimulator::run()
     std::vector<app::AppProfile> profiles(n);
     std::vector<std::unique_ptr<app::AppUtilityModel>> models(n);
     // Last successfully installed allocation, for the final fairness
-    // metric and as the fallback when an epoch's solve fails.
+    // metric and as the fallback when an epoch's solve fails, plus the
+    // cores its dense rows referred to at the time.
     util::Matrix<double> last_alloc;
+    std::vector<uint32_t> last_alloc_cores;
     // Epoch-to-epoch warm-start chain: hold the seed the allocator
     // published last epoch and hand it back as the hint for the next one.
     std::shared_ptr<const market::EquilibriumResult> warm_seed;
@@ -130,6 +164,63 @@ EpochSimulator::run()
     uint32_t consecutive_bad = 0;
     uint32_t fallback_remaining = 0;
     for (uint32_t epoch = 0; epoch < total_epochs; ++epoch) {
+        // (0a) Tenant arrivals and departures.  Departures idle the core
+        // (zero cache target; its power cap drops at the next install)
+        // and free its guaranteed minimums back into the market;
+        // arrivals occupy an idle core with a cold tenant under a fresh
+        // stable identity.
+        bool roster_changed = false;
+        for (const TenantEvent &te : config_.tenantEvents) {
+            if (te.epoch != epoch)
+                continue;
+            if (te.epoch == 0) {
+                util::fatal("tenant events start at epoch 1; configure "
+                            "the initial mix via the app list");
+            }
+            if (te.core >= n)
+                util::fatal("tenant event on core %u of %u", te.core, n);
+            if (te.arrival) {
+                if (active[te.core]) {
+                    util::fatal("tenant arrival on busy core %u at epoch "
+                                "%u", te.core, epoch);
+                }
+                active[te.core] = 1;
+                ident[te.core] = next_ident++;
+                apps_[te.core] = te.app;
+                cores[te.core] = std::make_unique<SimCore>(
+                    te.core, te.app, config_.cmp,
+                    config_.seed + te.core * 977 + epoch * 131);
+                activities[te.core] = te.app.activity;
+                solo[te.core] = solo_for(te.app);
+                filters[te.core].reset();
+                pending_change.joined.push_back(ident[te.core]);
+                result.solverStats.tenantsJoined += 1;
+            } else {
+                if (!active[te.core]) {
+                    util::fatal("tenant departure from idle core %u at "
+                                "epoch %u", te.core, epoch);
+                }
+                active[te.core] = 0;
+                core::RosterChange::Departure dep;
+                dep.id = ident[te.core];
+                const auto it = last_budget_by_ident.find(dep.id);
+                if (it != last_budget_by_ident.end())
+                    dep.lastBudget = it->second;
+                pending_change.departed.push_back(dep);
+                result.solverStats.tenantsDeparted += 1;
+                // Reclaim the idle core's cache (its last online curve
+                // is valid: departures start at epoch 1, after at least
+                // one profiled epoch).
+                l2.setTargetRegions(te.core, 0.0,
+                                    profiles[te.core].l2Curve);
+            }
+            roster_changed = true;
+        }
+        if (roster_changed) {
+            recompute_capacity();
+            if (power_capacity <= 0.0 || cache_capacity <= 0.0)
+                util::fatal("tenant events exhausted market capacity");
+        }
         // (0) OS context switches: the incoming app gets a fresh core
         // state (cold L1, cold monitors) and a new solo baseline.
         bool switched = false;
@@ -139,6 +230,11 @@ EpochSimulator::run()
             if (cs.core >= n)
                 util::fatal("context switch on core %u of %u", cs.core,
                             n);
+            if (!active[cs.core]) {
+                util::fatal("context switch on idle core %u at epoch %u "
+                            "(use a tenant arrival instead)", cs.core,
+                            epoch);
+            }
             apps_[cs.core] = cs.newApp;
             cores[cs.core] = std::make_unique<SimCore>(
                 cs.core, cs.newApp, config_.cmp,
@@ -162,6 +258,13 @@ EpochSimulator::run()
         record.memLatencyNs = mem_lat_ns;
         double bandwidth_demand = 0.0;
         for (uint32_t i = 0; i < n; ++i) {
+            if (!active[i]) {
+                // Idle core: no instructions, no cache pressure, no
+                // bandwidth demand.
+                record.cacheTargets[i] = l2.targetRegions(i);
+                continue;
+            }
+            record.activePlayers += 1;
             const CoreEpochStats stats = cores[i]->runEpoch(
                 freqs[i], l2, mem_lat_ns,
                 config_.cmp.accessesPerEpochPerCore);
@@ -180,8 +283,18 @@ EpochSimulator::run()
         // fault injection a core's refresh may be suppressed (stale
         // profile) or its miss curve perturbed; fresh readings pass
         // through the per-core sample filter before the model sees them.
-        std::vector<const market::UtilityModel *> model_ptrs(n);
+        // Dense player order over the active cores (identity when no
+        // tenant has churned).
+        std::vector<uint32_t> dense_to_core;
+        dense_to_core.reserve(n);
         for (uint32_t i = 0; i < n; ++i) {
+            if (active[i])
+                dense_to_core.push_back(i);
+        }
+        std::vector<const market::UtilityModel *> model_ptrs(
+            dense_to_core.size());
+        for (size_t d = 0; d < dense_to_core.size(); ++d) {
+            const uint32_t i = dense_to_core[d];
             const bool stale =
                 faults_on && epoch > 0 &&
                 injector.staleProfile(config_.seed, i, epoch,
@@ -198,7 +311,7 @@ EpochSimulator::run()
             }
             models[i] = std::make_unique<app::AppUtilityModel>(
                 profiles[i], power_model, grid_options);
-            model_ptrs[i] = models[i].get();
+            model_ptrs[d] = models[i].get();
             cores[i]->resetEpochMonitors();
         }
 
@@ -214,8 +327,35 @@ EpochSimulator::run()
             problem.models = model_ptrs;
             problem.capacities = {cache_capacity, power_capacity};
             problem.marketConfig = config_.marketConfig;
-            problem.warmStart = warm_seed.get();
             problem.workspace = &solve_ws;
+            problem.creditBank = &credit_bank;
+            core::Roster roster_now;
+            if (churn_on) {
+                for (const uint32_t c : dense_to_core)
+                    roster_now.add(ident[c]);
+                problem.playerIds = roster_now.ids();
+            }
+            // Warm-start chain: hand back last epoch's seed, migrated
+            // by identity when the roster drifted since it was solved.
+            const market::EquilibriumResult *seed = warm_seed.get();
+            if (churn_on && warm_seed != nullptr &&
+                roster_now.ids() != warm_roster.ids()) {
+                const size_t migrated = market::migrateEquilibriumInto(
+                    *warm_seed, roster_now.mapFrom(warm_roster),
+                    problem.capacities.size(), migrated_seed);
+                if (migrated_seed.status.ok()) {
+                    seed = &migrated_seed;
+                    result.solverStats.migratedWarmSeeds +=
+                        static_cast<std::int64_t>(migrated);
+                } else {
+                    seed = nullptr;
+                }
+            }
+            problem.warmStart = seed;
+            if (pending_change.any()) {
+                allocator_.onRosterChange(pending_change, problem);
+                pending_change = core::RosterChange{};
+            }
             const core::AllocationOutcome outcome =
                 allocator_.allocate(problem);
             result.solverStats.merge(outcome.stats);
@@ -236,19 +376,29 @@ EpochSimulator::run()
                     outcome.status.toString().c_str());
             } else {
                 warm_seed = outcome.equilibrium;
+                warm_roster = roster_now;
                 last_alloc = outcome.alloc;
+                last_alloc_cores = dense_to_core;
+                for (size_t d = 0; d < dense_to_core.size(); ++d) {
+                    if (d < outcome.budgets.size()) {
+                        last_budget_by_ident[ident[dense_to_core[d]]] =
+                            outcome.budgets[d];
+                    }
+                }
 
                 // (4) Install cache targets and power caps for the next
-                // epoch.
-                std::vector<double> caps(n);
-                for (uint32_t i = 0; i < n; ++i) {
+                // epoch.  Outcome rows are dense over the active cores;
+                // idle cores keep a zero cap and zero cache target.
+                std::vector<double> caps(n, 0.0);
+                for (size_t d = 0; d < dense_to_core.size(); ++d) {
+                    const uint32_t i = dense_to_core[d];
                     const double regions =
                         grid_options.minRegions +
-                        outcome.alloc[i][app::AppUtilityModel::kCache];
+                        outcome.alloc[d][app::AppUtilityModel::kCache];
                     l2.setTargetRegions(i, regions, profiles[i].l2Curve);
                     caps[i] =
                         min_watts[i] +
-                        outcome.alloc[i][app::AppUtilityModel::kPower];
+                        outcome.alloc[d][app::AppUtilityModel::kPower];
                     if (faults_on) {
                         // A lying power sensor: RAPL enforces the biased
                         // reading, clamped so DVFS stays feasible.
@@ -305,13 +455,16 @@ EpochSimulator::run()
                     "fallback for %u epochs",
                     epoch, allocator_.name().c_str(),
                     config_.watchdogCleanEpochs);
+                const auto n_active =
+                    static_cast<double>(dense_to_core.size());
                 const double share =
                     static_cast<double>(config_.cmp.totalRegions()) /
-                    static_cast<double>(n);
-                std::vector<double> caps(
-                    n, config_.cmp.chipBudgetWatts() / n);
-                for (uint32_t i = 0; i < n; ++i)
+                    n_active;
+                std::vector<double> caps(n, 0.0);
+                for (const uint32_t i : dense_to_core) {
+                    caps[i] = config_.cmp.chipBudgetWatts() / n_active;
                     l2.setTargetRegions(i, share, profiles[i].l2Curve);
+                }
                 l2.updateController();
                 rapl.setCaps(caps);
                 freqs = rapl.frequencies(power_model, activities);
@@ -339,9 +492,13 @@ EpochSimulator::run()
     // Fairness: model-based envy-freeness of the last installed
     // allocation (zero if every epoch's solve failed).
     if (!last_alloc.empty()) {
-        std::vector<const market::UtilityModel *> model_ptrs(n);
-        for (uint32_t i = 0; i < n; ++i)
-            model_ptrs[i] = models[i].get();
+        // Models are looked up through the cores the last successful
+        // solve actually ran on, so the metric stays aligned with the
+        // allocation rows even if the roster churned afterwards.
+        std::vector<const market::UtilityModel *> model_ptrs;
+        model_ptrs.reserve(last_alloc_cores.size());
+        for (const uint32_t i : last_alloc_cores)
+            model_ptrs.push_back(models[i].get());
         result.envyFreeness =
             market::envyFreeness(model_ptrs, last_alloc);
     }

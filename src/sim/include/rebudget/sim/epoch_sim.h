@@ -51,6 +51,32 @@ struct ContextSwitch
     app::AppParams newApp;
 };
 
+/**
+ * A roster event: at the start of the given absolute epoch a tenant
+ * arrives on an idle core (cold caches, cold monitors, fresh stable
+ * identity) or departs from a busy one (the core idles: zero cache
+ * target, zero power cap).  Unlike a ContextSwitch -- which swaps WHO
+ * runs on a core -- a tenant event changes HOW MANY players compete:
+ * the market re-forms over the active cores only, with the machine's
+ * total capacity unchanged, and surviving tenants keep their
+ * identities, warm-start market state and (for banking mechanisms)
+ * credit balances across the change.
+ *
+ * Events must target epoch >= 1: the initial mix is configured by the
+ * simulator's app list, not by epoch-0 events.
+ */
+struct TenantEvent
+{
+    /** Absolute epoch at whose start the event applies (>= 1). */
+    uint32_t epoch = 0;
+    /** Core the tenant occupies / vacates. */
+    uint32_t core = 0;
+    /** True = arrival on an idle core, false = departure. */
+    bool arrival = true;
+    /** Application of an arriving tenant (ignored for departures). */
+    app::AppParams app;
+};
+
 /** Simulation run parameters. */
 struct EpochSimConfig
 {
@@ -76,6 +102,12 @@ struct EpochSimConfig
     market::MarketConfig marketConfig;
     /** OS context switches to apply during the run. */
     std::vector<ContextSwitch> contextSwitches;
+    /**
+     * Tenant arrivals and departures to apply during the run (see
+     * TenantEvent).  Empty -- the default -- leaves the fixed-roster
+     * path byte-identical to the pre-roster simulator.
+     */
+    std::vector<TenantEvent> tenantEvents;
     /**
      * Non-convergence watchdog: after this many consecutive epochs whose
      * allocation failed or hit the iteration fail-safe, the simulator
@@ -134,6 +166,8 @@ struct EpochRecord
     bool fallback = false;
     /** Effective DRAM latency this epoch (ns). */
     double memLatencyNs = 0.0;
+    /** Cores with an active tenant this epoch (== cores without churn). */
+    uint32_t activePlayers = 0;
 };
 
 /** Aggregate result of one simulation. */

@@ -51,6 +51,16 @@ struct SolverStats
     std::int64_t watchdogTrips = 0;
     /** Epochs spent on the EqualShare fallback operating point. */
     std::int64_t fallbackEpochs = 0;
+    /** Tenants that joined the roster mid-run (churn drivers). */
+    std::int64_t tenantsJoined = 0;
+    /** Tenants that departed the roster mid-run (churn drivers). */
+    std::int64_t tenantsDeparted = 0;
+    /** Surviving players whose warm state crossed a roster change. */
+    std::int64_t migratedWarmSeeds = 0;
+    /** Karma epochs in which a player banked part of its allowance. */
+    std::int64_t karmaDonors = 0;
+    /** Karma epochs in which a player drew banked credit. */
+    std::int64_t karmaBorrowers = 0;
 
     /** Wall-clock seconds inside real equilibrium solves. */
     double solveSeconds = 0.0;

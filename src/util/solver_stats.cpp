@@ -30,6 +30,11 @@ SolverStats::merge(const SolverStats &other)
     rejectedSamples += other.rejectedSamples;
     watchdogTrips += other.watchdogTrips;
     fallbackEpochs += other.fallbackEpochs;
+    tenantsJoined += other.tenantsJoined;
+    tenantsDeparted += other.tenantsDeparted;
+    migratedWarmSeeds += other.migratedWarmSeeds;
+    karmaDonors += other.karmaDonors;
+    karmaBorrowers += other.karmaBorrowers;
     solveSeconds += other.solveSeconds;
     rescaleSeconds += other.rescaleSeconds;
     allocateSeconds += other.allocateSeconds;
@@ -69,6 +74,11 @@ SolverStats::toJson(int indent) const
     addInt("rejected_samples", rejectedSamples);
     addInt("watchdog_trips", watchdogTrips);
     addInt("fallback_epochs", fallbackEpochs);
+    addInt("tenants_joined", tenantsJoined);
+    addInt("tenants_departed", tenantsDeparted);
+    addInt("migrated_warm_seeds", migratedWarmSeeds);
+    addInt("karma_donors", karmaDonors);
+    addInt("karma_borrowers", karmaBorrowers);
     addSec("solve_seconds", solveSeconds);
     addSec("rescale_seconds", rescaleSeconds);
     addSec("allocate_seconds", allocateSeconds, /*last=*/true);

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * KarmaAllocator accounting: every epoch's minted allowance is either
+ * spent in that epoch's market or parked in the public pool (the
+ * conservation invariant, checked to 1e-9), credits never exceed their
+ * pool backing, departures forfeit to the pool and newcomers are
+ * granted only what the pool can back.
+ */
+
+#include "rebudget/core/karma_allocator.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/market/utility_model.h"
+
+namespace rebudget::core {
+namespace {
+
+/**
+ * Heterogeneous players: each player's normalization capacity grows
+ * 10x (weights are normalized internally, so scaling them would be a
+ * no-op), which scales the marginal-utility-of-money down by ~3x per
+ * player and spreads the probe lambdas across the donate/borrow
+ * thresholds instead of bunching at lambda_max.  Player 0 always holds
+ * the peak lambda.
+ */
+struct Fixture
+{
+    std::vector<std::unique_ptr<market::PowerLawUtility>> models;
+    AllocationProblem problem;
+
+    explicit Fixture(size_t n)
+    {
+        const std::vector<double> caps = {12.0, 12.0};
+        double scale = 1.0;
+        for (size_t i = 0; i < n; ++i, scale *= 10.0) {
+            models.push_back(std::make_unique<market::PowerLawUtility>(
+                std::vector<double>{1.0, 1.0},
+                std::vector<double>{0.5, 0.5},
+                std::vector<double>{caps[0] * scale, caps[1] * scale}));
+            problem.models.push_back(models.back().get());
+        }
+        problem.capacities = caps;
+    }
+};
+
+double
+spent(const AllocationOutcome &out)
+{
+    double sum = 0.0;
+    for (double b : out.budgets)
+        sum += b;
+    return sum;
+}
+
+TEST(Karma, RejectsInvalidConfig)
+{
+    KarmaConfig bad_allowance;
+    bad_allowance.allowance = 0.0;
+    EXPECT_FALSE(KarmaAllocator(bad_allowance).configStatus().ok());
+
+    KarmaConfig crossed;
+    crossed.donateThreshold = 0.8;
+    crossed.borrowThreshold = 0.5;
+    EXPECT_FALSE(KarmaAllocator(crossed).configStatus().ok());
+
+    KarmaConfig negative_grant;
+    negative_grant.initialCreditFraction = -0.1;
+    EXPECT_FALSE(KarmaAllocator(negative_grant).configStatus().ok());
+
+    EXPECT_TRUE(KarmaAllocator().configStatus().ok());
+
+    // A bad config fails allocate() with the config diagnostic instead
+    // of producing an allocation.
+    Fixture f(3);
+    const auto out = KarmaAllocator(bad_allowance).allocate(f.problem);
+    EXPECT_FALSE(out.status.ok());
+    EXPECT_TRUE(out.alloc.empty());
+}
+
+TEST(Karma, ConservesMintedAllowanceEveryEpoch)
+{
+    Fixture f(4);
+    KarmaBank bank;
+    f.problem.creditBank = &bank;
+    const KarmaAllocator karma;
+    const double A = karma.config().allowance;
+    const double n = static_cast<double>(f.problem.models.size());
+
+    std::shared_ptr<const market::EquilibriumResult> warm;
+    for (int epoch = 0; epoch < 8; ++epoch) {
+        const double pool_before = bank.publicPool;
+        const auto out = karma.allocate(f.problem);
+        ASSERT_TRUE(out.status.ok()) << out.status.toString();
+        ASSERT_EQ(out.budgets.size(), f.problem.models.size());
+        // n*A + P_before = sum_i budgets_i + P_after, to 1e-9.
+        EXPECT_NEAR(n * A + pool_before, spent(out) + bank.publicPool,
+                    1e-9)
+            << "epoch " << epoch;
+        // Credits are claims on the pool and must stay fully backed.
+        EXPECT_LE(bank.totalCredits(), bank.publicPool + 1e-9);
+        warm = out.equilibrium;
+        f.problem.warmStart = warm.get();
+    }
+    // The lambda spread actually classified someone as a donor; their
+    // balance is capped, never unbounded.
+    EXPECT_GT(bank.donations, 0);
+    const double cap =
+        karma.config().maxCreditFraction * karma.config().allowance;
+    for (const auto &[id, credit] : bank.credits) {
+        EXPECT_GE(credit, 0.0);
+        EXPECT_LE(credit, cap + 1e-9);
+    }
+}
+
+TEST(Karma, BorrowersDrawTheirBankedCredit)
+{
+    Fixture f(3);
+    KarmaBank bank;
+    // Pre-banked credit for the high-lambda player (dense index 0):
+    // its next epoch draws on the balance on top of the allowance.
+    bank.credits[0] = 30.0;
+    bank.publicPool = 30.0;
+    f.problem.creditBank = &bank;
+    const KarmaAllocator karma;
+    const double A = karma.config().allowance;
+
+    const double pool_before = bank.publicPool;
+    const auto out = karma.allocate(f.problem);
+    ASSERT_TRUE(out.status.ok()) << out.status.toString();
+    EXPECT_GT(out.stats.karmaBorrowers, 0);
+    EXPECT_GT(out.budgets[0], A);
+    // Conservation holds with a pre-seeded pool too.
+    EXPECT_NEAR(3.0 * A + pool_before, spent(out) + bank.publicPool,
+                1e-9);
+    EXPECT_LT(bank.credits[0], 30.0);
+    EXPECT_LE(bank.totalCredits(), bank.publicPool + 1e-9);
+}
+
+TEST(Karma, NullBankIsTransient)
+{
+    Fixture f(3);
+    ASSERT_EQ(f.problem.creditBank, nullptr);
+    const KarmaAllocator karma;
+    // No caller-owned bank: each call runs a fresh transient bank, so
+    // repeated calls are bit-identical (no hidden memory).
+    const auto a = karma.allocate(f.problem);
+    const auto b = karma.allocate(f.problem);
+    ASSERT_TRUE(a.status.ok());
+    EXPECT_EQ(a.budgets, b.budgets);
+    EXPECT_EQ(a.alloc, b.alloc);
+    EXPECT_EQ(a.marketIterations, b.marketIterations);
+}
+
+TEST(Karma, DeparturesForfeitCreditsToThePool)
+{
+    Fixture f(3);
+    KarmaBank bank;
+    bank.credits[0] = 10.0;
+    bank.credits[1] = 5.0;
+    bank.publicPool = 15.0;
+    f.problem.creditBank = &bank;
+    const KarmaAllocator karma;
+
+    RosterChange change;
+    change.departed.push_back({0, 42.0});
+    karma.onRosterChange(change, f.problem);
+    // The claim dies with the tenant; the backing money stays in the
+    // pool for the survivors.
+    EXPECT_EQ(bank.credits.count(0), 0u);
+    EXPECT_DOUBLE_EQ(bank.forfeited, 10.0);
+    EXPECT_DOUBLE_EQ(bank.publicPool, 15.0);
+    EXPECT_DOUBLE_EQ(bank.totalCredits(), 5.0);
+}
+
+TEST(Karma, NewcomerGrantIsLimitedToPoolBacking)
+{
+    KarmaConfig cfg;
+    cfg.initialCreditFraction = 0.5; // 50 with the default allowance
+    const KarmaAllocator karma(cfg);
+    ASSERT_TRUE(karma.configStatus().ok());
+
+    Fixture f(3);
+    KarmaBank bank;
+    bank.credits[1] = 20.0;
+    bank.publicPool = 30.0; // only 10 unclaimed
+    f.problem.creditBank = &bank;
+
+    RosterChange change;
+    change.joined = {7};
+    karma.onRosterChange(change, f.problem);
+    // The grant is capped at what the pool can back beyond existing
+    // claims: min(0.5 * A, 30 - 20) = 10.
+    ASSERT_EQ(bank.credits.count(7), 1u);
+    EXPECT_DOUBLE_EQ(bank.credits[7], 10.0);
+    EXPECT_LE(bank.totalCredits(), bank.publicPool + 1e-9);
+
+    // An empty pool backs nothing: no phantom credit line.
+    KarmaBank empty;
+    f.problem.creditBank = &empty;
+    RosterChange join_only;
+    join_only.joined = {8};
+    karma.onRosterChange(join_only, f.problem);
+    EXPECT_EQ(empty.credits.count(8), 0u);
+}
+
+} // namespace
+} // namespace rebudget::core

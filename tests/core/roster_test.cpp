@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Roster layer: stable PlayerId over dense solver indices.  The
+ * contracts pinned here are what the churn pipeline leans on --
+ * order-preserving removal (deterministic survivor order), mapFrom as
+ * the warm-migration index map, and AllocationProblem's implicit dense
+ * roster staying byte-free (empty playerIds) until a tenant event
+ * actually materializes it.
+ */
+
+#include "rebudget/core/roster.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/core/allocator.h"
+#include "rebudget/market/utility_model.h"
+
+namespace rebudget::core {
+namespace {
+
+TEST(Roster, DenseFactoryIsIdentity)
+{
+    const Roster r = Roster::dense(4);
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_TRUE(r.isDense());
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(r.idAt(i), static_cast<PlayerId>(i));
+        ASSERT_TRUE(r.indexOf(i).has_value());
+        EXPECT_EQ(*r.indexOf(i), i);
+    }
+    EXPECT_FALSE(r.indexOf(4).has_value());
+    EXPECT_TRUE(Roster().empty());
+}
+
+TEST(Roster, AddRejectsDuplicatesAndAppends)
+{
+    Roster r = Roster::dense(2);
+    const auto idx = r.add(7);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 2u);
+    EXPECT_FALSE(r.isDense());
+    // A duplicate identity would make indexOf ambiguous.
+    EXPECT_FALSE(r.add(7).has_value());
+    EXPECT_FALSE(r.add(0).has_value());
+    EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(Roster, RemoveIsOrderPreserving)
+{
+    Roster r = Roster::dense(4);
+    const auto idx = r.remove(1);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 1u);
+    // An erase, not a swap-with-last: survivors keep their relative
+    // order, so downstream solve trajectories depend only on the event
+    // sequence.
+    EXPECT_EQ(r.ids(), (std::vector<PlayerId>{0, 2, 3}));
+    EXPECT_FALSE(r.remove(1).has_value());
+    EXPECT_FALSE(r.isDense());
+}
+
+TEST(Roster, MapFromMarksSurvivorsAndNewcomers)
+{
+    const Roster prior = Roster::dense(4);
+    Roster now = prior;
+    ASSERT_TRUE(now.remove(1).has_value());
+    ASSERT_TRUE(now.add(7).has_value());
+    // now = {0, 2, 3, 7}: survivors map to their prior dense index,
+    // the newcomer to -1, the departed tenant simply does not appear.
+    const auto map = now.mapFrom(prior);
+    EXPECT_EQ(map,
+              (std::vector<std::ptrdiff_t>{0, 2, 3, -1}));
+    // The reverse direction: from the churned roster back to dense.
+    const auto back = prior.mapFrom(now);
+    EXPECT_EQ(back,
+              (std::vector<std::ptrdiff_t>{0, -1, 1, 2}));
+}
+
+struct ProblemFixture
+{
+    std::vector<std::unique_ptr<market::PowerLawUtility>> models;
+    AllocationProblem problem;
+
+    explicit ProblemFixture(size_t n)
+    {
+        const std::vector<double> caps = {12.0, 12.0};
+        for (size_t i = 0; i < n; ++i)
+            addModel();
+        problem.capacities = caps;
+    }
+
+    const market::UtilityModel *addModel()
+    {
+        models.push_back(std::make_unique<market::PowerLawUtility>(
+            std::vector<double>{1.0, 1.0}, std::vector<double>{0.5, 0.5},
+            std::vector<double>{12.0, 12.0}));
+        if (problem.models.size() < models.size())
+            problem.models.push_back(models.back().get());
+        return models.back().get();
+    }
+};
+
+TEST(RosterProblem, EmptyPlayerIdsIsTheDenseRoster)
+{
+    ProblemFixture f(3);
+    EXPECT_TRUE(f.problem.playerIds.empty());
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(f.problem.playerIdAt(i), static_cast<PlayerId>(i));
+        ASSERT_TRUE(f.problem.indexOfPlayer(i).has_value());
+        EXPECT_EQ(*f.problem.indexOfPlayer(i), i);
+    }
+    EXPECT_FALSE(f.problem.indexOfPlayer(3).has_value());
+    EXPECT_TRUE(validateProblemStatus(f.problem).ok());
+}
+
+TEST(RosterProblem, AddTenantMaterializesDenseIds)
+{
+    ProblemFixture f(2);
+    market::PowerLawUtility extra({1.0, 1.0}, {0.5, 0.5}, {12.0, 12.0});
+    const auto idx = f.problem.addTenant(9, &extra);
+    ASSERT_TRUE(idx.ok());
+    EXPECT_EQ(idx.value(), 2u);
+    // The implicit dense roster was materialized before the append.
+    EXPECT_EQ(f.problem.playerIds, (std::vector<PlayerId>{0, 1, 9}));
+    EXPECT_EQ(f.problem.models.size(), 3u);
+    EXPECT_TRUE(validateProblemStatus(f.problem).ok());
+
+    const auto dup = f.problem.addTenant(9, &extra);
+    EXPECT_FALSE(dup.ok());
+    const auto null_model = f.problem.addTenant(10, nullptr);
+    EXPECT_FALSE(null_model.ok());
+}
+
+TEST(RosterProblem, RemoveTenantShiftsLaterPlayersDown)
+{
+    ProblemFixture f(3);
+    const market::UtilityModel *last = f.problem.models[2];
+    const auto idx = f.problem.removeTenant(1);
+    ASSERT_TRUE(idx.ok());
+    EXPECT_EQ(idx.value(), 1u);
+    EXPECT_EQ(f.problem.playerIds, (std::vector<PlayerId>{0, 2}));
+    ASSERT_EQ(f.problem.models.size(), 2u);
+    EXPECT_EQ(f.problem.models[1], last);
+    EXPECT_FALSE(f.problem.removeTenant(1).ok());
+}
+
+TEST(RosterProblem, ValidationNamesDuplicateAndMismatchedIds)
+{
+    ProblemFixture f(3);
+    f.problem.playerIds = {4, 5, 4};
+    const auto dup = validateProblemStatus(f.problem);
+    ASSERT_FALSE(dup.ok());
+    EXPECT_NE(dup.message().find("duplicate"), std::string::npos);
+
+    f.problem.playerIds = {4, 5};
+    const auto mismatch = validateProblemStatus(f.problem);
+    ASSERT_FALSE(mismatch.ok());
+    EXPECT_NE(mismatch.message().find("player id count"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace rebudget::core

@@ -214,7 +214,7 @@ TEST(BundleRunner, SweepStatsJsonIsSchemaStable)
     const auto agg =
         eval::aggregateSweepStats(evals, runner.mechanismNames());
     const std::string json = eval::sweepStatsJson(agg, 3);
-    EXPECT_NE(json.find("\"schema\": \"rebudget.solver_stats.v2\""),
+    EXPECT_NE(json.find("\"schema\": \"rebudget.solver_stats.v3\""),
               std::string::npos);
     EXPECT_NE(json.find("\"skipped_bundles\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"mechanism\": \"EqualBudget\""),

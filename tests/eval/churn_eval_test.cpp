@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Churn scenarios: the schedule must be a pure value function of
+ * (spec, bundle, epoch), the sweep bit-identical at any job count,
+ * every epoch of a clean scenario scored without fatals, and the
+ * identity-migrated warm state must actually save iterations versus a
+ * cold-start baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/karma_allocator.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/eval/churn.h"
+#include "rebudget/util/rng.h"
+#include "rebudget/workloads/bundles.h"
+
+using namespace rebudget;
+
+namespace {
+
+std::vector<workloads::Bundle>
+smallSuite(uint32_t cores, uint32_t per_category)
+{
+    const auto catalog = workloads::classifyCatalog();
+    return workloads::generateAllBundles(catalog, cores, per_category,
+                                         2016);
+}
+
+eval::ChurnSpec
+stormSpec()
+{
+    eval::ChurnSpec spec;
+    spec.epochs = 8;
+    spec.joinRate = 0.3;
+    spec.leaveRate = 0.3;
+    spec.minPlayers = 2;
+    spec.maxPlayers = 0; // 2x initial
+    spec.seed = 2016;
+    return spec;
+}
+
+} // namespace
+
+TEST(ChurnEval, SpecParsesAnySubsetAndNamesBadInput)
+{
+    const auto full = eval::ChurnSpec::parse(
+        "epochs=5,join=0.4,leave=0.1,min-players=3,max-players=12,"
+        "seed=9");
+    ASSERT_TRUE(full.ok()) << full.status().toString();
+    EXPECT_EQ(full.value().epochs, 5u);
+    EXPECT_DOUBLE_EQ(full.value().joinRate, 0.4);
+    EXPECT_DOUBLE_EQ(full.value().leaveRate, 0.1);
+    EXPECT_EQ(full.value().minPlayers, 3u);
+    EXPECT_EQ(full.value().maxPlayers, 12u);
+    EXPECT_EQ(full.value().seed, 9u);
+
+    // A subset keeps the defaults for unmentioned keys.
+    const auto partial = eval::ChurnSpec::parse("epochs=3");
+    ASSERT_TRUE(partial.ok());
+    EXPECT_EQ(partial.value().epochs, 3u);
+    EXPECT_DOUBLE_EQ(partial.value().joinRate,
+                     eval::ChurnSpec().joinRate);
+
+    // Unknown keys and out-of-range values name the offender.
+    const auto unknown = eval::ChurnSpec::parse("bogus=1");
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_NE(unknown.status().message().find("bogus"),
+              std::string::npos);
+    const auto range = eval::ChurnSpec::parse("join=1.5");
+    ASSERT_FALSE(range.ok());
+    EXPECT_NE(range.status().message().find("join"), std::string::npos);
+    EXPECT_FALSE(eval::ChurnSpec::parse("epochs=0").ok());
+}
+
+TEST(ChurnEval, ScheduleIsPureAndRespectsRosterBounds)
+{
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const auto &bundle = bundles.front();
+    const uint64_t scope = util::hashId(bundle.name);
+    eval::ChurnSpec spec = stormSpec();
+    spec.epochs = 16;
+    spec.minPlayers = 4;
+    spec.maxPlayers = 12;
+
+    const auto a =
+        eval::makeChurnSchedule(spec, bundle.appNames, scope);
+    const auto b =
+        eval::makeChurnSchedule(spec, bundle.appNames, scope);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].epoch, b[i].epoch);
+        EXPECT_EQ(a[i].join, b[i].join);
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].app, b[i].app);
+    }
+    // A different scope (another bundle) must not replay the same
+    // schedule -- the streams are keyed per bundle.
+    const auto other =
+        eval::makeChurnSchedule(spec, bundle.appNames, scope + 1);
+    bool differs = other.size() != a.size();
+    for (size_t i = 0; !differs && i < a.size(); ++i)
+        differs = other[i].id != a[i].id || other[i].join != a[i].join ||
+                  other[i].epoch != a[i].epoch;
+    EXPECT_TRUE(differs);
+
+    // Replay the events: the roster never leaves [min, max], events
+    // target epochs in [1, epochs), joins draw apps from the bundle's
+    // own mix and mint fresh identities.
+    std::set<core::PlayerId> active;
+    for (size_t i = 0; i < bundle.appNames.size(); ++i)
+        active.insert(static_cast<core::PlayerId>(i));
+    const std::set<std::string> mix(bundle.appNames.begin(),
+                                    bundle.appNames.end());
+    uint32_t prev_epoch = 1;
+    for (const auto &ev : a) {
+        ASSERT_GE(ev.epoch, 1u);
+        ASSERT_LT(ev.epoch, spec.epochs);
+        ASSERT_GE(ev.epoch, prev_epoch); // epoch-ordered
+        prev_epoch = ev.epoch;
+        if (ev.join) {
+            EXPECT_EQ(active.count(ev.id), 0u);
+            EXPECT_EQ(mix.count(ev.app), 1u) << ev.app;
+            active.insert(ev.id);
+        } else {
+            EXPECT_EQ(active.count(ev.id), 1u);
+            active.erase(ev.id);
+        }
+        EXPECT_GE(active.size(), spec.minPlayers);
+        EXPECT_LE(active.size(), spec.maxPlayers);
+    }
+}
+
+TEST(ChurnEval, ChurnSweepDeterministicAcrossJobs)
+{
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const core::EqualBudgetAllocator equal_budget;
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    const core::KarmaAllocator karma;
+    const std::vector<const core::Allocator *> mechanisms = {
+        &equal_budget, &rb40, &karma};
+    const eval::ChurnSpec spec = stormSpec();
+
+    auto run = [&](unsigned jobs) {
+        eval::BundleRunnerOptions opts;
+        opts.jobs = jobs;
+        const eval::BundleRunner runner(mechanisms, opts);
+        return runner.runChurn(bundles, spec);
+    };
+
+    const auto serial = run(1);
+    const auto two = run(2);
+    const auto hw =
+        run(std::max(1u, std::thread::hardware_concurrency()));
+    ASSERT_EQ(serial.size(), two.size());
+    ASSERT_EQ(serial.size(), hw.size());
+    for (size_t b = 0; b < serial.size(); ++b) {
+        for (const auto *other : {&two[b], &hw[b]}) {
+            ASSERT_EQ(serial[b].results.size(), other->results.size());
+            for (size_t m = 0; m < serial[b].results.size(); ++m) {
+                const auto &sr = serial[b].results[m];
+                const auto &orr = other->results[m];
+                // Bit-identical: per-bundle scenario state (bank,
+                // warm seed, workspace) must not leak across workers.
+                ASSERT_EQ(sr.epochs.size(), orr.epochs.size());
+                for (size_t e = 0; e < sr.epochs.size(); ++e) {
+                    EXPECT_EQ(sr.epochs[e].players,
+                              orr.epochs[e].players);
+                    EXPECT_EQ(sr.epochs[e].scored,
+                              orr.epochs[e].scored);
+                    EXPECT_EQ(sr.epochs[e].efficiency,
+                              orr.epochs[e].efficiency);
+                    EXPECT_EQ(sr.epochs[e].envyFreeness,
+                              orr.epochs[e].envyFreeness);
+                    EXPECT_EQ(sr.epochs[e].marketIterations,
+                              orr.epochs[e].marketIterations);
+                }
+                ASSERT_EQ(sr.tenants.size(), orr.tenants.size());
+                for (size_t t = 0; t < sr.tenants.size(); ++t) {
+                    EXPECT_EQ(sr.tenants[t].id, orr.tenants[t].id);
+                    EXPECT_EQ(sr.tenants[t].utilitySum,
+                              orr.tenants[t].utilitySum);
+                    EXPECT_EQ(sr.tenants[t].bestOtherUtilitySum,
+                              orr.tenants[t].bestOtherUtilitySum);
+                    EXPECT_EQ(sr.tenants[t].meanBudget,
+                              orr.tenants[t].meanBudget);
+                }
+                EXPECT_EQ(sr.meanEfficiency, orr.meanEfficiency);
+                EXPECT_EQ(sr.lifetimeEnvyFreeness,
+                          orr.lifetimeEnvyFreeness);
+                EXPECT_EQ(sr.cumulativeMur, orr.cumulativeMur);
+                EXPECT_EQ(sr.cumulativeMbr, orr.cumulativeMbr);
+                EXPECT_EQ(sr.stats.tenantsJoined,
+                          orr.stats.tenantsJoined);
+                EXPECT_EQ(sr.stats.tenantsDeparted,
+                          orr.stats.tenantsDeparted);
+                EXPECT_EQ(sr.stats.migratedWarmSeeds,
+                          orr.stats.migratedWarmSeeds);
+                EXPECT_EQ(sr.stats.karmaDonors, orr.stats.karmaDonors);
+                EXPECT_EQ(sr.stats.karmaBorrowers,
+                          orr.stats.karmaBorrowers);
+            }
+        }
+    }
+}
+
+TEST(ChurnEval, StormScoresEveryEpochWithoutFatals)
+{
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    const core::KarmaAllocator karma;
+    const std::vector<const core::Allocator *> mechanisms = {&rb40,
+                                                             &karma};
+    const eval::BundleRunner runner(mechanisms, {});
+    const eval::ChurnSpec spec = stormSpec();
+
+    const auto evals = runner.runChurn(bundles, spec);
+    ASSERT_EQ(evals.size(), bundles.size());
+    bool saw_real_churn = false;
+    for (const auto &ev : evals) {
+        ASSERT_FALSE(ev.skipped) << ev.bundle << ": " << ev.skipReason;
+        for (const auto &res : ev.results) {
+            EXPECT_TRUE(res.status.ok())
+                << ev.bundle << "/" << res.mechanism << ": "
+                << res.status.toString();
+            ASSERT_EQ(res.epochs.size(), spec.epochs);
+            for (const auto &er : res.epochs)
+                EXPECT_TRUE(er.scored)
+                    << ev.bundle << "/" << res.mechanism << " epoch "
+                    << er.epoch;
+            // The acceptance bar: at least 20% of the initial roster
+            // churned over the scenario.
+            const auto initial =
+                static_cast<std::int64_t>(res.epochs.front().players);
+            if (res.stats.tenantsJoined + res.stats.tenantsDeparted >=
+                (initial + 4) / 5)
+                saw_real_churn = true;
+            // Lifetime metrics stay in their defined [0, 1] ranges
+            // (MUR and MBR are min/max ratios, Definitions 5 and 6).
+            EXPECT_GE(res.lifetimeEnvyFreeness, 0.0);
+            EXPECT_LE(res.lifetimeEnvyFreeness, 1.0 + 1e-12);
+            EXPECT_GE(res.cumulativeMbr, 0.0);
+            EXPECT_LE(res.cumulativeMbr, 1.0 + 1e-12);
+            EXPECT_GE(res.cumulativeMur, 0.0);
+            EXPECT_LE(res.cumulativeMur, 1.0 + 1e-12);
+            for (const auto &t : res.tenants)
+                EXPECT_LE(t.utilitySum,
+                          t.bestOtherUtilitySum + 1e-12);
+        }
+    }
+    EXPECT_TRUE(saw_real_churn);
+}
+
+TEST(ChurnEval, MigratedWarmStateSavesIterations)
+{
+    const auto bundles = smallSuite(8, 1);
+    ASSERT_FALSE(bundles.empty());
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    const std::vector<const core::Allocator *> mechanisms = {&rb40};
+    const eval::ChurnSpec spec = stormSpec();
+
+    auto total_iterations = [&](bool warm) {
+        eval::BundleRunnerOptions opts;
+        opts.marketConfig.warmStart = warm;
+        const eval::BundleRunner runner(mechanisms, opts);
+        const auto evals = runner.runChurn(bundles, spec);
+        long iters = 0;
+        long migrated = 0;
+        for (const auto &ev : evals) {
+            for (const auto &res : ev.results) {
+                EXPECT_TRUE(res.status.ok()) << res.status.toString();
+                for (const auto &er : res.epochs)
+                    iters += er.marketIterations;
+                migrated += res.stats.migratedWarmSeeds;
+            }
+        }
+        return std::pair<long, long>(iters, migrated);
+    };
+
+    const auto [warm_iters, warm_migrated] = total_iterations(true);
+    const auto [cold_iters, cold_migrated] = total_iterations(false);
+    (void)cold_migrated;
+    // Surviving players carried their equilibrium rows across roster
+    // changes...
+    EXPECT_GT(warm_migrated, 0);
+    // ...and that warm state is worth real iterations versus running
+    // every epoch from a cold start.
+    EXPECT_LT(warm_iters, cold_iters);
+}

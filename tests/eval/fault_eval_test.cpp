@@ -213,7 +213,7 @@ TEST(FaultEval, SweepStatsJsonReportsFaults)
         eval::aggregateSweepStats(evals, runner.mechanismNames());
     const auto fault_agg = eval::aggregateFaultStats(evals);
     const std::string json = eval::sweepStatsJson(agg, 0, &fault_agg);
-    EXPECT_NE(json.find("\"schema\": \"rebudget.solver_stats.v2\""),
+    EXPECT_NE(json.find("\"schema\": \"rebudget.solver_stats.v3\""),
               std::string::npos);
     EXPECT_NE(json.find("\"faults\": {"), std::string::npos);
     EXPECT_NE(json.find("\"liar_players\""), std::string::npos);

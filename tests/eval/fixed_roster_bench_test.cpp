@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-roster byte-identity regression: the roster layer's single
+ * hardest contract is that a problem with no tenant events (empty
+ * playerIds) is byte-identical to the pre-roster code.  This replays
+ * the committed benchmark's Figure 4 bundle-suite recipe (64 cores,
+ * 40 bundles/category, seed 2016, cold and warm sweeps) and pins the
+ * summed iteration counters to the BENCH_market.json values -- any
+ * drift means the fixed-roster solve trajectory changed, which no
+ * roster/churn work is allowed to do.
+ *
+ * Deliberately NOT part of the eval_determinism alias: the full-size
+ * suite is too heavy to replay under TSan instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rebudget/core/baselines.h"
+#include "rebudget/core/rebudget_allocator.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/workloads/bundles.h"
+
+using namespace rebudget;
+
+TEST(FixedRosterBench, SuiteItersMatchCommittedBaseline)
+{
+    // The exact recipe of perf_equilibrium's full run (Part B).
+    const auto catalog = workloads::classifyCatalog();
+    const auto bundles =
+        workloads::generateAllBundles(catalog, 64, 40, 2016);
+    ASSERT_FALSE(bundles.empty());
+
+    const core::EqualBudgetAllocator equal_budget;
+    const auto rb20 = core::ReBudgetAllocator::withStep(20);
+    const auto rb40 = core::ReBudgetAllocator::withStep(40);
+    const std::vector<const core::Allocator *> mechanisms{
+        &equal_budget, &rb20, &rb40};
+
+    auto sweep_iters = [&](bool warm) {
+        eval::BundleRunnerOptions opts;
+        opts.marketConfig.warmStart = warm;
+        const eval::BundleRunner runner(mechanisms, opts);
+        const auto evals = runner.run(bundles);
+        std::vector<long> iters(mechanisms.size(), 0);
+        for (const auto &ev : evals) {
+            EXPECT_FALSE(ev.skipped) << ev.bundle << ": "
+                                     << ev.skipReason;
+            if (ev.skipped)
+                continue;
+            for (size_t mi = 0; mi < mechanisms.size(); ++mi)
+                iters[mi] += ev.scores[mi].marketIterations;
+        }
+        return iters;
+    };
+
+    const auto cold = sweep_iters(false);
+    const auto warm = sweep_iters(true);
+
+    // BENCH_market.json, bundle_suite section (64 cores, 240 bundles).
+    EXPECT_EQ(cold[0], 753);  // EqualBudget cold
+    EXPECT_EQ(warm[0], 753);  // EqualBudget warm (single solve each)
+    EXPECT_EQ(cold[1], 4853); // ReBudget-20 cold
+    EXPECT_EQ(warm[1], 1896); // ReBudget-20 warm
+    EXPECT_EQ(cold[2], 5802); // ReBudget-40 cold
+    EXPECT_EQ(warm[2], 2631); // ReBudget-40 warm
+}

@@ -32,6 +32,11 @@ sample()
     s.rejectedSamples = 8;
     s.watchdogTrips = 9;
     s.fallbackEpochs = 11;
+    s.tenantsJoined = 12;
+    s.tenantsDeparted = 13;
+    s.migratedWarmSeeds = 14;
+    s.karmaDonors = 15;
+    s.karmaBorrowers = 16;
     s.solveSeconds = 0.25;
     s.rescaleSeconds = 0.0625;
     s.allocateSeconds = 0.5;
@@ -56,6 +61,11 @@ TEST(SolverStats, MergeSumsEveryField)
     EXPECT_EQ(a.rejectedSamples, 16);
     EXPECT_EQ(a.watchdogTrips, 18);
     EXPECT_EQ(a.fallbackEpochs, 22);
+    EXPECT_EQ(a.tenantsJoined, 24);
+    EXPECT_EQ(a.tenantsDeparted, 26);
+    EXPECT_EQ(a.migratedWarmSeeds, 28);
+    EXPECT_EQ(a.karmaDonors, 30);
+    EXPECT_EQ(a.karmaBorrowers, 32);
     EXPECT_DOUBLE_EQ(a.solveSeconds, 0.5);
     EXPECT_DOUBLE_EQ(a.rescaleSeconds, 0.125);
     EXPECT_DOUBLE_EQ(a.allocateSeconds, 1.0);
@@ -73,7 +83,7 @@ TEST(SolverStats, JsonContainsEveryCounter)
 {
     const std::string json = sample().toJson();
     // Key order and spelling are part of the
-    // "rebudget.solver_stats.v2" contract.
+    // "rebudget.solver_stats.v3" contract.
     EXPECT_NE(json.find("\"equilibrium_solves\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"sweep_iterations\": 40"), std::string::npos);
     EXPECT_NE(json.find("\"hill_climb_steps\": 1000"), std::string::npos);
@@ -88,6 +98,11 @@ TEST(SolverStats, JsonContainsEveryCounter)
     EXPECT_NE(json.find("\"rejected_samples\": 8"), std::string::npos);
     EXPECT_NE(json.find("\"watchdog_trips\": 9"), std::string::npos);
     EXPECT_NE(json.find("\"fallback_epochs\": 11"), std::string::npos);
+    EXPECT_NE(json.find("\"tenants_joined\": 12"), std::string::npos);
+    EXPECT_NE(json.find("\"tenants_departed\": 13"), std::string::npos);
+    EXPECT_NE(json.find("\"migrated_warm_seeds\": 14"), std::string::npos);
+    EXPECT_NE(json.find("\"karma_donors\": 15"), std::string::npos);
+    EXPECT_NE(json.find("\"karma_borrowers\": 16"), std::string::npos);
     EXPECT_NE(json.find("\"solve_seconds\""), std::string::npos);
     EXPECT_NE(json.find("\"rescale_seconds\""), std::string::npos);
     EXPECT_NE(json.find("\"allocate_seconds\""), std::string::npos);

@@ -28,8 +28,19 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"FAIL: cannot read {path}: {e.strerror or e}")
+        sys.exit(1)
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {path} is not valid JSON: {e}")
+        sys.exit(1)
+
+
+# Sentinel distinguishing "key absent" from a legitimate None/0 value.
+_MISSING = object()
 
 
 class Comparison:
@@ -39,7 +50,23 @@ class Comparison:
         self.checked_counters = 0
         self.notes = []
 
+    def fetch(self, context, entry, key):
+        """Required-key lookup: a missing key becomes a named FAIL
+        diagnostic (schema drift between the two files) instead of a
+        KeyError traceback.  Returns None when absent; comparisons on
+        None are skipped, so one missing key yields one clear error."""
+        value = entry.get(key, _MISSING)
+        if value is _MISSING:
+            self.errors.append(
+                f"{context}: required key '{key}' is missing (schema "
+                f"drift -- regenerate the file with the current "
+                f"perf_equilibrium, or update the baseline)")
+            return None
+        return value
+
     def exact(self, context, key, fresh, base):
+        if fresh is None or base is None:
+            return  # fetch already recorded the missing key
         self.checked_counters += 1
         if fresh != base:
             self.errors.append(
@@ -47,6 +74,8 @@ class Comparison:
                 f"match required)")
 
     def timing(self, context, key, fresh, base):
+        if fresh is None or base is None:
+            return  # fetch already recorded the missing key
         # Timings below a millisecond are noise-dominated; skip.
         if base < 1.0 or fresh < 1.0:
             return
@@ -57,49 +86,80 @@ class Comparison:
                 f"(ratio {ratio:.2f} outside band {self.band}x)")
 
 
-def index_by(entries, *keys):
-    return {tuple(e[k] for k in keys): e for e in entries}
+def index_by(cmp, context, entries, *keys):
+    """Index entries by a key tuple; entries lacking one of the keys
+    are reported (named) and excluded rather than raising KeyError."""
+    out = {}
+    for pos, e in enumerate(entries):
+        tup = tuple(e.get(k, _MISSING) for k in keys)
+        if _MISSING in tup:
+            missing = [k for k, v in zip(keys, tup) if v is _MISSING]
+            cmp.errors.append(
+                f"{context}[{pos}]: required key(s) "
+                f"{', '.join(repr(k) for k in missing)} missing from "
+                f"baseline entry")
+            continue
+        out[tup] = e
+    return out
 
 
 def compare_synthetic(cmp, fresh, base):
-    base_idx = index_by(base.get("synthetic_budget_walk", []),
+    base_idx = index_by(cmp, "baseline synthetic_budget_walk",
+                        base.get("synthetic_budget_walk", []),
                         "players", "rounds")
     matched = 0
-    for entry in fresh.get("synthetic_budget_walk", []):
-        key = (entry["players"], entry["rounds"])
+    for pos, entry in enumerate(fresh.get("synthetic_budget_walk", [])):
+        ctx0 = f"fresh synthetic_budget_walk[{pos}]"
+        key = (cmp.fetch(ctx0, entry, "players"),
+               cmp.fetch(ctx0, entry, "rounds"))
+        if None in key:
+            continue
         ref = base_idx.get(key)
         if ref is None:
             continue
         matched += 1
         ctx = f"synthetic players={key[0]} rounds={key[1]}"
-        cmp.exact(ctx, "cold_iterations", entry["cold_iterations"],
-                  ref["cold_iterations"])
-        cmp.exact(ctx, "warm_iterations", entry["warm_iterations"],
-                  ref["warm_iterations"])
-        cmp.timing(ctx, "cold_ms", entry["cold_ms"], ref["cold_ms"])
-        cmp.timing(ctx, "warm_ms", entry["warm_ms"], ref["warm_ms"])
+        cmp.exact(ctx, "cold_iterations",
+                  cmp.fetch(ctx, entry, "cold_iterations"),
+                  cmp.fetch(ctx, ref, "cold_iterations"))
+        cmp.exact(ctx, "warm_iterations",
+                  cmp.fetch(ctx, entry, "warm_iterations"),
+                  cmp.fetch(ctx, ref, "warm_iterations"))
+        cmp.timing(ctx, "cold_ms", cmp.fetch(ctx, entry, "cold_ms"),
+                   cmp.fetch(ctx, ref, "cold_ms"))
+        cmp.timing(ctx, "warm_ms", cmp.fetch(ctx, entry, "warm_ms"),
+                   cmp.fetch(ctx, ref, "warm_ms"))
     cmp.notes.append(f"synthetic: {matched} comparable entr"
                      f"{'y' if matched == 1 else 'ies'}")
 
 
 def compare_steady_state(cmp, fresh, base):
-    base_idx = index_by(base.get("steady_state", []), "players")
+    base_idx = index_by(cmp, "baseline steady_state",
+                        base.get("steady_state", []), "players")
     matched = 0
-    for entry in fresh.get("steady_state", []):
-        ref = base_idx.get((entry["players"],))
+    for pos, entry in enumerate(fresh.get("steady_state", [])):
+        ctx0 = f"fresh steady_state[{pos}]"
+        players = cmp.fetch(ctx0, entry, "players")
+        if players is None:
+            continue
+        ref = base_idx.get((players,))
         if ref is None:
             continue
         matched += 1
-        ctx = f"steady_state players={entry['players']}"
+        ctx = f"steady_state players={players}"
         # The zero-allocation contract is absolute, not just
         # baseline-relative.
-        cmp.exact(ctx, "counted_allocs", entry["counted_allocs"], 0)
-        cmp.exact(ctx, "counted_allocs(baseline)",
-                  entry["counted_allocs"], ref["counted_allocs"])
-        cmp.exact(ctx, "solves", entry["solves"], ref["solves"])
-        cmp.exact(ctx, "sweeps", entry["sweeps"], ref["sweeps"])
-        cmp.timing(ctx, "ns_per_sweep", entry["ns_per_sweep"],
-                   ref["ns_per_sweep"])
+        allocs = cmp.fetch(ctx, entry, "counted_allocs")
+        cmp.exact(ctx, "counted_allocs", allocs, 0)
+        cmp.exact(ctx, "counted_allocs(baseline)", allocs,
+                  cmp.fetch(ctx, ref, "counted_allocs"))
+        cmp.exact(ctx, "solves", cmp.fetch(ctx, entry, "solves"),
+                  cmp.fetch(ctx, ref, "solves"))
+        cmp.exact(ctx, "sweeps", cmp.fetch(ctx, entry, "sweeps"),
+                  cmp.fetch(ctx, ref, "sweeps"))
+        cmp.timing(ctx, "ns_per_sweep",
+                   cmp.fetch(ctx, entry, "ns_per_sweep"),
+                   cmp.fetch(ctx, ref, "ns_per_sweep"))
     cmp.notes.append(f"steady_state: {matched} comparable entr"
                      f"{'y' if matched == 1 else 'ies'}")
 
@@ -110,26 +170,43 @@ def compare_suite(cmp, fresh, base):
     if not fs or not bs:
         cmp.notes.append("bundle_suite: absent, skipped")
         return
-    if fs["cores"] != bs["cores"] or fs["bundles"] != bs["bundles"]:
-        cmp.notes.append(
-            f"bundle_suite: shapes differ (fresh {fs['cores']}c/"
-            f"{fs['bundles']}b vs baseline {bs['cores']}c/"
-            f"{bs['bundles']}b), skipped")
+    f_cores = cmp.fetch("fresh bundle_suite", fs, "cores")
+    f_bundles = cmp.fetch("fresh bundle_suite", fs, "bundles")
+    b_cores = cmp.fetch("baseline bundle_suite", bs, "cores")
+    b_bundles = cmp.fetch("baseline bundle_suite", bs, "bundles")
+    if None in (f_cores, f_bundles, b_cores, b_bundles):
         return
-    base_idx = index_by(bs.get("mechanisms", []), "mechanism")
+    if f_cores != b_cores or f_bundles != b_bundles:
+        cmp.notes.append(
+            f"bundle_suite: shapes differ (fresh {f_cores}c/"
+            f"{f_bundles}b vs baseline {b_cores}c/"
+            f"{b_bundles}b), skipped")
+        return
+    base_idx = index_by(cmp, "baseline bundle_suite mechanisms",
+                        bs.get("mechanisms", []), "mechanism")
     matched = 0
-    for entry in fs.get("mechanisms", []):
-        ref = base_idx.get((entry["mechanism"],))
+    for pos, entry in enumerate(fs.get("mechanisms", [])):
+        mech = cmp.fetch(f"fresh bundle_suite mechanisms[{pos}]", entry,
+                         "mechanism")
+        if mech is None:
+            continue
+        ref = base_idx.get((mech,))
         if ref is None:
             continue
         matched += 1
-        ctx = f"bundle_suite mechanism={entry['mechanism']}"
-        cmp.exact(ctx, "cold_iterations", entry["cold_iterations"],
-                  ref["cold_iterations"])
-        cmp.exact(ctx, "warm_iterations", entry["warm_iterations"],
-                  ref["warm_iterations"])
-    cmp.timing("bundle_suite", "cold_ms", fs["cold_ms"], bs["cold_ms"])
-    cmp.timing("bundle_suite", "warm_ms", fs["warm_ms"], bs["warm_ms"])
+        ctx = f"bundle_suite mechanism={mech}"
+        cmp.exact(ctx, "cold_iterations",
+                  cmp.fetch(ctx, entry, "cold_iterations"),
+                  cmp.fetch(ctx, ref, "cold_iterations"))
+        cmp.exact(ctx, "warm_iterations",
+                  cmp.fetch(ctx, entry, "warm_iterations"),
+                  cmp.fetch(ctx, ref, "warm_iterations"))
+    cmp.timing("bundle_suite", "cold_ms",
+               cmp.fetch("fresh bundle_suite", fs, "cold_ms"),
+               cmp.fetch("baseline bundle_suite", bs, "cold_ms"))
+    cmp.timing("bundle_suite", "warm_ms",
+               cmp.fetch("fresh bundle_suite", fs, "warm_ms"),
+               cmp.fetch("baseline bundle_suite", bs, "warm_ms"))
     cmp.notes.append(f"bundle_suite: {matched} comparable mechanisms")
 
 

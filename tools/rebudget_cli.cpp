@@ -30,6 +30,7 @@
 #include "rebudget/core/baselines.h"
 #include "rebudget/core/ep_allocator.h"
 #include "rebudget/core/groups.h"
+#include "rebudget/core/karma_allocator.h"
 #include "rebudget/core/max_efficiency.h"
 #include "rebudget/core/rebudget_allocator.h"
 #include "rebudget/eval/bundle_runner.h"
@@ -64,6 +65,7 @@ struct Options
     uint64_t seed = 42;
     uint32_t bundlesPerCategory = 40;
     std::string faultsSpec; // --faults key=value,... (see faults::FaultPlan)
+    std::string churnSpec;  // --churn key=value,... (see eval::ChurnSpec)
     bool csv = false;
     unsigned jobs = 0; // 0 = REBUDGET_JOBS env or hardware concurrency
     bool warmStart = true;
@@ -88,7 +90,8 @@ usage()
         "  --cores N               machine size for --bundle (default:\n"
         "                          number of apps; multiple of 4)\n"
         "  --mechanism NAME        EqualShare | EqualBudget | Balanced |\n"
-        "                          EP | MaxEfficiency | ReBudget-<step>\n"
+        "                          EP | MaxEfficiency | Karma |\n"
+        "                          ReBudget-<step>\n"
         "  --step X                ReBudget step (with mechanism\n"
         "                          ReBudget)\n"
         "  --ef-target Y           ReBudget fairness-SLA mode\n"
@@ -107,6 +110,19 @@ usage()
         "                          'noise', 'liar', 'corrupt-grid'.\n"
         "                          Applies to --sweep, --noise-sweep and\n"
         "                          --sim; seeded from --seed\n"
+        "  --churn SPEC            replay bundles as dynamic-roster\n"
+        "                          scenarios with tenant arrivals and\n"
+        "                          departures: comma-separated key=value\n"
+        "                          knobs (epochs, join, leave,\n"
+        "                          min-players, max-players, seed), e.g.\n"
+        "                          'epochs=12,join=0.2,leave=0.2'.  Runs\n"
+        "                          the whole suite (or --bundle) under\n"
+        "                          EqualShare, EqualBudget, ReBudget and\n"
+        "                          the credit-banking Karma mechanism,\n"
+        "                          reporting per-epoch means plus\n"
+        "                          time-integrated fairness (lifetime\n"
+        "                          EF, cumulative MUR/MBR); composes\n"
+        "                          with --faults\n"
         "  --noise-sweep           run the bundle sweep at fault levels\n"
         "                          0, 0.25, 0.5, 0.75, 1.0 of the\n"
         "                          --faults spec and report the\n"
@@ -129,7 +145,7 @@ usage()
         "                          (sweep iterations, warm/cold starts,\n"
         "                          fail-safe trips, timers) as a\n"
         "                          schema-stable JSON object\n"
-        "                          (rebudget.solver_stats.v2; the noise\n"
+        "                          (rebudget.solver_stats.v3; the noise\n"
         "                          sweep emits rebudget.noise_sweep.v1)\n";
 }
 
@@ -261,6 +277,8 @@ makeMechanism(const Options &opt)
         return std::make_unique<core::EpAllocator>();
     if (m == "MaxEfficiency")
         return std::make_unique<core::MaxEfficiencyAllocator>();
+    if (m == "Karma")
+        return std::make_unique<core::KarmaAllocator>();
     if (m.rfind("ReBudget", 0) == 0) {
         double step = opt.step;
         const auto dash = m.find('-');
@@ -664,6 +682,139 @@ runNoiseSweep(const Options &opt, const faults::FaultPlan &plan)
     return 0;
 }
 
+/**
+ * --churn: replay the bundle suite (or one --bundle) as dynamic-roster
+ * scenarios.  The mechanism set swaps the MaxEfficiency oracle (whose
+ * hill climb would dominate the multi-epoch runtime) for the
+ * credit-banking Karma mechanism, whose whole point is roster churn.
+ */
+int
+runChurnCli(const Options &opt, const faults::FaultPlan &plan)
+{
+    const auto parsed_spec = eval::ChurnSpec::parse(opt.churnSpec);
+    if (!parsed_spec.ok()) {
+        util::fatal("bad --churn spec: %s",
+                    parsed_spec.status().toString().c_str());
+    }
+    const eval::ChurnSpec spec = parsed_spec.value();
+
+    std::vector<workloads::Bundle> bundles;
+    if (!opt.bundle.empty()) {
+        const auto catalog = workloads::classifyCatalog();
+        const uint32_t cores = opt.cores ? opt.cores : 8;
+        bundles.push_back(workloads::bundleByName(catalog, opt.bundle,
+                                                  cores, opt.seed));
+    } else {
+        bundles = sweepBundles(opt);
+    }
+
+    core::EqualShareAllocator equal_share;
+    core::EqualBudgetAllocator equal_budget;
+    core::ReBudgetAllocator rb20 = core::ReBudgetAllocator::withStep(20);
+    core::ReBudgetAllocator rb40 = core::ReBudgetAllocator::withStep(40);
+    core::KarmaAllocator karma;
+
+    eval::BundleRunnerOptions ropts;
+    ropts.jobs = opt.jobs;
+    ropts.marketConfig.warmStart = opt.warmStart;
+    ropts.faultPlan = plan;
+    const eval::BundleRunner runner(
+        {&equal_share, &equal_budget, &rb20, &rb40, &karma}, ropts);
+    const auto evals = runner.runChurn(bundles, spec);
+    const size_t n_mech = runner.mechanismNames().size();
+
+    std::cout << "churn: " << spec.describe() << "\n\n";
+    util::TablePrinter t({"bundle", "category", "mechanism", "mean_eff",
+                          "mean_EF", "lifetime_EF", "cum_MUR", "cum_MBR",
+                          "joined", "departed", "migrated"});
+    std::vector<util::SummaryStats> eff_stats(n_mech), ef_stats(n_mech);
+    std::vector<util::SummaryStats> life_stats(n_mech);
+    std::vector<util::SummaryStats> mur_stats(n_mech), mbr_stats(n_mech);
+    for (const auto &ev : evals) {
+        if (ev.skipped)
+            continue;
+        for (size_t m = 0; m < ev.results.size(); ++m) {
+            const auto &res = ev.results[m];
+            t.addRow({ev.bundle, workloads::categoryName(ev.category),
+                      res.mechanism,
+                      util::formatDouble(res.meanEfficiency, 3),
+                      util::formatDouble(res.meanEnvyFreeness, 3),
+                      util::formatDouble(res.lifetimeEnvyFreeness, 3),
+                      util::formatDouble(res.cumulativeMur, 2),
+                      util::formatDouble(res.cumulativeMbr, 3),
+                      std::to_string(res.stats.tenantsJoined),
+                      std::to_string(res.stats.tenantsDeparted),
+                      std::to_string(res.stats.migratedWarmSeeds)});
+            eff_stats[m].add(res.meanEfficiency);
+            ef_stats[m].add(res.meanEnvyFreeness);
+            life_stats[m].add(res.lifetimeEnvyFreeness);
+            mur_stats[m].add(res.cumulativeMur);
+            mbr_stats[m].add(res.cumulativeMbr);
+        }
+    }
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    const std::int64_t skipped =
+        static_cast<std::int64_t>(std::count_if(
+            evals.begin(), evals.end(),
+            [](const eval::ChurnEvaluation &ev) { return ev.skipped; }));
+    const auto churn_stats =
+        eval::aggregateChurnStats(evals, runner.mechanismNames());
+
+    util::TablePrinter s({"mechanism", "mean_eff", "mean_EF",
+                          "worst_lifetime_EF", "mean_cum_MUR",
+                          "mean_cum_MBR", "converged_bundles",
+                          "karma_donors", "karma_borrowers"});
+    for (size_t m = 0; m < n_mech; ++m) {
+        s.addRow({runner.mechanismNames()[m],
+                  util::formatDouble(eff_stats[m].mean(), 3),
+                  util::formatDouble(ef_stats[m].mean(), 3),
+                  util::formatDouble(life_stats[m].min(), 3),
+                  util::formatDouble(mur_stats[m].mean(), 2),
+                  util::formatDouble(mbr_stats[m].mean(), 3),
+                  std::to_string(churn_stats[m].bundlesConverged) + "/" +
+                      std::to_string(churn_stats[m].bundlesEvaluated),
+                  std::to_string(churn_stats[m].stats.karmaDonors),
+                  std::to_string(churn_stats[m].stats.karmaBorrowers)});
+    }
+    std::cout << "\n";
+    if (opt.csv)
+        s.printCsv(std::cout);
+    else
+        s.print(std::cout);
+    if (skipped > 0) {
+        std::cout << "\n" << skipped << " of " << evals.size()
+                  << " bundles skipped (see warnings above)\n";
+    }
+
+    eval::SweepFaultStats fault_agg;
+    if (plan.enabled()) {
+        for (const auto &ev : evals) {
+            if (ev.injectionStats.total() > 0)
+                fault_agg.bundlesFaulted += 1;
+            fault_agg.injected.merge(ev.injectionStats);
+            fault_agg.hardening.merge(ev.hardeningStats);
+        }
+        std::cout << "\nfaults (" << plan.describe() << "): "
+                  << fault_agg.bundlesFaulted << " bundles faulted, "
+                  << fault_agg.injected.liarPlayers << " liars, "
+                  << fault_agg.hardening.sanitizedGrids
+                  << " grids sanitized, "
+                  << fault_agg.hardening.repairedCurves
+                  << " curves repaired\n";
+    }
+    if (opt.statsJson) {
+        std::cout << eval::sweepStatsJson(
+                         churn_stats, skipped,
+                         plan.enabled() ? &fault_agg : nullptr)
+                  << "\n";
+    }
+    return 0;
+}
+
 int
 runSim(const Options &opt, ProfileSource &source,
        const std::vector<std::string> &apps,
@@ -760,7 +911,7 @@ main(int argc, char **argv)
                 return listApps();
             } else if (arg == "--list-mechanisms") {
                 std::cout << "EqualShare EqualBudget Balanced EP "
-                             "MaxEfficiency ReBudget-<step>\n";
+                             "MaxEfficiency Karma ReBudget-<step>\n";
                 return 0;
             } else if (arg == "--apps") {
                 opt.apps = splitCsv(next());
@@ -793,6 +944,8 @@ main(int argc, char **argv)
                     parseUnsignedArg(arg, next()));
             } else if (arg == "--faults") {
                 opt.faultsSpec = next();
+            } else if (arg == "--churn") {
+                opt.churnSpec = next();
             } else if (arg == "--jobs") {
                 opt.jobs = static_cast<unsigned>(
                     parseUnsignedArg(arg, next()));
@@ -838,13 +991,15 @@ main(int argc, char **argv)
             }
             plan = parsed.value();
         }
+        if (!opt.churnSpec.empty())
+            return runChurnCli(opt, plan);
         if (opt.noiseSweep)
             return runNoiseSweep(opt, plan);
         if (opt.sweep)
             return runSweep(opt, plan);
         if (plan.enabled() && !opt.sim) {
-            util::fatal("--faults requires --sweep, --noise-sweep, or "
-                        "--sim");
+            util::fatal("--faults requires --sweep, --noise-sweep, "
+                        "--churn, or --sim");
         }
         ProfileSource source(opt);
         std::vector<std::string> apps = opt.apps;
