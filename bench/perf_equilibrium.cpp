@@ -38,14 +38,28 @@
  * Part C pins the flattened solver's memory contract: after a sizing
  * pass, repeated warm solves through findEquilibriumInto with a reused
  * SolveWorkspace and ping-ponged result slots must perform ZERO heap
- * allocations (counted by this binary's own operator new override) --
- * the benchmark aborts otherwise -- and the per-sweep cost
+ * allocations (counted by this binary's own operator new override,
+ * including the align_val_t overloads the 64-byte Matrix buffers go
+ * through) -- the benchmark aborts otherwise -- and the per-sweep cost
  * (nanoseconds per bidding-pricing sweep) is reported per market size.
+ *
+ * Part D is the scaling sweep (ISSUE 7): the same synthetic budget walk
+ * at 1k/10k/100k players, measured in three solver modes per size --
+ * "hill_climb_scalar" (SIMD kernels disabled: the pre-PR reference
+ * path, whose solve/sweep/update-step counters must reproduce the
+ * committed BENCH_scaling_prepr.json capture exactly), "hill_climb"
+ * (SIMD on, bit-identical numerics by the util::simd lane-per-column
+ * contract, so the counters must not move), and "best_response"
+ * (MarketConfig::bestResponse: closed-form price-anticipating replies,
+ * one gradient call per player per sweep).  Every mode inherits Part
+ * C's zero-allocation contract and aborts on violation.
  *
  * Output: a human-readable summary on stdout and a JSON artifact
  * (default BENCH_market.json; see EXPERIMENTS.md).
  *
- * Flags: --smoke (tiny configuration for CI), --out PATH, --jobs N.
+ * Flags: --smoke (tiny configuration for CI; scaling runs 1k only),
+ * --scaling-smoke (Part D only at 1k players -- the scaling_smoke
+ * CTest entry), --out PATH, --jobs N.
  */
 
 #include <algorithm>
@@ -61,6 +75,7 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rebudget/core/baselines.h"
@@ -70,6 +85,7 @@
 #include "rebudget/market/utility_model.h"
 #include "rebudget/util/logging.h"
 #include "rebudget/util/rng.h"
+#include "rebudget/util/simd.h"
 #include "rebudget/util/table.h"
 #include "rebudget/workloads/bundles.h"
 
@@ -88,6 +104,18 @@ countedAlloc(std::size_t size)
 {
     g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    void *p = nullptr;
+    if (posix_memalign(&p, align, size ? size : 1) == 0)
         return p;
     throw std::bad_alloc();
 }
@@ -125,6 +153,46 @@ operator delete(void *p, std::size_t) noexcept
 
 void
 operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+// Over-aligned variants: util::Matrix allocates its 64-byte-aligned
+// buffer through ::operator new(size, align_val_t), so the audit must
+// intercept these too or steady-state matrix growth would go uncounted.
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
 {
     std::free(p);
 }
@@ -316,6 +384,144 @@ runSteadyState(size_t players, int reps)
 }
 
 // ---------------------------------------------------------------------
+// Part D: synthetic scaling sweep at 1k-100k players, per solver mode.
+// ---------------------------------------------------------------------
+
+struct ScalingResult
+{
+    size_t players = 0;
+    /** "hill_climb_scalar" | "hill_climb" | "best_response". */
+    std::string mode;
+    int countedSolves = 0;
+    std::int64_t countedAllocs = 0;
+    long sweeps = 0;
+    /** Hill-climb steps, or best-response moved-player count. */
+    std::int64_t updateSteps = 0;
+    double nsPerSweep = 0.0;
+    double usPerSolve = 0.0;
+};
+
+/**
+ * One scaling measurement: the Part C loop (sizing pass, then counted
+ * warm reps over the 12-round budget walk) at `players` scale in the
+ * given solver mode.  The scalar mode's counters reproduce the pre-PR
+ * kernel exactly (see BENCH_scaling_prepr.json); the SIMD mode must
+ * match them bit-for-bit; best_response has its own deterministic
+ * counters.  All modes abort on any steady-state heap allocation.
+ */
+ScalingResult
+runScaling(size_t players, int reps, const std::string &mode)
+{
+    const bool simd_on = mode != "hill_climb_scalar";
+    const bool best_response = mode == "best_response";
+    const bool simd_before = util::simd::enabled();
+    util::simd::setEnabled(simd_on);
+
+    const SyntheticProblem p = makeSynthetic(players, 42);
+    market::MarketConfig cfg;
+    cfg.warmStart = true;
+    cfg.bestResponse = best_response;
+    const market::ProportionalMarket mkt(p.models, p.capacities, cfg);
+    const auto walk = budgetWalk(players, 12);
+
+    market::SolveWorkspace ws;
+    market::EquilibriumResult slots[2];
+    int cur = 0;
+    const market::EquilibriumResult *prior = nullptr;
+    for (const auto &budgets : walk) {
+        market::EquilibriumResult *eq = &slots[cur];
+        cur ^= 1;
+        mkt.findEquilibriumInto(budgets, prior, ws, *eq);
+        prior = eq;
+    }
+
+    ScalingResult out;
+    out.players = players;
+    out.mode = mode;
+    const std::int64_t a0 =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    const double t0 = nowMs();
+    for (int rep = 0; rep < reps; ++rep) {
+        for (const auto &budgets : walk) {
+            market::EquilibriumResult *eq = &slots[cur];
+            cur ^= 1;
+            mkt.findEquilibriumInto(budgets, prior, ws, *eq);
+            prior = eq;
+            out.sweeps += eq->iterations;
+            out.updateSteps += eq->hillClimbSteps;
+            ++out.countedSolves;
+        }
+    }
+    const double elapsed_ms = nowMs() - t0;
+    out.countedAllocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - a0;
+    out.nsPerSweep =
+        out.sweeps > 0 ? elapsed_ms * 1e6 / out.sweeps : 0.0;
+    out.usPerSolve = out.countedSolves > 0
+                         ? elapsed_ms * 1e3 / out.countedSolves
+                         : 0.0;
+    util::simd::setEnabled(simd_before);
+    if (out.countedAllocs != 0) {
+        util::fatal("scaling contract violated: %lld heap allocations "
+                    "across %d warm solves at %zu players (mode %s, "
+                    "expected 0)",
+                    static_cast<long long>(out.countedAllocs),
+                    out.countedSolves, players, mode.c_str());
+    }
+    return out;
+}
+
+/** Part D over the full size/mode grid; smoke runs 1k players only. */
+std::vector<ScalingResult>
+runScalingSweep(bool smoke, util::TablePrinter &table)
+{
+    // Reps are fixed per size (not per smoke mode): the 1k rows of a
+    // --smoke or --scaling-smoke run carry the same deterministic
+    // solve/sweep/step counters as the committed full-run baseline, so
+    // tools/bench_compare.py can diff them exactly.
+    const std::vector<std::pair<size_t, int>> plan =
+        smoke ? std::vector<std::pair<size_t, int>>{{1000, 40}}
+              : std::vector<std::pair<size_t, int>>{
+                    {1000, 40}, {10000, 10}, {100000, 4}};
+    const char *modes[] = {"hill_climb_scalar", "hill_climb",
+                           "best_response"};
+    std::vector<ScalingResult> rows;
+    for (const auto &[players, reps] : plan) {
+        for (const char *mode : modes) {
+            const ScalingResult s = runScaling(players, reps, mode);
+            table.addRow({std::to_string(s.players), s.mode,
+                          std::to_string(s.countedSolves),
+                          std::to_string(s.countedAllocs),
+                          std::to_string(s.sweeps),
+                          std::to_string(s.updateSteps),
+                          util::formatDouble(s.nsPerSweep, 1),
+                          util::formatDouble(s.usPerSolve, 2)});
+            rows.push_back(s);
+        }
+    }
+    return rows;
+}
+
+void
+appendScalingJson(std::ostringstream &js,
+                  const std::vector<ScalingResult> &rows)
+{
+    js << "  \"scaling\": [\n";
+    for (size_t k = 0; k < rows.size(); ++k) {
+        const auto &s = rows[k];
+        js << "    {\"players\": " << s.players << ", \"mode\": \""
+           << s.mode << "\", \"solves\": " << s.countedSolves
+           << ", \"counted_allocs\": " << s.countedAllocs
+           << ", \"sweeps\": " << s.sweeps
+           << ", \"update_steps\": " << s.updateSteps
+           << ", \"ns_per_sweep\": " << util::formatDouble(s.nsPerSweep, 1)
+           << ", \"us_per_solve\": " << util::formatDouble(s.usPerSolve, 2)
+           << "}" << (k + 1 < rows.size() ? "," : "") << "\n";
+    }
+    js << "  ]";
+}
+
+// ---------------------------------------------------------------------
 // Part B: the Figure 4 bundle suite, warm starts off vs. on.
 // ---------------------------------------------------------------------
 
@@ -472,6 +678,7 @@ void
 writeJson(const std::string &path, bool smoke,
           const std::vector<SyntheticResult> &synthetic,
           const std::vector<SteadyStateResult> &steady,
+          const std::vector<ScalingResult> &scaling,
           const SuiteResult &suite)
 {
     std::ostringstream js;
@@ -508,6 +715,8 @@ writeJson(const std::string &path, bool smoke,
            << "}" << (k + 1 < steady.size() ? "," : "") << "\n";
     }
     js << "  ],\n";
+    appendScalingJson(js, scaling);
+    js << ",\n";
     js << "  \"bundle_suite\": {\n";
     js << "    \"cores\": " << suite.cores << ",\n";
     js << "    \"bundles\": " << suite.bundles << ",\n";
@@ -546,16 +755,36 @@ writeJson(const std::string &path, bool smoke,
     f << js.str();
 }
 
+/** --scaling-smoke artifact: the scaling rows alone. */
+void
+writeScalingJson(const std::string &path,
+                 const std::vector<ScalingResult> &scaling)
+{
+    std::ostringstream js;
+    js << "{\n";
+    js << "  \"benchmark\": \"perf_equilibrium_scaling\",\n";
+    appendScalingJson(js, scaling);
+    js << "\n}\n";
+
+    std::ofstream f(path);
+    if (!f)
+        util::fatal("cannot write %s", path.c_str());
+    f << js.str();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool scaling_only = false;
     std::string out_path = "BENCH_market.json";
     for (int a = 1; a < argc; ++a) {
         if (std::strcmp(argv[a], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[a], "--scaling-smoke") == 0) {
+            scaling_only = true;
         } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
             out_path = argv[++a];
         }
@@ -564,6 +793,20 @@ main(int argc, char **argv)
     if (!jobs_arg.ok())
         util::fatal("%s", jobs_arg.status().message().c_str());
     const unsigned jobs = jobs_arg.value();
+
+    if (scaling_only) {
+        util::printBanner(std::cout,
+                          "Part D: scaling sweep (1k players, "
+                          "scaling-smoke)");
+        util::TablePrinter td({"players", "mode", "solves", "heap allocs",
+                               "sweeps", "update steps", "ns/sweep",
+                               "us/solve"});
+        const auto scaling = runScalingSweep(/*smoke=*/true, td);
+        td.print(std::cout);
+        writeScalingJson(out_path, scaling);
+        std::cout << "wrote " << out_path << "\n";
+        return 0;
+    }
 
     const std::vector<size_t> sizes =
         smoke ? std::vector<size_t>{8} : std::vector<size_t>{8, 16, 64};
@@ -615,6 +858,16 @@ main(int argc, char **argv)
     tc.print(std::cout);
 
     util::printBanner(std::cout,
+                      "Part D: scaling sweep (1k-100k players, "
+                      "per solver mode)");
+    util::TablePrinter td({"players", "mode", "solves", "heap allocs",
+                           "sweeps", "update steps", "ns/sweep",
+                           "us/solve"});
+    const std::vector<ScalingResult> scaling =
+        runScalingSweep(smoke, td);
+    td.print(std::cout);
+
+    util::printBanner(std::cout,
                       "Part B: Figure 4 bundle suite, warm starts "
                       "off vs on");
     const SuiteResult suite = runSuite(suite_cores, per_category, jobs);
@@ -636,7 +889,7 @@ main(int argc, char **argv)
               << util::formatDouble(suite.coldMs, 1) << " ms, warm "
               << util::formatDouble(suite.warmMs, 1) << " ms\n";
 
-    writeJson(out_path, smoke, synthetic, steady, suite);
+    writeJson(out_path, smoke, synthetic, steady, scaling, suite);
     std::cout << "wrote " << out_path << "\n";
     return 0;
 }

@@ -302,15 +302,16 @@ AppUtilityModel::gradient(std::span<const double> alloc,
 {
     REBUDGET_ASSERT(alloc.size() == 2, "expected 2-resource allocation");
     REBUDGET_ASSERT(out.size() == 2, "expected 2-resource gradient");
+    // Straight-line form for the solver hot path: one shared cell
+    // lookup, both axis slopes computed unconditionally, saturation
+    // applied as selects at the end (no early-out branch ladder).
+    // Each output equals what the per-axis branches produced: a
+    // saturated axis publishes literal 0.0, an unsaturated one the
+    // same slope expression over the same cell.
     const double c = minRegions_ + std::max(0.0, alloc[kCache]);
     const double p = minWatts_ + std::max(0.0, alloc[kPower]);
     const bool cache_sat = c >= cacheKnots_.back();
     const bool power_sat = p >= powerKnots_.back();
-    if (cache_sat && power_sat) {
-        out[kCache] = 0.0;
-        out[kPower] = 0.0;
-        return;
-    }
     const double cc = std::clamp(c, cacheKnots_.front(), cacheKnots_.back());
     const double pp = std::clamp(p, powerKnots_.front(), powerKnots_.back());
     const size_t ci = cellIndex(cacheKnots_, cc);
@@ -320,22 +321,18 @@ AppUtilityModel::gradient(std::span<const double> alloc,
     const double u01 = grid_[ci * np + pi + 1];
     const double u10 = grid_[(ci + 1) * np + pi];
     const double u11 = grid_[(ci + 1) * np + pi + 1];
-    if (cache_sat) {
-        out[kCache] = 0.0;
-    } else {
-        const double ty = (pp - powerKnots_[pi]) /
-                          (powerKnots_[pi + 1] - powerKnots_[pi]);
-        const double dx = cacheKnots_[ci + 1] - cacheKnots_[ci];
-        out[kCache] = ((u10 - u00) * (1.0 - ty) + (u11 - u01) * ty) / dx;
-    }
-    if (power_sat) {
-        out[kPower] = 0.0;
-    } else {
-        const double tx = (cc - cacheKnots_[ci]) /
-                          (cacheKnots_[ci + 1] - cacheKnots_[ci]);
-        const double dy = powerKnots_[pi + 1] - powerKnots_[pi];
-        out[kPower] = ((u01 - u00) * (1.0 - tx) + (u11 - u10) * tx) / dy;
-    }
+    const double ty = (pp - powerKnots_[pi]) /
+                      (powerKnots_[pi + 1] - powerKnots_[pi]);
+    const double dx = cacheKnots_[ci + 1] - cacheKnots_[ci];
+    const double slope_c =
+        ((u10 - u00) * (1.0 - ty) + (u11 - u01) * ty) / dx;
+    const double tx = (cc - cacheKnots_[ci]) /
+                      (cacheKnots_[ci + 1] - cacheKnots_[ci]);
+    const double dy = powerKnots_[pi + 1] - powerKnots_[pi];
+    const double slope_p =
+        ((u01 - u00) * (1.0 - tx) + (u11 - u10) * tx) / dy;
+    out[kCache] = cache_sat ? 0.0 : slope_c;
+    out[kPower] = power_sat ? 0.0 : slope_p;
 }
 
 double

@@ -100,6 +100,29 @@ makeBundleProblem(const std::vector<std::string> &app_names,
     return bp;
 }
 
+std::vector<std::string>
+syntheticAppNames(size_t players, uint64_t seed)
+{
+    const auto &profiles = app::catalogProfiles();
+    util::Rng rng = util::Rng::forStream(
+        seed, {util::hashId("synthetic-roster")});
+    std::vector<std::string> names;
+    names.reserve(players);
+    for (size_t i = 0; i < players; ++i)
+        names.push_back(
+            profiles[rng.uniformInt(profiles.size())].params.name);
+    return names;
+}
+
+BundleProblem
+makeSyntheticBundleProblem(size_t players, uint64_t seed,
+                           double regions_per_core, double watts_per_core,
+                           bool convexify)
+{
+    return makeBundleProblem(syntheticAppNames(players, seed),
+                             regions_per_core, watts_per_core, convexify);
+}
+
 MechanismScore
 scoreOutcome(const core::AllocationProblem &problem,
              const core::AllocationOutcome &outcome)

@@ -91,6 +91,30 @@ BundleProblem makeBundleProblem(const std::vector<std::string> &app_names,
                                 double watts_per_core = 10.0,
                                 bool convexify = true);
 
+/**
+ * Deterministic synthetic roster for scaling experiments: `players`
+ * catalog app names drawn uniformly from the 24-app catalog by an RNG
+ * stream keyed only by `seed` (util::Rng::forStream), so the same
+ * (players, seed) pair produces the same roster on every machine and
+ * at any job count.  Used by `rebudget_cli --players` and the scaling
+ * benches to stand up 1k-100k player markets without hand-writing
+ * bundles.
+ */
+std::vector<std::string> syntheticAppNames(size_t players, uint64_t seed);
+
+/**
+ * Build a `players`-core allocation problem from a synthetic roster
+ * (syntheticAppNames(players, seed)) through the catalog overload of
+ * makeBundleProblem().  Because the roster only ever names the 24
+ * catalog apps, the memoized per-(app, convexify) model cache means a
+ * 100k-player problem constructs at most 24 utility models; setup cost
+ * is O(players) pointer copies, not O(players) grid profiles.
+ */
+BundleProblem makeSyntheticBundleProblem(size_t players, uint64_t seed,
+                                         double regions_per_core = 4.0,
+                                         double watts_per_core = 10.0,
+                                         bool convexify = true);
+
 /** Efficiency and fairness of one mechanism on one problem. */
 struct MechanismScore
 {

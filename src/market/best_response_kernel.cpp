@@ -1,0 +1,194 @@
+#include "rebudget/market/best_response_kernel.h"
+
+#include "rebudget/market/bidding.h"
+#include "rebudget/util/logging.h"
+
+/*
+ * Compiled with -mavx2 regardless of the project-wide architecture
+ * flags (see src/market/CMakeLists.txt) so portable builds carry the
+ * fused kernel too; bestResponseDuoAvailable() gates execution on a
+ * runtime CPU check, mirroring how a dispatching libc would.  Keep
+ * everything AVX2-specific inside this translation unit.
+ */
+#if defined(__x86_64__) && defined(__GLIBC__) && defined(__AVX2__)
+#define REBUDGET_BR_DUO 1
+#include <immintrin.h>
+// glibc libmvec's AVX2 4-lane pow, by its vector-ABI mangled name (the
+// same library the 2-lane gradientFast path uses, see
+// utility_model.cpp).  Linked through libm's AS_NEEDED linker script.
+extern "C" __m256d _ZGVdN4vv_pow(__m256d x, __m256d y);
+#endif
+
+namespace rebudget::market {
+
+bool
+bestResponseDuoAvailable()
+{
+#if REBUDGET_BR_DUO
+    static const bool ok = __builtin_cpu_supports("avx2");
+    return ok;
+#else
+    return false;
+#endif
+}
+
+#if REBUDGET_BR_DUO
+
+void
+bestResponseDuo(const double *qa, const double *qb, double budget_a,
+                double budget_b, double *bids_a, double *bids_b,
+                double oa0, double oa1, double ob0, double ob1, double c0,
+                double c1, double damping, double *lambda_a,
+                double *lambda_b, int *steps, double *acc0, double *acc1)
+{
+    // Lane convention: lane 0 = player A, lane 1 = player B, for every
+    // player-wise __m128d below.  The arithmetic tracks
+    // bestResponsePair expression for expression (same association
+    // order) so the two paths agree to the ulps the pow variants
+    // differ by.
+    const __m128d bud = _mm_setr_pd(budget_a, budget_b);
+    const __m128d b0 = _mm_setr_pd(bids_a[0], bids_b[0]);
+    const __m128d b1 = _mm_setr_pd(bids_a[1], bids_b[1]);
+    const __m128d o0 = _mm_setr_pd(oa0, ob0);
+    const __m128d o1 = _mm_setr_pd(oa1, ob1);
+    const __m128d zero = _mm_setzero_pd();
+    const __m128d ones = _mm_set1_pd(1.0);
+    const __m128d kmin = _mm_set1_pd(kMinCompetingBid);
+    const __m128d vc0 = _mm_set1_pd(c0);
+    const __m128d vc1 = _mm_set1_pd(c1);
+
+    const __m128d y0 = _mm_max_pd(o0, kmin);
+    const __m128d y1 = _mm_max_pd(o1, kmin);
+
+    // Proportional shares at the operating point: the caller
+    // guarantees the all-positive fast path, so the combined
+    // reciprocal serves both resources (one divide per player pair).
+    const __m128d t0 = _mm_add_pd(b0, o0);
+    const __m128d t1 = _mm_add_pd(b1, o1);
+    const __m128d inv = _mm_div_pd(ones, _mm_mul_pd(t0, t1));
+    const __m128d op0 =
+        _mm_mul_pd(_mm_mul_pd(_mm_mul_pd(b0, t1), inv), vc0);
+    const __m128d op1 =
+        _mm_mul_pd(_mm_mul_pd(_mm_mul_pd(b1, t0), inv), vc1);
+
+    // Power-law gradient from the hot quads [c, w*e, e-1, 1/c]:
+    // g_j = (w*e) * pow(max(1e-12, op_j / c), e-1) / c with the
+    // divides as reciprocal multiplies, exactly like
+    // PowerLawUtility::gradientFast -- except all four pow lanes ride
+    // one libmvec call.
+    const __m128d ic0 = _mm_setr_pd(qa[3], qb[3]);
+    const __m128d ic1 = _mm_setr_pd(qa[7], qb[7]);
+    const __m128d floor12 = _mm_set1_pd(1e-12);
+    const __m128d x0 = _mm_max_pd(_mm_mul_pd(op0, ic0), floor12);
+    const __m128d x1 = _mm_max_pd(_mm_mul_pd(op1, ic1), floor12);
+    const __m256d x = _mm256_set_m128d(x1, x0);
+    const __m256d e = _mm256_setr_pd(qa[2], qb[2], qa[6], qb[6]);
+    const __m256d p = _ZGVdN4vv_pow(x, e);
+    const __m128d p0 = _mm256_castpd256_pd128(p);
+    const __m128d p1 = _mm256_extractf128_pd(p, 1);
+    const __m128d we0 = _mm_setr_pd(qa[1], qb[1]);
+    const __m128d we1 = _mm_setr_pd(qa[5], qb[5]);
+    const __m128d g0 = _mm_mul_pd(_mm_mul_pd(we0, p0), ic0);
+    const __m128d g1 = _mm_mul_pd(_mm_mul_pd(we1, p1), ic1);
+
+    // Water-fill weights s_j = sqrt(max(g_j, 0) * C_j * y_j); one
+    // packed sqrt covers both players per resource.
+    const __m128d s0 = _mm_sqrt_pd(
+        _mm_mul_pd(_mm_mul_pd(_mm_max_pd(g0, zero), vc0), y0));
+    const __m128d s1 = _mm_sqrt_pd(
+        _mm_mul_pd(_mm_mul_pd(_mm_max_pd(g1, zero), vc1), y1));
+
+    // Branchless water-fill, per lane: order the two resources by
+    // s_j / y_j (cross-multiplied, ties keep resource 0 on top like
+    // the stable generic sort), include the second iff its bid stays
+    // positive under the shared scale.
+    const __m128d hi0 =
+        _mm_cmpge_pd(_mm_mul_pd(s0, y1), _mm_mul_pd(s1, y0));
+    const __m128d sh = _mm_blendv_pd(s1, s0, hi0);
+    const __m128d yh = _mm_blendv_pd(y1, y0, hi0);
+    const __m128d sl = _mm_blendv_pd(s0, s1, hi0);
+    const __m128d yl = _mm_blendv_pd(y0, y1, hi0);
+    const __m128d tot = _mm_add_pd(bud, _mm_add_pd(yh, yl));
+    const __m128d ssum = _mm_add_pd(sh, sl);
+    const __m128d both =
+        _mm_and_pd(_mm_cmpgt_pd(sl, zero),
+                   _mm_cmpgt_pd(_mm_mul_pd(sl, tot),
+                                _mm_mul_pd(yl, ssum)));
+    // A fully saturated player (both s zero) keeps its bids; its lane
+    // divides by 1 instead of sh == 0 so no spurious FP exception is
+    // raised on the masked-out result.
+    const __m128d active =
+        _mm_or_pd(_mm_cmpgt_pd(s0, zero), _mm_cmpgt_pd(s1, zero));
+    const __m128d num = _mm_blendv_pd(_mm_add_pd(bud, yh), tot, both);
+    const __m128d den =
+        _mm_blendv_pd(ones, _mm_blendv_pd(sh, ssum, both), active);
+    const __m128d scale = _mm_div_pd(num, den);
+    const __m128d rh =
+        _mm_max_pd(zero, _mm_sub_pd(_mm_mul_pd(sh, scale), yh));
+    const __m128d rl = _mm_and_pd(
+        both, _mm_max_pd(zero, _mm_sub_pd(_mm_mul_pd(sl, scale), yl)));
+    const __m128d r0 = _mm_blendv_pd(rl, rh, hi0);
+    const __m128d r1 = _mm_blendv_pd(rh, rl, hi0);
+
+    // Damped blend toward the reply; saturated lanes stay put exactly,
+    // so the moved test below is false for them automatically.
+    const __m128d vdamp = _mm_set1_pd(damping);
+    const __m128d n0 = _mm_blendv_pd(
+        b0, _mm_add_pd(b0, _mm_mul_pd(vdamp, _mm_sub_pd(r0, b0))),
+        active);
+    const __m128d n1 = _mm_blendv_pd(
+        b1, _mm_add_pd(b1, _mm_mul_pd(vdamp, _mm_sub_pd(r1, b1))),
+        active);
+    const __m128d moved =
+        _mm_or_pd(_mm_cmpneq_pd(n0, b0), _mm_cmpneq_pd(n1, b1));
+    *steps += __builtin_popcount(
+        static_cast<unsigned>(_mm_movemask_pd(moved)));
+
+    // Published lambdas at the new bids: grad * dr/db with the two
+    // divides folded into one combined reciprocal, matching
+    // bestResponsePair's publish.
+    const __m128d pb0 = _mm_max_pd(n0, zero);
+    const __m128d pb1 = _mm_max_pd(n1, zero);
+    __m128d d0 = _mm_add_pd(pb0, y0);
+    d0 = _mm_mul_pd(d0, d0);
+    __m128d d1 = _mm_add_pd(pb1, y1);
+    d1 = _mm_mul_pd(d1, d1);
+    const __m128d inv_d = _mm_div_pd(ones, _mm_mul_pd(d0, d1));
+    const __m128d l0 = _mm_mul_pd(
+        g0, _mm_mul_pd(_mm_mul_pd(_mm_mul_pd(vc0, y0), d1), inv_d));
+    const __m128d l1 = _mm_mul_pd(
+        g1, _mm_mul_pd(_mm_mul_pd(_mm_mul_pd(vc1, y1), d0), inv_d));
+    const __m128d lam = _mm_max_pd(l0, l1);
+
+    // Publish: new bids in place, per-resource delta accumulators (the
+    // block's frozen-sum advance), per-player lambdas.
+    double nb0[2], nb1[2], dl0[2], dl1[2], lv[2];
+    _mm_storeu_pd(nb0, n0);
+    _mm_storeu_pd(nb1, n1);
+    _mm_storeu_pd(dl0, _mm_sub_pd(n0, b0));
+    _mm_storeu_pd(dl1, _mm_sub_pd(n1, b1));
+    _mm_storeu_pd(lv, lam);
+    bids_a[0] = nb0[0];
+    bids_a[1] = nb1[0];
+    bids_b[0] = nb0[1];
+    bids_b[1] = nb1[1];
+    *acc0 += dl0[0] + dl0[1];
+    *acc1 += dl1[0] + dl1[1];
+    *lambda_a = lv[0];
+    *lambda_b = lv[1];
+}
+
+#else // !REBUDGET_BR_DUO
+
+void
+bestResponseDuo(const double *, const double *, double, double, double *,
+                double *, double, double, double, double, double, double,
+                double, double *, double *, int *, double *, double *)
+{
+    util::fatal("bestResponseDuo called on a build without the fused "
+                "kernel (bestResponseDuoAvailable() is false)");
+}
+
+#endif // REBUDGET_BR_DUO
+
+} // namespace rebudget::market

@@ -1,0 +1,83 @@
+#ifndef REBUDGET_MARKET_BEST_RESPONSE_KERNEL_H_
+#define REBUDGET_MARKET_BEST_RESPONSE_KERNEL_H_
+
+/**
+ * @file
+ * Fused two-player best-response kernel (AVX2 + glibc libmvec).
+ *
+ * The block-Jacobi best-response sweep (see findEquilibriumInto) makes
+ * every player inside a block reply to the SAME frozen column sums, so
+ * consecutive players are fully independent -- which is exactly the
+ * shape a lane-per-player SIMD kernel wants.  This kernel executes two
+ * complete m == 2 replies (bestResponsePair in bidding.h) at once:
+ * both players' proportional shares, the utility gradients, the
+ * water-filling inclusion test, the damped blend and the published
+ * lambdas all run lane-parallel, and the four pow() evaluations the
+ * two gradients need ride ONE 4-lane libmvec call (_ZGVdN4vv_pow),
+ * which costs about as much as a single 2-lane call.  At 100k players
+ * the pow pair is the scalar reply's single biggest cost, so pairing
+ * players roughly halves it.
+ *
+ * Numerical contract: the kernel makes the same decisions as
+ * bestResponsePair (same inclusion logic, same clamps, same blend) but
+ * is NOT bit-identical to it -- the 4-lane libmvec pow and the 2-lane
+ * variant the scalar reply uses may differ in the last ulp (both are
+ * within glibc's 4-ulp bound of correctly rounded).  Agreement is
+ * ~1e-15 relative, far inside the market's price tolerance;
+ * tests/market/simd_kernel_test pins it.  Results are deterministic:
+ * lane assignment is fixed by player order, so the same roster and
+ * budgets always produce the same bytes.
+ *
+ * Unlike util/simd.h's bit-identical kernels this one lives in its own
+ * translation unit compiled with -mavx2 (src/market/CMakeLists.txt)
+ * and is guarded at runtime by a CPU check, so portable builds still
+ * carry it and sanitizer CI still executes it.  It honors the same
+ * util::simd runtime toggle as the rest of the SIMD surface, which is
+ * how the equivalence tests drive the scalar and fused paths from one
+ * binary.
+ */
+
+namespace rebudget::market {
+
+/**
+ * @return true when the fused kernel is compiled in (x86-64 glibc
+ * build) and the host CPU supports AVX2.  Cheap after the first call;
+ * callers hoist it per solve anyway.  Does NOT consult the
+ * util::simd::enabled() toggle -- the market combines both.
+ */
+bool bestResponseDuoAvailable();
+
+/**
+ * Two damped m == 2 best-response replies, lane-parallel.
+ *
+ * Players A and B must both satisfy the scalar fast path's
+ * preconditions, checked by the caller because it has the scalars at
+ * hand: budget > 0, both current bids > 0 and both competing bids > 0
+ * (the steady state of every converging market), and a hot-quad block
+ * from UtilityModel::hotQuads().
+ *
+ * @param qa, qb            per-player hot quads [c, w*e, e-1, 1/c] x 2
+ *                          resources (UtilityModel::hotQuads())
+ * @param budget_a, budget_b  player budgets (> 0)
+ * @param bids_a, bids_b    in: current bids (2 each, > 0); out: the
+ *                          damped replies
+ * @param oa0..ob1          competing bids y_ij per player/resource (> 0)
+ * @param c0, c1            market resource capacities
+ * @param damping           blend factor in (0, 1]
+ * @param lambda_a, lambda_b  out: each player's published lambda_i
+ * @param steps             += number of players whose bids moved (0-2)
+ * @param acc0, acc1        += both players' bid deltas per resource
+ *                          (the block's column-sum advance)
+ *
+ * Must only be called when bestResponseDuoAvailable() is true.
+ */
+void bestResponseDuo(const double *qa, const double *qb, double budget_a,
+                     double budget_b, double *bids_a, double *bids_b,
+                     double oa0, double oa1, double ob0, double ob1,
+                     double c0, double c1, double damping,
+                     double *lambda_a, double *lambda_b, int *steps,
+                     double *acc0, double *acc1);
+
+} // namespace rebudget::market
+
+#endif // REBUDGET_MARKET_BEST_RESPONSE_KERNEL_H_

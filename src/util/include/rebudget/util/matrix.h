@@ -21,10 +21,20 @@
  * Rows are iterable (ranged-for yields spans) and indexable
  * (m[i][j], m(i, j), m.row(i)), mirroring the nested-vector idioms the
  * rest of the codebase grew up with.
+ *
+ * Alignment contract: the backing buffer is 64-byte aligned (one full
+ * cache line, and wide enough for any current vector ISA), so the
+ * explicit SIMD kernels in util/simd.h can stream the flat buffer
+ * without a misaligned head.  Row pointers beyond row 0 are aligned
+ * only when cols()*sizeof(T) is a multiple of the alignment; the
+ * kernels therefore use unaligned loads (free on aligned addresses)
+ * and the contract buys cache-line-clean buffer starts, not per-row
+ * alignment.
  */
 
 #include <cstddef>
 #include <initializer_list>
+#include <new>
 #include <ostream>
 #include <span>
 #include <vector>
@@ -32,6 +42,57 @@
 #include "rebudget/util/logging.h"
 
 namespace rebudget::util {
+
+/** Buffer alignment of Matrix, in bytes (see the file comment). */
+inline constexpr size_t kMatrixAlignment = 64;
+
+/**
+ * Minimal std::allocator drop-in returning storage aligned to `Align`
+ * bytes.  Goes through the aligned global operator new/delete so
+ * allocation-counting harnesses (bench/perf_equilibrium) and
+ * sanitizers still see every matrix allocation.
+ */
+template <typename T, size_t Align>
+struct AlignedAllocator
+{
+    static_assert((Align & (Align - 1)) == 0, "alignment must be 2^k");
+    static_assert(Align >= alignof(T), "alignment below alignof(T)");
+
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *allocate(size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+    void deallocate(T *p, size_t n)
+    {
+        ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+    }
+
+    friend bool operator==(const AlignedAllocator &,
+                           const AlignedAllocator &)
+    {
+        return true;
+    }
+    friend bool operator!=(const AlignedAllocator &,
+                           const AlignedAllocator &)
+    {
+        return false;
+    }
+};
 
 /** Row-major dense matrix on one contiguous buffer. */
 template <typename T>
@@ -226,7 +287,7 @@ class Matrix
   private:
     size_t rows_ = 0;
     size_t cols_ = 0;
-    std::vector<T> data_;
+    std::vector<T, AlignedAllocator<T, kMatrixAlignment>> data_;
 };
 
 /** Human-readable dump (test failure messages). */

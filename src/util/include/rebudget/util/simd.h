@@ -1,0 +1,82 @@
+#ifndef REBUDGET_UTIL_SIMD_H_
+#define REBUDGET_UTIL_SIMD_H_
+
+/**
+ * @file
+ * Explicit SIMD kernels for the equilibrium hot path, with a scalar
+ * fallback that is the kernels' semantic definition.
+ *
+ * The market engine spends its O(n*m) time in two shapes of loop over
+ * the flat row-major bid matrix (util::Matrix): per-resource column
+ * sums (the price engine) and the elementwise bid/price division that
+ * materializes the proportional allocation.  Both are dispatched here.
+ *
+ * Bit-identity contract: every kernel in this header produces results
+ * BIT-IDENTICAL to its scalar fallback, in every dispatch tier.
+ *
+ * - columnSums accumulates each column in ascending row order -- the
+ *   solver's canonical summation order.  The SSE2 tier exploits that a
+ *   two-resource row occupies exactly one 128-bit vector (and a
+ *   four-resource row one 256-bit vector on AVX2 builds), so one
+ *   vector accumulator carries every column's scalar dependency chain
+ *   in its own lane: the additions reassociate NOTHING and the sums
+ *   match the scalar loop to the last ulp.  Column counts that do not
+ *   fill a vector exactly fall back to the scalar loop rather than
+ *   reassociate across rows.
+ * - allocationFromPrices is purely elementwise (one division and one
+ *   compare per entry), so any lane width is exact; wider tiers only
+ *   batch more rows per iteration.
+ *
+ * This is what lets the vectorized path run by default under the
+ * reference-solver bit-identity pin (tests/market/reference_solver_test
+ * and the fig04 counters in BENCH_market.json).
+ *
+ * Runtime dispatch: kernels honor a process-wide enable flag
+ * (default on; env REBUDGET_SIMD=0/off disables at startup) so the
+ * equivalence tests and bench/perf_equilibrium's scaling section can
+ * measure the scalar path from the same binary.  The flag is a relaxed
+ * atomic: toggling is test/bench-only, never racing a solve.
+ */
+
+#include <cstddef>
+
+namespace rebudget::util::simd {
+
+/** @return true when an explicit SIMD tier is compiled in (SSE2 or
+ * AVX2); false means every kernel is the scalar fallback. */
+bool compiledIn();
+
+/** @return the active instruction tier: "avx2", "sse2" or "scalar". */
+const char *activeIsa();
+
+/** @return whether kernels currently dispatch to the SIMD tiers. */
+bool enabled();
+
+/**
+ * Toggle SIMD dispatch at runtime (tests, benchmarks).  Not meant to
+ * be flipped concurrently with running solves: the flag is read once
+ * per kernel call, so a mid-solve flip would mix tiers (harmless for
+ * results -- both tiers are bit-identical -- but meaningless for
+ * timing).
+ */
+void setEnabled(bool on);
+
+/**
+ * Per-column sums of an n x m row-major matrix, accumulated per column
+ * in ascending row order: out[j] = data[0*m+j] + data[1*m+j] + ...
+ * `out` must hold m elements; it is fully overwritten.
+ */
+void columnSums(const double *data, size_t n, size_t m, double *out);
+
+/**
+ * Proportional allocation from published prices, elementwise over an
+ * n x m row-major matrix:
+ *   alloc[i*m+j] = prices[j] > 0 ? bids[i*m+j] / prices[j] : 0.0
+ * `alloc` may alias `bids`; `prices` holds m elements.
+ */
+void allocationFromPrices(const double *bids, size_t n, size_t m,
+                          const double *prices, double *alloc);
+
+} // namespace rebudget::util::simd
+
+#endif // REBUDGET_UTIL_SIMD_H_

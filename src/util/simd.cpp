@@ -1,0 +1,226 @@
+#include "rebudget/util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define REBUDGET_SIMD_SSE2 1
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define REBUDGET_SIMD_AVX2 1
+#endif
+
+namespace rebudget::util::simd {
+
+namespace {
+
+bool
+envEnabled()
+{
+    const char *v = std::getenv("REBUDGET_SIMD");
+    if (v == nullptr)
+        return true;
+    return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+             std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool> g_enabled{envEnabled()};
+
+/** Scalar fallback: the semantic definition of columnSums. */
+void
+columnSumsScalar(const double *data, size_t n, size_t m, double *out)
+{
+    for (size_t j = 0; j < m; ++j)
+        out[j] = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double *row = data + i * m;
+        for (size_t j = 0; j < m; ++j)
+            out[j] += row[j];
+    }
+}
+
+/** Scalar fallback: the semantic definition of allocationFromPrices. */
+void
+allocationFromPricesScalar(const double *bids, size_t n, size_t m,
+                           const double *prices, double *alloc)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const double *b = bids + i * m;
+        double *a = alloc + i * m;
+        for (size_t j = 0; j < m; ++j)
+            a[j] = prices[j] > 0.0 ? b[j] / prices[j] : 0.0;
+    }
+}
+
+#if REBUDGET_SIMD_SSE2
+
+/**
+ * Two-resource column sums: one 128-bit accumulator whose lanes ARE the
+ * two columns, added in ascending row order -- the exact scalar
+ * dependency chains, so the result is bit-identical to the fallback.
+ */
+void
+columnSumsSse2M2(const double *data, size_t n, double *out)
+{
+    __m128d acc = _mm_setzero_pd();
+    for (size_t i = 0; i < n; ++i)
+        acc = _mm_add_pd(acc, _mm_loadu_pd(data + 2 * i));
+    _mm_storeu_pd(out, acc);
+}
+
+/**
+ * Two-resource allocation rows: q = b / p per lane, lanes with p <= 0
+ * masked to +0.0 bitwise.  Elementwise, hence exact.
+ */
+void
+allocationFromPricesSse2M2(const double *bids, size_t n,
+                           const double *prices, double *alloc)
+{
+    const __m128d pv = _mm_loadu_pd(prices);
+    const __m128d pos = _mm_cmpgt_pd(pv, _mm_setzero_pd());
+    for (size_t i = 0; i < n; ++i) {
+        const __m128d b = _mm_loadu_pd(bids + 2 * i);
+        const __m128d q = _mm_div_pd(b, pv);
+        _mm_storeu_pd(alloc + 2 * i, _mm_and_pd(q, pos));
+    }
+}
+
+#endif // REBUDGET_SIMD_SSE2
+
+#if REBUDGET_SIMD_AVX2
+
+/** Four-resource column sums: one 256-bit accumulator, one lane per
+ * column, ascending row order -- bit-identical to the fallback. */
+void
+columnSumsAvx2M4(const double *data, size_t n, double *out)
+{
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t i = 0; i < n; ++i)
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(data + 4 * i));
+    _mm256_storeu_pd(out, acc);
+}
+
+/** Two-resource allocation, two rows per 256-bit vector (elementwise,
+ * so batching rows cannot change any value); odd tail row via SSE2. */
+void
+allocationFromPricesAvx2M2(const double *bids, size_t n,
+                           const double *prices, double *alloc)
+{
+    const __m256d pv = _mm256_setr_pd(prices[0], prices[1], prices[0],
+                                      prices[1]);
+    const __m256d pos = _mm256_cmp_pd(pv, _mm256_setzero_pd(),
+                                      _CMP_GT_OQ);
+    const size_t pairs = n / 2;
+    for (size_t k = 0; k < pairs; ++k) {
+        const __m256d b = _mm256_loadu_pd(bids + 4 * k);
+        const __m256d q = _mm256_div_pd(b, pv);
+        _mm256_storeu_pd(alloc + 4 * k, _mm256_and_pd(q, pos));
+    }
+    if (n & 1)
+        allocationFromPricesSse2M2(bids + 4 * pairs, 1, prices,
+                                   alloc + 4 * pairs);
+}
+
+/** Four-resource allocation: one row per 256-bit vector. */
+void
+allocationFromPricesAvx2M4(const double *bids, size_t n,
+                           const double *prices, double *alloc)
+{
+    const __m256d pv = _mm256_loadu_pd(prices);
+    const __m256d pos = _mm256_cmp_pd(pv, _mm256_setzero_pd(),
+                                      _CMP_GT_OQ);
+    for (size_t i = 0; i < n; ++i) {
+        const __m256d b = _mm256_loadu_pd(bids + 4 * i);
+        const __m256d q = _mm256_div_pd(b, pv);
+        _mm256_storeu_pd(alloc + 4 * i, _mm256_and_pd(q, pos));
+    }
+}
+
+#endif // REBUDGET_SIMD_AVX2
+
+} // namespace
+
+bool
+compiledIn()
+{
+#if REBUDGET_SIMD_SSE2 || REBUDGET_SIMD_AVX2
+    return true;
+#else
+    return false;
+#endif
+}
+
+const char *
+activeIsa()
+{
+    if (!enabled())
+        return "scalar";
+#if REBUDGET_SIMD_AVX2
+    return "avx2";
+#elif REBUDGET_SIMD_SSE2
+    return "sse2";
+#else
+    return "scalar";
+#endif
+}
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+columnSums(const double *data, size_t n, size_t m, double *out)
+{
+    if (enabled()) {
+#if REBUDGET_SIMD_SSE2
+        if (m == 2) {
+            columnSumsSse2M2(data, n, out);
+            return;
+        }
+#endif
+#if REBUDGET_SIMD_AVX2
+        if (m == 4) {
+            columnSumsAvx2M4(data, n, out);
+            return;
+        }
+#endif
+    }
+    columnSumsScalar(data, n, m, out);
+}
+
+void
+allocationFromPrices(const double *bids, size_t n, size_t m,
+                     const double *prices, double *alloc)
+{
+    if (enabled()) {
+#if REBUDGET_SIMD_AVX2
+        if (m == 2) {
+            allocationFromPricesAvx2M2(bids, n, prices, alloc);
+            return;
+        }
+        if (m == 4) {
+            allocationFromPricesAvx2M4(bids, n, prices, alloc);
+            return;
+        }
+#elif REBUDGET_SIMD_SSE2
+        if (m == 2) {
+            allocationFromPricesSse2M2(bids, n, prices, alloc);
+            return;
+        }
+#endif
+    }
+    allocationFromPricesScalar(bids, n, m, prices, alloc);
+}
+
+} // namespace rebudget::util::simd

@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Kernel-equivalence suite for the vectorized equilibrium path.
+ *
+ * Three tiers of guarantee, each pinned here:
+ *
+ * 1. The util::simd primitives (columnSums, allocationFromPrices) and
+ *    the hill-climb solver built on them are BIT-IDENTICAL with SIMD
+ *    dispatch on and off -- on the fig04 bundle suite and on 1k/10k
+ *    synthetic rosters, cold, warm-chained and rescaled.  This is the
+ *    contract that lets the SIMD path run by default under the
+ *    reference-solver bit pins.
+ *
+ * 2. The fused two-player AVX2 best-response kernel (which batches
+ *    four libmvec pow lanes and therefore does NOT promise bitwise
+ *    identity with the scalar reply) agrees with the scalar
+ *    best-response path to 1e-12 relative over fixed-sweep solves.
+ *
+ * 3. The closed-form best-response solver and the hill climb converge
+ *    to the same market equilibrium (same prices and allocations to
+ *    solver tolerance) -- they are two routes to one fixed point, not
+ *    two different markets.
+ */
+
+#include "rebudget/util/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/market/best_response_kernel.h"
+#include "rebudget/market/bidding.h"
+#include "rebudget/market/market.h"
+#include "rebudget/market/utility_model.h"
+#include "rebudget/util/matrix.h"
+#include "rebudget/util/rng.h"
+#include "rebudget/workloads/bundles.h"
+
+namespace rebudget::market {
+namespace {
+
+/**
+ * The scaling benches' synthetic market: power-law players with
+ * random weights/exponents.  Smooth and strictly concave, and
+ * PowerLawUtility publishes hotQuads() -- the regime where the fused
+ * best-response kernel actually engages (catalog AppUtilityModels are
+ * piecewise-linear and have no hot quads, so they take the scalar
+ * reply in both dispatch modes).
+ */
+struct PowerLawProblem
+{
+    std::vector<std::unique_ptr<PowerLawUtility>> owned;
+    std::vector<const UtilityModel *> models;
+    std::vector<double> capacities;
+};
+
+PowerLawProblem
+makePowerLawProblem(size_t players, uint64_t seed)
+{
+    util::Rng rng(seed);
+    PowerLawProblem p;
+    p.capacities = {players * 3.0, players * 9.0};
+    for (size_t i = 0; i < players; ++i) {
+        p.owned.push_back(std::make_unique<PowerLawUtility>(
+            std::vector<double>{rng.uniform(0.1, 1.0),
+                                rng.uniform(0.1, 1.0)},
+            std::vector<double>{rng.uniform(0.2, 1.0),
+                                rng.uniform(0.2, 1.0)},
+            p.capacities));
+        p.models.push_back(p.owned.back().get());
+    }
+    return p;
+}
+
+/** RAII toggle so a failing test cannot leak SIMD-off into the rest
+ * of the binary. */
+class SimdGuard
+{
+  public:
+    explicit SimdGuard(bool on) : prev_(util::simd::enabled())
+    {
+        util::simd::setEnabled(on);
+    }
+    ~SimdGuard() { util::simd::setEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
+std::vector<workloads::Bundle>
+fig04Suite()
+{
+    const auto catalog = workloads::classifyCatalog();
+    return workloads::generateAllBundles(catalog, 8, 2, 2016);
+}
+
+/** Cold + three warm-chained rounds + one rescale, into `out` (5 slots). */
+void
+solveChain(const ProportionalMarket &mkt, size_t n, SolveWorkspace &ws,
+           EquilibriumResult *out)
+{
+    std::vector<double> budgets(n, 100.0);
+    mkt.findEquilibriumInto(budgets, nullptr, ws, out[0]);
+    ASSERT_TRUE(out[0].status.ok());
+    for (int round = 0; round < 3; ++round) {
+        budgets[round % n] *= 0.8;
+        mkt.findEquilibriumInto(budgets, &out[round], ws, out[round + 1]);
+        ASSERT_TRUE(out[round + 1].status.ok());
+    }
+    budgets[0] *= 0.995;
+    mkt.rescaleEquilibriumInto(out[3], budgets, ws, out[4]);
+    ASSERT_TRUE(out[4].status.ok());
+}
+
+void
+expectBitIdentical(const EquilibriumResult &a, const EquilibriumResult &b,
+                   const std::string &context)
+{
+    EXPECT_EQ(a.iterations, b.iterations) << context;
+    EXPECT_EQ(a.converged, b.converged) << context;
+    EXPECT_EQ(a.prices, b.prices) << context;
+    EXPECT_EQ(a.lambdas, b.lambdas) << context;
+    EXPECT_EQ(a.bids, b.bids) << context;
+    EXPECT_EQ(a.alloc, b.alloc) << context;
+}
+
+double
+maxRelDiff(const util::Matrix<double> &a, const util::Matrix<double> &b)
+{
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.cols(), b.cols());
+    double worst = 0.0;
+    const double *pa = a.data();
+    const double *pb = b.data();
+    for (size_t k = 0; k < a.rows() * a.cols(); ++k) {
+        const double scale =
+            std::max({1.0, std::abs(pa[k]), std::abs(pb[k])});
+        worst = std::max(worst, std::abs(pa[k] - pb[k]) / scale);
+    }
+    return worst;
+}
+
+double
+maxRelDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double worst = 0.0;
+    for (size_t k = 0; k < a.size(); ++k) {
+        const double scale = std::max({1.0, std::abs(a[k]), std::abs(b[k])});
+        worst = std::max(worst, std::abs(a[k] - b[k]) / scale);
+    }
+    return worst;
+}
+
+TEST(SimdKernels, PrimitivesBitIdenticalToScalarFallback)
+{
+    // Deterministic but irregular data; every column count from 1 to 6
+    // so each dispatch tier (SSE2 m==2, AVX2 m==4, scalar otherwise)
+    // and every fallback edge is crossed.
+    for (size_t m = 1; m <= 6; ++m) {
+        for (size_t n : {size_t(1), size_t(3), size_t(17), size_t(256)}) {
+            std::vector<double> bids(n * m);
+            for (size_t k = 0; k < bids.size(); ++k)
+                bids[k] = 0.25 + 1e-3 * static_cast<double>((k * 2654435761u) % 977);
+
+            std::vector<double> sums_simd(m), sums_scalar(m);
+            std::vector<double> prices(m);
+            {
+                SimdGuard g(true);
+                util::simd::columnSums(bids.data(), n, m, sums_simd.data());
+            }
+            {
+                SimdGuard g(false);
+                util::simd::columnSums(bids.data(), n, m,
+                                       sums_scalar.data());
+            }
+            EXPECT_EQ(sums_simd, sums_scalar) << "n=" << n << " m=" << m;
+
+            for (size_t j = 0; j < m; ++j)
+                prices[j] = (j == 0 && m > 1) ? 0.0 : sums_scalar[j] / 8.0;
+            std::vector<double> alloc_simd(n * m), alloc_scalar(n * m);
+            {
+                SimdGuard g(true);
+                util::simd::allocationFromPrices(bids.data(), n, m,
+                                                 prices.data(),
+                                                 alloc_simd.data());
+            }
+            {
+                SimdGuard g(false);
+                util::simd::allocationFromPrices(bids.data(), n, m,
+                                                 prices.data(),
+                                                 alloc_scalar.data());
+            }
+            EXPECT_EQ(alloc_simd, alloc_scalar) << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(SimdKernels, HillClimbBitIdenticalOnFig04Suite)
+{
+    const auto bundles = fig04Suite();
+    ASSERT_FALSE(bundles.empty());
+    SolveWorkspace ws_on, ws_off;
+    for (const auto &bundle : bundles) {
+        const eval::BundleProblem bp =
+            eval::makeBundleProblem(bundle.appNames);
+        const ProportionalMarket mkt(bp.problem.models,
+                                     bp.problem.capacities,
+                                     bp.problem.marketConfig);
+        EquilibriumResult on[5], off[5];
+        {
+            SimdGuard g(true);
+            solveChain(mkt, bp.problem.models.size(), ws_on, on);
+        }
+        {
+            SimdGuard g(false);
+            solveChain(mkt, bp.problem.models.size(), ws_off, off);
+        }
+        for (int s = 0; s < 5; ++s)
+            expectBitIdentical(on[s], off[s],
+                               bundle.name + " slot " + std::to_string(s));
+    }
+}
+
+TEST(SimdKernels, HillClimbBitIdenticalOnSyntheticRosters)
+{
+    // The 1k/10k regime the scaling work targets; bitwise identity is
+    // strictly stronger than the 1e-12 the contract asks for.
+    for (size_t players : {size_t(1000), size_t(10000)}) {
+        const eval::BundleProblem bp =
+            eval::makeSyntheticBundleProblem(players, 42);
+        const ProportionalMarket mkt(bp.problem.models,
+                                     bp.problem.capacities,
+                                     bp.problem.marketConfig);
+        SolveWorkspace ws;
+        EquilibriumResult on[5], off[5];
+        {
+            SimdGuard g(true);
+            solveChain(mkt, players, ws, on);
+        }
+        {
+            SimdGuard g(false);
+            solveChain(mkt, players, ws, off);
+        }
+        for (int s = 0; s < 5; ++s)
+            expectBitIdentical(on[s], off[s],
+                               std::to_string(players) + " players, slot " +
+                                   std::to_string(s));
+    }
+}
+
+TEST(SimdKernels, BestResponseDuoMatchesScalarPairKernel)
+{
+    // Function-level equivalence: the fused two-player kernel against
+    // the scalar reply it replaces, same inputs, 1e-12 agreement on
+    // every output (bids, lambdas, step counter, column-sum deltas).
+    // The duo batches pow four lanes wide via libmvec, so bitwise
+    // identity is out of contract; 1e-12 is the promise.
+    if (!bestResponseDuoAvailable())
+        GTEST_SKIP() << "fused AVX2 kernel not available on this host";
+    const PowerLawProblem p = makePowerLawProblem(64, 7);
+    util::Rng rng(11);
+    const double c0 = p.capacities[0], c1 = p.capacities[1];
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto *ma =
+            static_cast<const PowerLawUtility *>(p.models[trial % 64]);
+        const auto *mb =
+            static_cast<const PowerLawUtility *>(p.models[(trial + 1) % 64]);
+        const double budget_a = rng.uniform(1.0, 200.0);
+        const double budget_b = rng.uniform(1.0, 200.0);
+        double ba[2] = {rng.uniform(0.01, budget_a),
+                        rng.uniform(0.01, budget_a)};
+        double bb[2] = {rng.uniform(0.01, budget_b),
+                        rng.uniform(0.01, budget_b)};
+        // Competing bids span tiny to dominant.
+        const double oa0 = rng.uniform(1e-6, 50.0 * 64);
+        const double oa1 = rng.uniform(1e-6, 50.0 * 64);
+        const double ob0 = oa0 + ba[0], ob1 = oa1 + ba[1];
+        const double damping = 0.25;
+
+        const BestResponsePairReply ra = bestResponsePair(
+            *ma, budget_a, ba[0], ba[1], oa0, oa1, c0, c1, damping);
+        const BestResponsePairReply rb = bestResponsePair(
+            *mb, budget_b, bb[0], bb[1], ob0, ob1, c0, c1, damping);
+
+        double da[2] = {ba[0], ba[1]}, db[2] = {bb[0], bb[1]};
+        double lam_a = -1.0, lam_b = -1.0, acc0 = 0.0, acc1 = 0.0;
+        int steps = 0;
+        bestResponseDuo(ma->hotQuads(), mb->hotQuads(), budget_a, budget_b,
+                        da, db, oa0, oa1, ob0, ob1, c0, c1, damping,
+                        &lam_a, &lam_b, &steps, &acc0, &acc1);
+
+        const double tol = 1e-12;
+        auto rel = [](double x, double y) {
+            return std::abs(x - y) / std::max({1.0, std::abs(x),
+                                               std::abs(y)});
+        };
+        EXPECT_LE(rel(da[0], ra.b0), tol) << trial;
+        EXPECT_LE(rel(da[1], ra.b1), tol) << trial;
+        EXPECT_LE(rel(db[0], rb.b0), tol) << trial;
+        EXPECT_LE(rel(db[1], rb.b1), tol) << trial;
+        EXPECT_LE(rel(lam_a, ra.lambda), tol) << trial;
+        EXPECT_LE(rel(lam_b, rb.lambda), tol) << trial;
+        EXPECT_EQ(steps, ra.steps + rb.steps) << trial;
+        EXPECT_LE(rel(acc0, (ra.b0 - ba[0]) + (rb.b0 - bb[0])), tol)
+            << trial;
+        EXPECT_LE(rel(acc1, (ra.b1 - ba[1]) + (rb.b1 - bb[1])), tol)
+            << trial;
+    }
+}
+
+TEST(SimdKernels, BestResponseDuoWithin1e12OfScalarReplySolves)
+{
+    // Solve-level equivalence on the scaling benches' synthetic
+    // market: cold, warm and rescaled solves with the duo kernel on
+    // vs. off must agree to 1e-12 on every published artifact.
+    //
+    // Two measurement subtleties, both deliberate:
+    // - priceTol is zeroed and the sweep count fixed, so a last-ulp
+    //   pow difference cannot stop the two runs at different sweeps
+    //   and turn the loose convergence tolerance into the gap.
+    // - each phase starts from a COMMON prior (produced by the scalar
+    //   path) rather than chaining each mode on its own history.  The
+    //   per-reply gap is ~1e-15, but the sweep map amplifies
+    //   perturbations along the market's ill-conditioned bid
+    //   direction (~2-3x per sweep), so an unbounded chain compounds
+    //   kernel noise into solver-trajectory divergence and stops
+    //   measuring the kernel (~1e-10 after five sweeps at 10k).  Two
+    //   sweeps from a shared state keep the comparison about the
+    //   kernel itself with margin.
+    if (!bestResponseDuoAvailable())
+        GTEST_SKIP() << "fused AVX2 kernel not available on this host";
+    for (size_t players : {size_t(1000), size_t(10000)}) {
+        const PowerLawProblem p = makePowerLawProblem(players, 42);
+        MarketConfig cfg;
+        cfg.bestResponse = true;
+        cfg.priceTol = 0.0;
+        cfg.maxIterations = 2;
+        const ProportionalMarket mkt(p.models, p.capacities, cfg);
+        SolveWorkspace ws;
+
+        // Common prior for the warm and rescale phases: a scalar-path
+        // solve from equal budgets.
+        std::vector<double> budgets(players, 100.0);
+        EquilibriumResult prior;
+        {
+            SimdGuard g(false);
+            mkt.findEquilibriumInto(budgets, nullptr, ws, prior);
+            ASSERT_TRUE(prior.status.ok());
+        }
+        std::vector<double> cut = budgets;
+        for (size_t i = 0; i < players; i += 3)
+            cut[i] *= 0.8;
+        std::vector<double> nudged = cut;
+        nudged[0] *= 0.995;
+
+        struct Phase
+        {
+            const char *name;
+            bool rescale;
+            const std::vector<double> *b;
+        };
+        const Phase phases[] = {{"cold", false, &budgets},
+                                {"warm", false, &cut},
+                                {"rescale", true, &nudged}};
+        for (const Phase &ph : phases) {
+            EquilibriumResult duo, scalar;
+            {
+                SimdGuard g(true); // duo kernel on
+                if (ph.rescale)
+                    mkt.rescaleEquilibriumInto(prior, *ph.b, ws, duo);
+                else
+                    mkt.findEquilibriumInto(
+                        *ph.b, ph.b == &budgets ? nullptr : &prior, ws,
+                        duo);
+            }
+            {
+                SimdGuard g(false); // scalar bestResponsePair
+                if (ph.rescale)
+                    mkt.rescaleEquilibriumInto(prior, *ph.b, ws, scalar);
+                else
+                    mkt.findEquilibriumInto(
+                        *ph.b, ph.b == &budgets ? nullptr : &prior, ws,
+                        scalar);
+            }
+            const std::string ctx =
+                std::to_string(players) + " players, " + ph.name;
+            ASSERT_TRUE(duo.status.ok()) << ctx;
+            ASSERT_TRUE(scalar.status.ok()) << ctx;
+            EXPECT_EQ(duo.iterations, scalar.iterations) << ctx;
+            EXPECT_LE(maxRelDiff(duo.bids, scalar.bids), 1e-12) << ctx;
+            EXPECT_LE(maxRelDiff(duo.alloc, scalar.alloc), 1e-12) << ctx;
+            EXPECT_LE(maxRelDiff(duo.prices, scalar.prices), 1e-12) << ctx;
+            EXPECT_LE(maxRelDiff(duo.lambdas, scalar.lambdas), 1e-12)
+                << ctx;
+        }
+    }
+}
+
+TEST(SimdKernels, BestResponseAgreesWithHillClimbEquilibrium)
+{
+    // Two solvers, one market: the closed-form best response and the
+    // hill climb must price the same market the same way.  The
+    // well-posed observables are MARKET-level: prices, marginal
+    // utility of money (lambda), and total utility.  Per-player bid
+    // splits are deliberately NOT compared -- with near-linear
+    // exponents the equilibrium bid profile is ill-conditioned (even
+    // the hill climb re-run warm from its own answer moves individual
+    // bids at the percent level while prices stay put), so bids are
+    // not an invariant of the game, only prices and welfare are.
+    // Matched tight tolerance for both solvers: the damped
+    // block-Jacobi best response takes many more (much cheaper)
+    // sweeps than the Gauss-Seidel hill climb to polish per-player
+    // splits, so at the default bench tolerance its welfare lags a
+    // few percent; given the sweep budget, both land on the same
+    // prices and welfare.  Convergence is asserted only for the hill
+    // climb: the best response chatters below priceTol~1e-5 in the
+    // ill-conditioned bid direction without the market observables
+    // moving, which is exactly why those observables (not the
+    // converged bit, not per-player bids) are the contract.
+    for (size_t players : {size_t(64), size_t(1000)}) {
+        const PowerLawProblem p = makePowerLawProblem(players, 42);
+        MarketConfig hc_cfg;
+        hc_cfg.priceTol = 1e-6;
+        hc_cfg.maxIterations = 500;
+        MarketConfig br_cfg = hc_cfg;
+        br_cfg.bestResponse = true;
+        const ProportionalMarket hc(p.models, p.capacities, hc_cfg);
+        const ProportionalMarket br(p.models, p.capacities, br_cfg);
+        const std::vector<double> budgets(players, 100.0);
+        const EquilibriumResult a = hc.findEquilibrium(budgets);
+        const EquilibriumResult b = br.findEquilibrium(budgets);
+        ASSERT_TRUE(a.status.ok());
+        ASSERT_TRUE(b.status.ok());
+        EXPECT_TRUE(a.converged);
+        const std::string ctx = std::to_string(players) + " players";
+        EXPECT_LE(maxRelDiff(a.prices, b.prices), 1e-2) << ctx;
+        EXPECT_LE(maxRelDiff(a.lambdas, b.lambdas), 1e-2) << ctx;
+
+        double util_hc = 0.0, util_br = 0.0;
+        std::vector<double> xa(2), xb(2);
+        for (size_t i = 0; i < players; ++i) {
+            xa = {a.alloc(i, 0), a.alloc(i, 1)};
+            xb = {b.alloc(i, 0), b.alloc(i, 1)};
+            util_hc += p.models[i]->utility(xa);
+            util_br += p.models[i]->utility(xb);
+        }
+        EXPECT_NEAR(util_br, util_hc, 0.01 * util_hc) << ctx;
+    }
+}
+
+TEST(SimdKernels, MatrixBufferIs64ByteAligned)
+{
+    for (size_t rows : {size_t(1), size_t(7), size_t(1000)}) {
+        util::Matrix<double> m(rows, 2, 1.0);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) %
+                      util::kMatrixAlignment,
+                  0u)
+            << rows << " rows";
+        m.resize(rows + 3, 4);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) %
+                      util::kMatrixAlignment,
+                  0u)
+            << rows << " rows after resize";
+    }
+}
+
+TEST(SimdKernels, SyntheticRosterDeterministicAndModelCacheShared)
+{
+    const auto a = eval::syntheticAppNames(1000, 7);
+    const auto b = eval::syntheticAppNames(1000, 7);
+    const auto c = eval::syntheticAppNames(1000, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+
+    // The memoized per-(app, convexify) cache: a 1000-player problem
+    // must hold at most one model instance per catalog app.
+    const eval::BundleProblem bp = eval::makeSyntheticBundleProblem(1000, 7);
+    ASSERT_EQ(bp.problem.models.size(), 1000u);
+    std::set<const UtilityModel *> distinct(bp.problem.models.begin(),
+                                            bp.problem.models.end());
+    EXPECT_LE(distinct.size(), 24u);
+
+    const eval::BundleProblem again =
+        eval::makeSyntheticBundleProblem(1000, 7);
+    for (size_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(bp.problem.models[i], again.problem.models[i]) << i;
+}
+
+} // namespace
+} // namespace rebudget::market

@@ -16,7 +16,21 @@ runs used the same suite shape.
 
 Usage:
     bench_compare.py FRESH.json [--baseline BENCH_market.json]
-                     [--timing-band 10.0]
+                     [--time-band 10.0]
+                     [--prechange BENCH_scaling_prepr.json
+                      [--min-speedup 2.0]]
+
+The timing tolerance band can also be set via the REBUDGET_BENCH_BAND
+environment variable so noisy CI machines widen it without forking the
+invocation; an explicit --time-band beats the environment.  Counters
+are exact regardless of the band.
+
+--prechange compares the fresh scaling section's best_response rows
+against the committed PRE-change scalar kernel capture
+(BENCH_scaling_prepr.json): it prints the ns/sweep speedup per size
+and, when --min-speedup is given, fails if any size at >= 1000 players
+comes in under it.  This is how the ">= 2x at 1k+ players" acceptance
+line is checked from a committed artifact instead of a transient run.
 
 Exit status 0 when every comparable counter matches (at least one
 section must be comparable), 1 otherwise.
@@ -24,6 +38,7 @@ section must be comparable), 1 otherwise.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -210,6 +225,93 @@ def compare_suite(cmp, fresh, base):
     cmp.notes.append(f"bundle_suite: {matched} comparable mechanisms")
 
 
+def compare_scaling(cmp, fresh, base):
+    """Part D rows, keyed by (players, mode).  A smoke run carries only
+    the 1k rows; they still diff exactly against the full baseline
+    because perf_equilibrium fixes reps per size, not per smoke mode."""
+    base_idx = index_by(cmp, "baseline scaling",
+                        base.get("scaling", []), "players", "mode")
+    matched = 0
+    for pos, entry in enumerate(fresh.get("scaling", [])):
+        ctx0 = f"fresh scaling[{pos}]"
+        key = (cmp.fetch(ctx0, entry, "players"),
+               cmp.fetch(ctx0, entry, "mode"))
+        if None in key:
+            continue
+        ref = base_idx.get(key)
+        if ref is None:
+            continue
+        matched += 1
+        ctx = f"scaling players={key[0]} mode={key[1]}"
+        # The zero-allocation contract is absolute at every scale and
+        # in every mode, not just baseline-relative.
+        allocs = cmp.fetch(ctx, entry, "counted_allocs")
+        cmp.exact(ctx, "counted_allocs", allocs, 0)
+        for counter in ("solves", "sweeps", "update_steps"):
+            cmp.exact(ctx, counter, cmp.fetch(ctx, entry, counter),
+                      cmp.fetch(ctx, ref, counter))
+        cmp.timing(ctx, "ns_per_sweep",
+                   cmp.fetch(ctx, entry, "ns_per_sweep"),
+                   cmp.fetch(ctx, ref, "ns_per_sweep"))
+        cmp.timing(ctx, "us_per_solve",
+                   cmp.fetch(ctx, entry, "us_per_solve"),
+                   cmp.fetch(ctx, ref, "us_per_solve"))
+    cmp.notes.append(f"scaling: {matched} comparable entr"
+                     f"{'y' if matched == 1 else 'ies'}")
+
+
+def check_speedup(cmp, fresh, prepr, min_speedup):
+    """Fresh best_response ns/sweep vs the committed pre-change scalar
+    kernel capture, per player count.  Informational unless
+    --min-speedup is given."""
+    pre_idx = index_by(cmp, "prechange scaling",
+                       prepr.get("scaling", []), "players", "mode")
+    seen = 0
+    for entry in fresh.get("scaling", []):
+        if entry.get("mode") != "best_response":
+            continue
+        players = entry.get("players")
+        ref = pre_idx.get((players, "hill_climb_scalar"))
+        if ref is None:
+            continue
+        pre_ns = ref.get("ns_per_sweep")
+        new_ns = entry.get("ns_per_sweep")
+        if not pre_ns or not new_ns:
+            continue
+        seen += 1
+        speedup = pre_ns / new_ns
+        cmp.notes.append(
+            f"speedup players={players}: {pre_ns:.0f} -> {new_ns:.0f} "
+            f"ns/sweep ({speedup:.2f}x vs pre-change scalar)")
+        if (min_speedup is not None and players >= 1000
+                and speedup < min_speedup):
+            cmp.errors.append(
+                f"scaling players={players}: best_response speedup "
+                f"{speedup:.2f}x below required {min_speedup}x")
+    if seen == 0:
+        cmp.errors.append(
+            "prechange comparison requested but no overlapping "
+            "(players, best_response) rows were found")
+
+
+def resolve_band(args):
+    """--time-band beats REBUDGET_BENCH_BAND beats the 10x default."""
+    if args.time_band is not None:
+        return args.time_band
+    env = os.environ.get("REBUDGET_BENCH_BAND")
+    if env is not None:
+        try:
+            band = float(env)
+            if band <= 1.0:
+                raise ValueError
+            return band
+        except ValueError:
+            print(f"FAIL: REBUDGET_BENCH_BAND={env!r} is not a "
+                  f"ratio > 1")
+            sys.exit(1)
+    return 10.0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="diff a fresh perf_equilibrium JSON against the "
@@ -217,17 +319,34 @@ def main():
     ap.add_argument("fresh", help="fresh perf_equilibrium output")
     ap.add_argument("--baseline", default="BENCH_market.json",
                     help="committed baseline (default: BENCH_market.json)")
-    ap.add_argument("--timing-band", type=float, default=10.0,
+    ap.add_argument("--time-band", "--timing-band", type=float,
+                    default=None, dest="time_band",
                     help="allowed wall-clock ratio in either direction "
-                         "(default: 10x; counters are always exact)")
+                         "(default: REBUDGET_BENCH_BAND env, else 10x; "
+                         "counters are always exact)")
+    ap.add_argument("--prechange", default=None,
+                    help="committed pre-change scalar scaling capture "
+                         "(BENCH_scaling_prepr.json) to report "
+                         "best_response speedups against")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="with --prechange: fail if any >= 1k-player "
+                         "best_response row is below this ns/sweep "
+                         "speedup (default: informational only)")
     args = ap.parse_args()
 
     fresh = load(args.fresh)
     base = load(args.baseline)
-    cmp = Comparison(args.timing_band)
+    cmp = Comparison(resolve_band(args))
     compare_synthetic(cmp, fresh, base)
     compare_steady_state(cmp, fresh, base)
     compare_suite(cmp, fresh, base)
+    compare_scaling(cmp, fresh, base)
+    if args.prechange is not None:
+        check_speedup(cmp, fresh, load(args.prechange),
+                      args.min_speedup)
+    elif args.min_speedup is not None:
+        print("FAIL: --min-speedup requires --prechange")
+        return 1
 
     for note in cmp.notes:
         print(note)
@@ -242,7 +361,7 @@ def main():
               f"{cmp.checked_counters} counters checked")
         return 1
     print(f"OK: {cmp.checked_counters} counters match "
-          f"(timing band {args.timing_band}x)")
+          f"(timing band {cmp.band}x)")
     return 0
 
 

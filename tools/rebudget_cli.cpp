@@ -70,6 +70,8 @@ struct Options
     unsigned jobs = 0; // 0 = REBUDGET_JOBS env or hardware concurrency
     bool warmStart = true;
     bool statsJson = false; // --stats json
+    size_t players = 0;     // --players N synthetic-scale mode (0 = off)
+    bool bestResponse = false; // --best-response on
 };
 
 void
@@ -86,6 +88,21 @@ usage()
         "  --threads k1,k2,...     thread count per app: replicate each\n"
         "                          app over k cores and allocate at\n"
         "                          application granularity\n"
+        "  --players N             synthetic-scale mode: run the\n"
+        "                          mechanism on an N-player market\n"
+        "                          whose roster is drawn from the app\n"
+        "                          catalog deterministically from\n"
+        "                          --seed (same N and seed => same\n"
+        "                          problem on every machine).  Prints a\n"
+        "                          summary instead of the per-core\n"
+        "                          table; large-n solves become\n"
+        "                          reproducible from the CLI without\n"
+        "                          the perf preset\n"
+        "  --best-response on|off  solve equilibria with the closed-\n"
+        "                          form price-anticipating best\n"
+        "                          response instead of the hill climb\n"
+        "                          (default off; the 10k-100k player\n"
+        "                          regime wants 'on')\n"
         "  --bundle CAT-NN         run a generated bundle, e.g. BBPN-03\n"
         "  --cores N               machine size for --bundle (default:\n"
         "                          number of apps; multiple of 4)\n"
@@ -324,6 +341,7 @@ runAnalytic(const Options &opt, ProfileSource &source,
     const auto &models = bp.models;
     core::AllocationProblem &problem = bp.problem;
     problem.marketConfig.warmStart = opt.warmStart;
+    problem.marketConfig.bestResponse = opt.bestResponse;
 
     const auto mechanism = makeMechanism(opt);
     core::AllocationOutcome out;
@@ -354,6 +372,7 @@ runAnalytic(const Options &opt, ProfileSource &source,
         eval::BundleProblem per_core =
             eval::makeBundleProblem(per_core_apps, lookup);
         per_core.problem.marketConfig.warmStart = opt.warmStart;
+        per_core.problem.marketConfig.bestResponse = opt.bestResponse;
         const core::GroupedProblem grouped =
             core::makeGroupedProblem(per_core.problem, groups);
         if (!grouped.status.ok())
@@ -449,6 +468,67 @@ runAnalytic(const Options &opt, ProfileSource &source,
         }
     }
     std::cout << solveHealthNote(out.converged, out.stats.failSafeTrips)
+              << "\n";
+    if (opt.statsJson)
+        printOutcomeStatsJson(out);
+    return 0;
+}
+
+/**
+ * --players N: allocate a deterministic synthetic N-player market
+ * (eval::makeSyntheticBundleProblem) and print a summary.  The roster
+ * names only catalog apps, so the memoized model cache keeps setup at
+ * O(N) pointer copies; the per-core table is deliberately skipped --
+ * at 100k players it would be noise, and the summary metrics are what
+ * a scaling experiment reads.
+ */
+int
+runSyntheticScale(const Options &opt)
+{
+    eval::BundleProblem bp =
+        eval::makeSyntheticBundleProblem(opt.players, opt.seed);
+    bp.problem.marketConfig.warmStart = opt.warmStart;
+    bp.problem.marketConfig.bestResponse = opt.bestResponse;
+    const auto mechanism = makeMechanism(opt);
+    const double t0 = util::monotonicSeconds();
+    const core::AllocationOutcome out = mechanism->allocate(bp.problem);
+    const double seconds = util::monotonicSeconds() - t0;
+    if (!out.status.ok()) {
+        util::fatal("allocation failed: %s",
+                    out.status.toString().c_str());
+    }
+
+    util::TablePrinter t({"players", "mechanism", "solver", "seed",
+                          "efficiency", "envy_freeness", "seconds"});
+    t.addRow({std::to_string(opt.players), out.mechanism,
+              opt.bestResponse ? "best_response" : "hill_climb",
+              std::to_string(opt.seed),
+              util::formatDouble(
+                  market::efficiency(bp.problem.models, out.alloc), 4),
+              util::formatDouble(
+                  market::envyFreeness(bp.problem.models, out.alloc),
+                  4),
+              util::formatDouble(seconds, 3)});
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    std::cout << "\n" << opt.players << " players";
+    if (!out.lambdas.empty()) {
+        if (const auto mur = market::marketUtilityRange(out.lambdas);
+            mur.ok()) {
+            std::cout << ", MUR " << util::formatDouble(mur.value(), 2);
+        }
+    }
+    if (!out.budgets.empty()) {
+        if (const auto mbr = market::marketBudgetRange(out.budgets);
+            mbr.ok()) {
+            std::cout << ", MBR " << util::formatDouble(mbr.value(), 2);
+        }
+    }
+    std::cout << solveHealthNote(out.converged,
+                                 out.stats.failSafeTrips)
               << "\n";
     if (opt.statsJson)
         printOutcomeStatsJson(out);
@@ -922,6 +1002,18 @@ main(int argc, char **argv)
                     opt.threads.push_back(static_cast<uint32_t>(
                         parseUnsignedArg("--threads", tok)));
                 }
+            } else if (arg == "--players") {
+                opt.players = parseUnsignedArg(arg, next());
+            } else if (arg == "--best-response") {
+                const std::string v = next();
+                if (v == "on")
+                    opt.bestResponse = true;
+                else if (v == "off")
+                    opt.bestResponse = false;
+                else
+                    util::fatal("--best-response needs 'on' or 'off', "
+                                "got '%s'",
+                                v.c_str());
             } else if (arg == "--bundle") {
                 opt.bundle = next();
             } else if (arg == "--cores") {
@@ -990,6 +1082,16 @@ main(int argc, char **argv)
                             parsed.status().toString().c_str());
             }
             plan = parsed.value();
+        }
+        if (opt.players > 0) {
+            if (!opt.apps.empty() || !opt.bundle.empty() || opt.sim ||
+                opt.sweep || opt.noiseSweep || !opt.churnSpec.empty()) {
+                util::fatal("--players is a standalone synthetic-scale "
+                            "mode; it does not combine with --apps, "
+                            "--bundle, --sim, --sweep, --noise-sweep "
+                            "or --churn");
+            }
+            return runSyntheticScale(opt);
         }
         if (!opt.churnSpec.empty())
             return runChurnCli(opt, plan);
