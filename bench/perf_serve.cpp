@@ -1,0 +1,320 @@
+/**
+ * perf_serve -- closed-loop throughput bench for the serving stack.
+ *
+ * Stands up an in-process serve::ServerCore (the exact engine behind
+ * rebudgetd, no sockets), populates it with --markets independent
+ * catalog-app markets spread over --shards shards, then drives epoch
+ * ticks with deterministic per-tick demand perturbations and measures
+ * sustained tick and solve throughput.
+ *
+ * Like bench/perf_equilibrium, this binary overrides operator new --
+ * here bumping a THREAD-LOCAL counter wired into
+ * serve::ServeConfig::allocCounter, so each shard samples exactly the
+ * allocations made by its own tick body (which runs on a single
+ * thread-pool worker).  After the warm-up ticks the bench enforces the
+ * serving-path contract and exits fatally on violation:
+ *
+ *  - steady_tick_allocs == 0 on every shard (warm-start chains plus
+ *    workspace reuse mean the tick path never touches the heap), and
+ *  - zero cold-started solves during the measured window (every market
+ *    re-solves from its previous equilibrium).
+ *
+ * Output: one rebudget.perf_serve.v1 JSON object on stdout.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/serve/server_core.h"
+#include "rebudget/util/arg_parse.h"
+#include "rebudget/util/logging.h"
+#include "rebudget/util/rng.h"
+#include "rebudget/util/solver_stats.h"
+
+// ---------------------------------------------------------------------
+// Thread-local heap allocation counter.  Each serve::Shard::tick runs
+// on one thread and samples the hook before/after, so the delta it
+// sees is precisely its own tick body's allocations -- concurrent
+// shards on other workers never pollute it.
+// ---------------------------------------------------------------------
+
+namespace {
+thread_local std::int64_t t_heap_allocs = 0;
+
+std::int64_t
+threadAllocCount()
+{
+    return t_heap_allocs;
+}
+
+void *
+countedAlloc(std::size_t size)
+{
+    t_heap_allocs += 1;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    t_heap_allocs += 1;
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    void *p = nullptr;
+    if (posix_memalign(&p, align, size ? size : 1) == 0)
+        return p;
+    throw std::bad_alloc();
+}
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace rebudget;
+
+namespace {
+
+std::uint64_t
+parseFlag(const char *flag, const char *value, std::uint64_t max)
+{
+    const auto parsed = util::parseUnsigned(value, max);
+    if (!parsed.ok())
+        util::fatal("%s: %s", flag, parsed.status().message().c_str());
+    return parsed.value();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t markets = 64;
+    std::size_t players = 8;
+    std::uint64_t warmup = 5;
+    std::uint64_t measured = 40;
+    std::uint64_t seed = 42;
+    serve::ServeConfig config;
+    config.shards = 8;
+    // Randomly drawn 8-app rosters can need more tatonnement sweeps
+    // than the 30-iteration default before the price fluctuation
+    // settles; a fail-safe trip would (correctly) fail the bench's
+    // zero-allocation gate via the warning path, so give the solver
+    // the headroom that a long-running daemon deployment would.
+    config.market.maxIterations = 200;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                util::fatal("%s requires a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--markets")
+            markets = parseFlag("--markets", value(), 1u << 16);
+        else if (arg == "--players")
+            players = parseFlag("--players", value(), 1u << 10);
+        else if (arg == "--shards")
+            config.shards = parseFlag("--shards", value(), 1u << 10);
+        else if (arg == "--jobs")
+            config.jobs = static_cast<unsigned>(
+                parseFlag("--jobs", value(), 1u << 12));
+        else if (arg == "--warmup")
+            warmup = parseFlag("--warmup", value(), 1u << 20);
+        else if (arg == "--ticks")
+            measured = parseFlag("--ticks", value(), 1u << 20);
+        else if (arg == "--seed")
+            seed = parseFlag("--seed", value(), ~0ull);
+        else if (arg == "--smoke") {
+            markets = 64;
+            players = 8;
+            warmup = 3;
+            measured = 8;
+        } else {
+            util::fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+    if (markets == 0 || players == 0 || measured == 0)
+        util::fatal("--markets, --players and --ticks must be positive");
+
+    config.allocCounter = &threadAllocCount;
+    serve::ServerCore core(config);
+
+    // Populate: market m hosts `players` catalog apps drawn from a
+    // stream keyed by (seed, m), so the roster is machine- and
+    // job-count-independent.
+    for (std::size_t m = 0; m < markets; ++m) {
+        const std::vector<std::string> names = eval::syntheticAppNames(
+            players, util::mix64(seed ^ (0x5e
+                                         + static_cast<std::uint64_t>(m))));
+        serve::CreateMarket req;
+        req.market = m;
+        for (std::size_t t = 0; t < names.size(); ++t)
+            req.tenants.push_back({t, names[t]});
+        const serve::Response resp = core.apply(req);
+        if (const auto *err = std::get_if<serve::ErrorReply>(&resp))
+            util::fatal("create market %zu: %s", m, err->message.c_str());
+    }
+
+    // Deterministic demand churn: one tenant per market re-weights
+    // each tick.  Budgets shift but the roster (and thus every buffer
+    // shape) is fixed, so the warm chain stays intact.
+    auto perturb = [&](std::uint64_t tick) {
+        for (std::size_t m = 0; m < markets; ++m) {
+            const std::uint64_t key =
+                util::mix64(seed ^ (tick * 1315423911ull) ^ m);
+            serve::SubmitDemand req;
+            req.market = m;
+            req.tenant = key % players;
+            req.weight = 0.5 + static_cast<double>(key % 16) / 8.0;
+            const serve::Response resp = core.apply(req);
+            if (std::holds_alternative<serve::ErrorReply>(resp))
+                util::fatal("demand update rejected on market %zu", m);
+        }
+    };
+
+    for (std::uint64_t t = 0; t < warmup; ++t) {
+        perturb(t);
+        core.tick();
+    }
+
+    util::SolverStats after_warmup;
+    for (std::size_t s = 0; s < core.shardCount(); ++s)
+        after_warmup.merge(core.shard(s).solverStats());
+
+    const double start = util::monotonicSeconds();
+    for (std::uint64_t t = 0; t < measured; ++t) {
+        perturb(warmup + t);
+        core.tick();
+    }
+    const double elapsed = util::monotonicSeconds() - start;
+
+    util::SolverStats total;
+    std::int64_t steady_allocs = 0;
+    std::int64_t steady_ticks = 0;
+    for (std::size_t s = 0; s < core.shardCount(); ++s) {
+        total.merge(core.shard(s).solverStats());
+        const serve::ShardCounters c = core.shard(s).counters();
+        steady_allocs += c.steadyTickAllocs;
+        steady_ticks += c.steadyTicks;
+        if (c.steadyTickAllocs != 0) {
+            util::fatal("shard %zu allocated %lld times on steady "
+                        "ticks; the serving path must be allocation-"
+                        "free after warm-up",
+                        s,
+                        static_cast<long long>(c.steadyTickAllocs));
+        }
+    }
+    const std::int64_t cold_measured =
+        total.coldStartedSolves - after_warmup.coldStartedSolves;
+    if (cold_measured != 0) {
+        util::fatal("%lld cold-started solves during the measured "
+                    "window; every steady-state solve must reuse the "
+                    "warm chain",
+                    static_cast<long long>(cold_measured));
+    }
+    const std::int64_t solves_measured =
+        total.equilibriumSolves - after_warmup.equilibriumSolves;
+
+    std::printf("{\n");
+    std::printf("  \"schema\": \"rebudget.perf_serve.v1\",\n");
+    std::printf("  \"shards\": %zu,\n", core.shardCount());
+    std::printf("  \"markets\": %zu,\n", markets);
+    std::printf("  \"players_per_market\": %zu,\n", players);
+    std::printf("  \"warmup_ticks\": %llu,\n",
+                static_cast<unsigned long long>(warmup));
+    std::printf("  \"measured_ticks\": %llu,\n",
+                static_cast<unsigned long long>(measured));
+    std::printf("  \"elapsed_seconds\": %.6f,\n", elapsed);
+    std::printf("  \"ticks_per_sec\": %.2f,\n",
+                static_cast<double>(measured) / elapsed);
+    std::printf("  \"solves_per_sec\": %.2f,\n",
+                static_cast<double>(solves_measured) / elapsed);
+    std::printf("  \"steady_ticks\": %lld,\n",
+                static_cast<long long>(steady_ticks));
+    std::printf("  \"steady_tick_allocs\": %lld,\n",
+                static_cast<long long>(steady_allocs));
+    std::printf("  \"warm_started_solves\": %lld,\n",
+                static_cast<long long>(total.warmStartedSolves));
+    std::printf("  \"cold_started_solves\": %lld,\n",
+                static_cast<long long>(total.coldStartedSolves));
+    std::printf("  \"digest\": \"%016llx\"\n",
+                static_cast<unsigned long long>(core.digest()));
+    std::printf("}\n");
+    return 0;
+}

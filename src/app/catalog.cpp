@@ -162,13 +162,21 @@ catalogProfiles()
     return profiles;
 }
 
-const AppProfile &
-findCatalogProfile(const std::string &name)
+const AppProfile *
+tryFindCatalogProfile(const std::string &name)
 {
     for (const auto &profile : catalogProfiles()) {
         if (profile.params.name == name)
-            return profile;
+            return &profile;
     }
+    return nullptr;
+}
+
+const AppProfile &
+findCatalogProfile(const std::string &name)
+{
+    if (const AppProfile *profile = tryFindCatalogProfile(name))
+        return *profile;
     util::fatal("unknown catalog application '%s'", name.c_str());
 }
 

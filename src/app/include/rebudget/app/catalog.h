@@ -37,6 +37,13 @@ const std::vector<AppProfile> &catalogProfiles();
  */
 const AppProfile &findCatalogProfile(const std::string &name);
 
+/**
+ * Non-fatal lookup for layers that must stay recoverable (the serving
+ * daemon, eval::ProblemBuilder): @return the cached profile, or nullptr
+ * if no catalog application has that name.
+ */
+const AppProfile *tryFindCatalogProfile(const std::string &name);
+
 } // namespace rebudget::app
 
 #endif // REBUDGET_APP_CATALOG_H_

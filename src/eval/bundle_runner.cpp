@@ -6,86 +6,29 @@
 #include <string>
 #include <utility>
 
+#include "rebudget/eval/problem_builder.h"
 #include "rebudget/market/metrics.h"
-#include "rebudget/power/power_model.h"
 #include "rebudget/util/logging.h"
 #include "rebudget/util/rng.h"
 #include "rebudget/util/thread_pool.h"
 
 namespace rebudget::eval {
 
-namespace {
-
-const power::PowerModel &
-defaultPowerModel()
-{
-    static const power::PowerModel power;
-    return power;
-}
-
-/**
- * Process-wide memo of catalog utility models keyed by (app,
- * convexify).  Construction samples and convexifies the 90-point
- * utility grid -- by far the most expensive part of problem setup --
- * and the result is immutable, so every bundle and worker thread can
- * share one instance per app.  Only catalog-backed profiles are
- * memoized; a caller-supplied ProfileLookup can shadow names with
- * different profiles, so that path always builds fresh models.
- */
-std::shared_ptr<const app::AppUtilityModel>
-catalogModel(const std::string &name, bool convexify)
-{
-    static std::mutex mu;
-    static std::map<std::pair<std::string, bool>,
-                    std::shared_ptr<const app::AppUtilityModel>>
-        cache;
-    const std::lock_guard<std::mutex> lock(mu);
-    auto &slot = cache[{name, convexify}];
-    if (!slot) {
-        app::UtilityGridOptions options;
-        options.convexify = convexify;
-        slot = std::make_shared<const app::AppUtilityModel>(
-            app::findCatalogProfile(name), defaultPowerModel(), options);
-    }
-    return slot;
-}
-
-} // namespace
-
-namespace {
-
-/** Capacities = machine resources minus the per-core minimums. */
-void
-finishBundleProblem(BundleProblem &bp, double regions_per_core,
-                    double watts_per_core)
-{
-    double min_watts = 0.0;
-    for (const auto &model : bp.models) {
-        min_watts += model->minWatts();
-        bp.problem.models.push_back(model.get());
-    }
-    const double n = static_cast<double>(bp.models.size());
-    bp.problem.capacities = {n * regions_per_core - n * 1.0,
-                             n * watts_per_core - min_watts};
-}
-
-} // namespace
+// Problem construction now lives in eval::ProblemBuilder (shared with
+// the serving daemon); these overloads keep the sweep engine's original
+// one-shot, fatal-on-unknown-app contract on top of it.
 
 BundleProblem
 makeBundleProblem(const std::vector<std::string> &app_names,
                   const ProfileLookup &lookup, double regions_per_core,
                   double watts_per_core, bool convexify)
 {
-    const power::PowerModel &power = defaultPowerModel();
-    BundleProblem bp;
-    app::UtilityGridOptions options;
-    options.convexify = convexify;
-    for (const auto &nm : app_names) {
-        bp.models.push_back(std::make_shared<const app::AppUtilityModel>(
-            lookup(nm), power, options));
-    }
-    finishBundleProblem(bp, regions_per_core, watts_per_core);
-    return bp;
+    ProblemBuilder builder(
+        {regions_per_core, watts_per_core, convexify}, lookup);
+    const util::SolveStatus status = builder.addApps(app_names);
+    if (!status.ok())
+        util::fatal("%s", status.toString().c_str());
+    return builder.build();
 }
 
 BundleProblem
@@ -93,11 +36,11 @@ makeBundleProblem(const std::vector<std::string> &app_names,
                   double regions_per_core, double watts_per_core,
                   bool convexify)
 {
-    BundleProblem bp;
-    for (const auto &nm : app_names)
-        bp.models.push_back(catalogModel(nm, convexify));
-    finishBundleProblem(bp, regions_per_core, watts_per_core);
-    return bp;
+    ProblemBuilder builder({regions_per_core, watts_per_core, convexify});
+    const util::SolveStatus status = builder.addApps(app_names);
+    if (!status.ok())
+        util::fatal("%s", status.toString().c_str());
+    return builder.build();
 }
 
 std::vector<std::string>

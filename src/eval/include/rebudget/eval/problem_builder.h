@@ -1,0 +1,136 @@
+#ifndef REBUDGET_EVAL_PROBLEM_BUILDER_H_
+#define REBUDGET_EVAL_PROBLEM_BUILDER_H_
+
+/**
+ * @file
+ * Incremental bundle -> allocation-problem construction.
+ *
+ * makeBundleProblem() builds a whole problem from a name list in one
+ * shot, which fits the sweep engine but not the serving daemon: there a
+ * market's roster changes one tenant at a time (JoinTenant /
+ * LeaveTenant) and an unknown app name must come back as a typed error
+ * on that request, never a process fatal.  ProblemBuilder holds the
+ * mutable roster -- shared catalog models plus the capacity bookkeeping
+ * -- and can re-emit capacities after every change without re-profiling
+ * anything.  makeBundleProblem() is now a thin wrapper over it, so the
+ * sweeps and the daemon construct problems through one code path.
+ *
+ * Model sharing and the memoized per-(app, convexify) catalog cache are
+ * inherited from the bundle_runner design (see BundleProblem's doc);
+ * sharedCatalogModel() exposes the cache directly.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rebudget/app/utility.h"
+#include "rebudget/eval/bundle_runner.h"
+#include "rebudget/util/status.h"
+
+namespace rebudget::eval {
+
+/**
+ * Memoized catalog utility model for (name, convexify); one immutable
+ * instance is shared process-wide across bundles, markets and threads.
+ * @return the model, or InvalidArgument for an unknown catalog name.
+ */
+util::Expected<std::shared_ptr<const app::AppUtilityModel>>
+sharedCatalogModel(const std::string &name, bool convexify);
+
+/** Builds allocation problems from an editable roster of catalog apps. */
+class ProblemBuilder
+{
+  public:
+    /** Machine-shape knobs shared by every problem this builder emits. */
+    struct Config
+    {
+        /** Cache regions per core (paper: 4). */
+        double regionsPerCore = 4.0;
+        /** Chip TDP per core (paper: 10 W). */
+        double wattsPerCore = 10.0;
+        /** Apply Talus convexification to the utility models. */
+        bool convexify = true;
+    };
+
+    ProblemBuilder() = default;
+
+    explicit ProblemBuilder(Config config) : config_(config) {}
+
+    /**
+     * As above, resolving profiles through @p lookup instead of the
+     * catalog.  Lookup-backed models are built fresh (a lookup may
+     * shadow catalog names with different profiles, so they must not
+     * enter the shared cache) and the lookup itself may throw
+     * util::FatalError for unknown names -- that contract belongs to
+     * the caller who supplied it.
+     */
+    ProblemBuilder(Config config, ProfileLookup lookup)
+        : config_(config), lookup_(std::move(lookup))
+    {
+    }
+
+    /**
+     * Append one app to the roster.  @return the new roster index, or
+     * InvalidArgument naming the app when the catalog does not know it
+     * (the roster is unchanged on error).
+     */
+    util::Expected<size_t> addApp(const std::string &name);
+
+    /**
+     * Append every name in order; stops at the first unknown app and
+     * @return an error naming it, leaving the apps added so far in
+     * place (callers who need all-or-nothing check the status and
+     * discard the builder).
+     */
+    util::SolveStatus addApps(const std::vector<std::string> &names);
+
+    /**
+     * Remove the app at @p index (later apps shift down one slot, the
+     * order of the survivors is preserved).  Out-of-range indices are
+     * ignored.
+     */
+    void removeAt(size_t index);
+
+    /** Drop the whole roster. */
+    void clear();
+
+    /** @return the roster size (= player count of emitted problems). */
+    size_t size() const { return models_.size(); }
+
+    /** @return the roster's shared utility models, in roster order. */
+    const std::vector<std::shared_ptr<const app::AppUtilityModel>> &
+    models() const
+    {
+        return models_;
+    }
+
+    /**
+     * Write the machine capacities for the current roster --
+     * {cache regions beyond the per-core minimum, watts beyond the
+     * roster's idle draw} -- into @p out (resized to 2, no allocation
+     * once @p out has capacity).
+     */
+    void capacitiesInto(std::vector<double> &out) const;
+
+    /** Convenience allocating form of capacitiesInto(). */
+    std::vector<double> capacities() const;
+
+    /**
+     * Snapshot the roster as a BundleProblem: shared model handles,
+     * raw model pointers and capacities filled in; market config,
+     * workspace and warm-start wiring stay with the caller.  The
+     * builder remains usable (and editable) afterwards.
+     */
+    BundleProblem build() const;
+
+  private:
+    Config config_;
+    ProfileLookup lookup_;
+    std::vector<std::shared_ptr<const app::AppUtilityModel>> models_;
+};
+
+} // namespace rebudget::eval
+
+#endif // REBUDGET_EVAL_PROBLEM_BUILDER_H_

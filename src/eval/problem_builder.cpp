@@ -1,0 +1,130 @@
+#include "rebudget/eval/problem_builder.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "rebudget/app/catalog.h"
+#include "rebudget/power/power_model.h"
+
+namespace rebudget::eval {
+
+namespace {
+
+const power::PowerModel &
+builderPowerModel()
+{
+    static const power::PowerModel power;
+    return power;
+}
+
+} // namespace
+
+util::Expected<std::shared_ptr<const app::AppUtilityModel>>
+sharedCatalogModel(const std::string &name, bool convexify)
+{
+    // Process-wide memo keyed by (app, convexify).  Construction samples
+    // and convexifies the 90-point utility grid -- by far the most
+    // expensive part of problem setup -- and the result is immutable, so
+    // every bundle, market and worker thread shares one instance per
+    // app.  Only catalog-backed profiles are memoized; ProfileLookup
+    // paths build fresh models (a lookup may shadow catalog names).
+    static std::mutex mu;
+    static std::map<std::pair<std::string, bool>,
+                    std::shared_ptr<const app::AppUtilityModel>>
+        cache;
+    const std::lock_guard<std::mutex> lock(mu);
+    auto &slot = cache[{name, convexify}];
+    if (!slot) {
+        const app::AppProfile *profile = app::tryFindCatalogProfile(name);
+        if (profile == nullptr) {
+            return util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "unknown catalog application '%s'", name.c_str());
+        }
+        app::UtilityGridOptions options;
+        options.convexify = convexify;
+        slot = std::make_shared<const app::AppUtilityModel>(
+            *profile, builderPowerModel(), options);
+    }
+    return slot;
+}
+
+util::Expected<size_t>
+ProblemBuilder::addApp(const std::string &name)
+{
+    if (lookup_) {
+        app::UtilityGridOptions options;
+        options.convexify = config_.convexify;
+        models_.push_back(std::make_shared<const app::AppUtilityModel>(
+            lookup_(name), builderPowerModel(), options));
+        return models_.size() - 1;
+    }
+    auto model = sharedCatalogModel(name, config_.convexify);
+    if (!model.ok())
+        return model.status();
+    models_.push_back(std::move(model).value());
+    return models_.size() - 1;
+}
+
+util::SolveStatus
+ProblemBuilder::addApps(const std::vector<std::string> &names)
+{
+    for (const auto &name : names) {
+        const auto added = addApp(name);
+        if (!added.ok())
+            return added.status();
+    }
+    return {};
+}
+
+void
+ProblemBuilder::removeAt(size_t index)
+{
+    if (index >= models_.size())
+        return;
+    models_.erase(models_.begin() +
+                  static_cast<std::ptrdiff_t>(index));
+}
+
+void
+ProblemBuilder::clear()
+{
+    models_.clear();
+}
+
+void
+ProblemBuilder::capacitiesInto(std::vector<double> &out) const
+{
+    // Capacities = machine resources minus the per-core minimums: one
+    // region per core, plus the roster's summed idle draw.
+    double min_watts = 0.0;
+    for (const auto &model : models_)
+        min_watts += model->minWatts();
+    const double n = static_cast<double>(models_.size());
+    out.resize(2);
+    out[0] = n * config_.regionsPerCore - n * 1.0;
+    out[1] = n * config_.wattsPerCore - min_watts;
+}
+
+std::vector<double>
+ProblemBuilder::capacities() const
+{
+    std::vector<double> out;
+    capacitiesInto(out);
+    return out;
+}
+
+BundleProblem
+ProblemBuilder::build() const
+{
+    BundleProblem bp;
+    bp.models = models_;
+    bp.problem.models.reserve(models_.size());
+    for (const auto &model : bp.models)
+        bp.problem.models.push_back(model.get());
+    capacitiesInto(bp.problem.capacities);
+    return bp;
+}
+
+} // namespace rebudget::eval

@@ -1,0 +1,110 @@
+#ifndef REBUDGET_SERVE_SERVER_CORE_H_
+#define REBUDGET_SERVE_SERVER_CORE_H_
+
+/**
+ * @file
+ * Transport-independent core of rebudgetd: request routing over a fixed
+ * set of shards, the epoch-tick driver, aggregated telemetry and the
+ * deterministic replay/digest machinery.
+ *
+ * Splitting the core from the socket layer keeps every behavior
+ * testable in-process (tests/serve/server_core_test.cpp drives it with
+ * no sockets) and lets bench/perf_serve run closed-loop against the
+ * exact production code path.
+ *
+ * Determinism: requests are routed to shards by util::mix64(market id),
+ * ticks solve each shard on one ThreadPool worker (Shard state is only
+ * touched through its own index -- the parallelFor contract), and
+ * digest() folds only bit-stable fields.  Hence a fixed request
+ * sequence yields an identical digest at any --jobs value, which
+ * `rebudgetd --replay` exposes and tools/serve_smoke.sh asserts.
+ */
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rebudget/serve/shard.h"
+#include "rebudget/util/thread_pool.h"
+
+namespace rebudget::serve {
+
+/** The daemon's market-hosting engine (no transport attached). */
+class ServerCore
+{
+  public:
+    explicit ServerCore(const ServeConfig &config);
+
+    ServerCore(const ServerCore &) = delete;
+    ServerCore &operator=(const ServerCore &) = delete;
+
+    /**
+     * Apply one request synchronously and build its reply.  Market-
+     * scoped requests run under the owning shard's mutex; GetStats
+     * aggregates every shard; TickNow runs one epoch before acking;
+     * Shutdown acks (stopping is the transport's job).
+     */
+    Response apply(const Request &req);
+
+    /** Run one epoch tick across all shards, in parallel. */
+    void tick();
+
+    /** @return the number of epochs ticked so far. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** @return the shard a market id routes to. */
+    std::size_t shardOf(std::uint64_t market) const;
+
+    /** @return the shard count. */
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** @return markets hosted across all shards. */
+    std::size_t marketCount() const;
+
+    /** Direct shard access (tests, benches). */
+    const Shard &shard(std::size_t i) const { return *shards_[i]; }
+
+    /**
+     * Per-shard telemetry as schema-stable JSON
+     * ("rebudget.serve_stats.v1"): shard counters plus the merged
+     * solver stats, one object per shard, fixed key order.
+     */
+    std::string statsJson() const;
+
+    /**
+     * FNV-1a digest over every shard's published market state (see
+     * Shard::digest).  Identical runs -- same requests, same tick
+     * schedule -- produce identical digests at any thread count.
+     */
+    std::uint64_t digest() const;
+
+  private:
+    ServeConfig config_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    util::ThreadPool pool_;
+    std::uint64_t epoch_ = 0;
+};
+
+/**
+ * Drive a ServerCore from a text trace (the `rebudgetd --replay` mode).
+ *
+ * Grammar, one command per line (`#` starts a comment):
+ *   create <market> <app1,app2,...>   founding tenants get ids 0..n-1
+ *   demand <market> <tenant> <weight>
+ *   join <market> <tenant> <app>
+ *   leave <market> <tenant>
+ *   tick [count]
+ *
+ * Numbers go through the strict util::parseUnsigned/parseDouble
+ * parsers.  A malformed line or a rejected request stops the replay
+ * with an error naming the line; replies to well-formed requests that
+ * the server rejects (e.g. joining a nonexistent market) are errors
+ * too, because a replay trace is supposed to be a known-good sequence.
+ */
+util::SolveStatus runReplayTrace(ServerCore &core, std::istream &in);
+
+} // namespace rebudget::serve
+
+#endif // REBUDGET_SERVE_SERVER_CORE_H_

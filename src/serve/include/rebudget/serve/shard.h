@@ -1,0 +1,163 @@
+#ifndef REBUDGET_SERVE_SHARD_H_
+#define REBUDGET_SERVE_SHARD_H_
+
+/**
+ * @file
+ * One shard of the market-serving daemon: a set of independent markets
+ * that solve together on each epoch tick.
+ *
+ * Markets are hashed onto shards by market id (see ServerCore), so a
+ * shard owns every request and every solve for its markets.  Request
+ * application and ticking both run under the shard's own mutex: the
+ * request path (socket thread) and the tick path (thread-pool worker)
+ * interleave safely, while distinct shards never contend.  Within a
+ * tick, markets solve in ascending id order -- combined with
+ * util::ThreadPool::parallelFor's determinism contract (shard state is
+ * only touched by the worker that owns the shard's index), the whole
+ * daemon's tick output is byte-identical at any --jobs value.
+ *
+ * Warm-start discipline (the reason this daemon exists): each market
+ * keeps two EquilibriumResult slots and ping-pongs between them, so
+ * tick T+1 warm-starts from tick T's converged equilibrium with zero
+ * copies; a roster change (join/leave) re-keys the surviving tenants'
+ * rows through market::migrateEquilibriumInto instead of dropping the
+ * chain.  After the first solve at a given roster, the tick path
+ * performs zero heap allocations per market per tick
+ * (findEquilibriumInto's workspace-reuse contract); bench/perf_serve
+ * audits this per shard via ServeConfig::allocCounter.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rebudget/eval/problem_builder.h"
+#include "rebudget/market/market.h"
+#include "rebudget/serve/protocol.h"
+#include "rebudget/sim/watchdog.h"
+#include "rebudget/util/solver_stats.h"
+
+namespace rebudget::serve {
+
+/** Daemon-wide tuning shared by every shard. */
+struct ServeConfig
+{
+    /** Number of shards (markets hash onto them by id). */
+    std::size_t shards = 4;
+    /** Tick worker threads; 0 = REBUDGET_JOBS env, else hardware. */
+    unsigned jobs = 0;
+    /** Machine shape of every hosted market (paper defaults). */
+    double regionsPerCore = 4.0;
+    /** Chip TDP per core (paper: 10 W). */
+    double wattsPerCore = 10.0;
+    /** Apply Talus convexification to the utility models. */
+    bool convexify = true;
+    /** Market tuning applied to every hosted market. */
+    market::MarketConfig market;
+    /** Consecutive failed solves before a market falls back (0 = off). */
+    std::uint32_t watchdogFailureThreshold = 3;
+    /** Equal-share epochs after a watchdog trip. */
+    std::uint32_t watchdogCleanEpochs = 3;
+    /** Admission cap: markets per shard. */
+    std::size_t maxMarketsPerShard = 1024;
+    /** Admission cap: players per market. */
+    std::size_t maxPlayersPerMarket = 1024;
+    /**
+     * Optional allocation-counter hook for the zero-alloc audit: when
+     * set, each shard samples it immediately before and after its tick
+     * body (which runs on a single thread) and attributes the delta to
+     * the shard.  bench/perf_serve points this at a thread-local
+     * counter bumped by its operator-new override; production builds
+     * leave it null.
+     */
+    std::int64_t (*allocCounter)() = nullptr;
+};
+
+/** Counters a shard exports alongside its solver telemetry. */
+struct ShardCounters
+{
+    std::int64_t marketsCreated = 0;
+    std::int64_t requestsApplied = 0;
+    std::int64_t requestsRejected = 0;
+    std::int64_t ticksRun = 0;
+    /** Ticks on which every market warm-started (no roster change, no
+     * cold solve) -- the regime the zero-alloc contract covers. */
+    std::int64_t steadyTicks = 0;
+    /** Heap allocations sampled during steady ticks (audit hook). */
+    std::int64_t steadyTickAllocs = 0;
+    /** Heap allocations sampled during non-steady (warm-up) ticks. */
+    std::int64_t warmupTickAllocs = 0;
+};
+
+/** A set of markets solving on a shared epoch tick. */
+class Shard
+{
+  public:
+    /** Out-of-line definitions: MarketEntry is incomplete here. */
+    Shard(std::size_t index, const ServeConfig &config);
+    ~Shard();
+
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+
+    /**
+     * Apply one market-scoped request (CreateMarket, SubmitDemand,
+     * JoinTenant, LeaveTenant, GetAllocation) and build its reply.
+     * Admission failures and malformed values come back as typed
+     * ErrorReply; the shard's other markets are never affected.
+     * Thread-safe against tick().
+     */
+    Response apply(const Request &req);
+
+    /**
+     * Run one epoch: re-derive budgets from the current demand weights
+     * and solve every market, warm-started from its previous
+     * equilibrium (or a migrated seed after roster churn).  Thread-safe
+     * against apply(); distinct shards tick independently.
+     */
+    void tick(std::uint64_t epoch);
+
+    /** @return the number of markets currently hosted. */
+    std::size_t marketCount() const;
+
+    /** Snapshot of the shard's counters (thread-safe). */
+    ShardCounters counters() const;
+
+    /** Merged solver telemetry across the shard's markets. */
+    util::SolverStats solverStats() const;
+
+    /**
+     * Fold the shard's published state into an FNV-1a digest: market
+     * ids, rosters and the bitwise doubles of budgets, prices, lambdas
+     * and allocations, in ascending market-id order.  Wall-clock timer
+     * fields are excluded, so the digest is identical across runs and
+     * --jobs values for the same request trace.
+     */
+    std::uint64_t digest(std::uint64_t h) const;
+
+  private:
+    struct MarketEntry;
+
+    Response doCreate(const CreateMarket &req);
+    Response doDemand(const SubmitDemand &req);
+    Response doJoin(const JoinTenant &req);
+    Response doLeave(const LeaveTenant &req);
+    Response doGet(const GetAllocation &req) const;
+    void tickMarket(MarketEntry &entry, std::uint64_t epoch);
+    static void installFallback(MarketEntry &entry);
+
+    std::size_t index_;
+    const ServeConfig *config_;
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, std::unique_ptr<MarketEntry>> markets_;
+    ShardCounters counters_;
+    util::SolverStats stats_;
+};
+
+} // namespace rebudget::serve
+
+#endif // REBUDGET_SERVE_SHARD_H_

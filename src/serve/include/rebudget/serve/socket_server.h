@@ -1,0 +1,88 @@
+#ifndef REBUDGET_SERVE_SOCKET_SERVER_H_
+#define REBUDGET_SERVE_SOCKET_SERVER_H_
+
+/**
+ * @file
+ * poll()-based transport for rebudgetd: a single-threaded event loop
+ * accepting length-prefixed frames over a Unix-domain socket or
+ * loopback TCP, decoding requests, applying them to a ServerCore and
+ * writing replies.  The epoch tick fires from the poll timeout, so one
+ * thread owns all connection state while the solves themselves fan out
+ * over the core's thread pool.
+ *
+ * Failure semantics (tests/serve/socket_server_test.cpp pins these):
+ *  - unknown opcode / malformed body of a complete frame -> typed
+ *    ErrorReply, connection stays open;
+ *  - oversized declared frame length -> ErrorReply, then the connection
+ *    is dropped (the stream position can no longer be trusted);
+ *  - mid-frame disconnect -> the partial frame is discarded and the
+ *    connection closed;
+ *  - in every case the other connections and every hosted market are
+ *    untouched.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "rebudget/serve/server_core.h"
+#include "rebudget/util/status.h"
+
+namespace rebudget::serve {
+
+/** Transport configuration for SocketServer. */
+struct SocketServerOptions
+{
+    /** Unix-domain socket path ("" = use TCP instead). */
+    std::string socketPath;
+    /** Loopback TCP port (used when socketPath is empty; 0 = pick). */
+    std::uint16_t port = 0;
+    /** Epoch tick period in milliseconds (0 = only TickNow ticks). */
+    std::uint32_t tickMs = 100;
+    /** Stop after this many epochs (0 = run until Shutdown/stop flag). */
+    std::uint64_t maxTicks = 0;
+};
+
+/** Single-threaded poll loop bridging sockets to a ServerCore. */
+class SocketServer
+{
+  public:
+    SocketServer(ServerCore &core, SocketServerOptions options)
+        : core_(core), options_(std::move(options))
+    {
+    }
+
+    /**
+     * Bind, listen and serve until a Shutdown request arrives, maxTicks
+     * epochs have run, or the stop flag (see requestStop) is raised.
+     * Returns Ok on clean shutdown or an error describing the socket
+     * failure.  The listening socket is closed (and a Unix socket path
+     * unlinked) on exit.
+     */
+    util::SolveStatus run();
+
+    /**
+     * Ask a running loop to exit at its next poll wakeup.  Safe to call
+     * from a signal handler or another thread (lock-free atomic store).
+     */
+    void requestStop() { stop_.store(1, std::memory_order_relaxed); }
+
+    /**
+     * @return the bound TCP port, or 0 until run() has bound.  May be
+     * polled from another thread while the loop starts up.
+     */
+    std::uint16_t boundPort() const
+    {
+        return bound_port_.load(std::memory_order_acquire);
+    }
+
+  private:
+    ServerCore &core_;
+    SocketServerOptions options_;
+    std::atomic<int> stop_{0};
+    std::atomic<std::uint16_t> bound_port_{0};
+};
+
+} // namespace rebudget::serve
+
+#endif // REBUDGET_SERVE_SOCKET_SERVER_H_

@@ -1,0 +1,433 @@
+#include "rebudget/serve/protocol.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rebudget::serve {
+
+namespace {
+
+void
+putU8(std::vector<std::uint8_t> &out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    const std::size_t n = std::min<std::size_t>(s.size(), 0xffff);
+    putU16(out, static_cast<std::uint16_t>(n));
+    out.insert(out.end(), s.begin(), s.begin() + n);
+}
+
+/**
+ * Bounds-checked payload cursor.  The first failed read latches the
+ * error; subsequent reads return zeros so decoders can run straight
+ * through and check once at the end.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t u8() { return static_cast<std::uint8_t>(raw(1)); }
+    std::uint16_t u16() { return static_cast<std::uint16_t>(raw(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(raw(4)); }
+    std::uint64_t u64() { return raw(8); }
+
+    double f64()
+    {
+        const std::uint64_t bits = raw(8);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string str()
+    {
+        const std::uint16_t n = u16();
+        if (failed_)
+            return {};
+        if (size_ - off_ < n) {
+            fail("string body");
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data_ + off_), n);
+        off_ += n;
+        return s;
+    }
+
+    /** Remaining payload bytes as a string (free-length tails). */
+    std::string rest()
+    {
+        std::string s(reinterpret_cast<const char *>(data_ + off_),
+                      size_ - off_);
+        off_ = size_;
+        return s;
+    }
+
+    bool failed() const { return failed_; }
+    const std::string &what() const { return what_; }
+    std::size_t remaining() const { return size_ - off_; }
+
+  private:
+    std::uint64_t raw(std::size_t bytes)
+    {
+        if (failed_)
+            return 0;
+        if (size_ - off_ < bytes) {
+            fail("scalar");
+            return 0;
+        }
+        std::uint64_t v = 0;
+        for (std::size_t b = 0; b < bytes; ++b)
+            v |= static_cast<std::uint64_t>(data_[off_ + b]) << (8 * b);
+        off_ += bytes;
+        return v;
+    }
+
+    void fail(const char *what)
+    {
+        if (!failed_) {
+            failed_ = true;
+            what_ = what;
+        }
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t off_ = 0;
+    bool failed_ = false;
+    std::string what_;
+};
+
+void
+frameOut(std::vector<std::uint8_t> &out,
+         const std::vector<std::uint8_t> &payload)
+{
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+util::SolveStatus
+decodeError(const char *opcode, const ByteReader &r)
+{
+    return util::SolveStatus::error(
+        util::StatusCode::InvalidArgument,
+        "malformed %s request: truncated %s", opcode, r.what().c_str());
+}
+
+util::SolveStatus
+trailingError(const char *opcode, std::size_t extra)
+{
+    return util::SolveStatus::error(
+        util::StatusCode::InvalidArgument,
+        "malformed %s request: %zu trailing byte(s)", opcode, extra);
+}
+
+} // namespace
+
+void
+encodeRequest(const Request &req, std::vector<std::uint8_t> &out)
+{
+    std::vector<std::uint8_t> p;
+    if (const auto *r = std::get_if<CreateMarket>(&req)) {
+        putU8(p, static_cast<std::uint8_t>(Opcode::CreateMarket));
+        putU64(p, r->market);
+        putU16(p, static_cast<std::uint16_t>(r->tenants.size()));
+        for (const auto &t : r->tenants) {
+            putU64(p, t.tenant);
+            putString(p, t.app);
+        }
+    } else if (const auto *r = std::get_if<SubmitDemand>(&req)) {
+        putU8(p, static_cast<std::uint8_t>(Opcode::SubmitDemand));
+        putU64(p, r->market);
+        putU64(p, r->tenant);
+        putF64(p, r->weight);
+    } else if (const auto *r = std::get_if<JoinTenant>(&req)) {
+        putU8(p, static_cast<std::uint8_t>(Opcode::JoinTenant));
+        putU64(p, r->market);
+        putU64(p, r->tenant);
+        putString(p, r->app);
+    } else if (const auto *r = std::get_if<LeaveTenant>(&req)) {
+        putU8(p, static_cast<std::uint8_t>(Opcode::LeaveTenant));
+        putU64(p, r->market);
+        putU64(p, r->tenant);
+    } else if (const auto *r = std::get_if<GetAllocation>(&req)) {
+        putU8(p, static_cast<std::uint8_t>(Opcode::GetAllocation));
+        putU64(p, r->market);
+    } else if (std::get_if<GetStats>(&req)) {
+        putU8(p, static_cast<std::uint8_t>(Opcode::GetStats));
+    } else if (std::get_if<Shutdown>(&req)) {
+        putU8(p, static_cast<std::uint8_t>(Opcode::Shutdown));
+    } else {
+        putU8(p, static_cast<std::uint8_t>(Opcode::TickNow));
+    }
+    frameOut(out, p);
+}
+
+void
+encodeResponse(const Response &resp, std::vector<std::uint8_t> &out)
+{
+    std::vector<std::uint8_t> p;
+    if (std::get_if<AckReply>(&resp)) {
+        putU8(p, static_cast<std::uint8_t>(ReplyOpcode::Ack));
+    } else if (const auto *r = std::get_if<ErrorReply>(&resp)) {
+        putU8(p, static_cast<std::uint8_t>(ReplyOpcode::Error));
+        putU8(p, static_cast<std::uint8_t>(r->code));
+        p.insert(p.end(), r->message.begin(), r->message.end());
+    } else if (const auto *r = std::get_if<AllocationReply>(&resp)) {
+        putU8(p, static_cast<std::uint8_t>(ReplyOpcode::Allocation));
+        putU64(p, r->market);
+        putU64(p, r->tick);
+        putU8(p, r->converged ? 1 : 0);
+        putU16(p, static_cast<std::uint16_t>(r->prices.size()));
+        for (const double price : r->prices)
+            putF64(p, price);
+        putU16(p, static_cast<std::uint16_t>(r->players.size()));
+        for (const auto &t : r->players) {
+            putU64(p, t.tenant);
+            putF64(p, t.budget);
+            putF64(p, t.lambda);
+            for (const double a : t.alloc)
+                putF64(p, a);
+        }
+    } else {
+        const auto &s = std::get<StatsReply>(resp);
+        putU8(p, static_cast<std::uint8_t>(ReplyOpcode::Stats));
+        p.insert(p.end(), s.json.begin(), s.json.end());
+    }
+    frameOut(out, p);
+}
+
+util::Expected<Request>
+decodeRequest(const std::uint8_t *payload, std::size_t size)
+{
+    if (size == 0) {
+        return util::SolveStatus::error(util::StatusCode::InvalidArgument,
+                                        "empty frame payload");
+    }
+    ByteReader r(payload + 1, size - 1);
+    const auto op = static_cast<Opcode>(payload[0]);
+    Request req;
+    const char *name = "";
+    switch (op) {
+    case Opcode::CreateMarket: {
+        name = "CreateMarket";
+        CreateMarket c;
+        c.market = r.u64();
+        const std::uint16_t n = r.u16();
+        for (std::uint16_t i = 0; i < n && !r.failed(); ++i) {
+            TenantSpec t;
+            t.tenant = r.u64();
+            t.app = r.str();
+            c.tenants.push_back(std::move(t));
+        }
+        req = std::move(c);
+        break;
+    }
+    case Opcode::SubmitDemand: {
+        name = "SubmitDemand";
+        SubmitDemand d;
+        d.market = r.u64();
+        d.tenant = r.u64();
+        d.weight = r.f64();
+        req = d;
+        break;
+    }
+    case Opcode::JoinTenant: {
+        name = "JoinTenant";
+        JoinTenant j;
+        j.market = r.u64();
+        j.tenant = r.u64();
+        j.app = r.str();
+        req = std::move(j);
+        break;
+    }
+    case Opcode::LeaveTenant: {
+        name = "LeaveTenant";
+        LeaveTenant l;
+        l.market = r.u64();
+        l.tenant = r.u64();
+        req = l;
+        break;
+    }
+    case Opcode::GetAllocation: {
+        name = "GetAllocation";
+        GetAllocation g;
+        g.market = r.u64();
+        req = g;
+        break;
+    }
+    case Opcode::GetStats:
+        name = "GetStats";
+        req = GetStats{};
+        break;
+    case Opcode::Shutdown:
+        name = "Shutdown";
+        req = Shutdown{};
+        break;
+    case Opcode::TickNow:
+        name = "TickNow";
+        req = TickNow{};
+        break;
+    default:
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "unknown request opcode 0x%02x", payload[0]);
+    }
+    if (r.failed())
+        return decodeError(name, r);
+    if (r.remaining() != 0)
+        return trailingError(name, r.remaining());
+    return req;
+}
+
+util::Expected<Response>
+decodeResponse(const std::uint8_t *payload, std::size_t size)
+{
+    if (size == 0) {
+        return util::SolveStatus::error(util::StatusCode::InvalidArgument,
+                                        "empty frame payload");
+    }
+    ByteReader r(payload + 1, size - 1);
+    const auto op = static_cast<ReplyOpcode>(payload[0]);
+    Response resp;
+    switch (op) {
+    case ReplyOpcode::Ack:
+        resp = AckReply{};
+        break;
+    case ReplyOpcode::Error: {
+        ErrorReply e;
+        e.code = static_cast<util::StatusCode>(r.u8());
+        e.message = r.rest();
+        resp = std::move(e);
+        break;
+    }
+    case ReplyOpcode::Allocation: {
+        AllocationReply a;
+        a.market = r.u64();
+        a.tick = r.u64();
+        a.converged = r.u8() != 0;
+        const std::uint16_t m = r.u16();
+        for (std::uint16_t j = 0; j < m && !r.failed(); ++j)
+            a.prices.push_back(r.f64());
+        const std::uint16_t n = r.u16();
+        for (std::uint16_t i = 0; i < n && !r.failed(); ++i) {
+            TenantAllocation t;
+            t.tenant = r.u64();
+            t.budget = r.f64();
+            t.lambda = r.f64();
+            for (std::uint16_t j = 0; j < m && !r.failed(); ++j)
+                t.alloc.push_back(r.f64());
+            a.players.push_back(std::move(t));
+        }
+        resp = std::move(a);
+        break;
+    }
+    case ReplyOpcode::Stats: {
+        StatsReply s;
+        s.json = r.rest();
+        resp = std::move(s);
+        break;
+    }
+    default:
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "unknown response opcode 0x%02x", payload[0]);
+    }
+    if (r.failed()) {
+        return util::SolveStatus::error(util::StatusCode::InvalidArgument,
+                                        "malformed response: truncated %s",
+                                        r.what().c_str());
+    }
+    if (r.remaining() != 0) {
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "malformed response: %zu trailing byte(s)", r.remaining());
+    }
+    return resp;
+}
+
+void
+FrameReader::feed(const std::uint8_t *data, std::size_t size)
+{
+    if (broken_)
+        return;
+    // Shift out already-consumed bytes before appending so the buffer
+    // stays proportional to one frame, not to connection lifetime.
+    if (consumed_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameReader::Result
+FrameReader::next(std::vector<std::uint8_t> &payload)
+{
+    if (broken_)
+        return Result::Error;
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < 4)
+        return Result::NeedMore;
+    const std::uint8_t *p = buffer_.data() + consumed_;
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              static_cast<std::uint32_t>(p[1]) << 8 |
+                              static_cast<std::uint32_t>(p[2]) << 16 |
+                              static_cast<std::uint32_t>(p[3]) << 24;
+    if (len > kMaxFramePayload) {
+        broken_ = true;
+        error_ = "declared frame payload of " + std::to_string(len) +
+                 " bytes exceeds the " +
+                 std::to_string(kMaxFramePayload) + "-byte cap";
+        return Result::Error;
+    }
+    if (avail - 4 < len)
+        return Result::NeedMore;
+    payload.assign(p + 4, p + 4 + len);
+    consumed_ += 4 + len;
+    if (consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+    }
+    return Result::Frame;
+}
+
+} // namespace rebudget::serve

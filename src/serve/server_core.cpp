@@ -1,0 +1,285 @@
+#include "rebudget/serve/server_core.h"
+
+#include <sstream>
+#include <utility>
+
+#include "rebudget/util/arg_parse.h"
+#include "rebudget/util/rng.h"
+
+namespace rebudget::serve {
+
+ServerCore::ServerCore(const ServeConfig &config)
+    : config_(config), pool_(config.jobs)
+{
+    if (config_.shards == 0)
+        config_.shards = 1;
+    shards_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s)
+        shards_.push_back(std::make_unique<Shard>(s, config_));
+}
+
+std::size_t
+ServerCore::shardOf(std::uint64_t market) const
+{
+    return static_cast<std::size_t>(util::mix64(market) %
+                                    shards_.size());
+}
+
+Response
+ServerCore::apply(const Request &req)
+{
+    if (std::holds_alternative<GetStats>(req))
+        return StatsReply{statsJson()};
+    if (std::holds_alternative<Shutdown>(req))
+        return AckReply{}; // the transport layer stops the loop
+    if (std::holds_alternative<TickNow>(req)) {
+        tick();
+        return AckReply{};
+    }
+    std::uint64_t market = 0;
+    if (const auto *create = std::get_if<CreateMarket>(&req))
+        market = create->market;
+    else if (const auto *demand = std::get_if<SubmitDemand>(&req))
+        market = demand->market;
+    else if (const auto *join = std::get_if<JoinTenant>(&req))
+        market = join->market;
+    else if (const auto *leave = std::get_if<LeaveTenant>(&req))
+        market = leave->market;
+    else if (const auto *get = std::get_if<GetAllocation>(&req))
+        market = get->market;
+    return shards_[shardOf(market)]->apply(req);
+}
+
+void
+ServerCore::tick()
+{
+    epoch_ += 1;
+    const std::uint64_t epoch = epoch_;
+    pool_.parallelFor(shards_.size(), [&](std::size_t s) {
+        shards_[s]->tick(epoch);
+    });
+}
+
+std::size_t
+ServerCore::marketCount() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->marketCount();
+    return total;
+}
+
+std::string
+ServerCore::statsJson() const
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"rebudget.serve_stats.v1\",\n";
+    out += "  \"epoch\": " + std::to_string(epoch_) + ",\n";
+    out += "  \"markets\": " + std::to_string(marketCount()) + ",\n";
+    out += "  \"shards\": [\n";
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const ShardCounters c = shards_[s]->counters();
+        auto field = [&](const char *key, std::int64_t v) {
+            out += std::string("      \"") + key +
+                   "\": " + std::to_string(v) + ",\n";
+        };
+        out += "    {\n";
+        out += "      \"shard\": " + std::to_string(s) + ",\n";
+        out += "      \"markets\": " +
+               std::to_string(shards_[s]->marketCount()) + ",\n";
+        field("markets_created", c.marketsCreated);
+        field("requests_applied", c.requestsApplied);
+        field("requests_rejected", c.requestsRejected);
+        field("ticks_run", c.ticksRun);
+        field("steady_ticks", c.steadyTicks);
+        field("steady_tick_allocs", c.steadyTickAllocs);
+        field("warmup_tick_allocs", c.warmupTickAllocs);
+        out += "      \"solver\": " +
+               shards_[s]->solverStats().toJson(6) + "\n";
+        out += s + 1 < shards_.size() ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n";
+    out += "}";
+    return out;
+}
+
+std::uint64_t
+ServerCore::digest() const
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    for (const auto &shard : shards_)
+        h = shard->digest(h);
+    return h;
+}
+
+namespace {
+
+/** Split a line into whitespace-separated tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+/** Split "app1,app2,app3" on commas (empty fields rejected upstream). */
+std::vector<std::string>
+splitApps(const std::string &list)
+{
+    std::vector<std::string> apps;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        apps.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return apps;
+}
+
+util::SolveStatus
+lineError(std::size_t lineno, const char *what, const std::string &detail)
+{
+    return util::SolveStatus::error(util::StatusCode::InvalidArgument,
+                                    "replay line %zu: %s%s%s", lineno,
+                                    what, detail.empty() ? "" : ": ",
+                                    detail.c_str());
+}
+
+/** Apply one request; a server rejection fails the replay by line. */
+util::SolveStatus
+applyOrFail(ServerCore &core, const Request &req, std::size_t lineno)
+{
+    const Response resp = core.apply(req);
+    if (const auto *err = std::get_if<ErrorReply>(&resp))
+        return lineError(lineno, "request rejected", err->message);
+    return {};
+}
+
+} // namespace
+
+util::SolveStatus
+runReplayTrace(ServerCore &core, std::istream &in)
+{
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno += 1;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const std::vector<std::string> tok = tokenize(line);
+        if (tok.empty())
+            continue;
+        const std::string &cmd = tok[0];
+        if (cmd == "create") {
+            if (tok.size() != 3)
+                return lineError(lineno, "create needs <market> <apps>",
+                                 "");
+            const auto market = util::parseUnsigned(tok[1]);
+            if (!market.ok())
+                return lineError(lineno, "bad market id",
+                                 market.status().message());
+            CreateMarket req;
+            req.market = market.value();
+            std::uint64_t tenant = 0;
+            for (const std::string &app : splitApps(tok[2])) {
+                if (app.empty())
+                    return lineError(lineno, "empty app name in list",
+                                     tok[2]);
+                req.tenants.push_back({tenant++, app});
+            }
+            const auto status = applyOrFail(core, req, lineno);
+            if (!status.ok())
+                return status;
+        } else if (cmd == "demand") {
+            if (tok.size() != 4) {
+                return lineError(
+                    lineno, "demand needs <market> <tenant> <weight>",
+                    "");
+            }
+            const auto market = util::parseUnsigned(tok[1]);
+            const auto tenant = util::parseUnsigned(tok[2]);
+            const auto weight = util::parseDouble(tok[3]);
+            if (!market.ok())
+                return lineError(lineno, "bad market id",
+                                 market.status().message());
+            if (!tenant.ok())
+                return lineError(lineno, "bad tenant id",
+                                 tenant.status().message());
+            if (!weight.ok())
+                return lineError(lineno, "bad weight",
+                                 weight.status().message());
+            const auto status = applyOrFail(
+                core,
+                SubmitDemand{market.value(), tenant.value(),
+                             weight.value()},
+                lineno);
+            if (!status.ok())
+                return status;
+        } else if (cmd == "join") {
+            if (tok.size() != 4) {
+                return lineError(lineno,
+                                 "join needs <market> <tenant> <app>",
+                                 "");
+            }
+            const auto market = util::parseUnsigned(tok[1]);
+            const auto tenant = util::parseUnsigned(tok[2]);
+            if (!market.ok())
+                return lineError(lineno, "bad market id",
+                                 market.status().message());
+            if (!tenant.ok())
+                return lineError(lineno, "bad tenant id",
+                                 tenant.status().message());
+            const auto status = applyOrFail(
+                core, JoinTenant{market.value(), tenant.value(), tok[3]},
+                lineno);
+            if (!status.ok())
+                return status;
+        } else if (cmd == "leave") {
+            if (tok.size() != 3)
+                return lineError(lineno, "leave needs <market> <tenant>",
+                                 "");
+            const auto market = util::parseUnsigned(tok[1]);
+            const auto tenant = util::parseUnsigned(tok[2]);
+            if (!market.ok())
+                return lineError(lineno, "bad market id",
+                                 market.status().message());
+            if (!tenant.ok())
+                return lineError(lineno, "bad tenant id",
+                                 tenant.status().message());
+            const auto status = applyOrFail(
+                core, LeaveTenant{market.value(), tenant.value()},
+                lineno);
+            if (!status.ok())
+                return status;
+        } else if (cmd == "tick") {
+            if (tok.size() > 2)
+                return lineError(lineno, "tick takes at most one count",
+                                 "");
+            std::uint64_t count = 1;
+            if (tok.size() == 2) {
+                const auto parsed =
+                    util::parseUnsigned(tok[1], 1u << 20);
+                if (!parsed.ok())
+                    return lineError(lineno, "bad tick count",
+                                     parsed.status().message());
+                count = parsed.value();
+            }
+            for (std::uint64_t t = 0; t < count; ++t)
+                core.tick();
+        } else {
+            return lineError(lineno, "unknown command", cmd);
+        }
+    }
+    return {};
+}
+
+} // namespace rebudget::serve

@@ -1,0 +1,536 @@
+#include "rebudget/serve/shard.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace rebudget::serve {
+
+namespace {
+
+ErrorReply
+errorReply(util::SolveStatus status)
+{
+    ErrorReply e;
+    e.code = status.code();
+    e.message = status.message();
+    return e;
+}
+
+ErrorReply
+unknownMarket(std::uint64_t market)
+{
+    ErrorReply e;
+    e.code = util::StatusCode::InvalidArgument;
+    e.message = "unknown market " + std::to_string(market);
+    return e;
+}
+
+ErrorReply
+unknownTenant(std::uint64_t market, std::uint64_t tenant)
+{
+    ErrorReply e;
+    e.code = util::StatusCode::InvalidArgument;
+    e.message = "market " + std::to_string(market) +
+                " has no tenant " + std::to_string(tenant);
+    return e;
+}
+
+/**
+ * Pre-size an equilibrium slot's buffers for an n-player, m-resource
+ * market.  The warm chain ping-pongs between two slots, so without
+ * this the second slot would take its sizing allocations on the first
+ * steady tick after a roster (re)build -- one tick after the chain is
+ * already "warm" -- and break the zero-allocation contract.
+ */
+void
+presizeResult(market::EquilibriumResult &r, std::size_t n, std::size_t m)
+{
+    r.alloc.resize(n, m);
+    r.bids.resize(n, m);
+    r.prices.resize(m);
+    r.lambdas.resize(n);
+    r.budgets.resize(n);
+}
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t
+foldU64(std::uint64_t h, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (v >> shift) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+foldF64(std::uint64_t h, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return foldU64(h, bits);
+}
+
+} // namespace
+
+/**
+ * One hosted market: roster, demand weights, the solver objects and the
+ * two-slot warm-start chain.  All scratch buffers are sized on first
+ * use and reused, so steady-state ticks allocate nothing.
+ */
+struct Shard::MarketEntry
+{
+    explicit MarketEntry(const ServeConfig &config)
+        : builder(eval::ProblemBuilder::Config{config.regionsPerCore,
+                                               config.wattsPerCore,
+                                               config.convexify}),
+          watchdog(config.watchdogFailureThreshold,
+                   config.watchdogCleanEpochs)
+    {
+    }
+
+    std::uint64_t id = 0;
+    /** Tenant ids in dense player order (parallel to builder models). */
+    std::vector<std::uint64_t> tenants;
+    /** Demand weights; budgets are n * w_i / sum(w) each tick. */
+    std::vector<double> weights;
+    eval::ProblemBuilder builder;
+    std::vector<const market::UtilityModel *> modelPtrs;
+    std::vector<double> capacities;
+    std::unique_ptr<market::ProportionalMarket> market;
+    market::SolveWorkspace ws;
+    /** Warm-start chain: solve into slots[1-cur], flip on success. */
+    market::EquilibriumResult slots[2];
+    int cur = 0;
+    /** slots[cur] is a real equilibrium usable as next tick's seed. */
+    bool warmValid = false;
+    /** slots[cur] is servable via GetAllocation (seed or fallback). */
+    bool published = false;
+    /** Roster the published allocation was computed on. */
+    std::vector<std::uint64_t> publishedTenants;
+    /** Migration scratch for roster-change warm seeds. */
+    market::EquilibriumResult migrated;
+    std::vector<std::ptrdiff_t> priorIndex;
+    std::vector<double> budgets;
+    /** Roster the current warm seed was solved on (migration map). */
+    std::vector<std::uint64_t> solvedTenants;
+    /** Set by create/join/leave; cleared once the market is rebuilt. */
+    bool rosterChanged = true;
+    sim::ConvergenceWatchdog watchdog;
+    /** Epoch of the published allocation. */
+    std::uint64_t lastTick = 0;
+};
+
+Shard::Shard(std::size_t index, const ServeConfig &config)
+    : index_(index), config_(&config)
+{
+}
+
+Shard::~Shard() = default;
+
+Response
+Shard::apply(const Request &req)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Response resp;
+    if (const auto *create = std::get_if<CreateMarket>(&req))
+        resp = doCreate(*create);
+    else if (const auto *demand = std::get_if<SubmitDemand>(&req))
+        resp = doDemand(*demand);
+    else if (const auto *join = std::get_if<JoinTenant>(&req))
+        resp = doJoin(*join);
+    else if (const auto *leave = std::get_if<LeaveTenant>(&req))
+        resp = doLeave(*leave);
+    else if (const auto *get = std::get_if<GetAllocation>(&req))
+        resp = doGet(*get);
+    else {
+        ErrorReply e;
+        e.code = util::StatusCode::InvalidArgument;
+        e.message = "request is not market-scoped";
+        resp = std::move(e);
+    }
+    if (std::holds_alternative<ErrorReply>(resp))
+        counters_.requestsRejected += 1;
+    else
+        counters_.requestsApplied += 1;
+    return resp;
+}
+
+Response
+Shard::doCreate(const CreateMarket &req)
+{
+    if (markets_.count(req.market) != 0) {
+        ErrorReply e;
+        e.code = util::StatusCode::FailedPrecondition;
+        e.message =
+            "market " + std::to_string(req.market) + " already exists";
+        return e;
+    }
+    if (markets_.size() >= config_->maxMarketsPerShard) {
+        return errorReply(util::SolveStatus::error(
+            util::StatusCode::FailedPrecondition,
+            "shard %zu is at its market cap (%zu)", index_,
+            config_->maxMarketsPerShard));
+    }
+    if (req.tenants.empty()) {
+        return errorReply(util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "CreateMarket needs at least one tenant"));
+    }
+    if (req.tenants.size() > config_->maxPlayersPerMarket) {
+        return errorReply(util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "market %llu asks for %zu tenants, cap is %zu",
+            static_cast<unsigned long long>(req.market),
+            req.tenants.size(), config_->maxPlayersPerMarket));
+    }
+    auto entry = std::make_unique<MarketEntry>(*config_);
+    entry->id = req.market;
+    for (const auto &t : req.tenants) {
+        for (const std::uint64_t seen : entry->tenants) {
+            if (seen == t.tenant) {
+                return errorReply(util::SolveStatus::error(
+                    util::StatusCode::InvalidArgument,
+                    "duplicate tenant %llu in CreateMarket",
+                    static_cast<unsigned long long>(t.tenant)));
+            }
+        }
+        const auto added = entry->builder.addApp(t.app);
+        if (!added.ok())
+            return errorReply(added.status());
+        entry->tenants.push_back(t.tenant);
+        entry->weights.push_back(1.0);
+    }
+    markets_.emplace(req.market, std::move(entry));
+    counters_.marketsCreated += 1;
+    return AckReply{};
+}
+
+Response
+Shard::doDemand(const SubmitDemand &req)
+{
+    const auto it = markets_.find(req.market);
+    if (it == markets_.end())
+        return unknownMarket(req.market);
+    MarketEntry &e = *it->second;
+    if (!std::isfinite(req.weight) || req.weight <= 0.0) {
+        return errorReply(util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "demand weight must be a finite positive number, got %g",
+            req.weight));
+    }
+    for (std::size_t i = 0; i < e.tenants.size(); ++i) {
+        if (e.tenants[i] == req.tenant) {
+            e.weights[i] = req.weight;
+            return AckReply{};
+        }
+    }
+    return unknownTenant(req.market, req.tenant);
+}
+
+Response
+Shard::doJoin(const JoinTenant &req)
+{
+    const auto it = markets_.find(req.market);
+    if (it == markets_.end())
+        return unknownMarket(req.market);
+    MarketEntry &e = *it->second;
+    if (e.tenants.size() >= config_->maxPlayersPerMarket) {
+        return errorReply(util::SolveStatus::error(
+            util::StatusCode::FailedPrecondition,
+            "market %llu is at its player cap (%zu)",
+            static_cast<unsigned long long>(req.market),
+            config_->maxPlayersPerMarket));
+    }
+    for (const std::uint64_t seen : e.tenants) {
+        if (seen == req.tenant) {
+            return errorReply(util::SolveStatus::error(
+                util::StatusCode::FailedPrecondition,
+                "tenant %llu already in market %llu",
+                static_cast<unsigned long long>(req.tenant),
+                static_cast<unsigned long long>(req.market)));
+        }
+    }
+    const auto added = e.builder.addApp(req.app);
+    if (!added.ok())
+        return errorReply(added.status());
+    e.tenants.push_back(req.tenant);
+    e.weights.push_back(1.0);
+    e.rosterChanged = true;
+    stats_.tenantsJoined += 1;
+    return AckReply{};
+}
+
+Response
+Shard::doLeave(const LeaveTenant &req)
+{
+    const auto it = markets_.find(req.market);
+    if (it == markets_.end())
+        return unknownMarket(req.market);
+    MarketEntry &e = *it->second;
+    for (std::size_t i = 0; i < e.tenants.size(); ++i) {
+        if (e.tenants[i] != req.tenant)
+            continue;
+        e.builder.removeAt(i);
+        e.tenants.erase(e.tenants.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        e.weights.erase(e.weights.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        e.rosterChanged = true;
+        stats_.tenantsDeparted += 1;
+        return AckReply{};
+    }
+    return unknownTenant(req.market, req.tenant);
+}
+
+Response
+Shard::doGet(const GetAllocation &req) const
+{
+    const auto it = markets_.find(req.market);
+    if (it == markets_.end())
+        return unknownMarket(req.market);
+    const MarketEntry &e = *it->second;
+    if (!e.published) {
+        return errorReply(util::SolveStatus::error(
+            util::StatusCode::FailedPrecondition,
+            "market %llu has no allocation yet (awaiting first tick)",
+            static_cast<unsigned long long>(req.market)));
+    }
+    const market::EquilibriumResult &res = e.slots[e.cur];
+    AllocationReply reply;
+    reply.market = e.id;
+    reply.tick = e.lastTick;
+    reply.converged = res.converged;
+    reply.prices = res.prices;
+    reply.players.reserve(e.publishedTenants.size());
+    for (std::size_t i = 0; i < e.publishedTenants.size(); ++i) {
+        TenantAllocation t;
+        t.tenant = e.publishedTenants[i];
+        t.budget = i < res.budgets.size() ? res.budgets[i] : 0.0;
+        t.lambda = i < res.lambdas.size() ? res.lambdas[i] : 0.0;
+        if (i < res.alloc.rows()) {
+            const auto row = res.alloc[i];
+            t.alloc.assign(row.begin(), row.end());
+        }
+        reply.players.push_back(std::move(t));
+    }
+    return reply;
+}
+
+void
+Shard::tick(std::uint64_t epoch)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // A tick is "steady" when every non-empty market will warm-start
+    // from an intact chain: that is the regime the zero-allocation
+    // contract covers, and the regime the audit counters below bucket
+    // separately from warm-up/churn ticks.
+    bool steady = true;
+    for (const auto &kv : markets_) {
+        const MarketEntry &e = *kv.second;
+        if (e.tenants.empty())
+            continue;
+        if (e.rosterChanged || (!e.warmValid && !e.watchdog.inFallback()))
+            steady = false;
+    }
+    auto *const counter = config_->allocCounter;
+    const std::int64_t before = counter ? counter() : 0;
+    for (auto &kv : markets_)
+        tickMarket(*kv.second, epoch);
+    const std::int64_t delta = counter ? counter() - before : 0;
+    counters_.ticksRun += 1;
+    if (steady) {
+        counters_.steadyTicks += 1;
+        counters_.steadyTickAllocs += delta;
+    } else {
+        counters_.warmupTickAllocs += delta;
+    }
+}
+
+void
+Shard::tickMarket(MarketEntry &e, std::uint64_t epoch)
+{
+    const std::size_t n = e.tenants.size();
+    if (n == 0)
+        return; // every tenant left; nothing to solve or publish
+
+    // Budgets from demand weights: B_i = n * w_i / sum(w), so budgets
+    // always sum to n (one unit per seat) and doubling your weight
+    // doubles your purchasing power relative to the room.
+    double wsum = 0.0;
+    for (const double w : e.weights)
+        wsum += w;
+    e.budgets.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        e.budgets[i] = static_cast<double>(n) * e.weights[i] / wsum;
+
+    const market::EquilibriumResult *prior = nullptr;
+    if (e.rosterChanged) {
+        // Rebuild the market for the new roster, then migrate the
+        // surviving tenants' warm state across the shape change.
+        const bool migrate = e.warmValid && !e.solvedTenants.empty();
+        e.modelPtrs.clear();
+        for (const auto &model : e.builder.models())
+            e.modelPtrs.push_back(model.get());
+        e.builder.capacitiesInto(e.capacities);
+        e.market = std::make_unique<market::ProportionalMarket>(
+            e.modelPtrs, e.capacities, config_->market);
+        if (migrate) {
+            e.priorIndex.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                e.priorIndex[i] = -1;
+                for (std::size_t p = 0; p < e.solvedTenants.size(); ++p) {
+                    if (e.solvedTenants[p] == e.tenants[i]) {
+                        e.priorIndex[i] =
+                            static_cast<std::ptrdiff_t>(p);
+                        break;
+                    }
+                }
+            }
+            const std::size_t kept = market::migrateEquilibriumInto(
+                e.slots[e.cur], e.priorIndex, e.capacities.size(),
+                e.migrated);
+            stats_.migratedWarmSeeds +=
+                static_cast<std::int64_t>(kept);
+            if (e.migrated.status.ok())
+                prior = &e.migrated;
+        }
+        e.warmValid = false;
+        e.published = false;
+        e.rosterChanged = false;
+        e.solvedTenants = e.tenants;
+        presizeResult(e.slots[0], n, e.capacities.size());
+        presizeResult(e.slots[1], n, e.capacities.size());
+        e.publishedTenants.reserve(n);
+    } else if (e.warmValid) {
+        prior = &e.slots[e.cur];
+    }
+
+    if (e.watchdog.consumeFallbackEpoch()) {
+        installFallback(e);
+        e.lastTick = epoch;
+        stats_.fallbackEpochs += 1;
+        return;
+    }
+
+    market::EquilibriumResult &out = e.slots[1 - e.cur];
+    e.market->findEquilibriumInto(e.budgets, prior, e.ws, out);
+
+    stats_.equilibriumSolves += 1;
+    stats_.sweepIterations += out.iterations;
+    stats_.hillClimbSteps += out.hillClimbSteps;
+    stats_.solveSeconds += out.solveSeconds;
+    if (out.warmStarted)
+        stats_.warmStartedSolves += 1;
+    else
+        stats_.coldStartedSolves += 1;
+
+    if (!out.status.ok()) {
+        // Keep serving the previous published allocation; the chain
+        // stays on the old slot.
+        stats_.failedSolves += 1;
+    } else {
+        if (!out.converged)
+            stats_.failSafeTrips += 1;
+        e.cur = 1 - e.cur;
+        e.warmValid = true;
+        e.published = true;
+        e.publishedTenants = e.tenants;
+        e.lastTick = epoch;
+    }
+
+    const bool healthy = out.status.ok() && out.converged;
+    if (e.watchdog.observe(healthy)) {
+        // Watchdog trip: stop trusting the market, drop the warm chain
+        // and publish the open-loop equal split for this epoch and the
+        // recovery window.
+        stats_.watchdogTrips += 1;
+        e.warmValid = false;
+        installFallback(e);
+        e.lastTick = epoch;
+    }
+}
+
+/** Publish the open-loop equal split into the entry's current slot. */
+void
+Shard::installFallback(MarketEntry &entry)
+{
+    const std::size_t n = entry.tenants.size();
+    const std::size_t m = entry.capacities.size();
+    market::EquilibriumResult &out = entry.slots[entry.cur];
+    out.status = {};
+    out.alloc.resize(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            out.alloc(i, j) =
+                entry.capacities[j] / static_cast<double>(n);
+        }
+    }
+    out.bids.clear();
+    out.prices.assign(m, 0.0);
+    out.lambdas.assign(n, 0.0);
+    out.budgets = entry.budgets;
+    out.iterations = 0;
+    out.converged = false;
+    out.warmStarted = false;
+    out.approximated = true;
+    out.hillClimbSteps = 0;
+    out.solveSeconds = 0.0;
+    entry.published = true;
+    entry.publishedTenants = entry.tenants;
+}
+
+std::size_t
+Shard::marketCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return markets_.size();
+}
+
+ShardCounters
+Shard::counters() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+util::SolverStats
+Shard::solverStats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::uint64_t
+Shard::digest(std::uint64_t h) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &kv : markets_) {
+        const MarketEntry &e = *kv.second;
+        h = foldU64(h, e.id);
+        h = foldU64(h, e.tenants.size());
+        for (const std::uint64_t t : e.tenants)
+            h = foldU64(h, t);
+        h = foldU64(h, e.published ? 1 : 0);
+        if (!e.published)
+            continue;
+        const market::EquilibriumResult &res = e.slots[e.cur];
+        h = foldU64(h, static_cast<std::uint64_t>(res.iterations));
+        h = foldU64(h, res.converged ? 1 : 0);
+        for (const double b : res.budgets)
+            h = foldF64(h, b);
+        for (const double p : res.prices)
+            h = foldF64(h, p);
+        for (const double l : res.lambdas)
+            h = foldF64(h, l);
+        for (std::size_t i = 0; i < res.alloc.rows(); ++i) {
+            for (std::size_t j = 0; j < res.alloc.cols(); ++j)
+                h = foldF64(h, res.alloc(i, j));
+        }
+    }
+    return h;
+}
+
+} // namespace rebudget::serve

@@ -1,0 +1,311 @@
+#include "rebudget/serve/socket_server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "rebudget/serve/protocol.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::serve {
+
+namespace {
+
+/** Per-connection state: incremental decoder plus a write queue. */
+struct Connection
+{
+    int fd = -1;
+    FrameReader reader;
+    std::vector<std::uint8_t> outbuf;
+    std::size_t outoff = 0;
+    /** Flush outbuf, then close (framing broke or shutdown ack). */
+    bool closeAfterFlush = false;
+
+    bool wantsWrite() const { return outoff < outbuf.size(); }
+};
+
+util::SolveStatus
+sysError(const char *what)
+{
+    return util::SolveStatus::error(util::StatusCode::Aborted, "%s: %s",
+                                    what, std::strerror(errno));
+}
+
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+queueResponse(Connection &conn, const Response &resp)
+{
+    encodeResponse(resp, conn.outbuf);
+}
+
+} // namespace
+
+util::SolveStatus
+SocketServer::run()
+{
+    int listen_fd = -1;
+    bool unlink_on_exit = false;
+    if (!options_.socketPath.empty()) {
+        listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listen_fd < 0)
+            return sysError("socket(AF_UNIX)");
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+            ::close(listen_fd);
+            return util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "socket path too long: %s",
+                options_.socketPath.c_str());
+        }
+        std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(options_.socketPath.c_str());
+        if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            ::close(listen_fd);
+            return sysError("bind(unix socket)");
+        }
+        unlink_on_exit = true;
+    } else {
+        listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd < 0)
+            return sysError("socket(AF_INET)");
+        const int one = 1;
+        ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(options_.port);
+        if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            ::close(listen_fd);
+            return sysError("bind(loopback tcp)");
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listen_fd,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            bound_port_ = ntohs(bound.sin_port);
+    }
+    if (::listen(listen_fd, 64) != 0) {
+        ::close(listen_fd);
+        if (unlink_on_exit)
+            ::unlink(options_.socketPath.c_str());
+        return sysError("listen");
+    }
+
+    std::vector<std::unique_ptr<Connection>> conns;
+    std::vector<pollfd> fds;
+    std::vector<std::uint8_t> payload;
+    std::uint8_t rdbuf[64 * 1024];
+    bool shutting_down = false;
+    std::uint64_t ticks_run = 0;
+    std::int64_t next_tick =
+        options_.tickMs > 0 ? nowMs() + options_.tickMs : 0;
+    util::SolveStatus exit_status;
+
+    while (true) {
+        if (stop_ != 0)
+            break;
+        if (shutting_down) {
+            // Flushed every goodbye byte? Then leave the loop.
+            bool pending = false;
+            for (const auto &conn : conns)
+                pending = pending || conn->wantsWrite();
+            if (!pending)
+                break;
+        }
+
+        fds.clear();
+        fds.push_back({listen_fd, POLLIN, 0});
+        for (const auto &conn : conns) {
+            short events = POLLIN;
+            if (conn->wantsWrite())
+                events |= POLLOUT;
+            fds.push_back({conn->fd, events, 0});
+        }
+
+        int timeout = -1;
+        if (options_.tickMs > 0 && !shutting_down) {
+            const std::int64_t wait = next_tick - nowMs();
+            timeout = wait < 0 ? 0
+                               : static_cast<int>(
+                                     wait > 60000 ? 60000 : wait);
+        } else if (shutting_down) {
+            timeout = 100; // just flushing; don't hang on a dead peer
+        }
+
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()),
+                                 timeout);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            exit_status = sysError("poll");
+            break;
+        }
+
+        // Timer tick.
+        if (options_.tickMs > 0 && !shutting_down &&
+            nowMs() >= next_tick) {
+            core_.tick();
+            ticks_run += 1;
+            next_tick += options_.tickMs;
+            // If we fell behind (long solve), re-anchor instead of
+            // firing a burst of catch-up ticks.
+            if (next_tick <= nowMs())
+                next_tick = nowMs() + options_.tickMs;
+            if (options_.maxTicks > 0 &&
+                ticks_run >= options_.maxTicks) {
+                shutting_down = true;
+            }
+        }
+
+        // New connection.
+        if ((fds[0].revents & POLLIN) != 0 && !shutting_down) {
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd >= 0) {
+                auto conn = std::make_unique<Connection>();
+                conn->fd = fd;
+                conns.push_back(std::move(conn));
+                continue; // fds indices are stale; rebuild
+            }
+        }
+
+        // Existing connections (fds[i+1] mirrors conns[i]).
+        for (std::size_t i = 0;
+             i + 1 < fds.size() && i < conns.size(); ++i) {
+            Connection &conn = *conns[i];
+            const short revents = fds[i + 1].revents;
+            if (revents == 0)
+                continue;
+
+            if ((revents & POLLOUT) != 0 && conn.wantsWrite()) {
+                const ssize_t wrote = ::send(
+                    conn.fd, conn.outbuf.data() + conn.outoff,
+                    conn.outbuf.size() - conn.outoff, MSG_NOSIGNAL);
+                if (wrote > 0) {
+                    conn.outoff += static_cast<std::size_t>(wrote);
+                    if (!conn.wantsWrite()) {
+                        conn.outbuf.clear();
+                        conn.outoff = 0;
+                        if (conn.closeAfterFlush)
+                            conn.fd = (::close(conn.fd), -1);
+                    }
+                } else if (wrote < 0 && errno != EAGAIN &&
+                           errno != EINTR) {
+                    conn.fd = (::close(conn.fd), -1);
+                }
+            }
+
+            if (conn.fd < 0)
+                continue;
+            if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+
+            const ssize_t got =
+                ::recv(conn.fd, rdbuf, sizeof(rdbuf), 0);
+            if (got == 0 || (got < 0 && errno != EAGAIN &&
+                             errno != EINTR)) {
+                if (got == 0 && conn.reader.midFrame()) {
+                    util::warn("serve: connection closed mid-frame; "
+                               "dropping partial frame");
+                }
+                conn.fd = (::close(conn.fd), -1);
+                continue;
+            }
+            if (got < 0)
+                continue;
+            conn.reader.feed(rdbuf, static_cast<std::size_t>(got));
+
+            while (conn.fd >= 0 && !conn.closeAfterFlush) {
+                const FrameReader::Result r = conn.reader.next(payload);
+                if (r == FrameReader::Result::NeedMore)
+                    break;
+                if (r == FrameReader::Result::Error) {
+                    // Framing broke: answer once, then drop the
+                    // connection (stream position is untrustworthy).
+                    ErrorReply err;
+                    err.code = util::StatusCode::InvalidArgument;
+                    err.message = conn.reader.error();
+                    queueResponse(conn, err);
+                    conn.closeAfterFlush = true;
+                    break;
+                }
+                const auto req =
+                    decodeRequest(payload.data(), payload.size());
+                if (!req.ok()) {
+                    // Complete frame, bad content: typed error, keep
+                    // the connection (and every other connection and
+                    // market untouched).
+                    ErrorReply err;
+                    err.code = req.status().code();
+                    err.message = req.status().message();
+                    queueResponse(conn, err);
+                    continue;
+                }
+                queueResponse(conn, core_.apply(req.value()));
+                if (std::holds_alternative<Shutdown>(req.value())) {
+                    shutting_down = true;
+                    conn.closeAfterFlush = true;
+                }
+            }
+
+            // Opportunistic flush so simple request/reply clients see
+            // the answer without waiting for the next poll round.
+            if (conn.fd >= 0 && conn.wantsWrite()) {
+                const ssize_t wrote = ::send(
+                    conn.fd, conn.outbuf.data() + conn.outoff,
+                    conn.outbuf.size() - conn.outoff, MSG_NOSIGNAL);
+                if (wrote > 0) {
+                    conn.outoff += static_cast<std::size_t>(wrote);
+                    if (!conn.wantsWrite()) {
+                        conn.outbuf.clear();
+                        conn.outoff = 0;
+                        if (conn.closeAfterFlush)
+                            conn.fd = (::close(conn.fd), -1);
+                    }
+                }
+            }
+        }
+
+        // Reap closed connections.
+        for (std::size_t i = 0; i < conns.size();) {
+            if (conns[i]->fd < 0)
+                conns.erase(conns.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            else
+                ++i;
+        }
+    }
+
+    for (const auto &conn : conns) {
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    }
+    ::close(listen_fd);
+    if (unlink_on_exit)
+        ::unlink(options_.socketPath.c_str());
+    return exit_status;
+}
+
+} // namespace rebudget::serve

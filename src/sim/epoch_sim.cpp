@@ -11,6 +11,7 @@
 #include "rebudget/power/rapl.h"
 #include "rebudget/sim/shared_l2.h"
 #include "rebudget/sim/sim_core.h"
+#include "rebudget/sim/watchdog.h"
 #include "rebudget/util/logging.h"
 
 namespace rebudget::sim {
@@ -159,10 +160,10 @@ EpochSimulator::run()
     // solves reuse the same buffers, so steady-state epochs perform no
     // solver heap allocation.
     market::SolveWorkspace solve_ws;
-    // Non-convergence watchdog state: consecutive bad epochs seen, and
-    // remaining equal-share epochs after a trip.
-    uint32_t consecutive_bad = 0;
-    uint32_t fallback_remaining = 0;
+    // Non-convergence watchdog (shared state machine with the serve
+    // shard loop; see sim/watchdog.h).
+    ConvergenceWatchdog watchdog(config_.watchdogFailureThreshold,
+                                 config_.watchdogCleanEpochs);
     for (uint32_t epoch = 0; epoch < total_epochs; ++epoch) {
         // (0a) Tenant arrivals and departures.  Departures idle the core
         // (zero cache target; its power cap drops at the next install)
@@ -318,8 +319,7 @@ EpochSimulator::run()
         // (3) Allocate -- unless the watchdog has the machine running
         // open-loop on the equal-share operating point installed at the
         // last trip.
-        if (fallback_remaining > 0) {
-            --fallback_remaining;
+        if (watchdog.consumeFallbackEpoch()) {
             record.fallback = true;
             result.solverStats.fallbackEpochs += 1;
         } else {
@@ -440,13 +440,9 @@ EpochSimulator::run()
             // Stop trusting it: install the equal-share operating point,
             // drop the warm-start chain, and run open-loop for a few
             // epochs so the monitors can recover before re-entry.
-            const bool bad = !outcome.status.ok() || !outcome.converged;
-            if (!bad) {
-                consecutive_bad = 0;
-            } else if (++consecutive_bad >=
-                       config_.watchdogFailureThreshold) {
-                consecutive_bad = 0;
-                fallback_remaining = config_.watchdogCleanEpochs;
+            const bool healthy =
+                outcome.status.ok() && outcome.converged;
+            if (watchdog.observe(healthy)) {
                 record.fallback = true;
                 result.solverStats.watchdogTrips += 1;
                 warm_seed.reset();

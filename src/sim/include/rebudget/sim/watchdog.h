@@ -1,0 +1,96 @@
+#ifndef REBUDGET_SIM_WATCHDOG_H_
+#define REBUDGET_SIM_WATCHDOG_H_
+
+/**
+ * @file
+ * Non-convergence watchdog shared by the epoch drivers.
+ *
+ * Both epoch-sequencing consumers -- the execution-driven
+ * sim::EpochSimulator and the serve::Shard loop inside rebudgetd --
+ * implement the same failure policy: after a run of consecutive epochs
+ * whose allocation failed or hit the iteration fail-safe, stop trusting
+ * the market, install a safe open-loop operating point (equal share),
+ * drop the warm-start chain, and only re-enter the market from a cold
+ * start after a fixed number of clean open-loop epochs.  This class
+ * holds exactly that state machine so the two drivers cannot drift
+ * apart; what "install the fallback" means stays with the caller
+ * (cache targets + RAPL caps in the simulator, an equal-share
+ * allocation snapshot in the daemon).
+ *
+ * Usage per epoch:
+ *   if (wd.consumeFallbackEpoch()) { run open-loop; } else {
+ *       solve; if (wd.observe(healthy)) install fallback + drop warm; }
+ */
+
+#include <cstdint>
+
+namespace rebudget::sim {
+
+/** Consecutive-failure watchdog with a fixed open-loop recovery window. */
+class ConvergenceWatchdog
+{
+  public:
+    /**
+     * @param failure_threshold  consecutive bad epochs that trip the
+     *                           watchdog (0 disables it entirely)
+     * @param clean_epochs       open-loop epochs to run after a trip
+     */
+    explicit ConvergenceWatchdog(uint32_t failure_threshold = 3,
+                                 uint32_t clean_epochs = 3)
+        : threshold_(failure_threshold), clean_(clean_epochs)
+    {
+    }
+
+    /**
+     * Call FIRST each epoch: true means this epoch belongs to the
+     * open-loop recovery window (one window epoch is consumed) and the
+     * caller must not run the market.
+     */
+    bool consumeFallbackEpoch()
+    {
+        if (remaining_ == 0)
+            return false;
+        --remaining_;
+        return true;
+    }
+
+    /**
+     * Record the health of a market epoch (healthy = allocation Ok AND
+     * converged).  @return true when this observation trips the
+     * watchdog: the caller installs its fallback operating point and
+     * drops its warm-start chain; the next clean_epochs epochs will
+     * report consumeFallbackEpoch() == true.
+     */
+    bool observe(bool healthy)
+    {
+        if (healthy) {
+            consecutive_bad_ = 0;
+            return false;
+        }
+        if (threshold_ == 0 || ++consecutive_bad_ < threshold_)
+            return false;
+        consecutive_bad_ = 0;
+        remaining_ = clean_;
+        return true;
+    }
+
+    /** @return true while the recovery window has epochs left. */
+    bool inFallback() const { return remaining_ > 0; }
+
+    /** Forget all history (e.g. after an operator reset). */
+    void reset()
+    {
+        consecutive_bad_ = 0;
+        remaining_ = 0;
+    }
+
+  private:
+    uint32_t threshold_;
+    uint32_t clean_;
+    uint32_t consecutive_bad_ = 0;
+    uint32_t remaining_ = 0;
+};
+
+} // namespace rebudget::sim
+
+#endif // REBUDGET_SIM_WATCHDOG_H_

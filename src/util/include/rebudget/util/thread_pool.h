@@ -32,10 +32,26 @@ class ThreadPool
      * @param threads  worker count; 0 picks defaultThreadCount().  A
      *                 pool of size 1 spawns no worker threads and runs
      *                 everything inline in the calling thread.
+     *
+     * If spawning the Nth worker thread fails, the already-running
+     * workers are stopped and joined before the error propagates --
+     * a half-built pool never leaks joinable threads (which would
+     * std::terminate on destruction).
      */
     explicit ThreadPool(unsigned threads = 0);
 
-    /** Drains outstanding tasks, then joins the workers. */
+    /**
+     * Drains outstanding tasks, then joins the workers.
+     *
+     * Teardown contract: every task submitted before destruction RUNS
+     * (drain, not cancel -- a parallelFor blocked in another thread
+     * must still complete), destruction blocks until the queue is
+     * empty and all workers have exited, and a task that throws during
+     * the drain is contained (see submit) rather than terminating the
+     * process mid-join.  tests/eval/thread_pool_test.cpp destroys
+     * pools with queued work (including throwing tasks) under TSan to
+     * pin this down.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -62,8 +78,20 @@ class ThreadPool
     void parallelFor(size_t count,
                      const std::function<void(size_t)> &body);
 
+    /**
+     * Queue a fire-and-forget task (run inline when the pool has no
+     * workers).  Tasks queued at destruction time are drained, not
+     * cancelled.  A task that lets an exception escape does NOT take
+     * the process down: the exception is caught in the worker and
+     * reported as a warning, because a background task has no caller
+     * frame to rethrow into (parallelFor keeps its own rethrow path --
+     * its bodies are wrapped before they reach the queue).
+     */
+    void submit(std::function<void()> task);
+
   private:
     void post(std::function<void()> task);
+    static void runContained(const std::function<void()> &task);
     void workerLoop();
 
     unsigned threads_;

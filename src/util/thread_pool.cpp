@@ -7,6 +7,8 @@
 #include <memory>
 #include <string>
 
+#include "rebudget/util/logging.h"
+
 namespace rebudget::util {
 
 unsigned
@@ -28,8 +30,23 @@ ThreadPool::ThreadPool(unsigned threads)
     if (threads_ <= 1)
         return; // inline mode: no workers
     workers_.reserve(threads_);
-    for (unsigned t = 0; t < threads_; ++t)
-        workers_.emplace_back([this] { workerLoop(); });
+    try {
+        for (unsigned t = 0; t < threads_; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Spawning worker t failed (resource exhaustion).  The t
+        // already-running workers are joinable; leaving them behind
+        // would std::terminate when the vector destructs.  Stop and
+        // join them, then let the spawn error propagate.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+        throw;
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -39,8 +56,21 @@ ThreadPool::~ThreadPool()
         stop_ = true;
     }
     cv_.notify_all();
+    // Workers drain the queue before exiting (workerLoop only returns
+    // on stop_ && empty), so join() cannot deadlock on pending work --
+    // it blocks exactly until the last queued task has run.
     for (auto &w : workers_)
         w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        runContained(task);
+        return;
+    }
+    post(std::move(task));
 }
 
 void
@@ -58,6 +88,24 @@ ThreadPool::post(std::function<void()> task)
 }
 
 void
+ThreadPool::runContained(const std::function<void()> &task)
+{
+    // Last-resort containment for fire-and-forget tasks: an exception
+    // escaping a worker thread would std::terminate the whole process
+    // (including during the destructor's drain, where it would strand
+    // the remaining join()s).  parallelFor bodies never reach this
+    // handler -- they are wrapped with a rethrowing catch before being
+    // queued.
+    try {
+        task();
+    } catch (const std::exception &e) {
+        warn("thread-pool task threw: %s", e.what());
+    } catch (...) {
+        warn("thread-pool task threw a non-exception");
+    }
+}
+
+void
 ThreadPool::workerLoop()
 {
     for (;;) {
@@ -70,7 +118,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop();
         }
-        task();
+        runContained(task);
     }
 }
 

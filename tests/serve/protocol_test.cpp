@@ -1,0 +1,331 @@
+/**
+ * @file
+ * serve wire protocol: encode/decode round trips for every opcode, and
+ * the malformed-frame matrix the daemon's robustness contract names --
+ * truncated length prefix, oversized declared length, unknown opcode,
+ * truncated body, trailing bytes.  Decode errors must be typed
+ * (InvalidArgument naming the defect), never a crash or a silent
+ * misparse; only an oversized declared length may poison the stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rebudget/serve/protocol.h"
+
+using namespace rebudget;
+using namespace rebudget::serve;
+
+namespace {
+
+/** Strip the u32 length prefix off a single encoded frame. */
+std::vector<std::uint8_t>
+payloadOf(const std::vector<std::uint8_t> &frame)
+{
+    EXPECT_GE(frame.size(), 4u);
+    return {frame.begin() + 4, frame.end()};
+}
+
+Request
+decodeOk(const std::vector<std::uint8_t> &payload)
+{
+    const auto decoded = decodeRequest(payload.data(), payload.size());
+    EXPECT_TRUE(decoded.ok()) << decoded.status().toString();
+    return decoded.value();
+}
+
+} // namespace
+
+TEST(Protocol, CreateMarketRoundTrip)
+{
+    CreateMarket req;
+    req.market = 77;
+    req.tenants.push_back({1, "mcf"});
+    req.tenants.push_back({9, "vpr"});
+    std::vector<std::uint8_t> frame;
+    encodeRequest(req, frame);
+
+    const Request back = decodeOk(payloadOf(frame));
+    const auto &c = std::get<CreateMarket>(back);
+    EXPECT_EQ(c.market, 77u);
+    ASSERT_EQ(c.tenants.size(), 2u);
+    EXPECT_EQ(c.tenants[0].tenant, 1u);
+    EXPECT_EQ(c.tenants[0].app, "mcf");
+    EXPECT_EQ(c.tenants[1].tenant, 9u);
+    EXPECT_EQ(c.tenants[1].app, "vpr");
+}
+
+TEST(Protocol, SubmitDemandRoundTripPreservesWeightBits)
+{
+    SubmitDemand req;
+    req.market = ~0ull;
+    req.tenant = 3;
+    req.weight = 0.1 + 0.2; // not exactly 0.3; bits must survive
+    std::vector<std::uint8_t> frame;
+    encodeRequest(req, frame);
+
+    const Request back = decodeOk(payloadOf(frame));
+    const auto &d = std::get<SubmitDemand>(back);
+    EXPECT_EQ(d.market, ~0ull);
+    EXPECT_EQ(d.tenant, 3u);
+    EXPECT_EQ(d.weight, 0.1 + 0.2);
+}
+
+TEST(Protocol, EmptyBodiedRequestsRoundTrip)
+{
+    const Request requests[] = {GetStats{}, Shutdown{}, TickNow{}};
+    for (const Request &req : requests) {
+        std::vector<std::uint8_t> frame;
+        encodeRequest(req, frame);
+        const Request back = decodeOk(payloadOf(frame));
+        EXPECT_EQ(back.index(), req.index());
+    }
+}
+
+TEST(Protocol, JoinLeaveGetRoundTrip)
+{
+    std::vector<std::uint8_t> frame;
+    encodeRequest(JoinTenant{5, 6, "hmmer"}, frame);
+    const Request joinBack = decodeOk(payloadOf(frame));
+    const auto &j = std::get<JoinTenant>(joinBack);
+    EXPECT_EQ(j.market, 5u);
+    EXPECT_EQ(j.tenant, 6u);
+    EXPECT_EQ(j.app, "hmmer");
+
+    frame.clear();
+    encodeRequest(LeaveTenant{5, 6}, frame);
+    const Request leaveBack = decodeOk(payloadOf(frame));
+    const auto &l = std::get<LeaveTenant>(leaveBack);
+    EXPECT_EQ(l.market, 5u);
+    EXPECT_EQ(l.tenant, 6u);
+
+    frame.clear();
+    encodeRequest(GetAllocation{12}, frame);
+    const Request getBack = decodeOk(payloadOf(frame));
+    const auto &g = std::get<GetAllocation>(getBack);
+    EXPECT_EQ(g.market, 12u);
+}
+
+TEST(Protocol, ResponseRoundTrips)
+{
+    {
+        std::vector<std::uint8_t> frame;
+        encodeResponse(AckReply{}, frame);
+        const auto back =
+            decodeResponse(payloadOf(frame).data(), frame.size() - 4);
+        ASSERT_TRUE(back.ok());
+        EXPECT_TRUE(std::holds_alternative<AckReply>(back.value()));
+    }
+    {
+        ErrorReply err;
+        err.code = util::StatusCode::FailedPrecondition;
+        err.message = "market 3 already exists";
+        std::vector<std::uint8_t> frame;
+        encodeResponse(err, frame);
+        const auto payload = payloadOf(frame);
+        const auto back = decodeResponse(payload.data(), payload.size());
+        ASSERT_TRUE(back.ok());
+        const auto &e = std::get<ErrorReply>(back.value());
+        EXPECT_EQ(e.code, util::StatusCode::FailedPrecondition);
+        EXPECT_EQ(e.message, "market 3 already exists");
+    }
+    {
+        AllocationReply alloc;
+        alloc.market = 4;
+        alloc.tick = 19;
+        alloc.converged = true;
+        alloc.prices = {1.25, 0.5};
+        TenantAllocation t;
+        t.tenant = 8;
+        t.budget = 1.5;
+        t.lambda = 0.75;
+        t.alloc = {2.0, 3.0};
+        alloc.players.push_back(t);
+        std::vector<std::uint8_t> frame;
+        encodeResponse(alloc, frame);
+        const auto payload = payloadOf(frame);
+        const auto back = decodeResponse(payload.data(), payload.size());
+        ASSERT_TRUE(back.ok());
+        const auto &a = std::get<AllocationReply>(back.value());
+        EXPECT_EQ(a.market, 4u);
+        EXPECT_EQ(a.tick, 19u);
+        EXPECT_TRUE(a.converged);
+        EXPECT_EQ(a.prices, (std::vector<double>{1.25, 0.5}));
+        ASSERT_EQ(a.players.size(), 1u);
+        EXPECT_EQ(a.players[0].tenant, 8u);
+        EXPECT_EQ(a.players[0].alloc, (std::vector<double>{2.0, 3.0}));
+    }
+    {
+        std::vector<std::uint8_t> frame;
+        encodeResponse(StatsReply{"{\"x\":1}"}, frame);
+        const auto payload = payloadOf(frame);
+        const auto back = decodeResponse(payload.data(), payload.size());
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(std::get<StatsReply>(back.value()).json, "{\"x\":1}");
+    }
+}
+
+TEST(Protocol, UnknownOpcodeIsTypedError)
+{
+    const std::uint8_t payload[] = {0x7f};
+    const auto decoded = decodeRequest(payload, sizeof(payload));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), util::StatusCode::InvalidArgument);
+}
+
+TEST(Protocol, EmptyPayloadIsTypedError)
+{
+    const auto decoded = decodeRequest(nullptr, 0);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), util::StatusCode::InvalidArgument);
+}
+
+TEST(Protocol, TruncatedBodyIsTypedError)
+{
+    // A valid SubmitDemand frame cut short at every prefix length must
+    // produce a typed error, never a crash or an accepted misparse.
+    std::vector<std::uint8_t> frame;
+    encodeRequest(SubmitDemand{1, 2, 3.0}, frame);
+    const auto payload = payloadOf(frame);
+    for (std::size_t cut = 1; cut < payload.size(); ++cut) {
+        const auto decoded = decodeRequest(payload.data(), cut);
+        ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+        EXPECT_EQ(decoded.status().code(),
+                  util::StatusCode::InvalidArgument);
+    }
+}
+
+TEST(Protocol, TrailingBytesAreATypedError)
+{
+    std::vector<std::uint8_t> frame;
+    encodeRequest(LeaveTenant{1, 2}, frame);
+    auto payload = payloadOf(frame);
+    payload.push_back(0x00); // one stray byte after a complete body
+    const auto decoded = decodeRequest(payload.data(), payload.size());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), util::StatusCode::InvalidArgument);
+}
+
+TEST(Protocol, TruncatedStringIsATypedError)
+{
+    // Declare a 100-byte app name but provide 3 bytes.
+    std::vector<std::uint8_t> payload = {
+        0x03,                                          // JoinTenant
+        9, 0, 0, 0, 0, 0, 0, 0,                        // market
+        1, 0, 0, 0, 0, 0, 0, 0,                        // tenant
+        100, 0,                                        // str len 100
+        'm', 'c', 'f',                                 // 3 bytes only
+    };
+    const auto decoded = decodeRequest(payload.data(), payload.size());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), util::StatusCode::InvalidArgument);
+}
+
+TEST(FrameReader, ReassemblesByteAtATime)
+{
+    std::vector<std::uint8_t> frame;
+    encodeRequest(GetAllocation{42}, frame);
+
+    FrameReader reader;
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+        reader.feed(&frame[i], 1);
+        EXPECT_EQ(reader.next(payload), FrameReader::Result::NeedMore);
+        if (i >= 4) {
+            EXPECT_TRUE(reader.midFrame());
+        }
+    }
+    reader.feed(&frame[frame.size() - 1], 1);
+    ASSERT_EQ(reader.next(payload), FrameReader::Result::Frame);
+    EXPECT_FALSE(reader.midFrame());
+    const auto decoded = decodeRequest(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<GetAllocation>(decoded.value()).market, 42u);
+}
+
+TEST(FrameReader, ExtractsBackToBackFramesFromOneFeed)
+{
+    std::vector<std::uint8_t> stream;
+    encodeRequest(GetAllocation{1}, stream);
+    encodeRequest(GetAllocation{2}, stream);
+    encodeRequest(TickNow{}, stream);
+
+    FrameReader reader;
+    reader.feed(stream.data(), stream.size());
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(reader.next(payload), FrameReader::Result::Frame);
+    EXPECT_EQ(std::get<GetAllocation>(decodeOk(payload)).market, 1u);
+    ASSERT_EQ(reader.next(payload), FrameReader::Result::Frame);
+    EXPECT_EQ(std::get<GetAllocation>(decodeOk(payload)).market, 2u);
+    ASSERT_EQ(reader.next(payload), FrameReader::Result::Frame);
+    EXPECT_TRUE(std::holds_alternative<TickNow>(decodeOk(payload)));
+    EXPECT_EQ(reader.next(payload), FrameReader::Result::NeedMore);
+}
+
+TEST(FrameReader, TruncatedLengthPrefixIsMidFrame)
+{
+    // Two bytes of a four-byte length prefix: NeedMore, and an EOF now
+    // must read as a mid-frame disconnect.
+    const std::uint8_t partial[] = {0x10, 0x00};
+    FrameReader reader;
+    reader.feed(partial, sizeof(partial));
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(reader.next(payload), FrameReader::Result::NeedMore);
+    EXPECT_TRUE(reader.midFrame());
+}
+
+TEST(FrameReader, OversizedDeclaredLengthPoisonsTheStream)
+{
+    // Declared length just above the cap: Error now and on every later
+    // call -- the stream position can no longer be trusted, so the
+    // reader must not resync even if more plausible bytes arrive.
+    const std::uint32_t declared = kMaxFramePayload + 1;
+    std::uint8_t prefix[4];
+    for (int i = 0; i < 4; ++i)
+        prefix[i] = static_cast<std::uint8_t>(declared >> (8 * i));
+    FrameReader reader;
+    reader.feed(prefix, sizeof(prefix));
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(reader.next(payload), FrameReader::Result::Error);
+    EXPECT_FALSE(reader.error().empty());
+
+    std::vector<std::uint8_t> frame;
+    encodeRequest(TickNow{}, frame);
+    reader.feed(frame.data(), frame.size());
+    EXPECT_EQ(reader.next(payload), FrameReader::Result::Error);
+    EXPECT_FALSE(reader.midFrame());
+}
+
+TEST(FrameReader, MaxSizedDeclaredLengthIsAccepted)
+{
+    // Exactly kMaxFramePayload is legal (the band edge is inclusive);
+    // the frame simply needs that many payload bytes.
+    const std::uint32_t declared = kMaxFramePayload;
+    std::uint8_t prefix[4];
+    for (int i = 0; i < 4; ++i)
+        prefix[i] = static_cast<std::uint8_t>(declared >> (8 * i));
+    FrameReader reader;
+    reader.feed(prefix, sizeof(prefix));
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(reader.next(payload), FrameReader::Result::NeedMore);
+    EXPECT_TRUE(reader.midFrame());
+
+    const std::vector<std::uint8_t> body(kMaxFramePayload, 0x07);
+    reader.feed(body.data(), body.size());
+    ASSERT_EQ(reader.next(payload), FrameReader::Result::Frame);
+    EXPECT_EQ(payload.size(), kMaxFramePayload);
+}
+
+TEST(FrameReader, ZeroLengthFrameYieldsEmptyPayload)
+{
+    // A zero-length payload is framed fine; it fails later, in
+    // decodeRequest, as a typed empty-payload error.
+    const std::uint8_t prefix[4] = {0, 0, 0, 0};
+    FrameReader reader;
+    reader.feed(prefix, sizeof(prefix));
+    std::vector<std::uint8_t> payload{0xff};
+    ASSERT_EQ(reader.next(payload), FrameReader::Result::Frame);
+    EXPECT_TRUE(payload.empty());
+}

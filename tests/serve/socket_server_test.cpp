@@ -1,0 +1,375 @@
+/**
+ * @file
+ * serve::SocketServer failure semantics over real sockets:
+ *  - complete-but-malformed frames (unknown opcode) get a typed
+ *    ErrorReply and the connection survives;
+ *  - an oversized declared frame length gets an ErrorReply and then
+ *    the connection is dropped;
+ *  - a mid-frame disconnect is absorbed;
+ *  - none of the above disturbs other connections or hosted markets;
+ *  - a protocol Shutdown cleanly stops the serve loop.
+ *
+ * Every test boots its own daemon on a Unix-domain socket in a temp
+ * directory (one on ephemeral loopback TCP) and always stops it via
+ * the protocol, so the poll loop exercises its drain path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "rebudget/serve/protocol.h"
+#include "rebudget/serve/server_core.h"
+#include "rebudget/serve/socket_server.h"
+
+using namespace rebudget;
+using namespace rebudget::serve;
+
+namespace {
+
+/** One daemon on a Unix socket, torn down via protocol Shutdown. */
+class TestServer
+{
+  public:
+    TestServer()
+    {
+        char tmpl[] = "/tmp/rebudget_serve_test_XXXXXX";
+        const char *dir = ::mkdtemp(tmpl);
+        EXPECT_NE(dir, nullptr);
+        dir_ = dir ? dir : "";
+        path_ = dir_ + "/d.sock";
+
+        ServeConfig config;
+        config.shards = 2;
+        config.jobs = 1;
+        config.market.maxIterations = 200;
+        core_ = std::make_unique<ServerCore>(config);
+        SocketServerOptions options;
+        options.socketPath = path_;
+        options.tickMs = 0; // ticks only via TickNow
+        server_ = std::make_unique<SocketServer>(*core_, options);
+        thread_ = std::thread([this] { result_ = server_->run(); });
+        waitForSocket();
+    }
+
+    ~TestServer()
+    {
+        if (thread_.joinable()) {
+            // Belt and braces: tests normally Shutdown via protocol.
+            server_->requestStop();
+            const int fd = connect(); // wake the poll loop
+            if (fd >= 0)
+                ::close(fd);
+            thread_.join();
+        }
+        ::unlink(path_.c_str());
+        ::rmdir(dir_.c_str());
+    }
+
+    /** @return a connected client fd (< 0 on failure). */
+    int connect() const
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path_.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    void shutdownViaProtocol()
+    {
+        const int fd = connect();
+        ASSERT_GE(fd, 0);
+        sendRequest(fd, Shutdown{});
+        Response resp;
+        ASSERT_TRUE(readResponse(fd, resp));
+        EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+        ::close(fd);
+        thread_.join();
+        EXPECT_TRUE(result_.ok()) << result_.toString();
+    }
+
+    static void sendAll(int fd, const std::uint8_t *data,
+                        std::size_t size)
+    {
+        std::size_t sent = 0;
+        while (sent < size) {
+            const ssize_t n = ::send(fd, data + sent, size - sent,
+                                     MSG_NOSIGNAL);
+            ASSERT_GT(n, 0) << "send failed: " << std::strerror(errno);
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    static void sendRequest(int fd, const Request &req)
+    {
+        std::vector<std::uint8_t> frame;
+        encodeRequest(req, frame);
+        sendAll(fd, frame.data(), frame.size());
+    }
+
+    /** Read one framed Response; false on EOF before a full frame. */
+    static bool readResponse(int fd, Response &out)
+    {
+        FrameReader reader;
+        std::vector<std::uint8_t> payload;
+        std::uint8_t buf[4096];
+        for (;;) {
+            switch (reader.next(payload)) {
+            case FrameReader::Result::Frame: {
+                const auto resp =
+                    decodeResponse(payload.data(), payload.size());
+                EXPECT_TRUE(resp.ok()) << resp.status().toString();
+                if (!resp.ok())
+                    return false;
+                out = resp.value();
+                return true;
+            }
+            case FrameReader::Result::Error:
+                ADD_FAILURE() << "client framing: " << reader.error();
+                return false;
+            case FrameReader::Result::NeedMore:
+                break;
+            }
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n == 0)
+                return false; // server closed the connection
+            if (n < 0)
+                return false;
+            reader.feed(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    /** @return true once recv sees EOF (server dropped the conn). */
+    static bool waitForClose(int fd)
+    {
+        std::uint8_t buf[256];
+        for (;;) {
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n == 0)
+                return true;
+            if (n < 0)
+                return false;
+        }
+    }
+
+  private:
+    void waitForSocket() const
+    {
+        struct stat st{};
+        for (int i = 0; i < 200; ++i) {
+            if (::stat(path_.c_str(), &st) == 0)
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        FAIL() << "daemon never bound " << path_;
+    }
+
+    std::string dir_;
+    std::string path_;
+    std::unique_ptr<ServerCore> core_;
+    std::unique_ptr<SocketServer> server_;
+    std::thread thread_;
+    util::SolveStatus result_;
+};
+
+CreateMarket
+smallMarket(std::uint64_t id)
+{
+    CreateMarket req;
+    req.market = id;
+    req.tenants.push_back({0, "mcf"});
+    req.tenants.push_back({1, "hmmer"});
+    return req;
+}
+
+} // namespace
+
+TEST(SocketServer, RoundTripOverUnixSocket)
+{
+    TestServer server;
+    const int fd = server.connect();
+    ASSERT_GE(fd, 0);
+
+    TestServer::sendRequest(fd, smallMarket(1));
+    Response resp;
+    ASSERT_TRUE(TestServer::readResponse(fd, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+
+    TestServer::sendRequest(fd, TickNow{});
+    ASSERT_TRUE(TestServer::readResponse(fd, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+
+    TestServer::sendRequest(fd, GetAllocation{1});
+    ASSERT_TRUE(TestServer::readResponse(fd, resp));
+    const auto *alloc = std::get_if<AllocationReply>(&resp);
+    ASSERT_NE(alloc, nullptr);
+    EXPECT_EQ(alloc->market, 1u);
+    EXPECT_EQ(alloc->players.size(), 2u);
+
+    ::close(fd);
+    server.shutdownViaProtocol();
+}
+
+TEST(SocketServer, UnknownOpcodeGetsTypedErrorAndConnectionSurvives)
+{
+    TestServer server;
+    const int fd = server.connect();
+    ASSERT_GE(fd, 0);
+
+    // A complete frame whose payload is one unknown opcode byte.
+    const std::uint8_t frame[] = {1, 0, 0, 0, 0x7f};
+    TestServer::sendAll(fd, frame, sizeof(frame));
+    Response resp;
+    ASSERT_TRUE(TestServer::readResponse(fd, resp));
+    const auto *err = std::get_if<ErrorReply>(&resp);
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->code, util::StatusCode::InvalidArgument);
+
+    // Same connection must still serve valid requests.
+    TestServer::sendRequest(fd, smallMarket(2));
+    ASSERT_TRUE(TestServer::readResponse(fd, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+
+    ::close(fd);
+    server.shutdownViaProtocol();
+}
+
+TEST(SocketServer, OversizedFrameDropsOnlyThatConnection)
+{
+    TestServer server;
+    const int healthy = server.connect();
+    const int rogue = server.connect();
+    ASSERT_GE(healthy, 0);
+    ASSERT_GE(rogue, 0);
+
+    // Set up state through the healthy connection first.
+    TestServer::sendRequest(healthy, smallMarket(3));
+    Response resp;
+    ASSERT_TRUE(TestServer::readResponse(healthy, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+
+    // Rogue declares a payload over the 1 MiB cap: expect a typed
+    // error back and then EOF -- the stream cannot be trusted.
+    const std::uint32_t declared = kMaxFramePayload + 1;
+    std::uint8_t prefix[4];
+    for (int i = 0; i < 4; ++i)
+        prefix[i] = static_cast<std::uint8_t>(declared >> (8 * i));
+    TestServer::sendAll(rogue, prefix, sizeof(prefix));
+    ASSERT_TRUE(TestServer::readResponse(rogue, resp));
+    ASSERT_TRUE(std::holds_alternative<ErrorReply>(resp));
+    EXPECT_TRUE(TestServer::waitForClose(rogue));
+    ::close(rogue);
+
+    // The healthy connection and its market are untouched.
+    TestServer::sendRequest(healthy, TickNow{});
+    ASSERT_TRUE(TestServer::readResponse(healthy, resp));
+    TestServer::sendRequest(healthy, GetAllocation{3});
+    ASSERT_TRUE(TestServer::readResponse(healthy, resp));
+    EXPECT_TRUE(std::holds_alternative<AllocationReply>(resp));
+
+    ::close(healthy);
+    server.shutdownViaProtocol();
+}
+
+TEST(SocketServer, MidFrameDisconnectIsAbsorbed)
+{
+    TestServer server;
+    const int fd = server.connect();
+    ASSERT_GE(fd, 0);
+
+    // Announce an 80-byte payload, deliver 3 bytes, hang up.
+    const std::uint8_t partial[] = {80, 0, 0, 0, 0x01, 0x02, 0x03};
+    TestServer::sendAll(fd, partial, sizeof(partial));
+    ::close(fd);
+
+    // The server must keep accepting and serving.
+    const int fd2 = server.connect();
+    ASSERT_GE(fd2, 0);
+    TestServer::sendRequest(fd2, smallMarket(4));
+    Response resp;
+    ASSERT_TRUE(TestServer::readResponse(fd2, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+    ::close(fd2);
+
+    server.shutdownViaProtocol();
+}
+
+TEST(SocketServer, StatsOverTheWire)
+{
+    TestServer server;
+    const int fd = server.connect();
+    ASSERT_GE(fd, 0);
+    TestServer::sendRequest(fd, GetStats{});
+    Response resp;
+    ASSERT_TRUE(TestServer::readResponse(fd, resp));
+    const auto *stats = std::get_if<StatsReply>(&resp);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_NE(stats->json.find("rebudget.serve_stats.v1"),
+              std::string::npos);
+    ::close(fd);
+    server.shutdownViaProtocol();
+}
+
+TEST(SocketServer, LoopbackTcpWithEphemeralPort)
+{
+    ServeConfig config;
+    config.shards = 1;
+    config.jobs = 1;
+    config.market.maxIterations = 200;
+    ServerCore core(config);
+    SocketServerOptions options;
+    options.port = 0; // kernel picks; boundPort() reports
+    options.tickMs = 0;
+    SocketServer server(core, options);
+    util::SolveStatus result;
+    std::thread thread([&] { result = server.run(); });
+
+    std::uint16_t port = 0;
+    for (int i = 0; i < 200 && port == 0; ++i) {
+        port = server.boundPort();
+        if (port == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_NE(port, 0);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    TestServer::sendRequest(fd, smallMarket(9));
+    Response resp;
+    ASSERT_TRUE(TestServer::readResponse(fd, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+
+    TestServer::sendRequest(fd, Shutdown{});
+    ASSERT_TRUE(TestServer::readResponse(fd, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+    ::close(fd);
+    thread.join();
+    EXPECT_TRUE(result.ok()) << result.toString();
+}

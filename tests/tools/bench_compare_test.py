@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py band-edge behavior.
+
+Run directly (python3 tests/tools/bench_compare_test.py) or through the
+bench_compare_unit CTest entry.  Focus: the comparison primitives must
+be deterministic at the exact --time-band boundary and must never turn
+a zero-valued counter into a silent pass.
+"""
+
+import importlib.util
+import os
+import sys
+import unittest
+
+_TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, os.pardir, "tools")
+_spec = importlib.util.spec_from_file_location(
+    "bench_compare", os.path.join(_TOOLS, "bench_compare.py"))
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+class TimingBandTest(unittest.TestCase):
+    def comparison(self, band=3.0):
+        return bench_compare.Comparison(band)
+
+    def test_exact_band_edge_slow_is_pass(self):
+        # fresh/base == band exactly: inclusive, deterministic PASS.
+        cmp = self.comparison(band=3.0)
+        cmp.timing("ctx", "ms", 30.0, 10.0)
+        self.assertEqual(cmp.errors, [])
+
+    def test_exact_band_edge_fast_is_pass(self):
+        # base/fresh == band exactly: the speedup direction must get
+        # the same inclusive treatment as the slowdown direction.
+        cmp = self.comparison(band=3.0)
+        cmp.timing("ctx", "ms", 10.0, 30.0)
+        self.assertEqual(cmp.errors, [])
+
+    def test_band_edge_symmetric_with_inexact_reciprocal(self):
+        # 1.0/3.0 is not exactly representable; both directions at the
+        # edge must agree (the historical bug: the fast direction
+        # compared against a rounded reciprocal).
+        cmp = self.comparison(band=3.0)
+        cmp.timing("slow", "ms", 3.0 * 7.0, 7.0)
+        cmp.timing("fast", "ms", 7.0, 3.0 * 7.0)
+        self.assertEqual(cmp.errors, [])
+
+    def test_just_outside_band_fails_both_directions(self):
+        cmp = self.comparison(band=3.0)
+        cmp.timing("slow", "ms", 30.1, 10.0)
+        cmp.timing("fast", "ms", 10.0, 30.1)
+        self.assertEqual(len(cmp.errors), 2)
+        self.assertIn("slow", cmp.errors[0])
+        self.assertIn("fast", cmp.errors[1])
+
+    def test_inside_band_passes(self):
+        cmp = self.comparison(band=3.0)
+        cmp.timing("ctx", "ms", 29.9, 10.0)
+        cmp.timing("ctx", "ms", 10.0, 29.9)
+        self.assertEqual(cmp.errors, [])
+
+    def test_sub_millisecond_skip_is_named_not_silent(self):
+        cmp = self.comparison()
+        cmp.timing("ctx", "ms", 0.4, 900.0)
+        self.assertEqual(cmp.errors, [])
+        self.assertTrue(any("skipped" in n and "ctx" in n
+                            for n in cmp.notes),
+                        f"expected a named skip note, got {cmp.notes}")
+
+    def test_zero_baseline_timing_skips_without_division(self):
+        # base == 0.0 used to sit one refactor away from a
+        # ZeroDivisionError; it must take the named-skip path.
+        cmp = self.comparison()
+        cmp.timing("ctx", "ms", 50.0, 0.0)
+        self.assertEqual(cmp.errors, [])
+        self.assertTrue(any("skipped" in n for n in cmp.notes))
+
+    def test_missing_values_are_skipped(self):
+        # fetch() already recorded the missing key; timing adds nothing.
+        cmp = self.comparison()
+        cmp.timing("ctx", "ms", None, 10.0)
+        cmp.timing("ctx", "ms", 10.0, None)
+        self.assertEqual(cmp.errors, [])
+
+
+class ExactCounterTest(unittest.TestCase):
+    def test_zero_equals_zero(self):
+        cmp = bench_compare.Comparison(10.0)
+        cmp.exact("ctx", "solves", 0, 0)
+        self.assertEqual(cmp.errors, [])
+        self.assertEqual(cmp.checked_counters, 1)
+
+    def test_zero_vs_nonzero_fails(self):
+        # A zero-valued counter participates in the exact diff like any
+        # other value -- it must not be confused with "absent".
+        cmp = bench_compare.Comparison(10.0)
+        cmp.exact("ctx", "solves", 0, 7)
+        self.assertEqual(len(cmp.errors), 1)
+        self.assertIn("solves", cmp.errors[0])
+
+
+class SpeedupTest(unittest.TestCase):
+    @staticmethod
+    def fresh_row(players, ns):
+        return {"scaling": [{"players": players, "mode": "best_response",
+                             "ns_per_sweep": ns}]}
+
+    @staticmethod
+    def pre_row(players, ns):
+        return {"scaling": [{"players": players,
+                             "mode": "hill_climb_scalar",
+                             "ns_per_sweep": ns}]}
+
+    def test_zero_baseline_is_named_failure(self):
+        # The historical bug: `if not pre_ns` silently skipped a
+        # zero-valued baseline, so --min-speedup could "pass" against
+        # a broken capture.
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_speedup(cmp, self.fresh_row(1000, 500.0),
+                                    self.pre_row(1000, 0), 2.0)
+        self.assertTrue(any("non-positive" in e for e in cmp.errors),
+                        f"expected a named failure, got {cmp.errors}")
+
+    def test_zero_fresh_is_named_failure(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_speedup(cmp, self.fresh_row(1000, 0),
+                                    self.pre_row(1000, 500.0), 2.0)
+        self.assertTrue(any("non-positive" in e for e in cmp.errors))
+
+    def test_missing_counter_is_named_failure(self):
+        cmp = bench_compare.Comparison(10.0)
+        fresh = {"scaling": [{"players": 1000, "mode": "best_response"}]}
+        bench_compare.check_speedup(cmp, fresh, self.pre_row(1000, 500.0),
+                                    2.0)
+        self.assertTrue(any("no ns_per_sweep" in e for e in cmp.errors))
+
+    def test_speedup_below_min_fails(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_speedup(cmp, self.fresh_row(1000, 400.0),
+                                    self.pre_row(1000, 600.0), 2.0)
+        self.assertTrue(any("below required" in e for e in cmp.errors))
+
+    def test_speedup_at_min_passes(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_speedup(cmp, self.fresh_row(1000, 300.0),
+                                    self.pre_row(1000, 600.0), 2.0)
+        self.assertEqual(cmp.errors, [])
+
+    def test_small_player_counts_are_informational(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_speedup(cmp, self.fresh_row(8, 600.0),
+                                    self.pre_row(8, 300.0), 2.0)
+        self.assertEqual(cmp.errors, [])
+        self.assertTrue(any("speedup" in n for n in cmp.notes))
+
+    def test_no_overlap_is_an_error(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_speedup(cmp, self.fresh_row(1000, 500.0),
+                                    self.pre_row(2000, 500.0), None)
+        self.assertTrue(any("no overlapping" in e for e in cmp.errors))
+
+
+if __name__ == "__main__":
+    unittest.main()

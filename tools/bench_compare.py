@@ -91,14 +91,27 @@ class Comparison:
     def timing(self, context, key, fresh, base):
         if fresh is None or base is None:
             return  # fetch already recorded the missing key
-        # Timings below a millisecond are noise-dominated; skip.
+        # Timings below a millisecond are noise-dominated: skip the
+        # comparison, but say so by name rather than silently -- a
+        # zero-valued baseline timing lands here too, and must not
+        # read as "checked and passed".
         if base < 1.0 or fresh < 1.0:
+            self.notes.append(
+                f"{context}: {key} skipped (sub-millisecond, noise-"
+                f"dominated: fresh {fresh}, baseline {base})")
             return
-        ratio = fresh / base
-        if ratio > self.band or ratio < 1.0 / self.band:
+        # One symmetric comparison: fold both directions into the
+        # slowdown ratio >= 1 and test it against the band once.
+        # Testing `ratio < 1.0 / band` separately is NOT equivalent at
+        # the boundary -- 1.0/band is rounded, so a run sitting exactly
+        # on the band edge would pass in one direction and fail in the
+        # other.  The band edge itself is inclusive (PASS).
+        worse = fresh / base if fresh >= base else base / fresh
+        if worse > self.band:
             self.errors.append(
                 f"{context}: {key} = {fresh:.3f}, baseline {base:.3f} "
-                f"(ratio {ratio:.2f} outside band {self.band}x)")
+                f"(slowdown ratio {worse:.2f} outside band "
+                f"{self.band}x)")
 
 
 def index_by(cmp, context, entries, *keys):
@@ -276,7 +289,19 @@ def check_speedup(cmp, fresh, prepr, min_speedup):
             continue
         pre_ns = ref.get("ns_per_sweep")
         new_ns = entry.get("ns_per_sweep")
-        if not pre_ns or not new_ns:
+        if pre_ns is None or new_ns is None:
+            missing = "pre-change" if pre_ns is None else "fresh"
+            cmp.errors.append(
+                f"scaling players={players}: {missing} row has no "
+                f"ns_per_sweep -- cannot form a speedup")
+            continue
+        if pre_ns <= 0 or new_ns <= 0:
+            # A zero-valued counter is a broken capture, not a free
+            # pass: deterministic FAIL with the offending side named.
+            cmp.errors.append(
+                f"scaling players={players}: non-positive ns_per_sweep "
+                f"(pre-change {pre_ns}, fresh {new_ns}) -- regenerate "
+                f"the capture")
             continue
         seen += 1
         speedup = pre_ns / new_ns

@@ -38,6 +38,7 @@
 #include "rebudget/market/metrics.h"
 #include "rebudget/power/power_model.h"
 #include "rebudget/sim/epoch_sim.h"
+#include "rebudget/util/arg_parse.h"
 #include "rebudget/util/logging.h"
 #include "rebudget/util/stats.h"
 #include "rebudget/util/table.h"
@@ -167,36 +168,33 @@ usage()
 }
 
 /**
- * Strict numeric parsing for command-line values: the whole token must
- * convert, and a bad value surfaces as a clean `error:` line instead of
- * an uncaught std::invalid_argument from std::stoul / std::stod.
+ * Strict numeric parsing for command-line values, via the shared
+ * util::parseUnsigned/parseDouble (arg_parse.h): the whole token must
+ * convert -- no trailing garbage, no whitespace, no negative values
+ * wrapping through std::stoul -- and a bad value surfaces as a clean
+ * `error:` line naming the flag.  rebudgetd and rebudgetctl use the
+ * same parsers, so the whole tool surface rejects identically.
  */
 unsigned long
 parseUnsignedArg(const std::string &flag, const std::string &value)
 {
-    try {
-        size_t pos = 0;
-        const unsigned long v = std::stoul(value, &pos);
-        if (pos == value.size())
-            return v;
-    } catch (const std::exception &) {
+    const auto parsed = util::parseUnsigned(value);
+    if (!parsed.ok()) {
+        util::fatal("%s needs a non-negative integer (%s)", flag.c_str(),
+                    parsed.status().message().c_str());
     }
-    util::fatal("%s needs a non-negative integer, got '%s'",
-                flag.c_str(), value.c_str());
+    return static_cast<unsigned long>(parsed.value());
 }
 
 double
 parseDoubleArg(const std::string &flag, const std::string &value)
 {
-    try {
-        size_t pos = 0;
-        const double v = std::stod(value, &pos);
-        if (pos == value.size())
-            return v;
-    } catch (const std::exception &) {
+    const auto parsed = util::parseDouble(value);
+    if (!parsed.ok()) {
+        util::fatal("%s needs a number (%s)", flag.c_str(),
+                    parsed.status().message().c_str());
     }
-    util::fatal("%s needs a number, got '%s'", flag.c_str(),
-                value.c_str());
+    return parsed.value();
 }
 
 std::vector<std::string>

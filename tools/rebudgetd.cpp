@@ -1,0 +1,194 @@
+/**
+ * rebudgetd -- long-running market-allocation daemon.
+ *
+ * Hosts many concurrent independent proportional-share markets, sharded
+ * by market id over a thread pool, and serves the length-prefixed
+ * binary protocol of serve/protocol.h over a Unix-domain socket
+ * (--socket) or loopback TCP (--port).  Markets re-solve on a
+ * configurable epoch tick (--tick-ms), warm-starting every solve from
+ * the previous epoch's equilibrium so steady-state serving does no
+ * cold solves and no heap allocation (see DESIGN.md section 3.9).
+ *
+ * Deterministic mode: --replay FILE applies a request trace (see
+ * server_core.h for the grammar) with synchronous ticks and no sockets,
+ * then prints the state digest and per-shard stats.  The digest is
+ * bit-identical at any --jobs value -- tools/serve_smoke.sh asserts
+ * this, and it is the daemon's equivalent of the eval suite's
+ * determinism contract.
+ *
+ * Usage:
+ *   rebudgetd --socket /tmp/rebudget.sock [--tick-ms 100] [--shards 4]
+ *   rebudgetd --port 7421 [--max-ticks N]
+ *   rebudgetd --replay trace.txt [--ticks N] [--jobs J] [--stats json]
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "rebudget/serve/server_core.h"
+#include "rebudget/serve/socket_server.h"
+#include "rebudget/util/arg_parse.h"
+#include "rebudget/util/logging.h"
+
+using namespace rebudget;
+
+namespace {
+
+serve::SocketServer *g_server = nullptr;
+
+void
+handleSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+void
+usage()
+{
+    std::fputs(
+        "usage: rebudgetd [options]\n"
+        "\n"
+        "transport (pick one; --replay needs neither):\n"
+        "  --socket PATH      listen on a Unix-domain socket\n"
+        "  --port N           listen on loopback TCP port N\n"
+        "\n"
+        "options:\n"
+        "  --shards N         market shards (default 4)\n"
+        "  --jobs N           tick worker threads (default: "
+        "REBUDGET_JOBS,\n"
+        "                     else hardware concurrency)\n"
+        "  --tick-ms N        epoch tick period (default 100; 0 = only\n"
+        "                     explicit TickNow requests tick)\n"
+        "  --max-ticks N      exit after N timer ticks (0 = run until\n"
+        "                     Shutdown)\n"
+        "  --replay FILE      deterministic mode: apply a request "
+        "trace\n"
+        "                     with synchronous ticks, print the state\n"
+        "                     digest, exit\n"
+        "  --ticks N          extra ticks to run after the replay "
+        "trace\n"
+        "  --stats json       print per-shard telemetry "
+        "(rebudget.serve_stats.v1)\n",
+        stderr);
+}
+
+std::uint64_t
+parseFlag(const std::string &flag, const std::string &value,
+          std::uint64_t max)
+{
+    const auto parsed = util::parseUnsigned(value, max);
+    if (!parsed.ok()) {
+        util::fatal("%s: %s", flag.c_str(),
+                    parsed.status().message().c_str());
+    }
+    return parsed.value();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServeConfig config;
+    serve::SocketServerOptions options;
+    std::string replay_path;
+    std::uint64_t extra_ticks = 0;
+    bool stats_json = false;
+    bool have_transport = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                util::fatal("%s requires a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options.socketPath = value();
+            have_transport = true;
+        } else if (arg == "--port") {
+            options.port = static_cast<std::uint16_t>(
+                parseFlag(arg, value(), 0xffff));
+            have_transport = true;
+        } else if (arg == "--shards") {
+            config.shards = static_cast<std::size_t>(
+                parseFlag(arg, value(), 1u << 12));
+            if (config.shards == 0)
+                util::fatal("--shards must be at least 1");
+        } else if (arg == "--jobs") {
+            config.jobs = static_cast<unsigned>(
+                parseFlag(arg, value(), 1u << 12));
+        } else if (arg == "--tick-ms") {
+            options.tickMs = static_cast<std::uint32_t>(
+                parseFlag(arg, value(), 3600u * 1000u));
+        } else if (arg == "--max-ticks") {
+            options.maxTicks = parseFlag(arg, value(), 1u << 30);
+        } else if (arg == "--replay") {
+            replay_path = value();
+        } else if (arg == "--ticks") {
+            extra_ticks = parseFlag(arg, value(), 1u << 30);
+        } else if (arg == "--stats") {
+            const std::string v = value();
+            if (v != "json")
+                util::fatal("--stats only supports 'json', got '%s'",
+                            v.c_str());
+            stats_json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            util::fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    if (!replay_path.empty()) {
+        std::ifstream trace(replay_path);
+        if (!trace) {
+            util::fatal("cannot open replay trace '%s'",
+                        replay_path.c_str());
+        }
+        serve::ServerCore core(config);
+        const util::SolveStatus status =
+            serve::runReplayTrace(core, trace);
+        if (!status.ok())
+            util::fatal("%s", status.toString().c_str());
+        for (std::uint64_t t = 0; t < extra_ticks; ++t)
+            core.tick();
+        std::printf("digest %016llx\n",
+                    static_cast<unsigned long long>(core.digest()));
+        std::printf("epochs %llu markets %zu\n",
+                    static_cast<unsigned long long>(core.epoch()),
+                    core.marketCount());
+        if (stats_json)
+            std::printf("%s\n", core.statsJson().c_str());
+        return 0;
+    }
+
+    if (!have_transport) {
+        usage();
+        util::fatal("pick a transport: --socket PATH, --port N, or "
+                    "--replay FILE");
+    }
+
+    serve::ServerCore core(config);
+    serve::SocketServer server(core, options);
+    g_server = &server;
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!options.socketPath.empty())
+        util::inform("rebudgetd: listening on %s (%zu shards)",
+                     options.socketPath.c_str(), config.shards);
+    const util::SolveStatus status = server.run();
+    g_server = nullptr;
+    if (!status.ok())
+        util::fatal("%s", status.toString().c_str());
+    if (stats_json)
+        std::printf("%s\n", core.statsJson().c_str());
+    return 0;
+}
