@@ -20,9 +20,12 @@
  * `rebudgetd --replay` exposes and tools/serve_smoke.sh asserts.
  */
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,15 @@
 #include "rebudget/util/thread_pool.h"
 
 namespace rebudget::serve {
+
+/** A raw request frame queued for asynchronous application, tagged
+ * with the transport's (connection, sequence) reply address. */
+struct PendingFrame
+{
+    std::vector<std::uint8_t> payload;
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
+};
 
 /** The daemon's market-hosting engine (no transport attached). */
 class ServerCore
@@ -41,15 +53,71 @@ class ServerCore
     ServerCore &operator=(const ServerCore &) = delete;
 
     /**
-     * Apply one request synchronously and build its reply.  Market-
-     * scoped requests run under the owning shard's mutex; GetStats
+     * Apply one request synchronously and build its reply.  Mutating
+     * market-scoped requests run under the owning shard's mutex;
+     * GetAllocation goes through the lock-free read path; GetStats
      * aggregates every shard; TickNow runs one epoch before acking;
      * Shutdown acks (stopping is the transport's job).
      */
     Response apply(const Request &req);
 
+    /**
+     * Lock-free snapshot read into a caller-reused reply (see
+     * Shard::readAllocation): routes to the owning shard, never takes
+     * a shard mutex, performs zero heap allocations once @p out has
+     * grown to the market's shape.  Safe from any thread, concurrent
+     * with ticks and writes.
+     */
+    bool readAllocation(const GetAllocation &req, AllocationReply &out,
+                        ErrorReply &err) const;
+
     /** Run one epoch tick across all shards, in parallel. */
     void tick();
+
+    // --- async write plane (batched transport) -----------------------
+    //
+    // The socket layer never touches market state on its I/O thread:
+    // it peeks the market id out of a raw frame, hands the frame to
+    // submitFrame(), and per-shard FIFO queues drain on the tick
+    // thread pool -- decode, apply and encode all happen on a worker.
+    // Replies come back through the ReplySink, tagged with the
+    // caller's (connection, sequence) pair so the transport can slot
+    // them back into per-connection order.  Ordering: frames for the
+    // same shard apply in submit order; frames for different shards
+    // race, which is fine because distinct markets share no state.
+
+    /** Receives encoded reply frames from worker threads.  Called
+     * concurrently from pool workers; must be thread-safe. */
+    using ReplySink = std::function<void(
+        std::uint64_t conn, std::uint64_t seq,
+        std::vector<std::uint8_t> &&frame)>;
+
+    /** Install the reply sink (before the first submitFrame). */
+    void setReplySink(ReplySink sink);
+
+    /**
+     * Queue one raw request frame (opcode + body, no length prefix)
+     * for asynchronous application on @p market's shard.  The reply
+     * frame -- encoded response, or an encoded ErrorReply when the
+     * payload fails to decode -- reaches the ReplySink later, tagged
+     * (conn, seq).  pendingOps() counts frames submitted but not yet
+     * sunk, so a transport can drain before shutdown.
+     */
+    void submitFrame(std::uint64_t market,
+                     std::vector<std::uint8_t> &&payload,
+                     std::uint64_t conn, std::uint64_t seq);
+
+    /**
+     * Start one epoch tick without blocking: each shard solves as one
+     * pool task, and @p done runs on the worker that finishes last.
+     * The caller must not start another tick (sync or async) until
+     * done fires; queued submitFrame work interleaves freely.
+     */
+    void tickAsync(std::function<void()> done);
+
+    /** @return frames accepted by submitFrame whose reply has not yet
+     * been handed to the sink. */
+    std::size_t pendingOps() const;
 
     /** @return the number of epochs ticked so far. */
     std::uint64_t epoch() const { return epoch_; }
@@ -81,10 +149,25 @@ class ServerCore
     std::uint64_t digest() const;
 
   private:
+    /** One shard's inbox of raw frames awaiting a pool worker. */
+    struct ShardQueue
+    {
+        std::mutex mutex;
+        std::vector<PendingFrame> ops;
+        /** True while a drain task is queued or running; the enqueuer
+         * that flips it false->true owns scheduling the drain. */
+        bool drainScheduled = false;
+    };
+
+    void drainQueue(std::size_t shard);
+
     ServeConfig config_;
     std::vector<std::unique_ptr<Shard>> shards_;
     util::ThreadPool pool_;
     std::uint64_t epoch_ = 0;
+    std::vector<std::unique_ptr<ShardQueue>> queues_;
+    ReplySink sink_;
+    std::atomic<std::size_t> pendingOps_{0};
 };
 
 /**

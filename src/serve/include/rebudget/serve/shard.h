@@ -7,14 +7,26 @@
  * that solve together on each epoch tick.
  *
  * Markets are hashed onto shards by market id (see ServerCore), so a
- * shard owns every request and every solve for its markets.  Request
- * application and ticking both run under the shard's own mutex: the
- * request path (socket thread) and the tick path (thread-pool worker)
+ * shard owns every request and every solve for its markets.  Mutating
+ * requests and ticking both run under the shard's own mutex: the
+ * write path (socket thread) and the tick path (thread-pool worker)
  * interleave safely, while distinct shards never contend.  Within a
  * tick, markets solve in ascending id order -- combined with
  * util::ThreadPool::parallelFor's determinism contract (shard state is
  * only touched by the worker that owns the shard's index), the whole
  * daemon's tick output is byte-identical at any --jobs value.
+ *
+ * Reads take no lock at all.  readAllocation() resolves the market
+ * through a fixed-capacity insert-only atomic index (open addressing;
+ * entries are never deleted, so a published pointer stays valid for
+ * the shard's lifetime) and pins the market's published result slot
+ * through a util::SnapshotSeqLock, copying the snapshot into a
+ * caller-owned reply whose buffers are reused across calls.  A read
+ * therefore never blocks behind an in-flight solve, never tears
+ * (solves flip to the other slot and wait out pinned readers before
+ * reusing one), and performs zero heap allocations once the reply has
+ * grown to the market's shape.  tests/serve/snapshot_hammer_test.cpp
+ * runs this path against a ticking core under TSan.
  *
  * Warm-start discipline (the reason this daemon exists): each market
  * keeps two EquilibriumResult slots and ping-pongs between them, so
@@ -27,6 +39,7 @@
  * audits this per shard via ServeConfig::allocCounter.
  */
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -39,6 +52,7 @@
 #include "rebudget/market/market.h"
 #include "rebudget/serve/protocol.h"
 #include "rebudget/sim/watchdog.h"
+#include "rebudget/util/seqlock.h"
 #include "rebudget/util/solver_stats.h"
 
 namespace rebudget::serve {
@@ -109,9 +123,23 @@ class Shard
      * JoinTenant, LeaveTenant, GetAllocation) and build its reply.
      * Admission failures and malformed values come back as typed
      * ErrorReply; the shard's other markets are never affected.
-     * Thread-safe against tick().
+     * Thread-safe against tick().  GetAllocation routes through
+     * readAllocation() and never takes the shard mutex.
      */
     Response apply(const Request &req);
+
+    /**
+     * Lock-free snapshot read: copy the market's latest published
+     * equilibrium into @p out.  Returns true on success; on failure
+     * (unknown market, or no allocation published yet) fills @p err
+     * and returns false.  @p out's buffers are reused across calls,
+     * so a caller polling markets of stable shape performs zero heap
+     * allocations per read after the first.  Safe from any thread,
+     * concurrent with tick() and with mutating apply() calls; never
+     * blocks behind an in-flight solve.
+     */
+    bool readAllocation(const GetAllocation &req, AllocationReply &out,
+                        ErrorReply &err) const;
 
     /**
      * Run one epoch: re-derive budgets from the current demand weights
@@ -142,19 +170,64 @@ class Shard
   private:
     struct MarketEntry;
 
+    /**
+     * One slot of the lock-free market index: open addressing keyed by
+     * market id.  Insert-only (markets are never destroyed while the
+     * shard lives): the writer stores the key, then the pointer with
+     * release order; a reader that observes the pointer with acquire
+     * order therefore also observes the key and a fully-constructed
+     * entry.  An empty slot has ptr == nullptr.
+     */
+    struct IndexSlot
+    {
+        std::atomic<std::uint64_t> key{0};
+        std::atomic<MarketEntry *> ptr{nullptr};
+    };
+
+    /** Internal counters: relaxed atomics, because the lock-free read
+     * path bumps applied/rejected concurrently with everything else. */
+    struct AtomicCounters
+    {
+        std::atomic<std::int64_t> marketsCreated{0};
+        std::atomic<std::int64_t> requestsApplied{0};
+        std::atomic<std::int64_t> requestsRejected{0};
+        std::atomic<std::int64_t> ticksRun{0};
+        std::atomic<std::int64_t> steadyTicks{0};
+        std::atomic<std::int64_t> steadyTickAllocs{0};
+        std::atomic<std::int64_t> warmupTickAllocs{0};
+    };
+
     Response doCreate(const CreateMarket &req);
     Response doDemand(const SubmitDemand &req);
     Response doJoin(const JoinTenant &req);
     Response doLeave(const LeaveTenant &req);
-    Response doGet(const GetAllocation &req) const;
     void tickMarket(MarketEntry &entry, std::uint64_t epoch);
-    static void installFallback(MarketEntry &entry);
+    void installFallback(MarketEntry &entry, std::uint64_t epoch);
+    /** Reshape one snapshot slot for the current roster under the
+     * write gate (no-op once shaped).  Warm-up ticks only. */
+    static void shapeSlot(MarketEntry &entry, int slot,
+                          std::size_t tenants, std::size_t resources);
+
+    /** Publish @p entry under @p market in the lock-free index.  Called
+     * under mutex_ (single writer); the table never fills because the
+     * admission cap is half its capacity. */
+    void indexInsert(std::uint64_t market, MarketEntry *entry);
+    /** Wait-free index probe; returns nullptr when absent. */
+    const MarketEntry *indexLookup(std::uint64_t market) const;
 
     std::size_t index_;
     const ServeConfig *config_;
+    /** Guards roster state and the solve path (mutating requests and
+     * ticks); never taken by readAllocation(). */
     mutable std::mutex mutex_;
+    /** Guards stats_ only, so GetStats never waits out a solve. */
+    mutable std::mutex statsMutex_;
     std::map<std::uint64_t, std::unique_ptr<MarketEntry>> markets_;
-    ShardCounters counters_;
+    std::vector<IndexSlot> slots_;
+    std::uint64_t slotMask_ = 0;
+    std::atomic<std::size_t> marketCount_{0};
+    /** mutable: the const lock-free read path counts its requests. */
+    mutable AtomicCounters counters_;
     util::SolverStats stats_;
 };
 

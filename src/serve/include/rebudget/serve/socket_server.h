@@ -3,12 +3,29 @@
 
 /**
  * @file
- * poll()-based transport for rebudgetd: a single-threaded event loop
+ * poll()-based transport for rebudgetd: a nonblocking event loop
  * accepting length-prefixed frames over a Unix-domain socket or
- * loopback TCP, decoding requests, applying them to a ServerCore and
- * writing replies.  The epoch tick fires from the poll timeout, so one
- * thread owns all connection state while the solves themselves fan out
- * over the core's thread pool.
+ * loopback TCP.  One thread owns all connection state; it never
+ * touches market state:
+ *
+ *  - each POLLIN wakeup drains the socket to EAGAIN and processes
+ *    every complete frame in the batch;
+ *  - mutating market ops (Create/Demand/Join/Leave) are routed RAW --
+ *    the I/O thread peeks opcode + market id and hands the frame to
+ *    ServerCore::submitFrame; decode, apply and encode run on the
+ *    shard's worker, and the reply comes back through an eventfd-woken
+ *    completion queue;
+ *  - GetAllocation is answered inline from the lock-free snapshot
+ *    path (Shard::readAllocation), GetStats from the mutex-free
+ *    telemetry accessors;
+ *  - epoch ticks (timer or TickNow) run via ServerCore::tickAsync, so
+ *    the loop keeps serving reads while shards solve.  A TickNow
+ *    waits for already-queued writes to apply before solving, keeping
+ *    the demand -> TickNow -> GetAllocation pipeline meaningful;
+ *  - replies are sequenced per connection (inline reads can finish
+ *    before queued writes; the wire still carries replies in request
+ *    order) and flushed with one gathering sendmsg per connection per
+ *    round; short writes stay buffered and resume on POLLOUT.
  *
  * Failure semantics (tests/serve/socket_server_test.cpp pins these):
  *  - unknown opcode / malformed body of a complete frame -> typed
@@ -16,7 +33,7 @@
  *  - oversized declared frame length -> ErrorReply, then the connection
  *    is dropped (the stream position can no longer be trusted);
  *  - mid-frame disconnect -> the partial frame is discarded and the
- *    connection closed;
+ *    connection closed (any queued replies are still delivered);
  *  - in every case the other connections and every hosted market are
  *    untouched.
  */

@@ -14,8 +14,11 @@ ServerCore::ServerCore(const ServeConfig &config)
     if (config_.shards == 0)
         config_.shards = 1;
     shards_.reserve(config_.shards);
-    for (std::size_t s = 0; s < config_.shards; ++s)
+    queues_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s) {
         shards_.push_back(std::make_unique<Shard>(s, config_));
+        queues_.push_back(std::make_unique<ShardQueue>());
+    }
 }
 
 std::size_t
@@ -50,6 +53,13 @@ ServerCore::apply(const Request &req)
     return shards_[shardOf(market)]->apply(req);
 }
 
+bool
+ServerCore::readAllocation(const GetAllocation &req,
+                           AllocationReply &out, ErrorReply &err) const
+{
+    return shards_[shardOf(req.market)]->readAllocation(req, out, err);
+}
+
 void
 ServerCore::tick()
 {
@@ -58,6 +68,102 @@ ServerCore::tick()
     pool_.parallelFor(shards_.size(), [&](std::size_t s) {
         shards_[s]->tick(epoch);
     });
+}
+
+void
+ServerCore::tickAsync(std::function<void()> done)
+{
+    epoch_ += 1;
+    const std::uint64_t epoch = epoch_;
+    auto remaining =
+        std::make_shared<std::atomic<std::size_t>>(shards_.size());
+    auto finish = std::make_shared<std::function<void()>>(std::move(done));
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        pool_.submit([this, s, epoch, remaining, finish] {
+            shards_[s]->tick(epoch);
+            if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+                *finish)
+                (*finish)();
+        });
+    }
+}
+
+void
+ServerCore::setReplySink(ReplySink sink)
+{
+    sink_ = std::move(sink);
+}
+
+void
+ServerCore::submitFrame(std::uint64_t market,
+                        std::vector<std::uint8_t> &&payload,
+                        std::uint64_t conn, std::uint64_t seq)
+{
+    const std::size_t s = shardOf(market);
+    ShardQueue &q = *queues_[s];
+    pendingOps_.fetch_add(1, std::memory_order_relaxed);
+    bool schedule = false;
+    {
+        const std::lock_guard<std::mutex> lock(q.mutex);
+        q.ops.push_back(PendingFrame{std::move(payload), conn, seq});
+        if (!q.drainScheduled) {
+            q.drainScheduled = true;
+            schedule = true;
+        }
+    }
+    if (schedule)
+        pool_.submit([this, s] { drainQueue(s); });
+}
+
+void
+ServerCore::drainQueue(std::size_t shard)
+{
+    ShardQueue &q = *queues_[shard];
+    std::vector<PendingFrame> batch;
+    std::vector<std::uint8_t> frame;
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(q.mutex);
+            if (q.ops.empty()) {
+                // Clearing the flag under the queue mutex closes the
+                // lost-wakeup window: an enqueuer either saw the flag
+                // set (and this loop will see its frame) or will see
+                // it clear and schedule a fresh drain.
+                q.drainScheduled = false;
+                return;
+            }
+            batch.swap(q.ops);
+        }
+        for (PendingFrame &op : batch) {
+            const auto decoded =
+                decodeRequest(op.payload.data(), op.payload.size());
+            Response resp;
+            if (decoded.ok()) {
+                resp = shards_[shard]->apply(decoded.value());
+            } else {
+                ErrorReply e;
+                e.code = decoded.status().code();
+                e.message = decoded.status().message();
+                resp = std::move(e);
+            }
+            frame.clear();
+            encodeResponse(resp, frame);
+            // Decrement BEFORE the sink runs: a transport that sees
+            // this op's reply must also see pendingOps() without it
+            // (it gates "all writes drained" barriers on that).
+            pendingOps_.fetch_sub(1, std::memory_order_release);
+            if (sink_)
+                sink_(op.conn, op.seq, std::move(frame));
+            frame = {};
+        }
+        batch.clear();
+    }
+}
+
+std::size_t
+ServerCore::pendingOps() const
+{
+    return pendingOps_.load(std::memory_order_acquire);
 }
 
 std::size_t

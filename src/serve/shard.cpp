@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "rebudget/util/rng.h"
+
 namespace rebudget::serve {
 
 namespace {
@@ -79,6 +81,13 @@ foldF64(std::uint64_t h, double v)
  * One hosted market: roster, demand weights, the solver objects and the
  * two-slot warm-start chain.  All scratch buffers are sized on first
  * use and reused, so steady-state ticks allocate nothing.
+ *
+ * The two slots double as the read-side snapshot buffer: `gate`
+ * arbitrates them between the single solver thread and any number of
+ * lock-free readers.  Everything a reader touches is either immutable
+ * (`id`), gate-protected slot payload (`slots`, `slotTenants`,
+ * `slotTick`), or the gate itself; the remaining fields are solver
+ * state owned by the shard mutex.
  */
 struct Shard::MarketEntry
 {
@@ -101,15 +110,27 @@ struct Shard::MarketEntry
     std::vector<double> capacities;
     std::unique_ptr<market::ProportionalMarket> market;
     market::SolveWorkspace ws;
-    /** Warm-start chain: solve into slots[1-cur], flip on success. */
+    /** Warm-start chain and snapshot double buffer: solve into
+     * slots[1-cur] after gate.beginWrite drains stale readers, flip
+     * cur and gate.publish on success. */
     market::EquilibriumResult slots[2];
+    /** Arbitrates the slots between the solver and lock-free reads. */
+    util::SnapshotSeqLock gate;
+    /** Roster each slot's allocation was computed on (read-side). */
+    std::vector<std::uint64_t> slotTenants[2];
+    /** Epoch each slot was published at (read-side). */
+    std::uint64_t slotTick[2] = {0, 0};
+    /** Slot vectors match the current roster shape (presized, so
+     * steady-tick writes into them never allocate).  Both go false on
+     * a roster change; each is reshaped under beginWrite before its
+     * next write, all within warm-up ticks. */
+    bool slotShaped[2] = {false, false};
     int cur = 0;
     /** slots[cur] is a real equilibrium usable as next tick's seed. */
     bool warmValid = false;
-    /** slots[cur] is servable via GetAllocation (seed or fallback). */
+    /** slots[cur] is servable via GetAllocation (seed or fallback);
+     * writer-side mirror of gate.frontSlot() != kNoSlot. */
     bool published = false;
-    /** Roster the published allocation was computed on. */
-    std::vector<std::uint64_t> publishedTenants;
     /** Migration scratch for roster-change warm seeds. */
     market::EquilibriumResult migrated;
     std::vector<std::ptrdiff_t> priorIndex;
@@ -126,13 +147,56 @@ struct Shard::MarketEntry
 Shard::Shard(std::size_t index, const ServeConfig &config)
     : index_(index), config_(&config)
 {
+    // Index capacity 2x the admission cap keeps the open-addressing
+    // load factor at or below one half, so probes stay short and the
+    // insert loop always terminates.
+    const std::size_t want =
+        2 * (config.maxMarketsPerShard > 0 ? config.maxMarketsPerShard
+                                           : 1);
+    std::size_t cap = 1;
+    while (cap < want)
+        cap <<= 1;
+    slots_ = std::vector<IndexSlot>(cap);
+    slotMask_ = cap - 1;
 }
 
 Shard::~Shard() = default;
 
+void
+Shard::indexInsert(std::uint64_t market, MarketEntry *entry)
+{
+    std::uint64_t h = util::mix64(market) & slotMask_;
+    while (slots_[h].ptr.load(std::memory_order_relaxed) != nullptr)
+        h = (h + 1) & slotMask_;
+    slots_[h].key.store(market, std::memory_order_relaxed);
+    slots_[h].ptr.store(entry, std::memory_order_release);
+}
+
+const Shard::MarketEntry *
+Shard::indexLookup(std::uint64_t market) const
+{
+    std::uint64_t h = util::mix64(market) & slotMask_;
+    for (;;) {
+        const MarketEntry *entry =
+            slots_[h].ptr.load(std::memory_order_acquire);
+        if (entry == nullptr)
+            return nullptr;
+        if (slots_[h].key.load(std::memory_order_relaxed) == market)
+            return entry;
+        h = (h + 1) & slotMask_;
+    }
+}
+
 Response
 Shard::apply(const Request &req)
 {
+    if (const auto *get = std::get_if<GetAllocation>(&req)) {
+        AllocationReply reply;
+        ErrorReply err;
+        if (readAllocation(*get, reply, err))
+            return reply;
+        return err;
+    }
     const std::lock_guard<std::mutex> lock(mutex_);
     Response resp;
     if (const auto *create = std::get_if<CreateMarket>(&req))
@@ -143,8 +207,6 @@ Shard::apply(const Request &req)
         resp = doJoin(*join);
     else if (const auto *leave = std::get_if<LeaveTenant>(&req))
         resp = doLeave(*leave);
-    else if (const auto *get = std::get_if<GetAllocation>(&req))
-        resp = doGet(*get);
     else {
         ErrorReply e;
         e.code = util::StatusCode::InvalidArgument;
@@ -152,10 +214,64 @@ Shard::apply(const Request &req)
         resp = std::move(e);
     }
     if (std::holds_alternative<ErrorReply>(resp))
-        counters_.requestsRejected += 1;
+        counters_.requestsRejected.fetch_add(1,
+                                             std::memory_order_relaxed);
     else
-        counters_.requestsApplied += 1;
+        counters_.requestsApplied.fetch_add(1,
+                                            std::memory_order_relaxed);
     return resp;
+}
+
+bool
+Shard::readAllocation(const GetAllocation &req, AllocationReply &out,
+                      ErrorReply &err) const
+{
+    const MarketEntry *e = indexLookup(req.market);
+    if (e == nullptr) {
+        err = unknownMarket(req.market);
+        counters_.requestsRejected.fetch_add(1,
+                                             std::memory_order_relaxed);
+        return false;
+    }
+    const util::SnapshotSeqLock::ReadPin pin(e->gate);
+    if (!pin.valid()) {
+        err = errorReply(util::SolveStatus::error(
+            util::StatusCode::FailedPrecondition,
+            "market %llu has no allocation yet (awaiting first tick)",
+            static_cast<unsigned long long>(req.market)));
+        counters_.requestsRejected.fetch_add(1,
+                                             std::memory_order_relaxed);
+        return false;
+    }
+    const std::uint32_t f = pin.slot();
+    const market::EquilibriumResult &res = e->slots[f];
+    const std::vector<std::uint64_t> &tenants = e->slotTenants[f];
+    out.market = e->id;
+    out.tick = e->slotTick[f];
+    out.converged = res.converged;
+    out.prices.assign(res.prices.begin(), res.prices.end());
+    const std::size_t n = tenants.size();
+    // Resize without discarding the inner vectors' capacity: shrink
+    // destroys only the surplus entries, growth reuses slack, and
+    // assign() below recycles each row buffer.
+    if (out.players.size() > n)
+        out.players.resize(n);
+    while (out.players.size() < n)
+        out.players.emplace_back();
+    for (std::size_t i = 0; i < n; ++i) {
+        TenantAllocation &t = out.players[i];
+        t.tenant = tenants[i];
+        t.budget = i < res.budgets.size() ? res.budgets[i] : 0.0;
+        t.lambda = i < res.lambdas.size() ? res.lambdas[i] : 0.0;
+        if (i < res.alloc.rows()) {
+            const auto row = res.alloc[i];
+            t.alloc.assign(row.begin(), row.end());
+        } else {
+            t.alloc.clear();
+        }
+    }
+    counters_.requestsApplied.fetch_add(1, std::memory_order_relaxed);
+    return true;
 }
 
 Response
@@ -203,8 +319,13 @@ Shard::doCreate(const CreateMarket &req)
         entry->tenants.push_back(t.tenant);
         entry->weights.push_back(1.0);
     }
+    MarketEntry *raw = entry.get();
     markets_.emplace(req.market, std::move(entry));
-    counters_.marketsCreated += 1;
+    // Publish in the lock-free index only once the entry is fully
+    // built; readers that win the race simply see "unknown market".
+    indexInsert(req.market, raw);
+    marketCount_.fetch_add(1, std::memory_order_relaxed);
+    counters_.marketsCreated.fetch_add(1, std::memory_order_relaxed);
     return AckReply{};
 }
 
@@ -259,7 +380,10 @@ Shard::doJoin(const JoinTenant &req)
     e.tenants.push_back(req.tenant);
     e.weights.push_back(1.0);
     e.rosterChanged = true;
-    stats_.tenantsJoined += 1;
+    {
+        const std::lock_guard<std::mutex> slock(statsMutex_);
+        stats_.tenantsJoined += 1;
+    }
     return AckReply{};
 }
 
@@ -279,44 +403,13 @@ Shard::doLeave(const LeaveTenant &req)
         e.weights.erase(e.weights.begin() +
                         static_cast<std::ptrdiff_t>(i));
         e.rosterChanged = true;
-        stats_.tenantsDeparted += 1;
+        {
+            const std::lock_guard<std::mutex> slock(statsMutex_);
+            stats_.tenantsDeparted += 1;
+        }
         return AckReply{};
     }
     return unknownTenant(req.market, req.tenant);
-}
-
-Response
-Shard::doGet(const GetAllocation &req) const
-{
-    const auto it = markets_.find(req.market);
-    if (it == markets_.end())
-        return unknownMarket(req.market);
-    const MarketEntry &e = *it->second;
-    if (!e.published) {
-        return errorReply(util::SolveStatus::error(
-            util::StatusCode::FailedPrecondition,
-            "market %llu has no allocation yet (awaiting first tick)",
-            static_cast<unsigned long long>(req.market)));
-    }
-    const market::EquilibriumResult &res = e.slots[e.cur];
-    AllocationReply reply;
-    reply.market = e.id;
-    reply.tick = e.lastTick;
-    reply.converged = res.converged;
-    reply.prices = res.prices;
-    reply.players.reserve(e.publishedTenants.size());
-    for (std::size_t i = 0; i < e.publishedTenants.size(); ++i) {
-        TenantAllocation t;
-        t.tenant = e.publishedTenants[i];
-        t.budget = i < res.budgets.size() ? res.budgets[i] : 0.0;
-        t.lambda = i < res.lambdas.size() ? res.lambdas[i] : 0.0;
-        if (i < res.alloc.rows()) {
-            const auto row = res.alloc[i];
-            t.alloc.assign(row.begin(), row.end());
-        }
-        reply.players.push_back(std::move(t));
-    }
-    return reply;
 }
 
 void
@@ -340,12 +433,14 @@ Shard::tick(std::uint64_t epoch)
     for (auto &kv : markets_)
         tickMarket(*kv.second, epoch);
     const std::int64_t delta = counter ? counter() - before : 0;
-    counters_.ticksRun += 1;
+    counters_.ticksRun.fetch_add(1, std::memory_order_relaxed);
     if (steady) {
-        counters_.steadyTicks += 1;
-        counters_.steadyTickAllocs += delta;
+        counters_.steadyTicks.fetch_add(1, std::memory_order_relaxed);
+        counters_.steadyTickAllocs.fetch_add(delta,
+                                             std::memory_order_relaxed);
     } else {
-        counters_.warmupTickAllocs += delta;
+        counters_.warmupTickAllocs.fetch_add(delta,
+                                             std::memory_order_relaxed);
     }
 }
 
@@ -369,7 +464,16 @@ Shard::tickMarket(MarketEntry &e, std::uint64_t epoch)
     const market::EquilibriumResult *prior = nullptr;
     if (e.rosterChanged) {
         // Rebuild the market for the new roster, then migrate the
-        // surviving tenants' warm state across the shape change.
+        // surviving tenants' warm state across the shape change.  The
+        // migration reads the old front slot, which concurrent readers
+        // may still be pinning -- both sides only read, so that is
+        // safe.  The old snapshot stays published throughout the
+        // rebuild: readers keep the pre-churn allocation until the new
+        // roster's first successful solve flips the buffer (the same
+        // stale-until-next-tick semantics the mutexed path had).  Only
+        // the back slot is reshaped before the solve; the other slot
+        // is reshaped right after the flip, still inside this warm-up
+        // tick, so steady ticks never touch an unshaped slot.
         const bool migrate = e.warmValid && !e.solvedTenants.empty();
         e.modelPtrs.clear();
         for (const auto &model : e.builder.models())
@@ -392,74 +496,110 @@ Shard::tickMarket(MarketEntry &e, std::uint64_t epoch)
             const std::size_t kept = market::migrateEquilibriumInto(
                 e.slots[e.cur], e.priorIndex, e.capacities.size(),
                 e.migrated);
-            stats_.migratedWarmSeeds +=
-                static_cast<std::int64_t>(kept);
+            {
+                const std::lock_guard<std::mutex> slock(statsMutex_);
+                stats_.migratedWarmSeeds +=
+                    static_cast<std::int64_t>(kept);
+            }
             if (e.migrated.status.ok())
                 prior = &e.migrated;
         }
         e.warmValid = false;
-        e.published = false;
         e.rosterChanged = false;
         e.solvedTenants = e.tenants;
-        presizeResult(e.slots[0], n, e.capacities.size());
-        presizeResult(e.slots[1], n, e.capacities.size());
-        e.publishedTenants.reserve(n);
+        e.slotShaped[0] = false;
+        e.slotShaped[1] = false;
     } else if (e.warmValid) {
         prior = &e.slots[e.cur];
     }
 
     if (e.watchdog.consumeFallbackEpoch()) {
-        installFallback(e);
+        installFallback(e, epoch);
         e.lastTick = epoch;
+        const std::lock_guard<std::mutex> slock(statsMutex_);
         stats_.fallbackEpochs += 1;
         return;
     }
 
-    market::EquilibriumResult &out = e.slots[1 - e.cur];
+    // Solve into the back slot.  Readers may still be copying it from
+    // two flips ago; wait them out before the solver writes.
+    const int back = 1 - e.cur;
+    market::EquilibriumResult &out = e.slots[back];
+    e.gate.beginWrite(static_cast<std::uint32_t>(back));
+    shapeSlot(e, back, n, e.capacities.size());
     e.market->findEquilibriumInto(e.budgets, prior, e.ws, out);
 
-    stats_.equilibriumSolves += 1;
-    stats_.sweepIterations += out.iterations;
-    stats_.hillClimbSteps += out.hillClimbSteps;
-    stats_.solveSeconds += out.solveSeconds;
-    if (out.warmStarted)
-        stats_.warmStartedSolves += 1;
-    else
-        stats_.coldStartedSolves += 1;
-
-    if (!out.status.ok()) {
-        // Keep serving the previous published allocation; the chain
-        // stays on the old slot.
-        stats_.failedSolves += 1;
-    } else {
-        if (!out.converged)
+    {
+        const std::lock_guard<std::mutex> slock(statsMutex_);
+        stats_.equilibriumSolves += 1;
+        stats_.sweepIterations += out.iterations;
+        stats_.hillClimbSteps += out.hillClimbSteps;
+        stats_.solveSeconds += out.solveSeconds;
+        if (out.warmStarted)
+            stats_.warmStartedSolves += 1;
+        else
+            stats_.coldStartedSolves += 1;
+        if (!out.status.ok())
+            stats_.failedSolves += 1;
+        else if (!out.converged)
             stats_.failSafeTrips += 1;
-        e.cur = 1 - e.cur;
+    }
+
+    if (out.status.ok()) {
+        // Publish: stamp the slot's read-side metadata, then flip.
+        // Same-size assignment reuses slotTenants' buffer, keeping
+        // steady ticks allocation-free.
+        e.slotTenants[back] = e.tenants;
+        e.slotTick[back] = epoch;
+        e.cur = back;
         e.warmValid = true;
         e.published = true;
-        e.publishedTenants = e.tenants;
         e.lastTick = epoch;
+        e.gate.publish(static_cast<std::uint32_t>(back));
+        // If the roster just changed, the now-idle slot still has the
+        // old shape; fix it while this tick is still a warm-up tick.
+        shapeSlot(e, 1 - e.cur, n, e.capacities.size());
     }
+    // On a failed solve the chain stays on the old slot and readers
+    // keep seeing the previous published allocation.
 
     const bool healthy = out.status.ok() && out.converged;
     if (e.watchdog.observe(healthy)) {
         // Watchdog trip: stop trusting the market, drop the warm chain
         // and publish the open-loop equal split for this epoch and the
         // recovery window.
-        stats_.watchdogTrips += 1;
+        {
+            const std::lock_guard<std::mutex> slock(statsMutex_);
+            stats_.watchdogTrips += 1;
+        }
         e.warmValid = false;
-        installFallback(e);
+        installFallback(e, epoch);
         e.lastTick = epoch;
     }
 }
 
-/** Publish the open-loop equal split into the entry's current slot. */
 void
-Shard::installFallback(MarketEntry &entry)
+Shard::shapeSlot(MarketEntry &entry, int slot, std::size_t tenants,
+                 std::size_t resources)
+{
+    if (entry.slotShaped[slot])
+        return;
+    entry.gate.beginWrite(static_cast<std::uint32_t>(slot));
+    presizeResult(entry.slots[slot], tenants, resources);
+    entry.slotTenants[slot].reserve(tenants);
+    entry.slotShaped[slot] = true;
+}
+
+/** Publish the open-loop equal split into the entry's back slot. */
+void
+Shard::installFallback(MarketEntry &entry, std::uint64_t epoch)
 {
     const std::size_t n = entry.tenants.size();
     const std::size_t m = entry.capacities.size();
-    market::EquilibriumResult &out = entry.slots[entry.cur];
+    const int back = 1 - entry.cur;
+    market::EquilibriumResult &out = entry.slots[back];
+    entry.gate.beginWrite(static_cast<std::uint32_t>(back));
+    shapeSlot(entry, back, n, m);
     out.status = {};
     out.alloc.resize(n, m);
     for (std::size_t i = 0; i < n; ++i) {
@@ -478,28 +618,44 @@ Shard::installFallback(MarketEntry &entry)
     out.approximated = true;
     out.hillClimbSteps = 0;
     out.solveSeconds = 0.0;
+    entry.slotTenants[back] = entry.tenants;
+    entry.slotTick[back] = epoch;
+    entry.cur = back;
     entry.published = true;
-    entry.publishedTenants = entry.tenants;
+    entry.gate.publish(static_cast<std::uint32_t>(back));
+    shapeSlot(entry, 1 - entry.cur, n, m);
 }
 
 std::size_t
 Shard::marketCount() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return markets_.size();
+    return marketCount_.load(std::memory_order_relaxed);
 }
 
 ShardCounters
 Shard::counters() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return counters_;
+    ShardCounters c;
+    c.marketsCreated =
+        counters_.marketsCreated.load(std::memory_order_relaxed);
+    c.requestsApplied =
+        counters_.requestsApplied.load(std::memory_order_relaxed);
+    c.requestsRejected =
+        counters_.requestsRejected.load(std::memory_order_relaxed);
+    c.ticksRun = counters_.ticksRun.load(std::memory_order_relaxed);
+    c.steadyTicks =
+        counters_.steadyTicks.load(std::memory_order_relaxed);
+    c.steadyTickAllocs =
+        counters_.steadyTickAllocs.load(std::memory_order_relaxed);
+    c.warmupTickAllocs =
+        counters_.warmupTickAllocs.load(std::memory_order_relaxed);
+    return c;
 }
 
 util::SolverStats
 Shard::solverStats() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(statsMutex_);
     return stats_;
 }
 

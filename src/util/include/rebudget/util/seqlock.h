@@ -1,0 +1,172 @@
+#ifndef REBUDGET_UTIL_SEQLOCK_H_
+#define REBUDGET_UTIL_SEQLOCK_H_
+
+/**
+ * @file
+ * Reader-gated double-buffer publication: the synchronization core of
+ * the serving plane's lock-free snapshot reads.
+ *
+ * A classic retry-seqlock lets readers race the writer and detect the
+ * tear afterwards via a sequence recheck.  That is undefined behavior
+ * on non-trivial payloads (the torn read itself is a data race, and a
+ * concurrently resized std::vector is a use-after-free), so this
+ * variant gates instead of retrying: readers PIN the published slot
+ * with a per-slot reference count, and the single writer WAITS for the
+ * back slot's count to drain before reusing it.  Readers therefore
+ * never observe a slot mid-write, reads are wait-free when the writer
+ * leaves the front slot alone (the common case -- the writer
+ * alternates slots), and both TSan and ASan see a clean happens-before
+ * chain through the two atomics:
+ *
+ *   writer: write slot data .. publish(): front_.store(slot, seq_cst)
+ *   reader: pin(): front_.load + readers_[f].fetch_add(seq_cst)
+ *                  + front_ recheck .. read data .. unpin(): fetch_sub
+ *   writer: beginWrite(): spin readers_[slot].load(acquire) == 0
+ *                  .. write slot data
+ *
+ * The pin/flip pair is a store-load race in both directions (the
+ * writer flips then checks for readers; the reader increments then
+ * rechecks the flip), which acquire/release alone does not order --
+ * both sides could miss each other's store.  Every op on that Dekker
+ * square is seq_cst, so the C++ total order S guarantees at least one
+ * side sees the other: either the writer's count check observes the
+ * incoming reader (and waits), or the reader's recheck observes the
+ * flip (and backs off to the new front).  unpin() pairs with
+ * beginWrite()'s acquire loads, ordering the reader's last data read
+ * before the writer's first overwrite.
+ *
+ * The slot payloads themselves live with the owner (here: the shard's
+ * EquilibriumResult ping-pong pair); this class only arbitrates which
+ * index may be read and which may be written.  Publication carries a
+ * monotonically increasing version so readers can assert they never
+ * travel back in time.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace rebudget::util {
+
+/** Arbitrates one writer and many readers over a 2-slot buffer. */
+class SnapshotSeqLock
+{
+  public:
+    /** Returned by pin() while nothing has been published (or after
+     * unpublish()); kept distinct from any valid slot index. */
+    static constexpr std::uint32_t kNoSlot = 2;
+
+    // --- reader side -------------------------------------------------
+
+    /**
+     * Pin the current front slot for reading.  Returns its index, or
+     * kNoSlot when nothing is published.  On success the writer will
+     * not touch the slot until unpin(); the caller must unpin exactly
+     * once.  Lock-free: the retry loop only runs when the writer flips
+     * concurrently, and each retry lands on the newer slot.
+     */
+    std::uint32_t pin() const
+    {
+        for (;;) {
+            const std::uint32_t f = front_.load(std::memory_order_seq_cst);
+            if (f == kNoSlot)
+                return kNoSlot;
+            readers_[f].fetch_add(1, std::memory_order_seq_cst);
+            if (front_.load(std::memory_order_seq_cst) == f)
+                return f;
+            // The writer flipped between the load and the pin; it may
+            // already be rewriting slot f.  Back off and re-pin.
+            readers_[f].fetch_sub(1, std::memory_order_release);
+        }
+    }
+
+    /** Release a slot returned by pin(). */
+    void unpin(std::uint32_t slot) const
+    {
+        readers_[slot].fetch_sub(1, std::memory_order_release);
+    }
+
+    /** RAII pin: holds a slot (or kNoSlot) for one scope. */
+    class ReadPin
+    {
+      public:
+        explicit ReadPin(const SnapshotSeqLock &gate)
+            : gate_(gate), slot_(gate.pin())
+        {
+        }
+        ~ReadPin()
+        {
+            if (slot_ != kNoSlot)
+                gate_.unpin(slot_);
+        }
+        ReadPin(const ReadPin &) = delete;
+        ReadPin &operator=(const ReadPin &) = delete;
+        /** @return the pinned slot index, or kNoSlot. */
+        std::uint32_t slot() const { return slot_; }
+        /** @return true when a published slot is pinned. */
+        bool valid() const { return slot_ != kNoSlot; }
+
+      private:
+        const SnapshotSeqLock &gate_;
+        std::uint32_t slot_;
+    };
+
+    // --- writer side (single writer) ---------------------------------
+
+    /**
+     * Wait until no reader holds @p slot, after which the caller owns
+     * its payload exclusively and may mutate it freely.  Must only be
+     * called on a slot that is not the current front (flip first), or
+     * before first publication.  Readers hold pins for the duration of
+     * a memcpy-sized copy, so the spin is bounded and short.
+     */
+    void beginWrite(std::uint32_t slot)
+    {
+        // Pin hold times are a snapshot copy -- but a reader preempted
+        // mid-copy holds its pin for a scheduling quantum, and on a
+        // machine with fewer cores than threads a pure busy-wait would
+        // burn the writer's own quantum waiting for it.  Yield so the
+        // pinned reader gets scheduled and drains.
+        while (readers_[slot].load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+    }
+
+    /**
+     * Publish @p slot as the new front with the next version number.
+     * All payload writes to the slot must precede this call.
+     */
+    void publish(std::uint32_t slot)
+    {
+        version_.store(version_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+        front_.store(slot, std::memory_order_seq_cst);
+    }
+
+    /**
+     * Withdraw publication: subsequent pins return kNoSlot.  Readers
+     * already pinned keep their slot until unpin (the payload is not
+     * touched); the writer must still beginWrite() before mutating.
+     */
+    void unpublish() { front_.store(kNoSlot, std::memory_order_seq_cst); }
+
+    /** @return the current front slot index, or kNoSlot. */
+    std::uint32_t frontSlot() const
+    {
+        return front_.load(std::memory_order_acquire);
+    }
+
+    /** @return how many publishes have happened (monotone). */
+    std::uint64_t version() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<std::uint32_t> front_{kNoSlot};
+    std::atomic<std::uint64_t> version_{0};
+    mutable std::atomic<std::uint32_t> readers_[2]{{0}, {0}};
+};
+
+} // namespace rebudget::util
+
+#endif // REBUDGET_UTIL_SEQLOCK_H_

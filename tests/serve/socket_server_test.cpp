@@ -329,6 +329,136 @@ TEST(SocketServer, StatsOverTheWire)
     server.shutdownViaProtocol();
 }
 
+TEST(SocketServer, TinySendWindowBuffersPendingReplies)
+{
+    // Regression for the transport's short-write handling: a client
+    // with a tiny receive window pipelines many large (GetStats)
+    // requests without reading, so the server's coalesced sendmsg hits
+    // EAGAIN repeatedly and must buffer the remainder per connection
+    // -- while other connections keep round-tripping.  Every reply
+    // must eventually arrive intact, in order, with nothing truncated
+    // or duplicated.
+    ServeConfig config;
+    config.shards = 2;
+    config.jobs = 1;
+    config.market.maxIterations = 200;
+    ServerCore core(config);
+    SocketServerOptions options;
+    options.port = 0;
+    options.tickMs = 0;
+    SocketServer server(core, options);
+    util::SolveStatus result;
+    std::thread thread([&] { result = server.run(); });
+
+    std::uint16_t port = 0;
+    for (int i = 0; i < 200 && port == 0; ++i) {
+        port = server.boundPort();
+        if (port == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_NE(port, 0);
+
+    auto tcpConnect = [port](int rcvbuf) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        if (rcvbuf > 0) {
+            // Must be set before connect so the window is negotiated
+            // small; the kernel clamps to its floor, which is still
+            // far below one burst of stats replies.
+            EXPECT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                                   sizeof(rcvbuf)),
+                      0);
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        EXPECT_EQ(::connect(fd,
+                            reinterpret_cast<const sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        return fd;
+    };
+
+    const int brisk = tcpConnect(0);
+    ASSERT_GE(brisk, 0);
+    Response resp;
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        TestServer::sendRequest(brisk, smallMarket(m));
+        ASSERT_TRUE(TestServer::readResponse(brisk, resp));
+        ASSERT_TRUE(std::holds_alternative<AckReply>(resp));
+    }
+
+    const int slow = tcpConnect(1024);
+    ASSERT_GE(slow, 0);
+    constexpr int kPipelined = 120;
+    {
+        std::vector<std::uint8_t> frame;
+        encodeRequest(GetStats{}, frame);
+        std::vector<std::uint8_t> burst;
+        for (int i = 0; i < kPipelined; ++i)
+            burst.insert(burst.end(), frame.begin(), frame.end());
+        TestServer::sendAll(slow, burst.data(), burst.size());
+    }
+    // Give the server time to answer far more than one window's worth,
+    // so replies are definitely parked in the connection's send queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // A backed-up peer must not wedge the loop for anyone else.
+    TestServer::sendRequest(brisk, TickNow{});
+    ASSERT_TRUE(TestServer::readResponse(brisk, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+    TestServer::sendRequest(brisk, GetAllocation{3});
+    ASSERT_TRUE(TestServer::readResponse(brisk, resp));
+    EXPECT_TRUE(std::holds_alternative<AllocationReply>(resp));
+
+    // Now drain the slow connection: every pipelined reply arrives
+    // whole.  One FrameReader persists across the whole stream (a
+    // fresh reader per reply would discard read-ahead bytes), and
+    // periodic pauses keep the window collapsing so the server's
+    // POLLOUT resume path runs more than once.
+    {
+        FrameReader reader;
+        std::vector<std::uint8_t> payload;
+        std::uint8_t buf[4096];
+        int got = 0;
+        while (got < kPipelined) {
+            const auto r = reader.next(payload);
+            if (r == FrameReader::Result::Frame) {
+                const auto decoded =
+                    decodeResponse(payload.data(), payload.size());
+                ASSERT_TRUE(decoded.ok())
+                    << "reply " << got << ": "
+                    << decoded.status().toString();
+                const auto *stats =
+                    std::get_if<StatsReply>(&decoded.value());
+                ASSERT_NE(stats, nullptr) << "reply " << got;
+                EXPECT_NE(stats->json.find("rebudget.serve_stats.v1"),
+                          std::string::npos);
+                ++got;
+                if (got % 16 == 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                continue;
+            }
+            ASSERT_NE(r, FrameReader::Result::Error)
+                << "framing broke after " << got << " replies: "
+                << reader.error();
+            const ssize_t n = ::recv(slow, buf, sizeof(buf), 0);
+            ASSERT_GT(n, 0) << "EOF/error after " << got << " replies";
+            reader.feed(buf, static_cast<std::size_t>(n));
+        }
+    }
+    ::close(slow);
+
+    TestServer::sendRequest(brisk, Shutdown{});
+    ASSERT_TRUE(TestServer::readResponse(brisk, resp));
+    EXPECT_TRUE(std::holds_alternative<AckReply>(resp));
+    ::close(brisk);
+    thread.join();
+    EXPECT_TRUE(result.ok()) << result.toString();
+}
+
 TEST(SocketServer, LoopbackTcpWithEphemeralPort)
 {
     ServeConfig config;

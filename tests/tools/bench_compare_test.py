@@ -161,5 +161,127 @@ class SpeedupTest(unittest.TestCase):
         self.assertTrue(any("no overlapping" in e for e in cmp.errors))
 
 
+def serve_row(markets=64, players=8, readers=4, rps=3.0e6, **over):
+    row = {"markets": markets, "players": players, "readers": readers,
+           "reads_per_sec": rps, "ticks_per_sec": 5000.0,
+           "read_p50_ns": 150.0, "read_p99_ns": 400.0,
+           "read_errors": 0, "torn_reads": 0, "steady_tick_allocs": 0,
+           "cold_solves": 0, "frozen_markets": 0}
+    row.update(over)
+    return row
+
+
+def serve_file(*rows):
+    return {"schema": bench_compare.SERVE_SCHEMA,
+            "capacity": list(rows)}
+
+
+class ServeCompareTest(unittest.TestCase):
+    def test_matching_rows_pass(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.compare_serve(cmp, serve_file(serve_row()),
+                                    serve_file(serve_row()))
+        self.assertEqual(cmp.errors, [])
+        self.assertGreater(cmp.checked_counters, 0)
+
+    def test_integrity_counters_are_absolute_zero_gates(self):
+        # A torn read in BOTH files still fails: the gate is vs 0, not
+        # vs the baseline, so a broken committed capture cannot
+        # grandfather a correctness bug through the diff.
+        for gate in bench_compare.SERVE_ZERO_GATES:
+            cmp = bench_compare.Comparison(10.0)
+            bad = serve_row(**{gate: 1})
+            bench_compare.compare_serve(cmp, serve_file(bad),
+                                        serve_file(bad))
+            self.assertTrue(any(gate in e for e in cmp.errors),
+                            f"{gate}=1 must fail, got {cmp.errors}")
+
+    def test_frozen_markets_diffs_exactly_against_baseline(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.compare_serve(
+            cmp, serve_file(serve_row(frozen_markets=2)),
+            serve_file(serve_row(frozen_markets=0)))
+        self.assertTrue(any("frozen_markets" in e for e in cmp.errors))
+
+    def test_throughput_outside_band_fails(self):
+        cmp = bench_compare.Comparison(3.0)
+        bench_compare.compare_serve(
+            cmp, serve_file(serve_row(rps=1.0e6)),
+            serve_file(serve_row(rps=3.1e6)))
+        self.assertTrue(any("reads_per_sec" in e for e in cmp.errors))
+
+    def test_no_overlapping_rows_is_an_error(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.compare_serve(
+            cmp, serve_file(serve_row(markets=64)),
+            serve_file(serve_row(markets=512)))
+        self.assertTrue(any("no overlapping" in e for e in cmp.errors))
+
+
+class ServeSpeedupTest(unittest.TestCase):
+    def test_peak_and_geomean_gates_pass(self):
+        cmp = bench_compare.Comparison(10.0)
+        fresh = serve_file(serve_row(readers=1, rps=7.0e6),
+                           serve_row(readers=4, rps=5.0e6),
+                           serve_row(readers=8, rps=4.5e6))
+        pre = serve_file(serve_row(readers=1, rps=2.0e6),
+                         serve_row(readers=4, rps=2.0e6),
+                         serve_row(readers=8, rps=2.0e6))
+        bench_compare.check_serve_speedup(cmp, fresh, pre, 2.0, 3.0)
+        self.assertEqual(cmp.errors, [])
+        self.assertTrue(any("peak 3.50x" in n for n in cmp.notes),
+                        f"expected a summary note, got {cmp.notes}")
+
+    def test_peak_below_min_fails(self):
+        cmp = bench_compare.Comparison(10.0)
+        fresh = serve_file(serve_row(rps=5.0e6))
+        pre = serve_file(serve_row(rps=2.0e6))
+        bench_compare.check_serve_speedup(cmp, fresh, pre, None, 3.0)
+        self.assertTrue(any("peak" in e and "below required" in e
+                            for e in cmp.errors))
+
+    def test_geomean_below_min_fails(self):
+        # Peak clears 3x via a single-reader row, but the geomean over
+        # the concurrent rows does not clear 2x -- the two gates are
+        # independent.
+        cmp = bench_compare.Comparison(10.0)
+        fresh = serve_file(serve_row(readers=1, rps=7.0e6),
+                           serve_row(readers=4, rps=3.0e6),
+                           serve_row(readers=8, rps=3.0e6))
+        pre = serve_file(serve_row(readers=1, rps=2.0e6),
+                         serve_row(readers=4, rps=2.0e6),
+                         serve_row(readers=8, rps=2.0e6))
+        bench_compare.check_serve_speedup(cmp, fresh, pre, 2.0, 3.0)
+        self.assertTrue(any("geomean" in e for e in cmp.errors),
+                        f"expected a geomean failure, got {cmp.errors}")
+
+    def test_min_speedup_without_concurrent_rows_is_an_error(self):
+        cmp = bench_compare.Comparison(10.0)
+        fresh = serve_file(serve_row(readers=1, rps=7.0e6))
+        pre = serve_file(serve_row(readers=1, rps=2.0e6))
+        bench_compare.check_serve_speedup(cmp, fresh, pre, 2.0, None)
+        self.assertTrue(any("readers >= 4" in e for e in cmp.errors))
+
+    def test_zero_prechange_rps_is_named_failure(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_serve_speedup(
+            cmp, serve_file(serve_row()),
+            serve_file(serve_row(rps=0)), None, None)
+        self.assertTrue(any("non-positive" in e for e in cmp.errors))
+
+    def test_wrong_prechange_schema_is_named_failure(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_serve_speedup(
+            cmp, serve_file(serve_row()), {"scaling": []}, None, None)
+        self.assertTrue(any("schema" in e for e in cmp.errors))
+
+    def test_no_overlap_is_an_error(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.check_serve_speedup(
+            cmp, serve_file(serve_row(markets=64)),
+            serve_file(serve_row(markets=512)), None, None)
+        self.assertTrue(any("no overlapping" in e for e in cmp.errors))
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -1,5 +1,23 @@
 #!/usr/bin/env python3
-"""Compare a fresh perf_equilibrium JSON against a committed baseline.
+"""Compare a fresh benchmark JSON against a committed baseline.
+
+Two schemas are understood, dispatched on the fresh file's "schema"
+field:
+
+  * perf_equilibrium output (no schema field / legacy): solver counter
+    and wall-clock comparison against BENCH_market.json -- see below.
+  * "rebudget.serve_bench.v1" (perf_serve --sweep output): serving-
+    plane capacity rows keyed by (markets, players, readers).  The
+    integrity counters (read_errors, torn_reads, steady_tick_allocs,
+    cold_solves) are absolute zero gates -- a single torn read or a
+    steady tick that allocated fails the comparison outright.
+    Throughput and latency fields are banded like any other timing.
+    With --prechange BENCH_serve_prepr.json the per-row
+    reads_per_sec speedup is printed, and --min-speedup /
+    --min-peak-speedup gate the geometric-mean (concurrent-reader
+    rows) and peak (any row) speedups.  Both captures are committed
+    artifacts measured with identical methodology, so the gate is
+    deterministic and machine-independent.
 
 The equilibrium solver is deterministic, so every iteration/sweep
 counter in a fresh run must match the committed BENCH_market.json
@@ -38,8 +56,11 @@ section must be comparable), 1 otherwise.
 
 import argparse
 import json
+import math
 import os
 import sys
+
+SERVE_SCHEMA = "rebudget.serve_bench.v1"
 
 
 def load(path):
@@ -319,6 +340,134 @@ def check_speedup(cmp, fresh, prepr, min_speedup):
             "(players, best_response) rows were found")
 
 
+# Integrity counters that must be zero on every capacity row, fresh or
+# committed: one torn read or one steady tick that heap-allocated is a
+# correctness bug, not a performance regression.
+SERVE_ZERO_GATES = ("read_errors", "torn_reads", "steady_tick_allocs",
+                    "cold_solves")
+
+
+def compare_serve(cmp, fresh, base):
+    """Serving-plane capacity rows, keyed (markets, players, readers).
+    Integrity counters are absolute zero gates on the FRESH rows (and
+    implicitly on the baseline too via the exact diff); throughput and
+    latency are banded."""
+    base_idx = index_by(cmp, "baseline capacity",
+                        base.get("capacity", []),
+                        "markets", "players", "readers")
+    matched = 0
+    for pos, entry in enumerate(fresh.get("capacity", [])):
+        ctx0 = f"fresh capacity[{pos}]"
+        key = (cmp.fetch(ctx0, entry, "markets"),
+               cmp.fetch(ctx0, entry, "players"),
+               cmp.fetch(ctx0, entry, "readers"))
+        if None in key:
+            continue
+        ctx = (f"capacity markets={key[0]} players={key[1]} "
+               f"readers={key[2]}")
+        # Absolute gates first: they hold even for rows the baseline
+        # does not carry (a fresh sweep may be wider than the capture).
+        for gate in SERVE_ZERO_GATES:
+            cmp.exact(ctx, gate, cmp.fetch(ctx, entry, gate), 0)
+        ref = base_idx.get(key)
+        if ref is None:
+            continue
+        matched += 1
+        # frozen_markets is deterministic for a fixed seed/config: a
+        # drift means the demand schedule or solver trajectory changed.
+        cmp.exact(ctx, "frozen_markets",
+                  cmp.fetch(ctx, entry, "frozen_markets"),
+                  cmp.fetch(ctx, ref, "frozen_markets"))
+        for field in ("reads_per_sec", "ticks_per_sec", "read_p50_ns",
+                      "read_p99_ns"):
+            cmp.timing(ctx, field, cmp.fetch(ctx, entry, field),
+                       cmp.fetch(ctx, ref, field))
+    if matched == 0:
+        cmp.errors.append(
+            "serve comparison found no overlapping "
+            "(markets, players, readers) capacity rows")
+    cmp.notes.append(f"capacity: {matched} comparable row"
+                     f"{'' if matched == 1 else 's'}")
+
+
+def check_serve_speedup(cmp, fresh, prepr, min_speedup, min_peak):
+    """Fresh reads_per_sec vs the committed pre-change (mutexed
+    snapshot path) capture, per capacity row.  Two gates, both over
+    committed artifacts so the check is deterministic:
+
+      * --min-peak-speedup: the best row anywhere must clear it (the
+        headline "lock-free reads are Nx" claim);
+      * --min-speedup: the GEOMETRIC MEAN over concurrent-reader rows
+        (readers >= 4) must clear it.  Large markets are bounded by
+        the snapshot copy cost both paths share, so a per-row floor
+        would measure memcpy, not the locking protocol.
+    """
+    if prepr.get("schema") != SERVE_SCHEMA:
+        cmp.errors.append(
+            f"prechange file schema is {prepr.get('schema')!r}, "
+            f"expected {SERVE_SCHEMA!r}")
+        return
+    pre_idx = index_by(cmp, "prechange capacity",
+                       prepr.get("capacity", []),
+                       "markets", "players", "readers")
+    peak = 0.0
+    concurrent = []
+    seen = 0
+    for entry in fresh.get("capacity", []):
+        key = (entry.get("markets"), entry.get("players"),
+               entry.get("readers"))
+        ref = pre_idx.get(key)
+        if ref is None or None in key:
+            continue
+        pre_rps = ref.get("reads_per_sec")
+        new_rps = entry.get("reads_per_sec")
+        ctx = (f"capacity markets={key[0]} players={key[1]} "
+               f"readers={key[2]}")
+        if not pre_rps or not new_rps or pre_rps <= 0 or new_rps <= 0:
+            cmp.errors.append(
+                f"{ctx}: non-positive reads_per_sec (pre-change "
+                f"{pre_rps}, fresh {new_rps}) -- regenerate the "
+                f"capture")
+            continue
+        seen += 1
+        speedup = new_rps / pre_rps
+        peak = max(peak, speedup)
+        if key[2] >= 4:
+            concurrent.append(speedup)
+        cmp.notes.append(
+            f"serve speedup {ctx}: {pre_rps / 1e6:.2f}M -> "
+            f"{new_rps / 1e6:.2f}M reads/s ({speedup:.2f}x)")
+    if seen == 0:
+        cmp.errors.append(
+            "prechange comparison requested but no overlapping "
+            "capacity rows were found")
+        return
+    if concurrent:
+        geo = math.exp(sum(math.log(s) for s in concurrent)
+                       / len(concurrent))
+        cmp.notes.append(
+            f"serve speedup summary: peak {peak:.2f}x, geomean over "
+            f"{len(concurrent)} concurrent-reader rows {geo:.2f}x")
+    else:
+        geo = None
+        cmp.notes.append(
+            f"serve speedup summary: peak {peak:.2f}x (no "
+            f"concurrent-reader rows for a geomean)")
+    if min_peak is not None and peak < min_peak:
+        cmp.errors.append(
+            f"peak serve speedup {peak:.2f}x below required "
+            f"{min_peak}x")
+    if min_speedup is not None:
+        if geo is None:
+            cmp.errors.append(
+                "--min-speedup given but the sweep has no "
+                "readers >= 4 rows to average")
+        elif geo < min_speedup:
+            cmp.errors.append(
+                f"geomean serve speedup {geo:.2f}x below required "
+                f"{min_speedup}x")
+
+
 def resolve_band(args):
     """--time-band beats REBUDGET_BENCH_BAND beats the 10x default."""
     if args.time_band is not None:
@@ -356,22 +505,48 @@ def main():
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="with --prechange: fail if any >= 1k-player "
                          "best_response row is below this ns/sweep "
-                         "speedup (default: informational only)")
+                         "speedup; for serve files, fail if the "
+                         "geomean reads_per_sec speedup over "
+                         "readers >= 4 rows is below it "
+                         "(default: informational only)")
+    ap.add_argument("--min-peak-speedup", type=float, default=None,
+                    help="serve files with --prechange: fail if the "
+                         "best per-row reads_per_sec speedup is below "
+                         "this (default: informational only)")
     args = ap.parse_args()
 
     fresh = load(args.fresh)
     base = load(args.baseline)
     cmp = Comparison(resolve_band(args))
-    compare_synthetic(cmp, fresh, base)
-    compare_steady_state(cmp, fresh, base)
-    compare_suite(cmp, fresh, base)
-    compare_scaling(cmp, fresh, base)
-    if args.prechange is not None:
-        check_speedup(cmp, fresh, load(args.prechange),
-                      args.min_speedup)
-    elif args.min_speedup is not None:
-        print("FAIL: --min-speedup requires --prechange")
-        return 1
+    if (args.min_speedup is not None
+            or args.min_peak_speedup is not None):
+        if args.prechange is None:
+            print("FAIL: --min-speedup/--min-peak-speedup require "
+                  "--prechange")
+            return 1
+    if fresh.get("schema") == SERVE_SCHEMA:
+        if base.get("schema") != SERVE_SCHEMA:
+            print(f"FAIL: fresh file is {SERVE_SCHEMA} but baseline "
+                  f"{args.baseline} is not (pass --baseline "
+                  f"BENCH_serve.json)")
+            return 1
+        compare_serve(cmp, fresh, base)
+        if args.prechange is not None:
+            check_serve_speedup(cmp, fresh, load(args.prechange),
+                                args.min_speedup,
+                                args.min_peak_speedup)
+    else:
+        if args.min_peak_speedup is not None:
+            print("FAIL: --min-peak-speedup only applies to "
+                  f"{SERVE_SCHEMA} files")
+            return 1
+        compare_synthetic(cmp, fresh, base)
+        compare_steady_state(cmp, fresh, base)
+        compare_suite(cmp, fresh, base)
+        compare_scaling(cmp, fresh, base)
+        if args.prechange is not None:
+            check_speedup(cmp, fresh, load(args.prechange),
+                          args.min_speedup)
 
     for note in cmp.notes:
         print(note)

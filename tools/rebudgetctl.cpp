@@ -26,6 +26,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -42,7 +43,10 @@ void
 usage()
 {
     std::fputs(
-        "usage: rebudgetctl (--socket PATH | --port N) <command>\n"
+        "usage: rebudgetctl (--socket PATH | --port N)"
+        " [--timeout-ms N] <command>\n"
+        "  --timeout-ms N   fail if the reply takes longer than N ms\n"
+        "                   (default 0 = wait forever)\n"
         "commands:\n"
         "  create <market> <app1,app2,...>\n"
         "  demand <market> <tenant> <weight>\n"
@@ -98,7 +102,7 @@ connectTo(const std::string &socket_path, std::uint16_t port)
 }
 
 serve::Response
-roundTrip(int fd, const serve::Request &req)
+roundTrip(int fd, const serve::Request &req, std::uint64_t timeoutMs)
 {
     std::vector<std::uint8_t> frame;
     serve::encodeRequest(req, frame);
@@ -126,6 +130,22 @@ roundTrip(int fd, const serve::Request &req)
             util::fatal("%s", reader.error().c_str());
         case serve::FrameReader::Result::NeedMore:
             break;
+        }
+        if (timeoutMs != 0) {
+            // Bound each wait for more reply bytes, so a wedged or
+            // unresponsive daemon fails the script quickly instead of
+            // hanging it (the error names the deadline that tripped).
+            pollfd pfd{fd, POLLIN, 0};
+            int rc;
+            do {
+                rc = ::poll(&pfd, 1, static_cast<int>(timeoutMs));
+            } while (rc < 0 && errno == EINTR);
+            if (rc < 0)
+                util::fatal("poll: %s", std::strerror(errno));
+            if (rc == 0)
+                util::fatal("timed out after %llu ms waiting for the"
+                            " reply",
+                            static_cast<unsigned long long>(timeoutMs));
         }
         const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n == 0)
@@ -200,6 +220,7 @@ main(int argc, char **argv)
 {
     std::string socket_path;
     std::uint16_t port = 0;
+    std::uint64_t timeout_ms = 0;
     std::vector<std::string> args;
 
     for (int i = 1; i < argc; ++i) {
@@ -213,6 +234,10 @@ main(int argc, char **argv)
                 util::fatal("--port requires a value");
             port = static_cast<std::uint16_t>(
                 parseId("--port", argv[++i]));
+        } else if (arg == "--timeout-ms") {
+            if (i + 1 >= argc)
+                util::fatal("--timeout-ms requires a value");
+            timeout_ms = parseId("--timeout-ms", argv[++i]);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -276,7 +301,7 @@ main(int argc, char **argv)
     }
 
     const int fd = connectTo(socket_path, port);
-    const serve::Response resp = roundTrip(fd, req);
+    const serve::Response resp = roundTrip(fd, req, timeout_ms);
     ::close(fd);
     return printResponse(resp);
 }
