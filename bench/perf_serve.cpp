@@ -31,6 +31,17 @@
  * cold solve in the measured window is fatal.  Output is one
  * rebudget.serve_bench.v1 JSON object (stdout or --out FILE), gated
  * against the committed BENCH_serve.json by tools/bench_compare.py.
+ *
+ * Part C (--recovery / --recovery-smoke): the durability-cost section.
+ * A populated, warmed core is snapshotted (timed), then driven through
+ * a journaled steady window and an identical unjournaled window so the
+ * per-op journal overhead is a measured ratio, not a guess.  A tail of
+ * journal-only writes is then "crashed" (the core is simply dropped)
+ * and recovered into a fresh core (timed); the recovered digest must
+ * match the live core's bit for bit, and steady ticks must stay
+ * allocation-free WITH journaling attached -- both violations are
+ * fatal.  Output is one rebudget.serve_recovery.v1 JSON object, gated
+ * against the committed BENCH_serve_recovery.json.
  */
 
 #include <algorithm>
@@ -39,6 +50,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 #include <string>
 #include <thread>
@@ -46,6 +58,7 @@
 #include <vector>
 
 #include "rebudget/eval/bundle_runner.h"
+#include "rebudget/serve/persist.h"
 #include "rebudget/serve/server_core.h"
 #include "rebudget/util/arg_parse.h"
 #include "rebudget/util/logging.h"
@@ -537,6 +550,251 @@ runCapacitySweep(const serve::ServeConfig &config, std::uint64_t seed,
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// Part C: durability cost + recovery fidelity.
+// ---------------------------------------------------------------------
+
+/** Total on-disk size of every shard-*.snap in @p dir (informational;
+ * the gate is on counters and digests, not bytes). */
+std::uint64_t
+snapshotBytes(const std::string &dir, std::size_t shards)
+{
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(
+            dir + "/shard-" + std::to_string(s) + ".snap", ec);
+        if (!ec)
+            total += size;
+    }
+    return total;
+}
+
+int
+runRecoveryBench(const serve::ServeConfig &base, std::size_t markets,
+                 std::size_t players, std::uint64_t seed,
+                 std::uint64_t warmup, std::uint64_t window,
+                 const std::string &outPath)
+{
+    serve::ServeConfig config = base;
+    config.allocCounter = &threadAllocCount;
+    // Same headroom rationale as the capacity sweep: a rare hard
+    // demand draw that trips the iteration fail-safe would warn (and
+    // allocate) inside the tick body, failing the zero-allocation gate
+    // for a solver-tuning reason rather than a durability one.
+    if (config.market.maxIterations < 2000)
+        config.market.maxIterations = 2000;
+    serve::ServerCore core(config);
+
+    char tmpl[] = "/tmp/rebudget_perf_recovery_XXXXXX";
+    const char *stateDir = ::mkdtemp(tmpl);
+    if (stateDir == nullptr)
+        util::fatal("recovery: mkdtemp failed");
+    serve::PersistConfig persistConfig;
+    persistConfig.dir = stateDir;
+    // The daemon's default fsync cadence (data on, journal off) is a
+    // property of the disk, not the code under test; the bench turns
+    // data fsync off so the measured windows compare encode+append
+    // cost, not device flush latency.
+    persistConfig.fsyncData = false;
+    serve::PersistManager persist(persistConfig, core.shardCount());
+    if (!persist.init().ok())
+        util::fatal("recovery: cannot create state dir %s", stateDir);
+
+    for (std::size_t m = 0; m < markets; ++m) {
+        const std::vector<std::string> names = eval::syntheticAppNames(
+            players,
+            util::mix64(seed ^ (0x5e + static_cast<std::uint64_t>(m))));
+        serve::CreateMarket req;
+        req.market = m;
+        for (std::size_t t = 0; t < names.size(); ++t)
+            req.tenants.push_back({t, names[t]});
+        const serve::Response resp = core.apply(req);
+        if (const auto *err = std::get_if<serve::ErrorReply>(&resp))
+            util::fatal("recovery: create market %zu: %s", m,
+                        err->message.c_str());
+    }
+    auto perturb = [&](std::uint64_t tick) {
+        for (std::size_t m = 0; m < markets; ++m) {
+            const std::uint64_t key =
+                util::mix64(seed ^ (tick * 1315423911ull) ^ m);
+            serve::SubmitDemand req;
+            req.market = m;
+            req.tenant = key % players;
+            req.weight = 0.5 + static_cast<double>(key % 16) / 8.0;
+            const serve::Response resp = core.apply(req);
+            if (std::holds_alternative<serve::ErrorReply>(resp))
+                util::fatal("recovery: demand rejected on market %zu", m);
+        }
+    };
+    std::uint64_t tick = 0;
+    for (std::uint64_t t = 0; t < warmup; ++t) {
+        perturb(tick++);
+        core.tick();
+    }
+    util::SolverStats afterWarmup;
+    for (std::size_t s = 0; s < core.shardCount(); ++s)
+        afterWarmup.merge(core.shard(s).solverStats());
+
+    // Baseline snapshot (timed): also opens the per-shard journals,
+    // exactly as the daemon does before attaching the journal sink.
+    const double snapStart = util::monotonicSeconds();
+    if (const auto st = persist.snapshotAll(core); !st.ok())
+        util::fatal("recovery: snapshot failed: %s",
+                    st.message().c_str());
+    const double snapshotSeconds =
+        util::monotonicSeconds() - snapStart;
+    const std::uint64_t snapBytes =
+        snapshotBytes(stateDir, core.shardCount());
+
+    // Plain window: identical demand churn, no journal attached.
+    const double plainStart = util::monotonicSeconds();
+    for (std::uint64_t t = 0; t < window; ++t) {
+        perturb(tick++);
+        core.tick();
+    }
+    const double plainSeconds = util::monotonicSeconds() - plainStart;
+
+    // Journaled window: same shape of work with the write-ahead sink
+    // attached.  The ratio of the two windows is the measured cost of
+    // durability on the serving path.
+    core.setJournal(&persist);
+    const double journaledStart = util::monotonicSeconds();
+    for (std::uint64_t t = 0; t < window; ++t) {
+        perturb(tick++);
+        core.tick();
+    }
+    const double journaledSeconds =
+        util::monotonicSeconds() - journaledStart;
+
+    // Rotate, then write a journal-only tail: one demand per market
+    // that no snapshot covers.  Dropping `core` unrecovered from here
+    // models kill -9; instead we keep it as the fidelity reference.
+    if (const auto st = persist.snapshotAll(core); !st.ok())
+        util::fatal("recovery: snapshot failed: %s",
+                    st.message().c_str());
+    perturb(tick++);
+    core.setJournal(nullptr);
+    persist.syncJournals();
+    const std::uint64_t journalOps = persist.journaledOps();
+
+    // Recover into a fresh core (timed) and hold it to the contract:
+    // published state matches bit for bit, and the first post-restart
+    // tick -- warm chains re-seeded from the snapshot, the journaled
+    // tail replayed -- matches the survivor's too.
+    // Identical solver config (same iteration headroom) so the
+    // post-restart tick is comparable bit for bit.
+    serve::ServerCore recovered(config);
+    serve::PersistManager reader(persistConfig, recovered.shardCount());
+    if (!reader.init().ok())
+        util::fatal("recovery: cannot reopen state dir %s", stateDir);
+    const double recoverStart = util::monotonicSeconds();
+    const serve::RecoveryReport report = reader.recover(recovered);
+    const double recoverSeconds =
+        util::monotonicSeconds() - recoverStart;
+
+    int digestMatch = 1;
+    if (recovered.digest() != core.digest()) {
+        digestMatch = 0;
+        util::fatal("recovery: recovered digest %016llx != live "
+                    "%016llx",
+                    static_cast<unsigned long long>(recovered.digest()),
+                    static_cast<unsigned long long>(core.digest()));
+    }
+    core.tick();
+    recovered.tick();
+    if (recovered.digest() != core.digest()) {
+        digestMatch = 0;
+        util::fatal("recovery: first post-restart tick diverged "
+                    "(%016llx != %016llx)",
+                    static_cast<unsigned long long>(recovered.digest()),
+                    static_cast<unsigned long long>(core.digest()));
+    }
+
+    // The Part A contract must survive with journaling attached: the
+    // tick body never touches the heap (journal appends live on the
+    // apply path), and every measured solve reuses the warm chain.
+    std::int64_t steadyAllocs = 0;
+    util::SolverStats total;
+    for (std::size_t s = 0; s < core.shardCount(); ++s) {
+        total.merge(core.shard(s).solverStats());
+        steadyAllocs += core.shard(s).counters().steadyTickAllocs;
+    }
+    if (steadyAllocs != 0)
+        util::fatal("recovery: %lld steady-tick allocations with "
+                    "journaling attached",
+                    static_cast<long long>(steadyAllocs));
+    const std::int64_t coldSolves =
+        total.coldStartedSolves - afterWarmup.coldStartedSolves;
+    if (coldSolves != 0)
+        util::fatal("recovery: %lld cold solves in the measured window",
+                    static_cast<long long>(coldSolves));
+
+    std::error_code ec;
+    std::filesystem::remove_all(stateDir, ec);
+
+    FILE *out = stdout;
+    if (!outPath.empty()) {
+        out = std::fopen(outPath.c_str(), "w");
+        if (out == nullptr)
+            util::fatal("cannot open --out file '%s'", outPath.c_str());
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"schema\": \"rebudget.serve_recovery.v1\",\n");
+    std::fprintf(out, "  \"shards\": %zu,\n", core.shardCount());
+    std::fprintf(out, "  \"markets\": %zu,\n", markets);
+    std::fprintf(out, "  \"players_per_market\": %zu,\n", players);
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(out, "  \"warmup_ticks\": %llu,\n",
+                 static_cast<unsigned long long>(warmup));
+    std::fprintf(out, "  \"window_ticks\": %llu,\n",
+                 static_cast<unsigned long long>(window));
+    std::fprintf(out, "  \"snapshot_ms\": %.3f,\n",
+                 snapshotSeconds * 1e3);
+    std::fprintf(out, "  \"snapshot_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(snapBytes));
+    std::fprintf(out, "  \"plain_window_ms\": %.3f,\n",
+                 plainSeconds * 1e3);
+    std::fprintf(out, "  \"journaled_window_ms\": %.3f,\n",
+                 journaledSeconds * 1e3);
+    std::fprintf(out, "  \"journal_overhead_pct\": %.2f,\n",
+                 plainSeconds > 0.0
+                     ? (journaledSeconds / plainSeconds - 1.0) * 100.0
+                     : 0.0);
+    std::fprintf(out, "  \"journal_ops\": %llu,\n",
+                 static_cast<unsigned long long>(journalOps));
+    std::fprintf(out, "  \"recover_ms\": %.3f,\n",
+                 recoverSeconds * 1e3);
+    std::fprintf(out, "  \"snapshots_loaded\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     report.summary.snapshotsLoaded));
+    std::fprintf(out, "  \"markets_recovered\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     report.summary.marketsRestored));
+    std::fprintf(out, "  \"ops_replayed\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     report.summary.opsReplayed));
+    std::fprintf(out, "  \"ops_skipped\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     report.summary.opsSkipped));
+    std::fprintf(out, "  \"torn_tails\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     report.summary.journalTornTails));
+    std::fprintf(out, "  \"snapshots_corrupt\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     report.summary.snapshotsCorrupt));
+    std::fprintf(out, "  \"digest_match\": %d,\n", digestMatch);
+    std::fprintf(out, "  \"steady_tick_allocs\": %lld,\n",
+                 static_cast<long long>(steadyAllocs));
+    std::fprintf(out, "  \"cold_solves\": %lld\n",
+                 static_cast<long long>(coldSolves));
+    std::fprintf(out, "}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -549,6 +807,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     bool capacity = false;
     bool capacitySmoke = false;
+    bool recovery = false;
     double readSeconds = 0.0; // 0 = mode default (1.0 full, 0.25 smoke)
     std::string outPath;
     serve::ServeConfig config;
@@ -592,6 +851,18 @@ main(int argc, char **argv)
         } else if (arg == "--capacity-smoke") {
             capacity = true;
             capacitySmoke = true;
+        } else if (arg == "--recovery") {
+            recovery = true;
+        } else if (arg == "--recovery-smoke") {
+            // The Part A roster (64 markets x 8 catalog apps, seed-
+            // keyed) is a known-clean draw: every market converges
+            // inside the iteration budget, so the zero-allocation gate
+            // measures journaling, not solver luck.
+            recovery = true;
+            markets = 64;
+            players = 8;
+            warmup = 3;
+            measured = 8;
         } else if (arg == "--read-seconds") {
             const auto parsed = util::parseDouble(value());
             if (!parsed.ok() || parsed.value() <= 0.0)
@@ -612,6 +883,9 @@ main(int argc, char **argv)
         return runCapacitySweep(config, seed, warmup == 0 ? 5 : warmup,
                                 readSeconds, capacitySmoke, outPath);
     }
+    if (recovery)
+        return runRecoveryBench(config, markets, players, seed, warmup,
+                                measured, outPath);
 
     config.allocCounter = &threadAllocCount;
     serve::ServerCore core(config);

@@ -1,0 +1,75 @@
+#include "rebudget/faults/blob_damage.h"
+
+namespace rebudget::faults {
+
+const char *
+blobDamageName(BlobDamage kind)
+{
+    switch (kind) {
+    case BlobDamage::Truncate:
+        return "truncate";
+    case BlobDamage::BitFlip:
+        return "bit-flip";
+    case BlobDamage::ZeroRange:
+        return "zero-range";
+    case BlobDamage::LengthLie:
+        return "length-lie";
+    }
+    return "unknown";
+}
+
+std::size_t
+damageBlob(std::vector<std::uint8_t> &bytes, BlobDamage kind,
+           util::Rng &rng, std::size_t lengthOffset)
+{
+    if (bytes.empty())
+        return 0;
+    switch (kind) {
+    case BlobDamage::Truncate: {
+        // Keep a strict prefix: anywhere from nothing to all-but-one
+        // byte survives, covering both "file vanished mid-write" and
+        // "one byte short" torn tails.
+        const std::size_t keep = static_cast<std::size_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(bytes.size())));
+        bytes.resize(keep);
+        return keep;
+    }
+    case BlobDamage::BitFlip: {
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(bytes.size())));
+        bytes[at] ^= static_cast<std::uint8_t>(
+            1u << rng.uniformInt(static_cast<std::uint64_t>(8)));
+        return at;
+    }
+    case BlobDamage::ZeroRange: {
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(bytes.size())));
+        std::size_t len = 1 + static_cast<std::size_t>(
+                                  rng.uniformInt(std::uint64_t{16}));
+        if (at + len > bytes.size())
+            len = bytes.size() - at;
+        for (std::size_t i = 0; i < len; ++i)
+            bytes[at + i] = 0;
+        return at;
+    }
+    case BlobDamage::LengthLie: {
+        std::size_t at = lengthOffset;
+        if (at + 4 > bytes.size())
+            at = bytes.size() >= 4 ? bytes.size() - 4 : 0;
+        if (at + 4 > bytes.size())
+            return 0; // blob too small to hold a u32 at all
+        // Claim far more bytes than the blob holds; keep two low bits
+        // random so repeated draws exercise different lies.
+        const std::uint32_t lie =
+            0x7fff0000u | static_cast<std::uint32_t>(
+                              rng.uniformInt(std::uint64_t{0x10000}));
+        for (int shift = 0; shift < 32; shift += 8)
+            bytes[at + static_cast<std::size_t>(shift / 8)] =
+                static_cast<std::uint8_t>(lie >> shift);
+        return at;
+    }
+    }
+    return 0;
+}
+
+} // namespace rebudget::faults

@@ -1,0 +1,67 @@
+#ifndef REBUDGET_FAULTS_BLOB_DAMAGE_H_
+#define REBUDGET_FAULTS_BLOB_DAMAGE_H_
+
+/**
+ * @file
+ * Deterministic byte-level corruption injection for durability tests.
+ *
+ * The fault harness (fault_plan.h) perturbs *inputs* -- sensor noise,
+ * strategic lies, churn storms.  This header perturbs *storage*: it
+ * damages an encoded blob (a snapshot file image, a journal, a wire
+ * frame) the way crashes and bad disks do, so recovery paths can be
+ * proven against torn, truncated, bit-flipped and length-lying bytes
+ * instead of hand-picked corruptions.
+ *
+ * Every operation draws from a caller-supplied util::Rng, so a corpus
+ * seeded via Rng::forStream(seed, {...}) is reproducible bit-for-bit
+ * across runs and platforms (the determinism contract every test in
+ * this repo follows).  Damage never widens a blob except LengthLie,
+ * which rewrites an existing 4-byte field in place.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rebudget/util/rng.h"
+
+namespace rebudget::faults {
+
+/** The crash/bit-rot failure modes recovery must grade, not crash on. */
+enum class BlobDamage : std::uint8_t {
+    /** Drop a random non-empty tail (a torn write / lost tail). */
+    Truncate,
+    /** Flip one random bit (media corruption past the page cache). */
+    BitFlip,
+    /** Zero a random short range (a hole from a sparse torn write). */
+    ZeroRange,
+    /** Inflate a little-endian u32 length field so it claims more
+     * bytes than exist (framing attack / corrupted length prefix). */
+    LengthLie,
+};
+
+/** Stable lowercase name for reports and test labels. */
+const char *blobDamageName(BlobDamage kind);
+
+/** All damage kinds, for table-driven corpus loops. */
+inline constexpr BlobDamage kAllBlobDamage[] = {
+    BlobDamage::Truncate,
+    BlobDamage::BitFlip,
+    BlobDamage::ZeroRange,
+    BlobDamage::LengthLie,
+};
+
+/**
+ * Damage @p bytes in place.  @p lengthOffset locates the u32 length
+ * field LengthLie rewrites (the snapshot header's body length, a
+ * journal record's payload length, a frame's length prefix); the
+ * other kinds ignore it.  Empty blobs are left untouched.  Returns
+ * the byte offset that was damaged (0 for an untouched empty blob),
+ * so failures can name the corruption site.
+ */
+std::size_t damageBlob(std::vector<std::uint8_t> &bytes, BlobDamage kind,
+                       util::Rng &rng, std::size_t lengthOffset = 0);
+
+} // namespace rebudget::faults
+
+#endif // REBUDGET_FAULTS_BLOB_DAMAGE_H_

@@ -168,6 +168,16 @@ using Response =
 /** Append a full frame (length prefix + payload) encoding @p req. */
 void encodeRequest(const Request &req, std::vector<std::uint8_t> &out);
 
+/**
+ * Append only the frame payload (opcode + body, no length prefix)
+ * encoding @p req.  This is the byte sequence decodeRequest() accepts,
+ * the form ServerCore::submitFrame carries, and the form the op
+ * journal persists (serve/persist.h) -- exposing it keeps the on-disk
+ * journal byte-identical to the wire.
+ */
+void encodeRequestPayload(const Request &req,
+                          std::vector<std::uint8_t> &out);
+
 /** Append a full frame (length prefix + payload) encoding @p resp. */
 void encodeResponse(const Response &resp, std::vector<std::uint8_t> &out);
 

@@ -43,6 +43,53 @@ struct PendingFrame
     std::uint64_t seq = 0;
 };
 
+/**
+ * Receives every state-mutating request (CreateMarket, SubmitDemand,
+ * JoinTenant, LeaveTenant) as raw wire payload bytes BEFORE the owning
+ * shard applies it -- the write-ahead hook the op journal
+ * (serve/persist.h) hangs off.  journalOp() runs on the thread that is
+ * about to apply the op.  The async write plane is single-flight per
+ * shard, but a synchronous apply() (replay, admin tools) may race it,
+ * so implementations must tolerate concurrent calls even for one
+ * shard (serve/persist.h takes a per-shard mutex).  opApplied() fires
+ * after the op's apply() returns, regardless of acceptance or
+ * rejection: it advances the "durably applied" sequence floor a
+ * snapshot may safely record.
+ */
+class JournalSink
+{
+  public:
+    virtual ~JournalSink() = default;
+    /** Persist one mutating op's wire payload bound for @p shard. */
+    virtual void journalOp(std::size_t shard,
+                           const std::uint8_t *payload,
+                           std::size_t size) = 0;
+    /** The op most recently journaled for @p shard has been applied. */
+    virtual void opApplied(std::size_t shard) = 0;
+};
+
+/** What recovery did at startup, for telemetry and operator eyes. */
+struct RecoverySummary
+{
+    /** Recovery ran (even if it found a cold, empty state dir). */
+    bool attempted = false;
+    /** Snapshot files that decoded and verified end to end. */
+    std::uint64_t snapshotsLoaded = 0;
+    /** Snapshot files rejected (bad magic/CRC/shape) -- each one
+     * degraded to the previous snapshot or a cold start. */
+    std::uint64_t snapshotsCorrupt = 0;
+    std::uint64_t marketsRestored = 0;
+    /** Markets whose image failed validation and were skipped. */
+    std::uint64_t marketsSkipped = 0;
+    /** Journal records replayed on top of the snapshots. */
+    std::uint64_t opsReplayed = 0;
+    /** Journal records skipped as already covered by a snapshot. */
+    std::uint64_t opsSkipped = 0;
+    /** Journals that ended in a torn/corrupt record (replay stops
+     * there; everything before the tear still applied). */
+    std::uint64_t journalTornTails = 0;
+};
+
 /** The daemon's market-hosting engine (no transport attached). */
 class ServerCore
 {
@@ -122,6 +169,32 @@ class ServerCore
     /** @return the number of epochs ticked so far. */
     std::uint64_t epoch() const { return epoch_; }
 
+    /**
+     * Restore the epoch counter (recovery only, before serving): ticks
+     * resume from the pre-crash epoch, so recovered slot ticks and
+     * fresh solves stay on one monotonic timeline.  Must not race
+     * tick()/tickAsync().
+     */
+    void setEpoch(std::uint64_t epoch) { epoch_ = epoch; }
+
+    /**
+     * Install the write-ahead journal sink, or detach it with nullptr.
+     * Attach AFTER recovery replay (so replayed ops are not
+     * re-journaled) and before the transport starts accepting writes.
+     * @p sink must outlive the core or be detached first.
+     */
+    void setJournal(JournalSink *sink) { journal_ = sink; }
+
+    /** Record what startup recovery did (shown in statsJson()). */
+    void noteRecovery(const RecoverySummary &summary)
+    {
+        recovery_ = summary;
+    }
+
+    /** @return the startup recovery summary (attempted=false when the
+     * daemon started without a state dir). */
+    const RecoverySummary &recovery() const { return recovery_; }
+
     /** @return the shard a market id routes to. */
     std::size_t shardOf(std::uint64_t market) const;
 
@@ -133,6 +206,9 @@ class ServerCore
 
     /** Direct shard access (tests, benches). */
     const Shard &shard(std::size_t i) const { return *shards_[i]; }
+
+    /** Mutable shard access (recovery restore path; tests). */
+    Shard &mutableShard(std::size_t i) { return *shards_[i]; }
 
     /**
      * Per-shard telemetry as schema-stable JSON
@@ -160,6 +236,9 @@ class ServerCore
     };
 
     void drainQueue(std::size_t shard);
+    /** Journal a mutating request (sync apply path); no-op when no
+     * sink is attached or @p req is read-only/admin. */
+    void journalRequest(std::size_t shard, const Request &req);
 
     ServeConfig config_;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -167,6 +246,8 @@ class ServerCore
     std::uint64_t epoch_ = 0;
     std::vector<std::unique_ptr<ShardQueue>> queues_;
     ReplySink sink_;
+    JournalSink *journal_ = nullptr;
+    RecoverySummary recovery_;
     std::atomic<std::size_t> pendingOps_{0};
 };
 

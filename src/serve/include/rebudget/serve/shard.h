@@ -52,6 +52,7 @@
 #include "rebudget/market/market.h"
 #include "rebudget/serve/protocol.h"
 #include "rebudget/sim/watchdog.h"
+#include "rebudget/util/matrix.h"
 #include "rebudget/util/seqlock.h"
 #include "rebudget/util/solver_stats.h"
 
@@ -89,6 +90,56 @@ struct ServeConfig
      * leave it null.
      */
     std::int64_t (*allocCounter)() = nullptr;
+};
+
+/** One tenant of a serialized market image: identity, the catalog app
+ * backing its utility model, and its current demand weight. */
+struct TenantState
+{
+    std::uint64_t tenant = 0;
+    std::string app;
+    double weight = 1.0;
+};
+
+/**
+ * Serializable image of one hosted market's durable state: the roster
+ * (identity + app + demand weight per tenant) and the published
+ * equilibrium, including the bid matrix that seeds the next warm
+ * solve.  Shard::exportState captures it, Shard::restoreMarket
+ * rebuilds a market from it, and serve/persist.h is the snapshot
+ * codec between the two.
+ *
+ * The fields mirror exactly what Shard::digest folds plus what the
+ * warm chain feeds forward (bids, budgets), so a restored market
+ * reproduces both the pre-crash digest and, bit-for-bit, the next
+ * tick's solve.  Wall-clock solver fields (solveSeconds etc.) are
+ * deliberately absent: they feed nothing forward.
+ */
+struct MarketState
+{
+    std::uint64_t id = 0;
+    /** Current roster, dense player order. */
+    std::vector<TenantState> tenants;
+    /** A published slot exists (GetAllocation serves it). */
+    bool published = false;
+    /** The published slot is a real equilibrium usable as a warm
+     * seed (false for watchdog-fallback publications). */
+    bool warmValid = false;
+    /** Roster the published equilibrium was solved on; may lag
+     * `tenants` when churn arrived after the last tick. */
+    std::vector<std::uint64_t> allocTenants;
+    /** Epoch the published slot was solved at. */
+    std::uint64_t tick = 0;
+    std::uint64_t iterations = 0;
+    bool converged = false;
+    bool approximated = false;
+    std::vector<double> prices;
+    std::vector<double> budgets;
+    std::vector<double> lambdas;
+    /** Published allocation, [player][resource] of allocTenants. */
+    util::Matrix<double> alloc;
+    /** Published bids (warm-start seed); empty for fallback slots. */
+    util::Matrix<double> bids;
 };
 
 /** Counters a shard exports alongside its solver telemetry. */
@@ -166,6 +217,27 @@ class Shard
      * --jobs values for the same request trace.
      */
     std::uint64_t digest(std::uint64_t h) const;
+
+    /**
+     * Capture every hosted market as a serializable MarketState, in
+     * ascending market-id order (the snapshot path).  Runs under the
+     * shard mutex, so the image is a consistent point between ticks
+     * and mutating ops.  @p out is cleared and reused.
+     */
+    void exportState(std::vector<MarketState> &out) const;
+
+    /**
+     * Rebuild one market from a snapshot image (the recovery path).
+     * Re-creates the roster and utility models, installs the published
+     * equilibrium into a snapshot slot (readers serve it immediately)
+     * and re-arms the warm-start chain, so the first post-restore tick
+     * is a warm solve that matches the uncrashed daemon's next tick
+     * bit-for-bit.  Fails (typed, never fatal) on admission-cap
+     * violations, duplicate markets/tenants, unknown catalog apps or
+     * shape mismatches between roster and equilibrium -- corrupted
+     * snapshots degrade to "market skipped", not a crash.
+     */
+    util::SolveStatus restoreMarket(const MarketState &st);
 
   private:
     struct MarketEntry;

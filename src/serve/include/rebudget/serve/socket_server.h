@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "rebudget/serve/server_core.h"
@@ -58,6 +59,17 @@ struct SocketServerOptions
     std::uint32_t tickMs = 100;
     /** Stop after this many epochs (0 = run until Shutdown/stop flag). */
     std::uint64_t maxTicks = 0;
+    /** Bound on the shutdown drain: after this many milliseconds the
+     * loop exits even with requests still in flight (a dead peer or a
+     * wedged solve must not hold the daemon open forever). */
+    std::uint32_t drainMs = 5000;
+    /**
+     * Invoked on the I/O thread each time an epoch tick completes,
+     * with the epoch that just finished (no tick is in flight during
+     * the call).  rebudgetd hangs the periodic snapshot off this; it
+     * briefly pauses frame processing, so keep the work bounded.
+     */
+    std::function<void(std::uint64_t epoch)> onTick;
 };
 
 /** Single-threaded poll loop bridging sockets to a ServerCore. */
@@ -79,10 +91,15 @@ class SocketServer
     util::SolveStatus run();
 
     /**
-     * Ask a running loop to exit at its next poll wakeup.  Safe to call
-     * from a signal handler or another thread (lock-free atomic store).
+     * Ask a running loop to stop.  The first call begins a graceful
+     * shutdown: the loop stops accepting connections, drains queued
+     * writes and in-flight ticks, flushes pending replies, then exits
+     * (bounded by SocketServerOptions::drainMs).  A second call -- the
+     * impatient operator's second Ctrl-C -- exits at the next poll
+     * wakeup without waiting for the drain.  Safe to call from a
+     * signal handler or another thread (lock-free atomic increment).
      */
-    void requestStop() { stop_.store(1, std::memory_order_relaxed); }
+    void requestStop() { stop_.fetch_add(1, std::memory_order_relaxed); }
 
     /**
      * @return the bound TCP port, or 0 until run() has bound.  May be

@@ -1,0 +1,171 @@
+#ifndef REBUDGET_SERVE_WIRE_H_
+#define REBUDGET_SERVE_WIRE_H_
+
+/**
+ * @file
+ * Shared little-endian wire encoding primitives for the serve module.
+ *
+ * These are the scalar/string encoders behind the protocol.h frame
+ * format, split out so the on-disk durability formats (persist.h:
+ * snapshots and the op journal) encode with byte-identical rules --
+ * one implementation of "u32 LE", "f64 = IEEE-754 bit pattern",
+ * "str = u16 length + raw bytes" shared by socket and disk.
+ *
+ * ByteReader is the matching bounds-checked cursor: the first failed
+ * read latches the error and subsequent reads return zeros, so
+ * decoders run straight through and check failed() once at the end.
+ * Corrupted input (truncated, bit-flipped, length-lying) therefore
+ * surfaces as a typed decode error, never out-of-bounds access --
+ * tests/serve/durability_corpus_test.cpp hammers exactly this.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rebudget::serve::wire {
+
+inline void
+putU8(std::vector<std::uint8_t> &out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+inline void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+inline void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+inline void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+inline void
+putString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    const std::size_t n = std::min<std::size_t>(s.size(), 0xffff);
+    putU16(out, static_cast<std::uint16_t>(n));
+    out.insert(out.end(), s.begin(),
+               s.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+/** Overwrite 4 bytes at @p at with @p v (patching a length field
+ * reserved earlier with putU32). */
+inline void
+patchU32(std::vector<std::uint8_t> &out, std::size_t at, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out[at + static_cast<std::size_t>(shift / 8)] =
+            static_cast<std::uint8_t>(v >> shift);
+}
+
+/**
+ * Bounds-checked payload cursor.  The first failed read latches the
+ * error; subsequent reads return zeros so decoders can run straight
+ * through and check once at the end.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t u8() { return static_cast<std::uint8_t>(raw(1)); }
+    std::uint16_t u16() { return static_cast<std::uint16_t>(raw(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(raw(4)); }
+    std::uint64_t u64() { return raw(8); }
+
+    double f64()
+    {
+        const std::uint64_t bits = raw(8);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string str()
+    {
+        const std::uint16_t n = u16();
+        if (failed_)
+            return {};
+        if (size_ - off_ < n) {
+            fail("string body");
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data_ + off_), n);
+        off_ += n;
+        return s;
+    }
+
+    /** Remaining payload bytes as a string (free-length tails). */
+    std::string rest()
+    {
+        std::string s(reinterpret_cast<const char *>(data_ + off_),
+                      size_ - off_);
+        off_ = size_;
+        return s;
+    }
+
+    bool failed() const { return failed_; }
+    const std::string &what() const { return what_; }
+    std::size_t remaining() const { return size_ - off_; }
+
+  private:
+    std::uint64_t raw(std::size_t bytes)
+    {
+        if (failed_)
+            return 0;
+        if (size_ - off_ < bytes) {
+            fail("scalar");
+            return 0;
+        }
+        std::uint64_t v = 0;
+        for (std::size_t b = 0; b < bytes; ++b)
+            v |= static_cast<std::uint64_t>(data_[off_ + b]) << (8 * b);
+        off_ += bytes;
+        return v;
+    }
+
+    void fail(const char *what)
+    {
+        if (!failed_) {
+            failed_ = true;
+            what_ = what;
+        }
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t off_ = 0;
+    bool failed_ = false;
+    std::string what_;
+};
+
+} // namespace rebudget::serve::wire
+
+#endif // REBUDGET_SERVE_WIRE_H_

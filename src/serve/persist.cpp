@@ -1,0 +1,721 @@
+#include "rebudget/serve/persist.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "rebudget/serve/protocol.h"
+#include "rebudget/serve/wire.h"
+#include "rebudget/util/logging.h"
+
+namespace rebudget::serve {
+
+namespace {
+
+using wire::ByteReader;
+using wire::putF64;
+using wire::putString;
+using wire::putU16;
+using wire::putU32;
+using wire::putU64;
+using wire::putU8;
+
+/** Sanity cap on a snapshot's declared market count: far above the
+ * admission caps, far below anything that could wrap arithmetic. */
+constexpr std::uint32_t kMaxSnapshotMarkets = 1u << 20;
+
+constexpr std::uint8_t kFlagPublished = 1u << 0;
+constexpr std::uint8_t kFlagWarmValid = 1u << 1;
+constexpr std::uint8_t kFlagConverged = 1u << 2;
+constexpr std::uint8_t kFlagApproximated = 1u << 3;
+constexpr std::uint8_t kFlagHasBids = 1u << 4;
+
+util::SolveStatus
+snapError(const char *what)
+{
+    return util::SolveStatus::error(util::StatusCode::InvalidArgument,
+                                    "snapshot: %s", what);
+}
+
+} // namespace
+
+void
+encodeSnapshot(std::uint32_t shardIndex, std::uint64_t epoch,
+               std::uint64_t appliedSeq,
+               const std::vector<MarketState> &markets,
+               std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    putU32(out, kSnapshotMagic);
+    putU32(out, kPersistVersion);
+    putU32(out, 0); // bodyLen, patched below
+    const std::size_t bodyStart = out.size();
+    putU32(out, shardIndex);
+    putU64(out, epoch);
+    putU64(out, appliedSeq);
+    putU32(out, static_cast<std::uint32_t>(markets.size()));
+    for (const MarketState &st : markets) {
+        putU64(out, st.id);
+        putU16(out, static_cast<std::uint16_t>(st.tenants.size()));
+        for (const TenantState &t : st.tenants) {
+            putU64(out, t.tenant);
+            putString(out, t.app);
+            putF64(out, t.weight);
+        }
+        const bool hasBids = st.published && !st.bids.empty();
+        std::uint8_t flags = 0;
+        if (st.published)
+            flags |= kFlagPublished;
+        if (st.warmValid)
+            flags |= kFlagWarmValid;
+        if (st.converged)
+            flags |= kFlagConverged;
+        if (st.approximated)
+            flags |= kFlagApproximated;
+        if (hasBids)
+            flags |= kFlagHasBids;
+        putU8(out, flags);
+        if (!st.published)
+            continue;
+        putU64(out, st.tick);
+        putU64(out, st.iterations);
+        const std::size_t m = st.prices.size();
+        const std::size_t n = st.allocTenants.size();
+        putU16(out, static_cast<std::uint16_t>(m));
+        for (const double p : st.prices)
+            putF64(out, p);
+        putU16(out, static_cast<std::uint16_t>(n));
+        for (const std::uint64_t t : st.allocTenants)
+            putU64(out, t);
+        for (const double b : st.budgets)
+            putF64(out, b);
+        for (const double l : st.lambdas)
+            putF64(out, l);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double *row = st.alloc.row(i);
+            for (std::size_t j = 0; j < m; ++j)
+                putF64(out, row[j]);
+        }
+        if (hasBids) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const double *row = st.bids.row(i);
+                for (std::size_t j = 0; j < m; ++j)
+                    putF64(out, row[j]);
+            }
+        }
+    }
+    const std::size_t bodyLen = out.size() - bodyStart;
+    wire::patchU32(out, kSnapshotLenOffset,
+                   static_cast<std::uint32_t>(bodyLen));
+    putU32(out, util::crc32c(out.data() + bodyStart, bodyLen));
+}
+
+util::SolveStatus
+decodeSnapshot(const std::uint8_t *data, std::size_t size,
+               SnapshotImage &out)
+{
+    // Header and trailer live outside the ByteReader so the CRC can be
+    // verified over exactly the declared body before any field of the
+    // body is trusted.
+    if (size < 16)
+        return snapError("file shorter than header + trailer");
+    ByteReader head(data, size);
+    if (head.u32() != kSnapshotMagic)
+        return snapError("bad magic");
+    const std::uint32_t version = head.u32();
+    if (version != kPersistVersion) {
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "snapshot: unsupported version %u", version);
+    }
+    const std::uint32_t bodyLen = head.u32();
+    if (bodyLen != size - 16)
+        return snapError("body length disagrees with file size");
+    const std::uint8_t *body = data + 12;
+    const std::uint32_t want = util::crc32c(body, bodyLen);
+    ByteReader tail(data + 12 + bodyLen, 4);
+    if (tail.u32() != want)
+        return snapError("checksum mismatch");
+
+    ByteReader r(body, bodyLen);
+    out.shardIndex = r.u32();
+    out.epoch = r.u64();
+    out.appliedSeq = r.u64();
+    const std::uint32_t count = r.u32();
+    if (r.failed())
+        return snapError("truncated body header");
+    if (count > kMaxSnapshotMarkets)
+        return snapError("absurd market count");
+    out.markets.clear();
+    out.markets.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        MarketState st;
+        st.id = r.u64();
+        const std::uint16_t nTenants = r.u16();
+        if (r.failed())
+            return snapError("truncated market roster");
+        st.tenants.resize(nTenants);
+        for (TenantState &t : st.tenants) {
+            t.tenant = r.u64();
+            t.app = r.str();
+            t.weight = r.f64();
+        }
+        const std::uint8_t flags = r.u8();
+        if (r.failed())
+            return snapError("truncated market roster");
+        st.published = (flags & kFlagPublished) != 0;
+        st.warmValid = (flags & kFlagWarmValid) != 0;
+        st.converged = (flags & kFlagConverged) != 0;
+        st.approximated = (flags & kFlagApproximated) != 0;
+        const bool hasBids = (flags & kFlagHasBids) != 0;
+        if (!st.published) {
+            if (hasBids)
+                return snapError("bids on an unpublished market");
+            out.markets.push_back(std::move(st));
+            continue;
+        }
+        st.tick = r.u64();
+        st.iterations = r.u64();
+        const std::uint16_t m = r.u16();
+        if (r.failed())
+            return snapError("truncated equilibrium header");
+        st.prices.resize(m);
+        for (double &p : st.prices)
+            p = r.f64();
+        const std::uint16_t n = r.u16();
+        if (r.failed())
+            return snapError("truncated equilibrium header");
+        st.allocTenants.resize(n);
+        for (std::uint64_t &t : st.allocTenants)
+            t = r.u64();
+        st.budgets.resize(n);
+        for (double &b : st.budgets)
+            b = r.f64();
+        st.lambdas.resize(n);
+        for (double &l : st.lambdas)
+            l = r.f64();
+        st.alloc.resize(n, m);
+        for (std::size_t i = 0; i < n; ++i) {
+            double *row = st.alloc.row(i);
+            for (std::size_t j = 0; j < m; ++j)
+                row[j] = r.f64();
+        }
+        if (hasBids) {
+            st.bids.resize(n, m);
+            for (std::size_t i = 0; i < n; ++i) {
+                double *row = st.bids.row(i);
+                for (std::size_t j = 0; j < m; ++j)
+                    row[j] = r.f64();
+            }
+        }
+        if (r.failed())
+            return snapError("truncated equilibrium payload");
+        out.markets.push_back(std::move(st));
+    }
+    if (r.failed())
+        return snapError("truncated body");
+    if (r.remaining() != 0)
+        return snapError("trailing bytes after last market");
+    return {};
+}
+
+void
+encodeJournalHeader(std::uint32_t shardIndex,
+                    std::vector<std::uint8_t> &out)
+{
+    putU32(out, kJournalMagic);
+    putU32(out, kPersistVersion);
+    putU32(out, shardIndex);
+}
+
+void
+encodeJournalRecord(std::uint64_t seq, const std::uint8_t *payload,
+                    std::size_t size, std::vector<std::uint8_t> &out)
+{
+    const std::size_t recStart = out.size() + 8;
+    putU32(out, static_cast<std::uint32_t>(8 + size));
+    putU32(out, 0); // crc, patched below
+    putU64(out, seq);
+    out.insert(out.end(), payload, payload + size);
+    wire::patchU32(out, recStart - 4,
+                   util::crc32c(out.data() + recStart, 8 + size));
+}
+
+util::SolveStatus
+decodeJournal(const std::uint8_t *data, std::size_t size,
+              JournalImage &out)
+{
+    out.records.clear();
+    out.tornTail = false;
+    out.tornWhat.clear();
+    if (size < 12) {
+        return util::SolveStatus::error(util::StatusCode::InvalidArgument,
+                                        "journal: missing header");
+    }
+    ByteReader head(data, 12);
+    if (head.u32() != kJournalMagic) {
+        return util::SolveStatus::error(util::StatusCode::InvalidArgument,
+                                        "journal: bad magic");
+    }
+    const std::uint32_t version = head.u32();
+    if (version != kPersistVersion) {
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "journal: unsupported version %u", version);
+    }
+    out.shardIndex = head.u32();
+    std::size_t off = 12;
+    // From here on nothing is an error: a bad record is the expected
+    // shape of a journal whose writer was killed mid-append, so decode
+    // keeps the clean prefix and flags the tear.
+    auto tear = [&](const char *what) {
+        out.tornTail = true;
+        out.tornWhat = what;
+        return util::SolveStatus{};
+    };
+    while (off < size) {
+        if (size - off < 8)
+            return tear("torn record header");
+        ByteReader rh(data + off, 8);
+        const std::uint32_t len = rh.u32();
+        const std::uint32_t crc = rh.u32();
+        if (len < 8 || len > 8 + kMaxFramePayload)
+            return tear("absurd record length");
+        if (size - off - 8 < len)
+            return tear("torn record body");
+        const std::uint8_t *rec = data + off + 8;
+        if (util::crc32c(rec, len) != crc)
+            return tear("record checksum mismatch");
+        ByteReader rb(rec, len);
+        JournalRecord record;
+        record.seq = rb.u64();
+        record.payload.assign(rec + 8, rec + len);
+        out.records.push_back(std::move(record));
+        off += 8 + len;
+    }
+    return {};
+}
+
+// --- PersistManager ---------------------------------------------------
+
+/**
+ * Per-shard journal state.  `mutex` serializes appends and rotation;
+ * `appliedSeq` is read lock-free by the snapshot path (acquire pairs
+ * with the release store in opApplied).
+ */
+struct PersistManager::ShardLog
+{
+    std::mutex mutex;
+    util::AppendLog log;
+    /** Next sequence number to assign (monotonic per shard). */
+    std::uint64_t nextSeq = 1;
+    /** Journaled ops whose apply() has not yet returned. */
+    std::size_t inflight = 0;
+    /** Highest seq S such that every op with seq <= S has been
+     * applied; the floor a snapshot records.  Advanced only when the
+     * shard quiesces (inflight drops to zero), which makes it exact
+     * for the daemon's single-flight-per-shard write plane and merely
+     * conservative (over-replay, which is safe) for racy callers. */
+    std::atomic<std::uint64_t> appliedSeq{0};
+    std::vector<std::uint8_t> scratch;
+    /** An append failed; journaling stops (warned once). */
+    bool broken = false;
+    std::uint64_t appended = 0;
+};
+
+PersistManager::PersistManager(const PersistConfig &config,
+                               std::size_t shards)
+    : config_(config), shards_(shards)
+{
+    logs_.reserve(shards_);
+    for (std::size_t s = 0; s < shards_; ++s)
+        logs_.push_back(std::make_unique<ShardLog>());
+}
+
+PersistManager::~PersistManager() = default;
+
+util::SolveStatus
+PersistManager::init()
+{
+    return util::makeDirs(config_.dir);
+}
+
+std::string
+PersistManager::snapPath(std::size_t shard) const
+{
+    return config_.dir + "/shard-" + std::to_string(shard) + ".snap";
+}
+
+std::string
+PersistManager::journalPath(std::size_t shard) const
+{
+    return config_.dir + "/shard-" + std::to_string(shard) + ".journal";
+}
+
+util::SolveStatus
+PersistManager::openJournal(std::size_t shard, bool truncate)
+{
+    ShardLog &l = *logs_[shard];
+    const auto status = l.log.open(journalPath(shard), truncate);
+    if (!status.ok())
+        return status;
+    l.scratch.clear();
+    encodeJournalHeader(static_cast<std::uint32_t>(shard), l.scratch);
+    return l.log.append(l.scratch.data(), l.scratch.size());
+}
+
+void
+PersistManager::journalOp(std::size_t shard, const std::uint8_t *payload,
+                          std::size_t size)
+{
+    ShardLog &l = *logs_[shard];
+    const std::lock_guard<std::mutex> lock(l.mutex);
+    l.inflight += 1;
+    if (l.broken || !l.log.isOpen())
+        return;
+    const std::uint64_t seq = l.nextSeq++;
+    l.scratch.clear();
+    encodeJournalRecord(seq, payload, size, l.scratch);
+    const auto status = l.log.append(l.scratch.data(), l.scratch.size());
+    if (!status.ok()) {
+        // Degraded mode, not a crash: the daemon keeps serving, the
+        // operator is told durability is gone until the next
+        // successful snapshot rotation reopens the journal.
+        l.broken = true;
+        util::warn("journal shard %zu: append failed (%s); journaling "
+                   "suspended until the next snapshot",
+                   shard, status.message().c_str());
+        return;
+    }
+    l.appended += 1;
+    if (config_.fsyncJournal)
+        (void)l.log.sync();
+}
+
+void
+PersistManager::opApplied(std::size_t shard)
+{
+    ShardLog &l = *logs_[shard];
+    const std::lock_guard<std::mutex> lock(l.mutex);
+    if (l.inflight > 0 && --l.inflight == 0) {
+        l.appliedSeq.store(l.nextSeq - 1, std::memory_order_release);
+    }
+}
+
+util::SolveStatus
+PersistManager::snapshotShard(ServerCore &core, std::size_t shard)
+{
+    ShardLog &l = *logs_[shard];
+    // Read the applied floor BEFORE exporting: an op that lands
+    // between the two is journaled with seq > floor and replayed on
+    // recovery -- redundant if the export caught it (replay is
+    // idempotent), but never lost.  The reverse order could record a
+    // floor covering an op the export missed.
+    const std::uint64_t floor =
+        l.appliedSeq.load(std::memory_order_acquire);
+    std::vector<MarketState> markets;
+    core.shard(shard).exportState(markets);
+
+    std::vector<std::uint8_t> blob;
+    encodeSnapshot(static_cast<std::uint32_t>(shard), core.epoch(),
+                   floor, markets, blob);
+    const std::string snap = snapPath(shard);
+    // Rotate the previous generation first; if the crash lands between
+    // the two renames, recovery finds .snap missing and falls back to
+    // .snap.prev, whose journal pair is still on disk.
+    auto status = util::renameFile(snap, snap + ".prev", true);
+    if (!status.ok())
+        return status;
+    status = util::writeFileAtomic(snap, blob.data(), blob.size(),
+                                   config_.fsyncData);
+    if (!status.ok())
+        return status;
+
+    // Journal rotation: everything in the old journal is now covered
+    // by (snapshot, floor), modulo the replay-safe tail described
+    // above.  A fresh journal also clears a broken log.
+    const std::lock_guard<std::mutex> lock(l.mutex);
+    if (l.log.isOpen()) {
+        (void)l.log.sync();
+        l.log.close();
+    }
+    const std::string journal = journalPath(shard);
+    status = util::renameFile(journal, journal + ".prev", true);
+    if (!status.ok())
+        return status;
+    status = openJournal(shard, true);
+    if (!status.ok())
+        return status;
+    l.broken = false;
+    return {};
+}
+
+namespace {
+
+/** Parse "shard-<N>.<anything>" into N; returns false otherwise. */
+bool
+parseShardFileIndex(const char *name, std::size_t &out)
+{
+    static const char prefix[] = "shard-";
+    if (std::strncmp(name, prefix, sizeof(prefix) - 1) != 0)
+        return false;
+    const char *p = name + sizeof(prefix) - 1;
+    if (*p < '0' || *p > '9')
+        return false;
+    std::size_t idx = 0;
+    while (*p >= '0' && *p <= '9') {
+        if (idx > (std::size_t{1} << 40))
+            return false;
+        idx = idx * 10 + static_cast<std::size_t>(*p - '0');
+        ++p;
+    }
+    if (*p != '.')
+        return false;
+    out = idx;
+    return true;
+}
+
+/** Distinct shard file indices present in @p dir, ascending. */
+std::vector<std::size_t>
+listShardFileIndices(const std::string &dir)
+{
+    std::vector<std::size_t> indices;
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return indices;
+    while (struct dirent *ent = ::readdir(d)) {
+        std::size_t idx = 0;
+        if (parseShardFileIndex(ent->d_name, idx))
+            indices.push_back(idx);
+    }
+    ::closedir(d);
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()),
+                  indices.end());
+    return indices;
+}
+
+} // namespace
+
+util::SolveStatus
+PersistManager::snapshotAll(ServerCore &core)
+{
+    util::SolveStatus first;
+    for (std::size_t s = 0; s < shards_; ++s) {
+        const auto status = snapshotShard(core, s);
+        if (!status.ok() && first.ok())
+            first = status;
+    }
+    // A restart with fewer shards leaves higher-index files behind;
+    // once every current shard has a fresh snapshot they carry nothing
+    // the state dir needs, and a future recovery must not resurrect
+    // them.
+    for (const std::size_t idx : listShardFileIndices(config_.dir)) {
+        if (idx < shards_)
+            continue;
+        const std::string snap =
+            config_.dir + "/shard-" + std::to_string(idx) + ".snap";
+        const std::string journal =
+            config_.dir + "/shard-" + std::to_string(idx) + ".journal";
+        (void)util::removeFile(snap);
+        (void)util::removeFile(snap + ".prev");
+        (void)util::removeFile(snap + ".tmp");
+        (void)util::removeFile(journal);
+        (void)util::removeFile(journal + ".prev");
+    }
+    return first;
+}
+
+void
+PersistManager::syncJournals()
+{
+    for (const auto &logPtr : logs_) {
+        ShardLog &l = *logPtr;
+        const std::lock_guard<std::mutex> lock(l.mutex);
+        if (l.log.isOpen())
+            (void)l.log.sync();
+    }
+}
+
+std::uint64_t
+PersistManager::journaledOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &logPtr : logs_) {
+        ShardLog &l = *logPtr;
+        const std::lock_guard<std::mutex> lock(l.mutex);
+        total += l.appended;
+    }
+    return total;
+}
+
+bool
+PersistManager::loadShardSnapshot(std::size_t fileIndex,
+                                  SnapshotImage &img,
+                                  RecoveryReport &report)
+{
+    const std::string snap =
+        config_.dir + "/shard-" + std::to_string(fileIndex) + ".snap";
+    const char *tier[2] = {"snapshot", "previous snapshot"};
+    const std::string paths[2] = {snap, snap + ".prev"};
+    for (int t = 0; t < 2; ++t) {
+        std::vector<std::uint8_t> bytes;
+        const auto read = util::readFileBytes(paths[t], bytes);
+        if (!read.ok()) {
+            // Missing is normal (first boot, or the mid-rotation
+            // crash window); only real I/O failures are warnings.
+            if (read.code() != util::StatusCode::FailedPrecondition) {
+                report.warnings.push_back(paths[t] + ": " +
+                                          read.message());
+            }
+            continue;
+        }
+        const auto decoded =
+            decodeSnapshot(bytes.data(), bytes.size(), img);
+        if (decoded.ok()) {
+            report.summary.snapshotsLoaded += 1;
+            return true;
+        }
+        report.summary.snapshotsCorrupt += 1;
+        report.warnings.push_back(
+            paths[t] + ": " + decoded.message() + " -- " +
+            (t == 0 ? "falling back to the previous snapshot"
+                    : "cold-starting this shard file"));
+        (void)tier;
+    }
+    return false;
+}
+
+void
+PersistManager::replayJournalFile(const std::string &path,
+                                  ServerCore &core,
+                                  std::uint64_t appliedFloor,
+                                  RecoveryReport &report)
+{
+    std::vector<std::uint8_t> bytes;
+    const auto read = util::readFileBytes(path, bytes);
+    if (!read.ok()) {
+        if (read.code() != util::StatusCode::FailedPrecondition)
+            report.warnings.push_back(path + ": " + read.message());
+        return;
+    }
+    JournalImage img;
+    const auto decoded = decodeJournal(bytes.data(), bytes.size(), img);
+    if (!decoded.ok()) {
+        report.warnings.push_back(path + ": " + decoded.message() +
+                                  " -- journal ignored");
+        return;
+    }
+    if (img.tornTail) {
+        report.summary.journalTornTails += 1;
+        report.warnings.push_back(path + ": " + img.tornWhat +
+                                  " -- replay stops at the tear (" +
+                                  std::to_string(img.records.size()) +
+                                  " clean records kept)");
+    }
+    for (const JournalRecord &rec : img.records) {
+        if (rec.seq + 1 > report.nextSeq)
+            report.nextSeq = rec.seq + 1;
+        if (rec.seq <= appliedFloor) {
+            report.summary.opsSkipped += 1;
+            continue;
+        }
+        const auto req =
+            decodeRequest(rec.payload.data(), rec.payload.size());
+        if (!req.ok()) {
+            report.warnings.push_back(path + ": record " +
+                                      std::to_string(rec.seq) +
+                                      " undecodable: " +
+                                      req.status().message());
+            continue;
+        }
+        // Rejections are expected here: an op the snapshot already
+        // reflects but whose seq is past the floor re-applies as a
+        // typed rejection (duplicate create/join) or an idempotent
+        // overwrite (demand) -- at-least-once replay by design.
+        (void)core.apply(req.value());
+        report.summary.opsReplayed += 1;
+    }
+}
+
+RecoveryReport
+PersistManager::recover(ServerCore &core)
+{
+    RecoveryReport report;
+    report.summary.attempted = true;
+
+    const std::vector<std::size_t> indices =
+        listShardFileIndices(config_.dir);
+
+    // Load every shard file's best snapshot first, then restore in
+    // descending epoch order: if a crash mid-rebalance (a --shards
+    // change) left overlapping generations behind, the newer image
+    // wins and the older duplicate is skipped by restoreMarket.
+    struct Loaded
+    {
+        std::size_t fileIndex;
+        SnapshotImage img;
+    };
+    std::vector<Loaded> loaded;
+    std::vector<std::pair<std::size_t, std::uint64_t>> floors;
+    for (const std::size_t idx : indices) {
+        SnapshotImage img;
+        if (loadShardSnapshot(idx, img, report)) {
+            floors.emplace_back(idx, img.appliedSeq);
+            if (img.appliedSeq + 1 > report.nextSeq)
+                report.nextSeq = img.appliedSeq + 1;
+            if (img.epoch > report.epoch)
+                report.epoch = img.epoch;
+            loaded.push_back(Loaded{idx, std::move(img)});
+        } else {
+            floors.emplace_back(idx, 0);
+        }
+    }
+    std::stable_sort(loaded.begin(), loaded.end(),
+                     [](const Loaded &a, const Loaded &b) {
+                         return a.img.epoch > b.img.epoch;
+                     });
+    for (const Loaded &entry : loaded) {
+        for (const MarketState &st : entry.img.markets) {
+            // Route by market id through the CURRENT shard map: the
+            // file's shard index is whatever --shards was before the
+            // crash and carries no authority here.
+            Shard &shard = core.mutableShard(core.shardOf(st.id));
+            const auto status = shard.restoreMarket(st);
+            if (status.ok()) {
+                report.summary.marketsRestored += 1;
+            } else {
+                report.summary.marketsSkipped += 1;
+                report.warnings.push_back(
+                    "market " + std::to_string(st.id) + ": " +
+                    status.message() + " -- skipped");
+            }
+        }
+    }
+
+    // Replay journals oldest-generation first so each market's ops
+    // apply in their original order (one market's ops always live in
+    // one shard file's journal pair).
+    for (const auto &[idx, floor] : floors) {
+        const std::string journal =
+            config_.dir + "/shard-" + std::to_string(idx) + ".journal";
+        replayJournalFile(journal + ".prev", core, floor, report);
+        replayJournalFile(journal, core, floor, report);
+    }
+
+    core.setEpoch(report.epoch);
+    core.noteRecovery(report.summary);
+    for (std::size_t s = 0; s < shards_; ++s) {
+        ShardLog &l = *logs_[s];
+        const std::lock_guard<std::mutex> lock(l.mutex);
+        l.nextSeq = report.nextSeq;
+        l.appliedSeq.store(report.nextSeq - 1,
+                           std::memory_order_release);
+    }
+    return report;
+}
+
+} // namespace rebudget::serve

@@ -40,6 +40,7 @@ ServerCore::apply(const Request &req)
         return AckReply{};
     }
     std::uint64_t market = 0;
+    bool mutating = true;
     if (const auto *create = std::get_if<CreateMarket>(&req))
         market = create->market;
     else if (const auto *demand = std::get_if<SubmitDemand>(&req))
@@ -48,9 +49,27 @@ ServerCore::apply(const Request &req)
         market = join->market;
     else if (const auto *leave = std::get_if<LeaveTenant>(&req))
         market = leave->market;
-    else if (const auto *get = std::get_if<GetAllocation>(&req))
+    else if (const auto *get = std::get_if<GetAllocation>(&req)) {
         market = get->market;
-    return shards_[shardOf(market)]->apply(req);
+        mutating = false;
+    }
+    const std::size_t s = shardOf(market);
+    if (mutating)
+        journalRequest(s, req);
+    Response resp = shards_[s]->apply(req);
+    if (mutating && journal_)
+        journal_->opApplied(s);
+    return resp;
+}
+
+void
+ServerCore::journalRequest(std::size_t shard, const Request &req)
+{
+    if (!journal_)
+        return;
+    std::vector<std::uint8_t> payload;
+    encodeRequestPayload(req, payload);
+    journal_->journalOp(shard, payload.data(), payload.size());
 }
 
 bool
@@ -139,7 +158,22 @@ ServerCore::drainQueue(std::size_t shard)
                 decodeRequest(op.payload.data(), op.payload.size());
             Response resp;
             if (decoded.ok()) {
+                // Write-ahead: the raw payload IS the journal record
+                // (byte-identical to the wire), persisted before the
+                // shard mutates.  Mutating opcodes only; reads and
+                // admin ops replay as no-ops anyway.
+                const bool mutating =
+                    !op.payload.empty() &&
+                    op.payload[0] >=
+                        static_cast<std::uint8_t>(Opcode::CreateMarket) &&
+                    op.payload[0] <=
+                        static_cast<std::uint8_t>(Opcode::LeaveTenant);
+                if (mutating && journal_)
+                    journal_->journalOp(shard, op.payload.data(),
+                                        op.payload.size());
                 resp = shards_[shard]->apply(decoded.value());
+                if (mutating && journal_)
+                    journal_->opApplied(shard);
             } else {
                 ErrorReply e;
                 e.code = decoded.status().code();
@@ -182,6 +216,21 @@ ServerCore::statsJson() const
     out += "  \"schema\": \"rebudget.serve_stats.v1\",\n";
     out += "  \"epoch\": " + std::to_string(epoch_) + ",\n";
     out += "  \"markets\": " + std::to_string(marketCount()) + ",\n";
+    out += "  \"recovery\": {\n";
+    out += std::string("    \"attempted\": ") +
+           (recovery_.attempted ? "true" : "false") + ",\n";
+    auto rfield = [&](const char *key, std::uint64_t v, bool last) {
+        out += std::string("    \"") + key +
+               "\": " + std::to_string(v) + (last ? "\n" : ",\n");
+    };
+    rfield("snapshots_loaded", recovery_.snapshotsLoaded, false);
+    rfield("snapshots_corrupt", recovery_.snapshotsCorrupt, false);
+    rfield("markets_restored", recovery_.marketsRestored, false);
+    rfield("markets_skipped", recovery_.marketsSkipped, false);
+    rfield("ops_replayed", recovery_.opsReplayed, false);
+    rfield("ops_skipped", recovery_.opsSkipped, false);
+    rfield("journal_torn_tails", recovery_.journalTornTails, true);
+    out += "  },\n";
     out += "  \"shards\": [\n";
     for (std::size_t s = 0; s < shards_.size(); ++s) {
         const ShardCounters c = shards_[s]->counters();

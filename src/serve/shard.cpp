@@ -659,6 +659,151 @@ Shard::solverStats() const
     return stats_;
 }
 
+void
+Shard::exportState(std::vector<MarketState> &out) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.clear();
+    out.reserve(markets_.size());
+    for (const auto &kv : markets_) {
+        const MarketEntry &e = *kv.second;
+        MarketState st;
+        st.id = e.id;
+        st.tenants.resize(e.tenants.size());
+        const auto &models = e.builder.models();
+        for (std::size_t i = 0; i < e.tenants.size(); ++i) {
+            st.tenants[i].tenant = e.tenants[i];
+            st.tenants[i].app = models[i]->name();
+            st.tenants[i].weight = e.weights[i];
+        }
+        st.published = e.published;
+        st.warmValid = e.warmValid;
+        if (e.published) {
+            const market::EquilibriumResult &res = e.slots[e.cur];
+            st.allocTenants = e.slotTenants[e.cur];
+            st.tick = e.slotTick[e.cur];
+            st.iterations = static_cast<std::uint64_t>(res.iterations);
+            st.converged = res.converged;
+            st.approximated = res.approximated;
+            st.prices = res.prices;
+            st.budgets = res.budgets;
+            st.lambdas = res.lambdas;
+            st.alloc = res.alloc;
+            st.bids = res.bids;
+        }
+        out.push_back(std::move(st));
+    }
+}
+
+util::SolveStatus
+Shard::restoreMarket(const MarketState &st)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (markets_.count(st.id) != 0) {
+        return util::SolveStatus::error(
+            util::StatusCode::FailedPrecondition,
+            "restore: market %llu already exists",
+            static_cast<unsigned long long>(st.id));
+    }
+    if (markets_.size() >= config_->maxMarketsPerShard) {
+        return util::SolveStatus::error(
+            util::StatusCode::FailedPrecondition,
+            "restore: shard %zu is at its market cap (%zu)", index_,
+            config_->maxMarketsPerShard);
+    }
+    if (st.tenants.size() > config_->maxPlayersPerMarket) {
+        return util::SolveStatus::error(
+            util::StatusCode::InvalidArgument,
+            "restore: market %llu has %zu tenants, cap is %zu",
+            static_cast<unsigned long long>(st.id), st.tenants.size(),
+            config_->maxPlayersPerMarket);
+    }
+    if (st.published) {
+        // The equilibrium shapes must agree with the roster it claims
+        // to have been solved on; a corrupted snapshot that decoded
+        // "successfully" but lies about shapes is rejected here.
+        const std::size_t n = st.allocTenants.size();
+        const std::size_t m = st.prices.size();
+        const bool shaped =
+            st.budgets.size() == n && st.lambdas.size() == n &&
+            st.alloc.rows() == n && st.alloc.cols() == m &&
+            (st.bids.empty() ||
+             (st.bids.rows() == n && st.bids.cols() == m));
+        if (!shaped) {
+            return util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "restore: market %llu equilibrium shapes disagree "
+                "with its roster",
+                static_cast<unsigned long long>(st.id));
+        }
+    }
+    auto entry = std::make_unique<MarketEntry>(*config_);
+    entry->id = st.id;
+    for (const TenantState &t : st.tenants) {
+        for (const std::uint64_t seen : entry->tenants) {
+            if (seen == t.tenant) {
+                return util::SolveStatus::error(
+                    util::StatusCode::InvalidArgument,
+                    "restore: duplicate tenant %llu in market %llu",
+                    static_cast<unsigned long long>(t.tenant),
+                    static_cast<unsigned long long>(st.id));
+            }
+        }
+        if (!std::isfinite(t.weight) || t.weight <= 0.0) {
+            return util::SolveStatus::error(
+                util::StatusCode::InvalidArgument,
+                "restore: tenant %llu of market %llu has weight %g",
+                static_cast<unsigned long long>(t.tenant),
+                static_cast<unsigned long long>(st.id), t.weight);
+        }
+        const auto added = entry->builder.addApp(t.app);
+        if (!added.ok())
+            return added.status();
+        entry->tenants.push_back(t.tenant);
+        entry->weights.push_back(t.weight);
+    }
+    MarketEntry &e = *entry;
+    if (st.published) {
+        // Install the published equilibrium into slot 0 and publish
+        // it: readers serve the pre-crash allocation before the first
+        // post-restore tick even runs.  rosterChanged stays true, so
+        // that tick takes the rebuild path and warm-migrates from this
+        // slot -- for an unchanged roster the migration is an identity
+        // re-key of these exact bids, making the first post-restore
+        // solve bit-identical to the uncrashed daemon's next tick.
+        market::EquilibriumResult &res = e.slots[0];
+        e.gate.beginWrite(0);
+        res.status = {};
+        res.prices = st.prices;
+        res.budgets = st.budgets;
+        res.lambdas = st.lambdas;
+        res.alloc = st.alloc;
+        res.bids = st.bids;
+        res.iterations = static_cast<int>(st.iterations);
+        res.converged = st.converged;
+        res.approximated = st.approximated;
+        res.warmStarted = false;
+        res.hillClimbSteps = 0;
+        res.solveSeconds = 0.0;
+        e.slotTenants[0] = st.allocTenants;
+        e.slotTick[0] = st.tick;
+        e.cur = 0;
+        e.published = true;
+        // A warm seed needs bids; a fallback slot (or a snapshot
+        // stripped of bids) restores as published-but-cold.
+        e.warmValid = st.warmValid && !st.bids.empty();
+        e.solvedTenants = st.allocTenants;
+        e.lastTick = st.tick;
+        e.gate.publish(0);
+    }
+    MarketEntry *raw = entry.get();
+    markets_.emplace(st.id, std::move(entry));
+    indexInsert(st.id, raw);
+    marketCount_.fetch_add(1, std::memory_order_relaxed);
+    counters_.marketsCreated.fetch_add(1, std::memory_order_relaxed);
+    return {};
+}
+
 std::uint64_t
 Shard::digest(std::uint64_t h) const
 {

@@ -378,8 +378,20 @@ SocketServer::run()
         conn_by_id.erase(conn.id);
     };
 
+    std::int64_t drain_deadline = 0;
     while (true) {
-        if (stop_ != 0)
+        // Graded stop: the first signal starts a graceful drain (stop
+        // accepting, finish queued writes and ticks, flush replies);
+        // the second exits now.  The drain itself is bounded so a dead
+        // peer or wedged solve cannot hold the daemon open.
+        const int stops = stop_.load(std::memory_order_relaxed);
+        if (stops >= 2)
+            break;
+        if (stops == 1)
+            shutting_down = true;
+        if (shutting_down && drain_deadline == 0)
+            drain_deadline = nowMs() + options_.drainMs;
+        if (drain_deadline != 0 && nowMs() >= drain_deadline)
             break;
         if (shutting_down) {
             // Leave once every accepted request has been applied,
@@ -465,6 +477,10 @@ SocketServer::run()
                 }
                 tick_waiters_inflight.clear();
                 tick_in_flight = false;
+                // No tick is in flight here, so the hook sees a
+                // quiescent epoch counter (the snapshot trigger).
+                if (options_.onTick)
+                    options_.onTick(core_.epoch());
                 continue;
             }
             const auto it = conn_by_id.find(c.conn);

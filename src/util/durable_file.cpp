@@ -1,0 +1,264 @@
+#include "rebudget/util/durable_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace rebudget::util {
+
+namespace {
+
+SolveStatus
+ioError(const char *what, const std::string &path)
+{
+    return SolveStatus::error(StatusCode::Aborted, "%s(%s): %s", what,
+                              path.c_str(), std::strerror(errno));
+}
+
+/** Build the reflected CRC32C (poly 0x1EDC6F41) lookup table once. */
+struct Crc32cTable
+{
+    std::uint32_t entries[256];
+
+    Crc32cTable()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+/** @return the directory part of @p path ("." when there is none). */
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+SolveStatus
+writeAll(int fd, const std::uint8_t *data, std::size_t size,
+         const std::string &path)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("write", path);
+        }
+        if (n == 0) {
+            return SolveStatus::error(StatusCode::Aborted,
+                                      "write(%s): wrote 0 bytes",
+                                      path.c_str());
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(const std::uint8_t *data, std::size_t size, std::uint32_t seed)
+{
+    static const Crc32cTable table;
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table.entries[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+SolveStatus
+writeFileAtomic(const std::string &path, const std::uint8_t *data,
+                std::size_t size, bool sync)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC |
+                                           O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return ioError("open", tmp);
+    SolveStatus status = writeAll(fd, data, size, tmp);
+    if (status.ok() && sync && ::fsync(fd) != 0)
+        status = ioError("fsync", tmp);
+    if (::close(fd) != 0 && status.ok())
+        status = ioError("close", tmp);
+    if (!status.ok()) {
+        ::unlink(tmp.c_str());
+        return status;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const SolveStatus err = ioError("rename", path);
+        ::unlink(tmp.c_str());
+        return err;
+    }
+    if (sync)
+        return syncDirectory(dirOf(path));
+    return {};
+}
+
+SolveStatus
+readFileBytes(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        if (errno == ENOENT) {
+            return SolveStatus::error(StatusCode::FailedPrecondition,
+                                      "no such file: %s", path.c_str());
+        }
+        return ioError("open", path);
+    }
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const SolveStatus err = ioError("read", path);
+            ::close(fd);
+            return err;
+        }
+        if (n == 0)
+            break;
+        out.insert(out.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return {};
+}
+
+SolveStatus
+renameFile(const std::string &from, const std::string &to, bool missingOk)
+{
+    if (::rename(from.c_str(), to.c_str()) == 0)
+        return {};
+    if (missingOk && errno == ENOENT)
+        return {};
+    return ioError("rename", from);
+}
+
+SolveStatus
+removeFile(const std::string &path)
+{
+    if (::unlink(path.c_str()) == 0 || errno == ENOENT)
+        return {};
+    return ioError("unlink", path);
+}
+
+SolveStatus
+makeDirs(const std::string &path)
+{
+    if (path.empty() || path == "/" || path == ".")
+        return {};
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        std::size_t slash = path.find('/', pos == 0 ? 1 : pos);
+        const std::string prefix =
+            slash == std::string::npos ? path : path.substr(0, slash);
+        if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+            errno != EEXIST)
+            return ioError("mkdir", prefix);
+        if (slash == std::string::npos)
+            break;
+        pos = slash + 1;
+    }
+    return {};
+}
+
+SolveStatus
+syncDirectory(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY |
+                                            O_CLOEXEC);
+    if (fd < 0)
+        return ioError("open(dir)", path);
+    SolveStatus status;
+    if (::fsync(fd) != 0)
+        status = ioError("fsync(dir)", path);
+    ::close(fd);
+    return status;
+}
+
+AppendLog::~AppendLog()
+{
+    close();
+}
+
+SolveStatus
+AppendLog::open(const std::string &path, bool truncate)
+{
+    close();
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (truncate)
+        flags |= O_TRUNC;
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0)
+        return ioError("open", path);
+    path_ = path;
+    return {};
+}
+
+SolveStatus
+AppendLog::append(const std::uint8_t *data, std::size_t size)
+{
+    if (fd_ < 0) {
+        return SolveStatus::error(StatusCode::FailedPrecondition,
+                                  "append on a closed log");
+    }
+    for (;;) {
+        const ssize_t n = ::write(fd_, data, size);
+        if (n == static_cast<ssize_t>(size))
+            return {};
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0)
+            return ioError("write", path_);
+        // A short O_APPEND write would interleave torn records with
+        // later appends; treat the log as suspect from here on.
+        return SolveStatus::error(StatusCode::Aborted,
+                                  "write(%s): short append (%zd of %zu)",
+                                  path_.c_str(), n, size);
+    }
+}
+
+SolveStatus
+AppendLog::sync()
+{
+    if (fd_ < 0)
+        return {};
+    if (::fsync(fd_) != 0)
+        return ioError("fsync", path_);
+    return {};
+}
+
+void
+AppendLog::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    path_.clear();
+}
+
+} // namespace rebudget::util

@@ -1,0 +1,131 @@
+#ifndef REBUDGET_UTIL_DURABLE_FILE_H_
+#define REBUDGET_UTIL_DURABLE_FILE_H_
+
+/**
+ * @file
+ * Crash-safe file primitives for the serving daemon's durability layer
+ * (serve/persist.h): CRC32C checksums, write-temp/fsync/atomic-rename
+ * whole-file replacement, and an unbuffered append-only log.
+ *
+ * Crash-consistency contract:
+ *
+ *  - writeFileAtomic() writes `path.tmp`, fsyncs it, renames it over
+ *    `path` and fsyncs the directory.  A reader therefore sees either
+ *    the complete old file or the complete new file, never a torn mix
+ *    -- even across power loss when `sync` is true.  A crash mid-write
+ *    leaves at worst a stale `path.tmp`, which the next write
+ *    truncates.
+ *
+ *  - AppendLog writes each record with a single ::write() on an
+ *    O_APPEND descriptor, with no userspace buffering.  A SIGKILL'd
+ *    process therefore loses nothing it has appended (the bytes are in
+ *    the page cache); only power loss can drop the un-fsynced tail,
+ *    which the journal format detects per record via CRC32C and
+ *    degrades to a clean prefix (see serve/persist.h).
+ *
+ * Nothing here fatals on I/O errors: every operation returns a typed
+ * util::SolveStatus so callers can grade the failure (durability is a
+ * feature of the daemon, never a reason to crash it).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rebudget/util/status.h"
+
+namespace rebudget::util {
+
+/**
+ * CRC32C (Castagnoli) of @p size bytes at @p data, chained from @p
+ * seed (pass a previous return value to continue a running checksum;
+ * 0 starts a fresh one).  Software slice-by-one implementation --
+ * plenty for snapshot/journal record sizes, and byte-identical on
+ * every platform, which the on-disk format requires.
+ */
+std::uint32_t crc32c(const std::uint8_t *data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+/** @return true when @p path exists (any file type). */
+bool fileExists(const std::string &path);
+
+/**
+ * Replace @p path atomically with @p size bytes at @p data: write
+ * `path.tmp`, optionally fsync it, rename over @p path, optionally
+ * fsync the parent directory.  With @p sync false the rename is still
+ * atomic against process death (kill -9), just not against power loss.
+ */
+SolveStatus writeFileAtomic(const std::string &path,
+                            const std::uint8_t *data, std::size_t size,
+                            bool sync);
+
+/**
+ * Read the whole of @p path into @p out (cleared first).  Missing
+ * files come back as FailedPrecondition so callers can distinguish
+ * "never written" from genuine I/O failures (Aborted).
+ */
+SolveStatus readFileBytes(const std::string &path,
+                          std::vector<std::uint8_t> &out);
+
+/** rename(2) with a typed status; ENOENT on the source is Ok when
+ * @p missingOk (rotating a file that was never created). */
+SolveStatus renameFile(const std::string &from, const std::string &to,
+                       bool missingOk);
+
+/** unlink(2) with a typed status; a missing file is Ok. */
+SolveStatus removeFile(const std::string &path);
+
+/** mkdir -p for one level plus parents; EEXIST is Ok. */
+SolveStatus makeDirs(const std::string &path);
+
+/** fsync the directory itself so renames/creates in it are durable. */
+SolveStatus syncDirectory(const std::string &path);
+
+/**
+ * Unbuffered append-only log file.  Each append() is one ::write() on
+ * an O_APPEND descriptor (no stdio buffer to lose on kill -9).  The
+ * caller owns record framing; this class only moves bytes.  Not
+ * thread-safe: callers serialize per log (serve/persist.h holds one
+ * mutex per shard journal).
+ */
+class AppendLog
+{
+  public:
+    AppendLog() = default;
+    ~AppendLog();
+
+    AppendLog(const AppendLog &) = delete;
+    AppendLog &operator=(const AppendLog &) = delete;
+
+    /**
+     * Open (creating if needed) @p path for appending.  @p truncate
+     * drops any existing content first -- journal rotation does this
+     * only on a freshly renamed-away path.  Closes any previously
+     * open file.
+     */
+    SolveStatus open(const std::string &path, bool truncate);
+
+    /** Append @p size bytes in a single write(2).  Retries EINTR;
+     * a short write is reported as Aborted (the log is then suspect
+     * and the caller should stop journaling, not crash). */
+    SolveStatus append(const std::uint8_t *data, std::size_t size);
+
+    /** fsync the log (durability barrier: snapshot rotation and
+     * graceful shutdown call this; per-append fsync is optional). */
+    SolveStatus sync();
+
+    /** Close the descriptor (idempotent). */
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace rebudget::util
+
+#endif // REBUDGET_UTIL_DURABLE_FILE_H_

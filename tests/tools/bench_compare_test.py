@@ -218,6 +218,72 @@ class ServeCompareTest(unittest.TestCase):
         self.assertTrue(any("no overlapping" in e for e in cmp.errors))
 
 
+def recovery_file(**over):
+    doc = {"schema": bench_compare.RECOVERY_SCHEMA, "shards": 8,
+           "markets": 64, "players_per_market": 8, "seed": 42,
+           "warmup_ticks": 3, "window_ticks": 8, "snapshot_ms": 12.0,
+           "snapshot_bytes": 250000, "plain_window_ms": 40.0,
+           "journaled_window_ms": 44.0, "journal_overhead_pct": 10.0,
+           "journal_ops": 576, "recover_ms": 15.0,
+           "snapshots_loaded": 8, "markets_recovered": 64,
+           "ops_replayed": 64, "ops_skipped": 512, "torn_tails": 0,
+           "snapshots_corrupt": 0, "digest_match": 1,
+           "steady_tick_allocs": 0, "cold_solves": 0}
+    doc.update(over)
+    return doc
+
+
+class RecoveryCompareTest(unittest.TestCase):
+    def test_matching_captures_pass(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.compare_recovery(cmp, recovery_file(),
+                                       recovery_file())
+        self.assertEqual(cmp.errors, [])
+        self.assertGreater(cmp.checked_counters, 0)
+
+    def test_fidelity_gates_are_absolute(self):
+        # digest_match=0 in BOTH files still fails: recovery fidelity
+        # is gated against the constant, not the baseline, so a broken
+        # committed capture cannot grandfather data loss through.
+        for key, want in bench_compare.RECOVERY_ABSOLUTE:
+            cmp = bench_compare.Comparison(10.0)
+            bad = recovery_file(**{key: want + 1})
+            bench_compare.compare_recovery(cmp, bad, bad)
+            self.assertTrue(any(key in e for e in cmp.errors),
+                            f"{key}={want + 1} must fail, got {cmp.errors}")
+
+    def test_counter_drift_vs_baseline_fails(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.compare_recovery(
+            cmp, recovery_file(journal_ops=575), recovery_file())
+        self.assertTrue(any("journal_ops" in e for e in cmp.errors))
+
+    def test_missing_key_is_named_failure(self):
+        cmp = bench_compare.Comparison(10.0)
+        fresh = recovery_file()
+        del fresh["ops_replayed"]
+        bench_compare.compare_recovery(cmp, fresh, recovery_file())
+        self.assertTrue(any("ops_replayed" in e and "missing" in e
+                            for e in cmp.errors),
+                        f"expected a named missing-key FAIL, got "
+                        f"{cmp.errors}")
+
+    def test_recover_time_outside_band_fails(self):
+        cmp = bench_compare.Comparison(3.0)
+        bench_compare.compare_recovery(
+            cmp, recovery_file(recover_ms=100.0),
+            recovery_file(recover_ms=10.0))
+        self.assertTrue(any("recover_ms" in e for e in cmp.errors))
+
+    def test_overhead_is_informational_note_not_gate(self):
+        cmp = bench_compare.Comparison(10.0)
+        bench_compare.compare_recovery(
+            cmp, recovery_file(journal_overhead_pct=80.0),
+            recovery_file())
+        self.assertEqual(cmp.errors, [])
+        self.assertTrue(any("journaled window" in n for n in cmp.notes))
+
+
 class ServeSpeedupTest(unittest.TestCase):
     def test_peak_and_geomean_gates_pass(self):
         cmp = bench_compare.Comparison(10.0)

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * util crash-safe file primitives: CRC32C vectors and chaining, atomic
+ * whole-file replacement, typed missing-file reads, rename/remove
+ * semantics, and the unbuffered append-only log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rebudget/util/durable_file.h"
+
+using namespace rebudget;
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const char *s)
+{
+    const auto *p = reinterpret_cast<const std::uint8_t *>(s);
+    return std::vector<std::uint8_t>(p, p + std::strlen(s));
+}
+
+class DurableFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        char tmpl[] = "/tmp/rebudget_durable_test_XXXXXX";
+        const char *dir = ::mkdtemp(tmpl);
+        ASSERT_NE(dir, nullptr);
+        dir_ = dir;
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string path(const char *name) const { return dir_ + "/" + name; }
+
+    std::string dir_;
+};
+
+} // namespace
+
+TEST(Crc32c, KnownVectors)
+{
+    // The canonical CRC32C check vector (RFC 3720 appendix B.4).
+    const auto nine = bytesOf("123456789");
+    EXPECT_EQ(util::crc32c(nine.data(), nine.size()), 0xE3069283u);
+    EXPECT_EQ(util::crc32c(nullptr, 0), 0u);
+
+    // 32 zero bytes, another published vector.
+    const std::vector<std::uint8_t> zeros(32, 0);
+    EXPECT_EQ(util::crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ChainingMatchesOneShot)
+{
+    const auto all = bytesOf("the quick brown fox jumps over the lazy dog");
+    const std::uint32_t oneShot = util::crc32c(all.data(), all.size());
+    for (std::size_t split = 0; split <= all.size(); ++split) {
+        const std::uint32_t head = util::crc32c(all.data(), split);
+        const std::uint32_t chained =
+            util::crc32c(all.data() + split, all.size() - split, head);
+        EXPECT_EQ(chained, oneShot) << "split at " << split;
+    }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips)
+{
+    auto data = bytesOf("snapshot body under test");
+    const std::uint32_t clean = util::crc32c(data.data(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] ^= 0x10;
+        EXPECT_NE(util::crc32c(data.data(), data.size()), clean)
+            << "flip at byte " << i;
+        data[i] ^= 0x10;
+    }
+}
+
+TEST_F(DurableFileTest, WriteAtomicRoundTrip)
+{
+    const auto body = bytesOf("hello durable world");
+    ASSERT_TRUE(util::writeFileAtomic(path("f"), body.data(), body.size(),
+                                      /*sync=*/false)
+                    .ok());
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(util::readFileBytes(path("f"), back).ok());
+    EXPECT_EQ(back, body);
+
+    // No stray temp file survives a completed write.
+    EXPECT_FALSE(util::fileExists(path("f") + ".tmp"));
+
+    // Replacement swaps the whole content, and sync=true works too.
+    const auto next = bytesOf("v2");
+    ASSERT_TRUE(util::writeFileAtomic(path("f"), next.data(), next.size(),
+                                      /*sync=*/true)
+                    .ok());
+    ASSERT_TRUE(util::readFileBytes(path("f"), back).ok());
+    EXPECT_EQ(back, next);
+}
+
+TEST_F(DurableFileTest, ReadMissingFileIsFailedPrecondition)
+{
+    std::vector<std::uint8_t> out{0xAB};
+    const util::SolveStatus st = util::readFileBytes(path("absent"), out);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), util::StatusCode::FailedPrecondition);
+}
+
+TEST_F(DurableFileTest, RenameAndRemoveSemantics)
+{
+    const auto body = bytesOf("x");
+    ASSERT_TRUE(util::writeFileAtomic(path("a"), body.data(), body.size(),
+                                      false)
+                    .ok());
+    ASSERT_TRUE(util::renameFile(path("a"), path("b"), false).ok());
+    EXPECT_FALSE(util::fileExists(path("a")));
+    EXPECT_TRUE(util::fileExists(path("b")));
+
+    // A missing source is Ok only when the caller says rotation may
+    // find nothing there.
+    EXPECT_TRUE(util::renameFile(path("a"), path("c"), true).ok());
+    EXPECT_FALSE(util::renameFile(path("a"), path("c"), false).ok());
+
+    EXPECT_TRUE(util::removeFile(path("b")).ok());
+    EXPECT_FALSE(util::fileExists(path("b")));
+    EXPECT_TRUE(util::removeFile(path("b")).ok()); // idempotent
+}
+
+TEST_F(DurableFileTest, MakeDirsCreatesNestedAndTolerateExisting)
+{
+    const std::string nested = dir_ + "/a/b/c";
+    ASSERT_TRUE(util::makeDirs(nested).ok());
+    EXPECT_TRUE(std::filesystem::is_directory(nested));
+    EXPECT_TRUE(util::makeDirs(nested).ok());
+    EXPECT_TRUE(util::syncDirectory(nested).ok());
+}
+
+TEST_F(DurableFileTest, AppendLogAccumulatesAcrossReopen)
+{
+    util::AppendLog log;
+    ASSERT_TRUE(log.open(path("j"), /*truncate=*/false).ok());
+    EXPECT_TRUE(log.isOpen());
+    const auto a = bytesOf("rec1|");
+    const auto b = bytesOf("rec2|");
+    ASSERT_TRUE(log.append(a.data(), a.size()).ok());
+    ASSERT_TRUE(log.append(b.data(), b.size()).ok());
+    ASSERT_TRUE(log.sync().ok());
+    log.close();
+    EXPECT_FALSE(log.isOpen());
+
+    // Reopen without truncate keeps the tail; with truncate drops it.
+    ASSERT_TRUE(log.open(path("j"), false).ok());
+    const auto c = bytesOf("rec3");
+    ASSERT_TRUE(log.append(c.data(), c.size()).ok());
+    log.close();
+
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(util::readFileBytes(path("j"), back).ok());
+    EXPECT_EQ(back, bytesOf("rec1|rec2|rec3"));
+
+    ASSERT_TRUE(log.open(path("j"), true).ok());
+    log.close();
+    ASSERT_TRUE(util::readFileBytes(path("j"), back).ok());
+    EXPECT_TRUE(back.empty());
+}

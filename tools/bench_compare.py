@@ -61,6 +61,7 @@ import os
 import sys
 
 SERVE_SCHEMA = "rebudget.serve_bench.v1"
+RECOVERY_SCHEMA = "rebudget.serve_recovery.v1"
 
 
 def load(path):
@@ -468,6 +469,48 @@ def check_serve_speedup(cmp, fresh, prepr, min_speedup, min_peak):
                 f"{min_speedup}x")
 
 
+# Recovery-fidelity counters that are absolute on the fresh capture:
+# a recovered digest that differs from the survivor's, a steady tick
+# that allocated with journaling attached, a cold solve or a torn
+# journal tail in a clean-shutdown capture are all correctness bugs.
+RECOVERY_ABSOLUTE = (("digest_match", 1), ("steady_tick_allocs", 0),
+                     ("cold_solves", 0), ("torn_tails", 0),
+                     ("snapshots_corrupt", 0))
+
+# Deterministic counters diffed exactly against the committed capture:
+# a drift means the journaling cadence, the replay floor or the shard
+# export changed shape, which a perf- or refactor-PR must never do
+# silently.
+RECOVERY_EXACT = ("shards", "markets", "players_per_market", "seed",
+                  "warmup_ticks", "window_ticks", "journal_ops",
+                  "snapshots_loaded", "markets_recovered",
+                  "ops_replayed", "ops_skipped")
+
+# Machine-dependent milliseconds, banded like every other timing.
+RECOVERY_TIMINGS = ("snapshot_ms", "plain_window_ms",
+                    "journaled_window_ms", "recover_ms")
+
+
+def compare_recovery(cmp, fresh, base):
+    """Durability capture: absolute fidelity gates on the fresh run,
+    exact counter diff against the committed baseline, banded
+    timings."""
+    ctx = "recovery"
+    for key, want in RECOVERY_ABSOLUTE:
+        cmp.exact(ctx, key, cmp.fetch(ctx, fresh, key), want)
+    for key in RECOVERY_EXACT:
+        cmp.exact(ctx, key, cmp.fetch(f"fresh {ctx}", fresh, key),
+                  cmp.fetch(f"baseline {ctx}", base, key))
+    for key in RECOVERY_TIMINGS:
+        cmp.timing(ctx, key, cmp.fetch(f"fresh {ctx}", fresh, key),
+                   cmp.fetch(f"baseline {ctx}", base, key))
+    overhead = fresh.get("journal_overhead_pct")
+    if overhead is not None:
+        cmp.notes.append(
+            f"recovery: journaled window is {overhead:+.1f}% vs the "
+            f"unjournaled window (informational)")
+
+
 def resolve_band(args):
     """--time-band beats REBUDGET_BENCH_BAND beats the 10x default."""
     if args.time_band is not None:
@@ -524,7 +567,18 @@ def main():
             print("FAIL: --min-speedup/--min-peak-speedup require "
                   "--prechange")
             return 1
-    if fresh.get("schema") == SERVE_SCHEMA:
+    if fresh.get("schema") == RECOVERY_SCHEMA:
+        if base.get("schema") != RECOVERY_SCHEMA:
+            print(f"FAIL: fresh file is {RECOVERY_SCHEMA} but baseline "
+                  f"{args.baseline} is not (pass --baseline "
+                  f"BENCH_serve_recovery.json)")
+            return 1
+        if args.prechange is not None:
+            print(f"FAIL: --prechange does not apply to "
+                  f"{RECOVERY_SCHEMA} files")
+            return 1
+        compare_recovery(cmp, fresh, base)
+    elif fresh.get("schema") == SERVE_SCHEMA:
         if base.get("schema") != SERVE_SCHEMA:
             print(f"FAIL: fresh file is {SERVE_SCHEMA} but baseline "
                   f"{args.baseline} is not (pass --baseline "

@@ -19,6 +19,7 @@
  */
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -108,10 +109,18 @@ roundTrip(int fd, const serve::Request &req, std::uint64_t timeoutMs)
     serve::encodeRequest(req, frame);
     std::size_t sent = 0;
     while (sent < frame.size()) {
+        // MSG_NOSIGNAL (plus the SIGPIPE ignore in main): a daemon
+        // that died mid-exchange must surface as a typed transport
+        // error and exit status 1, not kill this process with SIGPIPE.
         const ssize_t n = ::send(fd, frame.data() + sent,
-                                 frame.size() - sent, 0);
-        if (n <= 0)
-            util::fatal("send: %s", std::strerror(errno));
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            util::fatal("send: %s (daemon gone?)",
+                        n < 0 ? std::strerror(errno)
+                              : "connection closed");
+        }
         sent += static_cast<std::size_t>(n);
     }
     serve::FrameReader reader;
@@ -215,8 +224,10 @@ splitApps(const std::string &list)
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+runCtl(int argc, char **argv)
 {
     std::string socket_path;
     std::uint16_t port = 0;
@@ -304,4 +315,23 @@ main(int argc, char **argv)
     const serve::Response resp = roundTrip(fd, req, timeout_ms);
     ::close(fd);
     return printResponse(resp);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // A write on a socket whose daemon was kill -9'd raises SIGPIPE,
+    // which would kill this client before it could report anything;
+    // ignoring it turns the condition into an EPIPE send error, and
+    // the catch turns that into a diagnostic plus exit 1 rather than
+    // an uncaught-exception abort.
+    std::signal(SIGPIPE, SIG_IGN);
+    try {
+        return runCtl(argc, argv);
+    } catch (const util::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -33,6 +33,7 @@
  */
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <algorithm>
@@ -257,10 +258,18 @@ roundTrip(int fd, const serve::Request &req)
     serve::encodeRequest(req, frame);
     std::size_t sent = 0;
     while (sent < frame.size()) {
-        const ssize_t n =
-            ::send(fd, frame.data() + sent, frame.size() - sent, 0);
-        if (n <= 0)
-            util::fatal("send: %s", std::strerror(errno));
+        // MSG_NOSIGNAL + the SIGPIPE ignore in main: a daemon killed
+        // mid-run must end the load generator with a typed error (exit
+        // 1), never a signal death -- the crash smoke asserts this.
+        const ssize_t n = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            util::fatal("send: %s (daemon gone?)",
+                        n < 0 ? std::strerror(errno)
+                              : "connection closed");
+        }
         sent += static_cast<std::size_t>(n);
     }
     serve::FrameReader reader;
@@ -561,7 +570,9 @@ runLoad(const LoadOptions &opt)
                         break;
                     if (n < 0 && errno == EINTR)
                         continue;
-                    util::fatal("send: %s", std::strerror(errno));
+                    util::fatal("send: %s (daemon gone?)",
+                                n < 0 ? std::strerror(errno)
+                                      : "connection closed");
                 }
                 if (conn.sendoff == conn.sendbuf.size()) {
                     conn.sendbuf.clear();
@@ -671,8 +682,10 @@ reportJson(const LoadOptions &opt, RunResult &r)
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+runLoad(int argc, char **argv)
 {
     LoadOptions opt;
     for (int i = 1; i < argc; ++i) {
@@ -780,4 +793,23 @@ main(int argc, char **argv)
         return 1;
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Writing to a kill -9'd daemon's socket raises SIGPIPE, which
+    // would kill the load generator before it could report; ignore it
+    // so the condition surfaces as a typed EPIPE transport error --
+    // and catch the resulting FatalError so a dead daemon yields a
+    // diagnostic and exit 1, not an abort.
+    std::signal(SIGPIPE, SIG_IGN);
+    try {
+        return runLoad(argc, argv);
+    } catch (const util::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

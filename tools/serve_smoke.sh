@@ -24,8 +24,15 @@ TRACE=$3
 TMPDIR_SMOKE=$(mktemp -d)
 DAEMON_PID=""
 cleanup() {
+    # Bounded: a wedged daemon gets SIGTERM, five seconds to drain,
+    # then SIGKILL -- the cleanup path must never hang the test run.
     if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
         kill "$DAEMON_PID" 2>/dev/null || true
+        for _ in $(seq 1 50); do
+            kill -0 "$DAEMON_PID" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
         wait "$DAEMON_PID" 2>/dev/null || true
     fi
     rm -rf "$TMPDIR_SMOKE"
@@ -41,6 +48,9 @@ fail() {
 # Part A: live daemon round-trip over a Unix socket.
 # ----------------------------------------------------------------
 SOCK=$TMPDIR_SMOKE/rebudget.sock
+# A stale socket file from a crashed previous run would make the
+# "daemon is up" probe below pass before bind(); clear it first.
+rm -f "$SOCK"
 "$DAEMON" --socket "$SOCK" --shards 4 --jobs 2 --tick-ms 0 &
 DAEMON_PID=$!
 
